@@ -1,0 +1,50 @@
+//! Ablation: gate-level codec power for *all seven* codecs (the paper's
+//! Table 8 covers three), at a representative on-chip load.
+
+use buscode_bench::tables::reference_muxed_stream;
+use buscode_core::{BusWidth, Stride};
+use buscode_logic::Technology;
+use buscode_power::{onchip_table_for, ALL_CODECS};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let stream = reference_muxed_stream(20_000);
+    let table = onchip_table_for(
+        &ALL_CODECS,
+        &stream,
+        &[0.1, 0.5, 2.0],
+        BusWidth::MIPS,
+        Stride::WORD,
+        Technology::date98(),
+    );
+    println!("Ablation: codec power (mW), all gate-level codecs, on-chip loads");
+    println!("{:>12} {:>10} {:>10} {:>10}", "codec", "0.1pF", "0.5pF", "2.0pF");
+    for codec in ALL_CODECS {
+        let series = table.series(codec);
+        println!(
+            "{:>12} {:>10.4} {:>10.4} {:>10.4}",
+            codec, series[0].1, series[1].1, series[2].1
+        );
+    }
+
+    c.bench_function("ablation_codec_power/seven_codec_sweep_2k", |b| {
+        let stream = reference_muxed_stream(2_000);
+        b.iter(|| {
+            onchip_table_for(
+                &ALL_CODECS,
+                &stream,
+                &[0.5],
+                BusWidth::MIPS,
+                Stride::WORD,
+                Technology::date98(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

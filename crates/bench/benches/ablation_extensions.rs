@@ -1,0 +1,27 @@
+//! Ablation: the extension codes (T0-XOR, offset, working-zone, Beach) on
+//! all three stream classes, against the binary reference.
+
+use buscode_bench::tables;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("Ablation: extension codes, average savings vs binary");
+    for (kind, table) in tables::ablation_extensions(50_000) {
+        print!("  {kind:12}");
+        for (code, savings) in table.codes.iter().zip(&table.avg_savings_percent) {
+            print!("  {}={savings:6.2}%", code.name());
+        }
+        println!();
+    }
+
+    c.bench_function("ablation_extensions/sweep_5k", |b| {
+        b.iter(|| tables::ablation_extensions(5_000))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Ablation: T0 savings versus configured stride (the paper's "parametric
+//! increments" knob). The stream steps by the machine stride of 4; only
+//! the matching encoder stride captures the sequentiality.
+
+use buscode_bench::tables;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("Ablation: T0 savings vs configured stride (machine stride = 4)");
+    for (stride, savings) in tables::ablation_stride(100_000) {
+        println!("  stride {stride}: {savings:6.2}% savings vs binary");
+    }
+
+    c.bench_function("ablation_stride/sweep_20k", |b| {
+        b.iter(|| tables::ablation_stride(20_000))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Ablation: the analytical Table 1 quantities versus bus width (16, 32,
+//! 64 lines) — the paper motivates its work with the drift toward 64-bit
+//! address buses.
+
+use buscode_bench::tables;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("Ablation: analytical transitions/clock vs bus width (random stream)");
+    for (bits, binary, bus_invert) in tables::ablation_width() {
+        println!(
+            "  N={bits:2}: binary {binary:6.3}, bus-invert {bus_invert:6.3} ({:5.2}% better)",
+            100.0 * (1.0 - bus_invert / binary)
+        );
+    }
+
+    c.bench_function("ablation_width/analytical_sweep", |b| {
+        b.iter(tables::ablation_width)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Microbenchmark: raw encoding throughput of every code (behavioural
+//! implementations) on the reference multiplexed stream — the cost a
+//! simulator pays per table cell.
+
+use buscode_bench::tables::reference_muxed_stream;
+use buscode_core::metrics::count_transitions;
+use buscode_core::{CodeKind, CodeParams};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let stream = reference_muxed_stream(100_000);
+    let params = CodeParams::default();
+    let mut group = c.benchmark_group("encode_throughput");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    for kind in CodeKind::all() {
+        let mut enc = kind.encoder(params).expect("valid params");
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                enc.reset();
+                count_transitions(enc.as_mut(), stream.iter().copied())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates paper Table 1 (analytical comparison + Monte-Carlo check)
+//! and benchmarks the analytical model evaluation.
+
+use buscode_bench::render::render_table1;
+use buscode_bench::tables;
+use buscode_core::{analysis, BusWidth, Stride};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let report = tables::table1(BusWidth::MIPS, Stride::WORD, 200_000);
+    println!("{}", render_table1(&report));
+
+    c.bench_function("table1/analytical_models", |b| {
+        b.iter(|| analysis::table1(BusWidth::MIPS, Stride::WORD))
+    });
+    c.bench_function("table1/bus_invert_exact_expectation", |b| {
+        b.iter(|| analysis::bus_invert_random_exact(BusWidth::MIPS))
+    });
+    c.bench_function("table1/monte_carlo_10k", |b| {
+        b.iter(|| tables::table1(BusWidth::MIPS, Stride::WORD, 10_000))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

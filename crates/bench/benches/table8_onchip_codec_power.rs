@@ -1,0 +1,41 @@
+//! Regenerates paper Table 8 (encoder/decoder power for on-chip loads)
+//! and benchmarks gate-level codec simulation throughput.
+
+use buscode_bench::render::render_power_table;
+use buscode_bench::tables;
+use buscode_core::{BusWidth, Stride};
+use buscode_logic::codecs::{dual_t0bi_encoder, t0_encoder};
+use buscode_trace::{paper_benchmarks, StreamKind};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let table = tables::table8(30_000);
+    println!(
+        "{}",
+        render_power_table(
+            "Table 8: Enc/Dec Power Consumption for On-Chip Loads",
+            &table,
+            false
+        )
+    );
+
+    let stream = paper_benchmarks()[0].stream_with_len(StreamKind::Muxed, 2_000);
+    let mut group = c.benchmark_group("table8/gate_level_encode");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("t0_circuit", |b| {
+        let circuit = t0_encoder(BusWidth::MIPS, Stride::WORD);
+        b.iter(|| circuit.run(&stream))
+    });
+    group.bench_function("dual_t0bi_circuit", |b| {
+        let circuit = dual_t0bi_encoder(BusWidth::MIPS, Stride::WORD);
+        b.iter(|| circuit.run(&stream))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

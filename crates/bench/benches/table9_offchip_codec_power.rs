@@ -1,0 +1,29 @@
+//! Regenerates paper Table 9 (encoder/decoder/pad power for off-chip
+//! loads, with the crossover analysis) and benchmarks the sweep itself.
+
+use buscode_bench::render::render_power_table;
+use buscode_bench::tables;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let table = tables::table9(30_000);
+    println!(
+        "{}",
+        render_power_table(
+            "Table 9: Enc/Dec Power Consumption for Off-Chip Loads",
+            &table,
+            true
+        )
+    );
+
+    c.bench_function("table9/full_sweep_1k_stream", |b| {
+        b.iter(|| tables::table9(1_000))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

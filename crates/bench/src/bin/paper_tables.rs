@@ -1,0 +1,218 @@
+//! Regenerates the paper's tables on stdout.
+//!
+//! Usage:
+//!
+//! ```text
+//! paper_tables [--table N] [--len L] [--ablations]
+//! ```
+//!
+//! Without arguments, all nine tables are printed at full benchmark
+//! lengths (use `--len` to cap stream lengths for a quick run).
+
+use buscode_bench::render::{
+    csv_power_table, csv_transition_table, render_power_table, render_table1,
+    render_transition_table,
+};
+use buscode_bench::tables;
+use buscode_core::{BusWidth, Stride};
+
+struct Options {
+    table: Option<u32>,
+    len: usize,
+    ablations: bool,
+    csv_dir: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        table: None,
+        len: usize::MAX,
+        ablations: false,
+        csv_dir: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--table" => {
+                let v = args.next().ok_or("--table needs a number")?;
+                opts.table = Some(v.parse().map_err(|_| format!("bad table number {v}"))?);
+            }
+            "--len" => {
+                let v = args.next().ok_or("--len needs a number")?;
+                opts.len = v.parse().map_err(|_| format!("bad length {v}"))?;
+            }
+            "--ablations" => opts.ablations = true,
+            "--csv" => {
+                let dir = args.next().ok_or("--csv needs a directory")?;
+                opts.csv_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                return Err("usage: paper_tables [--table N] [--len L] [--ablations] [--csv DIR]".to_owned())
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let want = |n: u32| opts.table.is_none() || opts.table == Some(n);
+    let write_csv = |name: &str, contents: String| {
+        if let Some(dir) = &opts.csv_dir {
+            if let Err(e) = std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(dir.join(name), contents))
+            {
+                eprintln!("cannot write {name}: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    // Power tables simulate gate-level circuits; cap their stream length
+    // to keep the run minutes-scale even at "full" settings.
+    let power_len = opts.len.min(30_000);
+    let t1_cycles = opts.len.min(200_000);
+
+    if want(1) {
+        let report = tables::table1(BusWidth::MIPS, Stride::WORD, t1_cycles);
+        println!("{}", render_table1(&report));
+    }
+    if want(2) {
+        let table = tables::table2(opts.len);
+        println!(
+            "{}",
+            render_transition_table("Table 2: Existing Encoding Schemes, Instruction Address Streams", &table)
+        );
+        write_csv("table2.csv", csv_transition_table(&table));
+    }
+    if want(3) {
+        let table = tables::table3(opts.len);
+        println!(
+            "{}",
+            render_transition_table("Table 3: Existing Encoding Schemes, Data Address Streams", &table)
+        );
+        write_csv("table3.csv", csv_transition_table(&table));
+    }
+    if want(4) {
+        let table = tables::table4(opts.len);
+        println!(
+            "{}",
+            render_transition_table("Table 4: Existing Encoding Schemes, Multiplexed Address Streams", &table)
+        );
+        write_csv("table4.csv", csv_transition_table(&table));
+    }
+    if want(5) {
+        let table = tables::table5(opts.len);
+        println!(
+            "{}",
+            render_transition_table("Table 5: Mixed Encoding Schemes, Instruction Address Streams", &table)
+        );
+        write_csv("table5.csv", csv_transition_table(&table));
+    }
+    if want(6) {
+        let table = tables::table6(opts.len);
+        println!(
+            "{}",
+            render_transition_table("Table 6: Mixed Encoding Schemes, Data Address Streams", &table)
+        );
+        write_csv("table6.csv", csv_transition_table(&table));
+    }
+    if want(7) {
+        let table = tables::table7(opts.len);
+        println!(
+            "{}",
+            render_transition_table("Table 7: Mixed Encoding Schemes, Multiplexed Address Streams", &table)
+        );
+        write_csv("table7.csv", csv_transition_table(&table));
+    }
+    if want(8) {
+        let table = tables::table8(power_len);
+        println!(
+            "{}",
+            render_power_table(
+                "Table 8: Enc/Dec Power Consumption for On-Chip Loads",
+                &table,
+                false
+            )
+        );
+        write_csv("table8.csv", csv_power_table(&table));
+    }
+    if want(9) {
+        let table = tables::table9(power_len);
+        println!(
+            "{}",
+            render_power_table(
+                "Table 9: Enc/Dec Power Consumption for Off-Chip Loads",
+                &table,
+                true
+            )
+        );
+        write_csv("table9.csv", csv_power_table(&table));
+    }
+    if opts.ablations {
+        println!("Codec synthesis report (32-bit encoders)");
+        println!(
+            "{:>12} {:>7} {:>6} {:>7} {:>10} {:>10}",
+            "codec", "gates", "dffs", "depth", "optimized", "nand2"
+        );
+        for row in tables::codec_synthesis_report() {
+            println!(
+                "{:>12} {:>7} {:>6} {:>7} {:>10} {:>10}",
+                row.codec, row.gates, row.dffs, row.depth, row.optimized_gates, row.nand2_area
+            );
+        }
+        println!();
+        println!("Decoder synthesis report (32-bit decoders)");
+        println!(
+            "{:>12} {:>7} {:>6} {:>7} {:>10} {:>10}",
+            "codec", "gates", "dffs", "depth", "optimized", "nand2"
+        );
+        for row in tables::decoder_synthesis_report() {
+            println!(
+                "{:>12} {:>7} {:>6} {:>7} {:>10} {:>10}",
+                row.codec, row.gates, row.dffs, row.depth, row.optimized_gates, row.nand2_area
+            );
+        }
+        println!();
+        println!("Ablation: T0 savings vs configured stride (machine stride = 4)");
+        for (stride, savings) in tables::ablation_stride(opts.len.min(100_000)) {
+            println!("  stride {stride}: {savings:.2}%");
+        }
+        println!("\nAblation: analytical transitions/clock vs bus width (random stream)");
+        for (bits, binary, bus_invert) in tables::ablation_width() {
+            println!("  N={bits}: binary {binary:.3}, bus-invert {bus_invert:.3}");
+        }
+        println!("\nAblation: partitioned bus-invert on data streams");
+        for (partitions, savings) in tables::ablation_partitioned_bus_invert(opts.len.min(50_000)) {
+            println!("  {partitions} partition(s): {savings:.2}% savings vs binary");
+        }
+        println!("\nDesign-space sweep: savings vs in-sequence fraction (data-style streams)");
+        let sweep = tables::sequentiality_sweep(opts.len.min(60_000));
+        print!("{:>8}", "in-seq");
+        for (code, _) in &sweep[0].savings {
+            print!(" {code:>11}");
+        }
+        println!();
+        for point in &sweep {
+            print!("{:>7.0}%", 100.0 * point.in_seq);
+            for (_, savings) in &point.savings {
+                print!(" {savings:>10.2}%");
+            }
+            println!();
+        }
+        println!("\nAblation: extension codes, average savings vs binary");
+        for (kind, table) in tables::ablation_extensions(opts.len.min(50_000)) {
+            print!("  {kind}:");
+            for (code, savings) in table.codes.iter().zip(&table.avg_savings_percent) {
+                print!(" {}={savings:.2}%", code.name());
+            }
+            println!();
+        }
+    }
+}

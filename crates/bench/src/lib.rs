@@ -1,0 +1,32 @@
+//! # buscode-bench
+//!
+//! The experiment harness that regenerates every table of the DATE'98
+//! paper. The table builders here are shared between the `paper_tables`
+//! binary (which prints them) and the Criterion benches (one per table).
+//!
+//! | paper table | builder | contents |
+//! |---|---|---|
+//! | Table 1 | [`table1`] | analytical comparison + Monte-Carlo check |
+//! | Table 2 | [`table2`] | binary/T0/bus-invert on instruction streams |
+//! | Table 3 | [`table3`] | same on data streams |
+//! | Table 4 | [`table4`] | same on multiplexed streams |
+//! | Table 5 | [`table5`] | T0_BI / dual T0 / dual T0_BI on instruction streams |
+//! | Table 6 | [`table6`] | same on data streams |
+//! | Table 7 | [`table7`] | same on multiplexed streams |
+//! | Table 8 | [`table8`] | on-chip codec power sweep |
+//! | Table 9 | [`table9`] | off-chip codec power sweep with pads |
+//!
+//! Ablations beyond the paper: [`ablation_stride`], [`ablation_width`],
+//! and [`ablation_extensions`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod render;
+pub mod tables;
+
+pub use tables::{
+    ablation_extensions, ablation_partitioned_bus_invert, ablation_stride, ablation_width, codec_synthesis_report, decoder_synthesis_report, sequentiality_sweep, table1, table2,
+    table3, table4, table5, table6, table7, table8, table9, SweepPoint, SynthesisRow,
+    Table1Report, TransitionTable,
+};

@@ -1,0 +1,234 @@
+//! Plain-text rendering of the experiment tables, in the layout of the
+//! paper's tables.
+
+use crate::tables::{Table1Report, TransitionTable};
+use buscode_power::CodecPowerTable;
+
+fn hr(widths: &[usize]) -> String {
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    "-".repeat(total)
+}
+
+/// Renders Table 1 (analytical + Monte-Carlo).
+pub fn render_table1(report: &Table1Report) -> String {
+    let mut out = String::new();
+    out.push_str("Table 1: Analytical Performance Comparison\n");
+    out.push_str(&format!(
+        "{:<16} {:<12} {:>14} {:>14} {:>10} {:>12}\n",
+        "Stream", "Code", "Avg.Trans/Clk", "per Line", "Rel.Power", "MonteCarlo"
+    ));
+    out.push_str(&hr(&[16, 12, 14, 14, 10, 12]));
+    out.push('\n');
+    for row in &report.analytical {
+        let measured = report
+            .measured
+            .iter()
+            .find(|(s, c, _)| *s == row.stream && *c == row.code)
+            .map(|(_, _, m)| format!("{m:>12.3}"))
+            .unwrap_or_else(|| format!("{:>12}", "-"));
+        out.push_str(&format!(
+            "{:<16} {:<12} {:>14.4} {:>14.4} {:>10.4} {}\n",
+            row.stream.to_string(),
+            row.code,
+            row.avg_transitions_per_clock,
+            row.avg_transitions_per_line,
+            row.relative_power,
+            measured
+        ));
+    }
+    out
+}
+
+/// Renders one of Tables 2-7.
+pub fn render_transition_table(title: &str, table: &TransitionTable) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<11} {:>9} {:>9} {:>12}",
+        "Benchmark", "Length", "In-Seq%", "Binary"
+    ));
+    for kind in &table.codes {
+        out.push_str(&format!(" {:>12} {:>9}", kind.name(), "Savings"));
+    }
+    out.push('\n');
+    for row in &table.rows {
+        out.push_str(&format!(
+            "{:<11} {:>9} {:>8.2}% {:>12}",
+            row.name, row.length, row.in_seq_percent, row.binary_transitions
+        ));
+        for (_, transitions, savings) in &row.codes {
+            out.push_str(&format!(" {:>12} {:>8.2}%", transitions, savings));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:<11} {:>9} {:>8.2}% {:>12}",
+        "Average", "", table.avg_in_seq_percent, ""
+    ));
+    for savings in &table.avg_savings_percent {
+        out.push_str(&format!(" {:>12} {:>8.2}%", "", savings));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders Table 8 or 9 (codec power sweep).
+pub fn render_power_table(title: &str, table: &CodecPowerTable, with_pads: bool) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:>9}", "Load(pF)"));
+    for entry in &table.rows[0].entries {
+        if with_pads {
+            out.push_str(&format!(
+                " | {:>10} {:>10} {:>10} {:>10}",
+                format!("{}.enc", entry.codec),
+                "dec",
+                "pads",
+                "global"
+            ));
+        } else {
+            out.push_str(&format!(
+                " | {:>10} {:>10} {:>10}",
+                format!("{}.enc", entry.codec),
+                "dec",
+                "global"
+            ));
+        }
+    }
+    out.push_str(" (mW)\n");
+    for row in &table.rows {
+        out.push_str(&format!("{:>9.2}", row.load_pf));
+        for entry in &row.entries {
+            if with_pads {
+                out.push_str(&format!(
+                    " | {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+                    entry.encoder_mw,
+                    entry.decoder_mw,
+                    entry.pads_mw.unwrap_or(0.0),
+                    entry.global_mw
+                ));
+            } else {
+                out.push_str(&format!(
+                    " | {:>10.4} {:>10.4} {:>10.4}",
+                    entry.encoder_mw, entry.decoder_mw, entry.global_mw
+                ));
+            }
+        }
+        out.push('\n');
+    }
+    if let Some(load) = table.crossover("binary", "t0") {
+        out.push_str(&format!("t0 overtakes binary at {load} pF\n"));
+    }
+    if let Some(load) = table.crossover("t0", "dual-t0-bi") {
+        out.push_str(&format!("dual-t0-bi overtakes t0 at {load} pF\n"));
+    }
+    out
+}
+
+/// Renders one of Tables 2-7 as CSV (machine-readable companion to the
+/// plain-text layout).
+pub fn csv_transition_table(table: &TransitionTable) -> String {
+    let mut out = String::from("benchmark,length,in_seq_percent,binary_transitions");
+    for kind in &table.codes {
+        out.push_str(&format!(",{0}_transitions,{0}_savings_percent", kind.name()));
+    }
+    out.push('\n');
+    for row in &table.rows {
+        out.push_str(&format!(
+            "{},{},{:.4},{}",
+            row.name, row.length, row.in_seq_percent, row.binary_transitions
+        ));
+        for (_, transitions, savings) in &row.codes {
+            out.push_str(&format!(",{transitions},{savings:.4}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders Table 8 or 9 as CSV.
+pub fn csv_power_table(table: &CodecPowerTable) -> String {
+    let mut out = String::from("load_pf");
+    for entry in &table.rows[0].entries {
+        out.push_str(&format!(
+            ",{0}_encoder_mw,{0}_decoder_mw,{0}_pads_mw,{0}_global_mw",
+            entry.codec
+        ));
+    }
+    out.push('\n');
+    for row in &table.rows {
+        out.push_str(&format!("{}", row.load_pf));
+        for entry in &row.entries {
+            out.push_str(&format!(
+                ",{:.6},{:.6},{:.6},{:.6}",
+                entry.encoder_mw,
+                entry.decoder_mw,
+                entry.pads_mw.unwrap_or(0.0),
+                entry.global_mw
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables;
+    use buscode_core::{BusWidth, Stride};
+
+    #[test]
+    fn table1_renders_every_row() {
+        let report = tables::table1(BusWidth::MIPS, Stride::WORD, 2_000);
+        let text = render_table1(&report);
+        assert!(text.contains("bus-invert"));
+        assert!(text.contains("in-sequence"));
+        assert!(text.lines().count() >= 10);
+    }
+
+    #[test]
+    fn transition_table_renders_benchmarks_and_average() {
+        let t = tables::table2(3_000);
+        let text = render_transition_table("Table 2", &t);
+        for name in ["gzip", "oracle", "Average"] {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn power_table_renders_loads() {
+        let t = tables::table8(500);
+        let text = render_power_table("Table 8", &t, false);
+        assert!(text.contains("0.10"));
+        assert!(text.contains("dual-t0-bi.enc"));
+    }
+
+    #[test]
+    fn csv_transition_table_is_parseable() {
+        let t = tables::table2(2_000);
+        let csv = csv_transition_table(&t);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 10); // header + 9 benchmarks
+        let columns = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), columns, "{line}");
+        }
+        assert!(lines[0].contains("t0_savings_percent"));
+        assert!(lines[1].starts_with("gzip,"));
+    }
+
+    #[test]
+    fn csv_power_table_is_parseable() {
+        let t = tables::table8(300);
+        let csv = csv_power_table(&t);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + tables::TABLE8_LOADS_PF.len());
+        let columns = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), columns);
+        }
+    }
+}

@@ -1,0 +1,635 @@
+//! Builders for every table of the paper, plus ablation tables.
+
+use buscode_core::analysis::{self, StreamClass, Table1Row};
+use buscode_core::metrics::{binary_reference, count_transitions};
+use buscode_core::{Access, BusWidth, CodeKind, CodeParams, Stride};
+use buscode_logic::Technology;
+use buscode_power::{offchip_table, onchip_table, CodecPowerTable, PadModel};
+use buscode_trace::{paper_benchmarks, DataModel, InstructionModel, StreamKind, StreamStats};
+
+/// Table 1 with both the closed-form models and a Monte-Carlo check of
+/// the actual encoders.
+#[derive(Clone, Debug)]
+pub struct Table1Report {
+    /// The analytical rows.
+    pub analytical: Vec<Table1Row>,
+    /// Per `(stream, code)`: the measured transitions/clock of the real
+    /// encoder on a matching synthetic stream.
+    pub measured: Vec<(StreamClass, &'static str, f64)>,
+}
+
+/// Builds Table 1: the analytical comparison of binary, Gray, T0 and
+/// bus-invert on out-of-sequence and in-sequence unlimited streams, plus
+/// a Monte-Carlo verification with `cycles` simulated cycles per cell.
+pub fn table1(width: BusWidth, stride: Stride, cycles: usize) -> Table1Report {
+    use rand::{Rng, SeedableRng};
+    let analytical = analysis::table1(width, stride);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x7ab1e1);
+    let random: Vec<Access> = (0..cycles)
+        .map(|_| Access::data(rng.gen::<u64>() & width.mask()))
+        .collect();
+    let sequential: Vec<Access> = (0..cycles as u64)
+        .map(|i| Access::instruction((stride.get() * i) & width.mask()))
+        .collect();
+
+    let params = CodeParams { width, stride };
+    let kinds = [
+        ("binary", CodeKind::Binary),
+        ("gray", CodeKind::Gray),
+        ("t0", CodeKind::T0),
+        ("bus-invert", CodeKind::BusInvert),
+    ];
+    let mut measured = Vec::new();
+    for (stream_class, stream) in [
+        (StreamClass::OutOfSequence, &random),
+        (StreamClass::InSequence, &sequential),
+    ] {
+        for (name, kind) in kinds {
+            let mut enc = kind.encoder(params).expect("valid params");
+            let stats = count_transitions(enc.as_mut(), stream.iter().copied());
+            measured.push((stream_class, name, stats.per_cycle()));
+        }
+    }
+    Table1Report {
+        analytical,
+        measured,
+    }
+}
+
+/// One benchmark row of a transition-count table (Tables 2-7).
+#[derive(Clone, Debug)]
+pub struct BenchmarkRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Stream length used.
+    pub length: u64,
+    /// Measured in-sequence percentage of the stream.
+    pub in_seq_percent: f64,
+    /// Binary (reference) transition count.
+    pub binary_transitions: u64,
+    /// Per code: `(name, transitions, savings% vs binary)`.
+    pub codes: Vec<(&'static str, u64, f64)>,
+}
+
+/// A full transition-count table (one of Tables 2-7).
+#[derive(Clone, Debug)]
+pub struct TransitionTable {
+    /// Which bus configuration the table covers.
+    pub stream: StreamKind,
+    /// The codes compared (beyond the binary reference).
+    pub codes: Vec<CodeKind>,
+    /// One row per benchmark, paper order.
+    pub rows: Vec<BenchmarkRow>,
+    /// Column averages: in-seq % and per-code savings %.
+    pub avg_in_seq_percent: f64,
+    /// Average savings percentage per code, same order as `codes`.
+    pub avg_savings_percent: Vec<f64>,
+}
+
+impl TransitionTable {
+    /// The average savings of one code, by name.
+    pub fn avg_savings(&self, code: &str) -> Option<f64> {
+        self.codes
+            .iter()
+            .position(|k| k.name() == code)
+            .map(|i| self.avg_savings_percent[i])
+    }
+}
+
+/// Builds a transition-count table over the nine paper benchmarks.
+///
+/// `length` caps each benchmark's stream (pass `usize::MAX` for the full
+/// profile lengths used by the paper-scale runs).
+pub fn transition_table(codes: &[CodeKind], stream: StreamKind, length: usize) -> TransitionTable {
+    let params = CodeParams::default();
+    let mut rows = Vec::new();
+    for profile in paper_benchmarks() {
+        let len = profile.length.min(length);
+        let accesses = profile.stream_with_len(stream, len);
+        let stats = StreamStats::measure(&accesses, params.stride);
+        let reference = binary_reference(params.width, accesses.iter().copied());
+        let mut code_cells = Vec::new();
+        for &kind in codes {
+            // The Beach code is stream-trained: profile the benchmark's own
+            // stream, as in its embedded-systems setting (paper ref [7]).
+            let mut enc: Box<dyn buscode_core::Encoder> = if kind == CodeKind::Beach {
+                let addresses = accesses.iter().map(|a| a.address);
+                Box::new(
+                    buscode_core::codes::BeachCode::train(params.width, addresses)
+                        .into_encoder(),
+                )
+            } else {
+                kind.encoder(params).expect("valid params")
+            };
+            let coded = count_transitions(enc.as_mut(), accesses.iter().copied());
+            code_cells.push((kind.name(), coded.total(), coded.savings_vs(&reference)));
+        }
+        rows.push(BenchmarkRow {
+            name: profile.name,
+            length: len as u64,
+            in_seq_percent: stats.in_seq_percent(),
+            binary_transitions: reference.total(),
+            codes: code_cells,
+        });
+    }
+    let n = rows.len() as f64;
+    let avg_in_seq_percent = rows.iter().map(|r| r.in_seq_percent).sum::<f64>() / n;
+    let avg_savings_percent = (0..codes.len())
+        .map(|i| rows.iter().map(|r| r.codes[i].2).sum::<f64>() / n)
+        .collect();
+    TransitionTable {
+        stream,
+        codes: codes.to_vec(),
+        rows,
+        avg_in_seq_percent,
+        avg_savings_percent,
+    }
+}
+
+const EXISTING_CODES: [CodeKind; 2] = [CodeKind::T0, CodeKind::BusInvert];
+const MIXED_CODES: [CodeKind; 3] = [CodeKind::T0Bi, CodeKind::DualT0, CodeKind::DualT0Bi];
+
+/// Table 2: existing schemes on instruction address streams.
+pub fn table2(length: usize) -> TransitionTable {
+    transition_table(&EXISTING_CODES, StreamKind::Instruction, length)
+}
+
+/// Table 3: existing schemes on data address streams.
+pub fn table3(length: usize) -> TransitionTable {
+    transition_table(&EXISTING_CODES, StreamKind::Data, length)
+}
+
+/// Table 4: existing schemes on multiplexed address streams.
+pub fn table4(length: usize) -> TransitionTable {
+    transition_table(&EXISTING_CODES, StreamKind::Muxed, length)
+}
+
+/// Table 5: mixed schemes on instruction address streams.
+pub fn table5(length: usize) -> TransitionTable {
+    transition_table(&MIXED_CODES, StreamKind::Instruction, length)
+}
+
+/// Table 6: mixed schemes on data address streams.
+pub fn table6(length: usize) -> TransitionTable {
+    transition_table(&MIXED_CODES, StreamKind::Data, length)
+}
+
+/// Table 7: mixed schemes on multiplexed address streams.
+pub fn table7(length: usize) -> TransitionTable {
+    transition_table(&MIXED_CODES, StreamKind::Muxed, length)
+}
+
+/// The reference multiplexed stream driving the codec power sweeps: the
+/// paper applies "the same reference input switching activities (derived
+/// from the benchmark address streams)" to all encoders.
+pub fn reference_muxed_stream(length: usize) -> Vec<Access> {
+    paper_benchmarks()[0].stream_with_len(StreamKind::Muxed, length)
+}
+
+/// The on-chip load sweep of Table 8, picofarads per line.
+pub const TABLE8_LOADS_PF: [f64; 6] = [0.1, 0.2, 0.4, 0.8, 1.6, 3.2];
+
+/// The off-chip load sweep of Table 9, picofarads per line.
+pub const TABLE9_LOADS_PF: [f64; 6] = [5.0, 10.0, 20.0, 50.0, 100.0, 200.0];
+
+/// Table 8: encoder/decoder power for on-chip loads.
+pub fn table8(stream_length: usize) -> CodecPowerTable {
+    onchip_table(
+        &reference_muxed_stream(stream_length),
+        &TABLE8_LOADS_PF,
+        BusWidth::MIPS,
+        Stride::WORD,
+        Technology::date98(),
+    )
+}
+
+/// Table 9: encoder/decoder/pad power for off-chip loads.
+pub fn table9(stream_length: usize) -> CodecPowerTable {
+    offchip_table(
+        &reference_muxed_stream(stream_length),
+        &TABLE9_LOADS_PF,
+        BusWidth::MIPS,
+        Stride::WORD,
+        Technology::date98(),
+        PadModel::date98(),
+    )
+}
+
+/// Ablation: T0 savings versus stride mismatch. Streams step by the
+/// *machine's* stride (4); encoders are configured with each candidate
+/// stride, showing why "the increments ... can be parametric, reflecting
+/// the addressability scheme" matters.
+pub fn ablation_stride(length: usize) -> Vec<(u64, f64)> {
+    let width = BusWidth::MIPS;
+    let stream = InstructionModel::new(0.6304).generate(length, 7);
+    let reference = binary_reference(width, stream.iter().copied());
+    [1u64, 2, 4, 8]
+        .into_iter()
+        .map(|s| {
+            let stride = Stride::new(s, width).expect("power of two");
+            let params = CodeParams { width, stride };
+            let mut enc = CodeKind::T0.encoder(params).expect("valid");
+            let stats = count_transitions(enc.as_mut(), stream.iter().copied());
+            (s, stats.savings_vs(&reference))
+        })
+        .collect()
+}
+
+/// Ablation: analytical Table 1 quantities versus bus width.
+pub fn ablation_width() -> Vec<(u32, f64, f64)> {
+    [16u32, 32, 64]
+        .into_iter()
+        .map(|bits| {
+            let width = BusWidth::new(bits).expect("valid width");
+            (
+                bits,
+                analysis::binary_random(width),
+                analysis::bus_invert_random_exact(width),
+            )
+        })
+        .collect()
+}
+
+/// One row of the codec synthesis report: structural cost of a codec's
+/// encoder circuit, before and after optimization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SynthesisRow {
+    /// Codec name.
+    pub codec: &'static str,
+    /// Gate count of the as-built encoder netlist.
+    pub gates: usize,
+    /// Flip-flop count.
+    pub dffs: usize,
+    /// Combinational logic depth (levels).
+    pub depth: u32,
+    /// Gate count after [`buscode_logic::optimize`].
+    pub optimized_gates: usize,
+    /// NAND2-equivalent area after [`buscode_logic::tech_map`].
+    pub nand2_area: usize,
+}
+
+/// The codec synthesis report: area and depth of every encoder circuit —
+/// the structural counterpart of the paper's Section 4 synthesis results
+/// (its 5.36 ns critical path "through the bus-invert section and the
+/// output mux" shows up here as the dual T0_BI depth).
+pub fn codec_synthesis_report() -> Vec<SynthesisRow> {
+    use buscode_logic::codecs::{
+        binary_encoder, bus_invert_encoder, dual_t0_encoder, dual_t0bi_encoder, gray_encoder,
+        t0_encoder, t0bi_encoder,
+    };
+    let (w, s) = (BusWidth::MIPS, Stride::WORD);
+    let circuits = [
+        binary_encoder(w),
+        gray_encoder(w, s),
+        bus_invert_encoder(w),
+        t0_encoder(w, s),
+        t0bi_encoder(w, s),
+        dual_t0_encoder(w, s),
+        dual_t0bi_encoder(w, s),
+    ];
+    circuits
+        .into_iter()
+        .map(|circuit| {
+            let optimized = circuit.optimized();
+            SynthesisRow {
+                codec: circuit.name,
+                gates: circuit.netlist.gate_count(),
+                dffs: circuit.netlist.dff_count(),
+                depth: circuit.netlist.logic_depth(),
+                optimized_gates: optimized.netlist.gate_count(),
+                nand2_area: buscode_logic::nand2_area(&circuit.netlist),
+            }
+        })
+        .collect()
+}
+
+/// The decoder-side synthesis report (same columns as
+/// [`codec_synthesis_report`]). The asymmetries are instructive: the Gray
+/// *encoder* is two levels deep while its decoder's XOR prefix chain is
+/// ~30 levels — the timing cost that pushed the literature from Gray to
+/// the redundant codes.
+pub fn decoder_synthesis_report() -> Vec<SynthesisRow> {
+    use buscode_logic::codecs::{
+        binary_decoder, bus_invert_decoder, dual_t0_decoder, dual_t0bi_decoder, gray_decoder,
+        t0_decoder, t0bi_decoder,
+    };
+    let (w, s) = (BusWidth::MIPS, Stride::WORD);
+    let circuits = [
+        binary_decoder(w),
+        gray_decoder(w, s),
+        bus_invert_decoder(w),
+        t0_decoder(w, s),
+        t0bi_decoder(w, s),
+        dual_t0_decoder(w, s),
+        dual_t0bi_decoder(w, s),
+    ];
+    circuits
+        .into_iter()
+        .map(|circuit| {
+            let optimized = circuit.optimized();
+            SynthesisRow {
+                codec: circuit.name,
+                gates: circuit.netlist.gate_count(),
+                dffs: circuit.netlist.dff_count(),
+                depth: circuit.netlist.logic_depth(),
+                optimized_gates: optimized.netlist.gate_count(),
+                nand2_area: buscode_logic::nand2_area(&circuit.netlist),
+            }
+        })
+        .collect()
+}
+
+/// Ablation: partitioned bus-invert on data streams — Stan and Burleson's
+/// wide-bus refinement. More partitions lower the inversion threshold per
+/// slice (more savings) at the price of one `INV` line each.
+///
+/// Returns `(partitions, avg savings % vs binary)` over the nine data
+/// benchmark streams.
+pub fn ablation_partitioned_bus_invert(length: usize) -> Vec<(u32, f64)> {
+    use buscode_core::codes::BusInvertEncoder;
+    let params = CodeParams::default();
+    [1u32, 2, 4, 8]
+        .into_iter()
+        .map(|partitions| {
+            let mut total_savings = 0.0;
+            for profile in paper_benchmarks() {
+                let stream =
+                    profile.stream_with_len(StreamKind::Data, profile.length.min(length));
+                let reference = binary_reference(params.width, stream.iter().copied());
+                let mut enc = BusInvertEncoder::with_partitions(params.width, partitions)
+                    .expect("valid partition count");
+                let stats = count_transitions(&mut enc, stream.iter().copied());
+                total_savings += stats.savings_vs(&reference);
+            }
+            (partitions, total_savings / paper_benchmarks().len() as f64)
+        })
+        .collect()
+}
+
+/// One point of the sequentiality sweep: savings of each code at one
+/// in-sequence fraction.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The stream's in-sequence fraction target.
+    pub in_seq: f64,
+    /// Per code: `(name, savings% vs binary)`.
+    pub savings: Vec<(&'static str, f64)>,
+}
+
+/// Sweeps a data-style stream's in-sequence fraction from nearly random
+/// to nearly pure array walks and measures every paper code — the
+/// design-space curve behind all of the paper's tables: bus-invert rules
+/// the low-locality end, the T0 family takes over as runs lengthen.
+/// (Data-style streams mix stack and heap regions, giving bus-invert the
+/// far patterns it needs; instruction jumps stay inside one segment and
+/// never trigger it.)
+pub fn sequentiality_sweep(length: usize) -> Vec<SweepPoint> {
+    let params = CodeParams::default();
+    let fractions = [0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95];
+    fractions
+        .into_iter()
+        .map(|q| {
+            let stream = DataModel::new(q).generate(length, 0x5eed ^ q.to_bits());
+            let reference = binary_reference(params.width, stream.iter().copied());
+            let savings = CodeKind::paper_codes()
+                .iter()
+                .map(|kind| {
+                    let mut enc = kind.encoder(params).expect("valid params");
+                    let stats = count_transitions(enc.as_mut(), stream.iter().copied());
+                    (kind.name(), stats.savings_vs(&reference))
+                })
+                .collect();
+            SweepPoint { in_seq: q, savings }
+        })
+        .collect()
+}
+
+/// Ablation: the extension codes on all three stream kinds; per code the
+/// average savings over the nine benchmarks.
+pub fn ablation_extensions(length: usize) -> Vec<(StreamKind, TransitionTable)> {
+    let codes: Vec<CodeKind> = CodeKind::extension_codes().to_vec();
+    [StreamKind::Instruction, StreamKind::Data, StreamKind::Muxed]
+        .into_iter()
+        .map(|kind| (kind, transition_table(&codes, kind, length)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEST_LEN: usize = 20_000;
+
+    #[test]
+    fn table1_monte_carlo_agrees_with_analysis() {
+        let report = table1(BusWidth::MIPS, Stride::WORD, 30_000);
+        for (stream, code, measured) in &report.measured {
+            let analytical = report
+                .analytical
+                .iter()
+                .find(|r| r.stream == *stream && r.code == *code)
+                .unwrap()
+                .avg_transitions_per_clock;
+            assert!(
+                (measured - analytical).abs() < 0.15,
+                "{stream} {code}: measured {measured}, analytical {analytical}"
+            );
+        }
+    }
+
+    #[test]
+    fn table2_shape_matches_paper() {
+        // Paper: T0 saves ~35% on instruction streams; bus-invert ~0%.
+        let t = table2(TEST_LEN);
+        let t0 = t.avg_savings("t0").unwrap();
+        let bi = t.avg_savings("bus-invert").unwrap();
+        assert!(t0 > 20.0, "t0 savings {t0}");
+        assert!(bi.abs() < 5.0, "bus-invert savings {bi}");
+        assert!((t.avg_in_seq_percent - 63.04).abs() < 3.0);
+    }
+
+    #[test]
+    fn table3_shape_matches_paper() {
+        // Paper: on data streams T0 gives only marginal savings; bus-invert
+        // is the best existing redundant code.
+        let t = table3(TEST_LEN);
+        let t0 = t.avg_savings("t0").unwrap();
+        let bi = t.avg_savings("bus-invert").unwrap();
+        assert!(t0 < 15.0, "t0 savings {t0}");
+        assert!(bi > t0, "bus-invert {bi} should beat t0 {t0}");
+        assert!((t.avg_in_seq_percent - 11.39).abs() < 3.0);
+    }
+
+    #[test]
+    fn table4_shape_matches_paper() {
+        // Muxed streams sit between the two, and both codes save something.
+        let t = table4(TEST_LEN);
+        let t0 = t.avg_savings("t0").unwrap();
+        assert!(t0 > 0.0);
+        let instr = table2(TEST_LEN).avg_savings("t0").unwrap();
+        assert!(t0 < instr, "muxed t0 {t0} < instruction t0 {instr}");
+    }
+
+    #[test]
+    fn table5_mixed_codes_match_t0_on_instruction_streams() {
+        // Paper: on pure instruction streams dual T0 and dual T0_BI achieve
+        // the same savings as plain T0; T0_BI is very close.
+        let mixed = table5(TEST_LEN);
+        let plain = table2(TEST_LEN).avg_savings("t0").unwrap();
+        let dual = mixed.avg_savings("dual-t0").unwrap();
+        let dual_bi = mixed.avg_savings("dual-t0-bi").unwrap();
+        let t0bi = mixed.avg_savings("t0-bi").unwrap();
+        assert!((dual - plain).abs() < 0.5, "dual {dual} vs t0 {plain}");
+        assert!((dual_bi - plain).abs() < 0.5);
+        assert!((t0bi - plain).abs() < 5.0);
+    }
+
+    #[test]
+    fn table6_shape_matches_paper() {
+        // Paper: dual T0 saves nothing on data streams; T0_BI and dual
+        // T0_BI both save meaningfully, with T0_BI on top.
+        let t = table6(TEST_LEN);
+        let dual = t.avg_savings("dual-t0").unwrap();
+        let t0bi = t.avg_savings("t0-bi").unwrap();
+        let dual_bi = t.avg_savings("dual-t0-bi").unwrap();
+        assert!(dual.abs() < 1.0, "dual t0 on data: {dual}");
+        assert!(t0bi > 0.0 && dual_bi > 0.0);
+        assert!(t0bi >= dual_bi - 0.5, "t0-bi {t0bi} vs dual {dual_bi}");
+    }
+
+    #[test]
+    fn table7_dual_t0bi_is_best_on_muxed_bus() {
+        // The paper's headline result.
+        let t = table7(TEST_LEN);
+        let t0bi = t.avg_savings("t0-bi").unwrap();
+        let dual = t.avg_savings("dual-t0").unwrap();
+        let dual_bi = t.avg_savings("dual-t0-bi").unwrap();
+        assert!(dual_bi > t0bi, "dual t0-bi {dual_bi} vs t0-bi {t0bi}");
+        assert!(dual_bi > dual, "dual t0-bi {dual_bi} vs dual t0 {dual}");
+        let plain = table4(TEST_LEN).avg_savings("t0").unwrap();
+        assert!(dual_bi > plain, "dual t0-bi {dual_bi} vs t0 {plain}");
+    }
+
+    #[test]
+    fn table8_has_all_rows_and_codecs() {
+        let t = table8(2_000);
+        assert_eq!(t.rows.len(), TABLE8_LOADS_PF.len());
+        for row in &t.rows {
+            assert_eq!(row.entries.len(), 3);
+            for e in &row.entries {
+                assert!(e.global_mw > 0.0);
+                assert!(e.pads_mw.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn table9_encoded_codecs_win_at_the_top_of_the_sweep() {
+        let t = table9(2_000);
+        let last = t.rows.last().unwrap();
+        let by_name = |n: &str| last.entries.iter().find(|e| e.codec == n).unwrap();
+        assert!(by_name("dual-t0-bi").global_mw < by_name("binary").global_mw);
+        assert!(by_name("t0").global_mw < by_name("binary").global_mw);
+    }
+
+    #[test]
+    fn stride_ablation_peaks_at_the_machine_stride() {
+        let rows = ablation_stride(TEST_LEN);
+        let best = rows
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        assert_eq!(best.0, 4, "{rows:?}");
+    }
+
+    #[test]
+    fn width_ablation_is_monotone() {
+        let rows = ablation_width();
+        for pair in rows.windows(2) {
+            assert!(pair[1].1 > pair[0].1);
+            assert!(pair[1].2 > pair[0].2);
+        }
+    }
+
+    #[test]
+    fn decoder_report_shows_the_gray_asymmetry() {
+        let decoders = decoder_synthesis_report();
+        let encoders = codec_synthesis_report();
+        let dec = |n: &str| decoders.iter().find(|r| r.codec == n).unwrap();
+        let enc = |n: &str| encoders.iter().find(|r| r.codec == n).unwrap();
+        // Gray: trivial encoder, deep decoder (the XOR prefix chain).
+        assert!(dec("gray").depth > enc("gray").depth + 20);
+        // The paper: T0 and dual T0_BI decoders are architecturally similar.
+        let ratio = dec("dual-t0-bi").gates as f64 / dec("t0").gates as f64;
+        assert!((0.8..2.0).contains(&ratio), "ratio {ratio}");
+        // Bus-invert's decoder is one XOR rank: far smaller than its encoder.
+        assert!(dec("bus-invert").gates * 4 < enc("bus-invert").gates);
+    }
+
+    #[test]
+    fn partitioned_bus_invert_improves_with_partitions() {
+        let rows = ablation_partitioned_bus_invert(8_000);
+        assert_eq!(rows.len(), 4);
+        // More partitions increase savings overall (not strictly monotone:
+        // partition boundaries interact with the address-field structure).
+        for pair in rows.windows(2) {
+            assert!(pair[1].1 > pair[0].1 - 3.0, "{rows:?}");
+        }
+        assert!(rows[3].1 > rows[0].1 + 3.0, "{rows:?}");
+    }
+
+    #[test]
+    fn sequentiality_sweep_shows_the_regime_change() {
+        let sweep = sequentiality_sweep(15_000);
+        let get = |point: &SweepPoint, code: &str| {
+            point
+                .savings
+                .iter()
+                .find(|(c, _)| *c == code)
+                .map(|(_, s)| *s)
+                .unwrap()
+        };
+        let low = &sweep[0]; // ~5% in-seq: bus-invert territory
+        let high = sweep.last().unwrap(); // ~95% in-seq: T0 territory
+        assert!(get(low, "bus-invert") > get(low, "t0"), "low-locality regime");
+        assert!(get(high, "t0") > get(high, "bus-invert") + 30.0, "high-locality regime");
+        // T0 savings grow monotonically with sequentiality.
+        let t0: Vec<f64> = sweep.iter().map(|p| get(p, "t0")).collect();
+        for pair in t0.windows(2) {
+            assert!(pair[1] > pair[0] - 1.0, "{t0:?}");
+        }
+    }
+
+    #[test]
+    fn synthesis_report_matches_paper_observations() {
+        let report = codec_synthesis_report();
+        assert_eq!(report.len(), 7);
+        let by = |n: &str| report.iter().find(|r| r.codec == n).unwrap();
+        // Cost ordering of the paper's three compared codecs.
+        assert!(by("binary").gates < by("t0").gates);
+        assert!(by("t0").gates < by("dual-t0-bi").gates);
+        // The critical path runs through the bus-invert section.
+        assert!(by("dual-t0-bi").depth > by("t0").depth);
+        // Binary and Gray are register-free.
+        assert_eq!(by("binary").dffs, 0);
+        assert_eq!(by("gray").dffs, 0);
+        // Optimization never grows a circuit.
+        for row in &report {
+            assert!(row.optimized_gates <= row.gates, "{row:?}");
+        }
+        // NAND2 area preserves the cost ordering.
+        assert!(by("binary").nand2_area < by("t0").nand2_area);
+        assert!(by("t0").nand2_area < by("dual-t0-bi").nand2_area);
+    }
+
+    #[test]
+    fn extension_ablation_covers_all_streams() {
+        let tables = ablation_extensions(5_000);
+        assert_eq!(tables.len(), 3);
+        for (_, t) in &tables {
+            assert_eq!(t.codes.len(), CodeKind::extension_codes().len());
+            assert_eq!(t.rows.len(), 9);
+        }
+    }
+}

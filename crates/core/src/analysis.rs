@@ -1,0 +1,570 @@
+//! Analytical performance models (paper Section 2.3, Table 1).
+//!
+//! The paper compares binary, T0 and bus-invert in closed form on two
+//! limiting streams: an unlimited stream of uniformly random (out-of-
+//! sequence) addresses and an unlimited stream of consecutive (in-sequence)
+//! addresses. This module provides those models:
+//!
+//! - random streams: binary and T0 average `N/2` transitions per clock;
+//!   bus-invert averages `kappa < N/2` (the paper's Eq. 5 bound, plus the
+//!   exact Markov-chain expectation implemented here);
+//! - in-sequence streams: T0 tends to **zero** transitions per emitted
+//!   address, Gray to exactly one, binary to about two (the carry-ripple
+//!   expectation), and bus-invert matches binary since inversions rarely
+//!   trigger.
+//!
+//! The exact expectations are validated against Monte-Carlo simulation of
+//! the actual encoders in this crate's test-suite and in the Table 1 bench.
+
+use crate::bus::{BusWidth, Stride};
+
+/// The binomial coefficient `C(n, k)` as `f64`.
+///
+/// Exact for the magnitudes used here (`n <= 65`); values above `2^53`
+/// round to the nearest representable double.
+///
+/// # Examples
+///
+/// ```
+/// use buscode_core::analysis::binomial;
+///
+/// assert_eq!(binomial(5, 2), 10.0);
+/// assert_eq!(binomial(5, 0), 1.0);
+/// assert_eq!(binomial(5, 6), 0.0);
+/// ```
+pub fn binomial(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * f64::from(n - i) / f64::from(i + 1);
+    }
+    acc
+}
+
+/// Probability mass of `Binomial(n, 1/2)` at `k`.
+fn binomial_half_pmf(n: u32, k: u32) -> f64 {
+    binomial(n, k) * 0.5f64.powi(n as i32)
+}
+
+/// Average transitions per clock of **binary** (and of T0, whose `INC`
+/// line stays silent) on a uniformly random address stream: `N/2`.
+pub fn binary_random(width: BusWidth) -> f64 {
+    f64::from(width.bits()) / 2.0
+}
+
+/// Average transitions per clock of **binary** on an unlimited in-sequence
+/// stream with the given stride: the carry-ripple expectation
+/// `2 - 2^(1-m)` where `m = N - log2(S)` counting bits participate.
+///
+/// # Examples
+///
+/// ```
+/// use buscode_core::analysis::binary_sequential;
+/// use buscode_core::{BusWidth, Stride};
+///
+/// let avg = binary_sequential(BusWidth::MIPS, Stride::WORD);
+/// assert!((avg - 2.0).abs() < 1e-6);
+/// ```
+pub fn binary_sequential(width: BusWidth, stride: Stride) -> f64 {
+    let m = width.bits().saturating_sub(stride.log2());
+    if m == 0 {
+        0.0
+    } else {
+        2.0 - 2.0f64.powi(1 - m as i32)
+    }
+}
+
+/// Average transitions per clock of **Gray** on an in-sequence stream:
+/// exactly one per emitted address.
+pub fn gray_sequential() -> f64 {
+    1.0
+}
+
+/// Average transitions per clock of **Gray** on a random stream: `N/2`
+/// (the Gray map is a bijection, so uniform inputs stay uniform).
+pub fn gray_random(width: BusWidth) -> f64 {
+    binary_random(width)
+}
+
+/// Average transitions per clock of **T0** on an unlimited in-sequence
+/// stream: zero — the bus is frozen and the receiver counts by itself.
+pub fn t0_sequential() -> f64 {
+    0.0
+}
+
+/// Average transitions per clock of **T0** on a random stream: `N/2`,
+/// indistinguishable from binary (the `INC` line never rises).
+pub fn t0_random(width: BusWidth) -> f64 {
+    binary_random(width)
+}
+
+/// The paper's Eq. 5 closed form for the bus-invert average transition
+/// count on random patterns:
+///
+/// ```text
+/// kappa = 2^-N * sum_{k=0}^{N/2} k * C(N+1, k)
+/// ```
+pub fn bus_invert_kappa_paper(width: BusWidth) -> f64 {
+    let n = width.bits();
+    let mut sum = 0.0;
+    for k in 0..=(n / 2) {
+        sum += f64::from(k) * binomial(n + 1, k);
+    }
+    sum * 0.5f64.powi(n as i32)
+}
+
+/// The exact stationary expectation of bus-invert transitions per clock on
+/// uniformly random patterns, for the code as specified by the paper's
+/// Eq. 1 (the Hamming distance includes the previous `INV` line).
+///
+/// Derivation: the payload distance `Hp` to a fresh uniform pattern is
+/// `Binomial(N, 1/2)` regardless of history, so `INV` forms a two-state
+/// Markov chain with transition probabilities
+/// `p(v -> 1) = P(Hp + v > N/2)`; conditioning on the stationary `INV`
+/// yields the expectation of `Hp + v` (no inversion) or
+/// `(N - Hp) + (1 - v)` (inversion).
+///
+/// # Examples
+///
+/// ```
+/// use buscode_core::analysis::{binary_random, bus_invert_random_exact};
+/// use buscode_core::BusWidth;
+///
+/// let n = BusWidth::MIPS;
+/// let kappa = bus_invert_random_exact(n);
+/// assert!(kappa < binary_random(n)); // strictly better than binary
+/// ```
+pub fn bus_invert_random_exact(width: BusWidth) -> f64 {
+    let n = width.bits();
+    let threshold = n / 2; // invert iff H > N/2
+    let invert_prob = |v: u32| -> f64 {
+        (0..=n)
+            .filter(|&h| h + v > threshold)
+            .map(|h| binomial_half_pmf(n, h))
+            .sum()
+    };
+    let p01 = invert_prob(0);
+    let p11 = invert_prob(1);
+    // Stationary distribution of INV.
+    let pi1 = p01 / (1.0 - p11 + p01);
+    let pi0 = 1.0 - pi1;
+
+    let expected_given = |v: u32| -> f64 {
+        (0..=n)
+            .map(|h| {
+                let pmf = binomial_half_pmf(n, h);
+                let cost = if h + v > threshold {
+                    f64::from(n - h) + f64::from(1 - v)
+                } else {
+                    f64::from(h + v)
+                };
+                pmf * cost
+            })
+            .sum()
+    };
+    pi0 * expected_given(0) + pi1 * expected_given(1)
+}
+
+/// Average transitions per clock of **bus-invert** on an in-sequence
+/// stream: the increment's Hamming distance almost never exceeds `N/2`,
+/// so bus-invert degenerates to binary (paper Table 1, in-sequence row).
+pub fn bus_invert_sequential(width: BusWidth, stride: Stride) -> f64 {
+    binary_sequential(width, stride)
+}
+
+/// A first-order statistical model of a realistic address stream — the
+/// middle ground between Table 1's two limiting cases and the measured
+/// benchmark tables.
+///
+/// The stream is a two-state Markov chain over {in-sequence, jump} with
+/// run persistence `p_seq_given_seq` and run birth `p_seq_given_jump`
+/// (measurable from any trace), plus the mean Hamming cost of a jump.
+/// From these three numbers the expected per-cycle transition counts of
+/// binary and T0 — and hence the "Savings" column of Tables 2-4 — follow
+/// in closed form.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamModel {
+    /// P(in-seq at t | in-seq at t-1).
+    pub p_seq_given_seq: f64,
+    /// P(in-seq at t | jump at t-1).
+    pub p_seq_given_jump: f64,
+    /// Mean Hamming distance of a jump (non-sequential adjacent pair).
+    pub mean_jump_hamming: f64,
+    /// Mean Hamming distance of an in-sequence step (≈2 for a counting
+    /// bus, see [`binary_sequential`]).
+    pub mean_seq_hamming: f64,
+}
+
+impl StreamModel {
+    /// A model with independent (Bernoulli) sequentiality `q`.
+    pub fn bernoulli(q: f64, mean_jump_hamming: f64, width: BusWidth, stride: Stride) -> Self {
+        StreamModel {
+            p_seq_given_seq: q,
+            p_seq_given_jump: q,
+            mean_jump_hamming,
+            mean_seq_hamming: binary_sequential(width, stride),
+        }
+    }
+
+    /// The stationary in-sequence fraction `q` of the chain.
+    pub fn in_seq_fraction(&self) -> f64 {
+        let denom = 1.0 - self.p_seq_given_seq + self.p_seq_given_jump;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            self.p_seq_given_jump / denom
+        }
+    }
+
+    /// Expected binary transitions per cycle:
+    /// `q * H_seq + (1 - q) * H_jump`.
+    pub fn binary_per_cycle(&self) -> f64 {
+        let q = self.in_seq_fraction();
+        q * self.mean_seq_hamming + (1.0 - q) * self.mean_jump_hamming
+    }
+
+    /// Expected T0 transitions per cycle: jumps still pay their Hamming
+    /// cost, in-sequence steps are free, and the `INC` line toggles at
+    /// every run boundary (one rising and one falling edge per run).
+    ///
+    /// Run boundaries per cycle: a run starts with probability
+    /// `(1-q) * b` (a jump followed by a seq step) and ends with the same
+    /// stationary frequency, so `INC` toggles `2 * (1-q) * b` per cycle
+    /// with `b = p_seq_given_jump`. A jump that terminates a frozen run
+    /// additionally pays the run's accumulated low-order drift (the bus
+    /// was frozen at the run's *first* address), approximately one
+    /// sequential step's Hamming per run end, i.e. `q * (1-a)` per cycle.
+    pub fn t0_per_cycle(&self) -> f64 {
+        let q = self.in_seq_fraction();
+        let inc_toggles = 2.0 * (1.0 - q) * self.p_seq_given_jump;
+        let freeze_drift = q * (1.0 - self.p_seq_given_seq) * self.mean_seq_hamming;
+        (1.0 - q) * self.mean_jump_hamming + inc_toggles + freeze_drift
+    }
+
+    /// The predicted "Savings" column of Tables 2-4: T0 versus binary.
+    pub fn t0_savings_percent(&self) -> f64 {
+        let binary = self.binary_per_cycle();
+        if binary == 0.0 {
+            0.0
+        } else {
+            100.0 * (1.0 - self.t0_per_cycle() / binary)
+        }
+    }
+}
+
+/// The two limiting stream types of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StreamClass {
+    /// Uniformly random, temporally uncorrelated addresses.
+    OutOfSequence,
+    /// An unlimited run of stride-`S` consecutive addresses.
+    InSequence,
+}
+
+impl core::fmt::Display for StreamClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StreamClass::OutOfSequence => f.write_str("out-of-sequence"),
+            StreamClass::InSequence => f.write_str("in-sequence"),
+        }
+    }
+}
+
+/// One row of the analytical comparison (paper Table 1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table1Row {
+    /// The stream class the row describes.
+    pub stream: StreamClass,
+    /// The code's short name.
+    pub code: &'static str,
+    /// Average transitions per clock cycle.
+    pub avg_transitions_per_clock: f64,
+    /// Average transitions per clock per line (payload plus redundant).
+    pub avg_transitions_per_line: f64,
+    /// I/O power dissipation relative to binary on the same stream.
+    pub relative_power: f64,
+}
+
+/// Computes the full analytical comparison of Table 1 for a bus width and
+/// stride, extended with the Gray code for context.
+pub fn table1(width: BusWidth, stride: Stride) -> Vec<Table1Row> {
+    let n = f64::from(width.bits());
+    let mut rows = Vec::new();
+    let mut push = |stream: StreamClass, code: &'static str, avg: f64, lines: f64, base: f64| {
+        rows.push(Table1Row {
+            stream,
+            code,
+            avg_transitions_per_clock: avg,
+            avg_transitions_per_line: avg / lines,
+            relative_power: if base == 0.0 { 0.0 } else { avg / base },
+        });
+    };
+
+    let random_base = binary_random(width);
+    push(
+        StreamClass::OutOfSequence,
+        "binary",
+        binary_random(width),
+        n,
+        random_base,
+    );
+    push(
+        StreamClass::OutOfSequence,
+        "gray",
+        gray_random(width),
+        n,
+        random_base,
+    );
+    push(
+        StreamClass::OutOfSequence,
+        "t0",
+        t0_random(width),
+        n + 1.0,
+        random_base,
+    );
+    push(
+        StreamClass::OutOfSequence,
+        "bus-invert",
+        bus_invert_random_exact(width),
+        n + 1.0,
+        random_base,
+    );
+
+    let seq_base = binary_sequential(width, stride);
+    push(
+        StreamClass::InSequence,
+        "binary",
+        binary_sequential(width, stride),
+        n,
+        seq_base,
+    );
+    push(
+        StreamClass::InSequence,
+        "gray",
+        gray_sequential(),
+        n,
+        seq_base,
+    );
+    push(StreamClass::InSequence, "t0", t0_sequential(), n + 1.0, seq_base);
+    push(
+        StreamClass::InSequence,
+        "bus-invert",
+        bus_invert_sequential(width, stride),
+        n + 1.0,
+        seq_base,
+    );
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::Access;
+    use crate::codes::{BinaryEncoder, BusInvertEncoder, GrayEncoder, T0Encoder};
+    use crate::metrics::count_transitions;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(0, 0), 1.0);
+        assert_eq!(binomial(10, 10), 1.0);
+        assert_eq!(binomial(10, 1), 10.0);
+        assert_eq!(binomial(33, 16), binomial(33, 17));
+        assert!((binomial(64, 32) - 1.832624140942589e18).abs() / 1e18 < 1e-9);
+    }
+
+    #[test]
+    fn binomial_half_pmf_sums_to_one() {
+        for n in [1u32, 7, 32, 64] {
+            let total: f64 = (0..=n).map(|k| binomial_half_pmf(n, k)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn binary_sequential_matches_carry_ripple_limit() {
+        assert!((binary_sequential(BusWidth::MIPS, Stride::UNIT) - 2.0).abs() < 1e-6);
+        // A 1-bit bus with stride 1 flips its only line every cycle.
+        let w1 = BusWidth::new(1).unwrap();
+        assert!((binary_sequential(w1, Stride::UNIT) - 1.0).abs() < 1e-12);
+    }
+
+    fn random_stream(width: BusWidth, len: usize, seed: u64) -> Vec<Access> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| Access::data(rng.gen::<u64>() & width.mask()))
+            .collect()
+    }
+
+    #[test]
+    fn monte_carlo_confirms_binary_random() {
+        let width = BusWidth::new(16).unwrap();
+        let stream = random_stream(width, 40_000, 101);
+        let mut enc = BinaryEncoder::new(width);
+        let measured = count_transitions(&mut enc, stream).per_cycle();
+        assert!((measured - binary_random(width)).abs() < 0.1, "{measured}");
+    }
+
+    #[test]
+    fn monte_carlo_confirms_bus_invert_exact_model() {
+        for bits in [8u32, 16, 32] {
+            let width = BusWidth::new(bits).unwrap();
+            let stream = random_stream(width, 60_000, u64::from(bits));
+            let mut enc = BusInvertEncoder::new(width);
+            let measured = count_transitions(&mut enc, stream).per_cycle();
+            let model = bus_invert_random_exact(width);
+            assert!(
+                (measured - model).abs() < 0.05,
+                "bits {bits}: measured {measured}, model {model}"
+            );
+        }
+    }
+
+    #[test]
+    fn bus_invert_beats_binary_on_random_patterns() {
+        for bits in [2u32, 8, 16, 32, 64] {
+            let width = BusWidth::new(bits).unwrap();
+            assert!(bus_invert_random_exact(width) < binary_random(width), "bits {bits}");
+        }
+    }
+
+    #[test]
+    fn paper_kappa_is_close_to_exact_model() {
+        // Eq. 5 of the paper is an approximation of the same quantity; it
+        // should land within a line or so of the exact Markov expectation.
+        let width = BusWidth::MIPS;
+        let paper = bus_invert_kappa_paper(width);
+        let exact = bus_invert_random_exact(width);
+        assert!((paper - exact).abs() < 1.5, "paper {paper}, exact {exact}");
+    }
+
+    #[test]
+    fn monte_carlo_confirms_sequential_models() {
+        let width = BusWidth::MIPS;
+        let stride = Stride::WORD;
+        let stream: Vec<Access> = (0..20_000u64)
+            .map(|i| Access::instruction(4 * i))
+            .collect();
+
+        let mut binary = BinaryEncoder::new(width);
+        let b = count_transitions(&mut binary, stream.iter().copied()).per_cycle();
+        assert!((b - binary_sequential(width, stride)).abs() < 0.01);
+
+        let mut gray = GrayEncoder::new(width, stride).unwrap();
+        let g = count_transitions(&mut gray, stream.iter().copied()).per_cycle();
+        assert!((g - gray_sequential()).abs() < 0.01);
+
+        let mut t0 = T0Encoder::new(width, stride).unwrap();
+        let t = count_transitions(&mut t0, stream.iter().copied()).per_cycle();
+        assert!(t < 0.01);
+    }
+
+    #[test]
+    fn table1_shape() {
+        let rows = table1(BusWidth::MIPS, Stride::WORD);
+        assert_eq!(rows.len(), 8);
+        // Out-of-sequence: binary == t0, bus-invert strictly better.
+        let get = |stream: StreamClass, code: &str| {
+            rows.iter()
+                .find(|r| r.stream == stream && r.code == code)
+                .unwrap()
+                .avg_transitions_per_clock
+        };
+        assert_eq!(
+            get(StreamClass::OutOfSequence, "binary"),
+            get(StreamClass::OutOfSequence, "t0")
+        );
+        assert!(
+            get(StreamClass::OutOfSequence, "bus-invert")
+                < get(StreamClass::OutOfSequence, "binary")
+        );
+        // In-sequence: t0 is zero, gray is one, binary about two.
+        assert_eq!(get(StreamClass::InSequence, "t0"), 0.0);
+        assert_eq!(get(StreamClass::InSequence, "gray"), 1.0);
+        assert!((get(StreamClass::InSequence, "binary") - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn stream_model_limits_match_table1() {
+        let width = BusWidth::MIPS;
+        let stride = Stride::WORD;
+        // q -> 1: binary ~ 2/cycle, T0 ~ 0.
+        let pure = StreamModel {
+            p_seq_given_seq: 1.0,
+            p_seq_given_jump: 1.0,
+            mean_jump_hamming: 16.0,
+            mean_seq_hamming: binary_sequential(width, stride),
+        };
+        assert!((pure.in_seq_fraction() - 1.0).abs() < 1e-12);
+        assert!((pure.binary_per_cycle() - 2.0).abs() < 1e-6);
+        assert!(pure.t0_per_cycle().abs() < 1e-9);
+        // q -> 0: T0 degenerates to binary (no INC activity).
+        let random = StreamModel::bernoulli(0.0, 16.0, width, stride);
+        assert!((random.t0_per_cycle() - random.binary_per_cycle()).abs() < 1e-9);
+        assert!(random.t0_savings_percent().abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_model_predicts_simulated_t0_savings() {
+        use crate::codes::T0Encoder;
+        // A Markov stream with controlled jump Hamming: jumps XOR a mask
+        // drawn from a fixed-popcount family.
+        let width = BusWidth::MIPS;
+        let stride = Stride::WORD;
+        let (a, b) = (0.85, 0.3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        let masks = [0x0000_fc00u64, 0x003f_0000, 0x0003_f000, 0x00fc_0000];
+        let mut addr = 0x40_0000u64;
+        let mut in_run = false;
+        let mut stream = Vec::with_capacity(60_000);
+        for _ in 0..60_000 {
+            stream.push(Access::instruction(addr));
+            let p = if in_run { a } else { b };
+            in_run = rng.gen_bool(p);
+            addr = if in_run {
+                width.wrapping_add(addr, 4)
+            } else {
+                addr ^ masks[rng.gen_range(0..masks.len())]
+            };
+        }
+        let model = StreamModel {
+            p_seq_given_seq: a,
+            p_seq_given_jump: b,
+            mean_jump_hamming: 6.0, // every mask flips 6 lines
+            mean_seq_hamming: binary_sequential(width, stride),
+        };
+        let mut binary = BinaryEncoder::new(width);
+        let measured_binary =
+            count_transitions(&mut binary, stream.iter().copied()).per_cycle();
+        assert!(
+            (measured_binary - model.binary_per_cycle()).abs() / measured_binary < 0.1,
+            "binary: measured {measured_binary}, model {}",
+            model.binary_per_cycle()
+        );
+        let mut t0 = T0Encoder::new(width, stride).unwrap();
+        let measured_t0 = count_transitions(&mut t0, stream.iter().copied()).per_cycle();
+        assert!(
+            (measured_t0 - model.t0_per_cycle()).abs() / measured_t0 < 0.15,
+            "t0: measured {measured_t0}, model {}",
+            model.t0_per_cycle()
+        );
+        let measured_savings = 100.0 * (1.0 - measured_t0 / measured_binary);
+        assert!(
+            (measured_savings - model.t0_savings_percent()).abs() < 5.0,
+            "savings: measured {measured_savings}, model {}",
+            model.t0_savings_percent()
+        );
+    }
+
+    #[test]
+    fn relative_power_of_binary_is_unity() {
+        for row in table1(BusWidth::MIPS, Stride::WORD) {
+            if row.code == "binary" {
+                assert!((row.relative_power - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+}

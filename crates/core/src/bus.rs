@@ -1,0 +1,438 @@
+//! Fundamental bus types: width, stride, access kind, and the physical bus
+//! state observed on the wires each clock cycle.
+
+use core::fmt;
+
+use crate::error::CodecError;
+
+/// The width of the payload portion of an address bus, in lines.
+///
+/// Valid widths are `1..=64`; address values are carried in [`u64`]. The
+/// paper's experiments use the 32-bit address bus of a MIPS processor, so
+/// [`BusWidth::MIPS`] (32) is provided as a named constant.
+///
+/// # Examples
+///
+/// ```
+/// use buscode_core::BusWidth;
+///
+/// # fn main() -> Result<(), buscode_core::CodecError> {
+/// let w = BusWidth::new(32)?;
+/// assert_eq!(w.bits(), 32);
+/// assert_eq!(w.mask(), 0xffff_ffff);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BusWidth(u8);
+
+impl BusWidth {
+    /// The 32-bit address bus of the paper's reference MIPS architecture.
+    pub const MIPS: BusWidth = BusWidth(32);
+
+    /// A full 64-bit address bus (DEC Alpha AXP / PowerPC 620 class).
+    pub const WIDE: BusWidth = BusWidth(64);
+
+    /// Creates a bus width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidWidth`] unless `1 <= bits <= 64`.
+    pub fn new(bits: u32) -> Result<Self, CodecError> {
+        if (1..=64).contains(&bits) {
+            Ok(BusWidth(bits as u8))
+        } else {
+            Err(CodecError::InvalidWidth { bits })
+        }
+    }
+
+    /// The number of payload lines.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        u32::from(self.0)
+    }
+
+    /// A mask with the low `bits()` bits set: the set of representable
+    /// addresses.
+    #[inline]
+    pub fn mask(self) -> u64 {
+        if self.0 == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.0) - 1
+        }
+    }
+
+    /// Whether `address` is representable on this bus.
+    #[inline]
+    pub fn contains(self, address: u64) -> bool {
+        address <= self.mask()
+    }
+
+    /// Checks that `address` fits on the bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::AddressOutOfRange`] if the address has bits set
+    /// above the bus width.
+    pub fn check(self, address: u64) -> Result<u64, CodecError> {
+        if self.contains(address) {
+            Ok(address)
+        } else {
+            Err(CodecError::AddressOutOfRange {
+                address,
+                width: self.bits(),
+            })
+        }
+    }
+
+    /// Adds `rhs` to `address`, wrapping within the bus address space.
+    #[inline]
+    pub fn wrapping_add(self, address: u64, rhs: u64) -> u64 {
+        address.wrapping_add(rhs) & self.mask()
+    }
+
+    /// Bitwise complement of `address` within the bus width.
+    #[inline]
+    pub fn invert(self, address: u64) -> u64 {
+        !address & self.mask()
+    }
+}
+
+impl Default for BusWidth {
+    /// Defaults to the paper's 32-bit MIPS bus.
+    fn default() -> Self {
+        BusWidth::MIPS
+    }
+}
+
+impl fmt::Display for BusWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} lines", self.0)
+    }
+}
+
+impl TryFrom<u32> for BusWidth {
+    type Error = CodecError;
+
+    fn try_from(bits: u32) -> Result<Self, Self::Error> {
+        BusWidth::new(bits)
+    }
+}
+
+/// The in-sequence increment `S` between consecutive addresses.
+///
+/// The paper requires `S` to be "a constant power of 2, called stride",
+/// reflecting the addressability scheme of the architecture: a 32-bit
+/// byte-addressable machine fetches instructions at stride 4
+/// ([`Stride::WORD`]).
+///
+/// # Examples
+///
+/// ```
+/// use buscode_core::{BusWidth, Stride};
+///
+/// # fn main() -> Result<(), buscode_core::CodecError> {
+/// let s = Stride::new(4, BusWidth::MIPS)?;
+/// assert_eq!(s.get(), 4);
+/// assert_eq!(s.log2(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Stride(u64);
+
+impl Stride {
+    /// Stride 1: word-addressable machines.
+    pub const UNIT: Stride = Stride(1);
+
+    /// Stride 4: 32-bit instructions on a byte-addressable machine (MIPS).
+    pub const WORD: Stride = Stride(4);
+
+    /// Creates a stride, validating that it is a nonzero power of two that
+    /// fits within the bus width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidStride`] if `stride` is zero, not a
+    /// power of two, or at least as large as the bus address space.
+    pub fn new(stride: u64, width: BusWidth) -> Result<Self, CodecError> {
+        let err = CodecError::InvalidStride {
+            stride,
+            width: width.bits(),
+        };
+        if stride == 0 || !stride.is_power_of_two() {
+            return Err(err);
+        }
+        // A stride must leave at least one address step within the space.
+        if width.bits() < 64 && stride >= (1u64 << width.bits()) {
+            return Err(err);
+        }
+        Ok(Stride(stride))
+    }
+
+    /// The stride value, in address units.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// `log2` of the stride: the number of constant low-order address bits.
+    #[inline]
+    pub fn log2(self) -> u32 {
+        self.0.trailing_zeros()
+    }
+}
+
+impl Default for Stride {
+    /// Defaults to the MIPS instruction stride of 4 bytes.
+    fn default() -> Self {
+        Stride::WORD
+    }
+}
+
+impl fmt::Display for Stride {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stride {}", self.0)
+    }
+}
+
+/// Which of the two time-multiplexed streams an address belongs to.
+///
+/// On a multiplexed address bus (as in the paper's MIPS reference
+/// architecture) the control signal `SEL` — already part of the standard bus
+/// interface — distinguishes instruction fetches (stream alpha, `SEL = 1`)
+/// from data accesses (stream beta, `SEL = 0`). Codes that do not
+/// discriminate simply ignore this value.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessKind {
+    /// An instruction fetch (`SEL` asserted).
+    #[default]
+    Instruction,
+    /// A data access (`SEL` de-asserted).
+    Data,
+}
+
+impl AccessKind {
+    /// The value of the `SEL` control line for this access.
+    #[inline]
+    pub fn sel(self) -> bool {
+        matches!(self, AccessKind::Instruction)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Instruction => f.write_str("instruction"),
+            AccessKind::Data => f.write_str("data"),
+        }
+    }
+}
+
+/// A single bus transaction: an address plus the stream it belongs to.
+///
+/// This is the unit all stream generators produce and all encoders consume.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// The address placed on the bus.
+    pub address: u64,
+    /// The stream (`SEL` value) of this transaction.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Creates an instruction-fetch access.
+    #[inline]
+    pub fn instruction(address: u64) -> Self {
+        Access {
+            address,
+            kind: AccessKind::Instruction,
+        }
+    }
+
+    /// Creates a data access.
+    #[inline]
+    pub fn data(address: u64) -> Self {
+        Access {
+            address,
+            kind: AccessKind::Data,
+        }
+    }
+}
+
+impl From<u64> for Access {
+    /// Wraps a bare address as an instruction fetch, the common case for
+    /// single-stream (non-multiplexed) experiments.
+    fn from(address: u64) -> Self {
+        Access::instruction(address)
+    }
+}
+
+/// The observable state of every bus line during one clock cycle.
+///
+/// `payload` carries the `N` encoded address lines; `aux` carries the code's
+/// redundant lines packed LSB-first (`INC`, `INV`, or `INCV` at bit 0; see
+/// each code's documentation for its line map). Codes without redundancy
+/// leave `aux` at zero.
+///
+/// Transitions — the quantity the paper minimizes — are counted with
+/// [`BusState::transitions_from`], which covers payload and redundant lines
+/// alike. The `SEL` line belongs to the standard bus interface and is never
+/// charged to a code.
+///
+/// # Examples
+///
+/// ```
+/// use buscode_core::BusState;
+///
+/// let a = BusState::new(0b1010, 0b1);
+/// let b = BusState::new(0b1001, 0b0);
+/// assert_eq!(b.transitions_from(a), 3); // two payload flips + one aux flip
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct BusState {
+    /// The `N` payload lines, LSB-first.
+    pub payload: u64,
+    /// The redundant lines, packed LSB-first.
+    pub aux: u64,
+}
+
+impl BusState {
+    /// Creates a bus state from raw line values.
+    #[inline]
+    pub fn new(payload: u64, aux: u64) -> Self {
+        BusState { payload, aux }
+    }
+
+    /// The all-lines-low state that every codec and transition counter
+    /// starts from (hardware reset).
+    #[inline]
+    pub fn reset() -> Self {
+        BusState::default()
+    }
+
+    /// The number of lines that toggle when the bus moves from `prev` to
+    /// `self`: the Hamming distance over payload and redundant lines.
+    #[inline]
+    pub fn transitions_from(self, prev: BusState) -> u32 {
+        (self.payload ^ prev.payload).count_ones() + (self.aux ^ prev.aux).count_ones()
+    }
+}
+
+impl fmt::Display for BusState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "payload={:#x} aux={:#b}", self.payload, self.aux)
+    }
+}
+
+/// The Hamming distance between two line vectors.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(buscode_core::hamming(0b1100, 0b1010), 2);
+/// ```
+#[inline]
+pub fn hamming(a: u64, b: u64) -> u32 {
+    (a ^ b).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_bounds() {
+        assert!(BusWidth::new(0).is_err());
+        assert!(BusWidth::new(65).is_err());
+        assert_eq!(BusWidth::new(1).unwrap().bits(), 1);
+        assert_eq!(BusWidth::new(64).unwrap().bits(), 64);
+    }
+
+    #[test]
+    fn width_mask() {
+        assert_eq!(BusWidth::new(1).unwrap().mask(), 1);
+        assert_eq!(BusWidth::new(8).unwrap().mask(), 0xff);
+        assert_eq!(BusWidth::MIPS.mask(), 0xffff_ffff);
+        assert_eq!(BusWidth::WIDE.mask(), u64::MAX);
+    }
+
+    #[test]
+    fn width_wrapping_add_wraps_in_space() {
+        let w = BusWidth::new(8).unwrap();
+        assert_eq!(w.wrapping_add(0xff, 1), 0);
+        assert_eq!(w.wrapping_add(0xfc, 4), 0);
+        assert_eq!(w.wrapping_add(0x10, 4), 0x14);
+        assert_eq!(BusWidth::WIDE.wrapping_add(u64::MAX, 1), 0);
+    }
+
+    #[test]
+    fn width_invert_masks() {
+        let w = BusWidth::new(4).unwrap();
+        assert_eq!(w.invert(0b0101), 0b1010);
+        assert_eq!(w.invert(0), 0b1111);
+    }
+
+    #[test]
+    fn width_check_rejects_oversized_addresses() {
+        let w = BusWidth::new(16).unwrap();
+        assert_eq!(w.check(0xffff), Ok(0xffff));
+        assert!(w.check(0x1_0000).is_err());
+    }
+
+    #[test]
+    fn stride_must_be_power_of_two() {
+        let w = BusWidth::MIPS;
+        assert!(Stride::new(0, w).is_err());
+        assert!(Stride::new(3, w).is_err());
+        assert!(Stride::new(6, w).is_err());
+        assert_eq!(Stride::new(1, w).unwrap().get(), 1);
+        assert_eq!(Stride::new(4, w).unwrap().get(), 4);
+        assert_eq!(Stride::new(4, w).unwrap().log2(), 2);
+    }
+
+    #[test]
+    fn stride_must_fit_bus() {
+        let w = BusWidth::new(4).unwrap();
+        assert!(Stride::new(16, w).is_err());
+        assert!(Stride::new(8, w).is_ok());
+        // 64-bit bus accepts any power-of-two stride.
+        assert!(Stride::new(1 << 63, BusWidth::WIDE).is_ok());
+    }
+
+    #[test]
+    fn access_kind_sel_levels() {
+        assert!(AccessKind::Instruction.sel());
+        assert!(!AccessKind::Data.sel());
+    }
+
+    #[test]
+    fn transitions_count_payload_and_aux() {
+        let prev = BusState::new(0b1111, 0b01);
+        let next = BusState::new(0b0000, 0b10);
+        assert_eq!(next.transitions_from(prev), 6);
+        assert_eq!(prev.transitions_from(prev), 0);
+    }
+
+    #[test]
+    fn reset_state_is_all_low() {
+        assert_eq!(BusState::reset(), BusState::new(0, 0));
+    }
+
+    #[test]
+    fn access_constructors() {
+        assert_eq!(Access::instruction(8).kind, AccessKind::Instruction);
+        assert_eq!(Access::data(8).kind, AccessKind::Data);
+        let a: Access = 0x40u64.into();
+        assert_eq!(a.kind, AccessKind::Instruction);
+    }
+
+    #[test]
+    fn display_impls_are_nonempty() {
+        assert!(!BusWidth::MIPS.to_string().is_empty());
+        assert!(!Stride::WORD.to_string().is_empty());
+        assert!(!AccessKind::Data.to_string().is_empty());
+        assert!(!BusState::reset().to_string().is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Error types for the bus-encoding toolkit.
+
+use core::fmt;
+
+/// Errors produced when constructing or operating a bus codec.
+///
+/// All fallible public functions in this crate return this type. The
+/// `Display` representation is a lowercase sentence without trailing
+/// punctuation, suitable for wrapping into higher-level errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The requested bus width is outside the supported `1..=64` range.
+    InvalidWidth {
+        /// The rejected width, in bus lines.
+        bits: u32,
+    },
+    /// The stride is not a power of two, is zero, or does not fit the bus.
+    InvalidStride {
+        /// The rejected stride, in address units.
+        stride: u64,
+        /// The bus width the stride was checked against.
+        width: u32,
+    },
+    /// An address does not fit on the configured bus width.
+    AddressOutOfRange {
+        /// The rejected address.
+        address: u64,
+        /// The bus width the address was checked against.
+        width: u32,
+    },
+    /// A decoder received a word that no conforming encoder can emit in the
+    /// current state (for example an asserted `INC` line on the very first
+    /// cycle, when no reference address exists yet).
+    ProtocolViolation {
+        /// The name of the code whose protocol was violated.
+        code: &'static str,
+        /// A short description of the violated rule.
+        reason: &'static str,
+    },
+    /// A decoded stream did not match the original stream during round-trip
+    /// verification.
+    RoundTripMismatch {
+        /// Zero-based cycle index of the first mismatch.
+        cycle: u64,
+        /// The address fed to the encoder.
+        expected: u64,
+        /// The address produced by the decoder.
+        decoded: u64,
+    },
+    /// A configuration parameter outside the codec's documented domain.
+    InvalidParameter {
+        /// The parameter name.
+        name: &'static str,
+        /// A short description of the constraint that failed.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::InvalidWidth { bits } => {
+                write!(f, "bus width {bits} is outside the supported range 1..=64")
+            }
+            CodecError::InvalidStride { stride, width } => write!(
+                f,
+                "stride {stride} is not a nonzero power of two fitting a {width}-bit bus"
+            ),
+            CodecError::AddressOutOfRange { address, width } => {
+                write!(f, "address {address:#x} does not fit on a {width}-bit bus")
+            }
+            CodecError::ProtocolViolation { code, reason } => {
+                write!(f, "{code} protocol violation: {reason}")
+            }
+            CodecError::RoundTripMismatch {
+                cycle,
+                expected,
+                decoded,
+            } => write!(
+                f,
+                "round-trip mismatch at cycle {cycle}: expected {expected:#x}, decoded {decoded:#x}"
+            ),
+            CodecError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let cases: Vec<CodecError> = vec![
+            CodecError::InvalidWidth { bits: 65 },
+            CodecError::InvalidStride { stride: 3, width: 32 },
+            CodecError::AddressOutOfRange { address: 0x1_0000_0000, width: 32 },
+            CodecError::ProtocolViolation { code: "t0", reason: "inc asserted on first cycle" },
+            CodecError::RoundTripMismatch { cycle: 7, expected: 1, decoded: 2 },
+            CodecError::InvalidParameter { name: "zones", reason: "must be nonzero" },
+        ];
+        for err in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodecError>();
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            CodecError::InvalidWidth { bits: 0 },
+            CodecError::InvalidWidth { bits: 0 }
+        );
+        assert_ne!(
+            CodecError::InvalidWidth { bits: 0 },
+            CodecError::InvalidWidth { bits: 65 }
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Streaming adapters: encode and decode lazily over iterators.
+//!
+//! For long traces (or traces read incrementally from disk) the whole
+//! stream need not be buffered: [`EncoderExt::encode_iter`] and
+//! [`DecoderExt::decode_iter`] wrap any access/word iterator into a lazy
+//! pipeline that advances the codec one cycle per `next()`.
+
+use crate::bus::{Access, AccessKind, BusState};
+use crate::error::CodecError;
+use crate::traits::{Decoder, Encoder};
+
+/// Iterator returned by [`EncoderExt::encode_iter`].
+pub struct EncodeIter<'a, I> {
+    encoder: &'a mut dyn Encoder,
+    stream: I,
+}
+
+impl<I> core::fmt::Debug for EncodeIter<'_, I> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EncodeIter")
+            .field("encoder", &self.encoder.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<I: Iterator<Item = Access>> Iterator for EncodeIter<'_, I> {
+    type Item = BusState;
+
+    fn next(&mut self) -> Option<BusState> {
+        self.stream.next().map(|access| self.encoder.encode(access))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.stream.size_hint()
+    }
+}
+
+/// Streaming extension for every [`Encoder`].
+pub trait EncoderExt: Encoder {
+    /// Lazily encodes `stream`, one bus word per pulled item.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use buscode_core::codes::T0Encoder;
+    /// use buscode_core::stream::EncoderExt;
+    /// use buscode_core::{Access, BusWidth, Stride};
+    ///
+    /// # fn main() -> Result<(), buscode_core::CodecError> {
+    /// let mut enc = T0Encoder::new(BusWidth::MIPS, Stride::WORD)?;
+    /// let frozen = enc
+    ///     .encode_iter((0..1000u64).map(|i| Access::instruction(4 * i)))
+    ///     .filter(|word| word.aux & 1 == 1)
+    ///     .count();
+    /// assert_eq!(frozen, 999); // every word after the first is frozen
+    /// # Ok(())
+    /// # }
+    /// ```
+    fn encode_iter<I>(&mut self, stream: I) -> EncodeIter<'_, I::IntoIter>
+    where
+        I: IntoIterator<Item = Access>,
+        Self: Sized,
+    {
+        EncodeIter {
+            encoder: self,
+            stream: stream.into_iter(),
+        }
+    }
+}
+
+impl<E: Encoder + ?Sized> EncoderExt for E {}
+
+/// Iterator returned by [`DecoderExt::decode_iter`].
+pub struct DecodeIter<'a, I> {
+    decoder: &'a mut dyn Decoder,
+    words: I,
+}
+
+impl<I> core::fmt::Debug for DecodeIter<'_, I> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DecodeIter")
+            .field("decoder", &self.decoder.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<I: Iterator<Item = (BusState, AccessKind)>> Iterator for DecodeIter<'_, I> {
+    type Item = Result<u64, CodecError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.words
+            .next()
+            .map(|(word, kind)| self.decoder.decode(word, kind))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.words.size_hint()
+    }
+}
+
+/// Streaming extension for every [`Decoder`].
+pub trait DecoderExt: Decoder {
+    /// Lazily decodes `(word, sel)` pairs, one address per pulled item.
+    fn decode_iter<I>(&mut self, words: I) -> DecodeIter<'_, I::IntoIter>
+    where
+        I: IntoIterator<Item = (BusState, AccessKind)>,
+        Self: Sized,
+    {
+        DecodeIter {
+            decoder: self,
+            words: words.into_iter(),
+        }
+    }
+}
+
+impl<D: Decoder + ?Sized> DecoderExt for D {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes::{DualT0BiDecoder, DualT0BiEncoder};
+    use crate::{BusWidth, Stride};
+
+    #[test]
+    fn lazy_pipeline_round_trips() {
+        let mut enc = DualT0BiEncoder::new(BusWidth::MIPS, Stride::WORD).unwrap();
+        let mut dec = DualT0BiDecoder::new(BusWidth::MIPS, Stride::WORD).unwrap();
+        let stream: Vec<Access> = (0..500u64)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Access::data(0x8000_0000 + 977 * i)
+                } else {
+                    Access::instruction(0x400 + 4 * i)
+                }
+            })
+            .collect();
+        let words: Vec<(BusState, AccessKind)> = enc
+            .encode_iter(stream.iter().copied())
+            .zip(stream.iter().map(|a| a.kind))
+            .collect();
+        for (decoded, original) in dec.decode_iter(words).zip(&stream) {
+            assert_eq!(decoded.unwrap(), original.address);
+        }
+    }
+
+    #[test]
+    fn adapters_are_lazy() {
+        let mut enc = DualT0BiEncoder::new(BusWidth::MIPS, Stride::WORD).unwrap();
+        // Only two items are pulled from an unbounded source.
+        let mut pulled = 0u64;
+        let source = std::iter::from_fn(|| {
+            pulled += 1;
+            Some(Access::instruction(4 * pulled))
+        });
+        let first_two: Vec<BusState> = enc.encode_iter(source).take(2).collect();
+        assert_eq!(first_two.len(), 2);
+    }
+
+    #[test]
+    fn size_hint_is_forwarded() {
+        let mut enc = DualT0BiEncoder::new(BusWidth::MIPS, Stride::WORD).unwrap();
+        let stream: Vec<Access> = (0..7u64).map(Access::instruction).collect();
+        let iter = enc.encode_iter(stream);
+        assert_eq!(iter.size_hint(), (7, Some(7)));
+    }
+
+    #[test]
+    fn works_through_trait_objects() {
+        use crate::{CodeKind, CodeParams};
+        let mut enc = CodeKind::T0.encoder(CodeParams::default()).unwrap();
+        let total: u32 = enc
+            .encode_iter((0..64u64).map(|i| Access::instruction(4 * i)))
+            .map(|w| w.aux as u32 & 1)
+            .sum();
+        assert_eq!(total, 63);
+    }
+}

@@ -1,0 +1,868 @@
+//! A two-pass assembler for the core's ISA.
+//!
+//! Source format (whitespace-tolerant, `#` comments):
+//!
+//! ```text
+//! .text 0x00400000        # code section base
+//! main:
+//!     addi t0, zero, 10
+//! loop:
+//!     lw   t1, 0(s0)
+//!     addi s0, s0, 4
+//!     addi t0, t0, -1
+//!     bne  t0, zero, loop
+//!     halt
+//! .data 0x10000000        # data section base
+//! array:
+//!     .word 1, 2, 3, 4
+//!     .space 64
+//! ```
+//!
+//! Pass one collects labels and section layout; pass two emits
+//! instructions and initialized data. Branch/jump operands may be labels
+//! or absolute addresses.
+
+use std::collections::BTreeMap;
+
+use crate::isa::{parse_reg, Instr, Reg};
+
+/// A fully assembled program: instruction memory, initialized data, and
+/// the entry point.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Instruction memory: word-aligned address to instruction.
+    pub text: BTreeMap<u64, Instr>,
+    /// Initialized data bytes.
+    pub data: BTreeMap<u64, u8>,
+    /// The address execution starts at (the `main` label if present,
+    /// otherwise the start of the text section).
+    pub entry: u64,
+    /// Label table (useful for locating data symbols in tests/examples).
+    pub labels: BTreeMap<String, u64>,
+}
+
+impl Program {
+    /// The address of a label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnknownLabel`] if the label was never defined.
+    pub fn label(&self, name: &str) -> Result<u64, AsmError> {
+        self.labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| AsmError::UnknownLabel {
+                line: 0,
+                label: name.to_owned(),
+            })
+    }
+}
+
+/// Errors produced while assembling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmError {
+    /// An unknown mnemonic or directive.
+    UnknownMnemonic {
+        /// 1-based source line.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// An operand could not be parsed.
+    BadOperand {
+        /// 1-based source line.
+        line: usize,
+        /// What the parser expected.
+        expected: &'static str,
+        /// The offending token.
+        found: String,
+    },
+    /// The wrong number of operands for a mnemonic.
+    OperandCount {
+        /// 1-based source line.
+        line: usize,
+        /// The mnemonic.
+        mnemonic: String,
+        /// The number of operands expected.
+        expected: usize,
+        /// The number of operands found.
+        found: usize,
+    },
+    /// A label was referenced but never defined.
+    UnknownLabel {
+        /// 1-based source line (0 when resolved outside assembly).
+        line: usize,
+        /// The missing label.
+        label: String,
+    },
+    /// A label was defined twice.
+    DuplicateLabel {
+        /// 1-based source line.
+        line: usize,
+        /// The duplicated label.
+        label: String,
+    },
+}
+
+impl core::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AsmError::UnknownMnemonic { line, token } => {
+                write!(f, "line {line}: unknown mnemonic or directive `{token}`")
+            }
+            AsmError::BadOperand {
+                line,
+                expected,
+                found,
+            } => write!(f, "line {line}: expected {expected}, found `{found}`"),
+            AsmError::OperandCount {
+                line,
+                mnemonic,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}: `{mnemonic}` takes {expected} operands, found {found}"
+            ),
+            AsmError::UnknownLabel { line, label } => {
+                write!(f, "line {line}: unknown label `{label}`")
+            }
+            AsmError::DuplicateLabel { line, label } => {
+                write!(f, "line {line}: duplicate label `{label}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+const DEFAULT_TEXT_BASE: u64 = 0x0040_0000;
+const DEFAULT_DATA_BASE: u64 = 0x1000_0000;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// One cleaned source line: label definitions stripped, comment removed.
+struct Line<'a> {
+    number: usize,
+    body: &'a str,
+}
+
+fn clean_lines(source: &str) -> Vec<(usize, String)> {
+    source
+        .lines()
+        .enumerate()
+        .map(|(i, raw)| {
+            let body = raw.split('#').next().unwrap_or("").trim();
+            (i + 1, body.to_owned())
+        })
+        .filter(|(_, body)| !body.is_empty())
+        .collect()
+}
+
+fn parse_int(token: &str) -> Option<i64> {
+    let token = token.trim();
+    let (neg, rest) = match token.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, token),
+    };
+    let value = if let Some(hex) = rest.strip_prefix("0x").or_else(|| rest.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        rest.parse::<i64>().ok()?
+    };
+    Some(if neg { -value } else { value })
+}
+
+/// Assembles `source` into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] describing the first problem encountered, with
+/// its 1-based source line.
+///
+/// # Examples
+///
+/// ```
+/// use buscode_cpu::assemble;
+///
+/// # fn main() -> Result<(), buscode_cpu::AsmError> {
+/// let program = assemble(
+///     "main:\n  addi t0, zero, 3\n  halt\n",
+/// )?;
+/// assert_eq!(program.text.len(), 2);
+/// assert_eq!(program.entry, 0x0040_0000);
+/// # Ok(())
+/// # }
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let lines = clean_lines(source);
+
+    // Pass 1: lay out sections and collect labels.
+    let mut labels: BTreeMap<String, u64> = BTreeMap::new();
+    {
+        let mut section = Section::Text;
+        let mut text_pc = DEFAULT_TEXT_BASE;
+        let mut data_pc = DEFAULT_DATA_BASE;
+        for (number, body) in &lines {
+            let mut body = body.as_str();
+            while let Some(colon) = body.find(':') {
+                let (label, rest) = body.split_at(colon);
+                let label = label.trim();
+                if label.is_empty() || label.contains(char::is_whitespace) {
+                    break;
+                }
+                let addr = match section {
+                    Section::Text => text_pc,
+                    Section::Data => data_pc,
+                };
+                if labels.insert(label.to_owned(), addr).is_some() {
+                    return Err(AsmError::DuplicateLabel {
+                        line: *number,
+                        label: label.to_owned(),
+                    });
+                }
+                body = rest[1..].trim();
+            }
+            if body.is_empty() {
+                continue;
+            }
+            let line = Line {
+                number: *number,
+                body,
+            };
+            match directive_or_size(&line)? {
+                Layout::Section(Section::Text, base) => {
+                    section = Section::Text;
+                    if let Some(base) = base {
+                        text_pc = base;
+                    }
+                }
+                Layout::Section(Section::Data, base) => {
+                    section = Section::Data;
+                    if let Some(base) = base {
+                        data_pc = base;
+                    }
+                }
+                Layout::Bytes(n) => match section {
+                    Section::Text => text_pc += n,
+                    Section::Data => data_pc += n,
+                },
+            }
+        }
+    }
+
+    // Pass 2: emit.
+    let mut program = Program {
+        entry: labels.get("main").copied().unwrap_or(DEFAULT_TEXT_BASE),
+        ..Program::default()
+    };
+    let mut section = Section::Text;
+    let mut text_pc = DEFAULT_TEXT_BASE;
+    let mut data_pc = DEFAULT_DATA_BASE;
+    let mut entry_from_text: Option<u64> = None;
+    for (number, body) in &lines {
+        let mut body = body.as_str();
+        while let Some(colon) = body.find(':') {
+            let (label, rest) = body.split_at(colon);
+            if label.trim().is_empty() || label.trim().contains(char::is_whitespace) {
+                break;
+            }
+            body = rest[1..].trim();
+        }
+        if body.is_empty() {
+            continue;
+        }
+        let line = Line {
+            number: *number,
+            body,
+        };
+        match directive_or_size(&line)? {
+            Layout::Section(Section::Text, base) => {
+                section = Section::Text;
+                if let Some(base) = base {
+                    text_pc = base;
+                }
+            }
+            Layout::Section(Section::Data, base) => {
+                section = Section::Data;
+                if let Some(base) = base {
+                    data_pc = base;
+                }
+            }
+            Layout::Bytes(_) => match section {
+                Section::Text => {
+                    for instr in parse_instrs(&line, &labels)? {
+                        if entry_from_text.is_none() {
+                            entry_from_text = Some(text_pc);
+                        }
+                        program.text.insert(text_pc, instr);
+                        text_pc += 4;
+                    }
+                }
+                Section::Data => {
+                    data_pc = emit_data(&line, data_pc, &mut program)?;
+                }
+            },
+        }
+    }
+    if !labels.contains_key("main") {
+        if let Some(first) = entry_from_text {
+            program.entry = first;
+        }
+    }
+    program.labels = labels;
+    Ok(program)
+}
+
+enum Layout {
+    Section(Section, Option<u64>),
+    Bytes(u64),
+}
+
+/// Classifies a line for layout purposes (pass 1) without emitting.
+fn directive_or_size(line: &Line<'_>) -> Result<Layout, AsmError> {
+    let mut parts = line.body.split_whitespace();
+    let head = parts.next().unwrap_or("");
+    match head {
+        ".text" | ".data" => {
+            let base = match parts.next() {
+                Some(token) => Some(parse_int(token).ok_or(AsmError::BadOperand {
+                    line: line.number,
+                    expected: "a section base address",
+                    found: token.to_owned(),
+                })? as u64),
+                None => None,
+            };
+            let section = if head == ".text" {
+                Section::Text
+            } else {
+                Section::Data
+            };
+            Ok(Layout::Section(section, base))
+        }
+        ".word" => {
+            let rest = line.body[".word".len()..].trim();
+            let count = rest.split(',').filter(|s| !s.trim().is_empty()).count() as u64;
+            Ok(Layout::Bytes(4 * count))
+        }
+        ".byte" => {
+            let rest = line.body[".byte".len()..].trim();
+            let count = rest.split(',').filter(|s| !s.trim().is_empty()).count() as u64;
+            Ok(Layout::Bytes(count))
+        }
+        ".space" => {
+            let rest = line.body[".space".len()..].trim();
+            let n = parse_int(rest).ok_or(AsmError::BadOperand {
+                line: line.number,
+                expected: "a byte count",
+                found: rest.to_owned(),
+            })?;
+            Ok(Layout::Bytes(n as u64))
+        }
+        // Pseudo-instructions expand to one or two machine words; the
+        // layout must be known in pass 1.
+        "la" => Ok(Layout::Bytes(8)), // always lui + ori
+        "li" => {
+            let ops = split_operands(line.body);
+            let words = match ops.get(1).and_then(|t| parse_int(t)) {
+                Some(v) if i16::try_from(v).is_ok() => 1,
+                _ => 2, // lui + ori (or let pass 2 report the bad operand)
+            };
+            Ok(Layout::Bytes(4 * words))
+        }
+        _ => Ok(Layout::Bytes(4)), // an instruction
+    }
+}
+
+fn emit_data(line: &Line<'_>, mut pc: u64, program: &mut Program) -> Result<u64, AsmError> {
+    let mut parts = line.body.split_whitespace();
+    let head = parts.next().unwrap_or("");
+    match head {
+        ".word" => {
+            let rest = line.body[".word".len()..].trim();
+            for token in rest.split(',') {
+                let token = token.trim();
+                if token.is_empty() {
+                    continue;
+                }
+                let value = parse_int(token).ok_or(AsmError::BadOperand {
+                    line: line.number,
+                    expected: "an integer word",
+                    found: token.to_owned(),
+                })? as u32;
+                for (i, byte) in value.to_le_bytes().iter().enumerate() {
+                    program.data.insert(pc + i as u64, *byte);
+                }
+                pc += 4;
+            }
+        }
+        ".byte" => {
+            let rest = line.body[".byte".len()..].trim();
+            for token in rest.split(',') {
+                let token = token.trim();
+                if token.is_empty() {
+                    continue;
+                }
+                let value = parse_int(token).ok_or(AsmError::BadOperand {
+                    line: line.number,
+                    expected: "an integer byte",
+                    found: token.to_owned(),
+                })?;
+                program.data.insert(pc, value as u8);
+                pc += 1;
+            }
+        }
+        ".space" => {
+            let rest = line.body[".space".len()..].trim();
+            let n = parse_int(rest).unwrap_or(0) as u64;
+            pc += n; // uninitialized: reads default to zero
+        }
+        other => {
+            return Err(AsmError::UnknownMnemonic {
+                line: line.number,
+                token: other.to_owned(),
+            })
+        }
+    }
+    Ok(pc)
+}
+
+fn split_operands(body: &str) -> Vec<String> {
+    let after = body
+        .split_once(char::is_whitespace)
+        .map(|(_, rest)| rest)
+        .unwrap_or("");
+    after
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+fn want(line: &Line<'_>, mnemonic: &str, ops: &[String], n: usize) -> Result<(), AsmError> {
+    if ops.len() == n {
+        Ok(())
+    } else {
+        Err(AsmError::OperandCount {
+            line: line.number,
+            mnemonic: mnemonic.to_owned(),
+            expected: n,
+            found: ops.len(),
+        })
+    }
+}
+
+fn reg_op(line: &Line<'_>, token: &str) -> Result<Reg, AsmError> {
+    parse_reg(token).ok_or(AsmError::BadOperand {
+        line: line.number,
+        expected: "a register",
+        found: token.to_owned(),
+    })
+}
+
+fn imm_op(line: &Line<'_>, token: &str) -> Result<i64, AsmError> {
+    parse_int(token).ok_or(AsmError::BadOperand {
+        line: line.number,
+        expected: "an immediate",
+        found: token.to_owned(),
+    })
+}
+
+/// Parses `offset(base)` memory operands.
+fn mem_op(line: &Line<'_>, token: &str) -> Result<(i32, Reg), AsmError> {
+    let bad = || AsmError::BadOperand {
+        line: line.number,
+        expected: "offset(base)",
+        found: token.to_owned(),
+    };
+    let open = token.find('(').ok_or_else(bad)?;
+    let close = token.rfind(')').ok_or_else(bad)?;
+    if close <= open {
+        return Err(bad());
+    }
+    let offset_str = token[..open].trim();
+    let offset = if offset_str.is_empty() {
+        0
+    } else {
+        parse_int(offset_str).ok_or_else(bad)? as i32
+    };
+    let base = reg_op(line, token[open + 1..close].trim())?;
+    Ok((offset, base))
+}
+
+fn target_op(
+    line: &Line<'_>,
+    token: &str,
+    labels: &BTreeMap<String, u64>,
+) -> Result<u64, AsmError> {
+    if let Some(addr) = labels.get(token) {
+        return Ok(*addr);
+    }
+    if let Some(value) = parse_int(token) {
+        return Ok(value as u64);
+    }
+    Err(AsmError::UnknownLabel {
+        line: line.number,
+        label: token.to_owned(),
+    })
+}
+
+/// Splits a 32-bit value into the `lui`/`ori` pair real assemblers expand
+/// wide immediates into.
+fn lui_ori(rt: Reg, value: u32) -> Vec<Instr> {
+    vec![
+        Instr::Lui {
+            rt,
+            imm: value >> 16,
+        },
+        Instr::Ori {
+            rt,
+            rs: rt,
+            imm: value & 0xffff,
+        },
+    ]
+}
+
+fn parse_instrs(line: &Line<'_>, labels: &BTreeMap<String, u64>) -> Result<Vec<Instr>, AsmError> {
+    let mnemonic = line
+        .body
+        .split_whitespace()
+        .next()
+        .unwrap_or("")
+        .to_lowercase();
+    let ops = split_operands(line.body);
+    let r = |i: usize| reg_op(line, &ops[i]);
+    // Pseudo-instructions that may expand to two words.
+    match mnemonic.as_str() {
+        "la" => {
+            want(line, &mnemonic, &ops, 2)?;
+            let target = target_op(line, &ops[1], labels)?;
+            return Ok(lui_ori(r(0)?, target as u32));
+        }
+        "li" => {
+            want(line, &mnemonic, &ops, 2)?;
+            let value = imm_op(line, &ops[1])?;
+            let rt = r(0)?;
+            return Ok(if let Ok(small) = i16::try_from(value) {
+                vec![Instr::Addi {
+                    rt,
+                    rs: Reg::ZERO,
+                    imm: i32::from(small),
+                }]
+            } else {
+                lui_ori(rt, value as u32)
+            });
+        }
+        _ => {}
+    }
+    parse_one_instr(line, labels, &mnemonic, &ops).map(|i| vec![i])
+}
+
+fn parse_one_instr(
+    line: &Line<'_>,
+    labels: &BTreeMap<String, u64>,
+    mnemonic: &str,
+    ops: &[String],
+) -> Result<Instr, AsmError> {
+    let r = |i: usize| reg_op(line, &ops[i]);
+    match mnemonic {
+        "add" | "sub" | "mul" | "and" | "or" | "xor" | "slt" => {
+            want(line, mnemonic, ops, 3)?;
+            let (rd, rs, rt) = (r(0)?, r(1)?, r(2)?);
+            Ok(match mnemonic {
+                "add" => Instr::Add { rd, rs, rt },
+                "sub" => Instr::Sub { rd, rs, rt },
+                "mul" => Instr::Mul { rd, rs, rt },
+                "and" => Instr::And { rd, rs, rt },
+                "or" => Instr::Or { rd, rs, rt },
+                "xor" => Instr::Xor { rd, rs, rt },
+                _ => Instr::Slt { rd, rs, rt },
+            })
+        }
+        "addi" | "slti" => {
+            want(line, mnemonic, ops, 3)?;
+            let (rt, rs) = (r(0)?, r(1)?);
+            let imm = imm_op(line, &ops[2])? as i32;
+            Ok(if mnemonic == "addi" {
+                Instr::Addi { rt, rs, imm }
+            } else {
+                Instr::Slti { rt, rs, imm }
+            })
+        }
+        "andi" | "ori" => {
+            want(line, mnemonic, ops, 3)?;
+            let (rt, rs) = (r(0)?, r(1)?);
+            let imm = imm_op(line, &ops[2])? as u32;
+            Ok(if mnemonic == "andi" {
+                Instr::Andi { rt, rs, imm }
+            } else {
+                Instr::Ori { rt, rs, imm }
+            })
+        }
+        "lui" => {
+            want(line, mnemonic, ops, 2)?;
+            Ok(Instr::Lui {
+                rt: r(0)?,
+                imm: imm_op(line, &ops[1])? as u32,
+            })
+        }
+        "move" => {
+            want(line, mnemonic, ops, 2)?;
+            Ok(Instr::Add {
+                rd: r(0)?,
+                rs: r(1)?,
+                rt: Reg::ZERO,
+            })
+        }
+        "sll" | "srl" => {
+            want(line, mnemonic, ops, 3)?;
+            let (rd, rt) = (r(0)?, r(1)?);
+            let shamt = imm_op(line, &ops[2])? as u8;
+            Ok(if mnemonic == "sll" {
+                Instr::Sll { rd, rt, shamt }
+            } else {
+                Instr::Srl { rd, rt, shamt }
+            })
+        }
+        "lw" | "sw" | "lb" | "sb" => {
+            want(line, mnemonic, ops, 2)?;
+            let rt = r(0)?;
+            let (offset, rs) = mem_op(line, &ops[1])?;
+            Ok(match mnemonic {
+                "lw" => Instr::Lw { rt, rs, offset },
+                "sw" => Instr::Sw { rt, rs, offset },
+                "lb" => Instr::Lb { rt, rs, offset },
+                _ => Instr::Sb { rt, rs, offset },
+            })
+        }
+        "beq" | "bne" | "blt" | "bge" => {
+            want(line, mnemonic, ops, 3)?;
+            let (rs, rt) = (r(0)?, r(1)?);
+            let target = target_op(line, &ops[2], labels)?;
+            Ok(match mnemonic {
+                "beq" => Instr::Beq { rs, rt, target },
+                "bne" => Instr::Bne { rs, rt, target },
+                "blt" => Instr::Blt { rs, rt, target },
+                _ => Instr::Bge { rs, rt, target },
+            })
+        }
+        "j" | "jal" => {
+            want(line, mnemonic, ops, 1)?;
+            let target = target_op(line, &ops[0], labels)?;
+            Ok(if mnemonic == "j" {
+                Instr::J { target }
+            } else {
+                Instr::Jal { target }
+            })
+        }
+        "jr" => {
+            want(line, mnemonic, ops, 1)?;
+            Ok(Instr::Jr { rs: r(0)? })
+        }
+        "nop" => Ok(Instr::Nop),
+        "halt" => Ok(Instr::Halt),
+        other => Err(AsmError::UnknownMnemonic {
+            line: line.number,
+            token: other.to_owned(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_minimal_program() {
+        let p = assemble("main:\n addi t0, zero, 1\n halt\n").unwrap();
+        assert_eq!(p.entry, DEFAULT_TEXT_BASE);
+        assert_eq!(p.text.len(), 2);
+        assert_eq!(
+            p.text[&DEFAULT_TEXT_BASE],
+            Instr::Addi {
+                rt: Reg::new(8),
+                rs: Reg::ZERO,
+                imm: 1
+            }
+        );
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let p = assemble(
+            "main:\n beq zero, zero, end\nloop:\n j loop\nend:\n halt\n",
+        )
+        .unwrap();
+        let end = p.label("end").unwrap();
+        assert_eq!(
+            p.text[&DEFAULT_TEXT_BASE],
+            Instr::Beq {
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                target: end
+            }
+        );
+        let loop_addr = p.label("loop").unwrap();
+        assert_eq!(p.text[&loop_addr], Instr::J { target: loop_addr });
+    }
+
+    #[test]
+    fn sections_and_word_data() {
+        let p = assemble(
+            ".data 0x10000000\nvec: .word 1, 2, 0x10\n.text 0x00400000\nmain: halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.label("vec").unwrap(), 0x1000_0000);
+        assert_eq!(p.data[&0x1000_0000], 1);
+        assert_eq!(p.data[&0x1000_0004], 2);
+        assert_eq!(p.data[&0x1000_0008], 0x10);
+        assert_eq!(p.data.get(&0x1000_0003), Some(&0));
+    }
+
+    #[test]
+    fn space_reserves_without_bytes() {
+        let p = assemble(".data\nbuf: .space 16\nafter: .word 7\n.text\nmain: halt\n").unwrap();
+        assert_eq!(p.label("after").unwrap() - p.label("buf").unwrap(), 16);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble("main:\n lw v0, 8(sp)\n sw v0, -4(s1)\n halt\n").unwrap();
+        let instrs: Vec<&Instr> = p.text.values().collect();
+        assert_eq!(
+            *instrs[0],
+            Instr::Lw {
+                rt: Reg::new(2),
+                rs: Reg::SP,
+                offset: 8
+            }
+        );
+        assert_eq!(
+            *instrs[1],
+            Instr::Sw {
+                rt: Reg::new(2),
+                rs: Reg::new(17),
+                offset: -4
+            }
+        );
+    }
+
+    #[test]
+    fn la_expands_to_lui_ori() {
+        let p = assemble(".data\nv: .word 9\n.text\nmain:\n la s0, v\n li t0, -3\n move t1, t0\n halt\n")
+            .unwrap();
+        let instrs: Vec<&Instr> = p.text.values().collect();
+        assert_eq!(instrs.len(), 5); // la is two words
+        assert_eq!(*instrs[0], Instr::Lui { rt: Reg::new(16), imm: 0x1000 });
+        assert_eq!(
+            *instrs[1],
+            Instr::Ori {
+                rt: Reg::new(16),
+                rs: Reg::new(16),
+                imm: 0
+            }
+        );
+        assert_eq!(
+            *instrs[2],
+            Instr::Addi {
+                rt: Reg::new(8),
+                rs: Reg::ZERO,
+                imm: -3
+            }
+        );
+    }
+
+    #[test]
+    fn wide_li_expands_to_lui_ori() {
+        let p = assemble("main:\n li t0, 0x12345678\n halt\n").unwrap();
+        let instrs: Vec<&Instr> = p.text.values().collect();
+        assert_eq!(instrs.len(), 3);
+        assert_eq!(*instrs[0], Instr::Lui { rt: Reg::new(8), imm: 0x1234 });
+        assert_eq!(
+            *instrs[1],
+            Instr::Ori {
+                rt: Reg::new(8),
+                rs: Reg::new(8),
+                imm: 0x5678
+            }
+        );
+    }
+
+    #[test]
+    fn labels_after_pseudo_expansion_stay_consistent() {
+        // A label following a two-word `la` must account for both words.
+        let p = assemble("main:\n la s0, after\nafter:\n halt\n").unwrap();
+        assert_eq!(p.label("after").unwrap(), DEFAULT_TEXT_BASE + 8);
+        assert!(p.text.contains_key(&(DEFAULT_TEXT_BASE + 8)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("# header\n\nmain: halt # stop\n").unwrap();
+        assert_eq!(p.text.len(), 1);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let err = assemble("main:\n nop\n frobnicate t0\n").unwrap_err();
+        assert_eq!(
+            err,
+            AsmError::UnknownMnemonic {
+                line: 3,
+                token: "frobnicate".to_owned()
+            }
+        );
+    }
+
+    #[test]
+    fn error_on_bad_register() {
+        let err = assemble("main:\n add t0, bogus, t1\n").unwrap_err();
+        assert!(matches!(err, AsmError::BadOperand { line: 2, .. }));
+    }
+
+    #[test]
+    fn error_on_operand_count() {
+        let err = assemble("main:\n add t0, t1\n").unwrap_err();
+        assert!(matches!(
+            err,
+            AsmError::OperandCount {
+                line: 2,
+                expected: 3,
+                found: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn error_on_duplicate_label() {
+        let err = assemble("x:\n nop\nx:\n halt\n").unwrap_err();
+        assert!(matches!(err, AsmError::DuplicateLabel { line: 3, .. }));
+    }
+
+    #[test]
+    fn error_on_unknown_branch_target() {
+        let err = assemble("main:\n j nowhere\n").unwrap_err();
+        assert!(matches!(err, AsmError::UnknownLabel { line: 2, .. }));
+    }
+
+    #[test]
+    fn entry_defaults_to_first_instruction_without_main() {
+        let p = assemble(".text 0x8000\nstart: nop\n halt\n").unwrap();
+        assert_eq!(p.entry, 0x8000);
+    }
+
+    #[test]
+    fn numeric_branch_targets_allowed() {
+        let p = assemble("main:\n j 0x00400000\n").unwrap();
+        assert_eq!(
+            p.text[&DEFAULT_TEXT_BASE],
+            Instr::J { target: 0x0040_0000 }
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! `asmrun` — assemble, run, disassemble, and trace programs on the
+//! bundled MIPS-like core.
+//!
+//! ```text
+//! asmrun run <file.s> [--steps N] [--trace out.trace] [--regs]
+//! asmrun dis <file.s>
+//! asmrun kernels
+//! asmrun kernel <name> [--trace out.trace]
+//! ```
+//!
+//! `run` assembles and executes a program, printing bus statistics (and
+//! optionally writing the multiplexed trace in the text format the rest
+//! of the toolkit consumes). `dis` shows the binary encoding the machine
+//! actually fetches. `kernels` lists the built-in workloads.
+
+use std::process::ExitCode;
+
+use buscode_core::Stride;
+use buscode_cpu::{all_kernels, assemble, disassemble, encode_instr, Machine, Program};
+use buscode_trace::{write_trace, StreamStats};
+
+fn usage() -> &'static str {
+    "usage:\n  asmrun run <file.s> [--steps N] [--trace out.trace] [--regs]\n  asmrun dis <file.s>\n  asmrun kernels\n  asmrun kernel <name> [--trace out.trace]"
+}
+
+fn load(path: &str) -> Result<Program, String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    assemble(&source).map_err(|e| format!("{path}: {e}"))
+}
+
+fn report(machine: &Machine, steps: u64, trace: &buscode_cpu::BusTrace, regs: bool) {
+    let stride = Stride::WORD;
+    let muxed = StreamStats::measure(trace.muxed(), stride);
+    let instr = StreamStats::measure(&trace.instruction(), stride);
+    let data = StreamStats::measure(&trace.data(), stride);
+    println!("halted after {steps} instructions");
+    println!("bus: {muxed}");
+    println!("  instruction stream: {instr}");
+    println!("  data stream:        {data}");
+    if regs {
+        println!("registers:");
+        for i in 0..32u8 {
+            let reg = buscode_cpu::Reg::new(i);
+            let value = machine.reg(reg);
+            if value != 0 {
+                println!("  r{i:<2} = {value:#010x} ({value})");
+            }
+        }
+    }
+}
+
+fn run_program(
+    program: Program,
+    steps: u64,
+    trace_path: Option<&str>,
+    regs: bool,
+) -> Result<(), String> {
+    let mut machine = Machine::try_new(program).map_err(|e| e.to_string())?;
+    let outcome = machine.run(steps).map_err(|e| e.to_string())?;
+    report(&machine, outcome.steps, &outcome.trace, regs);
+    if let Some(path) = trace_path {
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        write_trace(file, outcome.trace.muxed()).map_err(|e| format!("{path}: {e}"))?;
+        println!("trace written to {path}");
+    }
+    Ok(())
+}
+
+fn main_inner() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut steps = 10_000_000u64;
+    let mut trace_path: Option<String> = None;
+    let mut regs = false;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--steps" => {
+                let v = iter.next().ok_or("--steps needs a number")?;
+                steps = v.parse().map_err(|_| format!("bad step count {v}"))?;
+            }
+            "--trace" => {
+                trace_path = Some(iter.next().ok_or("--trace needs a path")?.clone());
+            }
+            "--regs" => regs = true,
+            other => positional.push(other),
+        }
+    }
+    match positional.as_slice() {
+        ["run", path] => run_program(load(path)?, steps, trace_path.as_deref(), regs),
+        ["dis", path] => {
+            let program = load(path)?;
+            for (&addr, instr) in &program.text {
+                let word = encode_instr(instr, addr).map_err(|e| e.to_string())?;
+                println!("{addr:08x}: {word:08x}  {}", disassemble(word, addr));
+            }
+            Ok(())
+        }
+        ["kernels"] => {
+            for kernel in all_kernels() {
+                println!("{}", kernel.name);
+            }
+            Ok(())
+        }
+        ["kernel", name] => {
+            let kernel = all_kernels()
+                .iter()
+                .find(|k| k.name == *name)
+                .ok_or_else(|| format!("unknown kernel `{name}` (see `asmrun kernels`)"))?;
+            let mut machine = Machine::try_new(kernel.program()).map_err(|e| e.to_string())?;
+            let outcome = machine.run(kernel.max_steps).map_err(|e| e.to_string())?;
+            report(&machine, outcome.steps, &outcome.trace, regs);
+            if let Some(path) = trace_path.as_deref() {
+                let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+                write_trace(file, outcome.trace.muxed())
+                    .map_err(|e| format!("{path}: {e}"))?;
+                println!("trace written to {path}");
+            }
+            Ok(())
+        }
+        _ => Err(usage().to_owned()),
+    }
+}
+
+fn main() -> ExitCode {
+    match main_inner() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

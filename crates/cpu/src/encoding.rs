@@ -1,0 +1,477 @@
+//! Binary instruction encoding: 32-bit machine words in MIPS-style
+//! formats.
+//!
+//! The simulator's [`Machine`](crate::Machine) fetches and decodes real
+//! machine words from memory, so the instruction address bus carries
+//! exactly what a binary-encoded implementation would. Formats follow
+//! MIPS-I conventions where an instruction exists there (R/I/J types,
+//! PC-relative 16-bit branch offsets in words, 26-bit pseudo-absolute
+//! jump targets); `mul`, `blt`/`bge` and `halt` use documented
+//! extension opcodes.
+//!
+//! | format | fields |
+//! |---|---|
+//! | R | `op(6) rs(5) rt(5) rd(5) shamt(5) funct(6)` |
+//! | I | `op(6) rs(5) rt(5) imm(16)` |
+//! | J | `op(6) target(26)` |
+
+use core::fmt;
+
+use crate::isa::{Instr, Reg};
+
+/// Errors raised while encoding an instruction to a machine word.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EncodeError {
+    /// An immediate does not fit its 16-bit field.
+    ImmediateOutOfRange {
+        /// The mnemonic being encoded.
+        mnemonic: &'static str,
+        /// The rejected value.
+        value: i64,
+    },
+    /// A branch target is beyond the signed 18-bit PC-relative reach.
+    BranchOutOfRange {
+        /// The instruction's address.
+        pc: u64,
+        /// The unreachable target.
+        target: u64,
+    },
+    /// A jump target lies in a different 256 MiB region than the
+    /// instruction (the 26-bit field cannot express it).
+    JumpOutOfRegion {
+        /// The instruction's address.
+        pc: u64,
+        /// The unreachable target.
+        target: u64,
+    },
+    /// A branch or jump target is not 4-byte aligned.
+    MisalignedTarget {
+        /// The misaligned target.
+        target: u64,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmediateOutOfRange { mnemonic, value } => {
+                write!(f, "immediate {value} does not fit `{mnemonic}`'s 16-bit field")
+            }
+            EncodeError::BranchOutOfRange { pc, target } => {
+                write!(f, "branch at {pc:#x} cannot reach {target:#x}")
+            }
+            EncodeError::JumpOutOfRegion { pc, target } => {
+                write!(f, "jump at {pc:#x} cannot reach {target:#x} in another region")
+            }
+            EncodeError::MisalignedTarget { target } => {
+                write!(f, "control-flow target {target:#x} is not word-aligned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Errors raised while decoding a machine word.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The opcode/funct combination is not part of the ISA.
+    UnknownInstruction {
+        /// The undecodable word.
+        word: u32,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownInstruction { word } => {
+                write!(f, "word {word:#010x} is not a valid instruction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// R-type funct codes (opcode 0), MIPS-I where applicable.
+const FUNCT_SLL: u32 = 0x00;
+const FUNCT_SRL: u32 = 0x02;
+const FUNCT_JR: u32 = 0x08;
+const FUNCT_ADD: u32 = 0x20;
+const FUNCT_SUB: u32 = 0x22;
+const FUNCT_AND: u32 = 0x24;
+const FUNCT_OR: u32 = 0x25;
+const FUNCT_XOR: u32 = 0x26;
+const FUNCT_SLT: u32 = 0x2a;
+
+// Opcodes.
+const OP_SPECIAL: u32 = 0x00;
+const OP_J: u32 = 0x02;
+const OP_JAL: u32 = 0x03;
+const OP_BEQ: u32 = 0x04;
+const OP_BNE: u32 = 0x05;
+const OP_ADDI: u32 = 0x08;
+const OP_SLTI: u32 = 0x0a;
+const OP_ANDI: u32 = 0x0c;
+const OP_ORI: u32 = 0x0d;
+const OP_LUI: u32 = 0x0f;
+/// Extension: `blt` (MIPS would use `slt` + `bne`).
+const OP_BLT: u32 = 0x18;
+/// Extension: `bge`.
+const OP_BGE: u32 = 0x19;
+/// MIPS32 SPECIAL2 block; `mul` is funct 0x02 there.
+const OP_SPECIAL2: u32 = 0x1c;
+const OP_LB: u32 = 0x20;
+const OP_LW: u32 = 0x23;
+const OP_SB: u32 = 0x28;
+const OP_SW: u32 = 0x2b;
+/// Extension: `halt` as an all-ones word (a reserved MIPS encoding).
+const HALT_WORD: u32 = 0xffff_ffff;
+
+fn r_type(funct: u32, rs: Reg, rt: Reg, rd: Reg, shamt: u32) -> u32 {
+    (OP_SPECIAL << 26)
+        | ((rs.index() as u32) << 21)
+        | ((rt.index() as u32) << 16)
+        | ((rd.index() as u32) << 11)
+        | ((shamt & 0x1f) << 6)
+        | funct
+}
+
+fn i_type(op: u32, rs: Reg, rt: Reg, imm: u32) -> u32 {
+    (op << 26) | ((rs.index() as u32) << 21) | ((rt.index() as u32) << 16) | (imm & 0xffff)
+}
+
+fn check_signed16(mnemonic: &'static str, value: i32) -> Result<u32, EncodeError> {
+    if (-(1 << 15)..(1 << 15)).contains(&value) {
+        Ok(value as u32 & 0xffff)
+    } else {
+        Err(EncodeError::ImmediateOutOfRange {
+            mnemonic,
+            value: i64::from(value),
+        })
+    }
+}
+
+fn check_unsigned16(mnemonic: &'static str, value: u32) -> Result<u32, EncodeError> {
+    if value <= 0xffff {
+        Ok(value)
+    } else {
+        Err(EncodeError::ImmediateOutOfRange {
+            mnemonic,
+            value: i64::from(value),
+        })
+    }
+}
+
+fn branch_offset(pc: u64, target: u64) -> Result<u32, EncodeError> {
+    if !target.is_multiple_of(4) {
+        return Err(EncodeError::MisalignedTarget { target });
+    }
+    let delta = (target as i64).wrapping_sub(pc as i64 + 4) >> 2;
+    if (-(1 << 15)..(1 << 15)).contains(&delta) {
+        Ok(delta as u32 & 0xffff)
+    } else {
+        Err(EncodeError::BranchOutOfRange { pc, target })
+    }
+}
+
+fn jump_field(pc: u64, target: u64) -> Result<u32, EncodeError> {
+    if !target.is_multiple_of(4) {
+        return Err(EncodeError::MisalignedTarget { target });
+    }
+    if (pc + 4) & 0xf000_0000 != target & 0xf000_0000 || target > u64::from(u32::MAX) {
+        return Err(EncodeError::JumpOutOfRegion { pc, target });
+    }
+    Ok(((target >> 2) & 0x03ff_ffff) as u32)
+}
+
+/// Encodes one instruction at address `pc` into a machine word.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] when an immediate or control-flow target
+/// does not fit its field.
+///
+/// # Examples
+///
+/// ```
+/// use buscode_cpu::{encode_instr, Instr, Reg};
+///
+/// # fn main() -> Result<(), buscode_cpu::EncodeError> {
+/// let word = encode_instr(
+///     &Instr::Addi { rt: Reg::new(8), rs: Reg::ZERO, imm: 5 },
+///     0x0040_0000,
+/// )?;
+/// assert_eq!(word, 0x2008_0005);
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode_instr(instr: &Instr, pc: u64) -> Result<u32, EncodeError> {
+    use Instr::*;
+    Ok(match *instr {
+        Add { rd, rs, rt } => r_type(FUNCT_ADD, rs, rt, rd, 0),
+        Sub { rd, rs, rt } => r_type(FUNCT_SUB, rs, rt, rd, 0),
+        And { rd, rs, rt } => r_type(FUNCT_AND, rs, rt, rd, 0),
+        Or { rd, rs, rt } => r_type(FUNCT_OR, rs, rt, rd, 0),
+        Xor { rd, rs, rt } => r_type(FUNCT_XOR, rs, rt, rd, 0),
+        Slt { rd, rs, rt } => r_type(FUNCT_SLT, rs, rt, rd, 0),
+        Mul { rd, rs, rt } => {
+            (OP_SPECIAL2 << 26)
+                | ((rs.index() as u32) << 21)
+                | ((rt.index() as u32) << 16)
+                | ((rd.index() as u32) << 11)
+                | 0x02
+        }
+        Sll { rd, rt, shamt } => r_type(FUNCT_SLL, Reg::ZERO, rt, rd, u32::from(shamt)),
+        Srl { rd, rt, shamt } => r_type(FUNCT_SRL, Reg::ZERO, rt, rd, u32::from(shamt)),
+        Jr { rs } => r_type(FUNCT_JR, rs, Reg::ZERO, Reg::ZERO, 0),
+        Addi { rt, rs, imm } => i_type(OP_ADDI, rs, rt, check_signed16("addi", imm)?),
+        Slti { rt, rs, imm } => i_type(OP_SLTI, rs, rt, check_signed16("slti", imm)?),
+        Andi { rt, rs, imm } => i_type(OP_ANDI, rs, rt, check_unsigned16("andi", imm)?),
+        Ori { rt, rs, imm } => i_type(OP_ORI, rs, rt, check_unsigned16("ori", imm)?),
+        Lui { rt, imm } => i_type(OP_LUI, Reg::ZERO, rt, check_unsigned16("lui", imm)?),
+        Lw { rt, rs, offset } => i_type(OP_LW, rs, rt, check_signed16("lw", offset)?),
+        Sw { rt, rs, offset } => i_type(OP_SW, rs, rt, check_signed16("sw", offset)?),
+        Lb { rt, rs, offset } => i_type(OP_LB, rs, rt, check_signed16("lb", offset)?),
+        Sb { rt, rs, offset } => i_type(OP_SB, rs, rt, check_signed16("sb", offset)?),
+        Beq { rs, rt, target } => i_type(OP_BEQ, rs, rt, branch_offset(pc, target)?),
+        Bne { rs, rt, target } => i_type(OP_BNE, rs, rt, branch_offset(pc, target)?),
+        Blt { rs, rt, target } => i_type(OP_BLT, rs, rt, branch_offset(pc, target)?),
+        Bge { rs, rt, target } => i_type(OP_BGE, rs, rt, branch_offset(pc, target)?),
+        J { target } => (OP_J << 26) | jump_field(pc, target)?,
+        Jal { target } => (OP_JAL << 26) | jump_field(pc, target)?,
+        Nop => 0,
+        Halt => HALT_WORD,
+    })
+}
+
+fn reg_at(word: u32, shift: u32) -> Reg {
+    Reg::new(((word >> shift) & 0x1f) as u8)
+}
+
+fn sext16(word: u32) -> i32 {
+    (word & 0xffff) as u16 as i16 as i32
+}
+
+fn branch_target(pc: u64, word: u32) -> u64 {
+    (pc as i64 + 4 + i64::from(sext16(word)) * 4) as u64
+}
+
+/// Decodes the machine word at address `pc` back into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::UnknownInstruction`] for reserved encodings.
+///
+/// # Examples
+///
+/// ```
+/// use buscode_cpu::{decode_instr, encode_instr, Instr, Reg};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let instr = Instr::Beq { rs: Reg::ZERO, rt: Reg::ZERO, target: 0x0040_0010 };
+/// let word = encode_instr(&instr, 0x0040_0000)?;
+/// assert_eq!(decode_instr(word, 0x0040_0000)?, instr);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode_instr(word: u32, pc: u64) -> Result<Instr, DecodeError> {
+    if word == 0 {
+        return Ok(Instr::Nop);
+    }
+    if word == HALT_WORD {
+        return Ok(Instr::Halt);
+    }
+    let op = word >> 26;
+    let rs = reg_at(word, 21);
+    let rt = reg_at(word, 16);
+    let rd = reg_at(word, 11);
+    let shamt = ((word >> 6) & 0x1f) as u8;
+    let funct = word & 0x3f;
+    Ok(match op {
+        OP_SPECIAL => match funct {
+            FUNCT_SLL => Instr::Sll { rd, rt, shamt },
+            FUNCT_SRL => Instr::Srl { rd, rt, shamt },
+            FUNCT_JR => Instr::Jr { rs },
+            FUNCT_ADD => Instr::Add { rd, rs, rt },
+            FUNCT_SUB => Instr::Sub { rd, rs, rt },
+            FUNCT_AND => Instr::And { rd, rs, rt },
+            FUNCT_OR => Instr::Or { rd, rs, rt },
+            FUNCT_XOR => Instr::Xor { rd, rs, rt },
+            FUNCT_SLT => Instr::Slt { rd, rs, rt },
+            _ => return Err(DecodeError::UnknownInstruction { word }),
+        },
+        OP_SPECIAL2 if funct == 0x02 => Instr::Mul { rd, rs, rt },
+        OP_ADDI => Instr::Addi { rt, rs, imm: sext16(word) },
+        OP_SLTI => Instr::Slti { rt, rs, imm: sext16(word) },
+        OP_ANDI => Instr::Andi { rt, rs, imm: word & 0xffff },
+        OP_ORI => Instr::Ori { rt, rs, imm: word & 0xffff },
+        OP_LUI => Instr::Lui { rt, imm: word & 0xffff },
+        OP_LW => Instr::Lw { rt, rs, offset: sext16(word) },
+        OP_SW => Instr::Sw { rt, rs, offset: sext16(word) },
+        OP_LB => Instr::Lb { rt, rs, offset: sext16(word) },
+        OP_SB => Instr::Sb { rt, rs, offset: sext16(word) },
+        OP_BEQ => Instr::Beq { rs, rt, target: branch_target(pc, word) },
+        OP_BNE => Instr::Bne { rs, rt, target: branch_target(pc, word) },
+        OP_BLT => Instr::Blt { rs, rt, target: branch_target(pc, word) },
+        OP_BGE => Instr::Bge { rs, rt, target: branch_target(pc, word) },
+        OP_J => Instr::J {
+            target: ((pc + 4) & 0xffff_ffff_f000_0000) | u64::from((word & 0x03ff_ffff) << 2),
+        },
+        OP_JAL => Instr::Jal {
+            target: ((pc + 4) & 0xffff_ffff_f000_0000) | u64::from((word & 0x03ff_ffff) << 2),
+        },
+        _ => return Err(DecodeError::UnknownInstruction { word }),
+    })
+}
+
+/// Disassembles a machine word at `pc` into assembly text, or a `.word`
+/// literal when the word is not a valid instruction.
+pub fn disassemble(word: u32, pc: u64) -> String {
+    match decode_instr(word, pc) {
+        Ok(instr) => instr.to_string(),
+        Err(_) => format!(".word {word:#010x}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PC: u64 = 0x0040_0100;
+
+    fn round_trip(instr: Instr) {
+        let word = encode_instr(&instr, PC).expect("encodes");
+        let back = decode_instr(word, PC).expect("decodes");
+        assert_eq!(back, instr, "word {word:#010x}");
+    }
+
+    #[test]
+    fn r_type_round_trips() {
+        let (rd, rs, rt) = (Reg::new(3), Reg::new(4), Reg::new(5));
+        round_trip(Instr::Add { rd, rs, rt });
+        round_trip(Instr::Sub { rd, rs, rt });
+        round_trip(Instr::Mul { rd, rs, rt });
+        round_trip(Instr::And { rd, rs, rt });
+        round_trip(Instr::Or { rd, rs, rt });
+        round_trip(Instr::Xor { rd, rs, rt });
+        round_trip(Instr::Slt { rd, rs, rt });
+        round_trip(Instr::Sll { rd, rt, shamt: 31 });
+        round_trip(Instr::Srl { rd, rt, shamt: 1 });
+        round_trip(Instr::Jr { rs });
+    }
+
+    #[test]
+    fn i_type_round_trips() {
+        let (rt, rs) = (Reg::new(9), Reg::new(29));
+        round_trip(Instr::Addi { rt, rs, imm: -32768 });
+        round_trip(Instr::Addi { rt, rs, imm: 32767 });
+        round_trip(Instr::Slti { rt, rs, imm: -1 });
+        round_trip(Instr::Andi { rt, rs, imm: 0xffff });
+        round_trip(Instr::Ori { rt, rs, imm: 0xabcd });
+        round_trip(Instr::Lui { rt, imm: 0x1000 });
+        round_trip(Instr::Lw { rt, rs, offset: -4 });
+        round_trip(Instr::Sw { rt, rs, offset: 128 });
+        round_trip(Instr::Lb { rt, rs, offset: 0 });
+        round_trip(Instr::Sb { rt, rs, offset: 7 });
+    }
+
+    #[test]
+    fn control_flow_round_trips() {
+        let (rs, rt) = (Reg::new(8), Reg::ZERO);
+        round_trip(Instr::Beq { rs, rt, target: PC + 4 });
+        round_trip(Instr::Bne { rs, rt, target: PC - 400 });
+        round_trip(Instr::Blt { rs, rt, target: PC + 0x1_0000 });
+        round_trip(Instr::Bge { rs, rt, target: PC });
+        round_trip(Instr::J { target: 0x0400_0000 });
+        round_trip(Instr::Jal { target: 0x0040_0000 });
+        round_trip(Instr::Nop);
+        round_trip(Instr::Halt);
+    }
+
+    #[test]
+    fn canonical_mips_encodings() {
+        // Spot checks against the MIPS-I manual.
+        assert_eq!(
+            encode_instr(
+                &Instr::Add { rd: Reg::new(1), rs: Reg::new(2), rt: Reg::new(3) },
+                PC
+            )
+            .unwrap(),
+            0x0043_0820
+        );
+        assert_eq!(
+            encode_instr(&Instr::Lw { rt: Reg::new(8), rs: Reg::new(29), offset: 4 }, PC).unwrap(),
+            0x8fa8_0004
+        );
+        assert_eq!(encode_instr(&Instr::Nop, PC).unwrap(), 0);
+    }
+
+    #[test]
+    fn immediate_range_checked() {
+        let err = encode_instr(
+            &Instr::Addi { rt: Reg::new(1), rs: Reg::ZERO, imm: 0x1_0000 },
+            PC,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EncodeError::ImmediateOutOfRange { .. }));
+        assert!(encode_instr(
+            &Instr::Ori { rt: Reg::new(1), rs: Reg::ZERO, imm: 0x10_000 },
+            PC
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn branch_range_checked() {
+        let far = PC + 4 + 4 * (1 << 15); // one past the reach
+        let err =
+            encode_instr(&Instr::Beq { rs: Reg::ZERO, rt: Reg::ZERO, target: far }, PC)
+                .unwrap_err();
+        assert!(matches!(err, EncodeError::BranchOutOfRange { .. }));
+        let just_inside = PC + 4 + 4 * ((1 << 15) - 1);
+        assert!(encode_instr(
+            &Instr::Beq { rs: Reg::ZERO, rt: Reg::ZERO, target: just_inside },
+            PC
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn jump_region_checked() {
+        let err = encode_instr(&Instr::J { target: 0x1000_0000 }, PC).unwrap_err();
+        assert!(matches!(err, EncodeError::JumpOutOfRegion { .. }));
+    }
+
+    #[test]
+    fn misaligned_targets_rejected() {
+        assert!(matches!(
+            encode_instr(&Instr::J { target: PC + 2 }, PC),
+            Err(EncodeError::MisalignedTarget { .. })
+        ));
+        assert!(matches!(
+            encode_instr(&Instr::Bne { rs: Reg::ZERO, rt: Reg::ZERO, target: PC + 6 }, PC),
+            Err(EncodeError::MisalignedTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn reserved_words_do_not_decode() {
+        assert!(decode_instr(0xfc00_0000, PC).is_err()); // opcode 0x3f
+        assert!(decode_instr(0x0000_003f, PC).is_err()); // SPECIAL funct 0x3f
+    }
+
+    #[test]
+    fn disassembler_output() {
+        let word = encode_instr(
+            &Instr::Addi { rt: Reg::new(8), rs: Reg::ZERO, imm: 5 },
+            PC,
+        )
+        .unwrap();
+        assert_eq!(disassemble(word, PC), "addi r8, r0, 5");
+        assert!(disassemble(0xfc00_0000, PC).starts_with(".word"));
+    }
+}

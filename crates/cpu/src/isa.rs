@@ -1,0 +1,243 @@
+//! The instruction set of the MIPS-like reference core.
+//!
+//! A compact 32-bit RISC ISA in the spirit of the paper's MIPS R-series
+//! reference machine: 32 general-purpose registers (`r0` hard-wired to
+//! zero), word-oriented loads/stores with register+offset addressing,
+//! compare-and-branch, and jump-and-link. Instructions occupy one 32-bit
+//! word each, so the instruction address bus steps by stride 4.
+//!
+//! Instructions are encoded to MIPS-style machine words by
+//! [`encode_instr`](crate::encode_instr) and fetched/decoded from memory
+//! by the [`Machine`](crate::Machine).
+
+use core::fmt;
+
+/// A register index `r0..=r31`; `r0` always reads zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hard-wired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// The stack pointer by MIPS convention (`r29`).
+    pub const SP: Reg = Reg(29);
+    /// The return-address register by MIPS convention (`r31`).
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 31`; use [`Reg::try_new`] for fallible creation.
+    pub fn new(index: u8) -> Self {
+        Reg::try_new(index).expect("register index must be 0..=31")
+    }
+
+    /// Creates a register index, or `None` if out of range.
+    pub fn try_new(index: u8) -> Option<Self> {
+        (index <= 31).then_some(Reg(index))
+    }
+
+    /// The register number.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One instruction of the core's ISA.
+///
+/// Branch and jump targets are absolute byte addresses (the assembler
+/// resolves labels before emission).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // the mnemonic-shaped variants are self-describing
+pub enum Instr {
+    /// `rd = rs + rt`
+    Add { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs - rt`
+    Sub { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs * rt` (low 32 bits)
+    Mul { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs & rt`
+    And { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs | rt`
+    Or { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs ^ rt`
+    Xor { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = (rs as i32) < (rt as i32)`
+    Slt { rd: Reg, rs: Reg, rt: Reg },
+    /// `rt = rs + imm` (sign-extended)
+    Addi { rt: Reg, rs: Reg, imm: i32 },
+    /// `rt = rs & imm` (zero-extended)
+    Andi { rt: Reg, rs: Reg, imm: u32 },
+    /// `rt = rs | imm` (zero-extended)
+    Ori { rt: Reg, rs: Reg, imm: u32 },
+    /// `rt = (rs as i32) < imm`
+    Slti { rt: Reg, rs: Reg, imm: i32 },
+    /// `rt = imm << 16`
+    Lui { rt: Reg, imm: u32 },
+    /// `rd = rt << shamt`
+    Sll { rd: Reg, rt: Reg, shamt: u8 },
+    /// `rd = rt >> shamt` (logical)
+    Srl { rd: Reg, rt: Reg, shamt: u8 },
+    /// `rt = mem32[rs + offset]`
+    Lw { rt: Reg, rs: Reg, offset: i32 },
+    /// `mem32[rs + offset] = rt`
+    Sw { rt: Reg, rs: Reg, offset: i32 },
+    /// `rt = zero_extend(mem8[rs + offset])`
+    Lb { rt: Reg, rs: Reg, offset: i32 },
+    /// `mem8[rs + offset] = rt & 0xff`
+    Sb { rt: Reg, rs: Reg, offset: i32 },
+    /// `if rs == rt: pc = target`
+    Beq { rs: Reg, rt: Reg, target: u64 },
+    /// `if rs != rt: pc = target`
+    Bne { rs: Reg, rt: Reg, target: u64 },
+    /// `if (rs as i32) < (rt as i32): pc = target`
+    Blt { rs: Reg, rt: Reg, target: u64 },
+    /// `if (rs as i32) >= (rt as i32): pc = target`
+    Bge { rs: Reg, rt: Reg, target: u64 },
+    /// `pc = target`
+    J { target: u64 },
+    /// `r31 = pc + 4; pc = target`
+    Jal { target: u64 },
+    /// `pc = rs`
+    Jr { rs: Reg },
+    /// No operation.
+    Nop,
+    /// Stop the simulation (simulator-only; a real core would idle).
+    Halt,
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instr::*;
+        match *self {
+            Add { rd, rs, rt } => write!(f, "add {rd}, {rs}, {rt}"),
+            Sub { rd, rs, rt } => write!(f, "sub {rd}, {rs}, {rt}"),
+            Mul { rd, rs, rt } => write!(f, "mul {rd}, {rs}, {rt}"),
+            And { rd, rs, rt } => write!(f, "and {rd}, {rs}, {rt}"),
+            Or { rd, rs, rt } => write!(f, "or {rd}, {rs}, {rt}"),
+            Xor { rd, rs, rt } => write!(f, "xor {rd}, {rs}, {rt}"),
+            Slt { rd, rs, rt } => write!(f, "slt {rd}, {rs}, {rt}"),
+            Addi { rt, rs, imm } => write!(f, "addi {rt}, {rs}, {imm}"),
+            Andi { rt, rs, imm } => write!(f, "andi {rt}, {rs}, {imm:#x}"),
+            Ori { rt, rs, imm } => write!(f, "ori {rt}, {rs}, {imm:#x}"),
+            Slti { rt, rs, imm } => write!(f, "slti {rt}, {rs}, {imm}"),
+            Lui { rt, imm } => write!(f, "lui {rt}, {imm:#x}"),
+            Sll { rd, rt, shamt } => write!(f, "sll {rd}, {rt}, {shamt}"),
+            Srl { rd, rt, shamt } => write!(f, "srl {rd}, {rt}, {shamt}"),
+            Lw { rt, rs, offset } => write!(f, "lw {rt}, {offset}({rs})"),
+            Sw { rt, rs, offset } => write!(f, "sw {rt}, {offset}({rs})"),
+            Lb { rt, rs, offset } => write!(f, "lb {rt}, {offset}({rs})"),
+            Sb { rt, rs, offset } => write!(f, "sb {rt}, {offset}({rs})"),
+            Beq { rs, rt, target } => write!(f, "beq {rs}, {rt}, {target:#x}"),
+            Bne { rs, rt, target } => write!(f, "bne {rs}, {rt}, {target:#x}"),
+            Blt { rs, rt, target } => write!(f, "blt {rs}, {rt}, {target:#x}"),
+            Bge { rs, rt, target } => write!(f, "bge {rs}, {rt}, {target:#x}"),
+            J { target } => write!(f, "j {target:#x}"),
+            Jal { target } => write!(f, "jal {target:#x}"),
+            Jr { rs } => write!(f, "jr {rs}"),
+            Nop => f.write_str("nop"),
+            Halt => f.write_str("halt"),
+        }
+    }
+}
+
+/// Parses a register name: `r0..r31` or the MIPS conventional aliases
+/// (`zero`, `at`, `v0-v1`, `a0-a3`, `t0-t9`, `s0-s7`, `k0-k1`, `gp`,
+/// `sp`, `fp`, `ra`), with or without a leading `$`.
+pub fn parse_reg(token: &str) -> Option<Reg> {
+    let name = token.strip_prefix('$').unwrap_or(token);
+    if let Some(num) = name.strip_prefix('r').and_then(|n| n.parse::<u8>().ok()) {
+        return Reg::try_new(num);
+    }
+    let index: u8 = match name {
+        "zero" => 0,
+        "at" => 1,
+        "v0" => 2,
+        "v1" => 3,
+        "a0" => 4,
+        "a1" => 5,
+        "a2" => 6,
+        "a3" => 7,
+        "t0" => 8,
+        "t1" => 9,
+        "t2" => 10,
+        "t3" => 11,
+        "t4" => 12,
+        "t5" => 13,
+        "t6" => 14,
+        "t7" => 15,
+        "s0" => 16,
+        "s1" => 17,
+        "s2" => 18,
+        "s3" => 19,
+        "s4" => 20,
+        "s5" => 21,
+        "s6" => 22,
+        "s7" => 23,
+        "t8" => 24,
+        "t9" => 25,
+        "k0" => 26,
+        "k1" => 27,
+        "gp" => 28,
+        "sp" => 29,
+        "fp" => 30,
+        "ra" => 31,
+        _ => return None,
+    };
+    Some(Reg(index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_bounds() {
+        assert!(Reg::try_new(31).is_some());
+        assert!(Reg::try_new(32).is_none());
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::RA.index(), 31);
+    }
+
+    #[test]
+    #[should_panic(expected = "register index")]
+    fn reg_new_panics_out_of_range() {
+        let _ = Reg::new(40);
+    }
+
+    #[test]
+    fn parse_numeric_registers() {
+        assert_eq!(parse_reg("r0"), Some(Reg(0)));
+        assert_eq!(parse_reg("r31"), Some(Reg(31)));
+        assert_eq!(parse_reg("$r5"), Some(Reg(5)));
+        assert_eq!(parse_reg("r32"), None);
+    }
+
+    #[test]
+    fn parse_conventional_aliases() {
+        assert_eq!(parse_reg("zero"), Some(Reg(0)));
+        assert_eq!(parse_reg("$sp"), Some(Reg(29)));
+        assert_eq!(parse_reg("ra"), Some(Reg(31)));
+        assert_eq!(parse_reg("t3"), Some(Reg(11)));
+        assert_eq!(parse_reg("s7"), Some(Reg(23)));
+        assert_eq!(parse_reg("bogus"), None);
+    }
+
+    #[test]
+    fn display_round_trips_mnemonics() {
+        let i = Instr::Addi {
+            rt: Reg(1),
+            rs: Reg(0),
+            imm: -5,
+        };
+        assert_eq!(i.to_string(), "addi r1, r0, -5");
+        assert_eq!(Instr::Nop.to_string(), "nop");
+    }
+}

@@ -1,0 +1,650 @@
+//! A library of embedded kernels, assembled on demand.
+//!
+//! These small programs exercise the access patterns the paper's
+//! discussion singles out: tight sequential loops (instruction
+//! sequentiality), array walks (the only source of data sequentiality),
+//! stack-resident scalars such as loop counters (which destroy it), and
+//! call-heavy control flow. Their traces cross-validate the synthetic
+//! generators of `buscode-trace` with mechanistically real streams.
+
+use crate::asm::{assemble, Program};
+use crate::machine::{BusTrace, ExecError, Machine};
+
+/// A named kernel: assembly source plus a step budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Kernel {
+    /// Kernel name for reports.
+    pub name: &'static str,
+    /// Assembly source text.
+    pub source: &'static str,
+    /// Step budget for [`Kernel::trace`].
+    pub max_steps: u64,
+}
+
+impl Kernel {
+    /// Assembles the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the built-in source fails to assemble — that would be a
+    /// bug in this crate, covered by tests.
+    pub fn program(&self) -> Program {
+        assemble(self.source).expect("built-in kernel must assemble")
+    }
+
+    /// Assembles and runs the kernel, returning its bus trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] from the machine (a built-in kernel that
+    /// fails to halt within its budget is a bug, covered by tests).
+    pub fn trace(&self) -> Result<BusTrace, ExecError> {
+        let mut machine = Machine::new(self.program());
+        Ok(machine.run(self.max_steps)?.trace)
+    }
+}
+
+/// `sum += a[i] * b[i]` over two 64-element vectors.
+pub const DOT_PRODUCT: Kernel = Kernel {
+    name: "dot_product",
+    max_steps: 200_000,
+    source: r#"
+.data 0x10000000
+a:      .space 256
+b:      .space 256
+.text 0x00400000
+main:
+    la   s0, a
+    la   s1, b
+    li   t0, 64          # element count
+    li   t1, 1
+fill:                    # initialize both vectors
+    sw   t1, 0(s0)
+    sw   t1, 0(s1)
+    addi s0, s0, 4
+    addi s1, s1, 4
+    addi t1, t1, 3
+    addi t0, t0, -1
+    bne  t0, zero, fill
+    la   s0, a
+    la   s1, b
+    li   t0, 64
+    li   s2, 0           # accumulator
+dot:
+    lw   t2, 0(s0)
+    lw   t3, 0(s1)
+    mul  t4, t2, t3
+    add  s2, s2, t4
+    addi s0, s0, 4
+    addi s1, s1, 4
+    addi t0, t0, -1
+    bne  t0, zero, dot
+    halt
+"#,
+};
+
+/// 8x8 integer matrix multiply with row-major walks.
+pub const MATMUL: Kernel = Kernel {
+    name: "matmul",
+    max_steps: 1_000_000,
+    source: r#"
+.data 0x10000000
+ma:     .space 256
+mb:     .space 256
+mc:     .space 256
+.text 0x00400000
+main:
+    la   s0, ma
+    li   t0, 64
+    li   t1, 2
+init:
+    sw   t1, 0(s0)
+    sw   t1, 256(s0)     # mb = ma + 256
+    addi s0, s0, 4
+    addi t1, t1, 1
+    addi t0, t0, -1
+    bne  t0, zero, init
+    li   s0, 0           # i
+rows:
+    li   s1, 0           # j
+cols:
+    li   s2, 0           # k
+    li   s3, 0           # acc
+inner:
+    sll  t0, s0, 5       # i * 32 (row stride)
+    sll  t1, s2, 2       # k * 4
+    add  t0, t0, t1
+    la   t2, ma
+    add  t2, t2, t0
+    lw   t3, 0(t2)       # ma[i][k]
+    sll  t0, s2, 5       # k * 32
+    sll  t1, s1, 2       # j * 4
+    add  t0, t0, t1
+    la   t2, mb
+    add  t2, t2, t0
+    lw   t4, 0(t2)       # mb[k][j]
+    mul  t5, t3, t4
+    add  s3, s3, t5
+    addi s2, s2, 1
+    slti t6, s2, 8
+    bne  t6, zero, inner
+    sll  t0, s0, 5
+    sll  t1, s1, 2
+    add  t0, t0, t1
+    la   t2, mc
+    add  t2, t2, t0
+    sw   s3, 0(t2)       # mc[i][j] = acc
+    addi s1, s1, 1
+    slti t6, s1, 8
+    bne  t6, zero, cols
+    addi s0, s0, 1
+    slti t6, s0, 8
+    bne  t6, zero, rows
+    halt
+"#,
+};
+
+/// Naive substring search of a 7-byte needle in a 192-byte haystack.
+pub const STRING_SEARCH: Kernel = Kernel {
+    name: "string_search",
+    max_steps: 500_000,
+    source: r#"
+.data 0x10000000
+hay:    .space 192
+needle: .byte 7, 7, 7, 7, 7, 7, 9
+.text 0x00400000
+main:
+    la   s0, hay         # fill the haystack with a repeating pattern
+    li   t0, 192
+    li   t1, 0
+fill:
+    andi t2, t1, 0x7
+    sb   t2, 0(s0)
+    addi s0, s0, 1
+    addi t1, t1, 1
+    addi t0, t0, -1
+    bne  t0, zero, fill
+    la   s0, hay
+    li   s1, 185         # last start position + 1
+    li   s2, 0           # position
+outer:
+    li   s3, 0           # match length
+inner:
+    add  t0, s0, s2
+    add  t0, t0, s3
+    lb   t1, 0(t0)       # hay[pos + k]
+    la   t2, needle
+    add  t2, t2, s3
+    lb   t3, 0(t2)       # needle[k]
+    bne  t1, t3, advance
+    addi s3, s3, 1
+    slti t4, s3, 7
+    bne  t4, zero, inner
+    j    done            # full match
+advance:
+    addi s2, s2, 1
+    blt  s2, s1, outer
+done:
+    halt
+"#,
+};
+
+/// Bubble sort of a 48-element array (stores dominate; no sequential data).
+pub const BUBBLE_SORT: Kernel = Kernel {
+    name: "bubble_sort",
+    max_steps: 2_000_000,
+    source: r#"
+.data 0x10000000
+arr:    .space 192
+.text 0x00400000
+main:
+    la   s0, arr         # fill descending so every pass swaps
+    li   t0, 48
+    li   t1, 48
+fill:
+    sw   t1, 0(s0)
+    addi s0, s0, 4
+    addi t1, t1, -1
+    addi t0, t0, -1
+    bne  t0, zero, fill
+    li   s1, 47          # outer bound
+outer:
+    la   s0, arr
+    li   s2, 0           # index
+pass:
+    lw   t0, 0(s0)
+    lw   t1, 4(s0)
+    bge  t1, t0, noswap
+    sw   t1, 0(s0)
+    sw   t0, 4(s0)
+noswap:
+    addi s0, s0, 4
+    addi s2, s2, 1
+    blt  s2, s1, pass
+    addi s1, s1, -1
+    bne  s1, zero, outer
+    halt
+"#,
+};
+
+/// Recursive Fibonacci of 12 (call/return heavy, deep stack traffic).
+pub const FIBONACCI: Kernel = Kernel {
+    name: "fibonacci",
+    max_steps: 2_000_000,
+    source: r#"
+.text 0x00400000
+main:
+    li   a0, 12
+    jal  fib
+    move s0, v0
+    halt
+fib:                     # v0 = fib(a0)
+    slti t0, a0, 2
+    beq  t0, zero, rec
+    move v0, a0          # fib(0)=0, fib(1)=1
+    jr   ra
+rec:
+    addi sp, sp, -12
+    sw   ra, 0(sp)
+    sw   a0, 4(sp)
+    addi a0, a0, -1
+    jal  fib
+    sw   v0, 8(sp)
+    lw   a0, 4(sp)
+    addi a0, a0, -2
+    jal  fib
+    lw   t0, 8(sp)
+    add  v0, v0, t0
+    lw   ra, 0(sp)
+    addi sp, sp, 12
+    jr   ra
+"#,
+};
+
+/// Word-wise copy of a 128-word block (long dual sequential walks).
+pub const MEMCPY: Kernel = Kernel {
+    name: "memcpy",
+    max_steps: 200_000,
+    source: r#"
+.data 0x10000000
+src:    .space 512
+dst:    .space 512
+.text 0x00400000
+main:
+    la   s0, src
+    li   t0, 128
+    li   t1, 0x1234
+fill:
+    sw   t1, 0(s0)
+    addi s0, s0, 4
+    addi t1, t1, 7
+    addi t0, t0, -1
+    bne  t0, zero, fill
+    la   s0, src
+    la   s1, dst
+    li   t0, 128
+copy:
+    lw   t1, 0(s0)
+    sw   t1, 0(s1)
+    addi s0, s0, 4
+    addi s1, s1, 4
+    addi t0, t0, -1
+    bne  t0, zero, copy
+    halt
+"#,
+};
+
+/// Iterative quicksort of a 64-element array (explicit stack of ranges;
+/// data accesses mix partition walks with stack traffic).
+pub const QUICKSORT: Kernel = Kernel {
+    name: "quicksort",
+    max_steps: 3_000_000,
+    source: r#"
+.data 0x10000000
+arr:    .space 256
+stack:  .space 1024
+.text 0x00400000
+main:
+    la   s0, arr         # fill with a decimated pattern
+    li   t0, 64
+    li   t1, 0
+fill:
+    mul  t2, t1, t1
+    andi t2, t2, 0xff    # pseudo-scrambled values
+    sw   t2, 0(s0)
+    addi s0, s0, 4
+    addi t1, t1, 1
+    addi t0, t0, -1
+    bne  t0, zero, fill
+    la   s7, stack       # range stack pointer
+    li   t0, 0           # lo = 0
+    li   t1, 63          # hi = 63
+    sw   t0, 0(s7)
+    sw   t1, 4(s7)
+    addi s7, s7, 8
+loop:
+    la   t2, stack
+    beq  s7, t2, done    # stack empty
+    addi s7, s7, -8
+    lw   s1, 0(s7)       # lo
+    lw   s2, 4(s7)       # hi
+    bge  s1, s2, loop
+    # partition [lo, hi] around pivot = arr[hi]
+    la   s0, arr
+    sll  t0, s2, 2
+    add  t0, t0, s0
+    lw   s3, 0(t0)       # pivot
+    addi s4, s1, -1      # i = lo - 1
+    move s5, s1          # j = lo
+part:
+    bge  s5, s2, endpart
+    sll  t0, s5, 2
+    add  t0, t0, s0
+    lw   t1, 0(t0)       # arr[j]
+    bge  t1, s3, nswap
+    addi s4, s4, 1       # i++
+    sll  t2, s4, 2
+    add  t2, t2, s0
+    lw   t3, 0(t2)
+    sw   t1, 0(t2)       # swap arr[i], arr[j]
+    sw   t3, 0(t0)
+nswap:
+    addi s5, s5, 1
+    j    part
+endpart:
+    addi s4, s4, 1       # pivot position = i + 1
+    sll  t0, s4, 2
+    add  t0, t0, s0
+    lw   t1, 0(t0)
+    sll  t2, s2, 2
+    add  t2, t2, s0
+    lw   t3, 0(t2)
+    sw   t1, 0(t2)
+    sw   t3, 0(t0)
+    # push [lo, p-1] and [p+1, hi]
+    addi t0, s4, -1
+    sw   s1, 0(s7)
+    sw   t0, 4(s7)
+    addi s7, s7, 8
+    addi t0, s4, 1
+    sw   t0, 0(s7)
+    sw   s2, 4(s7)
+    addi s7, s7, 8
+    j    loop
+done:
+    halt
+"#,
+};
+
+/// Bitwise CRC-32 over a 64-byte message (long dependent chains, byte
+/// loads, table-free).
+pub const CRC32: Kernel = Kernel {
+    name: "crc32",
+    max_steps: 1_000_000,
+    source: r#"
+.data 0x10000000
+msg:    .space 64
+.text 0x00400000
+main:
+    la   s0, msg         # fill the message
+    li   t0, 64
+    li   t1, 0x5a
+fill:
+    sb   t1, 0(s0)
+    addi s0, s0, 1
+    addi t1, t1, 0x2f
+    andi t1, t1, 0xff
+    addi t0, t0, -1
+    bne  t0, zero, fill
+    la   s0, msg
+    li   s1, 64          # bytes left
+    li   s2, -1          # crc = 0xffffffff
+    li   s3, 0xedb88320  # reflected polynomial
+bytes:
+    lb   t0, 0(s0)
+    xor  s2, s2, t0
+    li   t1, 8           # bit counter
+bits:
+    andi t2, s2, 1
+    srl  s2, s2, 1
+    beq  t2, zero, nbit
+    xor  s2, s2, s3
+nbit:
+    addi t1, t1, -1
+    bne  t1, zero, bits
+    addi s0, s0, 1
+    addi s1, s1, -1
+    bne  s1, zero, bytes
+    li   t0, -1
+    xor  s2, s2, t0      # final complement
+    halt
+"#,
+};
+
+/// 8-tap FIR filter over 96 samples (streaming DSP: two sliding array
+/// walks per output — the workload class the Beach paper targets).
+pub const FIR_FILTER: Kernel = Kernel {
+    name: "fir_filter",
+    max_steps: 1_000_000,
+    source: r#"
+.data 0x10000000
+x:      .space 416       # 104 input samples (96 outputs + 8 taps)
+h:      .word 1, 2, 3, 4, 4, 3, 2, 1
+y:      .space 384
+.text 0x00400000
+main:
+    la   s0, x           # synthesize an input ramp with wiggle
+    li   t0, 104
+    li   t1, 0
+fillx:
+    andi t2, t1, 0xf
+    sw   t2, 0(s0)
+    addi s0, s0, 4
+    addi t1, t1, 3
+    addi t0, t0, -1
+    bne  t0, zero, fillx
+    li   s4, 0           # output index n
+outer:
+    li   s5, 0           # tap index k
+    li   s6, 0           # acc
+inner:
+    add  t0, s4, s5      # x[n + k]
+    sll  t0, t0, 2
+    la   t1, x
+    add  t1, t1, t0
+    lw   t2, 0(t1)
+    sll  t0, s5, 2       # h[k]
+    la   t1, h
+    add  t1, t1, t0
+    lw   t3, 0(t1)
+    mul  t4, t2, t3
+    add  s6, s6, t4
+    addi s5, s5, 1
+    slti t5, s5, 8
+    bne  t5, zero, inner
+    sll  t0, s4, 2       # y[n] = acc
+    la   t1, y
+    add  t1, t1, t0
+    sw   s6, 0(t1)
+    addi s4, s4, 1
+    slti t5, s4, 96
+    bne  t5, zero, outer
+    halt
+"#,
+};
+
+/// Every built-in kernel.
+pub fn all_kernels() -> &'static [Kernel] {
+    &[
+        DOT_PRODUCT,
+        MATMUL,
+        STRING_SEARCH,
+        BUBBLE_SORT,
+        FIBONACCI,
+        MEMCPY,
+        QUICKSORT,
+        CRC32,
+        FIR_FILTER,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Reg;
+    use buscode_core::Stride;
+    use buscode_trace::StreamStats;
+
+    #[test]
+    fn every_kernel_assembles_and_halts() {
+        for kernel in all_kernels() {
+            let trace = kernel.trace().unwrap_or_else(|e| {
+                panic!("{} failed: {e}", kernel.name);
+            });
+            assert!(!trace.is_empty(), "{}", kernel.name);
+        }
+    }
+
+    #[test]
+    fn dot_product_computes_correctly() {
+        let mut m = Machine::new(DOT_PRODUCT.program());
+        m.run(DOT_PRODUCT.max_steps).unwrap();
+        // a[i] = b[i] = 1 + 3i, so sum = sum (1+3i)^2 for i in 0..64.
+        let expected: u32 = (0..64u32).map(|i| (1 + 3 * i).pow(2)).sum();
+        assert_eq!(m.reg(Reg::new(18)), expected);
+    }
+
+    #[test]
+    fn fibonacci_computes_correctly() {
+        let mut m = Machine::new(FIBONACCI.program());
+        m.run(FIBONACCI.max_steps).unwrap();
+        assert_eq!(m.reg(Reg::new(16)), 144); // fib(12)
+    }
+
+    #[test]
+    fn bubble_sort_sorts() {
+        let mut m = Machine::new(BUBBLE_SORT.program());
+        m.run(BUBBLE_SORT.max_steps).unwrap();
+        let base = 0x1000_0000u64;
+        let values: Vec<u32> = (0..48).map(|i| m.load_word(base + 4 * i)).collect();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        assert_eq!(values, sorted);
+        assert_eq!(values[0], 1);
+        assert_eq!(values[47], 48);
+    }
+
+    #[test]
+    fn memcpy_copies() {
+        let mut m = Machine::new(MEMCPY.program());
+        m.run(MEMCPY.max_steps).unwrap();
+        let src = 0x1000_0000u64;
+        let dst = src + 512;
+        for i in 0..128u64 {
+            assert_eq!(m.load_word(src + 4 * i), m.load_word(dst + 4 * i));
+        }
+        assert_eq!(m.load_word(src), 0x1234);
+    }
+
+    #[test]
+    fn string_search_finds_nothing_in_pattern_without_nine() {
+        // The haystack bytes cycle 0..=7; the needle ends with 9, so the
+        // search must scan to the end without matching.
+        let mut m = Machine::new(STRING_SEARCH.program());
+        m.run(STRING_SEARCH.max_steps).unwrap();
+        assert_eq!(m.reg(Reg::new(18)), 185); // position ran to the limit
+    }
+
+    #[test]
+    fn quicksort_sorts() {
+        let mut m = Machine::new(QUICKSORT.program());
+        m.run(QUICKSORT.max_steps).unwrap();
+        let base = 0x1000_0000u64;
+        let values: Vec<u32> = (0..64).map(|i| m.load_word(base + 4 * i)).collect();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        assert_eq!(values, sorted);
+        // The fill produced (i*i) & 0xff; spot-check the multiset survived.
+        let mut expected: Vec<u32> = (0..64u32).map(|i| (i * i) & 0xff).collect();
+        expected.sort_unstable();
+        assert_eq!(values, expected);
+    }
+
+    #[test]
+    fn crc32_matches_reference_implementation() {
+        let mut m = Machine::new(CRC32.program());
+        m.run(CRC32.max_steps).unwrap();
+        // Reference: same message synthesized in Rust.
+        let mut byte = 0x5au8;
+        let mut msg = Vec::new();
+        for _ in 0..64 {
+            msg.push(byte);
+            byte = byte.wrapping_add(0x2f);
+        }
+        let mut crc = u32::MAX;
+        for b in msg {
+            crc ^= u32::from(b);
+            for _ in 0..8 {
+                let lsb = crc & 1;
+                crc >>= 1;
+                if lsb == 1 {
+                    crc ^= 0xedb8_8320;
+                }
+            }
+        }
+        crc ^= u32::MAX;
+        assert_eq!(m.reg(Reg::new(18)), crc);
+    }
+
+    #[test]
+    fn fir_filter_computes_convolution() {
+        let mut m = Machine::new(FIR_FILTER.program());
+        m.run(FIR_FILTER.max_steps).unwrap();
+        let x_base = 0x1000_0000u64;
+        let y_base = x_base + 416 + 32;
+        let taps = [1u32, 2, 3, 4, 4, 3, 2, 1];
+        // Reference input: value = (3*i) & 0xf.
+        let x: Vec<u32> = (0..104u32).map(|i| (3 * i) & 0xf).collect();
+        for n in 0..96usize {
+            let expected: u32 = (0..8).map(|k| x[n + k] * taps[k]).sum();
+            assert_eq!(m.load_word(y_base + 4 * n as u64), expected, "y[{n}]");
+        }
+    }
+
+    #[test]
+    fn instruction_streams_are_mostly_sequential() {
+        // The paper's central empirical claim about instruction buses.
+        for kernel in all_kernels() {
+            let trace = kernel.trace().unwrap();
+            let stats = StreamStats::measure(&trace.instruction(), Stride::WORD);
+            assert!(
+                stats.in_seq_fraction() > 0.5,
+                "{}: {:.3}",
+                kernel.name,
+                stats.in_seq_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn data_streams_are_mostly_non_sequential() {
+        // Loop counters and stack traffic destroy data sequentiality
+        // (paper Section 2.4) — even memcpy interleaves two walks.
+        for kernel in all_kernels() {
+            let trace = kernel.trace().unwrap();
+            let data = trace.data();
+            if data.len() < 50 {
+                continue;
+            }
+            let stats = StreamStats::measure(&data, Stride::WORD);
+            // Bubble sort's adjacent-element compare (a[i], a[i+1]) makes
+            // every other data pair sequential, so the bound is loose.
+            assert!(
+                stats.in_seq_fraction() < 0.55,
+                "{}: {:.3}",
+                kernel.name,
+                stats.in_seq_fraction()
+            );
+        }
+    }
+}

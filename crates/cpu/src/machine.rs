@@ -1,0 +1,515 @@
+//! The execution engine: a single-issue core with instruction and data
+//! address-bus probes.
+//!
+//! The machine executes an assembled [`Program`] one instruction per cycle
+//! and records every bus transaction: each fetch contributes an
+//! instruction-address access, each load/store a data-address access, in
+//! program order — exactly the multiplexed sequence a MIPS-style shared
+//! address bus would carry. The three bus configurations of the paper's
+//! experiments are views of the same recording ([`BusTrace`]).
+
+use std::collections::BTreeMap;
+
+use buscode_core::{Access, AccessKind};
+
+use crate::asm::Program;
+use crate::isa::{Instr, Reg};
+
+/// Errors raised during execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// The program counter points outside the text section.
+    InvalidPc {
+        /// The offending program counter.
+        pc: u64,
+    },
+    /// The fetched memory word is not a valid instruction.
+    InvalidInstruction {
+        /// The program counter of the fetch.
+        pc: u64,
+        /// The undecodable word.
+        word: u32,
+    },
+    /// The step budget was exhausted before `halt`.
+    StepLimit {
+        /// The configured budget.
+        limit: u64,
+    },
+}
+
+impl core::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ExecError::InvalidPc { pc } => {
+                write!(f, "program counter {pc:#x} is outside the text section")
+            }
+            ExecError::InvalidInstruction { pc, word } => {
+                write!(f, "word {word:#010x} at {pc:#x} is not a valid instruction")
+            }
+            ExecError::StepLimit { limit } => {
+                write!(f, "program did not halt within {limit} steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The recorded bus activity of one program run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BusTrace {
+    accesses: Vec<Access>,
+}
+
+impl BusTrace {
+    /// The multiplexed instruction/data sequence in bus order (the MIPS
+    /// shared-bus configuration, Tables 4 and 7 of the paper).
+    pub fn muxed(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// The instruction address stream only (dedicated instruction bus,
+    /// Tables 2 and 5).
+    pub fn instruction(&self) -> Vec<Access> {
+        self.accesses
+            .iter()
+            .copied()
+            .filter(|a| a.kind == AccessKind::Instruction)
+            .collect()
+    }
+
+    /// The data address stream only (dedicated data bus, Tables 3 and 6).
+    pub fn data(&self) -> Vec<Access> {
+        self.accesses
+            .iter()
+            .copied()
+            .filter(|a| a.kind == AccessKind::Data)
+            .collect()
+    }
+
+    /// Total number of bus transactions.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+}
+
+/// The simulated core: registers, byte-addressable memory, and bus probes.
+///
+/// # Examples
+///
+/// ```
+/// use buscode_cpu::{assemble, Machine};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = assemble(
+///     "main:\n li t0, 5\n li t1, 0\nloop:\n add t1, t1, t0\n addi t0, t0, -1\n bne t0, zero, loop\n halt\n",
+/// )?;
+/// let mut machine = Machine::new(program);
+/// let outcome = machine.run(10_000)?;
+/// assert_eq!(machine.reg(buscode_cpu::Reg::new(9)), 15); // 5+4+3+2+1
+/// assert!(outcome.trace.len() > 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Machine {
+    pc: u64,
+    regs: [u32; 32],
+    memory: BTreeMap<u64, u8>,
+    /// Address range of the loaded text image (half-open, bytes).
+    text_range: core::ops::Range<u64>,
+    halted: bool,
+}
+
+/// What a completed run produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Instructions executed.
+    pub steps: u64,
+    /// The recorded bus trace.
+    pub trace: BusTrace,
+}
+
+impl Machine {
+    /// Creates a machine loaded with `program`: the text section is
+    /// *binary-encoded* into memory (the machine fetches and decodes real
+    /// machine words), the data section is copied, the stack pointer is
+    /// set to `0x7fff_f000`, and `pc` points at the entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an instruction cannot be encoded (immediate or branch
+    /// target out of field range); use [`Machine::try_new`] to handle the
+    /// error instead.
+    pub fn new(program: Program) -> Self {
+        Machine::try_new(program).expect("program must be encodable")
+    }
+
+    /// Fallible constructor; see [`Machine::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EncodeError`](crate::EncodeError) hit while producing the binary
+    /// text image.
+    pub fn try_new(program: Program) -> Result<Self, crate::EncodeError> {
+        let mut regs = [0u32; 32];
+        regs[Reg::SP.index()] = 0x7fff_f000;
+        let mut machine = Machine {
+            pc: program.entry,
+            regs,
+            memory: program.data.clone(),
+            text_range: 0..0,
+            halted: false,
+        };
+        if let (Some(first), Some(last)) =
+            (program.text.keys().next(), program.text.keys().next_back())
+        {
+            machine.text_range = *first..*last + 4;
+        }
+        for (&addr, instr) in &program.text {
+            let word = crate::encode_instr(instr, addr)?;
+            machine.store_word(addr, word);
+        }
+        Ok(machine)
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, reg: Reg) -> u32 {
+        if reg.index() == 0 {
+            0
+        } else {
+            self.regs[reg.index()]
+        }
+    }
+
+    fn set_reg(&mut self, reg: Reg, value: u32) {
+        if reg.index() != 0 {
+            self.regs[reg.index()] = value;
+        }
+    }
+
+    /// Reads a 32-bit little-endian word from memory (unwritten bytes are
+    /// zero).
+    pub fn load_word(&self, addr: u64) -> u32 {
+        let mut bytes = [0u8; 4];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.memory.get(&(addr + i as u64)).copied().unwrap_or(0);
+        }
+        u32::from_le_bytes(bytes)
+    }
+
+    /// Writes a 32-bit little-endian word to memory.
+    pub fn store_word(&mut self, addr: u64, value: u32) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.memory.insert(addr + i as u64, *b);
+        }
+    }
+
+    /// Whether the core has executed `halt`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The current program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Runs until `halt` or until `max_steps` instructions have executed,
+    /// recording the bus trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidPc`] if execution leaves the text
+    /// section, or [`ExecError::StepLimit`] if the budget is exhausted
+    /// first.
+    pub fn run(&mut self, max_steps: u64) -> Result<RunOutcome, ExecError> {
+        let mut trace = BusTrace::default();
+        let mut steps = 0u64;
+        while !self.halted {
+            if steps >= max_steps {
+                return Err(ExecError::StepLimit { limit: max_steps });
+            }
+            self.step(&mut trace)?;
+            steps += 1;
+        }
+        Ok(RunOutcome { steps, trace })
+    }
+
+    /// Executes one instruction — fetch the machine word from memory,
+    /// decode, execute — appending its bus transactions to `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidPc`] if the program counter leaves the
+    /// text image or is misaligned, or [`ExecError::InvalidInstruction`]
+    /// if the fetched word does not decode.
+    pub fn step(&mut self, trace: &mut BusTrace) -> Result<(), ExecError> {
+        if !self.text_range.contains(&self.pc) || !self.pc.is_multiple_of(4) {
+            return Err(ExecError::InvalidPc { pc: self.pc });
+        }
+        let word = self.load_word(self.pc);
+        let instr = crate::decode_instr(word, self.pc)
+            .map_err(|_| ExecError::InvalidInstruction { pc: self.pc, word })?;
+        trace.accesses.push(Access::instruction(self.pc));
+        let mut next_pc = self.pc + 4;
+        match instr {
+            Instr::Add { rd, rs, rt } => {
+                self.set_reg(rd, self.reg(rs).wrapping_add(self.reg(rt)))
+            }
+            Instr::Sub { rd, rs, rt } => {
+                self.set_reg(rd, self.reg(rs).wrapping_sub(self.reg(rt)))
+            }
+            Instr::Mul { rd, rs, rt } => {
+                self.set_reg(rd, self.reg(rs).wrapping_mul(self.reg(rt)))
+            }
+            Instr::And { rd, rs, rt } => self.set_reg(rd, self.reg(rs) & self.reg(rt)),
+            Instr::Or { rd, rs, rt } => self.set_reg(rd, self.reg(rs) | self.reg(rt)),
+            Instr::Xor { rd, rs, rt } => self.set_reg(rd, self.reg(rs) ^ self.reg(rt)),
+            Instr::Slt { rd, rs, rt } => {
+                self.set_reg(rd, u32::from((self.reg(rs) as i32) < (self.reg(rt) as i32)))
+            }
+            Instr::Addi { rt, rs, imm } => {
+                self.set_reg(rt, self.reg(rs).wrapping_add(imm as u32))
+            }
+            Instr::Andi { rt, rs, imm } => self.set_reg(rt, self.reg(rs) & imm),
+            Instr::Ori { rt, rs, imm } => self.set_reg(rt, self.reg(rs) | imm),
+            Instr::Slti { rt, rs, imm } => {
+                self.set_reg(rt, u32::from((self.reg(rs) as i32) < imm))
+            }
+            Instr::Lui { rt, imm } => self.set_reg(rt, imm << 16),
+            Instr::Sll { rd, rt, shamt } => self.set_reg(rd, self.reg(rt) << (shamt & 31)),
+            Instr::Srl { rd, rt, shamt } => self.set_reg(rd, self.reg(rt) >> (shamt & 31)),
+            Instr::Lw { rt, rs, offset } => {
+                let addr = self.effective_address(rs, offset);
+                trace.accesses.push(Access::data(addr));
+                let value = self.load_word(addr);
+                self.set_reg(rt, value);
+            }
+            Instr::Sw { rt, rs, offset } => {
+                let addr = self.effective_address(rs, offset);
+                trace.accesses.push(Access::data(addr));
+                self.store_word(addr, self.reg(rt));
+            }
+            Instr::Lb { rt, rs, offset } => {
+                let addr = self.effective_address(rs, offset);
+                trace.accesses.push(Access::data(addr));
+                let value = self.memory.get(&addr).copied().unwrap_or(0);
+                self.set_reg(rt, u32::from(value));
+            }
+            Instr::Sb { rt, rs, offset } => {
+                let addr = self.effective_address(rs, offset);
+                trace.accesses.push(Access::data(addr));
+                let byte = (self.reg(rt) & 0xff) as u8;
+                self.memory.insert(addr, byte);
+            }
+            Instr::Beq { rs, rt, target } => {
+                if self.reg(rs) == self.reg(rt) {
+                    next_pc = target;
+                }
+            }
+            Instr::Bne { rs, rt, target } => {
+                if self.reg(rs) != self.reg(rt) {
+                    next_pc = target;
+                }
+            }
+            Instr::Blt { rs, rt, target } => {
+                if (self.reg(rs) as i32) < (self.reg(rt) as i32) {
+                    next_pc = target;
+                }
+            }
+            Instr::Bge { rs, rt, target } => {
+                if (self.reg(rs) as i32) >= (self.reg(rt) as i32) {
+                    next_pc = target;
+                }
+            }
+            Instr::J { target } => next_pc = target,
+            Instr::Jal { target } => {
+                self.set_reg(Reg::RA, (self.pc + 4) as u32);
+                next_pc = target;
+            }
+            Instr::Jr { rs } => next_pc = u64::from(self.reg(rs)),
+            Instr::Nop => {}
+            Instr::Halt => self.halted = true,
+        }
+        self.pc = next_pc;
+        Ok(())
+    }
+
+    fn effective_address(&self, base: Reg, offset: i32) -> u64 {
+        u64::from(self.reg(base).wrapping_add(offset as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use buscode_core::Stride;
+    use buscode_trace::StreamStats;
+
+    fn run(src: &str) -> (Machine, RunOutcome) {
+        let program = assemble(src).unwrap();
+        let mut machine = Machine::new(program);
+        let outcome = machine.run(1_000_000).unwrap();
+        (machine, outcome)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let (m, out) = run("main:\n li t0, 7\n li t1, 5\n add t2, t0, t1\n sub t3, t0, t1\n mul t4, t0, t1\n halt\n");
+        assert_eq!(m.reg(Reg::new(10)), 12);
+        assert_eq!(m.reg(Reg::new(11)), 2);
+        assert_eq!(m.reg(Reg::new(12)), 35);
+        assert_eq!(out.steps, 6);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let (m, _) = run("main:\n li zero, 99\n halt\n");
+        assert_eq!(m.reg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn memory_round_trip_and_data_trace() {
+        let (m, out) = run(
+            ".data 0x10000000\nv: .word 0\n.text\nmain:\n la s0, v\n li t0, 0xabcd\n sw t0, 0(s0)\n lw t1, 0(s0)\n halt\n",
+        );
+        assert_eq!(m.reg(Reg::new(9)), 0xabcd);
+        let data = out.trace.data();
+        assert_eq!(data.len(), 2);
+        assert_eq!(data[0].address, 0x1000_0000);
+    }
+
+    #[test]
+    fn byte_accesses() {
+        let (m, _) = run(
+            ".data\nb: .byte 0x7f\n.text\nmain:\n la s0, b\n lb t0, 0(s0)\n li t1, 0x12\n sb t1, 1(s0)\n lb t2, 1(s0)\n halt\n",
+        );
+        assert_eq!(m.reg(Reg::new(8)), 0x7f);
+        assert_eq!(m.reg(Reg::new(10)), 0x12);
+    }
+
+    #[test]
+    fn loop_sums_correctly() {
+        let (m, _) = run(
+            "main:\n li t0, 100\n li t1, 0\nloop:\n add t1, t1, t0\n addi t0, t0, -1\n bne t0, zero, loop\n halt\n",
+        );
+        assert_eq!(m.reg(Reg::new(9)), 5050);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let (m, _) = run(
+            "main:\n li a0, 21\n jal double\n move s0, v0\n halt\ndouble:\n add v0, a0, a0\n jr ra\n",
+        );
+        assert_eq!(m.reg(Reg::new(16)), 42);
+    }
+
+    #[test]
+    fn branch_comparisons_are_signed() {
+        let (m, _) = run(
+            "main:\n li t0, -1\n li t1, 1\n li s0, 0\n blt t0, t1, ok\n li s0, 99\nok:\n halt\n",
+        );
+        assert_eq!(m.reg(Reg::new(16)), 0);
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let program = assemble("main:\n j main\n").unwrap();
+        let mut m = Machine::new(program);
+        assert_eq!(m.run(100), Err(ExecError::StepLimit { limit: 100 }));
+    }
+
+    #[test]
+    fn invalid_pc_reported() {
+        let program = assemble("main:\n jr t0\n").unwrap(); // t0 = 0
+        let mut m = Machine::new(program);
+        let err = m.run(10).unwrap_err();
+        assert_eq!(err, ExecError::InvalidPc { pc: 0 });
+    }
+
+    #[test]
+    fn instruction_trace_is_sequential_between_branches() {
+        let (_, out) = run(
+            "main:\n li t0, 50\nloop:\n nop\n nop\n nop\n nop\n addi t0, t0, -1\n bne t0, zero, loop\n halt\n",
+        );
+        let instr = out.trace.instruction();
+        let stats = StreamStats::measure(&instr, Stride::WORD);
+        // Five of every six fetches in the loop are in-sequence.
+        assert!(stats.in_seq_fraction() > 0.7, "{}", stats.in_seq_fraction());
+    }
+
+    #[test]
+    fn muxed_trace_interleaves_instruction_and_data() {
+        let (_, out) = run(
+            ".data\nv: .word 1\n.text\nmain:\n la s0, v\n li t0, 20\nloop:\n lw t1, 0(s0)\n addi t0, t0, -1\n bne t0, zero, loop\n halt\n",
+        );
+        let muxed = out.trace.muxed();
+        let stats = StreamStats::measure(muxed, Stride::WORD);
+        assert!(stats.data_count >= 20);
+        assert!(stats.kind_switches >= 40);
+        assert_eq!(out.trace.instruction().len() + out.trace.data().len(), muxed.len());
+    }
+
+    #[test]
+    fn text_image_is_real_machine_words() {
+        let program = assemble("main:\n addi t0, zero, 5\n halt\n").unwrap();
+        let m = Machine::new(program);
+        assert_eq!(m.load_word(0x0040_0000), 0x2008_0005); // addi r8, r0, 5
+        assert_eq!(m.load_word(0x0040_0004), 0xffff_ffff); // halt
+    }
+
+    #[test]
+    fn self_modifying_code_executes_the_stored_word() {
+        // The machine fetches from memory, so a program can overwrite its
+        // own instructions. This one replaces an `addi t1, zero, 1` with
+        // `addi t1, zero, 2` before executing it.
+        let patch = crate::encode_instr(
+            &Instr::Addi { rt: Reg::new(9), rs: Reg::ZERO, imm: 2 },
+            0,
+        )
+        .unwrap();
+        let src = format!(
+            "main:\n li t0, {patch}\n la s0, slot\n sw t0, 0(s0)\nslot:\n addi t1, zero, 1\n halt\n"
+        );
+        let program = assemble(&src).unwrap();
+        let mut m = Machine::new(program);
+        m.run(100).unwrap();
+        assert_eq!(m.reg(Reg::new(9)), 2, "the patched instruction ran");
+    }
+
+    #[test]
+    fn misaligned_pc_is_invalid() {
+        let program = assemble("main:\n li t0, 0x00400002\n jr t0\n halt\n").unwrap();
+        let mut m = Machine::new(program);
+        let err = m.run(10).unwrap_err();
+        assert_eq!(err, ExecError::InvalidPc { pc: 0x0040_0002 });
+    }
+
+    #[test]
+    fn garbage_fetch_reports_invalid_instruction() {
+        // Jump into the middle of the data... there is none in text, so
+        // store a reserved word into a text slot and run into it.
+        let program = assemble(
+            "main:\n li t0, 0xfc000000\n la s0, hole\n sw t0, 0(s0)\n j hole\nhole:\n nop\n halt\n",
+        )
+        .unwrap();
+        let mut m = Machine::new(program);
+        let err = m.run(100).unwrap_err();
+        assert!(matches!(err, ExecError::InvalidInstruction { word: 0xfc00_0000, .. }));
+    }
+
+    #[test]
+    fn trace_lengths_consistent() {
+        let (_, out) = run("main:\n nop\n halt\n");
+        assert_eq!(out.trace.len(), 2);
+        assert!(!out.trace.is_empty());
+    }
+}

@@ -1,0 +1,1087 @@
+//! Gate-level implementations of the paper's encoder/decoder
+//! architectures (Section 4.1).
+//!
+//! Three codecs are synthesized, matching the three codes the paper's
+//! power analysis compares (Tables 8-9):
+//!
+//! - **binary**: output buffers only (two inverters per line);
+//! - **T0**: increment comparator (ripple adder + equality), output mux,
+//!   address/bus registers, `INC` generation — the architecture of the
+//!   authors' earlier GLSVLSI'97 paper;
+//! - **dual T0_BI**: a T0 section generating `INC` (with the `SEL`-gated
+//!   reference register), a bus-invert section — "a Hamming distance
+//!   evaluator of the encoded bus lines at time t-1 concatenated with the
+//!   INCV signal and the address value at the present time t, followed by a
+//!   majority voter" — and the output multiplexor controlled by `SEL` and
+//!   `INCV = INC + INV`;
+//! - **bus-invert** is also provided for ablations.
+//!
+//! Every circuit is verified cycle-equivalent to the corresponding
+//! behavioural codec from `buscode-core` in this module's tests and in the
+//! cross-crate integration suite.
+
+use buscode_core::{Access, AccessKind, BusState, BusWidth, Stride};
+
+use crate::netlist::{NetId, Netlist, Word};
+use crate::sim::Simulator;
+
+/// A synthesized encoder circuit with its interface nets.
+#[derive(Clone, Debug)]
+pub struct EncoderCircuit {
+    /// The circuit.
+    pub netlist: Netlist,
+    /// Address input lines, LSB-first.
+    pub address_in: Word,
+    /// `SEL` input, present only for dual (multiplexed-bus) codecs.
+    pub sel_in: Option<NetId>,
+    /// Encoded bus output lines, LSB-first.
+    pub bus_out: Word,
+    /// Redundant output lines (`INC`, `INV`, or `INCV`), LSB-first.
+    pub aux_out: Vec<NetId>,
+    /// The codec's name.
+    pub name: &'static str,
+}
+
+impl EncoderCircuit {
+    /// Returns an optimized copy of this circuit (constant folding,
+    /// sharing, dead-gate removal) with all interface nets remapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the optimizer removed an interface net — impossible for
+    /// the circuits built by this module (their interfaces are live).
+    pub fn optimized(&self) -> EncoderCircuit {
+        let (netlist, map) = crate::optimize(&self.netlist);
+        EncoderCircuit {
+            address_in: map.word(&self.address_in).expect("inputs survive"),
+            sel_in: self.sel_in.map(|s| map.get(s).expect("inputs survive")),
+            bus_out: map.word(&self.bus_out).expect("outputs survive"),
+            aux_out: map.word(&self.aux_out).expect("outputs survive"),
+            netlist,
+            name: self.name,
+        }
+    }
+
+    /// Runs the circuit over a stream, returning the bus state it drove
+    /// each cycle together with the finished simulator (for power
+    /// accounting).
+    pub fn run(&self, stream: &[Access]) -> (Vec<BusState>, Simulator) {
+        let mut sim = Simulator::new(self.netlist.clone());
+        let mut out = Vec::with_capacity(stream.len());
+        for access in stream {
+            sim.set_word(&self.address_in, access.address);
+            if let Some(sel) = self.sel_in {
+                sim.set(sel, access.kind.sel());
+            }
+            sim.step();
+            out.push(BusState::new(sim.word(&self.bus_out), sim.word(&self.aux_out)));
+        }
+        (out, sim)
+    }
+}
+
+/// A synthesized decoder circuit with its interface nets.
+#[derive(Clone, Debug)]
+pub struct DecoderCircuit {
+    /// The circuit.
+    pub netlist: Netlist,
+    /// Encoded bus input lines, LSB-first.
+    pub bus_in: Word,
+    /// Redundant input lines, LSB-first.
+    pub aux_in: Vec<NetId>,
+    /// `SEL` input, present only for dual codecs.
+    pub sel_in: Option<NetId>,
+    /// Decoded address output lines, LSB-first.
+    pub address_out: Word,
+    /// The codec's name.
+    pub name: &'static str,
+}
+
+impl DecoderCircuit {
+    /// Returns an optimized copy of this circuit with all interface nets
+    /// remapped; see [`EncoderCircuit::optimized`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the optimizer removed an interface net — impossible for
+    /// the circuits built by this module.
+    pub fn optimized(&self) -> DecoderCircuit {
+        let (netlist, map) = crate::optimize(&self.netlist);
+        DecoderCircuit {
+            bus_in: map.word(&self.bus_in).expect("inputs survive"),
+            aux_in: map.word(&self.aux_in).expect("inputs survive"),
+            sel_in: self.sel_in.map(|s| map.get(s).expect("inputs survive")),
+            address_out: map.word(&self.address_out).expect("outputs survive"),
+            netlist,
+            name: self.name,
+        }
+    }
+
+    /// Runs the circuit over an encoded stream (bus words plus the `SEL`
+    /// side channel), returning the decoded addresses and the simulator.
+    pub fn run(&self, words: &[(BusState, AccessKind)]) -> (Vec<u64>, Simulator) {
+        let mut sim = Simulator::new(self.netlist.clone());
+        let mut out = Vec::with_capacity(words.len());
+        for (word, kind) in words {
+            sim.set_word(&self.bus_in, word.payload);
+            sim.set_word(&self.aux_in, word.aux);
+            if let Some(sel) = self.sel_in {
+                sim.set(sel, kind.sel());
+            }
+            sim.step();
+            out.push(sim.word(&self.address_out));
+        }
+        (out, sim)
+    }
+}
+
+/// Broadcast-XOR of a word with a single control net (conditional
+/// inversion, one XOR per line — the bus-invert output stage).
+fn xor_broadcast(n: &mut Netlist, word: &Word, control: NetId) -> Word {
+    word.iter().map(|&bit| n.xor(bit, control)).collect()
+}
+
+/// A double-inverter buffer per line (the binary "codec": drivers only).
+fn buffer_word(n: &mut Netlist, word: &Word) -> Word {
+    word.iter()
+        .map(|&bit| {
+            let inv = n.not(bit);
+            n.not(inv)
+        })
+        .collect()
+}
+
+/// The binary encoder: output buffers, no transformation.
+pub fn binary_encoder(width: BusWidth) -> EncoderCircuit {
+    let mut n = Netlist::new();
+    let address_in = n.input_word(width.bits());
+    let bus_out = buffer_word(&mut n, &address_in);
+    n.mark_output_word("bus", &bus_out);
+    EncoderCircuit {
+        netlist: n,
+        address_in,
+        sel_in: None,
+        bus_out,
+        aux_out: vec![],
+        name: "binary",
+    }
+}
+
+/// The binary decoder: input buffers, no transformation.
+pub fn binary_decoder(width: BusWidth) -> DecoderCircuit {
+    let mut n = Netlist::new();
+    let bus_in = n.input_word(width.bits());
+    let address_out = buffer_word(&mut n, &bus_in);
+    n.mark_output_word("address", &address_out);
+    DecoderCircuit {
+        netlist: n,
+        bus_in,
+        aux_in: vec![],
+        sel_in: None,
+        address_out,
+        name: "binary",
+    }
+}
+
+/// The T0 encoder architecture: address register, increment comparator,
+/// frozen-bus register, output mux, `INC` generation.
+pub fn t0_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
+    let mut n = Netlist::new();
+    let bits = width.bits();
+    let address_in = n.input_word(bits);
+
+    let prev_addr = n.dff_word(bits);
+    let prev_bus = n.dff_word(bits);
+    let valid = n.dff(); // rises after the first cycle
+
+    let predicted = n.add_const(&prev_addr, stride.get());
+    let matches = n.equal(&address_in, &predicted);
+    let inc = n.and(matches, valid);
+
+    let bus_out = n.mux_word(inc, &prev_bus, &address_in);
+
+    let one = n.constant(true);
+    n.drive_dff(valid, one).expect("valid is a flip-flop");
+    n.drive_dff_word(&prev_addr, &address_in)
+        .expect("widths match");
+    n.drive_dff_word(&prev_bus, &bus_out).expect("widths match");
+
+    n.mark_output_word("bus", &bus_out);
+    n.mark_output("inc", inc);
+    EncoderCircuit {
+        netlist: n,
+        address_in,
+        sel_in: None,
+        bus_out,
+        aux_out: vec![inc],
+        name: "t0",
+    }
+}
+
+/// The T0 decoder architecture: decoded-address register, local
+/// incrementer, output mux steered by `INC`.
+pub fn t0_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
+    let mut n = Netlist::new();
+    let bits = width.bits();
+    let bus_in = n.input_word(bits);
+    let inc = n.input();
+
+    let prev_dec = n.dff_word(bits);
+    let predicted = n.add_const(&prev_dec, stride.get());
+    let address_out = n.mux_word(inc, &predicted, &bus_in);
+    n.drive_dff_word(&prev_dec, &address_out)
+        .expect("widths match");
+
+    n.mark_output_word("address", &address_out);
+    DecoderCircuit {
+        netlist: n,
+        bus_in,
+        aux_in: vec![inc],
+        sel_in: None,
+        address_out,
+        name: "t0",
+    }
+}
+
+/// The bus-invert encoder: Hamming-distance evaluator (per-line XOR plus
+/// population count over the previous `INV`), majority voter, conditional
+/// inversion stage.
+pub fn bus_invert_encoder(width: BusWidth) -> EncoderCircuit {
+    let mut n = Netlist::new();
+    let bits = width.bits();
+    let address_in = n.input_word(bits);
+
+    let prev_bus = n.dff_word(bits);
+    let prev_inv = n.dff();
+
+    let mut diff = n.xor_word(&prev_bus, &address_in);
+    diff.push(prev_inv); // candidate INV is 0, so its distance term is prev_inv
+    let hd = n.popcount(&diff);
+    let invert = n.gt_const(&hd, u64::from(bits / 2));
+
+    let bus_out = xor_broadcast(&mut n, &address_in, invert);
+    n.drive_dff_word(&prev_bus, &bus_out).expect("widths match");
+    n.drive_dff(prev_inv, invert).expect("prev_inv is a flip-flop");
+
+    n.mark_output_word("bus", &bus_out);
+    n.mark_output("inv", invert);
+    EncoderCircuit {
+        netlist: n,
+        address_in,
+        sel_in: None,
+        bus_out,
+        aux_out: vec![invert],
+        name: "bus-invert",
+    }
+}
+
+/// The bus-invert decoder: one XOR per line steered by `INV`.
+pub fn bus_invert_decoder(width: BusWidth) -> DecoderCircuit {
+    let mut n = Netlist::new();
+    let bus_in = n.input_word(width.bits());
+    let inv = n.input();
+    let address_out = xor_broadcast(&mut n, &bus_in, inv);
+    n.mark_output_word("address", &address_out);
+    DecoderCircuit {
+        netlist: n,
+        bus_in,
+        aux_in: vec![inv],
+        sel_in: None,
+        address_out,
+        name: "bus-invert",
+    }
+}
+
+/// The dual T0_BI encoder (paper Section 4.1): T0 section with the
+/// `SEL`-gated reference register, bus-invert section with Hamming
+/// evaluator and majority voter, and the output multiplexor controlled by
+/// `SEL` and `INCV`.
+pub fn dual_t0bi_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
+    let mut n = Netlist::new();
+    let bits = width.bits();
+    let address_in = n.input_word(bits);
+    let sel = n.input();
+
+    // T0 section.
+    let reference = n.dff_word(bits);
+    let ref_valid = n.dff();
+    let prev_bus = n.dff_word(bits);
+    let prev_incv = n.dff();
+
+    let predicted = n.add_const(&reference, stride.get());
+    let matches = n.equal(&address_in, &predicted);
+    let seq0 = n.and(matches, ref_valid);
+    let seq = n.and(seq0, sel);
+
+    // Bus-invert section (active when SEL is low).
+    let mut diff = n.xor_word(&prev_bus, &address_in);
+    diff.push(prev_incv);
+    let hd = n.popcount(&diff);
+    let far = n.gt_const(&hd, u64::from(bits / 2));
+    let not_sel = n.not(sel);
+    let inv = n.and(far, not_sel);
+
+    // Output stage: INCV = INC + INV; freeze on seq, invert on inv.
+    let incv = n.or(seq, inv);
+    let xored = xor_broadcast(&mut n, &address_in, inv);
+    let bus_out = n.mux_word(seq, &prev_bus, &xored);
+
+    // State updates.
+    let next_ref = n.mux_word(sel, &address_in, &reference);
+    n.drive_dff_word(&reference, &next_ref).expect("widths match");
+    let next_valid = n.or(ref_valid, sel);
+    n.drive_dff(ref_valid, next_valid).expect("flip-flop");
+    n.drive_dff_word(&prev_bus, &bus_out).expect("widths match");
+    n.drive_dff(prev_incv, incv).expect("flip-flop");
+
+    n.mark_output_word("bus", &bus_out);
+    n.mark_output("incv", incv);
+    EncoderCircuit {
+        netlist: n,
+        address_in,
+        sel_in: Some(sel),
+        bus_out,
+        aux_out: vec![incv],
+        name: "dual-t0-bi",
+    }
+}
+
+/// The dual T0_BI decoder (paper Eq. 12): `SEL` and `INCV` steer among
+/// local increment, conditional inversion, and pass-through.
+pub fn dual_t0bi_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
+    let mut n = Netlist::new();
+    let bits = width.bits();
+    let bus_in = n.input_word(bits);
+    let incv = n.input();
+    let sel = n.input();
+
+    let reference = n.dff_word(bits);
+    let predicted = n.add_const(&reference, stride.get());
+
+    let not_sel = n.not(sel);
+    let invert = n.and(incv, not_sel);
+    let un_inverted = xor_broadcast(&mut n, &bus_in, invert);
+    let freeze = n.and(incv, sel);
+    let address_out = n.mux_word(freeze, &predicted, &un_inverted);
+
+    let next_ref = n.mux_word(sel, &address_out, &reference);
+    n.drive_dff_word(&reference, &next_ref).expect("widths match");
+
+    n.mark_output_word("address", &address_out);
+    DecoderCircuit {
+        netlist: n,
+        bus_in,
+        aux_in: vec![incv],
+        sel_in: Some(sel),
+        address_out,
+        name: "dual-t0-bi",
+    }
+}
+
+/// The stride-aware Gray encoder: one XOR per payload line above the
+/// stride bits (`g_i = b_i ^ b_{i+1}`), combinational only.
+pub fn gray_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
+    let mut n = Netlist::new();
+    let bits = width.bits();
+    let k = stride.log2();
+    let address_in = n.input_word(bits);
+    let mut bus_out = Vec::with_capacity(bits as usize);
+    for i in 0..bits {
+        if i < k {
+            // Stride bits pass through (buffered).
+            let inv = n.not(address_in[i as usize]);
+            bus_out.push(n.not(inv));
+        } else if i + 1 < bits {
+            bus_out.push(n.xor(address_in[i as usize], address_in[i as usize + 1]));
+        } else {
+            // The top Gray bit equals the top binary bit.
+            let inv = n.not(address_in[i as usize]);
+            bus_out.push(n.not(inv));
+        }
+    }
+    n.mark_output_word("bus", &bus_out);
+    EncoderCircuit {
+        netlist: n,
+        address_in,
+        sel_in: None,
+        bus_out,
+        aux_out: vec![],
+        name: "gray",
+    }
+}
+
+/// The Gray decoder: the classic MSB-to-LSB XOR prefix chain — cheap in
+/// gates but deep in logic levels, the Gray code's known timing cost.
+pub fn gray_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
+    let mut n = Netlist::new();
+    let bits = width.bits();
+    let k = stride.log2();
+    let bus_in = n.input_word(bits);
+    let mut address_out = vec![None; bits as usize];
+    // b_top = g_top; b_i = g_i ^ b_{i+1}, down to the stride bits.
+    let mut prev: Option<NetId> = None;
+    for i in (k..bits).rev() {
+        let bit = match prev {
+            None => {
+                let inv = n.not(bus_in[i as usize]);
+                n.not(inv)
+            }
+            Some(above) => n.xor(bus_in[i as usize], above),
+        };
+        address_out[i as usize] = Some(bit);
+        prev = Some(bit);
+    }
+    for i in 0..k {
+        let inv = n.not(bus_in[i as usize]);
+        address_out[i as usize] = Some(n.not(inv));
+    }
+    let address_out: Word = address_out.into_iter().map(|b| b.expect("all bits set")).collect();
+    n.mark_output_word("address", &address_out);
+    DecoderCircuit {
+        netlist: n,
+        bus_in,
+        aux_in: vec![],
+        sel_in: None,
+        address_out,
+        name: "gray",
+    }
+}
+
+/// The T0_BI encoder (paper Section 3.1): T0 section, bus-invert section
+/// with the `(N+2)/2` threshold over all `N+2` lines, and a three-way
+/// output stage (freeze / plain / inverted).
+pub fn t0bi_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
+    let mut n = Netlist::new();
+    let bits = width.bits();
+    let address_in = n.input_word(bits);
+
+    let prev_addr = n.dff_word(bits);
+    let prev_bus = n.dff_word(bits);
+    let prev_inc = n.dff();
+    let prev_inv = n.dff();
+    let valid = n.dff();
+
+    // T0 section.
+    let predicted = n.add_const(&prev_addr, stride.get());
+    let matches = n.equal(&address_in, &predicted);
+    let inc = n.and(matches, valid);
+
+    // Bus-invert section: H over N payload lines plus both previous
+    // redundant lines, compared to (N+2)/2.
+    let mut diff = n.xor_word(&prev_bus, &address_in);
+    diff.push(prev_inc);
+    diff.push(prev_inv);
+    let hd = n.popcount(&diff);
+    let far = n.gt_const(&hd, u64::from((bits + 2) / 2));
+    let not_inc = n.not(inc);
+    let inv = n.and(far, not_inc);
+
+    // Output: freeze on INC, else conditional inversion.
+    let xored = xor_broadcast(&mut n, &address_in, inv);
+    let bus_out = n.mux_word(inc, &prev_bus, &xored);
+
+    let one = n.constant(true);
+    n.drive_dff(valid, one).expect("flip-flop");
+    n.drive_dff_word(&prev_addr, &address_in).expect("widths match");
+    n.drive_dff_word(&prev_bus, &bus_out).expect("widths match");
+    n.drive_dff(prev_inc, inc).expect("flip-flop");
+    n.drive_dff(prev_inv, inv).expect("flip-flop");
+
+    n.mark_output_word("bus", &bus_out);
+    n.mark_output("inc", inc);
+    n.mark_output("inv", inv);
+    EncoderCircuit {
+        netlist: n,
+        address_in,
+        sel_in: None,
+        bus_out,
+        aux_out: vec![inc, inv],
+        name: "t0-bi",
+    }
+}
+
+/// The T0_BI decoder (paper Eq. 7).
+pub fn t0bi_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
+    let mut n = Netlist::new();
+    let bits = width.bits();
+    let bus_in = n.input_word(bits);
+    let inc = n.input();
+    let inv = n.input();
+
+    let prev_dec = n.dff_word(bits);
+    let predicted = n.add_const(&prev_dec, stride.get());
+    let un_inverted = xor_broadcast(&mut n, &bus_in, inv);
+    let address_out = n.mux_word(inc, &predicted, &un_inverted);
+    n.drive_dff_word(&prev_dec, &address_out).expect("widths match");
+
+    n.mark_output_word("address", &address_out);
+    DecoderCircuit {
+        netlist: n,
+        bus_in,
+        aux_in: vec![inc, inv],
+        sel_in: None,
+        address_out,
+        name: "t0-bi",
+    }
+}
+
+/// The dual T0 encoder (paper Section 3.2): the T0 section of the dual
+/// T0_BI architecture without the bus-invert half.
+pub fn dual_t0_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
+    let mut n = Netlist::new();
+    let bits = width.bits();
+    let address_in = n.input_word(bits);
+    let sel = n.input();
+
+    let reference = n.dff_word(bits);
+    let ref_valid = n.dff();
+    let prev_bus = n.dff_word(bits);
+
+    let predicted = n.add_const(&reference, stride.get());
+    let matches = n.equal(&address_in, &predicted);
+    let seq0 = n.and(matches, ref_valid);
+    let inc = n.and(seq0, sel);
+
+    let bus_out = n.mux_word(inc, &prev_bus, &address_in);
+
+    let next_ref = n.mux_word(sel, &address_in, &reference);
+    n.drive_dff_word(&reference, &next_ref).expect("widths match");
+    let next_valid = n.or(ref_valid, sel);
+    n.drive_dff(ref_valid, next_valid).expect("flip-flop");
+    n.drive_dff_word(&prev_bus, &bus_out).expect("widths match");
+
+    n.mark_output_word("bus", &bus_out);
+    n.mark_output("inc", inc);
+    EncoderCircuit {
+        netlist: n,
+        address_in,
+        sel_in: Some(sel),
+        bus_out,
+        aux_out: vec![inc],
+        name: "dual-t0",
+    }
+}
+
+/// The dual T0 decoder (paper Eq. 10).
+pub fn dual_t0_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
+    let mut n = Netlist::new();
+    let bits = width.bits();
+    let bus_in = n.input_word(bits);
+    let inc = n.input();
+    let sel = n.input();
+
+    let reference = n.dff_word(bits);
+    let predicted = n.add_const(&reference, stride.get());
+    let freeze = n.and(inc, sel);
+    let address_out = n.mux_word(freeze, &predicted, &bus_in);
+    let next_ref = n.mux_word(sel, &address_out, &reference);
+    n.drive_dff_word(&reference, &next_ref).expect("widths match");
+
+    n.mark_output_word("address", &address_out);
+    DecoderCircuit {
+        netlist: n,
+        bus_in,
+        aux_in: vec![inc],
+        sel_in: Some(sel),
+        address_out,
+        name: "dual-t0",
+    }
+}
+
+/// Ripple-carry adder computing `a + b` over equal-width words.
+fn add_words(n: &mut Netlist, a: &Word, b: &Word) -> Word {
+    assert_eq!(a.len(), b.len(), "add_words width mismatch");
+    let mut carry = n.constant(false);
+    let mut out = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let xy = n.xor(x, y);
+        let sum = n.xor(xy, carry);
+        let and1 = n.and(x, y);
+        let and2 = n.and(xy, carry);
+        let next = n.or(and1, and2);
+        out.push(sum);
+        carry = next;
+    }
+    out
+}
+
+/// Two's-complement subtractor computing `a - b`.
+fn sub_words(n: &mut Netlist, a: &Word, b: &Word) -> Word {
+    // a - b = a + !b + 1: seed the ripple carry with 1.
+    let not_b = n.not_word(b);
+    let mut carry = n.constant(true);
+    let mut out = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(&not_b) {
+        let xy = n.xor(x, y);
+        let sum = n.xor(xy, carry);
+        let and1 = n.and(x, y);
+        let and2 = n.and(xy, carry);
+        let next = n.or(and1, and2);
+        out.push(sum);
+        carry = next;
+    }
+    out
+}
+
+/// The T0-XOR encoder (extension): `B = b XOR (prev + S)`, irredundant.
+pub fn t0xor_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
+    let mut n = Netlist::new();
+    let bits = width.bits();
+    let address_in = n.input_word(bits);
+    let prev = n.dff_word(bits);
+    let predicted = n.add_const(&prev, stride.get());
+    let bus_out = n.xor_word(&address_in, &predicted);
+    n.drive_dff_word(&prev, &address_in).expect("widths match");
+    n.mark_output_word("bus", &bus_out);
+    EncoderCircuit {
+        netlist: n,
+        address_in,
+        sel_in: None,
+        bus_out,
+        aux_out: vec![],
+        name: "t0-xor",
+    }
+}
+
+/// The T0-XOR decoder: `b = B XOR (prev_decoded + S)`.
+pub fn t0xor_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
+    let mut n = Netlist::new();
+    let bits = width.bits();
+    let bus_in = n.input_word(bits);
+    let prev = n.dff_word(bits);
+    let predicted = n.add_const(&prev, stride.get());
+    let address_out = n.xor_word(&bus_in, &predicted);
+    n.drive_dff_word(&prev, &address_out).expect("widths match");
+    n.mark_output_word("address", &address_out);
+    DecoderCircuit {
+        netlist: n,
+        bus_in,
+        aux_in: vec![],
+        sel_in: None,
+        address_out,
+        name: "t0-xor",
+    }
+}
+
+/// The offset encoder (extension): `B = b - prev (mod 2^N)`, irredundant.
+pub fn offset_encoder(width: BusWidth) -> EncoderCircuit {
+    let mut n = Netlist::new();
+    let bits = width.bits();
+    let address_in = n.input_word(bits);
+    let prev = n.dff_word(bits);
+    let bus_out = sub_words(&mut n, &address_in, &prev);
+    n.drive_dff_word(&prev, &address_in).expect("widths match");
+    n.mark_output_word("bus", &bus_out);
+    EncoderCircuit {
+        netlist: n,
+        address_in,
+        sel_in: None,
+        bus_out,
+        aux_out: vec![],
+        name: "offset",
+    }
+}
+
+/// The offset decoder: `b = prev_decoded + B`.
+pub fn offset_decoder(width: BusWidth) -> DecoderCircuit {
+    let mut n = Netlist::new();
+    let bits = width.bits();
+    let bus_in = n.input_word(bits);
+    let prev = n.dff_word(bits);
+    let address_out = add_words(&mut n, &prev, &bus_in);
+    n.drive_dff_word(&prev, &address_out).expect("widths match");
+    n.mark_output_word("address", &address_out);
+    DecoderCircuit {
+        netlist: n,
+        bus_in,
+        aux_in: vec![],
+        sel_in: None,
+        address_out,
+        name: "offset",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buscode_core::codes::{
+        BusInvertEncoder, DualT0BiDecoder, DualT0BiEncoder, T0Decoder, T0Encoder,
+    };
+    use buscode_core::{Decoder as _, Encoder as _};
+    use rand::{Rng, SeedableRng};
+
+    const W: BusWidth = BusWidth::MIPS;
+
+    fn mixed_stream(len: usize, seed: u64) -> Vec<Access> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut iaddr = 0x40_0000u64;
+        (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.6) {
+                    iaddr = if rng.gen_bool(0.75) {
+                        W.wrapping_add(iaddr, 4)
+                    } else {
+                        rng.gen::<u64>() & W.mask()
+                    };
+                    Access::instruction(iaddr)
+                } else {
+                    Access::data(rng.gen::<u64>() & W.mask())
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn binary_circuit_is_identity() {
+        let enc = binary_encoder(W);
+        let stream = mixed_stream(200, 1);
+        let (words, _) = enc.run(&stream);
+        for (w, a) in words.iter().zip(&stream) {
+            assert_eq!(w.payload, a.address & W.mask());
+            assert_eq!(w.aux, 0);
+        }
+        let dec = binary_decoder(W);
+        let pairs: Vec<(BusState, AccessKind)> =
+            words.iter().map(|&w| (w, AccessKind::Data)).collect();
+        let (addrs, _) = dec.run(&pairs);
+        for (addr, a) in addrs.iter().zip(&stream) {
+            assert_eq!(*addr, a.address & W.mask());
+        }
+    }
+
+    #[test]
+    fn t0_circuit_matches_behavioural_encoder() {
+        let circuit = t0_encoder(W, Stride::WORD);
+        let mut behavioural = T0Encoder::new(W, Stride::WORD).unwrap();
+        let stream = mixed_stream(500, 2);
+        let (words, _) = circuit.run(&stream);
+        for (i, (word, access)) in words.iter().zip(&stream).enumerate() {
+            assert_eq!(*word, behavioural.encode(*access), "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn t0_circuit_round_trips_through_gate_level_decoder() {
+        let enc = t0_encoder(W, Stride::WORD);
+        let dec = t0_decoder(W, Stride::WORD);
+        let stream = mixed_stream(500, 3);
+        let (words, _) = enc.run(&stream);
+        let pairs: Vec<(BusState, AccessKind)> =
+            words.iter().map(|&w| (w, AccessKind::Instruction)).collect();
+        let (addrs, _) = dec.run(&pairs);
+        for (i, (addr, access)) in addrs.iter().zip(&stream).enumerate() {
+            assert_eq!(*addr, access.address & W.mask(), "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn t0_gate_decoder_matches_behavioural_decoder() {
+        let enc = t0_encoder(W, Stride::WORD);
+        let dec = t0_decoder(W, Stride::WORD);
+        let mut behavioural = T0Decoder::new(W, Stride::WORD).unwrap();
+        let stream = mixed_stream(300, 4);
+        let (words, _) = enc.run(&stream);
+        let pairs: Vec<(BusState, AccessKind)> =
+            words.iter().map(|&w| (w, AccessKind::Instruction)).collect();
+        let (addrs, _) = dec.run(&pairs);
+        for (i, (addr, word)) in addrs.iter().zip(&words).enumerate() {
+            assert_eq!(
+                *addr,
+                behavioural.decode(*word, AccessKind::Instruction).unwrap(),
+                "cycle {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn bus_invert_circuit_matches_behavioural_encoder() {
+        let circuit = bus_invert_encoder(W);
+        let mut behavioural = BusInvertEncoder::new(W);
+        let stream = mixed_stream(500, 5);
+        let (words, _) = circuit.run(&stream);
+        for (i, (word, access)) in words.iter().zip(&stream).enumerate() {
+            assert_eq!(*word, behavioural.encode(*access), "cycle {i}");
+        }
+    }
+
+    #[test]
+    fn bus_invert_round_trips_gate_level() {
+        let enc = bus_invert_encoder(W);
+        let dec = bus_invert_decoder(W);
+        let stream = mixed_stream(300, 6);
+        let (words, _) = enc.run(&stream);
+        let pairs: Vec<(BusState, AccessKind)> =
+            words.iter().map(|&w| (w, AccessKind::Data)).collect();
+        let (addrs, _) = dec.run(&pairs);
+        for (addr, access) in addrs.iter().zip(&stream) {
+            assert_eq!(*addr, access.address & W.mask());
+        }
+    }
+
+    #[test]
+    fn dual_t0bi_circuit_matches_behavioural_encoder() {
+        let circuit = dual_t0bi_encoder(W, Stride::WORD);
+        let mut behavioural = DualT0BiEncoder::new(W, Stride::WORD).unwrap();
+        let stream = mixed_stream(800, 7);
+        let (words, _) = circuit.run(&stream);
+        for (i, (word, access)) in words.iter().zip(&stream).enumerate() {
+            assert_eq!(*word, behavioural.encode(*access), "cycle {i} ({access:?})");
+        }
+    }
+
+    #[test]
+    fn dual_t0bi_gate_decoder_matches_behavioural_decoder() {
+        let enc = dual_t0bi_encoder(W, Stride::WORD);
+        let dec = dual_t0bi_decoder(W, Stride::WORD);
+        let mut behavioural = DualT0BiDecoder::new(W, Stride::WORD).unwrap();
+        let stream = mixed_stream(800, 8);
+        let (words, _) = enc.run(&stream);
+        let pairs: Vec<(BusState, AccessKind)> = words
+            .iter()
+            .zip(&stream)
+            .map(|(&w, a)| (w, a.kind))
+            .collect();
+        let (addrs, _) = dec.run(&pairs);
+        for (i, ((addr, access), word)) in addrs.iter().zip(&stream).zip(&words).enumerate() {
+            assert_eq!(*addr, access.address & W.mask(), "round trip, cycle {i}");
+            assert_eq!(
+                *addr,
+                behavioural.decode(*word, access.kind).unwrap(),
+                "vs behavioural, cycle {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn gray_circuit_matches_behavioural_codec() {
+        use buscode_core::codes::{GrayDecoder, GrayEncoder};
+        for stride_val in [1u64, 4] {
+            let stride = Stride::new(stride_val, W).unwrap();
+            let enc = gray_encoder(W, stride);
+            let dec = gray_decoder(W, stride);
+            let mut behavioural_enc = GrayEncoder::new(W, stride).unwrap();
+            let mut behavioural_dec = GrayDecoder::new(W, stride).unwrap();
+            let stream = mixed_stream(300, 10);
+            let (words, _) = enc.run(&stream);
+            let pairs: Vec<(BusState, AccessKind)> =
+                words.iter().map(|&w| (w, AccessKind::Data)).collect();
+            let (addrs, _) = dec.run(&pairs);
+            for (i, ((word, addr), access)) in
+                words.iter().zip(&addrs).zip(&stream).enumerate()
+            {
+                assert_eq!(*word, behavioural_enc.encode(*access), "enc cycle {i}");
+                assert_eq!(*addr, access.address & W.mask(), "round trip cycle {i}");
+                assert_eq!(
+                    *addr,
+                    behavioural_dec.decode(*word, AccessKind::Data).unwrap(),
+                    "dec cycle {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn t0bi_circuit_matches_behavioural_codec() {
+        use buscode_core::codes::{T0BiDecoder, T0BiEncoder};
+        let enc = t0bi_encoder(W, Stride::WORD);
+        let dec = t0bi_decoder(W, Stride::WORD);
+        let mut behavioural_enc = T0BiEncoder::new(W, Stride::WORD).unwrap();
+        let mut behavioural_dec = T0BiDecoder::new(W, Stride::WORD).unwrap();
+        let stream = mixed_stream(800, 11);
+        let (words, _) = enc.run(&stream);
+        let pairs: Vec<(BusState, AccessKind)> =
+            words.iter().map(|&w| (w, AccessKind::Data)).collect();
+        let (addrs, _) = dec.run(&pairs);
+        for (i, ((word, addr), access)) in words.iter().zip(&addrs).zip(&stream).enumerate() {
+            assert_eq!(*word, behavioural_enc.encode(*access), "enc cycle {i}");
+            assert_eq!(*addr, access.address & W.mask(), "round trip cycle {i}");
+            assert_eq!(
+                *addr,
+                behavioural_dec.decode(*word, AccessKind::Data).unwrap(),
+                "dec cycle {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn dual_t0_circuit_matches_behavioural_codec() {
+        use buscode_core::codes::{DualT0Decoder, DualT0Encoder};
+        let enc = dual_t0_encoder(W, Stride::WORD);
+        let dec = dual_t0_decoder(W, Stride::WORD);
+        let mut behavioural_enc = DualT0Encoder::new(W, Stride::WORD).unwrap();
+        let mut behavioural_dec = DualT0Decoder::new(W, Stride::WORD).unwrap();
+        let stream = mixed_stream(800, 12);
+        let (words, _) = enc.run(&stream);
+        let pairs: Vec<(BusState, AccessKind)> = words
+            .iter()
+            .zip(&stream)
+            .map(|(&w, a)| (w, a.kind))
+            .collect();
+        let (addrs, _) = dec.run(&pairs);
+        for (i, ((word, addr), access)) in words.iter().zip(&addrs).zip(&stream).enumerate() {
+            assert_eq!(*word, behavioural_enc.encode(*access), "enc cycle {i}");
+            assert_eq!(*addr, access.address & W.mask(), "round trip cycle {i}");
+            assert_eq!(
+                *addr,
+                behavioural_dec.decode(*word, access.kind).unwrap(),
+                "dec cycle {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn t0xor_circuit_matches_behavioural_codec() {
+        use buscode_core::codes::{T0XorDecoder, T0XorEncoder};
+        let enc = t0xor_encoder(W, Stride::WORD);
+        let dec = t0xor_decoder(W, Stride::WORD);
+        let mut behavioural_enc = T0XorEncoder::new(W, Stride::WORD).unwrap();
+        let mut behavioural_dec = T0XorDecoder::new(W, Stride::WORD).unwrap();
+        let stream = mixed_stream(400, 13);
+        let (words, _) = enc.run(&stream);
+        let pairs: Vec<(BusState, AccessKind)> =
+            words.iter().map(|&w| (w, AccessKind::Data)).collect();
+        let (addrs, _) = dec.run(&pairs);
+        for (i, ((word, addr), access)) in words.iter().zip(&addrs).zip(&stream).enumerate() {
+            assert_eq!(*word, behavioural_enc.encode(*access), "enc cycle {i}");
+            assert_eq!(*addr, access.address & W.mask(), "round trip cycle {i}");
+            assert_eq!(
+                *addr,
+                behavioural_dec.decode(*word, AccessKind::Data).unwrap(),
+                "dec cycle {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn offset_circuit_matches_behavioural_codec() {
+        use buscode_core::codes::{OffsetDecoder, OffsetEncoder};
+        let enc = offset_encoder(W);
+        let dec = offset_decoder(W);
+        let mut behavioural_enc = OffsetEncoder::new(W);
+        let mut behavioural_dec = OffsetDecoder::new(W);
+        let stream = mixed_stream(400, 14);
+        let (words, _) = enc.run(&stream);
+        let pairs: Vec<(BusState, AccessKind)> =
+            words.iter().map(|&w| (w, AccessKind::Data)).collect();
+        let (addrs, _) = dec.run(&pairs);
+        for (i, ((word, addr), access)) in words.iter().zip(&addrs).zip(&stream).enumerate() {
+            assert_eq!(*word, behavioural_enc.encode(*access), "enc cycle {i}");
+            assert_eq!(*addr, access.address & W.mask(), "round trip cycle {i}");
+            assert_eq!(
+                *addr,
+                behavioural_dec.decode(*word, AccessKind::Data).unwrap(),
+                "dec cycle {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn critical_path_runs_through_the_bus_invert_section() {
+        // Paper Section 4.1: the dual T0_BI encoder's critical path is
+        // "through the bus-invert section and the output mux" — so its
+        // logic depth must exceed the T0 encoder's (no Hamming evaluator).
+        let t0 = t0_encoder(W, Stride::WORD).netlist.logic_depth();
+        let dual = dual_t0bi_encoder(W, Stride::WORD).netlist.logic_depth();
+        let binary = binary_encoder(W).netlist.logic_depth();
+        assert!(dual > t0, "dual {dual} vs t0 {t0}");
+        assert!(t0 > binary, "t0 {t0} vs binary {binary}");
+    }
+
+    #[test]
+    fn gray_decoder_is_deep_but_small() {
+        // The Gray decoder's XOR prefix chain: depth ~ width, tiny area.
+        let dec = gray_decoder(W, Stride::WORD);
+        assert!(dec.netlist.logic_depth() >= 28);
+        assert!(dec.netlist.gate_count() < 110);
+    }
+
+    #[test]
+    fn codec_complexity_ordering() {
+        // The paper's qualitative cost claim: binary < T0 < dual T0_BI.
+        let b = binary_encoder(W).netlist.gate_count();
+        let t = t0_encoder(W, Stride::WORD).netlist.gate_count();
+        let d = dual_t0bi_encoder(W, Stride::WORD).netlist.gate_count();
+        assert!(b < t && t < d, "binary {b}, t0 {t}, dual t0-bi {d}");
+    }
+
+    #[test]
+    fn optimized_codecs_stay_equivalent() {
+        let stream = mixed_stream(400, 20);
+        for circuit in [
+            t0_encoder(W, Stride::WORD),
+            t0bi_encoder(W, Stride::WORD),
+            dual_t0bi_encoder(W, Stride::WORD),
+            bus_invert_encoder(W),
+        ] {
+            let optimized = circuit.optimized();
+            assert!(
+                optimized.netlist.gate_count() <= circuit.netlist.gate_count(),
+                "{}",
+                circuit.name
+            );
+            let (original_words, _) = circuit.run(&stream);
+            let (optimized_words, _) = optimized.run(&stream);
+            assert_eq!(original_words, optimized_words, "{}", circuit.name);
+        }
+    }
+
+    #[test]
+    fn optimized_decoders_stay_equivalent() {
+        let stream = mixed_stream(300, 21);
+        let enc = dual_t0bi_encoder(W, Stride::WORD);
+        let (words, _) = enc.run(&stream);
+        let pairs: Vec<(BusState, AccessKind)> = words
+            .iter()
+            .zip(&stream)
+            .map(|(&w, a)| (w, a.kind))
+            .collect();
+        let dec = dual_t0bi_decoder(W, Stride::WORD);
+        let optimized = dec.optimized();
+        assert!(optimized.netlist.gate_count() <= dec.netlist.gate_count());
+        let (a, _) = dec.run(&pairs);
+        let (b, _) = optimized.run(&pairs);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gate_census_accounts_for_everything() {
+        let circuit = t0_encoder(W, Stride::WORD);
+        let census = circuit.netlist.gate_census();
+        let total: usize = census.values().sum();
+        assert_eq!(total, circuit.netlist.gate_count());
+        assert_eq!(census["input"], 32);
+        assert_eq!(census["dff"], circuit.netlist.dff_count());
+        assert!(census["xor"] > 0, "the comparator is XOR-rich");
+    }
+
+    #[test]
+    fn optimizer_collapses_binary_buffers() {
+        // The binary "codec" is two inverters per line; the optimizer
+        // reduces it to wires (inputs only).
+        let optimized = binary_encoder(W).optimized();
+        assert_eq!(optimized.netlist.gate_count(), 32);
+    }
+
+    #[test]
+    fn narrow_bus_codecs_work() {
+        let w8 = BusWidth::new(8).unwrap();
+        let s = Stride::new(4, w8).unwrap();
+        let circuit = dual_t0bi_encoder(w8, s);
+        let mut behavioural = DualT0BiEncoder::new(w8, s).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let stream: Vec<Access> = (0..400)
+            .map(|i| {
+                let addr = rng.gen::<u64>() & w8.mask();
+                if i % 2 == 0 {
+                    Access::instruction(addr)
+                } else {
+                    Access::data(addr)
+                }
+            })
+            .collect();
+        let (words, _) = circuit.run(&stream);
+        for (word, access) in words.iter().zip(&stream) {
+            assert_eq!(*word, behavioural.encode(*access));
+        }
+    }
+}

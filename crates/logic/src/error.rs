@@ -1,0 +1,82 @@
+//! Error type for netlist construction and validation.
+
+use core::fmt;
+
+/// Structural errors in a gate-level netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LogicError {
+    /// A flip-flop was left without a data input.
+    UndrivenFlipFlop {
+        /// The flip-flop's net index.
+        net: usize,
+    },
+    /// [`drive_dff`](crate::Netlist::drive_dff) targeted a non-flip-flop.
+    NotAFlipFlop {
+        /// The offending net index.
+        net: usize,
+    },
+    /// A flip-flop's data input was connected twice.
+    AlreadyDriven {
+        /// The flip-flop's net index.
+        net: usize,
+    },
+    /// A combinational gate reads a net created after it (a combinational
+    /// cycle or forward reference).
+    CombinationalCycle {
+        /// The offending gate's net index.
+        net: usize,
+    },
+    /// Two words that must agree in width do not.
+    WidthMismatch {
+        /// Width of the left word.
+        left: usize,
+        /// Width of the right word.
+        right: usize,
+    },
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::UndrivenFlipFlop { net } => {
+                write!(f, "flip-flop at net {net} has no data input")
+            }
+            LogicError::NotAFlipFlop { net } => {
+                write!(f, "net {net} is not a flip-flop")
+            }
+            LogicError::AlreadyDriven { net } => {
+                write!(f, "flip-flop at net {net} is already driven")
+            }
+            LogicError::CombinationalCycle { net } => {
+                write!(f, "combinational gate at net {net} reads a later net")
+            }
+            LogicError::WidthMismatch { left, right } => {
+                write!(f, "word widths differ: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let cases: Vec<LogicError> = vec![
+            LogicError::UndrivenFlipFlop { net: 3 },
+            LogicError::NotAFlipFlop { net: 1 },
+            LogicError::AlreadyDriven { net: 2 },
+            LogicError::CombinationalCycle { net: 9 },
+            LogicError::WidthMismatch { left: 4, right: 8 },
+        ];
+        for err in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

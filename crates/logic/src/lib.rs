@@ -1,0 +1,55 @@
+//! # buscode-logic
+//!
+//! A from-scratch gate-level substrate standing in for the paper's
+//! synthesis-and-estimation flow (Synopsys Design Compiler / Design Power
+//! on a 0.35 µm, 3.3 V library): netlist primitives and builders, cycle
+//! simulation with per-net switching activity, a capacitance-based power
+//! model, and the paper's encoder/decoder architectures as circuits.
+//!
+//! The flow mirrors the paper's Section 4:
+//!
+//! 1. build a codec circuit ([`codecs`]);
+//! 2. drive it with benchmark address streams ([`EncoderCircuit::run`]);
+//! 3. attach capacitances — internal fanout-derived plus explicit bus or
+//!    pad loads ([`CapacitanceModel`]);
+//! 4. integrate `1/2 C Vdd^2 f alpha` over all nets
+//!    ([`CapacitanceModel::power`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use buscode_core::{Access, BusWidth, Stride};
+//! use buscode_logic::codecs::t0_encoder;
+//! use buscode_logic::{CapacitanceModel, Technology};
+//!
+//! let circuit = t0_encoder(BusWidth::MIPS, Stride::WORD);
+//! let stream: Vec<Access> = (0..256u64).map(|i| Access::instruction(4 * i)).collect();
+//! let (words, sim) = circuit.run(&stream);
+//! assert_eq!(words.len(), 256);
+//!
+//! let mut cap = CapacitanceModel::new(&circuit.netlist, Technology::date98());
+//! cap.add_word_load(&circuit.bus_out, 10.0e-12); // a 10 pF off-chip bus
+//! let watts = cap.power(&sim);
+//! assert!(watts >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codecs;
+mod error;
+mod netlist;
+mod optimize;
+mod power;
+mod sim;
+mod techmap;
+mod vcd;
+
+pub use codecs::{DecoderCircuit, EncoderCircuit};
+pub use error::LogicError;
+pub use netlist::{Gate, NetId, Netlist, Word};
+pub use optimize::{optimize, NetMap};
+pub use power::{milliwatts, CapacitanceModel, Technology};
+pub use sim::Simulator;
+pub use techmap::{nand2_area, tech_map};
+pub use vcd::VcdRecorder;

@@ -1,0 +1,799 @@
+//! Gate-level netlists: primitives, a builder, and structural checks.
+//!
+//! A [`Netlist`] is a flat list of gates, each driving exactly one net
+//! ([`NetId`]). Combinational gates may only reference nets created before
+//! them, which makes creation order a valid evaluation order and rules out
+//! combinational cycles *by construction*; sequential feedback is expressed
+//! through [`Netlist::dff`] placeholders whose data input is connected
+//! later with [`Netlist::drive_dff`].
+//!
+//! Word-level helpers (ripple adders, comparators, population count,
+//! multiplexers) provide the building blocks the paper's encoder/decoder
+//! architectures need: "a Hamming distance evaluator ... followed by a
+//! majority voter", increment comparators, output muxes and registers
+//! (Section 4.1).
+
+use std::collections::BTreeMap;
+
+use crate::LogicError;
+
+/// Identifies one net: the output of one gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The net's index in evaluation order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A gate primitive. Every variant drives exactly one output net.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Gate {
+    /// A primary input, set by the test bench each cycle.
+    Input,
+    /// A constant driver.
+    Const(bool),
+    /// Inverter.
+    Not(NetId),
+    /// Two-input AND.
+    And(NetId, NetId),
+    /// Two-input OR.
+    Or(NetId, NetId),
+    /// Two-input NAND.
+    Nand(NetId, NetId),
+    /// Two-input NOR.
+    Nor(NetId, NetId),
+    /// Two-input XOR.
+    Xor(NetId, NetId),
+    /// Two-input XNOR.
+    Xnor(NetId, NetId),
+    /// 2:1 multiplexer: `sel ? a : b`.
+    Mux {
+        /// Select line.
+        sel: NetId,
+        /// Output when `sel` is high.
+        a: NetId,
+        /// Output when `sel` is low.
+        b: NetId,
+    },
+    /// A D flip-flop (posedge, reset to 0). `d` is `None` until connected
+    /// via [`Netlist::drive_dff`].
+    Dff {
+        /// The data input, if connected.
+        d: Option<NetId>,
+    },
+}
+
+impl Gate {
+    /// The nets this gate reads.
+    pub fn inputs(&self) -> Vec<NetId> {
+        match *self {
+            Gate::Input | Gate::Const(_) => vec![],
+            Gate::Not(a) => vec![a],
+            Gate::And(a, b)
+            | Gate::Or(a, b)
+            | Gate::Nand(a, b)
+            | Gate::Nor(a, b)
+            | Gate::Xor(a, b)
+            | Gate::Xnor(a, b) => {
+                vec![a, b]
+            }
+            Gate::Mux { sel, a, b } => vec![sel, a, b],
+            Gate::Dff { d } => d.into_iter().collect(),
+        }
+    }
+
+    /// Whether this gate is a flip-flop.
+    pub fn is_sequential(&self) -> bool {
+        matches!(self, Gate::Dff { .. })
+    }
+}
+
+/// A multi-bit signal: a vector of nets, LSB-first.
+pub type Word = Vec<NetId>;
+
+/// A gate-level circuit under construction or simulation.
+///
+/// # Examples
+///
+/// Build a 1-bit toggler and inspect its structure:
+///
+/// ```
+/// use buscode_logic::Netlist;
+///
+/// # fn main() -> Result<(), buscode_logic::LogicError> {
+/// let mut n = Netlist::new();
+/// let q = n.dff();
+/// let nq = n.not(q);
+/// n.drive_dff(q, nq)?;
+/// n.mark_output("q", q);
+/// n.check()?;
+/// assert_eq!(n.gate_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Netlist {
+    gates: Vec<Gate>,
+    inputs: Vec<NetId>,
+    outputs: BTreeMap<String, NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    fn push(&mut self, gate: Gate) -> NetId {
+        let id = NetId(self.gates.len() as u32);
+        self.gates.push(gate);
+        id
+    }
+
+    fn assert_exists(&self, net: NetId) {
+        assert!(
+            net.index() < self.gates.len(),
+            "net {net:?} does not exist in this netlist"
+        );
+    }
+
+    /// Adds a primary input.
+    pub fn input(&mut self) -> NetId {
+        let id = self.push(Gate::Input);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a word of primary inputs, LSB-first.
+    pub fn input_word(&mut self, bits: u32) -> Word {
+        (0..bits).map(|_| self.input()).collect()
+    }
+
+    /// Adds a constant driver.
+    pub fn constant(&mut self, value: bool) -> NetId {
+        self.push(Gate::Const(value))
+    }
+
+    /// Adds an inverter.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.assert_exists(a);
+        self.push(Gate::Not(a))
+    }
+
+    /// Adds a two-input AND gate.
+    pub fn and(&mut self, a: NetId, b: NetId) -> NetId {
+        self.assert_exists(a);
+        self.assert_exists(b);
+        self.push(Gate::And(a, b))
+    }
+
+    /// Adds a two-input OR gate.
+    pub fn or(&mut self, a: NetId, b: NetId) -> NetId {
+        self.assert_exists(a);
+        self.assert_exists(b);
+        self.push(Gate::Or(a, b))
+    }
+
+    /// Adds a two-input NAND gate.
+    pub fn nand(&mut self, a: NetId, b: NetId) -> NetId {
+        self.assert_exists(a);
+        self.assert_exists(b);
+        self.push(Gate::Nand(a, b))
+    }
+
+    /// Adds a two-input NOR gate.
+    pub fn nor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.assert_exists(a);
+        self.assert_exists(b);
+        self.push(Gate::Nor(a, b))
+    }
+
+    /// Adds a two-input XOR gate.
+    pub fn xor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.assert_exists(a);
+        self.assert_exists(b);
+        self.push(Gate::Xor(a, b))
+    }
+
+    /// Adds a two-input XNOR gate.
+    pub fn xnor(&mut self, a: NetId, b: NetId) -> NetId {
+        self.assert_exists(a);
+        self.assert_exists(b);
+        self.push(Gate::Xnor(a, b))
+    }
+
+    /// Adds a 2:1 mux (`sel ? a : b`).
+    pub fn mux(&mut self, sel: NetId, a: NetId, b: NetId) -> NetId {
+        self.assert_exists(sel);
+        self.assert_exists(a);
+        self.assert_exists(b);
+        self.push(Gate::Mux { sel, a, b })
+    }
+
+    /// Adds an unconnected D flip-flop; connect its data input later with
+    /// [`Netlist::drive_dff`]. Flip-flops reset to 0.
+    pub fn dff(&mut self) -> NetId {
+        self.push(Gate::Dff { d: None })
+    }
+
+    /// Adds a word of unconnected flip-flops.
+    pub fn dff_word(&mut self, bits: u32) -> Word {
+        (0..bits).map(|_| self.dff()).collect()
+    }
+
+    /// Connects the data input of flip-flop `q` to `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::NotAFlipFlop`] if `q` is not a DFF, or
+    /// [`LogicError::AlreadyDriven`] if it was connected before.
+    pub fn drive_dff(&mut self, q: NetId, d: NetId) -> Result<(), LogicError> {
+        self.assert_exists(d);
+        match self.gates.get_mut(q.index()) {
+            Some(Gate::Dff { d: slot @ None }) => {
+                *slot = Some(d);
+                Ok(())
+            }
+            Some(Gate::Dff { d: Some(_) }) => Err(LogicError::AlreadyDriven { net: q.index() }),
+            _ => Err(LogicError::NotAFlipFlop { net: q.index() }),
+        }
+    }
+
+    /// Connects each flip-flop of `q` to the corresponding bit of `d`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Netlist::drive_dff`]; also [`LogicError::WidthMismatch`] when
+    /// the words differ in length.
+    pub fn drive_dff_word(&mut self, q: &Word, d: &Word) -> Result<(), LogicError> {
+        if q.len() != d.len() {
+            return Err(LogicError::WidthMismatch {
+                left: q.len(),
+                right: d.len(),
+            });
+        }
+        for (&qb, &db) in q.iter().zip(d) {
+            self.drive_dff(qb, db)?;
+        }
+        Ok(())
+    }
+
+    /// Registers a named output (for test benches and reports).
+    pub fn mark_output(&mut self, name: &str, net: NetId) {
+        self.assert_exists(net);
+        self.outputs.insert(name.to_owned(), net);
+    }
+
+    /// Registers a named output word as `name[0..bits)`.
+    pub fn mark_output_word(&mut self, name: &str, word: &Word) {
+        for (i, &bit) in word.iter().enumerate() {
+            self.mark_output(&format!("{name}[{i}]"), bit);
+        }
+    }
+
+    /// Looks up a named output.
+    pub fn output(&self, name: &str) -> Option<NetId> {
+        self.outputs.get(name).copied()
+    }
+
+    /// All `(name, net)` output pairs, in name order.
+    pub fn output_names(&self) -> Vec<(String, NetId)> {
+        self.outputs.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Looks up a named output word `name[0..bits)`.
+    pub fn output_word(&self, name: &str, bits: u32) -> Option<Word> {
+        (0..bits)
+            .map(|i| self.output(&format!("{name}[{i}]")))
+            .collect()
+    }
+
+    /// All primary inputs in creation order.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The number of gates (and nets).
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The number of flip-flops.
+    pub fn dff_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_sequential()).count()
+    }
+
+    /// Read-only access to the gates, in evaluation order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Gate counts by type — the cell census a synthesis report prints.
+    pub fn gate_census(&self) -> BTreeMap<&'static str, usize> {
+        let mut census: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for gate in &self.gates {
+            let kind = match gate {
+                Gate::Input => "input",
+                Gate::Const(_) => "const",
+                Gate::Not(_) => "not",
+                Gate::And(..) => "and",
+                Gate::Or(..) => "or",
+                Gate::Nand(..) => "nand",
+                Gate::Nor(..) => "nor",
+                Gate::Xor(..) => "xor",
+                Gate::Xnor(..) => "xnor",
+                Gate::Mux { .. } => "mux",
+                Gate::Dff { .. } => "dff",
+            };
+            *census.entry(kind).or_insert(0) += 1;
+        }
+        census
+    }
+
+    /// The fanout (number of reading gate pins) of every net.
+    pub fn fanouts(&self) -> Vec<u32> {
+        let mut fanout = vec![0u32; self.gates.len()];
+        for gate in &self.gates {
+            for input in gate.inputs() {
+                fanout[input.index()] += 1;
+            }
+        }
+        fanout
+    }
+
+    /// The combinational logic depth: the longest chain of combinational
+    /// gates between registers/inputs and any net, in gate levels.
+    ///
+    /// The paper reports its dual T0_BI encoder's critical path (5.36 ns,
+    /// "through the bus-invert section and the output mux"); depth is the
+    /// technology-independent analogue this substrate can measure.
+    pub fn logic_depth(&self) -> u32 {
+        let mut depth = vec![0u32; self.gates.len()];
+        let mut max_depth = 0;
+        for (i, gate) in self.gates.iter().enumerate() {
+            depth[i] = match gate {
+                Gate::Input | Gate::Const(_) | Gate::Dff { .. } => 0,
+                _ => {
+                    1 + gate
+                        .inputs()
+                        .iter()
+                        .map(|input| depth[input.index()])
+                        .max()
+                        .unwrap_or(0)
+                }
+            };
+            max_depth = max_depth.max(depth[i]);
+        }
+        max_depth
+    }
+
+    /// The critical path: the nets along the deepest combinational chain,
+    /// from its register/input start to its endpoint — the
+    /// technology-independent analogue of a synthesis timing report.
+    ///
+    /// Returns the path in signal-flow order; its length is
+    /// `logic_depth() + 1` (including the level-0 start net). Empty for
+    /// an empty netlist.
+    pub fn critical_path(&self) -> Vec<NetId> {
+        if self.gates.is_empty() {
+            return Vec::new();
+        }
+        let mut depth = vec![0u32; self.gates.len()];
+        let mut parent: Vec<Option<NetId>> = vec![None; self.gates.len()];
+        let mut endpoint = NetId(0);
+        for (i, gate) in self.gates.iter().enumerate() {
+            if !matches!(gate, Gate::Input | Gate::Const(_) | Gate::Dff { .. }) {
+                let deepest = gate
+                    .inputs()
+                    .into_iter()
+                    .max_by_key(|input| depth[input.index()]);
+                if let Some(input) = deepest {
+                    depth[i] = 1 + depth[input.index()];
+                    parent[i] = Some(input);
+                }
+            }
+            if depth[i] > depth[endpoint.index()] {
+                endpoint = NetId(i as u32);
+            }
+        }
+        let mut path = vec![endpoint];
+        while let Some(previous) = parent[path.last().expect("nonempty").index()] {
+            path.push(previous);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Validates the netlist: every flip-flop driven, every combinational
+    /// gate reading only earlier nets (no combinational cycles).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural problem found.
+    pub fn check(&self) -> Result<(), LogicError> {
+        for (i, gate) in self.gates.iter().enumerate() {
+            match gate {
+                Gate::Dff { d: None } => return Err(LogicError::UndrivenFlipFlop { net: i }),
+                Gate::Dff { d: Some(_) } => {} // feedback through a DFF is fine
+                _ => {
+                    for input in gate.inputs() {
+                        if input.index() >= i {
+                            return Err(LogicError::CombinationalCycle { net: i });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // --- word-level combinational macros -------------------------------
+
+    /// N-ary OR (balanced tree). Returns constant 0 for an empty slice.
+    pub fn or_many(&mut self, bits: &[NetId]) -> NetId {
+        self.reduce(bits, false, Self::or)
+    }
+
+    /// N-ary AND (balanced tree). Returns constant 1 for an empty slice.
+    pub fn and_many(&mut self, bits: &[NetId]) -> NetId {
+        self.reduce(bits, true, Self::and)
+    }
+
+    fn reduce(
+        &mut self,
+        bits: &[NetId],
+        empty: bool,
+        op: fn(&mut Self, NetId, NetId) -> NetId,
+    ) -> NetId {
+        match bits {
+            [] => self.constant(empty),
+            [single] => *single,
+            _ => {
+                let mut layer: Vec<NetId> = bits.to_vec();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for pair in layer.chunks(2) {
+                        next.push(if pair.len() == 2 {
+                            op(self, pair[0], pair[1])
+                        } else {
+                            pair[0]
+                        });
+                    }
+                    layer = next;
+                }
+                layer[0]
+            }
+        }
+    }
+
+    /// Per-bit XOR of two equal-width words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the words differ in width.
+    pub fn xor_word(&mut self, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.len(), b.len(), "xor_word width mismatch");
+        a.iter().zip(b).map(|(&x, &y)| self.xor(x, y)).collect()
+    }
+
+    /// Per-bit inversion of a word.
+    pub fn not_word(&mut self, a: &Word) -> Word {
+        a.iter().map(|&x| self.not(x)).collect()
+    }
+
+    /// Word-wide 2:1 mux: `sel ? a : b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the words differ in width.
+    pub fn mux_word(&mut self, sel: NetId, a: &Word, b: &Word) -> Word {
+        assert_eq!(a.len(), b.len(), "mux_word width mismatch");
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.mux(sel, x, y))
+            .collect()
+    }
+
+    /// A word of constant drivers for `value` (LSB-first).
+    pub fn constant_word(&mut self, value: u64, bits: u32) -> Word {
+        (0..bits)
+            .map(|i| self.constant((value >> i) & 1 == 1))
+            .collect()
+    }
+
+    /// Ripple-carry adder computing `a + value` (mod 2^width).
+    pub fn add_const(&mut self, a: &Word, value: u64) -> Word {
+        let mut carry = self.constant(false);
+        let mut out = Vec::with_capacity(a.len());
+        for (i, &bit) in a.iter().enumerate() {
+            let k = (value >> i) & 1 == 1;
+            // Full adder with a constant operand bit.
+            let (sum, next_carry) = if k {
+                // sum = !(a ^ c), carry = a | c
+                let axc = self.xor(bit, carry);
+                let sum = self.not(axc);
+                let c = self.or(bit, carry);
+                (sum, c)
+            } else {
+                // sum = a ^ c, carry = a & c
+                let sum = self.xor(bit, carry);
+                let c = self.and(bit, carry);
+                (sum, c)
+            };
+            out.push(sum);
+            carry = next_carry;
+        }
+        out
+    }
+
+    /// Equality comparator over two equal-width words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the words differ in width.
+    pub fn equal(&mut self, a: &Word, b: &Word) -> NetId {
+        assert_eq!(a.len(), b.len(), "equal width mismatch");
+        let eq_bits: Vec<NetId> = a.iter().zip(b).map(|(&x, &y)| self.xnor(x, y)).collect();
+        self.and_many(&eq_bits)
+    }
+
+    /// Population count of a bit vector: a `ceil(log2(n+1))`-bit word.
+    ///
+    /// Built as a ripple-accumulating adder chain — exactly the "Hamming
+    /// distance evaluator" structure of the paper's bus-invert section when
+    /// fed with per-line XORs.
+    pub fn popcount(&mut self, bits: &[NetId]) -> Word {
+        let out_bits = (usize::BITS - bits.len().leading_zeros()).max(1);
+        let mut acc = self.constant_word(0, out_bits);
+        for &bit in bits {
+            // acc = acc + bit (ripple increment gated by `bit`).
+            let mut carry = bit;
+            let mut next = Vec::with_capacity(acc.len());
+            for &a in &acc {
+                let sum = self.xor(a, carry);
+                carry = self.and(a, carry);
+                next.push(sum);
+            }
+            acc = next;
+        }
+        acc
+    }
+
+    /// Unsigned comparator: `word > value`.
+    ///
+    /// Together with [`Netlist::popcount`] this forms the paper's
+    /// "majority voter to decide if the computed Hamming distance is
+    /// greater than half of the bus width".
+    pub fn gt_const(&mut self, word: &Word, value: u64) -> NetId {
+        // Thresholds with bits above the word width can never be exceeded.
+        if word.len() < 64 && (value >> word.len()) != 0 {
+            return self.constant(false);
+        }
+        let mut gt = self.constant(false);
+        let mut eq = self.constant(true);
+        for (i, &bit) in word.iter().enumerate().rev() {
+            let k = (value >> i) & 1 == 1;
+            if !k {
+                // a_i = 1 while still equal above -> greater.
+                let here = self.and(eq, bit);
+                gt = self.or(gt, here);
+                let not_bit = self.not(bit);
+                eq = self.and(eq, not_bit);
+            } else {
+                // k_i = 1: equality requires a_i = 1; cannot become greater.
+                eq = self.and(eq, bit);
+            }
+        }
+        gt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    fn eval_word(sim: &Simulator, word: &Word) -> u64 {
+        word.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &bit)| acc | (u64::from(sim.value(bit)) << i))
+    }
+
+    #[test]
+    fn builder_rejects_double_driven_dff() {
+        let mut n = Netlist::new();
+        let q = n.dff();
+        let c = n.constant(true);
+        n.drive_dff(q, c).unwrap();
+        assert!(matches!(
+            n.drive_dff(q, c),
+            Err(LogicError::AlreadyDriven { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_driving_non_dff() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let c = n.constant(true);
+        assert!(matches!(
+            n.drive_dff(a, c),
+            Err(LogicError::NotAFlipFlop { .. })
+        ));
+    }
+
+    #[test]
+    fn check_finds_undriven_dff() {
+        let mut n = Netlist::new();
+        let _ = n.dff();
+        assert!(matches!(n.check(), Err(LogicError::UndrivenFlipFlop { .. })));
+    }
+
+    #[test]
+    fn check_passes_well_formed_circuits() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let x = n.xor(a, b);
+        let q = n.dff();
+        n.drive_dff(q, x).unwrap();
+        n.mark_output("q", q);
+        assert!(n.check().is_ok());
+        assert_eq!(n.dff_count(), 1);
+        assert_eq!(n.gate_count(), 4);
+    }
+
+    #[test]
+    fn fanout_counts_reading_pins() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let x = n.not(a);
+        let _y = n.and(a, x);
+        let fan = n.fanouts();
+        assert_eq!(fan[a.index()], 2);
+        assert_eq!(fan[x.index()], 1);
+    }
+
+    #[test]
+    fn add_const_matches_arithmetic() {
+        for width in [4u32, 8] {
+            for k in [0u64, 1, 4, 7] {
+                let mut n = Netlist::new();
+                let a = n.input_word(width);
+                let sum = n.add_const(&a, k);
+                n.mark_output_word("sum", &sum);
+                n.check().unwrap();
+                let mut sim = Simulator::new(n);
+                let mask = (1u64 << width) - 1;
+                for value in 0..(1u64 << width) {
+                    sim.set_word(&a, value);
+                    sim.step();
+                    let got = eval_word(&sim, &sum);
+                    assert_eq!(got, (value + k) & mask, "width {width}, k {k}, v {value}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn popcount_matches_count_ones() {
+        let mut n = Netlist::new();
+        let a = n.input_word(9);
+        let count = n.popcount(&a);
+        n.check().unwrap();
+        let a2 = a.clone();
+        let mut sim = Simulator::new(n);
+        for value in 0..512u64 {
+            sim.set_word(&a2, value);
+            sim.step();
+            assert_eq!(eval_word(&sim, &count), u64::from(value.count_ones()));
+        }
+    }
+
+    #[test]
+    fn gt_const_matches_comparison() {
+        for k in [0u64, 3, 7, 8, 15] {
+            let mut n = Netlist::new();
+            let a = n.input_word(4);
+            let gt = n.gt_const(&a, k);
+            let a2 = a.clone();
+            let mut sim = Simulator::new(n);
+            for value in 0..16u64 {
+                sim.set_word(&a2, value);
+                sim.step();
+                assert_eq!(sim.value(gt), value > k, "k {k}, v {value}");
+            }
+        }
+    }
+
+    #[test]
+    fn gt_const_with_unreachable_threshold() {
+        let mut n = Netlist::new();
+        let a = n.input_word(4);
+        let gt = n.gt_const(&a, 100);
+        let a2 = a.clone();
+        let mut sim = Simulator::new(n);
+        sim.set_word(&a2, 15);
+        sim.step();
+        assert!(!sim.value(gt));
+    }
+
+    #[test]
+    fn equal_comparator() {
+        let mut n = Netlist::new();
+        let a = n.input_word(6);
+        let b = n.input_word(6);
+        let eq = n.equal(&a, &b);
+        let (a2, b2) = (a.clone(), b.clone());
+        let mut sim = Simulator::new(n);
+        for (x, y) in [(0u64, 0u64), (5, 5), (5, 6), (63, 63), (63, 0)] {
+            sim.set_word(&a2, x);
+            sim.set_word(&b2, y);
+            sim.step();
+            assert_eq!(sim.value(eq), x == y, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn reduce_empty_slices() {
+        let mut n = Netlist::new();
+        let or0 = n.or_many(&[]);
+        let and0 = n.and_many(&[]);
+        let mut sim = Simulator::new(n);
+        sim.step();
+        assert!(!sim.value(or0));
+        assert!(sim.value(and0));
+    }
+
+    #[test]
+    fn logic_depth_counts_levels() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        assert_eq!(n.logic_depth(), 0);
+        let x = n.xor(a, b); // level 1
+        let y = n.not(x); // level 2
+        let _z = n.and(y, a); // level 3
+        assert_eq!(n.logic_depth(), 3);
+        // Registers cut the path.
+        let q = n.dff();
+        n.drive_dff(q, _z).unwrap();
+        let _w = n.not(q); // level 1 again
+        assert_eq!(n.logic_depth(), 3);
+    }
+
+    #[test]
+    fn critical_path_traces_the_deepest_chain() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let x = n.xor(a, b); // depth 1
+        let y = n.not(x); // depth 2
+        let _side = n.and(a, b); // depth 1, off the path
+        let z = n.or(y, b); // depth 3
+        let path = n.critical_path();
+        assert_eq!(path.len() as u32, n.logic_depth() + 1);
+        assert_eq!(*path.last().unwrap(), z);
+        assert!(path.contains(&y) && path.contains(&x));
+        // The path starts at a level-0 net.
+        assert!(matches!(n.gates()[path[0].index()], Gate::Input));
+    }
+
+    #[test]
+    fn critical_path_of_empty_netlist() {
+        assert!(Netlist::new().critical_path().is_empty());
+    }
+
+    #[test]
+    fn output_word_lookup() {
+        let mut n = Netlist::new();
+        let w = n.input_word(3);
+        n.mark_output_word("bus", &w);
+        assert_eq!(n.output_word("bus", 3).unwrap(), w);
+        assert!(n.output_word("bus", 4).is_none());
+        assert!(n.output("nope").is_none());
+    }
+}

@@ -1,0 +1,489 @@
+//! Netlist optimization: constant folding, double-inverter elimination,
+//! common-subexpression sharing, and dead-gate removal.
+//!
+//! The pass is purely structural and **semantics-preserving**: the
+//! optimized circuit produces the same values on every marked output and
+//! the same flip-flop states, cycle for cycle (asserted by property tests
+//! over random circuits). Because gates disappear, callers that hold
+//! [`NetId`]s into the original netlist must translate them through the
+//! returned [`NetMap`].
+
+use std::collections::HashMap;
+
+use crate::netlist::{Gate, NetId, Netlist};
+
+/// Maps original net ids to their ids in the optimized netlist.
+///
+/// Dead gates have no image; interface nets (primary inputs, marked
+/// outputs, and everything they depend on) always survive.
+#[derive(Clone, Debug)]
+pub struct NetMap {
+    forward: Vec<Option<NetId>>,
+}
+
+impl NetMap {
+    pub(crate) fn from_forward(forward: Vec<Option<NetId>>) -> Self {
+        NetMap { forward }
+    }
+
+    /// Translates an original net to the optimized netlist.
+    ///
+    /// Returns `None` for nets the optimizer removed as dead.
+    pub fn get(&self, old: NetId) -> Option<NetId> {
+        self.forward.get(old.index()).copied().flatten()
+    }
+
+    /// Translates a word, failing if any line was removed.
+    pub fn word(&self, old: &[NetId]) -> Option<Vec<NetId>> {
+        old.iter().map(|&id| self.get(id)).collect()
+    }
+}
+
+/// Rewrites `original` into a smaller equivalent netlist.
+///
+/// Performed simplifications:
+///
+/// - constant folding through every gate type;
+/// - identity rules (`x & 1 = x`, `x ^ 0 = x`, `mux(s, a, a) = a`, ...);
+/// - double-inverter elimination (`!!x = x`);
+/// - structural sharing of identical gates (commutative inputs sorted);
+/// - removal of gates no marked output or flip-flop depends on
+///   (primary inputs are always kept — they are the interface).
+///
+/// # Examples
+///
+/// ```
+/// use buscode_logic::{optimize, Netlist};
+///
+/// let mut n = Netlist::new();
+/// let a = n.input();
+/// let double_inverted = {
+///     let inv = n.not(a);
+///     n.not(inv)
+/// };
+/// n.mark_output("y", double_inverted);
+/// let (optimized, map) = optimize(&n);
+/// assert_eq!(optimized.gate_count(), 1); // just the input
+/// assert_eq!(map.get(double_inverted), map.get(a));
+/// ```
+pub fn optimize(original: &Netlist) -> (Netlist, NetMap) {
+    let (folded, fold_map) = fold(original);
+    let (pruned, prune_map) = prune(&folded);
+    let forward = fold_map
+        .iter()
+        .map(|new| prune_map[new.index()])
+        .collect();
+    (pruned, NetMap { forward })
+}
+
+/// Key for structural sharing: gate discriminant plus operand ids.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum CseKey {
+    Const(bool),
+    Not(u32),
+    And(u32, u32),
+    Or(u32, u32),
+    Nand(u32, u32),
+    Nor(u32, u32),
+    Xor(u32, u32),
+    Xnor(u32, u32),
+    Mux(u32, u32, u32),
+}
+
+fn sorted(a: NetId, b: NetId) -> (u32, u32) {
+    if a.index() <= b.index() {
+        (a.index() as u32, b.index() as u32)
+    } else {
+        (b.index() as u32, a.index() as u32)
+    }
+}
+
+/// Pass 1: rebuild with folding, identities and sharing (no removal yet —
+/// every original net has an image).
+fn fold(original: &Netlist) -> (Netlist, Vec<NetId>) {
+    let mut out = Netlist::new();
+    let mut map: Vec<NetId> = Vec::with_capacity(original.gate_count());
+    let mut cse: HashMap<CseKey, NetId> = HashMap::new();
+    let mut dff_fixups: Vec<(NetId, NetId)> = Vec::new();
+
+    let const_of = |out: &Netlist, id: NetId| -> Option<bool> {
+        match out.gates()[id.index()] {
+            Gate::Const(v) => Some(v),
+            _ => None,
+        }
+    };
+
+    for gate in original.gates() {
+        macro_rules! konst {
+            ($v:expr) => {{
+                let v = $v;
+                *cse.entry(CseKey::Const(v)).or_insert_with(|| out.constant(v))
+            }};
+        }
+        macro_rules! share {
+            ($key:expr, $build:expr) => {{
+                let key = $key;
+                #[allow(clippy::redundant_closure_call)]
+                match cse.get(&key) {
+                    Some(&id) => id,
+                    None => {
+                        let id = $build(&mut out);
+                        cse.insert(key, id);
+                        id
+                    }
+                }
+            }};
+        }
+        let new_id = match *gate {
+            Gate::Input => out.input(),
+            Gate::Const(v) => konst!(v),
+            Gate::Not(a) => {
+                let a = map[a.index()];
+                if let Some(c) = const_of(&out, a) {
+                    konst!(!c)
+                } else if let Gate::Not(inner) = out.gates()[a.index()] {
+                    inner // double inversion
+                } else {
+                    share!(CseKey::Not(a.index() as u32), |o: &mut Netlist| o.not(a))
+                }
+            }
+            Gate::And(a, b) => {
+                let (a, b) = (map[a.index()], map[b.index()]);
+                match (const_of(&out, a), const_of(&out, b)) {
+                    (Some(false), _) | (_, Some(false)) => konst!(false),
+                    (Some(true), _) => b,
+                    (_, Some(true)) => a,
+                    _ if a == b => a,
+                    _ => {
+                        let key = sorted(a, b);
+                        share!(CseKey::And(key.0, key.1), |o: &mut Netlist| o.and(a, b))
+                    }
+                }
+            }
+            Gate::Or(a, b) => {
+                let (a, b) = (map[a.index()], map[b.index()]);
+                match (const_of(&out, a), const_of(&out, b)) {
+                    (Some(true), _) | (_, Some(true)) => konst!(true),
+                    (Some(false), _) => b,
+                    (_, Some(false)) => a,
+                    _ if a == b => a,
+                    _ => {
+                        let key = sorted(a, b);
+                        share!(CseKey::Or(key.0, key.1), |o: &mut Netlist| o.or(a, b))
+                    }
+                }
+            }
+            Gate::Nand(a, b) => {
+                let (a, b) = (map[a.index()], map[b.index()]);
+                match (const_of(&out, a), const_of(&out, b)) {
+                    (Some(false), _) | (_, Some(false)) => konst!(true),
+                    (Some(true), Some(true)) => konst!(false),
+                    (Some(true), _) => {
+                        share!(CseKey::Not(b.index() as u32), |o: &mut Netlist| o.not(b))
+                    }
+                    (_, Some(true)) => {
+                        share!(CseKey::Not(a.index() as u32), |o: &mut Netlist| o.not(a))
+                    }
+                    _ if a == b => {
+                        share!(CseKey::Not(a.index() as u32), |o: &mut Netlist| o.not(a))
+                    }
+                    _ => {
+                        let key = sorted(a, b);
+                        share!(CseKey::Nand(key.0, key.1), |o: &mut Netlist| o.nand(a, b))
+                    }
+                }
+            }
+            Gate::Nor(a, b) => {
+                let (a, b) = (map[a.index()], map[b.index()]);
+                match (const_of(&out, a), const_of(&out, b)) {
+                    (Some(true), _) | (_, Some(true)) => konst!(false),
+                    (Some(false), Some(false)) => konst!(true),
+                    (Some(false), _) => {
+                        share!(CseKey::Not(b.index() as u32), |o: &mut Netlist| o.not(b))
+                    }
+                    (_, Some(false)) => {
+                        share!(CseKey::Not(a.index() as u32), |o: &mut Netlist| o.not(a))
+                    }
+                    _ if a == b => {
+                        share!(CseKey::Not(a.index() as u32), |o: &mut Netlist| o.not(a))
+                    }
+                    _ => {
+                        let key = sorted(a, b);
+                        share!(CseKey::Nor(key.0, key.1), |o: &mut Netlist| o.nor(a, b))
+                    }
+                }
+            }
+            Gate::Xor(a, b) => {
+                let (a, b) = (map[a.index()], map[b.index()]);
+                match (const_of(&out, a), const_of(&out, b)) {
+                    (Some(ca), Some(cb)) => konst!(ca ^ cb),
+                    (Some(false), _) => b,
+                    (_, Some(false)) => a,
+                    (Some(true), _) => {
+                        share!(CseKey::Not(b.index() as u32), |o: &mut Netlist| o.not(b))
+                    }
+                    (_, Some(true)) => {
+                        share!(CseKey::Not(a.index() as u32), |o: &mut Netlist| o.not(a))
+                    }
+                    _ if a == b => konst!(false),
+                    _ => {
+                        let key = sorted(a, b);
+                        share!(CseKey::Xor(key.0, key.1), |o: &mut Netlist| o.xor(a, b))
+                    }
+                }
+            }
+            Gate::Xnor(a, b) => {
+                let (a, b) = (map[a.index()], map[b.index()]);
+                match (const_of(&out, a), const_of(&out, b)) {
+                    (Some(ca), Some(cb)) => konst!(ca == cb),
+                    (Some(true), _) => b,
+                    (_, Some(true)) => a,
+                    (Some(false), _) => {
+                        share!(CseKey::Not(b.index() as u32), |o: &mut Netlist| o.not(b))
+                    }
+                    (_, Some(false)) => {
+                        share!(CseKey::Not(a.index() as u32), |o: &mut Netlist| o.not(a))
+                    }
+                    _ if a == b => konst!(true),
+                    _ => {
+                        let key = sorted(a, b);
+                        share!(CseKey::Xnor(key.0, key.1), |o: &mut Netlist| o.xnor(a, b))
+                    }
+                }
+            }
+            Gate::Mux { sel, a, b } => {
+                let (sel, a, b) = (map[sel.index()], map[a.index()], map[b.index()]);
+                match const_of(&out, sel) {
+                    Some(true) => a,
+                    Some(false) => b,
+                    None if a == b => a,
+                    None => share!(
+                        CseKey::Mux(sel.index() as u32, a.index() as u32, b.index() as u32),
+                        |o: &mut Netlist| o.mux(sel, a, b)
+                    ),
+                }
+            }
+            Gate::Dff { d } => {
+                let q = out.dff();
+                if let Some(d) = d {
+                    dff_fixups.push((q, d));
+                }
+                q
+            }
+        };
+        map.push(new_id);
+    }
+    for (q, old_d) in dff_fixups {
+        out.drive_dff(q, map[old_d.index()])
+            .expect("freshly created flip-flop");
+    }
+    for (name, old) in output_pairs(original) {
+        out.mark_output(&name, map[old.index()]);
+    }
+    (out, map)
+}
+
+/// Pass 2: drop gates nothing observable depends on.
+fn prune(folded: &Netlist) -> (Netlist, Vec<Option<NetId>>) {
+    let n = folded.gate_count();
+    let mut live = vec![false; n];
+    let mut stack: Vec<NetId> = Vec::new();
+    for (_, net) in output_pairs(folded) {
+        stack.push(net);
+    }
+    // Primary inputs are the interface: always kept.
+    for (i, gate) in folded.gates().iter().enumerate() {
+        if matches!(gate, Gate::Input) {
+            stack.push(NetId(i as u32));
+        }
+    }
+    while let Some(net) = stack.pop() {
+        if live[net.index()] {
+            continue;
+        }
+        live[net.index()] = true;
+        for input in folded.gates()[net.index()].inputs() {
+            stack.push(input);
+        }
+    }
+    let mut out = Netlist::new();
+    let mut map: Vec<Option<NetId>> = vec![None; n];
+    let mut dff_fixups: Vec<(NetId, NetId)> = Vec::new();
+    for (i, gate) in folded.gates().iter().enumerate() {
+        if !live[i] {
+            continue;
+        }
+        let remap = |id: NetId, map: &[Option<NetId>]| {
+            map[id.index()].expect("live gates only read live nets")
+        };
+        let new_id = match *gate {
+            Gate::Input => out.input(),
+            Gate::Const(v) => out.constant(v),
+            Gate::Not(a) => {
+                let a = remap(a, &map);
+                out.not(a)
+            }
+            Gate::And(a, b) => {
+                let (a, b) = (remap(a, &map), remap(b, &map));
+                out.and(a, b)
+            }
+            Gate::Or(a, b) => {
+                let (a, b) = (remap(a, &map), remap(b, &map));
+                out.or(a, b)
+            }
+            Gate::Nand(a, b) => {
+                let (a, b) = (remap(a, &map), remap(b, &map));
+                out.nand(a, b)
+            }
+            Gate::Nor(a, b) => {
+                let (a, b) = (remap(a, &map), remap(b, &map));
+                out.nor(a, b)
+            }
+            Gate::Xor(a, b) => {
+                let (a, b) = (remap(a, &map), remap(b, &map));
+                out.xor(a, b)
+            }
+            Gate::Xnor(a, b) => {
+                let (a, b) = (remap(a, &map), remap(b, &map));
+                out.xnor(a, b)
+            }
+            Gate::Mux { sel, a, b } => {
+                let (sel, a, b) = (remap(sel, &map), remap(a, &map), remap(b, &map));
+                out.mux(sel, a, b)
+            }
+            Gate::Dff { d } => {
+                let q = out.dff();
+                if let Some(d) = d {
+                    dff_fixups.push((q, d));
+                }
+                q
+            }
+        };
+        map[i] = Some(new_id);
+    }
+    for (q, old_d) in dff_fixups {
+        let d = map[old_d.index()].expect("live dff reads a live net");
+        out.drive_dff(q, d).expect("freshly created flip-flop");
+    }
+    for (name, old) in output_pairs(folded) {
+        out.mark_output(&name, map[old.index()].expect("outputs are live"));
+    }
+    (out, map)
+}
+
+/// All `(name, net)` output pairs of a netlist.
+fn output_pairs(netlist: &Netlist) -> Vec<(String, NetId)> {
+    netlist.output_names()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn folds_constants_through_logic() {
+        let mut n = Netlist::new();
+        let t = n.constant(true);
+        let f = n.constant(false);
+        let a = n.input();
+        let and_tf = n.and(t, f); // false
+        let or_a = n.or(and_tf, a); // a
+        let xor_t = n.xor(or_a, t); // !a
+        n.mark_output("y", xor_t);
+        let (opt, map) = optimize(&n);
+        // Expect: input + one NOT.
+        assert_eq!(opt.gate_count(), 2);
+        let mut sim = Simulator::new(opt);
+        let a_new = map.get(a).unwrap();
+        let y_new = map.get(xor_t).unwrap();
+        sim.set(a_new, true);
+        sim.step();
+        assert!(!sim.value(y_new));
+    }
+
+    #[test]
+    fn eliminates_double_inverters() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let x = n.not(a);
+        let y = n.not(x);
+        let z = n.not(y);
+        n.mark_output("z", z);
+        let (opt, map) = optimize(&n);
+        assert_eq!(opt.gate_count(), 2); // input + single NOT
+        assert_eq!(map.get(y), map.get(a));
+        assert_eq!(map.get(z), map.get(x));
+    }
+
+    #[test]
+    fn shares_identical_gates() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let x = n.and(a, b);
+        let y = n.and(b, a); // commutative duplicate
+        let z = n.xor(x, y); // = 0 after sharing
+        n.mark_output("z", z);
+        let (opt, map) = optimize(&n);
+        assert_eq!(map.get(x), map.get(y));
+        // z folds to constant false.
+        let z_new = map.get(z).unwrap();
+        assert!(matches!(opt.gates()[z_new.index()], Gate::Const(false)));
+    }
+
+    #[test]
+    fn removes_dead_gates_but_keeps_inputs() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let _dead = n.xor(a, b);
+        let live = n.and(a, b);
+        n.mark_output("y", live);
+        let (opt, map) = optimize(&n);
+        assert_eq!(opt.gate_count(), 3); // two inputs + AND
+        assert!(map.get(_dead).is_none());
+        assert!(map.get(a).is_some());
+        assert!(map.get(b).is_some());
+    }
+
+    #[test]
+    fn keeps_flip_flop_state_machines() {
+        let mut n = Netlist::new();
+        let q = n.dff();
+        let nq = n.not(q);
+        n.drive_dff(q, nq).unwrap();
+        n.mark_output("q", q);
+        let (opt, map) = optimize(&n);
+        assert_eq!(opt.dff_count(), 1);
+        let mut sim = Simulator::new(opt);
+        let q_new = map.get(q).unwrap();
+        sim.step();
+        assert!(sim.value(q_new));
+        sim.step();
+        assert!(!sim.value(q_new));
+    }
+
+    #[test]
+    fn mux_with_equal_arms_collapses() {
+        let mut n = Netlist::new();
+        let s = n.input();
+        let a = n.input();
+        let m = n.mux(s, a, a);
+        n.mark_output("m", m);
+        let (opt, map) = optimize(&n);
+        assert_eq!(map.get(m), map.get(a));
+        assert_eq!(opt.gate_count(), 2);
+    }
+
+    #[test]
+    fn optimized_netlist_passes_checks() {
+        let circuit = crate::codecs::dual_t0bi_encoder(
+            buscode_core::BusWidth::MIPS,
+            buscode_core::Stride::WORD,
+        );
+        let (opt, _) = optimize(&circuit.netlist);
+        assert!(opt.check().is_ok());
+        assert!(opt.gate_count() <= circuit.netlist.gate_count());
+    }
+}

@@ -1,0 +1,225 @@
+//! Capacitance and power accounting for simulated netlists.
+//!
+//! Dynamic power of a CMOS net is `P = 1/2 * C * Vdd^2 * f * alpha`, with
+//! `alpha` the net's switching activity (transitions per cycle). The
+//! simulator supplies `alpha`; this module supplies `C` through a simple
+//! technology model — per-pin gate input capacitance plus per-net wire
+//! capacitance, with explicit extra loads on selected nets (output pads,
+//! bus wires) — and integrates the product over the whole circuit.
+//!
+//! The default constants approximate the paper's 0.35 µm, 3.3 V SGS-Thomson
+//! library at 100 MHz. Absolute milliwatt values are not expected to match
+//! the paper's tables (we are not that library); relative codec costs and
+//! load-sweep crossovers are.
+
+use crate::netlist::{NetId, Netlist};
+use crate::sim::Simulator;
+
+/// Technology and operating-point parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Technology {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Clock frequency, hertz.
+    pub frequency: f64,
+    /// Input capacitance of one gate pin, farads.
+    pub gate_input_cap: f64,
+    /// Parasitic wire capacitance of one net, farads.
+    pub wire_cap: f64,
+}
+
+impl Technology {
+    /// The paper's operating point: 0.35 µm, 3.3 V, 100 MHz.
+    ///
+    /// The capacitances are *effective* switching capacitances: they fold
+    /// the cell-internal and short-circuit energy of a 0.35 µm standard
+    /// cell (roughly half of its total dynamic power) into the external
+    /// load term, since this model charges energy to nets only.
+    pub fn date98() -> Self {
+        Technology {
+            vdd: 3.3,
+            frequency: 100.0e6,
+            gate_input_cap: 40.0e-15,
+            wire_cap: 20.0e-15,
+        }
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::date98()
+    }
+}
+
+/// Per-net capacitance map for one netlist.
+#[derive(Clone, Debug)]
+pub struct CapacitanceModel {
+    tech: Technology,
+    /// Base capacitance per net (fanout * pin cap + wire cap).
+    base: Vec<f64>,
+    /// Extra load per net (pads, external bus wires).
+    extra: Vec<f64>,
+}
+
+impl CapacitanceModel {
+    /// Builds the capacitance map of a netlist under a technology.
+    pub fn new(netlist: &Netlist, tech: Technology) -> Self {
+        let base = netlist
+            .fanouts()
+            .iter()
+            .map(|&fanout| f64::from(fanout) * tech.gate_input_cap + tech.wire_cap)
+            .collect();
+        let extra = vec![0.0; netlist.gate_count()];
+        CapacitanceModel { tech, base, extra }
+    }
+
+    /// Adds an explicit extra load (in farads) on a net — e.g. a bus wire
+    /// or an output pad's input capacitance.
+    pub fn add_load(&mut self, net: NetId, farads: f64) {
+        self.extra[net.index()] += farads;
+    }
+
+    /// Adds the same extra load on every net of a word.
+    pub fn add_word_load(&mut self, word: &[NetId], farads: f64) {
+        for &net in word {
+            self.add_load(net, farads);
+        }
+    }
+
+    /// Total capacitance of one net.
+    pub fn capacitance(&self, net: NetId) -> f64 {
+        self.base[net.index()] + self.extra[net.index()]
+    }
+
+    /// The technology parameters in use.
+    pub fn technology(&self) -> Technology {
+        self.tech
+    }
+
+    /// Average dynamic power (watts) of the whole circuit given a
+    /// completed simulation: `1/2 Vdd^2 f * sum_i C_i alpha_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator belongs to a different netlist (detected by
+    /// gate-count mismatch).
+    pub fn power(&self, sim: &Simulator) -> f64 {
+        assert_eq!(
+            sim.netlist().gate_count(),
+            self.base.len(),
+            "simulator and capacitance model must describe the same netlist"
+        );
+        let switched: f64 = (0..self.base.len())
+            .map(|i| {
+                let net = NetId(i as u32);
+                self.capacitance(net) * sim.activity(net)
+            })
+            .sum();
+        0.5 * self.tech.vdd * self.tech.vdd * self.tech.frequency * switched
+    }
+
+    /// The power (watts) attributable to a subset of nets — used to report
+    /// pad power separately from core logic power (paper Table 9).
+    pub fn power_of(&self, sim: &Simulator, nets: &[NetId]) -> f64 {
+        let switched: f64 = nets
+            .iter()
+            .map(|&net| self.capacitance(net) * sim.activity(net))
+            .sum();
+        0.5 * self.tech.vdd * self.tech.vdd * self.tech.frequency * switched
+    }
+}
+
+/// Formats a power value in milliwatts with three significant decimals.
+pub fn milliwatts(power_watts: f64) -> f64 {
+    power_watts * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn capacitance_tracks_fanout() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let x = n.not(a);
+        let _y = n.and(a, x);
+        let tech = Technology::date98();
+        let cap = CapacitanceModel::new(&n, tech);
+        // a feeds two pins, x feeds one.
+        assert!((cap.capacitance(a) - (2.0 * tech.gate_input_cap + tech.wire_cap)).abs() < 1e-20);
+        assert!((cap.capacitance(x) - (tech.gate_input_cap + tech.wire_cap)).abs() < 1e-20);
+    }
+
+    #[test]
+    fn extra_load_accumulates() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let mut cap = CapacitanceModel::new(&n, Technology::date98());
+        let base = cap.capacitance(a);
+        cap.add_load(a, 1.0e-12);
+        cap.add_load(a, 0.5e-12);
+        assert!((cap.capacitance(a) - base - 1.5e-12).abs() < 1e-20);
+    }
+
+    #[test]
+    fn power_of_known_toggler() {
+        // One net toggling every cycle with capacitance C dissipates
+        // exactly 1/2 C V^2 f.
+        let mut n = Netlist::new();
+        let q = n.dff();
+        let nq = n.not(q);
+        n.drive_dff(q, nq).unwrap();
+        let tech = Technology {
+            vdd: 2.0,
+            frequency: 1.0e6,
+            gate_input_cap: 0.0,
+            wire_cap: 0.0,
+        };
+        let mut cap = CapacitanceModel::new(&n, tech);
+        cap.add_load(q, 1.0e-12); // only q carries capacitance
+        let mut sim = crate::Simulator::new(n);
+        for _ in 0..1000 {
+            sim.step();
+        }
+        // q toggles every cycle (activity ~1), so P = 0.5 * 1pF * 4V^2 * 1MHz = 2 uW.
+        let p = cap.power(&sim);
+        assert!((p - 2.0e-6).abs() / 2.0e-6 < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn quiet_circuit_dissipates_nothing() {
+        // An AND of a low input stays low from reset: zero activity.
+        let mut n = Netlist::new();
+        let a = n.input();
+        let _x = n.and(a, a);
+        let cap = CapacitanceModel::new(&n, Technology::date98());
+        let mut sim = crate::Simulator::new(n);
+        for _ in 0..100 {
+            sim.step(); // input held at 0
+        }
+        assert_eq!(cap.power(&sim), 0.0);
+    }
+
+    #[test]
+    fn power_of_subset() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let cap = CapacitanceModel::new(&n, Technology::date98());
+        let mut sim = crate::Simulator::new(n);
+        for i in 0..10 {
+            sim.set(a, i % 2 == 0);
+            sim.set(b, false);
+            sim.step();
+        }
+        assert!(cap.power_of(&sim, &[a]) > 0.0);
+        assert_eq!(cap.power_of(&sim, &[b]), 0.0);
+    }
+
+    #[test]
+    fn milliwatt_conversion() {
+        assert!((milliwatts(0.0215) - 21.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,288 @@
+//! Technology mapping to a universal NAND2 library.
+//!
+//! Standard-cell area comparisons are only meaningful over a common cell
+//! basis. This pass rewrites every combinational gate into two-input
+//! NANDs (inverters become one-input-tied NANDs; flip-flops, inputs and
+//! constants pass through), producing the NAND2-equivalent netlist whose
+//! gate count is the classic "NAND2 area" figure of synthesis reports.
+//!
+//! The mapping is semantics-preserving (property-tested against the
+//! original on random circuits) and composes with
+//! [`optimize`](crate::optimize), which shares the duplicated NANDs the
+//! textbook expansions produce.
+
+use crate::netlist::{Gate, NetId, Netlist};
+use crate::optimize::NetMap;
+
+/// Rewrites `original` into a NAND2-only netlist (plus inputs, constants
+/// and flip-flops), returning it with the net translation map.
+///
+/// Expansions used (`!x = NAND(x,x)` written `inv`):
+///
+/// | gate | NAND2 cells |
+/// |---|---|
+/// | NOT | 1 |
+/// | AND | 2 |
+/// | OR | 3 |
+/// | NAND | 1 |
+/// | NOR | 4 |
+/// | XOR | 4 |
+/// | XNOR | 5 |
+/// | MUX | 4 (incl. select inverter) |
+///
+/// # Examples
+///
+/// ```
+/// use buscode_logic::{tech_map, Netlist};
+///
+/// let mut n = Netlist::new();
+/// let a = n.input();
+/// let b = n.input();
+/// let x = n.xor(a, b);
+/// n.mark_output("x", x);
+/// let (mapped, _) = tech_map(&n);
+/// assert_eq!(mapped.gate_census().get("nand"), Some(&4));
+/// assert_eq!(mapped.gate_census().get("xor"), None);
+/// ```
+pub fn tech_map(original: &Netlist) -> (Netlist, NetMap) {
+    let mut out = Netlist::new();
+    let mut map: Vec<NetId> = Vec::with_capacity(original.gate_count());
+    let mut dff_fixups: Vec<(NetId, NetId)> = Vec::new();
+
+    let inv = |out: &mut Netlist, x: NetId| out.nand(x, x);
+    for gate in original.gates() {
+        let new_id = match *gate {
+            Gate::Input => out.input(),
+            Gate::Const(v) => out.constant(v),
+            Gate::Not(a) => {
+                let a = map[a.index()];
+                inv(&mut out, a)
+            }
+            Gate::And(a, b) => {
+                let (a, b) = (map[a.index()], map[b.index()]);
+                let n1 = out.nand(a, b);
+                inv(&mut out, n1)
+            }
+            Gate::Or(a, b) => {
+                // OR(a,b) = NAND(!a, !b)
+                let (a, b) = (map[a.index()], map[b.index()]);
+                let na = inv(&mut out, a);
+                let nb = inv(&mut out, b);
+                out.nand(na, nb)
+            }
+            Gate::Nand(a, b) => {
+                let (a, b) = (map[a.index()], map[b.index()]);
+                out.nand(a, b)
+            }
+            Gate::Nor(a, b) => {
+                // NOR = !OR: OR costs 3, plus the final inverter.
+                let (a, b) = (map[a.index()], map[b.index()]);
+                let na = inv(&mut out, a);
+                let nb = inv(&mut out, b);
+                let or = out.nand(na, nb);
+                inv(&mut out, or)
+            }
+            Gate::Xor(a, b) => {
+                // The textbook 4-NAND XOR.
+                let (a, b) = (map[a.index()], map[b.index()]);
+                let n1 = out.nand(a, b);
+                let n2 = out.nand(a, n1);
+                let n3 = out.nand(b, n1);
+                out.nand(n2, n3)
+            }
+            Gate::Xnor(a, b) => {
+                let (a, b) = (map[a.index()], map[b.index()]);
+                let n1 = out.nand(a, b);
+                let n2 = out.nand(a, n1);
+                let n3 = out.nand(b, n1);
+                let x = out.nand(n2, n3);
+                inv(&mut out, x)
+            }
+            Gate::Mux { sel, a, b } => {
+                // MUX(s,a,b) = NAND(NAND(s,a), NAND(!s,b))
+                let (sel, a, b) = (map[sel.index()], map[a.index()], map[b.index()]);
+                let nsel = inv(&mut out, sel);
+                let t1 = out.nand(sel, a);
+                let t2 = out.nand(nsel, b);
+                out.nand(t1, t2)
+            }
+            Gate::Dff { d } => {
+                let q = out.dff();
+                if let Some(d) = d {
+                    dff_fixups.push((q, d));
+                }
+                q
+            }
+        };
+        map.push(new_id);
+    }
+    for (q, old_d) in dff_fixups {
+        out.drive_dff(q, map[old_d.index()])
+            .expect("freshly created flip-flop");
+    }
+    for (name, old) in original.output_names() {
+        out.mark_output(&name, map[old.index()]);
+    }
+    let forward = map.into_iter().map(Some).collect();
+    (out, NetMap::from_forward(forward))
+}
+
+/// The NAND2-equivalent area of a netlist: its NAND count after
+/// [`tech_map`] (inputs, constants and flip-flops excluded).
+pub fn nand2_area(netlist: &Netlist) -> usize {
+    let (mapped, _) = tech_map(netlist);
+    mapped.gate_census().get("nand").copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    type GateBuilder = fn(&mut Netlist, NetId, NetId) -> NetId;
+
+    fn is_nand_only(netlist: &Netlist) -> bool {
+        netlist.gates().iter().all(|g| {
+            matches!(
+                g,
+                Gate::Input | Gate::Const(_) | Gate::Nand(..) | Gate::Dff { .. }
+            )
+        })
+    }
+
+    #[test]
+    fn expansion_cell_counts_match_the_table() {
+        let cases: Vec<(GateBuilder, usize)> = vec![
+            (|n, a, _| n.not(a), 1),
+            (|n, a, b| n.and(a, b), 2),
+            (|n, a, b| n.or(a, b), 3),
+            (|n, a, b| n.nand(a, b), 1),
+            (|n, a, b| n.nor(a, b), 4),
+            (|n, a, b| n.xor(a, b), 4),
+            (|n, a, b| n.xnor(a, b), 5),
+        ];
+        for (build, nands) in cases {
+            let mut n = Netlist::new();
+            let a = n.input();
+            let b = n.input();
+            let y = build(&mut n, a, b);
+            n.mark_output("y", y);
+            let (mapped, _) = tech_map(&n);
+            assert!(is_nand_only(&mapped));
+            assert_eq!(mapped.gate_census().get("nand").copied().unwrap_or(0), nands);
+        }
+    }
+
+    #[test]
+    fn mapped_gates_compute_the_same_function() {
+        // Exhaustive over all input pairs for every gate type.
+        let builders: Vec<GateBuilder> = vec![
+            |n, a, _| n.not(a),
+            |n, a, b| n.and(a, b),
+            |n, a, b| n.or(a, b),
+            |n, a, b| n.nand(a, b),
+            |n, a, b| n.nor(a, b),
+            |n, a, b| n.xor(a, b),
+            |n, a, b| n.xnor(a, b),
+        ];
+        for build in builders {
+            let mut n = Netlist::new();
+            let a = n.input();
+            let b = n.input();
+            let y = build(&mut n, a, b);
+            n.mark_output("y", y);
+            let (mapped, map) = tech_map(&n);
+            let mut original = Simulator::new(n);
+            let mut nanded = Simulator::new(mapped);
+            for bits in 0..4u8 {
+                let (x, z) = (bits & 1 == 1, bits & 2 == 2);
+                original.set(a, x);
+                original.set(b, z);
+                nanded.set(map.get(a).unwrap(), x);
+                nanded.set(map.get(b).unwrap(), z);
+                original.step();
+                nanded.step();
+                assert_eq!(original.value(y), nanded.value(map.get(y).unwrap()));
+            }
+        }
+    }
+
+    #[test]
+    fn mux_maps_correctly() {
+        let mut n = Netlist::new();
+        let s = n.input();
+        let a = n.input();
+        let b = n.input();
+        let y = n.mux(s, a, b);
+        n.mark_output("y", y);
+        let (mapped, map) = tech_map(&n);
+        assert!(is_nand_only(&mapped));
+        let mut sim = Simulator::new(mapped);
+        for bits in 0..8u8 {
+            let (sv, av, bv) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+            sim.set(map.get(s).unwrap(), sv);
+            sim.set(map.get(a).unwrap(), av);
+            sim.set(map.get(b).unwrap(), bv);
+            sim.step();
+            assert_eq!(sim.value(map.get(y).unwrap()), if sv { av } else { bv });
+        }
+    }
+
+    #[test]
+    fn sequential_circuits_survive_mapping() {
+        // The toggler: q <- !q.
+        let mut n = Netlist::new();
+        let q = n.dff();
+        let nq = n.not(q);
+        n.drive_dff(q, nq).unwrap();
+        n.mark_output("q", q);
+        let (mapped, map) = tech_map(&n);
+        assert!(mapped.check().is_ok());
+        let mut sim = Simulator::new(mapped);
+        let q_new = map.get(q).unwrap();
+        let mut expected = false;
+        for _ in 0..6 {
+            sim.step();
+            expected = !expected;
+            assert_eq!(sim.value(q_new), expected);
+        }
+    }
+
+    #[test]
+    fn codec_circuits_map_and_stay_equivalent() {
+        use buscode_core::{Access, BusWidth, Stride};
+        let circuit = crate::codecs::t0_encoder(BusWidth::new(8).unwrap(),
+            Stride::new(4, BusWidth::new(8).unwrap()).unwrap());
+        let (mapped, map) = tech_map(&circuit.netlist);
+        assert!(is_nand_only(&mapped));
+        let mut original = Simulator::new(circuit.netlist.clone());
+        let mut nanded = Simulator::new(mapped);
+        let stream: Vec<Access> = (0..200u64)
+            .map(|i| Access::instruction(if i % 5 == 4 { i * 13 % 256 } else { 4 * i % 256 }))
+            .collect();
+        for access in stream {
+            original.set_word(&circuit.address_in, access.address);
+            let mapped_inputs = map.word(&circuit.address_in).unwrap();
+            nanded.set_word(&mapped_inputs, access.address);
+            original.step();
+            nanded.step();
+            let bus_mapped = map.word(&circuit.bus_out).unwrap();
+            assert_eq!(original.word(&circuit.bus_out), nanded.word(&bus_mapped));
+            assert_eq!(
+                original.value(circuit.aux_out[0]),
+                nanded.value(map.get(circuit.aux_out[0]).unwrap())
+            );
+        }
+    }
+
+    #[test]
+    fn nand2_area_is_reported() {
+        use buscode_core::{BusWidth, Stride};
+        let t0 = crate::codecs::t0_encoder(BusWidth::MIPS, Stride::WORD);
+        let dual = crate::codecs::dual_t0bi_encoder(BusWidth::MIPS, Stride::WORD);
+        let a_t0 = nand2_area(&t0.netlist);
+        let a_dual = nand2_area(&dual.netlist);
+        assert!(a_t0 > 100);
+        assert!(a_dual > 2 * a_t0, "t0 {a_t0}, dual {a_dual}");
+    }
+}

@@ -1,0 +1,353 @@
+//! Property-based tests for the gate-level substrate: the simulator
+//! against a direct functional interpreter on random DAG circuits, the
+//! word-level macro blocks against integer arithmetic, and the codec
+//! circuits against the behavioural codes on random streams.
+
+use buscode_core::{Access, AccessKind, BusState, BusWidth, Decoder as _, Encoder as _, Stride};
+use buscode_logic::codecs::{
+    bus_invert_decoder, bus_invert_encoder, dual_t0_decoder, dual_t0_encoder, dual_t0bi_decoder,
+    dual_t0bi_encoder, gray_decoder, gray_encoder, t0_decoder, t0_encoder, t0bi_decoder,
+    t0bi_encoder,
+};
+use buscode_logic::{Netlist, Simulator};
+use proptest::prelude::*;
+
+/// A random combinational gate description over earlier nets.
+#[derive(Clone, Debug)]
+enum Op {
+    Not(usize),
+    And(usize, usize),
+    Or(usize, usize),
+    Nand(usize, usize),
+    Nor(usize, usize),
+    Xor(usize, usize),
+    Xnor(usize, usize),
+    Mux(usize, usize, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = (Op, u64)> {
+    // Operand indexes are taken modulo the number of existing nets.
+    let idx = any::<usize>();
+    (
+        prop_oneof![
+            idx.prop_map(Op::Not),
+            (idx, idx).prop_map(|(a, b)| Op::And(a, b)),
+            (idx, idx).prop_map(|(a, b)| Op::Or(a, b)),
+            (idx, idx).prop_map(|(a, b)| Op::Nand(a, b)),
+            (idx, idx).prop_map(|(a, b)| Op::Nor(a, b)),
+            (idx, idx).prop_map(|(a, b)| Op::Xor(a, b)),
+            (idx, idx).prop_map(|(a, b)| Op::Xnor(a, b)),
+            (idx, idx, idx).prop_map(|(s, a, b)| Op::Mux(s, a, b)),
+        ],
+        any::<u64>(),
+    )
+        .prop_map(|(op, salt)| (op, salt))
+}
+
+/// Software reference evaluation of the same random circuit.
+fn reference_eval(ops: &[Op], inputs: &[bool]) -> Vec<bool> {
+    let mut values: Vec<bool> = inputs.to_vec();
+    for op in ops {
+        let n = values.len();
+        let v = match *op {
+            Op::Not(a) => !values[a % n],
+            Op::And(a, b) => values[a % n] && values[b % n],
+            Op::Or(a, b) => values[a % n] || values[b % n],
+            Op::Nand(a, b) => !(values[a % n] && values[b % n]),
+            Op::Nor(a, b) => !(values[a % n] || values[b % n]),
+            Op::Xor(a, b) => values[a % n] ^ values[b % n],
+            Op::Xnor(a, b) => !(values[a % n] ^ values[b % n]),
+            Op::Mux(s, a, b) => {
+                if values[s % n] {
+                    values[a % n]
+                } else {
+                    values[b % n]
+                }
+            }
+        };
+        values.push(v);
+    }
+    values
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The cycle simulator computes the same values as a direct
+    /// interpreter on arbitrary combinational DAGs, cycle after cycle.
+    #[test]
+    fn simulator_matches_reference_interpreter(
+        n_inputs in 1usize..6,
+        raw_ops in prop::collection::vec(op_strategy(), 1..40),
+        stimuli in prop::collection::vec(any::<u8>(), 1..10),
+    ) {
+        let ops: Vec<Op> = raw_ops.into_iter().map(|(op, _)| op).collect();
+        let mut netlist = Netlist::new();
+        let inputs: Vec<_> = (0..n_inputs).map(|_| netlist.input()).collect();
+        let mut nets = inputs.clone();
+        for op in &ops {
+            let n = nets.len();
+            let id = match *op {
+                Op::Not(a) => netlist.not(nets[a % n]),
+                Op::And(a, b) => netlist.and(nets[a % n], nets[b % n]),
+                Op::Or(a, b) => netlist.or(nets[a % n], nets[b % n]),
+                Op::Nand(a, b) => netlist.nand(nets[a % n], nets[b % n]),
+                Op::Nor(a, b) => netlist.nor(nets[a % n], nets[b % n]),
+                Op::Xor(a, b) => netlist.xor(nets[a % n], nets[b % n]),
+                Op::Xnor(a, b) => netlist.xnor(nets[a % n], nets[b % n]),
+                Op::Mux(s, a, b) => netlist.mux(nets[s % n], nets[a % n], nets[b % n]),
+            };
+            nets.push(id);
+        }
+        prop_assert!(netlist.check().is_ok());
+        let mut sim = Simulator::new(netlist);
+        for stimulus in stimuli {
+            let input_bits: Vec<bool> =
+                (0..n_inputs).map(|i| (stimulus >> i) & 1 == 1).collect();
+            for (net, bit) in inputs.iter().zip(&input_bits) {
+                sim.set(*net, *bit);
+            }
+            sim.step();
+            let expected = reference_eval(&ops, &input_bits);
+            for (net, want) in nets.iter().zip(&expected) {
+                prop_assert_eq!(sim.value(*net), *want);
+            }
+        }
+    }
+
+    /// The optimizer preserves every marked output's value on arbitrary
+    /// circuits and stimuli, and never grows the gate count.
+    #[test]
+    fn optimizer_preserves_semantics(
+        n_inputs in 1usize..5,
+        raw_ops in prop::collection::vec(op_strategy(), 1..40),
+        stimuli in prop::collection::vec(any::<u8>(), 1..8),
+    ) {
+        let ops: Vec<Op> = raw_ops.into_iter().map(|(op, _)| op).collect();
+        let mut netlist = Netlist::new();
+        let inputs: Vec<_> = (0..n_inputs).map(|_| netlist.input()).collect();
+        let mut nets = inputs.clone();
+        for op in &ops {
+            let n = nets.len();
+            let id = match *op {
+                Op::Not(a) => netlist.not(nets[a % n]),
+                Op::And(a, b) => netlist.and(nets[a % n], nets[b % n]),
+                Op::Or(a, b) => netlist.or(nets[a % n], nets[b % n]),
+                Op::Nand(a, b) => netlist.nand(nets[a % n], nets[b % n]),
+                Op::Nor(a, b) => netlist.nor(nets[a % n], nets[b % n]),
+                Op::Xor(a, b) => netlist.xor(nets[a % n], nets[b % n]),
+                Op::Xnor(a, b) => netlist.xnor(nets[a % n], nets[b % n]),
+                Op::Mux(s, a, b) => netlist.mux(nets[s % n], nets[a % n], nets[b % n]),
+            };
+            nets.push(id);
+        }
+        // Mark a handful of nets (including the last) as outputs.
+        let outputs: Vec<_> = nets
+            .iter()
+            .rev()
+            .step_by(3)
+            .take(4)
+            .copied()
+            .collect();
+        for (i, &net) in outputs.iter().enumerate() {
+            netlist.mark_output(&format!("o{i}"), net);
+        }
+        let (optimized, map) = buscode_logic::optimize(&netlist);
+        prop_assert!(optimized.gate_count() <= netlist.gate_count());
+        prop_assert!(optimized.check().is_ok());
+
+        let mut original_sim = Simulator::new(netlist);
+        let mut optimized_sim = Simulator::new(optimized);
+        for stimulus in stimuli {
+            for (i, net) in inputs.iter().enumerate() {
+                let bit = (stimulus >> i) & 1 == 1;
+                original_sim.set(*net, bit);
+                optimized_sim.set(map.get(*net).unwrap(), bit);
+            }
+            original_sim.step();
+            optimized_sim.step();
+            for &net in &outputs {
+                prop_assert_eq!(
+                    original_sim.value(net),
+                    optimized_sim.value(map.get(net).unwrap())
+                );
+            }
+        }
+    }
+
+    /// NAND2 technology mapping preserves every net's function on
+    /// arbitrary circuits and stimuli.
+    #[test]
+    fn tech_map_preserves_semantics(
+        n_inputs in 1usize..5,
+        raw_ops in prop::collection::vec(op_strategy(), 1..30),
+        stimuli in prop::collection::vec(any::<u8>(), 1..6),
+    ) {
+        let ops: Vec<Op> = raw_ops.into_iter().map(|(op, _)| op).collect();
+        let mut netlist = Netlist::new();
+        let inputs: Vec<_> = (0..n_inputs).map(|_| netlist.input()).collect();
+        let mut nets = inputs.clone();
+        for op in &ops {
+            let n = nets.len();
+            let id = match *op {
+                Op::Not(a) => netlist.not(nets[a % n]),
+                Op::And(a, b) => netlist.and(nets[a % n], nets[b % n]),
+                Op::Or(a, b) => netlist.or(nets[a % n], nets[b % n]),
+                Op::Nand(a, b) => netlist.nand(nets[a % n], nets[b % n]),
+                Op::Nor(a, b) => netlist.nor(nets[a % n], nets[b % n]),
+                Op::Xor(a, b) => netlist.xor(nets[a % n], nets[b % n]),
+                Op::Xnor(a, b) => netlist.xnor(nets[a % n], nets[b % n]),
+                Op::Mux(s, a, b) => netlist.mux(nets[s % n], nets[a % n], nets[b % n]),
+            };
+            nets.push(id);
+        }
+        let (mapped, map) = buscode_logic::tech_map(&netlist);
+        prop_assert!(mapped.check().is_ok());
+        let mut original_sim = Simulator::new(netlist);
+        let mut mapped_sim = Simulator::new(mapped);
+        for stimulus in stimuli {
+            for (i, net) in inputs.iter().enumerate() {
+                let bit = (stimulus >> i) & 1 == 1;
+                original_sim.set(*net, bit);
+                mapped_sim.set(map.get(*net).unwrap(), bit);
+            }
+            original_sim.step();
+            mapped_sim.step();
+            for &net in &nets {
+                prop_assert_eq!(
+                    original_sim.value(net),
+                    mapped_sim.value(map.get(net).unwrap())
+                );
+            }
+        }
+    }
+
+    /// add_const is addition modulo 2^width for arbitrary widths/values.
+    #[test]
+    fn add_const_is_modular_addition(
+        width in 1u32..16,
+        k in any::<u64>(),
+        values in prop::collection::vec(any::<u64>(), 1..8),
+    ) {
+        let mask = (1u64 << width) - 1;
+        let k = k & mask;
+        let mut n = Netlist::new();
+        let a = n.input_word(width);
+        let sum = n.add_const(&a, k);
+        let mut sim = Simulator::new(n);
+        for v in values {
+            let v = v & mask;
+            sim.set_word(&a, v);
+            sim.step();
+            prop_assert_eq!(sim.word(&sum), (v + k) & mask);
+        }
+    }
+
+    /// popcount and gt_const agree with integer arithmetic.
+    #[test]
+    fn popcount_and_comparator_agree_with_integers(
+        bits in 1usize..20,
+        value in any::<u64>(),
+        threshold in 0u64..24,
+    ) {
+        let mut n = Netlist::new();
+        let word: Vec<_> = (0..bits).map(|_| n.input()).collect();
+        let count = n.popcount(&word);
+        let gt = n.gt_const(&count, threshold);
+        let mut sim = Simulator::new(n);
+        for (i, net) in word.iter().enumerate() {
+            sim.set(*net, (value >> i) & 1 == 1);
+        }
+        sim.step();
+        let ones = u64::from((value & ((1u64 << bits) - 1)).count_ones());
+        prop_assert_eq!(sim.word(&count), ones);
+        prop_assert_eq!(sim.value(gt), ones > threshold);
+    }
+
+    /// Every gate-level codec pair round-trips arbitrary muxed streams and
+    /// matches its behavioural twin.
+    #[test]
+    fn all_codec_circuits_round_trip(
+        moves in prop::collection::vec((any::<u64>(), 0u8..4, prop::bool::ANY), 1..60),
+    ) {
+        let width = BusWidth::new(16).unwrap();
+        let stride = Stride::new(4, width).unwrap();
+        // Build a stream mixing runs, repeats and jumps.
+        let mut addr = 0x40u64;
+        let stream: Vec<Access> = moves
+            .iter()
+            .map(|&(jump, kind, is_data)| {
+                addr = match kind {
+                    0 | 1 => addr.wrapping_add(4) & width.mask(),
+                    2 => addr,
+                    _ => jump & width.mask(),
+                };
+                if is_data {
+                    Access::data(addr)
+                } else {
+                    Access::instruction(addr)
+                }
+            })
+            .collect();
+
+        let circuits: Vec<(buscode_logic::EncoderCircuit, buscode_logic::DecoderCircuit)> = vec![
+            (gray_encoder(width, stride), gray_decoder(width, stride)),
+            (t0_encoder(width, stride), t0_decoder(width, stride)),
+            (bus_invert_encoder(width), bus_invert_decoder(width)),
+            (t0bi_encoder(width, stride), t0bi_decoder(width, stride)),
+            (dual_t0_encoder(width, stride), dual_t0_decoder(width, stride)),
+            (dual_t0bi_encoder(width, stride), dual_t0bi_decoder(width, stride)),
+        ];
+        for (enc, dec) in circuits {
+            let (words, _) = enc.run(&stream);
+            let pairs: Vec<(BusState, AccessKind)> = words
+                .iter()
+                .zip(&stream)
+                .map(|(&w, a)| (w, a.kind))
+                .collect();
+            let (addrs, _) = dec.run(&pairs);
+            for (i, (got, access)) in addrs.iter().zip(&stream).enumerate() {
+                prop_assert_eq!(
+                    *got,
+                    access.address & width.mask(),
+                    "{} cycle {}",
+                    enc.name,
+                    i
+                );
+            }
+        }
+    }
+
+    /// Behavioural/gate-level equivalence for the flagship codec on
+    /// arbitrary streams (beyond the fixed-seed unit tests).
+    #[test]
+    fn dual_t0bi_equivalence_on_arbitrary_streams(
+        addrs in prop::collection::vec((any::<u64>(), prop::bool::ANY), 1..80),
+    ) {
+        let width = BusWidth::new(12).unwrap();
+        let stride = Stride::new(4, width).unwrap();
+        let circuit = dual_t0bi_encoder(width, stride);
+        let mut behavioural =
+            buscode_core::codes::DualT0BiEncoder::new(width, stride).unwrap();
+        let mut behavioural_dec =
+            buscode_core::codes::DualT0BiDecoder::new(width, stride).unwrap();
+        let stream: Vec<Access> = addrs
+            .iter()
+            .map(|&(a, d)| {
+                if d {
+                    Access::data(a & width.mask())
+                } else {
+                    Access::instruction(a & width.mask())
+                }
+            })
+            .collect();
+        let (words, _) = circuit.run(&stream);
+        for (word, access) in words.iter().zip(&stream) {
+            prop_assert_eq!(*word, behavioural.encode(*access));
+            prop_assert_eq!(
+                behavioural_dec.decode(*word, access.kind).unwrap(),
+                access.address & width.mask()
+            );
+        }
+    }
+}

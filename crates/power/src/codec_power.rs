@@ -1,0 +1,517 @@
+//! Codec power sweeps: the machinery behind the paper's Tables 8 and 9.
+//!
+//! For each of the three codecs the paper compares (binary, T0, dual
+//! T0_BI) the encoder and decoder circuits are simulated once over a
+//! reference address stream — the per-net switching activities do not
+//! depend on the attached load — and the dynamic power is then integrated
+//! under a sweep of bus-load capacitances:
+//!
+//! - **on-chip** (Table 8): the encoder outputs drive an on-chip bus wire
+//!   of `load` farads per line; the decoder outputs drive the same class
+//!   of load into the receiving block;
+//! - **off-chip** (Table 9): the encoder outputs drive output pads (input
+//!   capacitance only), the pads drive `load` farads of external bus per
+//!   line, and the decoder sees only on-chip capacitance. Pad power is
+//!   reported separately, as in the paper.
+//!
+//! As the paper observes, the decoders of redundant codes must be driven
+//! with the *encoded* streams, whose activities are reduced.
+
+use buscode_core::{Access, AccessKind, BusState, BusWidth, Stride};
+use buscode_logic::codecs::{
+    binary_decoder, binary_encoder, bus_invert_decoder, bus_invert_encoder, dual_t0_decoder,
+    dual_t0_encoder, dual_t0bi_decoder, dual_t0bi_encoder, gray_decoder, gray_encoder,
+    t0_decoder, t0_encoder, t0bi_decoder, t0bi_encoder,
+};
+use buscode_logic::{milliwatts, CapacitanceModel, NetId, Simulator, Technology};
+
+use crate::pads::PadModel;
+
+/// Power of one codec at one load point, in milliwatts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CodecPower {
+    /// Codec name (`binary`, `t0`, `dual-t0-bi`).
+    pub codec: &'static str,
+    /// Encoder power (logic plus any directly attached load).
+    pub encoder_mw: f64,
+    /// Decoder power.
+    pub decoder_mw: f64,
+    /// Pad power (off-chip sweeps only).
+    pub pads_mw: Option<f64>,
+    /// Total: encoder + decoder + pads.
+    pub global_mw: f64,
+}
+
+/// One load point of a sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadRow {
+    /// Per-line load, picofarads.
+    pub load_pf: f64,
+    /// Codec entries, in `[binary, t0, dual-t0-bi]` order.
+    pub entries: Vec<CodecPower>,
+}
+
+/// A completed sweep (one table of the paper).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CodecPowerTable {
+    /// The sweep rows in ascending load order.
+    pub rows: Vec<LoadRow>,
+}
+
+impl CodecPowerTable {
+    /// The entry for `codec` at each load, as `(load_pf, global_mw)`.
+    pub fn series(&self, codec: &str) -> Vec<(f64, f64)> {
+        self.rows
+            .iter()
+            .filter_map(|row| {
+                row.entries
+                    .iter()
+                    .find(|e| e.codec == codec)
+                    .map(|e| (row.load_pf, e.global_mw))
+            })
+            .collect()
+    }
+
+    /// The smallest swept load at which `challenger`'s global power drops
+    /// below `incumbent`'s, if any — the paper's "convenient for loads
+    /// between X and Y" analysis.
+    pub fn crossover(&self, incumbent: &str, challenger: &str) -> Option<f64> {
+        let a = self.series(incumbent);
+        let b = self.series(challenger);
+        a.iter()
+            .zip(&b)
+            .find(|((_, pa), (_, pb))| pb < pa)
+            .map(|((load, _), _)| *load)
+    }
+
+    /// The exact load (picofarads) at which `challenger` becomes cheaper
+    /// than `incumbent`, solved from linear fits of both series.
+    ///
+    /// Dynamic power is affine in the per-line load capacitance
+    /// (`P = P_codec + slope * C`), so a least-squares line through the
+    /// sweep is exact up to measurement noise and the intersection can be
+    /// solved in closed form. Returns `None` when the challenger never
+    /// wins at any positive load (its line is above with equal-or-steeper
+    /// slope), and `Some(0.0)` when it wins everywhere.
+    pub fn crossover_exact(&self, incumbent: &str, challenger: &str) -> Option<f64> {
+        fn fit(points: &[(f64, f64)]) -> Option<(f64, f64)> {
+            let n = points.len() as f64;
+            if points.len() < 2 {
+                return None;
+            }
+            let sx: f64 = points.iter().map(|(x, _)| x).sum();
+            let sy: f64 = points.iter().map(|(_, y)| y).sum();
+            let sxx: f64 = points.iter().map(|(x, _)| x * x).sum();
+            let sxy: f64 = points.iter().map(|(x, y)| x * y).sum();
+            let denom = n * sxx - sx * sx;
+            if denom.abs() < f64::EPSILON {
+                return None;
+            }
+            let slope = (n * sxy - sx * sy) / denom;
+            let intercept = (sy - slope * sx) / n;
+            Some((intercept, slope))
+        }
+        let (ia, sa) = fit(&self.series(incumbent))?;
+        let (ib, sb) = fit(&self.series(challenger))?;
+        if sb >= sa {
+            // The challenger does not gain on the incumbent as the load
+            // grows, so there is no load beyond which it wins.
+            return None;
+        }
+        // Below the intersection the incumbent wins (codec overhead),
+        // above it the challenger's activity savings dominate.
+        Some(((ib - ia) / (sa - sb)).max(0.0))
+    }
+}
+
+/// The state needed to price one codec at any load: finished encoder and
+/// decoder simulations plus the interface nets that receive the load.
+struct CodecSims {
+    name: &'static str,
+    enc_sim: Simulator,
+    enc_outputs: Vec<NetId>,
+    dec_sim: Simulator,
+    dec_outputs: Vec<NetId>,
+    /// Bus-line activities (payload + redundant), for pad power.
+    line_activity: Vec<f64>,
+}
+
+fn run_codec(
+    name: &'static str,
+    width: BusWidth,
+    stride: Stride,
+    stream: &[Access],
+) -> CodecSims {
+    let (enc, dec) = match name {
+        "binary" => (binary_encoder(width), binary_decoder(width)),
+        "gray" => (gray_encoder(width, stride), gray_decoder(width, stride)),
+        "bus-invert" => (bus_invert_encoder(width), bus_invert_decoder(width)),
+        "t0" => (t0_encoder(width, stride), t0_decoder(width, stride)),
+        "t0-bi" => (t0bi_encoder(width, stride), t0bi_decoder(width, stride)),
+        "dual-t0" => (
+            dual_t0_encoder(width, stride),
+            dual_t0_decoder(width, stride),
+        ),
+        "dual-t0-bi" => (
+            dual_t0bi_encoder(width, stride),
+            dual_t0bi_decoder(width, stride),
+        ),
+        other => unreachable!("unknown codec {other}"),
+    };
+    let (words, enc_sim) = enc.run(stream);
+    let pairs: Vec<(BusState, AccessKind)> = words
+        .iter()
+        .zip(stream)
+        .map(|(&w, a)| (w, a.kind))
+        .collect();
+    let (_, dec_sim) = dec.run(&pairs);
+
+    let mut enc_outputs = enc.bus_out.clone();
+    enc_outputs.extend_from_slice(&enc.aux_out);
+    let line_activity = enc_outputs
+        .iter()
+        .map(|&net| enc_sim.activity(net))
+        .collect();
+    CodecSims {
+        name,
+        enc_sim,
+        enc_outputs,
+        dec_sim,
+        dec_outputs: dec.address_out.clone(),
+        line_activity,
+    }
+}
+
+/// The codecs compared by Tables 8 and 9, in table order.
+pub const TABLE_CODECS: [&str; 3] = ["binary", "t0", "dual-t0-bi"];
+
+/// Every codec with a gate-level implementation, for extended ablations.
+pub const ALL_CODECS: [&str; 7] = [
+    "binary",
+    "gray",
+    "bus-invert",
+    "t0",
+    "t0-bi",
+    "dual-t0",
+    "dual-t0-bi",
+];
+
+/// Computes the on-chip codec power sweep (paper Table 8).
+///
+/// `loads_pf` are per-line on-chip bus capacitances in picofarads; the
+/// paper sweeps fractions of a picofarad up to a few picofarads.
+pub fn onchip_table(
+    stream: &[Access],
+    loads_pf: &[f64],
+    width: BusWidth,
+    stride: Stride,
+    tech: Technology,
+) -> CodecPowerTable {
+    onchip_table_for(&TABLE_CODECS, stream, loads_pf, width, stride, tech)
+}
+
+/// [`onchip_table`] over an explicit codec list (any of [`ALL_CODECS`]).
+pub fn onchip_table_for(
+    codecs: &[&'static str],
+    stream: &[Access],
+    loads_pf: &[f64],
+    width: BusWidth,
+    stride: Stride,
+    tech: Technology,
+) -> CodecPowerTable {
+    let sims: Vec<CodecSims> = codecs
+        .iter()
+        .map(|name| run_codec(name, width, stride, stream))
+        .collect();
+    let rows = loads_pf
+        .iter()
+        .map(|&load_pf| {
+            let load = load_pf * 1e-12;
+            let entries = sims
+                .iter()
+                .map(|codec| {
+                    let mut enc_cap = CapacitanceModel::new(codec.enc_sim.netlist(), tech);
+                    enc_cap.add_word_load(&codec.enc_outputs, load);
+                    let encoder_mw = milliwatts(enc_cap.power(&codec.enc_sim));
+
+                    let mut dec_cap = CapacitanceModel::new(codec.dec_sim.netlist(), tech);
+                    dec_cap.add_word_load(&codec.dec_outputs, load);
+                    let decoder_mw = milliwatts(dec_cap.power(&codec.dec_sim));
+
+                    CodecPower {
+                        codec: codec.name,
+                        encoder_mw,
+                        decoder_mw,
+                        pads_mw: None,
+                        global_mw: encoder_mw + decoder_mw,
+                    }
+                })
+                .collect();
+            LoadRow { load_pf, entries }
+        })
+        .collect();
+    CodecPowerTable { rows }
+}
+
+/// Computes the off-chip codec power sweep (paper Table 9).
+///
+/// `loads_pf` are per-line *external* bus capacitances in picofarads (the
+/// paper sweeps 20-100+ pF). Encoder outputs see only the pad input
+/// capacitance; the pads switch `intrinsic + external` at the encoded
+/// line activities; input-pad power at the decoder is neglected, as in
+/// the paper.
+pub fn offchip_table(
+    stream: &[Access],
+    loads_pf: &[f64],
+    width: BusWidth,
+    stride: Stride,
+    tech: Technology,
+    pad: PadModel,
+) -> CodecPowerTable {
+    offchip_table_for(&TABLE_CODECS, stream, loads_pf, width, stride, tech, pad)
+}
+
+/// [`offchip_table`] over an explicit codec list (any of [`ALL_CODECS`]).
+#[allow(clippy::too_many_arguments)] // a sweep is inherently a config bundle
+pub fn offchip_table_for(
+    codecs: &[&'static str],
+    stream: &[Access],
+    loads_pf: &[f64],
+    width: BusWidth,
+    stride: Stride,
+    tech: Technology,
+    pad: PadModel,
+) -> CodecPowerTable {
+    let sims: Vec<CodecSims> = codecs
+        .iter()
+        .map(|name| run_codec(name, width, stride, stream))
+        .collect();
+    let rows = loads_pf
+        .iter()
+        .map(|&load_pf| {
+            let load = load_pf * 1e-12;
+            let entries = sims
+                .iter()
+                .map(|codec| {
+                    let mut enc_cap = CapacitanceModel::new(codec.enc_sim.netlist(), tech);
+                    enc_cap.add_word_load(&codec.enc_outputs, pad.input_cap);
+                    let encoder_mw = milliwatts(enc_cap.power(&codec.enc_sim));
+
+                    let pads_w: f64 = codec
+                        .line_activity
+                        .iter()
+                        .map(|&alpha| pad.power(alpha, load, tech.vdd, tech.frequency))
+                        .sum();
+                    let pads_mw = milliwatts(pads_w);
+
+                    let dec_cap = CapacitanceModel::new(codec.dec_sim.netlist(), tech);
+                    let decoder_mw = milliwatts(dec_cap.power(&codec.dec_sim));
+
+                    CodecPower {
+                        codec: codec.name,
+                        encoder_mw,
+                        decoder_mw,
+                        pads_mw: Some(pads_mw),
+                        global_mw: encoder_mw + decoder_mw + pads_mw,
+                    }
+                })
+                .collect();
+            LoadRow { load_pf, entries }
+        })
+        .collect();
+    CodecPowerTable { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buscode_trace::MuxedModel;
+
+    fn reference_stream() -> Vec<Access> {
+        MuxedModel::with_targets(0.6304, 0.1139, 0.5762).generate(3000, 42)
+    }
+
+    #[test]
+    fn onchip_codec_overhead_ordering_at_low_load() {
+        // Paper Table 8: binary encoder is cheapest, the dual T0_BI
+        // encoder is the most expensive at small on-chip loads.
+        let table = onchip_table(
+            &reference_stream(),
+            &[0.1],
+            BusWidth::MIPS,
+            Stride::WORD,
+            Technology::date98(),
+        );
+        let e = &table.rows[0].entries;
+        assert!(e[0].encoder_mw < e[1].encoder_mw, "binary < t0");
+        assert!(e[1].encoder_mw < e[2].encoder_mw, "t0 < dual t0-bi");
+    }
+
+    #[test]
+    fn onchip_decoder_costs_are_comparable_for_t0_and_dual() {
+        // Paper: "the power values of the decoders for the T0 and dual
+        // T0_BI codes are comparable, due to the similarity in their
+        // architectures."
+        let table = onchip_table(
+            &reference_stream(),
+            &[0.4],
+            BusWidth::MIPS,
+            Stride::WORD,
+            Technology::date98(),
+        );
+        let e = &table.rows[0].entries;
+        let ratio = e[2].decoder_mw / e[1].decoder_mw;
+        assert!(ratio > 0.5 && ratio < 2.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn onchip_gap_shrinks_with_load() {
+        // Paper: the dual encoder overhead dominates at <= 0.4 pF, "while
+        // for higher values the difference is reduced" (relatively).
+        let table = onchip_table(
+            &reference_stream(),
+            &[0.1, 3.2],
+            BusWidth::MIPS,
+            Stride::WORD,
+            Technology::date98(),
+        );
+        let rel_gap = |row: &LoadRow| {
+            let e = &row.entries;
+            (e[2].encoder_mw - e[1].encoder_mw) / e[1].encoder_mw
+        };
+        assert!(rel_gap(&table.rows[1]) < rel_gap(&table.rows[0]));
+    }
+
+    #[test]
+    fn offchip_pads_dominate_at_large_loads() {
+        let table = offchip_table(
+            &reference_stream(),
+            &[100.0],
+            BusWidth::MIPS,
+            Stride::WORD,
+            Technology::date98(),
+            PadModel::date98(),
+        );
+        for entry in &table.rows[0].entries {
+            let pads = entry.pads_mw.unwrap();
+            assert!(pads > entry.encoder_mw + entry.decoder_mw, "{entry:?}");
+        }
+    }
+
+    #[test]
+    fn offchip_encoded_codecs_win_at_large_loads() {
+        // The headline of Table 9: activity reduction at the pads pays for
+        // the codec; dual T0_BI is the recommendation for large loads.
+        let table = offchip_table(
+            &reference_stream(),
+            &[200.0],
+            BusWidth::MIPS,
+            Stride::WORD,
+            Technology::date98(),
+            PadModel::date98(),
+        );
+        let e = &table.rows[0].entries;
+        assert!(e[1].global_mw < e[0].global_mw, "t0 beats binary");
+        assert!(e[2].global_mw < e[1].global_mw, "dual t0-bi beats t0");
+    }
+
+    #[test]
+    fn crossover_analysis_finds_a_threshold() {
+        let table = offchip_table(
+            &reference_stream(),
+            &[0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0],
+            BusWidth::MIPS,
+            Stride::WORD,
+            Technology::date98(),
+            PadModel::date98(),
+        );
+        // dual T0_BI eventually overtakes binary somewhere in the sweep.
+        let cross = table.crossover("binary", "dual-t0-bi");
+        assert!(cross.is_some());
+        // And once it wins it keeps winning (monotone gap growth).
+        let binary = table.series("binary");
+        let dual = table.series("dual-t0-bi");
+        let gaps: Vec<f64> = binary
+            .iter()
+            .zip(&dual)
+            .map(|((_, pb), (_, pd))| pb - pd)
+            .collect();
+        for pair in gaps.windows(2) {
+            assert!(pair[1] >= pair[0] - 1e-9, "gap shrank: {gaps:?}");
+        }
+    }
+
+    #[test]
+    fn exact_crossover_agrees_with_sweep() {
+        let table = offchip_table(
+            &reference_stream(),
+            &[1.0, 5.0, 20.0, 50.0, 100.0],
+            BusWidth::MIPS,
+            Stride::WORD,
+            Technology::date98(),
+            PadModel::date98(),
+        );
+        let exact = table.crossover_exact("binary", "dual-t0-bi").unwrap();
+        // The swept crossover is the first grid point past the exact one.
+        let swept = table.crossover("binary", "dual-t0-bi").unwrap();
+        assert!(exact <= swept, "exact {exact} vs swept {swept}");
+        assert!(exact >= 0.0);
+    }
+
+    #[test]
+    fn exact_crossover_none_when_never_winning() {
+        // dual T0_BI never becomes *more* expensive than binary at large
+        // loads, so the reverse query reports no crossover (or zero if it
+        // is already cheaper with no load).
+        let table = offchip_table(
+            &reference_stream(),
+            &[1.0, 50.0, 200.0],
+            BusWidth::MIPS,
+            Stride::WORD,
+            Technology::date98(),
+            PadModel::date98(),
+        );
+        assert_eq!(table.crossover_exact("dual-t0-bi", "binary"), None);
+    }
+
+    #[test]
+    fn extended_codec_list_sweeps() {
+        let table = onchip_table_for(
+            &ALL_CODECS,
+            &reference_stream(),
+            &[0.5],
+            BusWidth::MIPS,
+            Stride::WORD,
+            Technology::date98(),
+        );
+        assert_eq!(table.rows[0].entries.len(), 7);
+        for e in &table.rows[0].entries {
+            assert!(e.global_mw > 0.0, "{e:?}");
+        }
+        // Gray's combinational codec is cheaper than T0's registered one
+        // (fewer gates *and* lower output activity on a correlated stream).
+        let by = |n: &str| {
+            table.rows[0]
+                .entries
+                .iter()
+                .find(|e| e.codec == n)
+                .unwrap()
+                .encoder_mw
+        };
+        assert!(by("gray") < by("t0"));
+        assert!(by("t0") < by("t0-bi"));
+    }
+
+    #[test]
+    fn series_lookup() {
+        let table = onchip_table(
+            &reference_stream(),
+            &[0.1, 0.2],
+            BusWidth::MIPS,
+            Stride::WORD,
+            Technology::date98(),
+        );
+        assert_eq!(table.series("t0").len(), 2);
+        assert!(table.series("nonexistent").is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! I/O pad model for off-chip buses.
+//!
+//! "Pads usually represent the most power consuming part of the entire
+//! chip" (paper Section 4.3). An output pad presents a small input
+//! capacitance to the core logic driving it (the paper quotes 0.01 pF for
+//! an 8 mA pad) and itself drives its intrinsic capacitance plus the
+//! external bus load — tens to hundreds of picofarads — at the switching
+//! activity of the encoded line. That reduction in pad-driven activity is
+//! exactly where the codes' power gains come from.
+
+/// Electrical model of one output pad.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PadModel {
+    /// Capacitance the pad presents to the core driver, farads
+    /// (paper: 0.01 pF for an 8 mA output pad).
+    pub input_cap: f64,
+    /// The pad's own output-stage capacitance, farads.
+    pub intrinsic_cap: f64,
+}
+
+impl PadModel {
+    /// The paper's 8 mA output pad in the 0.35 µm library.
+    pub fn date98() -> Self {
+        PadModel {
+            input_cap: 0.01e-12,
+            intrinsic_cap: 3.0e-12,
+        }
+    }
+
+    /// Total capacitance the pad's output stage switches for a given
+    /// external load (farads).
+    pub fn driven_cap(&self, external_load: f64) -> f64 {
+        self.intrinsic_cap + external_load
+    }
+
+    /// Average power (watts) of one pad toggling with activity `alpha`
+    /// into `external_load` farads at `vdd` volts and `frequency` hertz.
+    pub fn power(&self, alpha: f64, external_load: f64, vdd: f64, frequency: f64) -> f64 {
+        0.5 * vdd * vdd * frequency * alpha * self.driven_cap(external_load)
+    }
+}
+
+impl Default for PadModel {
+    fn default() -> Self {
+        PadModel::date98()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_power_scales_with_load_and_activity() {
+        let pad = PadModel::date98();
+        let p1 = pad.power(0.5, 50.0e-12, 3.3, 100.0e6);
+        let p2 = pad.power(0.5, 100.0e-12, 3.3, 100.0e6);
+        let p3 = pad.power(0.25, 100.0e-12, 3.3, 100.0e6);
+        assert!(p2 > p1);
+        assert!((p3 - p2 / 2.0).abs() / p2 < 1e-9);
+    }
+
+    #[test]
+    fn pad_power_known_value() {
+        // 0.5 * 3.3^2 * 100 MHz * 1.0 * (3 pF + 97 pF) = 54.45 mW.
+        let pad = PadModel::date98();
+        let p = pad.power(1.0, 97.0e-12, 3.3, 100.0e6);
+        assert!((p - 54.45e-3).abs() < 1e-6, "{p}");
+    }
+
+    #[test]
+    fn input_cap_is_tiny_versus_driven_cap() {
+        let pad = PadModel::date98();
+        assert!(pad.input_cap < pad.driven_cap(20.0e-12) / 1000.0);
+    }
+}

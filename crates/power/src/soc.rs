@@ -1,0 +1,231 @@
+//! System-on-chip evaluation: the end-to-end scenario the paper's
+//! conclusions point at.
+//!
+//! A processor drives two address buses: a short on-chip bus to the L1
+//! caches and — for the misses — a long off-chip bus through pads to the
+//! L2/memory controller. The two buses see entirely different streams
+//! (raw vs. miss-filtered, word stride vs. block stride) and carry very
+//! different capacitance, so the best code can differ per level; this
+//! module prices any code assignment across both levels at once.
+
+use buscode_core::metrics::count_transitions;
+use buscode_core::{Access, BusWidth, CodeKind, CodeParams, CodecError, Stride};
+use buscode_logic::{milliwatts, Technology};
+use buscode_trace::{filter_through_l1, CacheConfig};
+
+use crate::pads::PadModel;
+
+/// Electrical and architectural parameters of the two-level system.
+#[derive(Clone, Copy, Debug)]
+pub struct SocConfig {
+    /// Bus width (both levels).
+    pub width: BusWidth,
+    /// L1 (processor-side) per-line bus capacitance, farads.
+    pub l1_line_cap: f64,
+    /// L2 (off-chip) per-line external load, farads.
+    pub l2_line_cap: f64,
+    /// Instruction cache geometry.
+    pub icache: CacheConfig,
+    /// Data cache geometry.
+    pub dcache: CacheConfig,
+    /// Technology operating point.
+    pub tech: Technology,
+    /// Output pad model for the off-chip bus.
+    pub pad: PadModel,
+}
+
+impl SocConfig {
+    /// A representative 1998-class system: 0.5 pF on-chip bus, 50 pF
+    /// off-chip bus, 8 KiB split caches with 16-byte blocks.
+    pub fn date98() -> Self {
+        SocConfig {
+            width: BusWidth::MIPS,
+            l1_line_cap: 0.5e-12,
+            l2_line_cap: 50.0e-12,
+            icache: CacheConfig::small_icache(),
+            dcache: CacheConfig::small_dcache(),
+            tech: Technology::date98(),
+            pad: PadModel::date98(),
+        }
+    }
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        SocConfig::date98()
+    }
+}
+
+/// The power picture of one code at one bus level.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LevelEstimate {
+    /// The code evaluated.
+    pub code: CodeKind,
+    /// Average bus transitions per cycle (all lines).
+    pub transitions_per_cycle: f64,
+    /// Bus (or pad-driven) power in milliwatts.
+    pub bus_mw: f64,
+}
+
+/// A full two-level evaluation.
+#[derive(Clone, Debug)]
+pub struct SocReport {
+    /// Transactions on the L1 (processor-side) bus.
+    pub l1_transactions: u64,
+    /// Transactions on the L2 (miss) bus.
+    pub l2_transactions: u64,
+    /// Instruction-cache hit rate.
+    pub icache_hit_rate: f64,
+    /// Data-cache hit rate.
+    pub dcache_hit_rate: f64,
+    /// Per code: the L1-bus estimate.
+    pub l1: Vec<LevelEstimate>,
+    /// Per code: the L2-bus estimate (pads driving the external load).
+    pub l2: Vec<LevelEstimate>,
+}
+
+impl SocReport {
+    /// The code with the lowest power at the L1 bus.
+    pub fn best_l1(&self) -> Option<&LevelEstimate> {
+        self.l1
+            .iter()
+            .min_by(|a, b| a.bus_mw.total_cmp(&b.bus_mw))
+    }
+
+    /// The code with the lowest power at the L2 bus.
+    pub fn best_l2(&self) -> Option<&LevelEstimate> {
+        self.l2
+            .iter()
+            .min_by(|a, b| a.bus_mw.total_cmp(&b.bus_mw))
+    }
+}
+
+fn level_estimates(
+    codes: &[CodeKind],
+    params: CodeParams,
+    stream: &[Access],
+    line_cap: f64,
+    tech: Technology,
+) -> Result<Vec<LevelEstimate>, CodecError> {
+    codes
+        .iter()
+        .map(|&code| {
+            let mut enc = code.encoder(params)?;
+            let stats = count_transitions(enc.as_mut(), stream.iter().copied());
+            let watts =
+                0.5 * tech.vdd * tech.vdd * tech.frequency * stats.per_cycle() * line_cap;
+            Ok(LevelEstimate {
+                code,
+                transitions_per_cycle: stats.per_cycle(),
+                bus_mw: milliwatts(watts),
+            })
+        })
+        .collect()
+}
+
+/// Prices every given code on both bus levels of the system for one
+/// processor-side stream.
+///
+/// The L1 bus carries the raw stream at the machine stride; the L2 bus
+/// carries the cache-miss stream at the *block* stride (sequential codes
+/// are re-configured accordingly), with each line's switching charged at
+/// the pad-driven external capacitance.
+///
+/// # Errors
+///
+/// Propagates construction errors from any code's encoder factory, or an
+/// invalid block-size stride.
+pub fn evaluate_soc(
+    stream: &[Access],
+    config: SocConfig,
+    codes: &[CodeKind],
+) -> Result<SocReport, CodecError> {
+    let l1_params = CodeParams {
+        width: config.width,
+        stride: Stride::WORD,
+    };
+    let filtered = filter_through_l1(stream, config.icache, config.dcache);
+    let l2_params = CodeParams {
+        width: config.width,
+        stride: Stride::new(config.icache.block_bytes, config.width)?,
+    };
+    let l1 = level_estimates(codes, l1_params, stream, config.l1_line_cap, config.tech)?;
+    let l2 = level_estimates(
+        codes,
+        l2_params,
+        &filtered.misses,
+        config.pad.driven_cap(config.l2_line_cap),
+        config.tech,
+    )?;
+    Ok(SocReport {
+        l1_transactions: stream.len() as u64,
+        l2_transactions: filtered.misses.len() as u64,
+        icache_hit_rate: filtered.icache_hit_rate,
+        dcache_hit_rate: filtered.dcache_hit_rate,
+        l1,
+        l2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buscode_trace::MuxedModel;
+
+    fn stream() -> Vec<Access> {
+        MuxedModel::with_targets(0.6304, 0.1139, 0.5762).generate(30_000, 21)
+    }
+
+    #[test]
+    fn report_covers_both_levels() {
+        let codes = CodeKind::paper_codes();
+        let report = evaluate_soc(&stream(), SocConfig::date98(), codes).unwrap();
+        assert_eq!(report.l1.len(), codes.len());
+        assert_eq!(report.l2.len(), codes.len());
+        assert!(report.l2_transactions < report.l1_transactions);
+        assert!(report.icache_hit_rate > 0.2);
+    }
+
+    #[test]
+    fn l1_prefers_a_sequential_code() {
+        let report = evaluate_soc(&stream(), SocConfig::date98(), CodeKind::paper_codes())
+            .unwrap();
+        let best = report.best_l1().unwrap();
+        assert!(
+            matches!(
+                best.code,
+                CodeKind::DualT0Bi | CodeKind::T0Bi | CodeKind::DualT0 | CodeKind::T0
+            ),
+            "{:?}",
+            best.code
+        );
+    }
+
+    #[test]
+    fn l2_winner_may_differ_from_l1() {
+        // Not asserted to differ (it depends on the stream), but both
+        // must be real entries and binary must not win the L1 bus.
+        let report = evaluate_soc(&stream(), SocConfig::date98(), CodeKind::paper_codes())
+            .unwrap();
+        assert_ne!(report.best_l1().unwrap().code, CodeKind::Binary);
+        let l2_best = report.best_l2().unwrap();
+        assert!(l2_best.bus_mw > 0.0);
+    }
+
+    #[test]
+    fn l2_power_scales_with_external_load() {
+        let mut config = SocConfig::date98();
+        let small = evaluate_soc(&stream(), config, &[CodeKind::Binary]).unwrap();
+        config.l2_line_cap *= 4.0;
+        let large = evaluate_soc(&stream(), config, &[CodeKind::Binary]).unwrap();
+        assert!(large.l2[0].bus_mw > 3.0 * small.l2[0].bus_mw);
+    }
+
+    #[test]
+    fn empty_stream_is_harmless() {
+        let report = evaluate_soc(&[], SocConfig::date98(), &[CodeKind::T0]).unwrap();
+        assert_eq!(report.l1_transactions, 0);
+        assert_eq!(report.l2_transactions, 0);
+        assert_eq!(report.l1[0].bus_mw, 0.0);
+    }
+}

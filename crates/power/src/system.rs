@@ -1,0 +1,150 @@
+//! System-level bus power: the end-to-end quantity the paper optimizes.
+//!
+//! For any behavioural code from `buscode-core`, this module combines the
+//! code's measured bus-line transition counts with a line-capacitance
+//! model — `P_bus = 1/2 Vdd^2 f * (transitions/cycle averaged in switched
+//! capacitance)` — so every code (not just the three with gate-level
+//! circuits) can be placed on the power axis of the trade-off the paper
+//! explores.
+
+use buscode_core::metrics::count_transitions;
+use buscode_core::{Access, CodeKind, CodeParams, CodecError, TransitionStats};
+use buscode_logic::{milliwatts, Technology};
+
+/// A bus power estimate for one code on one stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BusPowerEstimate {
+    /// The code.
+    pub code: CodeKind,
+    /// The transition statistics the estimate derives from.
+    pub stats: TransitionStats,
+    /// Average switched bus capacitance per cycle, farads.
+    pub switched_cap_per_cycle: f64,
+    /// Average bus power, milliwatts.
+    pub bus_mw: f64,
+}
+
+/// Estimates the bus power of `code` driving `line_cap_pf` picofarads per
+/// line on the given stream.
+///
+/// # Errors
+///
+/// Propagates construction errors from the code's encoder factory.
+///
+/// # Examples
+///
+/// ```
+/// use buscode_core::{Access, CodeKind, CodeParams};
+/// use buscode_logic::Technology;
+/// use buscode_power::bus_power;
+///
+/// # fn main() -> Result<(), buscode_core::CodecError> {
+/// let stream: Vec<Access> = (0..512u64).map(|i| Access::instruction(4 * i)).collect();
+/// let params = CodeParams::default();
+/// let tech = Technology::date98();
+/// let t0 = bus_power(CodeKind::T0, params, &stream, 50.0, tech)?;
+/// let binary = bus_power(CodeKind::Binary, params, &stream, 50.0, tech)?;
+/// assert!(t0.bus_mw < binary.bus_mw);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bus_power(
+    code: CodeKind,
+    params: CodeParams,
+    stream: &[Access],
+    line_cap_pf: f64,
+    tech: Technology,
+) -> Result<BusPowerEstimate, CodecError> {
+    let mut encoder = code.encoder(params)?;
+    let stats = count_transitions(encoder.as_mut(), stream.iter().copied());
+    let line_cap = line_cap_pf * 1e-12;
+    let switched_cap_per_cycle = stats.per_cycle() * line_cap;
+    let bus_w = 0.5 * tech.vdd * tech.vdd * tech.frequency * switched_cap_per_cycle;
+    Ok(BusPowerEstimate {
+        code,
+        stats,
+        switched_cap_per_cycle,
+        bus_mw: milliwatts(bus_w),
+    })
+}
+
+/// Ranks every paper code by bus power on one stream (ascending).
+///
+/// # Errors
+///
+/// Propagates construction errors from any code's encoder factory.
+pub fn rank_codes(
+    params: CodeParams,
+    stream: &[Access],
+    line_cap_pf: f64,
+    tech: Technology,
+) -> Result<Vec<BusPowerEstimate>, CodecError> {
+    let mut out = Vec::new();
+    for &code in CodeKind::paper_codes() {
+        out.push(bus_power(code, params, stream, line_cap_pf, tech)?);
+    }
+    out.sort_by(|a, b| a.bus_mw.total_cmp(&b.bus_mw));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buscode_trace::{InstructionModel, MuxedModel};
+
+    #[test]
+    fn power_is_proportional_to_line_cap() {
+        let stream: Vec<Access> = (0..256u64).map(|i| Access::instruction(4 * i)).collect();
+        let params = CodeParams::default();
+        let tech = Technology::date98();
+        let a = bus_power(CodeKind::Binary, params, &stream, 10.0, tech).unwrap();
+        let b = bus_power(CodeKind::Binary, params, &stream, 20.0, tech).unwrap();
+        assert!((b.bus_mw - 2.0 * a.bus_mw).abs() / b.bus_mw < 1e-9);
+    }
+
+    #[test]
+    fn t0_minimizes_power_on_instruction_streams() {
+        let stream = InstructionModel::new(0.63).generate(20_000, 5);
+        let ranking = rank_codes(CodeParams::default(), &stream, 50.0, Technology::date98())
+            .unwrap();
+        let first = ranking.first().unwrap().code;
+        assert!(
+            matches!(
+                first,
+                CodeKind::T0 | CodeKind::DualT0 | CodeKind::T0Bi | CodeKind::DualT0Bi
+            ),
+            "{first:?}"
+        );
+        // Binary is never the best code on a sequential stream.
+        assert_ne!(first, CodeKind::Binary);
+    }
+
+    #[test]
+    fn dual_t0bi_wins_on_muxed_streams() {
+        // The paper's headline: dual T0_BI is the best code for the
+        // multiplexed MIPS bus.
+        let stream = MuxedModel::with_targets(0.6304, 0.1139, 0.5762).generate(40_000, 9);
+        let ranking = rank_codes(CodeParams::default(), &stream, 50.0, Technology::date98())
+            .unwrap();
+        let names: Vec<&str> = ranking.iter().map(|e| e.code.name()).collect();
+        let pos = |n: &str| names.iter().position(|&x| x == n).unwrap();
+        assert!(pos("dual-t0-bi") < pos("t0"), "{names:?}");
+        assert!(pos("dual-t0-bi") < pos("bus-invert"), "{names:?}");
+        assert!(pos("dual-t0-bi") < pos("binary"), "{names:?}");
+    }
+
+    #[test]
+    fn stats_are_carried_through() {
+        let stream: Vec<Access> = (0..64u64).map(|i| Access::instruction(4 * i)).collect();
+        let est = bus_power(
+            CodeKind::T0,
+            CodeParams::default(),
+            &stream,
+            10.0,
+            Technology::date98(),
+        )
+        .unwrap();
+        assert_eq!(est.stats.cycles, 64);
+        assert!(est.switched_cap_per_cycle >= 0.0);
+    }
+}

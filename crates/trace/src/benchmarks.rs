@@ -1,0 +1,245 @@
+//! The nine calibrated benchmark profiles of the paper's experiments.
+//!
+//! The paper measures its codes on address traces of nine programs (gzip,
+//! gunzip, ghostview, espresso, nova, jedi, latex, matlab, oracle) running
+//! on a 32-bit MIPS processor, reporting per-stream in-sequence
+//! percentages whose *column averages* are:
+//!
+//! | stream | average in-seq |
+//! |---|---|
+//! | instruction (Table 2/5) | 63.04% |
+//! | data (Table 3/6) | 11.39% |
+//! | multiplexed (Table 4/7) | 57.62% |
+//!
+//! The per-benchmark cells did not survive in the available copy of the
+//! paper, so each profile here carries a *plausible* per-benchmark target
+//! chosen such that the three column averages match the paper exactly (to
+//! rounding); see `DESIGN.md` §5. Streams are generated deterministically
+//! by the models in [`synthetic`](crate::synthetic).
+
+use crate::synthetic::{DataModel, InstructionModel, MuxedModel};
+use buscode_core::Access;
+
+/// Which of the paper's three bus configurations a stream models.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StreamKind {
+    /// The dedicated instruction address bus (Tables 2 and 5).
+    Instruction,
+    /// The dedicated data address bus (Tables 3 and 6).
+    Data,
+    /// The multiplexed instruction/data bus (Tables 4 and 7).
+    Muxed,
+}
+
+impl core::fmt::Display for StreamKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StreamKind::Instruction => f.write_str("instruction"),
+            StreamKind::Data => f.write_str("data"),
+            StreamKind::Muxed => f.write_str("muxed"),
+        }
+    }
+}
+
+/// One benchmark profile: name, stream length, and per-stream in-sequence
+/// calibration targets (fractions in `0.0..=1.0`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BenchmarkProfile {
+    /// The benchmark's name as printed in the paper's tables.
+    pub name: &'static str,
+    /// The trace length used by the full experiments.
+    pub length: usize,
+    /// Target in-sequence fraction of the instruction stream.
+    pub instr_in_seq: f64,
+    /// Target in-sequence fraction of the data stream.
+    pub data_in_seq: f64,
+    /// Target in-sequence fraction of the multiplexed stream.
+    pub muxed_in_seq: f64,
+    /// Base RNG seed; streams derive their own sub-seeds from it.
+    pub seed: u64,
+}
+
+impl BenchmarkProfile {
+    /// Generates this benchmark's stream for one bus configuration at the
+    /// profile's full length.
+    pub fn stream(&self, kind: StreamKind) -> Vec<Access> {
+        self.stream_with_len(kind, self.length)
+    }
+
+    /// Generates this benchmark's stream truncated or extended to `len`
+    /// accesses (test suites use short streams; benches use full length).
+    pub fn stream_with_len(&self, kind: StreamKind, len: usize) -> Vec<Access> {
+        match kind {
+            StreamKind::Instruction => {
+                InstructionModel::new(self.instr_in_seq).generate(len, self.seed)
+            }
+            StreamKind::Data => {
+                DataModel::new(self.data_in_seq).generate(len, self.seed.wrapping_add(0x11))
+            }
+            StreamKind::Muxed => {
+                MuxedModel::with_targets(self.instr_in_seq, self.data_in_seq, self.muxed_in_seq)
+                    .generate(len, self.seed.wrapping_add(0x22))
+            }
+        }
+    }
+
+    /// The calibration target for one bus configuration.
+    pub fn target_in_seq(&self, kind: StreamKind) -> f64 {
+        match kind {
+            StreamKind::Instruction => self.instr_in_seq,
+            StreamKind::Data => self.data_in_seq,
+            StreamKind::Muxed => self.muxed_in_seq,
+        }
+    }
+}
+
+/// The nine benchmark profiles, in the paper's table order.
+///
+/// Per-benchmark targets are chosen so the column averages reproduce the
+/// paper's: instruction 63.04%, data 11.39%, muxed 57.62%.
+pub fn paper_benchmarks() -> &'static [BenchmarkProfile] {
+    const B: [BenchmarkProfile; 9] = [
+        BenchmarkProfile {
+            name: "gzip",
+            length: 250_000,
+            instr_in_seq: 0.5800,
+            data_in_seq: 0.0800,
+            muxed_in_seq: 0.5301,
+            seed: 0xb001,
+        },
+        BenchmarkProfile {
+            name: "gunzip",
+            length: 250_000,
+            instr_in_seq: 0.6050,
+            data_in_seq: 0.0950,
+            muxed_in_seq: 0.5530,
+            seed: 0xb002,
+        },
+        BenchmarkProfile {
+            name: "ghostview",
+            length: 300_000,
+            instr_in_seq: 0.6500,
+            data_in_seq: 0.1200,
+            muxed_in_seq: 0.5941,
+            seed: 0xb003,
+        },
+        BenchmarkProfile {
+            name: "espresso",
+            length: 200_000,
+            instr_in_seq: 0.6800,
+            data_in_seq: 0.1400,
+            muxed_in_seq: 0.6215,
+            seed: 0xb004,
+        },
+        BenchmarkProfile {
+            name: "nova",
+            length: 150_000,
+            instr_in_seq: 0.6200,
+            data_in_seq: 0.1050,
+            muxed_in_seq: 0.5667,
+            seed: 0xb005,
+        },
+        BenchmarkProfile {
+            name: "jedi",
+            length: 180_000,
+            instr_in_seq: 0.6100,
+            data_in_seq: 0.1100,
+            muxed_in_seq: 0.5575,
+            seed: 0xb006,
+        },
+        BenchmarkProfile {
+            name: "latex",
+            length: 220_000,
+            instr_in_seq: 0.6600,
+            data_in_seq: 0.1300,
+            muxed_in_seq: 0.6032,
+            seed: 0xb007,
+        },
+        BenchmarkProfile {
+            name: "matlab",
+            length: 280_000,
+            instr_in_seq: 0.6400,
+            data_in_seq: 0.1250,
+            muxed_in_seq: 0.5850,
+            seed: 0xb008,
+        },
+        BenchmarkProfile {
+            name: "oracle",
+            length: 320_000,
+            instr_in_seq: 0.6286,
+            data_in_seq: 0.1201,
+            muxed_in_seq: 0.5747,
+            seed: 0xb009,
+        },
+    ];
+    &B
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StreamStats;
+    use buscode_core::Stride;
+
+    #[test]
+    fn nine_benchmarks_in_paper_order() {
+        let names: Vec<&str> = paper_benchmarks().iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            [
+                "gzip", "gunzip", "ghostview", "espresso", "nova", "jedi", "latex", "matlab",
+                "oracle"
+            ]
+        );
+    }
+
+    #[test]
+    fn column_averages_match_the_paper() {
+        let benches = paper_benchmarks();
+        let avg = |f: fn(&BenchmarkProfile) -> f64| {
+            benches.iter().map(f).sum::<f64>() / benches.len() as f64
+        };
+        assert!((avg(|b| b.instr_in_seq) * 100.0 - 63.04).abs() < 0.01);
+        assert!((avg(|b| b.data_in_seq) * 100.0 - 11.39).abs() < 0.01);
+        assert!((avg(|b| b.muxed_in_seq) * 100.0 - 57.62).abs() < 0.01);
+    }
+
+    #[test]
+    fn streams_meet_their_calibration_targets() {
+        for profile in paper_benchmarks() {
+            for kind in [StreamKind::Instruction, StreamKind::Data, StreamKind::Muxed] {
+                let stream = profile.stream_with_len(kind, 30_000);
+                let stats = StreamStats::measure(&stream, Stride::WORD);
+                let target = profile.target_in_seq(kind);
+                assert!(
+                    (stats.in_seq_fraction() - target).abs() < 0.03,
+                    "{} {kind}: target {target}, got {}",
+                    profile.name,
+                    stats.in_seq_fraction()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let profile = &paper_benchmarks()[0];
+        assert_eq!(
+            profile.stream_with_len(StreamKind::Muxed, 2000),
+            profile.stream_with_len(StreamKind::Muxed, 2000)
+        );
+    }
+
+    #[test]
+    fn different_benchmarks_produce_different_streams() {
+        let a = paper_benchmarks()[0].stream_with_len(StreamKind::Instruction, 1000);
+        let b = paper_benchmarks()[1].stream_with_len(StreamKind::Instruction, 1000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn full_length_streams_have_declared_length() {
+        let profile = &paper_benchmarks()[4]; // the shortest one
+        assert_eq!(profile.stream(StreamKind::Instruction).len(), profile.length);
+    }
+}

@@ -1,0 +1,214 @@
+//! Trace file I/O: a plain-text format for address streams.
+//!
+//! The format is one access per line — `i <hex-address>` for instruction
+//! fetches, `d <hex-address>` for data accesses — with `#` comments and
+//! blank lines ignored. It is close enough to the classic Dinero `din`
+//! shape that real traces can be converted with a one-line awk script,
+//! which is how externally captured streams can be fed to the harness.
+//!
+//! ```text
+//! # gzip, first accesses
+//! i 00400000
+//! i 00400004
+//! d 10008004
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use buscode_core::Access;
+
+/// Errors raised while parsing a trace file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseTraceError {
+    /// A line does not follow `<kind> <hex-address>`.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// The access kind tag is neither `i` nor `d`.
+    UnknownKind {
+        /// 1-based line number.
+        line: usize,
+        /// The offending tag.
+        kind: String,
+    },
+    /// The address is not valid hexadecimal.
+    BadAddress {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+}
+
+impl core::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParseTraceError::MalformedLine { line, text } => {
+                write!(f, "line {line}: malformed trace line `{text}`")
+            }
+            ParseTraceError::UnknownKind { line, kind } => {
+                write!(f, "line {line}: unknown access kind `{kind}`")
+            }
+            ParseTraceError::BadAddress { line, token } => {
+                write!(f, "line {line}: bad hexadecimal address `{token}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Writes a stream in the text trace format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use buscode_core::Access;
+/// use buscode_trace::io::{read_trace, write_trace};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let stream = vec![Access::instruction(0x400000), Access::data(0x10008000)];
+/// let mut bytes = Vec::new();
+/// write_trace(&mut bytes, &stream)?;
+/// let back = read_trace(bytes.as_slice())?;
+/// assert_eq!(back, stream);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_trace<W: Write>(mut writer: W, stream: &[Access]) -> io::Result<()> {
+    for access in stream {
+        let tag = if access.kind.sel() { 'i' } else { 'd' };
+        writeln!(writer, "{tag} {:08x}", access.address)?;
+    }
+    Ok(())
+}
+
+/// Reads a stream from the text trace format.
+///
+/// A mutable reference to a reader can be passed wherever `R: BufRead` is
+/// expected.
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] locating the first malformed line;
+/// I/O errors surface as a `MalformedLine` at the failing position.
+pub fn read_trace<R: BufRead>(reader: R) -> Result<Vec<Access>, ParseTraceError> {
+    let mut out = Vec::new();
+    for (index, line) in reader.lines().enumerate() {
+        let number = index + 1;
+        let line = line.map_err(|e| ParseTraceError::MalformedLine {
+            line: number,
+            text: format!("<io error: {e}>"),
+        })?;
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let mut parts = body.split_whitespace();
+        let (Some(tag), Some(addr), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(ParseTraceError::MalformedLine {
+                line: number,
+                text: body.to_owned(),
+            });
+        };
+        let address = u64::from_str_radix(addr.trim_start_matches("0x"), 16).map_err(|_| {
+            ParseTraceError::BadAddress {
+                line: number,
+                token: addr.to_owned(),
+            }
+        })?;
+        let access = match tag {
+            "i" | "I" | "2" => Access::instruction(address),
+            "d" | "D" | "0" | "1" => Access::data(address),
+            other => {
+                return Err(ParseTraceError::UnknownKind {
+                    line: number,
+                    kind: other.to_owned(),
+                })
+            }
+        };
+        out.push(access);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::MuxedModel;
+
+    #[test]
+    fn round_trip_synthetic_stream() {
+        let stream = MuxedModel::with_targets(0.6, 0.1, 0.5).generate(2_000, 5);
+        let mut bytes = Vec::new();
+        write_trace(&mut bytes, &stream).unwrap();
+        assert_eq!(read_trace(bytes.as_slice()).unwrap(), stream);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\ni 00400000 # fetch\n d 10008000\n";
+        let stream = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(stream.len(), 2);
+        assert_eq!(stream[0], Access::instruction(0x40_0000));
+        assert_eq!(stream[1], Access::data(0x1000_8000));
+    }
+
+    #[test]
+    fn dinero_style_tags_accepted() {
+        let text = "2 400000\n0 10008000\n1 10008004\n";
+        let stream = read_trace(text.as_bytes()).unwrap();
+        assert!(stream[0].kind.sel());
+        assert!(!stream[1].kind.sel());
+        assert!(!stream[2].kind.sel());
+    }
+
+    #[test]
+    fn hex_prefix_accepted() {
+        let stream = read_trace("i 0x00400010\n".as_bytes()).unwrap();
+        assert_eq!(stream[0].address, 0x40_0010);
+    }
+
+    #[test]
+    fn malformed_line_reported_with_number() {
+        let err = read_trace("i 400000\nbogus\n".as_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            ParseTraceError::MalformedLine {
+                line: 2,
+                text: "bogus".to_owned()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_kind_reported() {
+        let err = read_trace("x 400000\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseTraceError::UnknownKind { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_address_reported() {
+        let err = read_trace("i zz9\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseTraceError::BadAddress { line: 1, .. }));
+    }
+
+    #[test]
+    fn extra_tokens_rejected() {
+        let err = read_trace("i 400000 extra\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseTraceError::MalformedLine { .. }));
+    }
+
+    #[test]
+    fn empty_input_is_empty_stream() {
+        assert_eq!(read_trace("".as_bytes()).unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # buscode-trace
+//!
+//! Address-stream modelling for the bus-encoding experiments of the
+//! DATE'98 paper: structural statistics, parametric synthetic generators,
+//! and the nine calibrated benchmark profiles whose streams drive the
+//! paper's Tables 2-7.
+//!
+//! The paper used real MIPS traces; those are not redistributable, so the
+//! generators here reproduce the statistics that the encodings are
+//! sensitive to (in-sequence fraction, run lengths, jump distribution,
+//! instruction/data interleave) and every profile is calibrated to the
+//! percentages the paper reports — see `DESIGN.md` §2 for the substitution
+//! argument.
+//!
+//! ## Example
+//!
+//! ```
+//! use buscode_core::Stride;
+//! use buscode_trace::{paper_benchmarks, StreamKind, StreamStats};
+//!
+//! let gzip = &paper_benchmarks()[0];
+//! let stream = gzip.stream_with_len(StreamKind::Instruction, 10_000);
+//! let stats = StreamStats::measure(&stream, Stride::WORD);
+//! assert!(stats.in_seq_fraction() > 0.5); // instruction streams are sequential
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod cache;
+pub mod io;
+mod stats;
+pub mod synthetic;
+
+pub use benchmarks::{paper_benchmarks, BenchmarkProfile, StreamKind};
+pub use cache::{filter_through_l1, Cache, CacheConfig, FilteredTrace};
+pub use io::{read_trace, write_trace, ParseTraceError};
+pub use stats::{
+    footprint, histogram_mean, jump_hamming_histogram, run_length_histogram, MarkovStats,
+    StreamStats,
+};
+pub use synthetic::{DataModel, InstructionModel, MuxedModel};

@@ -1,0 +1,463 @@
+//! Stream statistics: the structural properties of address streams that
+//! determine how well each encoding performs.
+//!
+//! The paper characterizes its benchmark streams by the percentage of
+//! *in-sequence* addresses — pairs of time-adjacent bus transactions whose
+//! addresses differ by exactly the stride. [`StreamStats`] measures that
+//! plus run-length and jump statistics used to validate the synthetic
+//! generators against their calibration targets.
+
+use std::collections::BTreeMap;
+
+use buscode_core::{Access, AccessKind, Stride};
+
+/// Structural statistics of one address stream.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StreamStats {
+    /// Total number of accesses.
+    pub len: u64,
+    /// Number of instruction accesses.
+    pub instruction_count: u64,
+    /// Number of data accesses.
+    pub data_count: u64,
+    /// Adjacent pairs whose addresses differ by exactly the stride.
+    pub in_seq_pairs: u64,
+    /// Adjacent pairs total (`len - 1` for nonempty streams).
+    pub pairs: u64,
+    /// Number of maximal in-sequence runs of length at least 2.
+    pub runs: u64,
+    /// Length of the longest in-sequence run (in accesses).
+    pub longest_run: u64,
+    /// Adjacent pairs that switch between instruction and data streams.
+    pub kind_switches: u64,
+}
+
+impl StreamStats {
+    /// Measures a stream with the given in-sequence stride.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use buscode_core::{Access, Stride};
+    /// use buscode_trace::StreamStats;
+    ///
+    /// let stream: Vec<Access> = (0..10u64).map(|i| Access::instruction(4 * i)).collect();
+    /// let stats = StreamStats::measure(&stream, Stride::WORD);
+    /// assert_eq!(stats.in_seq_pairs, 9);
+    /// assert!((stats.in_seq_fraction() - 1.0).abs() < 1e-12);
+    /// ```
+    pub fn measure(stream: &[Access], stride: Stride) -> Self {
+        let mut stats = StreamStats {
+            len: stream.len() as u64,
+            ..StreamStats::default()
+        };
+        let mut current_run = 1u64;
+        for (i, access) in stream.iter().enumerate() {
+            match access.kind {
+                AccessKind::Instruction => stats.instruction_count += 1,
+                AccessKind::Data => stats.data_count += 1,
+            }
+            if i == 0 {
+                continue;
+            }
+            stats.pairs += 1;
+            let prev = stream[i - 1];
+            if prev.kind != access.kind {
+                stats.kind_switches += 1;
+            }
+            if access.address == prev.address.wrapping_add(stride.get()) {
+                stats.in_seq_pairs += 1;
+                current_run += 1;
+                if current_run == 2 {
+                    stats.runs += 1;
+                }
+                stats.longest_run = stats.longest_run.max(current_run);
+            } else {
+                current_run = 1;
+            }
+        }
+        if stats.len == 1 {
+            stats.longest_run = stats.longest_run.max(1);
+        }
+        stats
+    }
+
+    /// The fraction of adjacent pairs that are in-sequence — the paper's
+    /// "In-Seq Addr." column, as a fraction in `0.0..=1.0`.
+    pub fn in_seq_fraction(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.in_seq_pairs as f64 / self.pairs as f64
+        }
+    }
+
+    /// The in-sequence percentage (`0.0..=100.0`), as printed in the
+    /// paper's tables.
+    pub fn in_seq_percent(&self) -> f64 {
+        100.0 * self.in_seq_fraction()
+    }
+
+    /// The fraction of accesses that are data accesses.
+    pub fn data_fraction(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.data_count as f64 / self.len as f64
+        }
+    }
+}
+
+/// Histogram of maximal in-sequence run lengths (in accesses; runs of
+/// length 1 are isolated accesses between jumps).
+///
+/// Together with [`jump_hamming_histogram`] this characterizes everything
+/// the sequential codes are sensitive to: how long the freezes last and
+/// how much each release costs.
+///
+/// # Examples
+///
+/// ```
+/// use buscode_core::{Access, Stride};
+/// use buscode_trace::run_length_histogram;
+///
+/// let stream = vec![
+///     Access::instruction(0x100),
+///     Access::instruction(0x104),
+///     Access::instruction(0x108), // run of 3
+///     Access::instruction(0x900), // isolated
+/// ];
+/// let hist = run_length_histogram(&stream, Stride::WORD);
+/// assert_eq!(hist[&3], 1);
+/// assert_eq!(hist[&1], 1);
+/// ```
+pub fn run_length_histogram(stream: &[Access], stride: Stride) -> BTreeMap<u64, u64> {
+    let mut hist = BTreeMap::new();
+    if stream.is_empty() {
+        return hist;
+    }
+    let mut run = 1u64;
+    for pair in stream.windows(2) {
+        if pair[1].address == pair[0].address.wrapping_add(stride.get()) {
+            run += 1;
+        } else {
+            *hist.entry(run).or_insert(0) += 1;
+            run = 1;
+        }
+    }
+    *hist.entry(run).or_insert(0) += 1;
+    hist
+}
+
+/// Histogram of the Hamming distances of *non-sequential* adjacent pairs —
+/// the per-jump cost a binary bus pays, and the input statistic that
+/// decides whether bus-invert can ever trigger.
+pub fn jump_hamming_histogram(stream: &[Access], stride: Stride) -> BTreeMap<u32, u64> {
+    let mut hist = BTreeMap::new();
+    for pair in stream.windows(2) {
+        if pair[1].address != pair[0].address.wrapping_add(stride.get()) {
+            let distance = (pair[0].address ^ pair[1].address).count_ones();
+            *hist.entry(distance).or_insert(0) += 1;
+        }
+    }
+    hist
+}
+
+/// First-order Markov structure of a stream's sequentiality — the
+/// quantities the synthetic generators are parameterized by, measured
+/// back from any stream (inverse modeling).
+///
+/// `p_seq_given_seq` is the probability that an in-sequence pair is
+/// followed by another (run persistence); `p_seq_given_jump` that a jump
+/// is followed by an in-sequence pair (run birth). Their stationary
+/// distribution reproduces the plain in-sequence fraction.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MarkovStats {
+    /// P(in-seq at t | in-seq at t-1).
+    pub p_seq_given_seq: f64,
+    /// P(in-seq at t | jump at t-1).
+    pub p_seq_given_jump: f64,
+    /// Number of conditioned transitions observed.
+    pub transitions: u64,
+}
+
+impl MarkovStats {
+    /// Measures the chain from a stream.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use buscode_core::Stride;
+    /// use buscode_trace::{InstructionModel, MarkovStats};
+    ///
+    /// let stream = InstructionModel::new(0.63).generate(30_000, 1);
+    /// let markov = MarkovStats::measure(&stream, Stride::WORD);
+    /// // The generator keeps runs alive with probability ~0.85.
+    /// assert!((markov.p_seq_given_seq - 0.85).abs() < 0.03);
+    /// ```
+    pub fn measure(stream: &[Access], stride: Stride) -> Self {
+        let mut seq_seq = 0u64;
+        let mut seq_total = 0u64;
+        let mut jump_seq = 0u64;
+        let mut jump_total = 0u64;
+        for window in stream.windows(3) {
+            let first = window[1].address == window[0].address.wrapping_add(stride.get());
+            let second = window[2].address == window[1].address.wrapping_add(stride.get());
+            if first {
+                seq_total += 1;
+                seq_seq += u64::from(second);
+            } else {
+                jump_total += 1;
+                jump_seq += u64::from(second);
+            }
+        }
+        let ratio = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        MarkovStats {
+            p_seq_given_seq: ratio(seq_seq, seq_total),
+            p_seq_given_jump: ratio(jump_seq, jump_total),
+            transitions: seq_total + jump_total,
+        }
+    }
+
+    /// The stationary in-sequence fraction implied by the chain.
+    pub fn stationary_in_seq(&self) -> f64 {
+        let a = self.p_seq_given_seq;
+        let b = self.p_seq_given_jump;
+        let denom = 1.0 - a + b;
+        if denom <= 0.0 {
+            0.0
+        } else {
+            b / denom
+        }
+    }
+}
+
+/// The memory footprint of a stream: the number of distinct
+/// `block_bytes`-sized blocks it touches — the quantity that decides
+/// whether a cache or a working-zone/self-organizing code can hold the
+/// stream's locality.
+///
+/// # Panics
+///
+/// Panics if `block_bytes` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use buscode_core::Access;
+/// use buscode_trace::footprint;
+///
+/// let stream: Vec<Access> = (0..64u64).map(|i| Access::data(0x1000 + 4 * i)).collect();
+/// assert_eq!(footprint(&stream, 64), 4); // 256 bytes over 64-byte blocks
+/// ```
+pub fn footprint(stream: &[Access], block_bytes: u64) -> u64 {
+    assert!(block_bytes > 0, "block size must be nonzero");
+    let mut blocks: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for access in stream {
+        blocks.insert(access.address / block_bytes);
+    }
+    blocks.len() as u64
+}
+
+/// The mean of a histogram produced by [`run_length_histogram`] or
+/// [`jump_hamming_histogram`]; 0 for an empty histogram.
+pub fn histogram_mean<K: Copy + Into<u64>>(hist: &BTreeMap<K, u64>) -> f64 {
+    let (mut weighted, mut total) = (0f64, 0u64);
+    for (&k, &count) in hist {
+        weighted += k.into() as f64 * count as f64;
+        total += count;
+    }
+    if total == 0 {
+        0.0
+    } else {
+        weighted / total as f64
+    }
+}
+
+impl core::fmt::Display for StreamStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} accesses ({} instr, {} data), {:.2}% in-seq, longest run {}",
+            self.len,
+            self.instruction_count,
+            self.data_count,
+            self.in_seq_percent(),
+            self.longest_run
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stream() {
+        let stats = StreamStats::measure(&[], Stride::WORD);
+        assert_eq!(stats.len, 0);
+        assert_eq!(stats.in_seq_fraction(), 0.0);
+        assert_eq!(stats.data_fraction(), 0.0);
+    }
+
+    #[test]
+    fn single_access() {
+        let stats = StreamStats::measure(&[Access::data(0x10)], Stride::WORD);
+        assert_eq!(stats.len, 1);
+        assert_eq!(stats.pairs, 0);
+        assert_eq!(stats.data_count, 1);
+    }
+
+    #[test]
+    fn pure_run_statistics() {
+        let stream: Vec<Access> = (0..100u64).map(|i| Access::instruction(4 * i)).collect();
+        let stats = StreamStats::measure(&stream, Stride::WORD);
+        assert_eq!(stats.runs, 1);
+        assert_eq!(stats.longest_run, 100);
+        assert_eq!(stats.in_seq_pairs, 99);
+        assert_eq!(stats.kind_switches, 0);
+    }
+
+    #[test]
+    fn broken_runs_counted_separately() {
+        let mut stream = Vec::new();
+        for base in [0x100u64, 0x9000, 0x20_0000] {
+            for i in 0..5u64 {
+                stream.push(Access::instruction(base + 4 * i));
+            }
+        }
+        let stats = StreamStats::measure(&stream, Stride::WORD);
+        assert_eq!(stats.runs, 3);
+        assert_eq!(stats.longest_run, 5);
+        assert_eq!(stats.in_seq_pairs, 12);
+    }
+
+    #[test]
+    fn kind_switches_counted() {
+        let stream = vec![
+            Access::instruction(0),
+            Access::data(100),
+            Access::instruction(4),
+            Access::instruction(8),
+        ];
+        let stats = StreamStats::measure(&stream, Stride::WORD);
+        assert_eq!(stats.kind_switches, 2);
+        assert_eq!(stats.in_seq_pairs, 1);
+    }
+
+    #[test]
+    fn stride_sensitivity() {
+        let stream: Vec<Access> = (0..10u64).map(|i| Access::data(8 * i)).collect();
+        let word = StreamStats::measure(&stream, Stride::WORD);
+        assert_eq!(word.in_seq_pairs, 0);
+        let w = buscode_core::BusWidth::MIPS;
+        let eight = StreamStats::measure(&stream, Stride::new(8, w).unwrap());
+        assert_eq!(eight.in_seq_pairs, 9);
+    }
+
+    #[test]
+    fn run_length_histogram_counts_runs_and_isolates() {
+        let mut stream = Vec::new();
+        for i in 0..5u64 {
+            stream.push(Access::instruction(0x100 + 4 * i)); // run of 5
+        }
+        stream.push(Access::instruction(0x900)); // isolated
+        stream.push(Access::instruction(0x904)); // run of 2
+        let hist = run_length_histogram(&stream, Stride::WORD);
+        assert_eq!(hist[&5], 1);
+        assert_eq!(hist[&2], 1);
+        assert_eq!(hist.get(&1), None, "0x900 starts the run of 2");
+        assert_eq!(run_length_histogram(&[], Stride::WORD).len(), 0);
+    }
+
+    #[test]
+    fn jump_histogram_ignores_sequential_pairs() {
+        let stream = vec![
+            Access::instruction(0x0),
+            Access::instruction(0x4),  // sequential
+            Access::instruction(0xf0), // jump, H(0x4, 0xf0) = 5
+        ];
+        let hist = jump_hamming_histogram(&stream, Stride::WORD);
+        assert_eq!(hist.len(), 1);
+        assert_eq!(hist[&5], 1);
+    }
+
+    #[test]
+    fn markov_stats_recover_generator_parameters() {
+        use crate::synthetic::InstructionModel;
+        let stream = InstructionModel::new(0.63).generate(60_000, 7);
+        let markov = MarkovStats::measure(&stream, Stride::WORD);
+        // The generator uses a = max(0.85, q); q = 0.63 -> a = 0.85 and
+        // b = q(1-a)/(1-q) ~ 0.2554.
+        assert!((markov.p_seq_given_seq - 0.85).abs() < 0.02, "{markov:?}");
+        assert!((markov.p_seq_given_jump - 0.2554).abs() < 0.02, "{markov:?}");
+        let direct = StreamStats::measure(&stream, Stride::WORD).in_seq_fraction();
+        assert!((markov.stationary_in_seq() - direct).abs() < 0.02);
+    }
+
+    #[test]
+    fn markov_stats_on_degenerate_streams() {
+        // A pure run: always sequential after sequential.
+        let run: Vec<Access> = (0..100u64).map(|i| Access::instruction(4 * i)).collect();
+        let markov = MarkovStats::measure(&run, Stride::WORD);
+        assert_eq!(markov.p_seq_given_seq, 1.0);
+        assert_eq!(markov.p_seq_given_jump, 0.0); // never observed
+        // Too short for any window.
+        let markov = MarkovStats::measure(&run[..2], Stride::WORD);
+        assert_eq!(markov.transitions, 0);
+    }
+
+    #[test]
+    fn footprint_counts_distinct_blocks() {
+        let stream = vec![
+            Access::data(0x100),
+            Access::data(0x104), // same 64-byte block
+            Access::data(0x140), // next block
+            Access::data(0x100), // revisit
+        ];
+        assert_eq!(footprint(&stream, 64), 2);
+        assert_eq!(footprint(&stream, 4), 3);
+        assert_eq!(footprint(&[], 64), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn footprint_rejects_zero_blocks() {
+        let _ = footprint(&[], 0);
+    }
+
+    #[test]
+    fn histogram_mean_weighted() {
+        let mut hist = BTreeMap::new();
+        hist.insert(2u64, 3u64); // three runs of 2
+        hist.insert(8u64, 1u64); // one run of 8
+        assert!((histogram_mean(&hist) - 3.5).abs() < 1e-12);
+        assert_eq!(histogram_mean(&BTreeMap::<u64, u64>::new()), 0.0);
+    }
+
+    #[test]
+    fn histograms_are_consistent_with_stats() {
+        let stream: Vec<Access> = (0..50u64)
+            .map(|i| {
+                if i % 5 == 4 {
+                    Access::instruction(0xf000 + i * 52)
+                } else {
+                    Access::instruction(0x100 + 4 * i)
+                }
+            })
+            .collect();
+        let stats = StreamStats::measure(&stream, Stride::WORD);
+        let runs = run_length_histogram(&stream, Stride::WORD);
+        let jumps = jump_hamming_histogram(&stream, Stride::WORD);
+        let total_from_runs: u64 = runs.iter().map(|(len, count)| len * count).sum();
+        assert_eq!(total_from_runs, stats.len);
+        let jump_pairs: u64 = jumps.values().sum();
+        assert_eq!(jump_pairs, stats.pairs - stats.in_seq_pairs);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let stats = StreamStats::measure(&[Access::data(0)], Stride::WORD);
+        assert!(!stats.to_string().is_empty());
+    }
+}

@@ -1,0 +1,461 @@
+//! Synthetic address-stream generators.
+//!
+//! The paper evaluates its codes on address traces of real programs running
+//! on a MIPS processor. Those traces are not redistributable, so this
+//! module provides parametric generators that reproduce the statistical
+//! structure the codes are sensitive to — the in-sequence fraction, run
+//! lengths, branch-distance distribution, and instruction/data
+//! multiplexing — and that are *calibrated* per benchmark in
+//! [`benchmarks`](crate::benchmarks) to the percentages the paper reports.
+//!
+//! All generators are deterministic given a seed.
+
+use buscode_core::{Access, BusWidth, Stride};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator of instruction-address streams (stream alpha).
+///
+/// Instructions are fetched sequentially until a control-flow event. The
+/// model emits, at each step, an in-sequence fetch with probability
+/// `in_seq_prob`; otherwise a control-flow jump drawn from a mix of short
+/// branches (loops, if/else), calls into far regions, and returns.
+///
+/// # Examples
+///
+/// ```
+/// use buscode_core::Stride;
+/// use buscode_trace::{InstructionModel, StreamStats};
+///
+/// let model = InstructionModel::new(0.63);
+/// let stream = model.generate(20_000, 42);
+/// let stats = StreamStats::measure(&stream, Stride::WORD);
+/// assert!((stats.in_seq_fraction() - 0.63).abs() < 0.02);
+/// ```
+#[derive(Clone, Debug)]
+pub struct InstructionModel {
+    width: BusWidth,
+    stride: Stride,
+    in_seq_prob: f64,
+    /// Given a control-flow event: probability it is a short branch.
+    short_branch_prob: f64,
+    /// Given a control-flow event: probability it is a call (the rest are
+    /// returns or long jumps).
+    call_prob: f64,
+    /// Code region the program counter lives in.
+    code_base: u64,
+    code_span: u64,
+}
+
+impl InstructionModel {
+    /// Creates an instruction model targeting the given in-sequence
+    /// fraction, with MIPS defaults (32-bit bus, stride 4, 256 KiB text
+    /// segment at `0x0040_0000`).
+    pub fn new(in_seq_prob: f64) -> Self {
+        InstructionModel {
+            width: BusWidth::MIPS,
+            stride: Stride::WORD,
+            in_seq_prob: in_seq_prob.clamp(0.0, 1.0),
+            short_branch_prob: 0.75,
+            call_prob: 0.15,
+            code_base: 0x0040_0000,
+            code_span: 0x4_0000,
+        }
+    }
+
+    /// Overrides the bus width and stride.
+    pub fn with_geometry(mut self, width: BusWidth, stride: Stride) -> Self {
+        self.width = width;
+        self.stride = stride;
+        self
+    }
+
+    /// Overrides the code segment placement.
+    pub fn with_code_segment(mut self, base: u64, span: u64) -> Self {
+        self.code_base = base;
+        self.code_span = span.max(self.stride.get() * 2);
+        self
+    }
+
+    /// The configured in-sequence probability.
+    pub fn in_seq_prob(&self) -> f64 {
+        self.in_seq_prob
+    }
+
+    /// Generates a stream of `len` instruction fetches.
+    ///
+    /// Sequential continuation is a two-state Markov chain rather than an
+    /// independent coin flip: real control flow clusters into straight-line
+    /// runs punctuated by bursts of jumps (call, branch, return). The chain
+    /// is parameterized to leave the stationary in-sequence fraction at the
+    /// calibration target while producing realistic run lengths.
+    pub fn generate(&self, len: usize, seed: u64) -> Vec<Access> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(len);
+        let mut pc = self.code_base;
+        let mut call_stack: Vec<u64> = Vec::new();
+        let stride = self.stride.get();
+        let mask = self.width.mask();
+        // P(seq | in a run) and P(seq | just jumped), with stationary
+        // in-seq fraction q = b / (1 - a + b) equal to the target.
+        let q = self.in_seq_prob;
+        let (a, b) = if q >= 1.0 {
+            (1.0, 1.0)
+        } else {
+            let a = q.max(0.85);
+            (a, (q * (1.0 - a) / (1.0 - q)).min(1.0))
+        };
+        let mut in_run = false;
+        for _ in 0..len {
+            out.push(Access::instruction(pc & mask));
+            let p_seq = if in_run { a } else { b };
+            if rng.gen_bool(p_seq) {
+                in_run = true;
+                pc = pc.wrapping_add(stride) & mask;
+            } else {
+                in_run = false;
+                let r: f64 = rng.gen();
+                pc = if r < self.short_branch_prob {
+                    // Short branch. Distances follow real code: tight loop
+                    // back-edges of a few instructions dominate, longer
+                    // if/else skips are rarer; forward +1 is excluded (that
+                    // would be accidentally in-sequence). Targets stay
+                    // inside the text segment — real programs do not branch
+                    // below their code base, and crossing that power-of-two
+                    // boundary would flip most address lines at once.
+                    let magnitude: i64 = if rng.gen_bool(0.75) {
+                        rng.gen_range(2..=8)
+                    } else {
+                        rng.gen_range(9..=64)
+                    };
+                    let delta = if rng.gen_bool(0.6) { -magnitude } else { magnitude };
+                    let target = pc.wrapping_add_signed(delta * stride as i64) & mask;
+                    if target >= self.code_base && target < self.code_base + self.code_span {
+                        target
+                    } else {
+                        pc.wrapping_add_signed(-delta * stride as i64) & mask
+                    }
+                } else if r < self.short_branch_prob + self.call_prob {
+                    // Call: jump to a far routine, remember the return site.
+                    call_stack.push(pc.wrapping_add(stride));
+                    if call_stack.len() > 64 {
+                        call_stack.remove(0);
+                    }
+                    let target = self.code_base
+                        + stride * rng.gen_range(0..self.code_span / stride);
+                    target & mask
+                } else if let Some(ret) = call_stack.pop() {
+                    ret & mask
+                } else {
+                    let target = self.code_base
+                        + stride * rng.gen_range(0..self.code_span / stride);
+                    target & mask
+                };
+            }
+        }
+        out
+    }
+}
+
+/// Generator of data-address streams (stream beta).
+///
+/// Data references interleave array walks (the only sequential component),
+/// stack traffic to a handful of hot slots (loop counters, spilled
+/// registers — the accesses the paper blames for destroying data-stream
+/// sequentiality), and pointer-chasing style random references.
+///
+/// # Examples
+///
+/// ```
+/// use buscode_core::Stride;
+/// use buscode_trace::{DataModel, StreamStats};
+///
+/// let model = DataModel::new(0.11);
+/// let stream = model.generate(20_000, 7);
+/// let stats = StreamStats::measure(&stream, Stride::WORD);
+/// assert!((stats.in_seq_fraction() - 0.11).abs() < 0.02);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DataModel {
+    width: BusWidth,
+    stride: Stride,
+    in_seq_prob: f64,
+    /// Given a non-sequential access: probability it hits the stack.
+    stack_prob: f64,
+    /// Given a non-sequential access: probability it jumps to a new array
+    /// position (the rest are random heap references).
+    array_jump_prob: f64,
+    heap_base: u64,
+    heap_span: u64,
+    stack_base: u64,
+    arrays: u64,
+}
+
+impl DataModel {
+    /// Creates a data model targeting the given in-sequence fraction, with
+    /// MIPS defaults (heap at `0x1000_0000`, stack near `0x7fff_f000`,
+    /// eight live arrays).
+    pub fn new(in_seq_prob: f64) -> Self {
+        DataModel {
+            width: BusWidth::MIPS,
+            stride: Stride::WORD,
+            in_seq_prob: in_seq_prob.clamp(0.0, 1.0),
+            stack_prob: 0.5,
+            array_jump_prob: 0.3,
+            heap_base: 0x1000_0000,
+            heap_span: 0x10_0000,
+            stack_base: 0x7fff_f000,
+            arrays: 8,
+        }
+    }
+
+    /// Overrides the bus width and stride.
+    pub fn with_geometry(mut self, width: BusWidth, stride: Stride) -> Self {
+        self.width = width;
+        self.stride = stride;
+        self
+    }
+
+    /// The configured in-sequence probability.
+    pub fn in_seq_prob(&self) -> f64 {
+        self.in_seq_prob
+    }
+
+    /// Generates a stream of `len` data accesses.
+    pub fn generate(&self, len: usize, seed: u64) -> Vec<Access> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut out: Vec<Access> = Vec::with_capacity(len);
+        let stride = self.stride.get();
+        let mask = self.width.mask();
+        // Walking pointers into a few live arrays.
+        let mut cursors: Vec<u64> = (0..self.arrays)
+            .map(|i| self.heap_base + i * (self.heap_span / self.arrays))
+            .collect();
+        let mut current = 0usize;
+        let mut addr = cursors[0];
+        // Sequential data references cluster into short array-walk runs
+        // (a Markov chain with the target stationary fraction), and
+        // non-sequential choices occasionally alias an in-sequence step
+        // (e.g. a heap reference landing one stride past the previous
+        // address) — a proportional controller on the *measured* in-seq
+        // fraction keeps the stream on its calibration target.
+        let q = self.in_seq_prob;
+        let (walk_a, walk_b) = if q >= 1.0 {
+            (1.0, 1.0)
+        } else {
+            let a = q.max(0.6);
+            (a, (q * (1.0 - a) / (1.0 - q)).min(1.0))
+        };
+        let mut in_run = false;
+        let mut pairs = 0u64;
+        let mut in_seq = 0u64;
+        for _ in 0..len {
+            if let Some(prev) = out.last() {
+                pairs += 1;
+                if (addr & mask) == prev.address.wrapping_add(stride) & mask {
+                    in_seq += 1;
+                }
+            }
+            out.push(Access::data(addr & mask));
+            let correction = if pairs < 64 {
+                0.0
+            } else {
+                q - in_seq as f64 / pairs as f64
+            };
+            let p = ((if in_run { walk_a } else { walk_b }) + correction).clamp(0.0, 1.0);
+            in_run = rng.gen_bool(p);
+            if in_run {
+                addr = addr.wrapping_add(stride) & mask;
+                cursors[current] = addr;
+            } else {
+                let r: f64 = rng.gen();
+                addr = if r < self.stack_prob {
+                    // A hot stack slot; slot 0 (the loop counter) dominates.
+                    // Slots are spaced two strides apart so that slot-to-slot
+                    // hops never alias an in-sequence step.
+                    let slot = [0u64, 0, 0, 1, 2, 3][rng.gen_range(0..6)];
+                    (self.stack_base - 2 * stride * slot) & mask
+                } else if r < self.stack_prob + self.array_jump_prob {
+                    // Resume (or restart) another array walk.
+                    current = rng.gen_range(0..cursors.len());
+                    if rng.gen_bool(0.2) {
+                        cursors[current] = self.heap_base
+                            + rng.gen_range(0..self.heap_span / stride) * stride;
+                    }
+                    cursors[current] & mask
+                } else {
+                    // Pointer chase into the heap.
+                    (self.heap_base + rng.gen_range(0..self.heap_span / stride) * stride)
+                        & mask
+                };
+            }
+        }
+        out
+    }
+}
+
+/// Generator of multiplexed instruction/data streams (the MIPS bus model).
+///
+/// The instruction stream is produced by an [`InstructionModel`]; after
+/// each fetch, a data access from a [`DataModel`] is inserted with
+/// probability `data_rate`. On the multiplexed bus the paper's in-sequence
+/// fraction `t` relates to the instruction fraction `q` approximately as
+/// `t = q * (1 - d) / (1 + d)`, which [`MuxedModel::with_targets`] inverts
+/// to pick `d`.
+#[derive(Clone, Debug)]
+pub struct MuxedModel {
+    instruction: InstructionModel,
+    data: DataModel,
+    data_rate: f64,
+}
+
+impl MuxedModel {
+    /// Creates a muxed model from explicit components and insertion rate.
+    pub fn new(instruction: InstructionModel, data: DataModel, data_rate: f64) -> Self {
+        MuxedModel {
+            instruction,
+            data,
+            data_rate: data_rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Creates a muxed model that hits `muxed_in_seq` on the bus given an
+    /// instruction stream with in-sequence fraction `instr_in_seq`,
+    /// by solving for the data insertion rate.
+    pub fn with_targets(instr_in_seq: f64, data_in_seq: f64, muxed_in_seq: f64) -> Self {
+        let q = instr_in_seq.clamp(0.0, 1.0);
+        let t = muxed_in_seq.clamp(0.0, q.max(f64::MIN_POSITIVE));
+        // t = q (1 - d) / (1 + d)  =>  d = (q - t) / (q + t)
+        let d = if q + t > 0.0 { (q - t) / (q + t) } else { 0.0 };
+        MuxedModel {
+            instruction: InstructionModel::new(q),
+            data: DataModel::new(data_in_seq),
+            data_rate: d.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The data insertion rate (data accesses per instruction fetch).
+    pub fn data_rate(&self) -> f64 {
+        self.data_rate
+    }
+
+    /// Generates a multiplexed stream of `len` bus transactions.
+    pub fn generate(&self, len: usize, seed: u64) -> Vec<Access> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d);
+        // Generate both component streams lazily long enough, then weave.
+        let instructions = self.instruction.generate(len, seed);
+        let data = self.data.generate(len, seed.wrapping_add(1));
+        let mut out = Vec::with_capacity(len);
+        let mut icur = instructions.into_iter();
+        let mut dcur = data.into_iter();
+        while out.len() < len {
+            if let Some(i) = icur.next() {
+                out.push(i);
+            }
+            if out.len() < len && rng.gen_bool(self.data_rate) {
+                if let Some(d) = dcur.next() {
+                    out.push(d);
+                }
+            }
+        }
+        out.truncate(len);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StreamStats;
+    use buscode_core::AccessKind;
+
+    #[test]
+    fn instruction_model_hits_target() {
+        for target in [0.3, 0.58, 0.63, 0.68, 0.9] {
+            let stream = InstructionModel::new(target).generate(40_000, 1);
+            let stats = StreamStats::measure(&stream, Stride::WORD);
+            assert!(
+                (stats.in_seq_fraction() - target).abs() < 0.02,
+                "target {target}, got {}",
+                stats.in_seq_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn instruction_model_is_deterministic() {
+        let model = InstructionModel::new(0.6);
+        assert_eq!(model.generate(1000, 9), model.generate(1000, 9));
+        assert_ne!(model.generate(1000, 9), model.generate(1000, 10));
+    }
+
+    #[test]
+    fn instruction_stream_is_all_instruction_kind() {
+        let stream = InstructionModel::new(0.6).generate(1000, 2);
+        assert!(stream.iter().all(|a| a.kind == AccessKind::Instruction));
+    }
+
+    #[test]
+    fn data_model_hits_target() {
+        for target in [0.05, 0.08, 0.11, 0.14, 0.3] {
+            let stream = DataModel::new(target).generate(40_000, 3);
+            let stats = StreamStats::measure(&stream, Stride::WORD);
+            assert!(
+                (stats.in_seq_fraction() - target).abs() < 0.02,
+                "target {target}, got {}",
+                stats.in_seq_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn data_stream_is_all_data_kind() {
+        let stream = DataModel::new(0.11).generate(1000, 4);
+        assert!(stream.iter().all(|a| a.kind == AccessKind::Data));
+    }
+
+    #[test]
+    fn muxed_model_hits_target() {
+        let model = MuxedModel::with_targets(0.63, 0.11, 0.576);
+        let stream = model.generate(60_000, 5);
+        let stats = StreamStats::measure(&stream, Stride::WORD);
+        assert!(
+            (stats.in_seq_fraction() - 0.576).abs() < 0.03,
+            "got {}",
+            stats.in_seq_fraction()
+        );
+        assert!(stats.data_count > 0);
+        assert!(stats.instruction_count > stats.data_count);
+    }
+
+    #[test]
+    fn muxed_model_zero_data_rate_is_pure_instruction() {
+        let model = MuxedModel::with_targets(0.63, 0.11, 0.63);
+        assert!(model.data_rate() < 1e-9);
+        let stream = model.generate(1000, 6);
+        assert!(stream.iter().all(|a| a.kind == AccessKind::Instruction));
+    }
+
+    #[test]
+    fn generated_length_is_exact() {
+        assert_eq!(InstructionModel::new(0.5).generate(12345, 1).len(), 12345);
+        assert_eq!(DataModel::new(0.1).generate(999, 1).len(), 999);
+        assert_eq!(
+            MuxedModel::with_targets(0.6, 0.1, 0.5).generate(7777, 1).len(),
+            7777
+        );
+    }
+
+    #[test]
+    fn custom_geometry_respected() {
+        let w = BusWidth::new(16).unwrap();
+        let s = Stride::new(2, w).unwrap();
+        let stream = InstructionModel::new(0.7)
+            .with_geometry(w, s)
+            .with_code_segment(0x100, 0x1000)
+            .generate(5000, 8);
+        assert!(stream.iter().all(|a| a.address <= w.mask()));
+        let stats = StreamStats::measure(&stream, s);
+        assert!((stats.in_seq_fraction() - 0.7).abs() < 0.03);
+    }
+}

@@ -1,0 +1,154 @@
+//! Extending the toolkit: plugging a custom code into the framework.
+//!
+//! ```text
+//! cargo run --release --example custom_code
+//! ```
+//!
+//! Implements a user-defined code — **split T0**, which keeps a separate
+//! T0 reference register *per stream* so that both instruction runs and
+//! data array walks freeze the multiplexed bus (dual T0 only tracks the
+//! instruction stream) — against the [`Encoder`] / [`Decoder`] traits,
+//! and evaluates it with the library's standard metrics next to the
+//! built-in codes on a streaming-DSP style workload.
+
+use buscode::prelude::*;
+use buscode::trace::MuxedModel;
+
+/// T0 with one reference register per `SEL` value: sequential *data*
+/// accesses (DMA bursts, filter taps) freeze the bus too.
+#[derive(Clone, Copy, Debug)]
+struct SplitT0Encoder {
+    width: BusWidth,
+    stride: Stride,
+    /// Reference per stream: `[instruction, data]`.
+    references: [Option<u64>; 2],
+    prev_bus: BusState,
+}
+
+impl SplitT0Encoder {
+    fn new(width: BusWidth, stride: Stride) -> Self {
+        SplitT0Encoder {
+            width,
+            stride,
+            references: [None, None],
+            prev_bus: BusState::reset(),
+        }
+    }
+}
+
+fn slot(kind: AccessKind) -> usize {
+    match kind {
+        AccessKind::Instruction => 0,
+        AccessKind::Data => 1,
+    }
+}
+
+impl Encoder for SplitT0Encoder {
+    fn name(&self) -> &'static str {
+        "split-t0"
+    }
+
+    fn width(&self) -> BusWidth {
+        self.width
+    }
+
+    fn aux_line_count(&self) -> u32 {
+        1
+    }
+
+    fn encode(&mut self, access: Access) -> BusState {
+        let b = access.address & self.width.mask();
+        let i = slot(access.kind);
+        let sequential = self.references[i]
+            .is_some_and(|r| b == self.width.wrapping_add(r, self.stride.get()));
+        let out = if sequential {
+            BusState::new(self.prev_bus.payload, 1)
+        } else {
+            BusState::new(b, 0)
+        };
+        self.references[i] = Some(b);
+        self.prev_bus = out;
+        out
+    }
+
+    fn reset(&mut self) {
+        self.references = [None, None];
+        self.prev_bus = BusState::reset();
+    }
+}
+
+/// The decoder paired with [`SplitT0Encoder`]; `SEL` picks the register.
+#[derive(Clone, Copy, Debug)]
+struct SplitT0Decoder {
+    width: BusWidth,
+    stride: Stride,
+    references: [Option<u64>; 2],
+}
+
+impl Decoder for SplitT0Decoder {
+    fn name(&self) -> &'static str {
+        "split-t0"
+    }
+
+    fn width(&self) -> BusWidth {
+        self.width
+    }
+
+    fn decode(&mut self, word: BusState, kind: AccessKind) -> Result<u64, CodecError> {
+        let i = slot(kind);
+        let address = if word.aux & 1 == 1 {
+            let reference = self.references[i].ok_or(CodecError::ProtocolViolation {
+                code: "split-t0",
+                reason: "inc asserted before a reference for this stream",
+            })?;
+            self.width.wrapping_add(reference, self.stride.get())
+        } else {
+            word.payload & self.width.mask()
+        };
+        self.references[i] = Some(address);
+        Ok(address)
+    }
+
+    fn reset(&mut self) {
+        self.references = [None, None];
+    }
+}
+
+fn main() -> Result<(), CodecError> {
+    let params = CodeParams::default();
+    // A streaming-DSP workload: a small instruction loop over long
+    // sequential data bursts — data in-sequence fraction far above the
+    // general-purpose profiles of the paper's tables.
+    let stream = MuxedModel::with_targets(0.70, 0.60, 0.45).generate(100_000, 3);
+
+    let reference = binary_reference(params.width, stream.iter().copied());
+
+    let mut custom_enc = SplitT0Encoder::new(params.width, params.stride);
+    let mut custom_dec = SplitT0Decoder {
+        width: params.width,
+        stride: params.stride,
+        references: [None, None],
+    };
+    let custom = verify_round_trip(&mut custom_enc, &mut custom_dec, stream.iter().copied())?;
+
+    println!("{:<12} {:>12} {:>9}", "code", "transitions", "savings");
+    for kind in [CodeKind::T0, CodeKind::DualT0, CodeKind::DualT0Bi] {
+        let mut enc = kind.encoder(params)?;
+        let stats = count_transitions(enc.as_mut(), stream.iter().copied());
+        println!(
+            "{:<12} {:>12} {:>8.2}%",
+            kind.name(),
+            stats.total(),
+            stats.savings_vs(&reference)
+        );
+    }
+    println!(
+        "{:<12} {:>12} {:>8.2}%   (user-defined)",
+        "split-t0",
+        custom.total(),
+        custom.savings_vs(&reference)
+    );
+    println!("\nWith sequential data bursts on the bus, tracking both streams pays:");
+    println!("the trait pair makes such experiments one short impl away.");
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Trace tooling: files, statistics, inverse modeling, and waveforms.
+//!
+//! ```text
+//! cargo run --release --example trace_analysis
+//! ```
+//!
+//! The workflow for bringing an *external* trace into the harness:
+//! capture it (here: from the bundled CPU running its FIR kernel), save
+//! it as a portable text trace, read it back, characterize it (in-seq
+//! fraction, Markov persistence, run-length and jump histograms), pick a
+//! code, and dump the winning encoder's gate-level waveforms as a VCD
+//! file for any waveform viewer.
+
+use buscode::core::{BusWidth, Stride};
+use buscode::cpu::kernels::FIR_FILTER;
+use buscode::logic::codecs::t0_encoder;
+use buscode::logic::{Simulator, VcdRecorder};
+use buscode::prelude::*;
+use buscode::trace::{
+    histogram_mean, jump_hamming_histogram, read_trace, run_length_histogram, write_trace,
+    MarkovStats, StreamStats,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Capture: run the FIR kernel and take its instruction bus.
+    let trace = FIR_FILTER.trace()?;
+    let stream = trace.instruction();
+
+    // 2. Persist and re-load the portable text format.
+    let path = std::env::temp_dir().join("buscode_fir.trace");
+    write_trace(std::fs::File::create(&path)?, &stream)?;
+    let reloaded = read_trace(std::io::BufReader::new(std::fs::File::open(&path)?))?;
+    assert_eq!(reloaded, stream);
+    println!("trace: {} accesses round-tripped through {}", stream.len(), path.display());
+
+    // 3. Characterize.
+    let stride = Stride::WORD;
+    let stats = StreamStats::measure(&reloaded, stride);
+    let markov = MarkovStats::measure(&reloaded, stride);
+    let runs = run_length_histogram(&reloaded, stride);
+    let jumps = jump_hamming_histogram(&reloaded, stride);
+    println!("\ncharacterization:");
+    println!("  in-sequence:        {:.1}%", stats.in_seq_percent());
+    println!("  run persistence:    P(seq|seq) = {:.3}", markov.p_seq_given_seq);
+    println!("  mean run length:    {:.1} fetches", histogram_mean(&runs));
+    println!("  mean jump distance: {:.1} bit flips", histogram_mean(&jumps));
+
+    // 4. Pick a code by measurement.
+    let params = CodeParams::default();
+    let reference = binary_reference(params.width, reloaded.iter().copied());
+    let mut best: Option<(&str, f64)> = None;
+    for kind in CodeKind::paper_codes() {
+        let mut enc = kind.encoder(params)?;
+        let savings = count_transitions(enc.as_mut(), reloaded.iter().copied())
+            .savings_vs(&reference);
+        if best.is_none_or(|(_, b)| savings > b) {
+            best = Some((kind.name(), savings));
+        }
+        println!("  {:<12} {:>6.2}% savings", kind.name(), savings);
+    }
+    let (winner, savings) = best.expect("at least one code");
+    println!("\nwinner: {winner} ({savings:.2}%)");
+
+    // 5. Dump the T0 encoder's waveforms over the first cycles.
+    let circuit = t0_encoder(BusWidth::MIPS, stride);
+    let mut recorder = VcdRecorder::new();
+    recorder.watch_word("address", &circuit.address_in);
+    recorder.watch_word("bus", &circuit.bus_out);
+    recorder.watch("inc", circuit.aux_out[0]);
+    let mut sim = Simulator::new(circuit.netlist.clone());
+    for access in reloaded.iter().take(128) {
+        sim.set_word(&circuit.address_in, access.address);
+        sim.step();
+        recorder.sample(&sim);
+    }
+    let vcd_path = std::env::temp_dir().join("buscode_t0.vcd");
+    recorder.write(std::fs::File::create(&vcd_path)?)?;
+    println!("waveforms: {} cycles dumped to {}", recorder.cycles(), vcd_path.display());
+    Ok(())
+}

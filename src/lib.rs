@@ -1,0 +1,66 @@
+//! # buscode
+//!
+//! A low-power address-bus encoding toolkit reproducing
+//! *Benini, De Micheli, Macii, Sciuto, Silvano — "Address Bus Encoding
+//! Techniques for System-Level Power Optimization", DATE 1998*, together
+//! with every substrate the paper's evaluation depends on.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! - [`buscode_core`] (`core`) — the encoding schemes (binary, Gray,
+//!   bus-invert, T0, T0_BI, dual T0, dual T0_BI, plus extensions),
+//!   transition metrics, and the paper's analytical models;
+//! - [`buscode_trace`] (`trace`) — address-stream model, synthetic generators,
+//!   and the calibrated per-benchmark profiles of the paper's Tables 2-7;
+//! - [`buscode_cpu`] (`cpu`) — a from-scratch MIPS-like RISC simulator with
+//!   assembler and bus probes, for mechanistically realistic traces;
+//! - [`buscode_logic`] (`logic`) — a gate-level netlist substrate with cycle
+//!   simulation and switching-activity accounting, hosting the paper's
+//!   encoder/decoder architectures;
+//! - [`buscode_power`] (`power`) — system-level power models for on-chip and
+//!   off-chip buses (the paper's Tables 8-9).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use buscode::prelude::*;
+//!
+//! # fn main() -> Result<(), buscode::core::CodecError> {
+//! // Encode a short instruction run with the T0 code and measure savings.
+//! let stream: Vec<Access> = (0..64u64).map(|i| Access::instruction(0x400 + 4 * i)).collect();
+//! let width = BusWidth::MIPS;
+//! let mut t0 = T0Encoder::new(width, Stride::WORD)?;
+//! let coded = count_transitions(&mut t0, stream.iter().copied());
+//! let binary = binary_reference(width, stream.iter().copied());
+//! assert!(coded.savings_vs(&binary) > 90.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! harness that regenerates every table of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use buscode_core as core;
+pub use buscode_cpu as cpu;
+pub use buscode_logic as logic;
+pub use buscode_power as power;
+pub use buscode_trace as trace;
+
+/// Commonly used items from every subsystem, for `use buscode::prelude::*`.
+pub mod prelude {
+    pub use buscode_core::codes::{
+        BinaryEncoder, BusInvertDecoder, BusInvertEncoder, DualT0BiDecoder, DualT0BiEncoder,
+        DualT0Decoder, DualT0Encoder, GrayDecoder, GrayEncoder, T0BiDecoder, T0BiEncoder,
+        T0Decoder, T0Encoder,
+    };
+    pub use buscode_core::metrics::{
+        binary_reference, compare_codes, count_transitions, verify_round_trip,
+    };
+    pub use buscode_core::{
+        Access, AccessKind, BusState, BusWidth, CodeKind, CodeParams, CodecError, Decoder,
+        Encoder, Stride, TransitionStats,
+    };
+}

@@ -1,0 +1,156 @@
+//! The paper's quantitative claims, asserted end-to-end over the
+//! calibrated benchmark suite — the integration-level contract of the
+//! whole reproduction (see EXPERIMENTS.md for the measured numbers).
+
+use buscode_bench::tables;
+use buscode::core::{BusWidth, Stride};
+
+const LEN: usize = 20_000;
+
+#[test]
+fn claim_instruction_buses_are_dominantly_sequential() {
+    // "The average percentage of sequential addresses ... is higher for
+    // instructions addresses (63.04%) than for data address streams
+    // (11.39%)".
+    let t2 = tables::table2(LEN);
+    let t3 = tables::table3(LEN);
+    assert!((t2.avg_in_seq_percent - 63.04).abs() < 3.0, "{}", t2.avg_in_seq_percent);
+    assert!((t3.avg_in_seq_percent - 11.39).abs() < 3.0, "{}", t3.avg_in_seq_percent);
+    assert!(t2.avg_in_seq_percent > t3.avg_in_seq_percent + 40.0);
+}
+
+#[test]
+fn claim_muxed_bus_shows_intermediate_behaviour() {
+    let t2 = tables::table2(LEN);
+    let t3 = tables::table3(LEN);
+    let t4 = tables::table4(LEN);
+    assert!(t4.avg_in_seq_percent < t2.avg_in_seq_percent);
+    assert!(t4.avg_in_seq_percent > t3.avg_in_seq_percent);
+}
+
+#[test]
+fn claim_t0_is_effective_where_sequentiality_is_high() {
+    // Table 2: ~35% savings on instruction streams, bus-invert ~0%.
+    let t2 = tables::table2(LEN);
+    let t0 = t2.avg_savings("t0").unwrap();
+    assert!((25.0..50.0).contains(&t0), "t0 instruction savings {t0}");
+    assert!(t2.avg_savings("bus-invert").unwrap().abs() < 2.0);
+}
+
+#[test]
+fn claim_bus_invert_is_the_existing_choice_for_data_buses() {
+    // Table 3: T0 marginal, bus-invert meaningful.
+    let t3 = tables::table3(LEN);
+    let t0 = t3.avg_savings("t0").unwrap();
+    let bi = t3.avg_savings("bus-invert").unwrap();
+    assert!(t0 < 8.0, "t0 data savings {t0}");
+    assert!(bi > 5.0, "bus-invert data savings {bi}");
+    assert!(bi > t0 + 3.0);
+}
+
+#[test]
+fn claim_mixed_codes_match_t0_on_instruction_streams() {
+    // Table 5: "the same savings have been obtained by using the simple
+    // T0 code" — so T0 wins on cost there.
+    let t2 = tables::table2(LEN);
+    let t5 = tables::table5(LEN);
+    let t0 = t2.avg_savings("t0").unwrap();
+    for code in ["dual-t0", "dual-t0-bi"] {
+        let s = t5.avg_savings(code).unwrap();
+        assert!((s - t0).abs() < 0.5, "{code}: {s} vs t0 {t0}");
+    }
+    let t0bi = t5.avg_savings("t0-bi").unwrap();
+    assert!((t0bi - t0).abs() < 5.0, "t0-bi {t0bi} vs t0 {t0}");
+}
+
+#[test]
+fn claim_dual_t0_saves_nothing_on_data_streams() {
+    // Table 6: dual T0 column is 0.00% — SEL is never asserted.
+    let t6 = tables::table6(LEN);
+    assert!(t6.avg_savings("dual-t0").unwrap().abs() < 0.01);
+}
+
+#[test]
+fn claim_t0bi_is_the_best_code_for_data_streams() {
+    // Table 6: "the T0_BI represents the most effective solution".
+    let t6 = tables::table6(LEN);
+    let t3 = tables::table3(LEN);
+    let t0bi = t6.avg_savings("t0-bi").unwrap();
+    assert!(t0bi >= t6.avg_savings("dual-t0-bi").unwrap() - 0.5);
+    assert!(t0bi > t3.avg_savings("t0").unwrap());
+}
+
+#[test]
+fn claim_dual_t0bi_is_the_headline_winner_on_the_muxed_bus() {
+    // Table 7 + conclusions: dual T0_BI gives the absolute best savings
+    // on the multiplexed MIPS bus, beating T0_BI, dual T0, and plain T0.
+    let t7 = tables::table7(LEN);
+    let t4 = tables::table4(LEN);
+    let dual_bi = t7.avg_savings("dual-t0-bi").unwrap();
+    assert!(dual_bi > t7.avg_savings("t0-bi").unwrap());
+    assert!(dual_bi > t7.avg_savings("dual-t0").unwrap());
+    assert!(dual_bi > t4.avg_savings("t0").unwrap());
+    assert!(dual_bi > t4.avg_savings("bus-invert").unwrap());
+    assert!(dual_bi > 15.0, "headline savings {dual_bi}");
+}
+
+#[test]
+fn claim_codec_cost_ordering_on_chip() {
+    // Table 8: the dual T0_BI encoder is substantially more expensive
+    // than the T0 encoder at small on-chip loads; decoders comparable.
+    let t8 = tables::table8(3_000);
+    let small = &t8.rows[0];
+    let by = |n: &str| small.entries.iter().find(|e| e.codec == n).unwrap();
+    assert!(by("dual-t0-bi").encoder_mw > 2.0 * by("t0").encoder_mw);
+    let dec_ratio = by("dual-t0-bi").decoder_mw / by("t0").decoder_mw;
+    assert!((0.4..2.5).contains(&dec_ratio), "decoder ratio {dec_ratio}");
+}
+
+#[test]
+fn claim_offchip_recommendation_depends_on_load() {
+    // Table 9: the net winner changes along the load sweep, with the
+    // encoded codecs recommended for large external loads.
+    let t9 = tables::table9(3_000);
+    let last = t9.rows.last().unwrap();
+    let by = |n: &str| last.entries.iter().find(|e| e.codec == n).unwrap();
+    assert!(by("t0").global_mw < by("binary").global_mw);
+    assert!(by("dual-t0-bi").global_mw < by("t0").global_mw);
+    assert!(t9.crossover("t0", "dual-t0-bi").is_some());
+}
+
+#[test]
+fn claim_asymptotic_zero_transition_property() {
+    // Section 2.2: "the asymptotic performance of the T0 code is zero
+    // transitions per emitted consecutive address".
+    use buscode::core::metrics::count_transitions;
+    use buscode::core::{Access, CodeKind, CodeParams};
+    let params = CodeParams::default();
+    let mut enc = CodeKind::T0.encoder(params).unwrap();
+    let run: Vec<Access> = (0..100_000u64).map(|i| Access::instruction(4 * i)).collect();
+    let stats = count_transitions(enc.as_mut(), run.iter().copied());
+    assert!(stats.per_cycle() < 1e-3, "{}", stats.per_cycle());
+
+    // Gray achieves exactly one — the irredundant optimum it was sold on.
+    let mut gray = CodeKind::Gray.encoder(params).unwrap();
+    let gstats = count_transitions(gray.as_mut(), run.iter().copied());
+    assert!((gstats.per_cycle() - 1.0).abs() < 1e-3);
+}
+
+#[test]
+fn claim_stride_parametricity() {
+    // "The increments between consecutive patterns can be parametric".
+    let width = BusWidth::MIPS;
+    for stride_val in [1u64, 2, 4, 8, 16] {
+        let stride = Stride::new(stride_val, width).unwrap();
+        // A stride-S stream under a stride-S T0 encoder freezes completely.
+        use buscode::core::metrics::count_transitions;
+        use buscode::core::{Access, CodeKind, CodeParams};
+        let params = CodeParams { width, stride };
+        let mut enc = CodeKind::T0.encoder(params).unwrap();
+        let run: Vec<Access> = (0..5_000u64)
+            .map(|i| Access::instruction(stride_val * i))
+            .collect();
+        let stats = count_transitions(enc.as_mut(), run.iter().copied());
+        assert!(stats.per_cycle() < 0.01, "stride {stride_val}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Tooling-layer integration: the streaming adapters, netlist optimizer,
+//! NAND2 technology mapping, VCD recorder and SoC evaluator working
+//! together through the facade crate, end to end.
+
+use buscode::core::stream::{DecoderExt, EncoderExt};
+use buscode::core::{Access, AccessKind, BusState, BusWidth, CodeKind, CodeParams, Stride};
+use buscode::logic::codecs::dual_t0bi_encoder;
+use buscode::logic::{nand2_area, optimize, tech_map, Simulator, VcdRecorder};
+use buscode::power::{evaluate_soc, SocConfig};
+use buscode::trace::MuxedModel;
+
+fn stream(len: usize) -> Vec<Access> {
+    MuxedModel::with_targets(0.6304, 0.1139, 0.5762).generate(len, 77)
+}
+
+#[test]
+fn lazy_adapters_compose_with_every_factory_code() {
+    let params = CodeParams::default();
+    let stream = stream(1_000);
+    for kind in CodeKind::all() {
+        let mut enc = kind.encoder(params).expect("valid params");
+        let mut dec = kind.decoder(params).expect("valid params");
+        let words: Vec<(BusState, AccessKind)> = enc
+            .encode_iter(stream.iter().copied())
+            .zip(stream.iter().map(|a| a.kind))
+            .collect();
+        for (decoded, original) in dec.decode_iter(words).zip(&stream) {
+            assert_eq!(decoded.expect("conforming stream"), original.address, "{kind}");
+        }
+    }
+}
+
+#[test]
+fn optimize_then_tech_map_preserves_codec_behaviour() {
+    let circuit = dual_t0bi_encoder(BusWidth::MIPS, Stride::WORD);
+    let accesses = stream(400);
+
+    let (optimized, opt_map) = optimize(&circuit.netlist);
+    let (mapped, nand_map) = tech_map(&optimized);
+    assert!(mapped.check().is_ok());
+
+    // Compose the two maps for the interface nets.
+    let through = |net| nand_map.get(opt_map.get(net).expect("interface survives"));
+    let address_in: Vec<_> = circuit
+        .address_in
+        .iter()
+        .map(|&n| through(n).expect("interface survives"))
+        .collect();
+    let sel = through(circuit.sel_in.expect("dual codec has SEL")).unwrap();
+    let bus_out: Vec<_> = circuit
+        .bus_out
+        .iter()
+        .map(|&n| through(n).expect("interface survives"))
+        .collect();
+    let incv = through(circuit.aux_out[0]).unwrap();
+
+    let mut reference = Simulator::new(circuit.netlist.clone());
+    let mut pipeline = Simulator::new(mapped);
+    for access in &accesses {
+        reference.set_word(&circuit.address_in, access.address);
+        reference.set(circuit.sel_in.unwrap(), access.kind.sel());
+        pipeline.set_word(&address_in, access.address);
+        pipeline.set(sel, access.kind.sel());
+        reference.step();
+        pipeline.step();
+        assert_eq!(reference.word(&circuit.bus_out), pipeline.word(&bus_out));
+        assert_eq!(reference.value(circuit.aux_out[0]), pipeline.value(incv));
+    }
+}
+
+#[test]
+fn nand2_area_shrinks_after_optimization() {
+    let circuit = dual_t0bi_encoder(BusWidth::MIPS, Stride::WORD);
+    let (optimized, _) = optimize(&circuit.netlist);
+    assert!(nand2_area(&optimized) <= nand2_area(&circuit.netlist));
+}
+
+#[test]
+fn vcd_of_a_real_codec_run_is_consistent() {
+    let circuit = dual_t0bi_encoder(BusWidth::MIPS, Stride::WORD);
+    let mut recorder = VcdRecorder::new();
+    recorder.watch_word("bus", &circuit.bus_out);
+    recorder.watch("incv", circuit.aux_out[0]);
+    let mut sim = Simulator::new(circuit.netlist.clone());
+    for access in stream(64) {
+        sim.set_word(&circuit.address_in, access.address);
+        sim.set(circuit.sel_in.unwrap(), access.kind.sel());
+        sim.step();
+        recorder.sample(&sim);
+    }
+    assert_eq!(recorder.cycles(), 64);
+    let mut bytes = Vec::new();
+    recorder.write(&mut bytes).expect("in-memory write");
+    let text = String::from_utf8(bytes).expect("vcd is ascii");
+    assert!(text.contains("$var wire 32 ! bus $end"));
+    assert!(text.lines().filter(|l| l.starts_with('#')).count() >= 2);
+}
+
+#[test]
+fn soc_evaluation_accepts_extension_codes() {
+    let report = evaluate_soc(
+        &stream(10_000),
+        SocConfig::date98(),
+        &[CodeKind::Binary, CodeKind::DualT0Bi, CodeKind::SelfOrganizing],
+    )
+    .expect("all codes evaluate");
+    assert_eq!(report.l1.len(), 3);
+    assert!(report.best_l1().is_some());
+}

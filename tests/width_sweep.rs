@@ -1,0 +1,76 @@
+//! Grid coverage: every code round-trips on every bus width and every
+//! valid stride — the full configuration space a downstream user can
+//! construct.
+
+use buscode::core::metrics::verify_round_trip;
+use buscode::core::{Access, BusWidth, CodeKind, CodeParams, Stride};
+use rand::{Rng, SeedableRng};
+
+fn mixed_stream(width: BusWidth, stride: Stride, len: usize, seed: u64) -> Vec<Access> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mask = width.mask();
+    let mut addr = 0x11u64 & mask;
+    (0..len)
+        .map(|_| {
+            addr = match rng.gen_range(0..10u8) {
+                0..=5 => width.wrapping_add(addr, stride.get()),
+                6..=7 => width.wrapping_add(addr, stride.get() * rng.gen_range(0..16u64)),
+                8 => addr,
+                _ => rng.gen::<u64>() & mask,
+            };
+            if rng.gen_bool(0.3) {
+                Access::data(addr)
+            } else {
+                Access::instruction(addr)
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn every_code_on_every_width() {
+    for bits in 1..=64u32 {
+        let width = BusWidth::new(bits).expect("valid width");
+        let stride_val = if bits > 2 { 4 } else { 1 };
+        let stride = Stride::new(stride_val, width).expect("valid stride");
+        let params = CodeParams { width, stride };
+        let stream = mixed_stream(width, stride, 150, u64::from(bits));
+        for kind in CodeKind::all() {
+            let mut enc = kind.encoder(params).expect("factory works at every width");
+            let mut dec = kind.decoder(params).expect("factory works at every width");
+            let result = verify_round_trip(enc.as_mut(), dec.as_mut(), stream.iter().copied());
+            assert!(result.is_ok(), "{kind} at width {bits}: {:?}", result.err());
+        }
+    }
+}
+
+#[test]
+fn every_code_on_every_stride() {
+    let width = BusWidth::MIPS;
+    for k in 0..31u32 {
+        let stride = Stride::new(1u64 << k, width).expect("valid stride");
+        let params = CodeParams { width, stride };
+        let stream = mixed_stream(width, stride, 120, 1000 + u64::from(k));
+        for kind in CodeKind::paper_codes() {
+            let mut enc = kind.encoder(params).expect("factory works at every stride");
+            let mut dec = kind.decoder(params).expect("factory works at every stride");
+            let result = verify_round_trip(enc.as_mut(), dec.as_mut(), stream.iter().copied());
+            assert!(result.is_ok(), "{kind} at stride 2^{k}: {:?}", result.err());
+        }
+    }
+}
+
+#[test]
+fn sixty_four_bit_bus_end_to_end() {
+    // The paper's motivation: 64-bit address spaces (Alpha, PowerPC 620).
+    let width = BusWidth::WIDE;
+    let stride = Stride::new(8, width).expect("valid stride");
+    let params = CodeParams { width, stride };
+    let stream = mixed_stream(width, stride, 3_000, 64);
+    for kind in CodeKind::all() {
+        let mut enc = kind.encoder(params).expect("factory works at 64 bits");
+        let mut dec = kind.decoder(params).expect("factory works at 64 bits");
+        let result = verify_round_trip(enc.as_mut(), dec.as_mut(), stream.iter().copied());
+        assert!(result.is_ok(), "{kind}: {:?}", result.err());
+    }
+}
