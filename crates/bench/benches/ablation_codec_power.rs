@@ -1,11 +1,11 @@
 //! Ablation: gate-level codec power for *all seven* codecs (the paper's
 //! Table 8 covers three), at a representative on-chip load.
 
+use buscode_bench::harness::{criterion_group, criterion_main, Criterion};
 use buscode_bench::tables::reference_muxed_stream;
 use buscode_core::{BusWidth, Stride};
 use buscode_logic::Technology;
 use buscode_power::{onchip_table_for, ALL_CODECS};
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let stream = reference_muxed_stream(20_000);
@@ -18,7 +18,10 @@ fn bench(c: &mut Criterion) {
         Technology::date98(),
     );
     println!("Ablation: codec power (mW), all gate-level codecs, on-chip loads");
-    println!("{:>12} {:>10} {:>10} {:>10}", "codec", "0.1pF", "0.5pF", "2.0pF");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10}",
+        "codec", "0.1pF", "0.5pF", "2.0pF"
+    );
     for codec in ALL_CODECS {
         let series = table.series(codec);
         println!(

@@ -1,8 +1,8 @@
 //! Ablation: the extension codes (T0-XOR, offset, working-zone, Beach) on
 //! all three stream classes, against the binary reference.
 
+use buscode_bench::harness::{criterion_group, criterion_main, Criterion};
 use buscode_bench::tables;
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("Ablation: extension codes, average savings vs binary");

@@ -2,8 +2,8 @@
 //! increments" knob). The stream steps by the machine stride of 4; only
 //! the matching encoder stride captures the sequentiality.
 
+use buscode_bench::harness::{criterion_group, criterion_main, Criterion};
 use buscode_bench::tables;
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("Ablation: T0 savings vs configured stride (machine stride = 4)");

@@ -2,8 +2,8 @@
 //! 64 lines) — the paper motivates its work with the drift toward 64-bit
 //! address buses.
 
+use buscode_bench::harness::{criterion_group, criterion_main, Criterion};
 use buscode_bench::tables;
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     println!("Ablation: analytical transitions/clock vs bus width (random stream)");

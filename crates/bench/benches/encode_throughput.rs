@@ -2,10 +2,10 @@
 //! implementations) on the reference multiplexed stream — the cost a
 //! simulator pays per table cell.
 
+use buscode_bench::harness::{criterion_group, criterion_main, Criterion, Throughput};
 use buscode_bench::tables::reference_muxed_stream;
 use buscode_core::metrics::count_transitions;
 use buscode_core::{CodeKind, CodeParams};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench(c: &mut Criterion) {
     let stream = reference_muxed_stream(100_000);

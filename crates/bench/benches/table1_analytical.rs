@@ -1,10 +1,10 @@
 //! Regenerates paper Table 1 (analytical comparison + Monte-Carlo check)
 //! and benchmarks the analytical model evaluation.
 
+use buscode_bench::harness::{criterion_group, criterion_main, Criterion};
 use buscode_bench::render::render_table1;
 use buscode_bench::tables;
 use buscode_core::{analysis, BusWidth, Stride};
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let report = tables::table1(BusWidth::MIPS, Stride::WORD, 200_000);

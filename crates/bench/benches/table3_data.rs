@@ -1,16 +1,22 @@
 //! Regenerates paper Table 3 (Existing Encoding Schemes, Data Address Streams) and benchmarks the per-code encoding
 //! throughput on the underlying streams.
 
+use buscode_bench::harness::{criterion_group, criterion_main, Criterion, Throughput};
 use buscode_bench::render::render_transition_table;
 use buscode_bench::tables;
 use buscode_core::metrics::count_transitions;
 use buscode_core::{CodeKind, CodeParams};
 use buscode_trace::{paper_benchmarks, StreamKind};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench(c: &mut Criterion) {
     let table = tables::table3(usize::MAX);
-    println!("{}", render_transition_table("Table 3: Existing Encoding Schemes, Data Address Streams", &table));
+    println!(
+        "{}",
+        render_transition_table(
+            "Table 3: Existing Encoding Schemes, Data Address Streams",
+            &table
+        )
+    );
 
     let stream = paper_benchmarks()[0].stream_with_len(StreamKind::Data, 50_000);
     let params = CodeParams::default();

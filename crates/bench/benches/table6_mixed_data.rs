@@ -1,22 +1,33 @@
 //! Regenerates paper Table 6 (Mixed Encoding Schemes, Data Address Streams) and benchmarks the per-code encoding
 //! throughput on the underlying streams.
 
+use buscode_bench::harness::{criterion_group, criterion_main, Criterion, Throughput};
 use buscode_bench::render::render_transition_table;
 use buscode_bench::tables;
 use buscode_core::metrics::count_transitions;
 use buscode_core::{CodeKind, CodeParams};
 use buscode_trace::{paper_benchmarks, StreamKind};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench(c: &mut Criterion) {
     let table = tables::table6(usize::MAX);
-    println!("{}", render_transition_table("Table 6: Mixed Encoding Schemes, Data Address Streams", &table));
+    println!(
+        "{}",
+        render_transition_table(
+            "Table 6: Mixed Encoding Schemes, Data Address Streams",
+            &table
+        )
+    );
 
     let stream = paper_benchmarks()[0].stream_with_len(StreamKind::Data, 50_000);
     let params = CodeParams::default();
     let mut group = c.benchmark_group("table6");
     group.throughput(Throughput::Elements(stream.len() as u64));
-    for kind in [CodeKind::Binary, CodeKind::T0Bi, CodeKind::DualT0, CodeKind::DualT0Bi] {
+    for kind in [
+        CodeKind::Binary,
+        CodeKind::T0Bi,
+        CodeKind::DualT0,
+        CodeKind::DualT0Bi,
+    ] {
         let mut enc = kind.encoder(params).expect("valid params");
         group.bench_function(kind.name(), |b| {
             b.iter(|| {

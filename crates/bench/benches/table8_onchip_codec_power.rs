@@ -1,12 +1,12 @@
 //! Regenerates paper Table 8 (encoder/decoder power for on-chip loads)
 //! and benchmarks gate-level codec simulation throughput.
 
+use buscode_bench::harness::{criterion_group, criterion_main, Criterion, Throughput};
 use buscode_bench::render::render_power_table;
 use buscode_bench::tables;
 use buscode_core::{BusWidth, Stride};
 use buscode_logic::codecs::{dual_t0bi_encoder, t0_encoder};
 use buscode_trace::{paper_benchmarks, StreamKind};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench(c: &mut Criterion) {
     let table = tables::table8(30_000);

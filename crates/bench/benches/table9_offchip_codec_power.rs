@@ -1,9 +1,9 @@
 //! Regenerates paper Table 9 (encoder/decoder/pad power for off-chip
 //! loads, with the crossover analysis) and benchmarks the sweep itself.
 
+use buscode_bench::harness::{criterion_group, criterion_main, Criterion};
 use buscode_bench::render::render_power_table;
 use buscode_bench::tables;
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
     let table = tables::table9(30_000);

@@ -47,7 +47,10 @@ fn parse_args() -> Result<Options, String> {
                 opts.csv_dir = Some(std::path::PathBuf::from(dir));
             }
             "--help" | "-h" => {
-                return Err("usage: paper_tables [--table N] [--len L] [--ablations] [--csv DIR]".to_owned())
+                return Err(
+                    "usage: paper_tables [--table N] [--len L] [--ablations] [--csv DIR]"
+                        .to_owned(),
+                )
             }
             other => return Err(format!("unknown argument {other}")),
         }
@@ -66,8 +69,8 @@ fn main() {
     let want = |n: u32| opts.table.is_none() || opts.table == Some(n);
     let write_csv = |name: &str, contents: String| {
         if let Some(dir) = &opts.csv_dir {
-            if let Err(e) = std::fs::create_dir_all(dir)
-                .and_then(|()| std::fs::write(dir.join(name), contents))
+            if let Err(e) =
+                std::fs::create_dir_all(dir).and_then(|()| std::fs::write(dir.join(name), contents))
             {
                 eprintln!("cannot write {name}: {e}");
                 std::process::exit(1);
@@ -87,7 +90,10 @@ fn main() {
         let table = tables::table2(opts.len);
         println!(
             "{}",
-            render_transition_table("Table 2: Existing Encoding Schemes, Instruction Address Streams", &table)
+            render_transition_table(
+                "Table 2: Existing Encoding Schemes, Instruction Address Streams",
+                &table
+            )
         );
         write_csv("table2.csv", csv_transition_table(&table));
     }
@@ -95,7 +101,10 @@ fn main() {
         let table = tables::table3(opts.len);
         println!(
             "{}",
-            render_transition_table("Table 3: Existing Encoding Schemes, Data Address Streams", &table)
+            render_transition_table(
+                "Table 3: Existing Encoding Schemes, Data Address Streams",
+                &table
+            )
         );
         write_csv("table3.csv", csv_transition_table(&table));
     }
@@ -103,7 +112,10 @@ fn main() {
         let table = tables::table4(opts.len);
         println!(
             "{}",
-            render_transition_table("Table 4: Existing Encoding Schemes, Multiplexed Address Streams", &table)
+            render_transition_table(
+                "Table 4: Existing Encoding Schemes, Multiplexed Address Streams",
+                &table
+            )
         );
         write_csv("table4.csv", csv_transition_table(&table));
     }
@@ -111,7 +123,10 @@ fn main() {
         let table = tables::table5(opts.len);
         println!(
             "{}",
-            render_transition_table("Table 5: Mixed Encoding Schemes, Instruction Address Streams", &table)
+            render_transition_table(
+                "Table 5: Mixed Encoding Schemes, Instruction Address Streams",
+                &table
+            )
         );
         write_csv("table5.csv", csv_transition_table(&table));
     }
@@ -119,7 +134,10 @@ fn main() {
         let table = tables::table6(opts.len);
         println!(
             "{}",
-            render_transition_table("Table 6: Mixed Encoding Schemes, Data Address Streams", &table)
+            render_transition_table(
+                "Table 6: Mixed Encoding Schemes, Data Address Streams",
+                &table
+            )
         );
         write_csv("table6.csv", csv_transition_table(&table));
     }
@@ -127,7 +145,10 @@ fn main() {
         let table = tables::table7(opts.len);
         println!(
             "{}",
-            render_transition_table("Table 7: Mixed Encoding Schemes, Multiplexed Address Streams", &table)
+            render_transition_table(
+                "Table 7: Mixed Encoding Schemes, Multiplexed Address Streams",
+                &table
+            )
         );
         write_csv("table7.csv", csv_transition_table(&table));
     }

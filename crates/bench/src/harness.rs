@@ -1,0 +1,232 @@
+//! Minimal benchmark harness with a Criterion-compatible surface.
+//!
+//! The workspace builds offline, so the bench targets run on this
+//! self-contained timing harness instead of the external `criterion`
+//! crate. It implements exactly the subset the benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::throughput`], [`Bencher::iter`], and the
+//! [`criterion_group!`](crate::criterion_group) /
+//! [`criterion_main!`](crate::criterion_main) macros — reporting the
+//! median, minimum, and (when a throughput is declared) elements per
+//! second for each benchmark.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle; mirrors `criterion::Criterion`.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times a single benchmark function.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, None, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Declared per-iteration work, used to derive a rate.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many items per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Times one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.throughput, self.criterion.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the inner loop.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, preventing the result from being optimized away.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(id: &str, throughput: Option<Throughput>, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // One untimed warm-up pass.
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        times.push(bencher.elapsed);
+    }
+    times.sort_unstable();
+    let median = times[times.len() / 2];
+    let min = times[0];
+    let rate = throughput.map(|t| {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let per_sec = count as f64 / median.as_secs_f64().max(f64::MIN_POSITIVE);
+        format!("  thrpt: {} {unit}", humanize_rate(per_sec))
+    });
+    println!(
+        "bench {id:<44} median {:>12}  min {:>12}  ({samples} samples){}",
+        humanize_duration(median),
+        humanize_duration(min),
+        rate.unwrap_or_default()
+    );
+}
+
+fn humanize_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+fn humanize_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} k", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} ")
+    }
+}
+
+/// Defines a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::harness::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines the bench binary entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+// Let bench files import the macros alongside the types from this module.
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut runs = 0u32;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("t", |b| {
+                b.iter(|| {
+                    runs += 1;
+                });
+            });
+        // One warm-up + three samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn group_applies_throughput_without_panicking() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("inner", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn humanize_formats() {
+        assert_eq!(humanize_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(humanize_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(humanize_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(humanize_rate(2.5e6).starts_with("2.50 M"));
+    }
+}

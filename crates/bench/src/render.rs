@@ -132,7 +132,10 @@ pub fn render_power_table(title: &str, table: &CodecPowerTable, with_pads: bool)
 pub fn csv_transition_table(table: &TransitionTable) -> String {
     let mut out = String::from("benchmark,length,in_seq_percent,binary_transitions");
     for kind in &table.codes {
-        out.push_str(&format!(",{0}_transitions,{0}_savings_percent", kind.name()));
+        out.push_str(&format!(
+            ",{0}_transitions,{0}_savings_percent",
+            kind.name()
+        ));
     }
     out.push('\n');
     for row in &table.rows {

@@ -22,10 +22,10 @@ pub struct Table1Report {
 /// bus-invert on out-of-sequence and in-sequence unlimited streams, plus
 /// a Monte-Carlo verification with `cycles` simulated cycles per cell.
 pub fn table1(width: BusWidth, stride: Stride, cycles: usize) -> Table1Report {
-    use rand::{Rng, SeedableRng};
+    use buscode_core::rng::Rng64;
     let analytical = analysis::table1(width, stride);
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0x7ab1e1);
+    let mut rng = Rng64::seed_from_u64(0x7ab1e1);
     let random: Vec<Access> = (0..cycles)
         .map(|_| Access::data(rng.gen::<u64>() & width.mask()))
         .collect();
@@ -116,8 +116,7 @@ pub fn transition_table(codes: &[CodeKind], stream: StreamKind, length: usize) -
             let mut enc: Box<dyn buscode_core::Encoder> = if kind == CodeKind::Beach {
                 let addresses = accesses.iter().map(|a| a.address);
                 Box::new(
-                    buscode_core::codes::BeachCode::train(params.width, addresses)
-                        .into_encoder(),
+                    buscode_core::codes::BeachCode::train(params.width, addresses).into_encoder(),
                 )
             } else {
                 kind.encoder(params).expect("valid params")
@@ -354,8 +353,7 @@ pub fn ablation_partitioned_bus_invert(length: usize) -> Vec<(u32, f64)> {
         .map(|partitions| {
             let mut total_savings = 0.0;
             for profile in paper_benchmarks() {
-                let stream =
-                    profile.stream_with_len(StreamKind::Data, profile.length.min(length));
+                let stream = profile.stream_with_len(StreamKind::Data, profile.length.min(length));
                 let reference = binary_reference(params.width, stream.iter().copied());
                 let mut enc = BusInvertEncoder::with_partitions(params.width, partitions)
                     .expect("valid partition count");
@@ -536,10 +534,7 @@ mod tests {
     #[test]
     fn stride_ablation_peaks_at_the_machine_stride() {
         let rows = ablation_stride(TEST_LEN);
-        let best = rows
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .unwrap();
+        let best = rows.iter().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
         assert_eq!(best.0, 4, "{rows:?}");
     }
 
@@ -592,8 +587,14 @@ mod tests {
         };
         let low = &sweep[0]; // ~5% in-seq: bus-invert territory
         let high = sweep.last().unwrap(); // ~95% in-seq: T0 territory
-        assert!(get(low, "bus-invert") > get(low, "t0"), "low-locality regime");
-        assert!(get(high, "t0") > get(high, "bus-invert") + 30.0, "high-locality regime");
+        assert!(
+            get(low, "bus-invert") > get(low, "t0"),
+            "low-locality regime"
+        );
+        assert!(
+            get(high, "t0") > get(high, "bus-invert") + 30.0,
+            "high-locality regime"
+        );
         // T0 savings grow monotonically with sequentiality.
         let t0: Vec<f64> = sweep.iter().map(|p| get(p, "t0")).collect();
         for pair in t0.windows(2) {

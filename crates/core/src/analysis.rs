@@ -348,7 +348,13 @@ pub fn table1(width: BusWidth, stride: Stride) -> Vec<Table1Row> {
         n,
         seq_base,
     );
-    push(StreamClass::InSequence, "t0", t0_sequential(), n + 1.0, seq_base);
+    push(
+        StreamClass::InSequence,
+        "t0",
+        t0_sequential(),
+        n + 1.0,
+        seq_base,
+    );
     push(
         StreamClass::InSequence,
         "bus-invert",
@@ -365,7 +371,7 @@ mod tests {
     use crate::bus::Access;
     use crate::codes::{BinaryEncoder, BusInvertEncoder, GrayEncoder, T0Encoder};
     use crate::metrics::count_transitions;
-    use rand::{Rng, SeedableRng};
+    use crate::rng::Rng64;
 
     #[test]
     fn binomial_basics() {
@@ -393,7 +399,7 @@ mod tests {
     }
 
     fn random_stream(width: BusWidth, len: usize, seed: u64) -> Vec<Access> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         (0..len)
             .map(|_| Access::data(rng.gen::<u64>() & width.mask()))
             .collect()
@@ -427,7 +433,10 @@ mod tests {
     fn bus_invert_beats_binary_on_random_patterns() {
         for bits in [2u32, 8, 16, 32, 64] {
             let width = BusWidth::new(bits).unwrap();
-            assert!(bus_invert_random_exact(width) < binary_random(width), "bits {bits}");
+            assert!(
+                bus_invert_random_exact(width) < binary_random(width),
+                "bits {bits}"
+            );
         }
     }
 
@@ -445,9 +454,7 @@ mod tests {
     fn monte_carlo_confirms_sequential_models() {
         let width = BusWidth::MIPS;
         let stride = Stride::WORD;
-        let stream: Vec<Access> = (0..20_000u64)
-            .map(|i| Access::instruction(4 * i))
-            .collect();
+        let stream: Vec<Access> = (0..20_000u64).map(|i| Access::instruction(4 * i)).collect();
 
         let mut binary = BinaryEncoder::new(width);
         let b = count_transitions(&mut binary, stream.iter().copied()).per_cycle();
@@ -515,7 +522,7 @@ mod tests {
         let width = BusWidth::MIPS;
         let stride = Stride::WORD;
         let (a, b) = (0.85, 0.3);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        let mut rng = Rng64::seed_from_u64(1234);
         let masks = [0x0000_fc00u64, 0x003f_0000, 0x0003_f000, 0x00fc_0000];
         let mut addr = 0x40_0000u64;
         let mut in_run = false;
@@ -537,8 +544,7 @@ mod tests {
             mean_seq_hamming: binary_sequential(width, stride),
         };
         let mut binary = BinaryEncoder::new(width);
-        let measured_binary =
-            count_transitions(&mut binary, stream.iter().copied()).per_cycle();
+        let measured_binary = count_transitions(&mut binary, stream.iter().copied()).per_cycle();
         assert!(
             (measured_binary - model.binary_per_cycle()).abs() / measured_binary < 0.1,
             "binary: measured {measured_binary}, model {}",

@@ -1,0 +1,763 @@
+//! Exhaustive protocol model checker for encoder/decoder pairs.
+//!
+//! The dynamic tests in this crate sample traces; this module *proves*
+//! codec correctness for small buses by exhaustive product-automaton
+//! exploration. Both halves of a codec are deterministic Mealy machines,
+//! so the pair `(Encoder, Decoder)` — together with the previous bus word,
+//! which the paper's invariants refer to — forms a finite product
+//! automaton whose input alphabet is every address on the bus crossed with
+//! both `SEL` values (instruction and data). A breadth-first search from
+//! the reset state visits every reachable product state and checks, on
+//! every transition:
+//!
+//! - **Round-trip**: `decode(encode(a)) == a` — the code is a lossless
+//!   protocol (paper Sections 2–3 require every code to be invertible on
+//!   the receiver side);
+//! - **T0 freeze** (T0, T0_BI, dual T0, dual T0_BI): an asserted
+//!   `INC`/`INCV` line on an instruction cycle means the payload lines are
+//!   frozen at their previous value (paper Eq. 4/7/10/11);
+//! - **Bus-invert bound** (bus-invert, and the data branch of dual
+//!   T0_BI): the Hamming distance between consecutive bus words, counting
+//!   the redundant line, never exceeds `⌊W/2⌋ + 1` (Stan & Burleson's
+//!   defining property, paper Section 2.1).
+//!
+//! The search is budgeted ([`CheckConfig`]); codes whose reachable state
+//! space exceeds the budget (the working-zone table on wide buses) get a
+//! [`Verdict::Bounded`] — every explored transition was checked, nothing
+//! failed, but exhaustiveness was not reached. When a check fails the
+//! verdict carries a minimal [`Counterexample`] input trace replayed from
+//! reset.
+//!
+//! # Examples
+//!
+//! ```
+//! use buscode_core::check::{check_code, CheckConfig, Verdict};
+//! use buscode_core::{CodeKind, CodeParams};
+//!
+//! let params = CodeParams::new(4, 4).unwrap();
+//! let verdict = check_code(CodeKind::T0, params, &CheckConfig::default()).unwrap();
+//! assert!(matches!(verdict, Verdict::Proven { .. }));
+//! ```
+
+use core::fmt;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::hash::Hash;
+
+use crate::bus::{Access, AccessKind, BusState, BusWidth};
+use crate::codes::{
+    BeachCode, BinaryDecoder, BinaryEncoder, BusInvertDecoder, BusInvertEncoder, DualT0BiDecoder,
+    DualT0BiEncoder, DualT0Decoder, DualT0Encoder, GrayDecoder, GrayEncoder, OffsetDecoder,
+    OffsetEncoder, SelfOrganizingDecoder, SelfOrganizingEncoder, T0BiDecoder, T0BiEncoder,
+    T0Decoder, T0Encoder, T0XorDecoder, T0XorEncoder, WorkingZoneDecoder, WorkingZoneEncoder,
+};
+use crate::error::CodecError;
+use crate::traits::{CodeKind, CodeParams, Decoder, Encoder};
+
+/// Exploration budgets for [`check_code`].
+///
+/// The product automaton of a `W`-bit code has at most
+/// `|enc states| × |dec states| × 2^(W+aux)` states and `2^(W+1)` outgoing
+/// transitions per state; budgets keep pathological state spaces (the
+/// working-zone table) from running away while leaving every paper code
+/// fully provable at small widths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Stop exploring after this many distinct product states.
+    pub max_states: usize,
+    /// Stop exploring after this many checked transitions.
+    pub max_transitions: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            max_states: 1 << 21,
+            max_transitions: 16_000_000,
+        }
+    }
+}
+
+/// One input/output step of a counterexample trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The address/`SEL` pair fed to the encoder.
+    pub access: Access,
+    /// The word the encoder drove onto the bus.
+    pub word: BusState,
+    /// What the decoder recovered from that word.
+    pub decoded: Result<u64, CodecError>,
+}
+
+impl fmt::Display for TraceStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.access.kind {
+            AccessKind::Instruction => "instr",
+            AccessKind::Data => "data ",
+        };
+        write!(
+            f,
+            "{kind} {:#06x} -> payload={:#06x} aux={:#04b} -> ",
+            self.access.address, self.word.payload, self.word.aux
+        )?;
+        match &self.decoded {
+            Ok(addr) => write!(f, "{addr:#06x}"),
+            Err(e) => write!(f, "error: {e}"),
+        }
+    }
+}
+
+/// A minimal failing input trace, replayable from reset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The code that failed.
+    pub kind: CodeKind,
+    /// Which check failed (`"round-trip"`, `"t0-freeze"`, ...).
+    pub invariant: &'static str,
+    /// Human-readable description of the violation on the final step.
+    pub detail: String,
+    /// The input trace from reset; the last step is the violating one.
+    pub trace: Vec<TraceStep>,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} violates {} after {} step(s): {}",
+            self.kind,
+            self.invariant,
+            self.trace.len(),
+            self.detail
+        )?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  step {i}: {step}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a model-checking run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every reachable product state was explored and every transition
+    /// passed: the properties hold for *all* input sequences at this width.
+    Proven {
+        /// Number of distinct reachable product states.
+        states: usize,
+        /// Number of transitions checked.
+        transitions: u64,
+    },
+    /// The budget ran out first. Every explored transition passed, but
+    /// unexplored states may remain.
+    Bounded {
+        /// Number of distinct product states explored before stopping.
+        states: usize,
+        /// Number of transitions checked before stopping.
+        transitions: u64,
+    },
+    /// A check failed; the counterexample replays the failure from reset.
+    Failed(Box<Counterexample>),
+}
+
+impl Verdict {
+    /// True when no violation was found (proven or budget-bounded).
+    pub fn holds(&self) -> bool {
+        !matches!(self, Verdict::Failed(_))
+    }
+
+    /// True only for full exhaustive proofs.
+    pub fn is_proven(&self) -> bool {
+        matches!(self, Verdict::Proven { .. })
+    }
+
+    /// The counterexample, if one was found.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            Verdict::Failed(ce) => Some(ce),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Proven {
+                states,
+                transitions,
+            } => write!(f, "proven ({states} states, {transitions} transitions)"),
+            Verdict::Bounded {
+                states,
+                transitions,
+            } => write!(
+                f,
+                "no violation within budget ({states} states, {transitions} transitions)"
+            ),
+            Verdict::Failed(ce) => write!(f, "FAILED: {ce}"),
+        }
+    }
+}
+
+/// The per-transition invariant check: given the previous bus word, the
+/// word just driven, and the access that produced it, return a violation
+/// description or `None`.
+type Invariant = fn(BusState, BusState, Access, BusWidth) -> Option<(&'static str, String)>;
+
+fn no_invariant(
+    _: BusState,
+    _: BusState,
+    _: Access,
+    _: BusWidth,
+) -> Option<(&'static str, String)> {
+    None
+}
+
+/// T0 / T0_BI: `INC` asserted means the payload lines are frozen.
+fn t0_freeze(
+    prev: BusState,
+    word: BusState,
+    _: Access,
+    _: BusWidth,
+) -> Option<(&'static str, String)> {
+    if word.aux & 1 == 1 && word.payload != prev.payload {
+        return Some((
+            "t0-freeze",
+            format!(
+                "INC asserted but payload changed {:#x} -> {:#x}",
+                prev.payload, word.payload
+            ),
+        ));
+    }
+    None
+}
+
+/// Dual T0: the freeze only applies on instruction (`SEL = 1`) cycles —
+/// and the encoder never asserts `INC` on data cycles at all.
+fn dual_t0_freeze(
+    prev: BusState,
+    word: BusState,
+    access: Access,
+    _: BusWidth,
+) -> Option<(&'static str, String)> {
+    if word.aux & 1 == 1 {
+        if access.kind == AccessKind::Data {
+            return Some((
+                "dual-t0-sel-gating",
+                "INC asserted on a data (SEL=0) cycle".to_string(),
+            ));
+        }
+        if word.payload != prev.payload {
+            return Some((
+                "t0-freeze",
+                format!(
+                    "INC asserted but payload changed {:#x} -> {:#x}",
+                    prev.payload, word.payload
+                ),
+            ));
+        }
+    }
+    None
+}
+
+/// Bus-invert: consecutive bus words (payload plus the `INV` line) differ
+/// in at most `⌊W/2⌋ + 1` positions.
+fn bus_invert_bound(
+    prev: BusState,
+    word: BusState,
+    _: Access,
+    width: BusWidth,
+) -> Option<(&'static str, String)> {
+    let bound = width.bits() / 2 + 1;
+    let got = word.transitions_from(prev);
+    if got > bound {
+        return Some((
+            "bus-invert-bound",
+            format!("{got} line transitions exceed the bound {bound}"),
+        ));
+    }
+    None
+}
+
+/// Dual T0_BI: the single shared `INCV` line is a T0 freeze when `SEL = 1`
+/// and a bus-invert flag when `SEL = 0`; the data branch also inherits the
+/// bus-invert transition bound.
+fn dual_t0_bi_invariant(
+    prev: BusState,
+    word: BusState,
+    access: Access,
+    width: BusWidth,
+) -> Option<(&'static str, String)> {
+    match access.kind {
+        AccessKind::Instruction => {
+            if word.aux & 1 == 1 && word.payload != prev.payload {
+                return Some((
+                    "t0-freeze",
+                    format!(
+                        "INCV asserted with SEL=1 but payload changed {:#x} -> {:#x}",
+                        prev.payload, word.payload
+                    ),
+                ));
+            }
+        }
+        AccessKind::Data => {
+            if word.aux & 1 == 1 && word.payload != width.invert(access.address & width.mask()) {
+                return Some((
+                    "incv-inversion",
+                    format!(
+                        "INCV asserted with SEL=0 but payload {:#x} is not the inverted address",
+                        word.payload
+                    ),
+                ));
+            }
+            return bus_invert_bound(prev, word, access, width);
+        }
+    }
+    None
+}
+
+/// T0_BI: `INC` freeze plus a (looser) transition bound on non-frozen
+/// cycles — the encoder minimizes over plain/inverted against two
+/// redundant lines, so the bound is `⌊W/2⌋ + 2`.
+fn t0_bi_invariant(
+    prev: BusState,
+    word: BusState,
+    access: Access,
+    width: BusWidth,
+) -> Option<(&'static str, String)> {
+    if let Some(v) = t0_freeze(prev, word, access, width) {
+        return Some(v);
+    }
+    if word.aux & 1 == 0 {
+        let bound = width.bits() / 2 + 2;
+        let got = word.transitions_from(prev);
+        if got > bound {
+            return Some((
+                "t0-bi-bound",
+                format!("{got} line transitions exceed the bound {bound}"),
+            ));
+        }
+    }
+    None
+}
+
+/// Product-automaton state: both codec halves plus the last bus word (the
+/// invariants are relations between consecutive words).
+type State<E, D> = (E, D, BusState);
+
+struct Exploration<E, D> {
+    states: Vec<State<E, D>>,
+    /// `(parent state index, input)` for every state except the root.
+    parents: Vec<(usize, Access)>,
+    transitions: u64,
+}
+
+/// Breadth-first exhaustive exploration of one codec pair.
+fn explore<E, D>(
+    kind: CodeKind,
+    params: CodeParams,
+    encoder: E,
+    decoder: D,
+    invariant: Invariant,
+    config: &CheckConfig,
+) -> Verdict
+where
+    E: Encoder + Clone + Eq + Hash,
+    D: Decoder + Clone + Eq + Hash,
+{
+    let width = params.width;
+    let mask = width.mask();
+    let alphabet: Vec<Access> = (0..=mask)
+        .flat_map(|a| [Access::instruction(a), Access::data(a)])
+        .collect();
+
+    let root: State<E, D> = (encoder.clone(), decoder.clone(), BusState::reset());
+    let mut exploration = Exploration {
+        states: vec![root.clone()],
+        parents: vec![(usize::MAX, Access::instruction(0))],
+        transitions: 0,
+    };
+    let mut seen: HashMap<State<E, D>, usize> = HashMap::new();
+    seen.insert(root, 0);
+    let mut frontier: VecDeque<usize> = VecDeque::from([0]);
+
+    while let Some(index) = frontier.pop_front() {
+        for &access in &alphabet {
+            if exploration.transitions >= config.max_transitions
+                || exploration.states.len() >= config.max_states
+            {
+                return Verdict::Bounded {
+                    states: exploration.states.len(),
+                    transitions: exploration.transitions,
+                };
+            }
+            exploration.transitions += 1;
+            let (mut enc, mut dec, prev_word) = exploration.states[index].clone();
+            let word = enc.encode(access);
+            let decoded = dec.decode(word, access.kind);
+            let round_trip_ok = decoded.as_ref().is_ok_and(|&a| a == access.address & mask);
+            if !round_trip_ok {
+                let detail = match &decoded {
+                    Ok(addr) => format!("decoded {addr:#x}, expected {:#x}", access.address & mask),
+                    Err(e) => format!("decoder rejected a conforming word: {e}"),
+                };
+                return fail(
+                    kind,
+                    "round-trip",
+                    detail,
+                    &exploration,
+                    index,
+                    access,
+                    &encoder,
+                    &decoder,
+                );
+            }
+            if let Some((name, detail)) = invariant(prev_word, word, access, width) {
+                return fail(
+                    kind,
+                    name,
+                    detail,
+                    &exploration,
+                    index,
+                    access,
+                    &encoder,
+                    &decoder,
+                );
+            }
+            let next: State<E, D> = (enc, dec, word);
+            if !seen.contains_key(&next) {
+                let id = exploration.states.len();
+                seen.insert(next.clone(), id);
+                exploration.states.push(next);
+                exploration.parents.push((index, access));
+                frontier.push_back(id);
+            }
+        }
+    }
+    Verdict::Proven {
+        states: exploration.states.len(),
+        transitions: exploration.transitions,
+    }
+}
+
+/// Builds the counterexample for a violation on `access` out of state
+/// `index` by walking the BFS parent chain back to reset, then replaying
+/// the inputs through fresh codec halves.
+#[allow(clippy::too_many_arguments)]
+fn fail<E, D>(
+    kind: CodeKind,
+    invariant: &'static str,
+    detail: String,
+    exploration: &Exploration<E, D>,
+    index: usize,
+    access: Access,
+    encoder: &E,
+    decoder: &D,
+) -> Verdict
+where
+    E: Encoder + Clone,
+    D: Decoder + Clone,
+{
+    let mut inputs = vec![access];
+    let mut at = index;
+    while at != 0 {
+        let (parent, input) = exploration.parents[at];
+        inputs.push(input);
+        at = parent;
+    }
+    inputs.reverse();
+    let mut enc = encoder.clone();
+    let mut dec = decoder.clone();
+    let trace = inputs
+        .into_iter()
+        .map(|access| {
+            let word = enc.encode(access);
+            let decoded = dec.decode(word, access.kind);
+            TraceStep {
+                access,
+                word,
+                decoded,
+            }
+        })
+        .collect();
+    Verdict::Failed(Box::new(Counterexample {
+        kind,
+        invariant,
+        detail,
+        trace,
+    }))
+}
+
+/// Model-checks one code at the given parameters.
+///
+/// Builds the same encoder/decoder pair as [`CodeKind::encoder`] /
+/// [`CodeKind::decoder`] and explores the full product automaton (within
+/// `config`'s budgets), checking the round-trip property on every
+/// transition plus the code's own invariants (see the module docs).
+///
+/// # Errors
+///
+/// Returns [`CodecError::InvalidParameter`] for widths above 16 bits (the
+/// state space is exponential in the width; the paper invariants are
+/// checked at width ≤ 8) and propagates constructor errors.
+pub fn check_code(
+    kind: CodeKind,
+    params: CodeParams,
+    config: &CheckConfig,
+) -> Result<Verdict, CodecError> {
+    if params.width.bits() > 16 {
+        return Err(CodecError::InvalidParameter {
+            name: "width",
+            reason: "exhaustive checking requires width <= 16 bits",
+        });
+    }
+    let w = params.width;
+    let s = params.stride;
+    Ok(match kind {
+        CodeKind::Binary => explore(
+            kind,
+            params,
+            BinaryEncoder::new(w),
+            BinaryDecoder::new(w),
+            no_invariant,
+            config,
+        ),
+        CodeKind::Gray => explore(
+            kind,
+            params,
+            GrayEncoder::new(w, s)?,
+            GrayDecoder::new(w, s)?,
+            no_invariant,
+            config,
+        ),
+        CodeKind::BusInvert => explore(
+            kind,
+            params,
+            BusInvertEncoder::new(w),
+            BusInvertDecoder::new(w),
+            bus_invert_bound,
+            config,
+        ),
+        CodeKind::T0 => explore(
+            kind,
+            params,
+            T0Encoder::new(w, s)?,
+            T0Decoder::new(w, s)?,
+            t0_freeze,
+            config,
+        ),
+        CodeKind::T0Bi => explore(
+            kind,
+            params,
+            T0BiEncoder::new(w, s)?,
+            T0BiDecoder::new(w, s)?,
+            t0_bi_invariant,
+            config,
+        ),
+        CodeKind::DualT0 => explore(
+            kind,
+            params,
+            DualT0Encoder::new(w, s)?,
+            DualT0Decoder::new(w, s)?,
+            dual_t0_freeze,
+            config,
+        ),
+        CodeKind::DualT0Bi => explore(
+            kind,
+            params,
+            DualT0BiEncoder::new(w, s)?,
+            DualT0BiDecoder::new(w, s)?,
+            dual_t0_bi_invariant,
+            config,
+        ),
+        CodeKind::T0Xor => explore(
+            kind,
+            params,
+            T0XorEncoder::new(w, s)?,
+            T0XorDecoder::new(w, s)?,
+            no_invariant,
+            config,
+        ),
+        CodeKind::Offset => explore(
+            kind,
+            params,
+            OffsetEncoder::new(w),
+            OffsetDecoder::new(w),
+            no_invariant,
+            config,
+        ),
+        CodeKind::WorkingZone => explore(
+            kind,
+            params,
+            WorkingZoneEncoder::new(w, s, 4)?,
+            WorkingZoneDecoder::new(w, s, 4)?,
+            no_invariant,
+            config,
+        ),
+        CodeKind::Beach => explore(
+            kind,
+            params,
+            BeachCode::identity(w).into_encoder(),
+            BeachCode::identity(w).into_decoder(),
+            no_invariant,
+            config,
+        ),
+        CodeKind::SelfOrganizing => {
+            // Mirror the CodeKind factory's geometry scaling.
+            let low_bits = 8.min(w.bits() - 1);
+            let entries = 16.min(w.bits() - low_bits);
+            explore(
+                kind,
+                params,
+                SelfOrganizingEncoder::new(w, low_bits, entries)?,
+                SelfOrganizingDecoder::new(w, low_bits, entries)?,
+                no_invariant,
+                config,
+            )
+        }
+    })
+}
+
+/// Model-checks every [`CodeKind`] at the given parameters.
+///
+/// # Errors
+///
+/// Propagates the first [`check_code`] error (invalid parameters).
+pub fn check_all(
+    params: CodeParams,
+    config: &CheckConfig,
+) -> Result<Vec<(CodeKind, Verdict)>, CodecError> {
+    CodeKind::all()
+        .into_iter()
+        .map(|kind| Ok((kind, check_code(kind, params, config)?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(bits: u32) -> CodeParams {
+        CodeParams::new(bits, 4.min(1 << (bits - 1))).unwrap()
+    }
+
+    #[test]
+    fn every_code_proven_at_width_3() {
+        let p = CodeParams::new(3, 2).unwrap();
+        for (kind, verdict) in check_all(p, &CheckConfig::default()).unwrap() {
+            assert!(verdict.holds(), "{kind}: {verdict}");
+            assert!(verdict.is_proven(), "{kind}: {verdict}");
+        }
+    }
+
+    #[test]
+    fn t0_proven_at_width_4() {
+        let verdict = check_code(CodeKind::T0, params(4), &CheckConfig::default()).unwrap();
+        match verdict {
+            Verdict::Proven {
+                states,
+                transitions,
+            } => {
+                assert!(states > 1);
+                assert!(transitions >= states as u64);
+            }
+            other => panic!("expected proven, got {other}"),
+        }
+    }
+
+    #[test]
+    fn budget_yields_bounded_not_failure() {
+        let tight = CheckConfig {
+            max_states: 4,
+            max_transitions: 100,
+        };
+        let verdict = check_code(CodeKind::T0, params(8), &tight).unwrap();
+        assert!(matches!(verdict, Verdict::Bounded { .. }), "{verdict}");
+        assert!(verdict.holds());
+    }
+
+    #[test]
+    fn wide_buses_are_rejected() {
+        let err = check_code(
+            CodeKind::Binary,
+            CodeParams::new(32, 4).unwrap(),
+            &CheckConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CodecError::InvalidParameter { .. }));
+    }
+
+    /// A deliberately broken encoder must produce a counterexample whose
+    /// replayed trace reproduces the violation — exercised through the
+    /// generic explorer directly.
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct LyingEncoder {
+        width: BusWidth,
+        count: u8,
+    }
+
+    impl Encoder for LyingEncoder {
+        fn name(&self) -> &'static str {
+            "lying"
+        }
+        fn width(&self) -> BusWidth {
+            self.width
+        }
+        fn aux_line_count(&self) -> u32 {
+            0
+        }
+        fn encode(&mut self, access: Access) -> BusState {
+            self.count = self.count.wrapping_add(1);
+            // Corrupt the third word.
+            let payload = if self.count == 3 {
+                (access.address ^ 1) & self.width.mask()
+            } else {
+                access.address & self.width.mask()
+            };
+            BusState::new(payload, 0)
+        }
+        fn reset(&mut self) {
+            self.count = 0;
+        }
+    }
+
+    #[test]
+    fn counterexample_replays_from_reset() {
+        let p = CodeParams::new(3, 1).unwrap();
+        let verdict = explore(
+            CodeKind::Binary,
+            p,
+            LyingEncoder {
+                width: p.width,
+                count: 0,
+            },
+            BinaryDecoder::new(p.width),
+            no_invariant,
+            &CheckConfig::default(),
+        );
+        let ce = verdict.counterexample().expect("must fail");
+        assert_eq!(ce.invariant, "round-trip");
+        assert_eq!(ce.trace.len(), 3);
+        let last = ce.trace.last().unwrap();
+        assert_ne!(
+            last.decoded.as_ref().copied().unwrap(),
+            last.access.address & p.width.mask()
+        );
+        // The display form mentions the failing code and step count.
+        let text = ce.to_string();
+        assert!(text.contains("round-trip"));
+        assert!(text.contains("step 2"));
+    }
+
+    #[test]
+    fn bus_invert_bound_is_tight_at_width_8() {
+        // The checker must accept the real encoder (bound floor(W/2)+1)…
+        let verdict = check_code(CodeKind::BusInvert, params(8), &CheckConfig::default()).unwrap();
+        assert!(verdict.is_proven(), "{verdict}");
+        // …and the invariant itself must reject a distance above the bound.
+        let w = BusWidth::new(8).unwrap();
+        let prev = BusState::new(0x00, 0);
+        let far = BusState::new(0xff, 1);
+        assert!(bus_invert_bound(prev, far, Access::data(0xff), w).is_some());
+    }
+}

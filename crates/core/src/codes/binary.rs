@@ -23,7 +23,7 @@ use crate::traits::{Decoder, Encoder};
 /// assert_eq!(word.payload, 0xbeef);
 /// assert_eq!(word.aux, 0);
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct BinaryEncoder {
     width: BusWidth,
 }
@@ -56,7 +56,7 @@ impl Encoder for BinaryEncoder {
 }
 
 /// The identity decoder paired with [`BinaryEncoder`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct BinaryDecoder {
     width: BusWidth,
 }

@@ -39,7 +39,7 @@ use crate::traits::{Decoder, Encoder};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct DualT0BiEncoder {
     width: BusWidth,
     stride: Stride,
@@ -118,7 +118,7 @@ impl Encoder for DualT0BiEncoder {
 /// `SEL` disambiguates the shared `INCV` line: asserted with `SEL = 1` it
 /// means "previous instruction address plus stride", asserted with
 /// `SEL = 0` it means "payload is inverted".
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct DualT0BiDecoder {
     width: BusWidth,
     stride: Stride,
@@ -179,7 +179,7 @@ impl Decoder for DualT0BiDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use crate::rng::Rng64;
 
     fn codec() -> (DualT0BiEncoder, DualT0BiDecoder) {
         (
@@ -193,7 +193,7 @@ mod tests {
         use crate::codes::DualT0Encoder;
         let (mut enc, _) = codec();
         let mut dual = DualT0Encoder::new(BusWidth::MIPS, Stride::WORD).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let mut rng = Rng64::seed_from_u64(41);
         let mut addr = 0x100u64;
         for _ in 0..1000 {
             addr = if rng.gen_bool(0.8) {
@@ -264,7 +264,7 @@ mod tests {
     #[test]
     fn round_trip_muxed_stream() {
         let (mut enc, mut dec) = codec();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let mut rng = Rng64::seed_from_u64(43);
         let mut iaddr = 0x4000u64;
         let mut daddr = 0x8000_0000u64;
         for _ in 0..10_000 {

@@ -18,7 +18,7 @@ use crate::error::CodecError;
 use crate::traits::{Decoder, Encoder};
 
 /// Shared geometry and list state.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 struct SolState {
     width: BusWidth,
     /// Number of low-order offset bits transmitted in binary.
@@ -101,7 +101,7 @@ impl SolState {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct SelfOrganizingEncoder {
     state: SolState,
 }
@@ -153,7 +153,7 @@ impl Encoder for SelfOrganizingEncoder {
 
 /// The decoder paired with [`SelfOrganizingEncoder`]; maintains the same
 /// move-to-front list from the decoded traffic alone.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct SelfOrganizingDecoder {
     state: SolState,
 }
@@ -215,7 +215,7 @@ impl Decoder for SelfOrganizingDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use crate::rng::Rng64;
 
     fn codec() -> (SelfOrganizingEncoder, SelfOrganizingDecoder) {
         (
@@ -240,7 +240,7 @@ mod tests {
         let (mut enc, _) = codec();
         enc.encode(Access::data(0x1111_0000)); // zone A (front)
         enc.encode(Access::data(0x2222_0000)); // zone B (front, A second)
-        // Hit zone A at position 1; it moves to front.
+                                               // Hit zone A at position 1; it moves to front.
         let w = enc.encode(Access::data(0x1111_0004));
         assert_eq!(w.payload >> 8, 0b10);
         // Next hit on A is at position 0.
@@ -284,7 +284,7 @@ mod tests {
     #[test]
     fn round_trip_zoned_workload() {
         let (mut enc, mut dec) = codec();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(91);
+        let mut rng = Rng64::seed_from_u64(91);
         let zones: Vec<u64> = (0..24).map(|i| 0x4000_0000 + (i << 17)).collect();
         for _ in 0..5000 {
             let addr = if rng.gen_bool(0.9) {
@@ -301,9 +301,13 @@ mod tests {
     fn decoder_rejects_malformed_hits() {
         let (_, mut dec) = codec();
         // Non-one-hot position field.
-        assert!(dec.decode(BusState::new(0b11 << 8, 1), AccessKind::Data).is_err());
+        assert!(dec
+            .decode(BusState::new(0b11 << 8, 1), AccessKind::Data)
+            .is_err());
         // Position beyond the (empty) list.
-        assert!(dec.decode(BusState::new(1 << 8, 1), AccessKind::Data).is_err());
+        assert!(dec
+            .decode(BusState::new(1 << 8, 1), AccessKind::Data)
+            .is_err());
     }
 
     #[test]

@@ -40,7 +40,7 @@ use crate::traits::{Decoder, Encoder};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct T0Encoder {
     width: BusWidth,
     stride: Stride,
@@ -108,7 +108,7 @@ impl Encoder for T0Encoder {
 ///
 /// Tracks the last decoded address; an asserted `INC` line reproduces
 /// `previous + S` locally without reading the frozen payload lines.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct T0Decoder {
     width: BusWidth,
     stride: Stride,
@@ -162,7 +162,7 @@ impl Decoder for T0Decoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use crate::rng::Rng64;
 
     fn codec() -> (T0Encoder, T0Decoder) {
         (
@@ -228,7 +228,7 @@ mod tests {
     #[test]
     fn round_trip_mixed_stream() {
         let (mut enc, mut dec) = codec();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = Rng64::seed_from_u64(11);
         let mut addr = 0x1000u64;
         for _ in 0..5000 {
             if rng.gen_bool(0.7) {
@@ -260,7 +260,10 @@ mod tests {
         let err = dec
             .decode(BusState::new(0, 1), AccessKind::Instruction)
             .unwrap_err();
-        assert!(matches!(err, CodecError::ProtocolViolation { code: "t0", .. }));
+        assert!(matches!(
+            err,
+            CodecError::ProtocolViolation { code: "t0", .. }
+        ));
     }
 
     #[test]

@@ -39,7 +39,7 @@ use crate::traits::{Decoder, Encoder};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct T0XorEncoder {
     width: BusWidth,
     stride: Stride,
@@ -77,7 +77,9 @@ impl Encoder for T0XorEncoder {
 
     fn encode(&mut self, access: Access) -> BusState {
         let b = access.address & self.width.mask();
-        let predicted = self.width.wrapping_add(self.prev_address, self.stride.get());
+        let predicted = self
+            .width
+            .wrapping_add(self.prev_address, self.stride.get());
         self.prev_address = b;
         BusState::new(b ^ predicted, 0)
     }
@@ -88,7 +90,7 @@ impl Encoder for T0XorEncoder {
 }
 
 /// The decoder paired with [`T0XorEncoder`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct T0XorDecoder {
     width: BusWidth,
     stride: Stride,
@@ -121,7 +123,9 @@ impl Decoder for T0XorDecoder {
     }
 
     fn decode(&mut self, word: BusState, _kind: AccessKind) -> Result<u64, CodecError> {
-        let predicted = self.width.wrapping_add(self.prev_address, self.stride.get());
+        let predicted = self
+            .width
+            .wrapping_add(self.prev_address, self.stride.get());
         let address = (word.payload ^ predicted) & self.width.mask();
         self.prev_address = address;
         Ok(address)
@@ -135,7 +139,7 @@ impl Decoder for T0XorDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use crate::rng::Rng64;
 
     fn codec() -> (T0XorEncoder, T0XorDecoder) {
         (
@@ -164,7 +168,7 @@ mod tests {
     #[test]
     fn round_trip_random_stream() {
         let (mut enc, mut dec) = codec();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+        let mut rng = Rng64::seed_from_u64(53);
         for _ in 0..5000 {
             let addr = rng.gen::<u64>() & BusWidth::MIPS.mask();
             let word = enc.encode(Access::data(addr));

@@ -40,7 +40,7 @@ fn validate_zones(zones: u32) -> Result<(), CodecError> {
 }
 
 /// Shared zone bookkeeping for encoder and decoder.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 struct ZoneTable {
     width: BusWidth,
     stride: Stride,
@@ -100,7 +100,7 @@ impl ZoneTable {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct WorkingZoneEncoder {
     zones: ZoneTable,
     zone_bits: u32,
@@ -156,7 +156,7 @@ impl Encoder for WorkingZoneEncoder {
 }
 
 /// The decoder paired with [`WorkingZoneEncoder`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct WorkingZoneDecoder {
     zones: ZoneTable,
     zone_bits: u32,
@@ -196,16 +196,12 @@ impl Decoder for WorkingZoneDecoder {
                 });
             }
             let zone = ((word.aux >> 1) & ((1u64 << self.zone_bits) - 1)) as usize;
-            let base = self
-                .zones
-                .bases
-                .get(zone)
-                .copied()
-                .flatten()
-                .ok_or(CodecError::ProtocolViolation {
+            let base = self.zones.bases.get(zone).copied().flatten().ok_or(
+                CodecError::ProtocolViolation {
                     code: "working-zone",
                     reason: "hit on an uninitialized zone",
-                })?;
+                },
+            )?;
             let offset = u64::from(word.payload.trailing_zeros());
             Ok(self
                 .zones
@@ -226,7 +222,7 @@ impl Decoder for WorkingZoneDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use crate::rng::Rng64;
 
     fn codec(zones: u32) -> (WorkingZoneEncoder, WorkingZoneDecoder) {
         (
@@ -288,7 +284,7 @@ mod tests {
     #[test]
     fn round_trip_zoned_workload() {
         let (mut enc, mut dec) = codec(4);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(67);
+        let mut rng = Rng64::seed_from_u64(67);
         let zones = [0x1000u64, 0x8000, 0x4_0000, 0xffff_0000];
         for _ in 0..5000 {
             let zone = zones[rng.gen_range(0..zones.len())];
@@ -323,7 +319,9 @@ mod tests {
     #[test]
     fn decoder_rejects_hit_on_empty_zone() {
         let (_, mut dec) = codec(4);
-        let err = dec.decode(BusState::new(1, 1), AccessKind::Data).unwrap_err();
+        let err = dec
+            .decode(BusState::new(1, 1), AccessKind::Data)
+            .unwrap_err();
         assert!(matches!(err, CodecError::ProtocolViolation { .. }));
     }
 

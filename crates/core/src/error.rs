@@ -98,11 +98,27 @@ mod tests {
     fn display_is_lowercase_without_trailing_punctuation() {
         let cases: Vec<CodecError> = vec![
             CodecError::InvalidWidth { bits: 65 },
-            CodecError::InvalidStride { stride: 3, width: 32 },
-            CodecError::AddressOutOfRange { address: 0x1_0000_0000, width: 32 },
-            CodecError::ProtocolViolation { code: "t0", reason: "inc asserted on first cycle" },
-            CodecError::RoundTripMismatch { cycle: 7, expected: 1, decoded: 2 },
-            CodecError::InvalidParameter { name: "zones", reason: "must be nonzero" },
+            CodecError::InvalidStride {
+                stride: 3,
+                width: 32,
+            },
+            CodecError::AddressOutOfRange {
+                address: 0x1_0000_0000,
+                width: 32,
+            },
+            CodecError::ProtocolViolation {
+                code: "t0",
+                reason: "inc asserted on first cycle",
+            },
+            CodecError::RoundTripMismatch {
+                cycle: 7,
+                expected: 1,
+                decoded: 2,
+            },
+            CodecError::InvalidParameter {
+                name: "zones",
+                reason: "must be nonzero",
+            },
         ];
         for err in cases {
             let msg = err.to_string();

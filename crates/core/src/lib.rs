@@ -55,9 +55,11 @@
 
 pub mod analysis;
 mod bus;
+pub mod check;
 pub mod codes;
 mod error;
 pub mod metrics;
+pub mod rng;
 pub mod stream;
 mod traits;
 

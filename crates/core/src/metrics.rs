@@ -253,10 +253,7 @@ pub struct CodeReport {
 ///
 /// Encoders are reset before evaluation. The stream is buffered internally
 /// so it can be replayed per code.
-pub fn compare_codes(
-    encoders: &mut [Box<dyn Encoder>],
-    stream: &[Access],
-) -> Vec<CodeReport> {
+pub fn compare_codes(encoders: &mut [Box<dyn Encoder>], stream: &[Access]) -> Vec<CodeReport> {
     let reference = if let Some(first) = encoders.first() {
         binary_reference(first.width(), stream.iter().copied())
     } else {
@@ -283,7 +280,9 @@ mod tests {
     use crate::{BusWidth, Stride};
 
     fn seq_stream(n: u64) -> Vec<Access> {
-        (0..n).map(|i| Access::instruction(0x1000 + 4 * i)).collect()
+        (0..n)
+            .map(|i| Access::instruction(0x1000 + 4 * i))
+            .collect()
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! Small deterministic pseudo-random number generator.
+//!
+//! The workspace must build offline, so instead of pulling in an external
+//! RNG crate the few places that need randomness (synthetic trace
+//! generators, randomized tests, benchmark inputs) use this SplitMix64
+//! generator. The API mirrors the subset of `rand` the codebase used —
+//! [`Rng64::seed_from_u64`], [`Rng64::gen`], [`Rng64::gen_bool`],
+//! [`Rng64::gen_range`] — so call sites read identically.
+//!
+//! SplitMix64 is a tiny, statistically solid 64-bit mixer (it seeds
+//! xoshiro in the reference implementations); perfect reproducibility per
+//! seed is the property the crate actually relies on.
+//!
+//! # Examples
+//!
+//! ```
+//! use buscode_core::rng::Rng64;
+//!
+//! let mut rng = Rng64::seed_from_u64(42);
+//! let a: u64 = rng.gen();
+//! let coin = rng.gen_bool(0.5);
+//! let die = rng.gen_range(1..=6);
+//! assert!((1..=6).contains(&die));
+//! // Same seed, same stream.
+//! let mut again = Rng64::seed_from_u64(42);
+//! assert_eq!(a, again.gen::<u64>());
+//! let _ = (coin, again.gen_bool(0.5), again.gen_range(1..=6));
+//! ```
+
+use core::ops::{Range, RangeInclusive};
+
+/// Deterministic SplitMix64 generator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed. Equal seeds produce equal
+    /// streams.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 top bits → the full double mantissa range.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Samples a uniform value of a primitive type (`uN`, `iN`, `usize`,
+    /// `bool`, or `f64` in `[0, 1)`).
+    pub fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Samples uniformly from a half-open (`a..b`) or inclusive (`a..=b`)
+    /// integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Returns a uniform value in `[0, bound)`; `bound` must be nonzero.
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire multiply-shift; bias is < 2^-64 per call, irrelevant for
+        // trace synthesis and tests.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Types [`Rng64::gen`] can produce.
+pub trait FromRng: Sized {
+    /// Draws one uniform value.
+    fn from_rng(rng: &mut Rng64) -> Self;
+}
+
+macro_rules! impl_from_rng_uint {
+    ($($t:ty),*) => {$(
+        impl FromRng for $t {
+            fn from_rng(rng: &mut Rng64) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_from_rng_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FromRng for bool {
+    fn from_rng(rng: &mut Rng64) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl FromRng for f64 {
+    fn from_rng(rng: &mut Rng64) -> Self {
+        rng.next_f64()
+    }
+}
+
+/// Integer types [`Rng64::gen_range`] can sample over.
+pub trait UniformInt: Copy {
+    /// `end - start` as an unsigned span (two's-complement wrapping).
+    fn span(start: Self, end: Self) -> u64;
+    /// `start + offset` (two's-complement wrapping).
+    fn offset(start: Self, offset: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn span(start: Self, end: Self) -> u64 {
+                (end as u64).wrapping_sub(start as u64)
+            }
+            fn offset(start: Self, offset: u64) -> Self {
+                (start as u64).wrapping_add(offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range shapes accepted by [`Rng64::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut Rng64) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut Rng64) -> T {
+        let span = T::span(self.start, self.end);
+        assert!(span > 0, "gen_range called with an empty range");
+        T::offset(self.start, rng.below(span))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut Rng64) -> T {
+        let (start, end) = self.into_inner();
+        let span = T::span(start, end);
+        if span == u64::MAX {
+            // Full domain of a 64-bit type.
+            return T::offset(start, rng.next_u64());
+        }
+        T::offset(start, rng.below(span + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = Rng64::seed_from_u64(7);
+        let mut b = Rng64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = Rng64::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = Rng64::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = Rng64::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!((2..8).contains(&rng.gen_range(2u64..8)));
+            assert!((2..=8).contains(&rng.gen_range(2i64..=8)));
+            let neg = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut rng = Rng64::seed_from_u64(4);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn full_u64_inclusive_range() {
+        let mut rng = Rng64::seed_from_u64(5);
+        // Must not overflow or panic.
+        let _: u64 = rng.gen_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn gen_is_uniformish_for_bool() {
+        let mut rng = Rng64::seed_from_u64(6);
+        let trues = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_000..6_000).contains(&trues), "{trues}");
+    }
+}

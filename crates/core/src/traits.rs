@@ -120,11 +120,7 @@ impl<D: Decoder + ?Sized> Decoder for Box<D> {
         (**self).width()
     }
 
-    fn decode(
-        &mut self,
-        word: BusState,
-        kind: crate::AccessKind,
-    ) -> Result<u64, CodecError> {
+    fn decode(&mut self, word: BusState, kind: crate::AccessKind) -> Result<u64, CodecError> {
         (**self).decode(word, kind)
     }
 

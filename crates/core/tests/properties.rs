@@ -1,28 +1,41 @@
-//! Property-based tests over every code: round-trip correctness, invariant
-//! bounds, and reset semantics, on arbitrary widths, strides and streams.
+//! Randomized property tests over every code: round-trip correctness,
+//! invariant bounds, and reset semantics, on arbitrary widths, strides and
+//! streams. Each property runs against a deterministic seeded sweep of
+//! random cases, so failures are reproducible from the iteration index.
 
 use buscode_core::codes::BeachCode;
 use buscode_core::metrics::{binary_reference, count_transitions, verify_round_trip};
+use buscode_core::rng::Rng64;
 use buscode_core::{Access, AccessKind, BusState, BusWidth, CodeKind, CodeParams, Stride};
-use proptest::prelude::*;
 
-/// A strategy producing a valid (width, stride) pair.
-fn params_strategy() -> impl Strategy<Value = CodeParams> {
-    (1u32..=64, 0u32..6).prop_filter_map("stride must fit width", |(bits, k)| {
-        let width = BusWidth::new(bits).ok()?;
-        let stride = Stride::new(1u64 << k, width).ok()?;
-        Some(CodeParams { width, stride })
-    })
+const CASES: u64 = 64;
+
+/// Draws a valid (width, stride) pair.
+fn random_params(rng: &mut Rng64) -> CodeParams {
+    loop {
+        let bits = rng.gen_range(1u32..=64);
+        let k = rng.gen_range(0u32..6);
+        let Ok(width) = BusWidth::new(bits) else {
+            continue;
+        };
+        let Ok(stride) = Stride::new(1u64 << k, width) else {
+            continue;
+        };
+        return CodeParams { width, stride };
+    }
 }
 
 /// Expands raw move descriptors into a realistic mixed stream: sequential
 /// runs, local jumps, repeats, far jumps, and interleaved data accesses.
-fn build_stream(params: CodeParams, start: u64, moves: &[(u8, u64, bool)]) -> Vec<Access> {
+fn random_stream(rng: &mut Rng64, params: CodeParams) -> Vec<Access> {
     let mask = params.width.mask();
     let stride = params.stride.get();
-    let mut addr = start & mask;
-    let mut out = Vec::with_capacity(moves.len());
-    for &(kind, jump, is_data) in moves {
+    let mut addr = rng.gen::<u64>() & mask;
+    let len = rng.gen_range(1usize..200);
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        let kind = rng.gen_range(0u8..10);
+        let jump = rng.gen::<u64>();
         addr = match kind {
             // 60%: in-sequence step.
             0..=5 => addr.wrapping_add(stride) & mask,
@@ -33,7 +46,7 @@ fn build_stream(params: CodeParams, start: u64, moves: &[(u8, u64, bool)]) -> Ve
             // 10%: arbitrary far jump.
             _ => jump & mask,
         };
-        out.push(if is_data {
+        out.push(if rng.gen::<bool>() {
             Access::data(addr)
         } else {
             Access::instruction(addr)
@@ -42,64 +55,74 @@ fn build_stream(params: CodeParams, start: u64, moves: &[(u8, u64, bool)]) -> Ve
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// decode(encode(stream)) == stream, for every code, width, stride.
-    #[test]
-    fn every_code_round_trips(
-        params in params_strategy(),
-        start in any::<u64>(),
-        moves in prop::collection::vec((0u8..10, any::<u64>(), prop::bool::ANY), 1..200),
-    ) {
-        let stream = build_stream(params, start, &moves);
+/// decode(encode(stream)) == stream, for every code, width, stride.
+#[test]
+fn every_code_round_trips() {
+    let mut rng = Rng64::seed_from_u64(0xc0de_0001);
+    for case in 0..CASES {
+        let params = random_params(&mut rng);
+        let stream = random_stream(&mut rng, params);
         for kind in CodeKind::all() {
             let mut enc = kind.encoder(params).unwrap();
             let mut dec = kind.decoder(params).unwrap();
             let result = verify_round_trip(enc.as_mut(), dec.as_mut(), stream.iter().copied());
-            prop_assert!(result.is_ok(), "{kind}: {:?}", result.err());
+            assert!(result.is_ok(), "case {case}, {kind}: {:?}", result.err());
         }
     }
+}
 
-    /// Resetting both halves restores exact reproducibility.
-    #[test]
-    fn reset_restores_initial_behaviour(params in params_strategy()) {
+/// Resetting both halves restores exact reproducibility.
+#[test]
+fn reset_restores_initial_behaviour() {
+    let mut rng = Rng64::seed_from_u64(0xc0de_0002);
+    for case in 0..CASES {
+        let params = random_params(&mut rng);
         let stream: Vec<Access> = (0..50u64)
             .map(|i| Access::instruction((0x40 + params.stride.get() * i) & params.width.mask()))
             .collect();
         for kind in CodeKind::all() {
             let mut enc = kind.encoder(params).unwrap();
-            let first: Vec<BusState> =
-                stream.iter().map(|&a| enc.encode(a)).collect();
+            let first: Vec<BusState> = stream.iter().map(|&a| enc.encode(a)).collect();
             enc.reset();
-            let second: Vec<BusState> =
-                stream.iter().map(|&a| enc.encode(a)).collect();
-            prop_assert_eq!(&first, &second, "{}", kind);
+            let second: Vec<BusState> = stream.iter().map(|&a| enc.encode(a)).collect();
+            assert_eq!(first, second, "case {case}, {kind}");
         }
     }
+}
 
-    /// Bus-invert never toggles more than floor(N/2) + 1 lines per cycle.
-    #[test]
-    fn bus_invert_transition_bound(
-        bits in 1u32..=64,
-        addrs in prop::collection::vec(any::<u64>(), 1..300),
-    ) {
+/// Bus-invert never toggles more than floor(N/2) + 1 lines per cycle.
+#[test]
+fn bus_invert_transition_bound() {
+    let mut rng = Rng64::seed_from_u64(0xc0de_0003);
+    for case in 0..CASES {
+        let bits = rng.gen_range(1u32..=64);
         let width = BusWidth::new(bits).unwrap();
         let mut enc = CodeKind::BusInvert
-            .encoder(CodeParams { width, stride: Stride::UNIT })
+            .encoder(CodeParams {
+                width,
+                stride: Stride::UNIT,
+            })
             .unwrap();
         let mut prev = BusState::reset();
-        for addr in addrs {
-            let word = enc.encode(Access::data(addr & width.mask()));
-            prop_assert!(word.transitions_from(prev) <= bits / 2 + 1);
+        for _ in 0..rng.gen_range(1usize..300) {
+            let word = enc.encode(Access::data(rng.gen::<u64>() & width.mask()));
+            assert!(
+                word.transitions_from(prev) <= bits / 2 + 1,
+                "case {case}, width {bits}"
+            );
             prev = word;
         }
     }
+}
 
-    /// On a pure in-sequence run every sequential code beats or matches
-    /// binary, and T0-family codes emit (almost) nothing.
-    #[test]
-    fn sequential_codes_win_on_runs(params in params_strategy(), start in any::<u64>()) {
+/// On a pure in-sequence run every sequential code beats or matches
+/// binary, and T0-family codes emit (almost) nothing.
+#[test]
+fn sequential_codes_win_on_runs() {
+    let mut rng = Rng64::seed_from_u64(0xc0de_0004);
+    for case in 0..CASES {
+        let params = random_params(&mut rng);
+        let start = rng.gen::<u64>();
         let stream: Vec<Access> = (0..200u64)
             .map(|i| {
                 Access::instruction(
@@ -108,59 +131,74 @@ proptest! {
             })
             .collect();
         let binary = binary_reference(params.width, stream.iter().copied());
-        for kind in [CodeKind::T0, CodeKind::DualT0, CodeKind::T0Bi, CodeKind::DualT0Bi] {
+        for kind in [
+            CodeKind::T0,
+            CodeKind::DualT0,
+            CodeKind::T0Bi,
+            CodeKind::DualT0Bi,
+        ] {
             let mut enc = kind.encoder(params).unwrap();
             let stats = count_transitions(enc.as_mut(), stream.iter().copied());
             // At most the initial drive plus the INC assertion.
-            prop_assert!(
+            assert!(
                 stats.total() <= u64::from(params.width.bits()) + 2,
-                "{kind}: {} transitions", stats.total()
+                "case {case}, {kind}: {} transitions",
+                stats.total()
             );
-            prop_assert!(stats.total() <= binary.total() + 2, "{kind}");
+            assert!(stats.total() <= binary.total() + 2, "case {case}, {kind}");
         }
     }
+}
 
-    /// Gray coding costs exactly one transition per in-sequence address.
-    #[test]
-    fn gray_costs_one_per_sequential_step(
-        params in params_strategy(),
-        start in any::<u64>(),
-    ) {
+/// Gray coding costs exactly one transition per in-sequence address.
+#[test]
+fn gray_costs_one_per_sequential_step() {
+    let mut rng = Rng64::seed_from_u64(0xc0de_0005);
+    for case in 0..CASES {
+        let params = random_params(&mut rng);
+        let start = rng.gen::<u64>();
         let mut enc = CodeKind::Gray.encoder(params).unwrap();
         let mask = params.width.mask();
         let mut prev = enc.encode(Access::instruction(start & mask));
         for i in 1..100u64 {
             let addr = start.wrapping_add(params.stride.get() * i) & mask;
             let word = enc.encode(Access::instruction(addr));
-            prop_assert_eq!(word.transitions_from(prev), 1);
+            assert_eq!(word.transitions_from(prev), 1, "case {case}, step {i}");
             prev = word;
         }
     }
+}
 
-    /// A trained Beach transform is always invertible, whatever the
-    /// training stream.
-    #[test]
-    fn beach_training_is_always_invertible(
-        bits in 1u32..=64,
-        profile in prop::collection::vec(any::<u64>(), 0..200),
-        probes in prop::collection::vec(any::<u64>(), 1..100),
-    ) {
+/// A trained Beach transform is always invertible, whatever the
+/// training stream.
+#[test]
+fn beach_training_is_always_invertible() {
+    let mut rng = Rng64::seed_from_u64(0xc0de_0006);
+    for case in 0..CASES {
+        let bits = rng.gen_range(1u32..=64);
         let width = BusWidth::new(bits).unwrap();
+        let profile: Vec<u64> = (0..rng.gen_range(0usize..200))
+            .map(|_| rng.gen::<u64>())
+            .collect();
         let code = BeachCode::train(width, profile.iter().copied());
         let mut enc = code.clone().into_encoder();
         let mut dec = code.into_decoder();
-        for probe in probes {
-            let addr = probe & width.mask();
+        for _ in 0..rng.gen_range(1usize..100) {
+            let addr = rng.gen::<u64>() & width.mask();
             let word = buscode_core::Encoder::encode(&mut enc, Access::data(addr));
             let back = buscode_core::Decoder::decode(&mut dec, word, AccessKind::Data).unwrap();
-            prop_assert_eq!(back, addr);
+            assert_eq!(back, addr, "case {case}, width {bits}");
         }
     }
+}
 
-    /// Total transitions are invariant under re-running the same encoder
-    /// after reset (determinism), for interleaved muxed streams.
-    #[test]
-    fn transition_counts_are_deterministic(params in params_strategy()) {
+/// Total transitions are invariant under re-running the same encoder
+/// after reset (determinism), for interleaved muxed streams.
+#[test]
+fn transition_counts_are_deterministic() {
+    let mut rng = Rng64::seed_from_u64(0xc0de_0007);
+    for case in 0..CASES {
+        let params = random_params(&mut rng);
         let mask = params.width.mask();
         let stream: Vec<Access> = (0..120u64)
             .map(|i| {
@@ -176,7 +214,7 @@ proptest! {
             let a = count_transitions(enc.as_mut(), stream.iter().copied());
             enc.reset();
             let b = count_transitions(enc.as_mut(), stream.iter().copied());
-            prop_assert_eq!(a, b, "{}", kind);
+            assert_eq!(a, b, "case {case}, {kind}");
         }
     }
 }

@@ -694,10 +694,7 @@ mod tests {
 
     #[test]
     fn labels_resolve_forward_and_backward() {
-        let p = assemble(
-            "main:\n beq zero, zero, end\nloop:\n j loop\nend:\n halt\n",
-        )
-        .unwrap();
+        let p = assemble("main:\n beq zero, zero, end\nloop:\n j loop\nend:\n halt\n").unwrap();
         let end = p.label("end").unwrap();
         assert_eq!(
             p.text[&DEFAULT_TEXT_BASE],
@@ -713,10 +710,8 @@ mod tests {
 
     #[test]
     fn sections_and_word_data() {
-        let p = assemble(
-            ".data 0x10000000\nvec: .word 1, 2, 0x10\n.text 0x00400000\nmain: halt\n",
-        )
-        .unwrap();
+        let p = assemble(".data 0x10000000\nvec: .word 1, 2, 0x10\n.text 0x00400000\nmain: halt\n")
+            .unwrap();
         assert_eq!(p.label("vec").unwrap(), 0x1000_0000);
         assert_eq!(p.data[&0x1000_0000], 1);
         assert_eq!(p.data[&0x1000_0004], 2);
@@ -754,11 +749,19 @@ mod tests {
 
     #[test]
     fn la_expands_to_lui_ori() {
-        let p = assemble(".data\nv: .word 9\n.text\nmain:\n la s0, v\n li t0, -3\n move t1, t0\n halt\n")
-            .unwrap();
+        let p = assemble(
+            ".data\nv: .word 9\n.text\nmain:\n la s0, v\n li t0, -3\n move t1, t0\n halt\n",
+        )
+        .unwrap();
         let instrs: Vec<&Instr> = p.text.values().collect();
         assert_eq!(instrs.len(), 5); // la is two words
-        assert_eq!(*instrs[0], Instr::Lui { rt: Reg::new(16), imm: 0x1000 });
+        assert_eq!(
+            *instrs[0],
+            Instr::Lui {
+                rt: Reg::new(16),
+                imm: 0x1000
+            }
+        );
         assert_eq!(
             *instrs[1],
             Instr::Ori {
@@ -782,7 +785,13 @@ mod tests {
         let p = assemble("main:\n li t0, 0x12345678\n halt\n").unwrap();
         let instrs: Vec<&Instr> = p.text.values().collect();
         assert_eq!(instrs.len(), 3);
-        assert_eq!(*instrs[0], Instr::Lui { rt: Reg::new(8), imm: 0x1234 });
+        assert_eq!(
+            *instrs[0],
+            Instr::Lui {
+                rt: Reg::new(8),
+                imm: 0x1234
+            }
+        );
         assert_eq!(
             *instrs[1],
             Instr::Ori {
@@ -862,7 +871,9 @@ mod tests {
         let p = assemble("main:\n j 0x00400000\n").unwrap();
         assert_eq!(
             p.text[&DEFAULT_TEXT_BASE],
-            Instr::J { target: 0x0040_0000 }
+            Instr::J {
+                target: 0x0040_0000
+            }
         );
     }
 }

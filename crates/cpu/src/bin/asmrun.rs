@@ -24,8 +24,7 @@ fn usage() -> &'static str {
 }
 
 fn load(path: &str) -> Result<Program, String> {
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     assemble(&source).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -113,8 +112,7 @@ fn main_inner() -> Result<(), String> {
             report(&machine, outcome.steps, &outcome.trace, regs);
             if let Some(path) = trace_path.as_deref() {
                 let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
-                write_trace(file, outcome.trace.muxed())
-                    .map_err(|e| format!("{path}: {e}"))?;
+                write_trace(file, outcome.trace.muxed()).map_err(|e| format!("{path}: {e}"))?;
                 println!("trace written to {path}");
             }
             Ok(())

@@ -56,13 +56,19 @@ impl fmt::Display for EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EncodeError::ImmediateOutOfRange { mnemonic, value } => {
-                write!(f, "immediate {value} does not fit `{mnemonic}`'s 16-bit field")
+                write!(
+                    f,
+                    "immediate {value} does not fit `{mnemonic}`'s 16-bit field"
+                )
             }
             EncodeError::BranchOutOfRange { pc, target } => {
                 write!(f, "branch at {pc:#x} cannot reach {target:#x}")
             }
             EncodeError::JumpOutOfRegion { pc, target } => {
-                write!(f, "jump at {pc:#x} cannot reach {target:#x} in another region")
+                write!(
+                    f,
+                    "jump at {pc:#x} cannot reach {target:#x} in another region"
+                )
             }
             EncodeError::MisalignedTarget { target } => {
                 write!(f, "control-flow target {target:#x} is not word-aligned")
@@ -305,19 +311,70 @@ pub fn decode_instr(word: u32, pc: u64) -> Result<Instr, DecodeError> {
             _ => return Err(DecodeError::UnknownInstruction { word }),
         },
         OP_SPECIAL2 if funct == 0x02 => Instr::Mul { rd, rs, rt },
-        OP_ADDI => Instr::Addi { rt, rs, imm: sext16(word) },
-        OP_SLTI => Instr::Slti { rt, rs, imm: sext16(word) },
-        OP_ANDI => Instr::Andi { rt, rs, imm: word & 0xffff },
-        OP_ORI => Instr::Ori { rt, rs, imm: word & 0xffff },
-        OP_LUI => Instr::Lui { rt, imm: word & 0xffff },
-        OP_LW => Instr::Lw { rt, rs, offset: sext16(word) },
-        OP_SW => Instr::Sw { rt, rs, offset: sext16(word) },
-        OP_LB => Instr::Lb { rt, rs, offset: sext16(word) },
-        OP_SB => Instr::Sb { rt, rs, offset: sext16(word) },
-        OP_BEQ => Instr::Beq { rs, rt, target: branch_target(pc, word) },
-        OP_BNE => Instr::Bne { rs, rt, target: branch_target(pc, word) },
-        OP_BLT => Instr::Blt { rs, rt, target: branch_target(pc, word) },
-        OP_BGE => Instr::Bge { rs, rt, target: branch_target(pc, word) },
+        OP_ADDI => Instr::Addi {
+            rt,
+            rs,
+            imm: sext16(word),
+        },
+        OP_SLTI => Instr::Slti {
+            rt,
+            rs,
+            imm: sext16(word),
+        },
+        OP_ANDI => Instr::Andi {
+            rt,
+            rs,
+            imm: word & 0xffff,
+        },
+        OP_ORI => Instr::Ori {
+            rt,
+            rs,
+            imm: word & 0xffff,
+        },
+        OP_LUI => Instr::Lui {
+            rt,
+            imm: word & 0xffff,
+        },
+        OP_LW => Instr::Lw {
+            rt,
+            rs,
+            offset: sext16(word),
+        },
+        OP_SW => Instr::Sw {
+            rt,
+            rs,
+            offset: sext16(word),
+        },
+        OP_LB => Instr::Lb {
+            rt,
+            rs,
+            offset: sext16(word),
+        },
+        OP_SB => Instr::Sb {
+            rt,
+            rs,
+            offset: sext16(word),
+        },
+        OP_BEQ => Instr::Beq {
+            rs,
+            rt,
+            target: branch_target(pc, word),
+        },
+        OP_BNE => Instr::Bne {
+            rs,
+            rt,
+            target: branch_target(pc, word),
+        },
+        OP_BLT => Instr::Blt {
+            rs,
+            rt,
+            target: branch_target(pc, word),
+        },
+        OP_BGE => Instr::Bge {
+            rs,
+            rt,
+            target: branch_target(pc, word),
+        },
         OP_J => Instr::J {
             target: ((pc + 4) & 0xffff_ffff_f000_0000) | u64::from((word & 0x03ff_ffff) << 2),
         },
@@ -367,14 +424,30 @@ mod tests {
     #[test]
     fn i_type_round_trips() {
         let (rt, rs) = (Reg::new(9), Reg::new(29));
-        round_trip(Instr::Addi { rt, rs, imm: -32768 });
+        round_trip(Instr::Addi {
+            rt,
+            rs,
+            imm: -32768,
+        });
         round_trip(Instr::Addi { rt, rs, imm: 32767 });
         round_trip(Instr::Slti { rt, rs, imm: -1 });
-        round_trip(Instr::Andi { rt, rs, imm: 0xffff });
-        round_trip(Instr::Ori { rt, rs, imm: 0xabcd });
+        round_trip(Instr::Andi {
+            rt,
+            rs,
+            imm: 0xffff,
+        });
+        round_trip(Instr::Ori {
+            rt,
+            rs,
+            imm: 0xabcd,
+        });
         round_trip(Instr::Lui { rt, imm: 0x1000 });
         round_trip(Instr::Lw { rt, rs, offset: -4 });
-        round_trip(Instr::Sw { rt, rs, offset: 128 });
+        round_trip(Instr::Sw {
+            rt,
+            rs,
+            offset: 128,
+        });
         round_trip(Instr::Lb { rt, rs, offset: 0 });
         round_trip(Instr::Sb { rt, rs, offset: 7 });
     }
@@ -382,12 +455,28 @@ mod tests {
     #[test]
     fn control_flow_round_trips() {
         let (rs, rt) = (Reg::new(8), Reg::ZERO);
-        round_trip(Instr::Beq { rs, rt, target: PC + 4 });
-        round_trip(Instr::Bne { rs, rt, target: PC - 400 });
-        round_trip(Instr::Blt { rs, rt, target: PC + 0x1_0000 });
+        round_trip(Instr::Beq {
+            rs,
+            rt,
+            target: PC + 4,
+        });
+        round_trip(Instr::Bne {
+            rs,
+            rt,
+            target: PC - 400,
+        });
+        round_trip(Instr::Blt {
+            rs,
+            rt,
+            target: PC + 0x1_0000,
+        });
         round_trip(Instr::Bge { rs, rt, target: PC });
-        round_trip(Instr::J { target: 0x0400_0000 });
-        round_trip(Instr::Jal { target: 0x0040_0000 });
+        round_trip(Instr::J {
+            target: 0x0400_0000,
+        });
+        round_trip(Instr::Jal {
+            target: 0x0040_0000,
+        });
         round_trip(Instr::Nop);
         round_trip(Instr::Halt);
     }
@@ -397,14 +486,26 @@ mod tests {
         // Spot checks against the MIPS-I manual.
         assert_eq!(
             encode_instr(
-                &Instr::Add { rd: Reg::new(1), rs: Reg::new(2), rt: Reg::new(3) },
+                &Instr::Add {
+                    rd: Reg::new(1),
+                    rs: Reg::new(2),
+                    rt: Reg::new(3)
+                },
                 PC
             )
             .unwrap(),
             0x0043_0820
         );
         assert_eq!(
-            encode_instr(&Instr::Lw { rt: Reg::new(8), rs: Reg::new(29), offset: 4 }, PC).unwrap(),
+            encode_instr(
+                &Instr::Lw {
+                    rt: Reg::new(8),
+                    rs: Reg::new(29),
+                    offset: 4
+                },
+                PC
+            )
+            .unwrap(),
             0x8fa8_0004
         );
         assert_eq!(encode_instr(&Instr::Nop, PC).unwrap(), 0);
@@ -413,13 +514,21 @@ mod tests {
     #[test]
     fn immediate_range_checked() {
         let err = encode_instr(
-            &Instr::Addi { rt: Reg::new(1), rs: Reg::ZERO, imm: 0x1_0000 },
+            &Instr::Addi {
+                rt: Reg::new(1),
+                rs: Reg::ZERO,
+                imm: 0x1_0000,
+            },
             PC,
         )
         .unwrap_err();
         assert!(matches!(err, EncodeError::ImmediateOutOfRange { .. }));
         assert!(encode_instr(
-            &Instr::Ori { rt: Reg::new(1), rs: Reg::ZERO, imm: 0x10_000 },
+            &Instr::Ori {
+                rt: Reg::new(1),
+                rs: Reg::ZERO,
+                imm: 0x10_000
+            },
             PC
         )
         .is_err());
@@ -428,13 +537,23 @@ mod tests {
     #[test]
     fn branch_range_checked() {
         let far = PC + 4 + 4 * (1 << 15); // one past the reach
-        let err =
-            encode_instr(&Instr::Beq { rs: Reg::ZERO, rt: Reg::ZERO, target: far }, PC)
-                .unwrap_err();
+        let err = encode_instr(
+            &Instr::Beq {
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                target: far,
+            },
+            PC,
+        )
+        .unwrap_err();
         assert!(matches!(err, EncodeError::BranchOutOfRange { .. }));
         let just_inside = PC + 4 + 4 * ((1 << 15) - 1);
         assert!(encode_instr(
-            &Instr::Beq { rs: Reg::ZERO, rt: Reg::ZERO, target: just_inside },
+            &Instr::Beq {
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                target: just_inside
+            },
             PC
         )
         .is_ok());
@@ -442,7 +561,13 @@ mod tests {
 
     #[test]
     fn jump_region_checked() {
-        let err = encode_instr(&Instr::J { target: 0x1000_0000 }, PC).unwrap_err();
+        let err = encode_instr(
+            &Instr::J {
+                target: 0x1000_0000,
+            },
+            PC,
+        )
+        .unwrap_err();
         assert!(matches!(err, EncodeError::JumpOutOfRegion { .. }));
     }
 
@@ -453,7 +578,14 @@ mod tests {
             Err(EncodeError::MisalignedTarget { .. })
         ));
         assert!(matches!(
-            encode_instr(&Instr::Bne { rs: Reg::ZERO, rt: Reg::ZERO, target: PC + 6 }, PC),
+            encode_instr(
+                &Instr::Bne {
+                    rs: Reg::ZERO,
+                    rt: Reg::ZERO,
+                    target: PC + 6
+                },
+                PC
+            ),
             Err(EncodeError::MisalignedTarget { .. })
         ));
     }
@@ -467,7 +599,11 @@ mod tests {
     #[test]
     fn disassembler_output() {
         let word = encode_instr(
-            &Instr::Addi { rt: Reg::new(8), rs: Reg::ZERO, imm: 5 },
+            &Instr::Addi {
+                rt: Reg::new(8),
+                rs: Reg::ZERO,
+                imm: 5,
+            },
             PC,
         )
         .unwrap();

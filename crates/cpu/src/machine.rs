@@ -260,29 +260,19 @@ impl Machine {
         trace.accesses.push(Access::instruction(self.pc));
         let mut next_pc = self.pc + 4;
         match instr {
-            Instr::Add { rd, rs, rt } => {
-                self.set_reg(rd, self.reg(rs).wrapping_add(self.reg(rt)))
-            }
-            Instr::Sub { rd, rs, rt } => {
-                self.set_reg(rd, self.reg(rs).wrapping_sub(self.reg(rt)))
-            }
-            Instr::Mul { rd, rs, rt } => {
-                self.set_reg(rd, self.reg(rs).wrapping_mul(self.reg(rt)))
-            }
+            Instr::Add { rd, rs, rt } => self.set_reg(rd, self.reg(rs).wrapping_add(self.reg(rt))),
+            Instr::Sub { rd, rs, rt } => self.set_reg(rd, self.reg(rs).wrapping_sub(self.reg(rt))),
+            Instr::Mul { rd, rs, rt } => self.set_reg(rd, self.reg(rs).wrapping_mul(self.reg(rt))),
             Instr::And { rd, rs, rt } => self.set_reg(rd, self.reg(rs) & self.reg(rt)),
             Instr::Or { rd, rs, rt } => self.set_reg(rd, self.reg(rs) | self.reg(rt)),
             Instr::Xor { rd, rs, rt } => self.set_reg(rd, self.reg(rs) ^ self.reg(rt)),
             Instr::Slt { rd, rs, rt } => {
                 self.set_reg(rd, u32::from((self.reg(rs) as i32) < (self.reg(rt) as i32)))
             }
-            Instr::Addi { rt, rs, imm } => {
-                self.set_reg(rt, self.reg(rs).wrapping_add(imm as u32))
-            }
+            Instr::Addi { rt, rs, imm } => self.set_reg(rt, self.reg(rs).wrapping_add(imm as u32)),
             Instr::Andi { rt, rs, imm } => self.set_reg(rt, self.reg(rs) & imm),
             Instr::Ori { rt, rs, imm } => self.set_reg(rt, self.reg(rs) | imm),
-            Instr::Slti { rt, rs, imm } => {
-                self.set_reg(rt, u32::from((self.reg(rs) as i32) < imm))
-            }
+            Instr::Slti { rt, rs, imm } => self.set_reg(rt, u32::from((self.reg(rs) as i32) < imm)),
             Instr::Lui { rt, imm } => self.set_reg(rt, imm << 16),
             Instr::Sll { rd, rt, shamt } => self.set_reg(rd, self.reg(rt) << (shamt & 31)),
             Instr::Srl { rd, rt, shamt } => self.set_reg(rd, self.reg(rt) >> (shamt & 31)),
@@ -455,7 +445,10 @@ mod tests {
         let stats = StreamStats::measure(muxed, Stride::WORD);
         assert!(stats.data_count >= 20);
         assert!(stats.kind_switches >= 40);
-        assert_eq!(out.trace.instruction().len() + out.trace.data().len(), muxed.len());
+        assert_eq!(
+            out.trace.instruction().len() + out.trace.data().len(),
+            muxed.len()
+        );
     }
 
     #[test]
@@ -472,7 +465,11 @@ mod tests {
         // own instructions. This one replaces an `addi t1, zero, 1` with
         // `addi t1, zero, 2` before executing it.
         let patch = crate::encode_instr(
-            &Instr::Addi { rt: Reg::new(9), rs: Reg::ZERO, imm: 2 },
+            &Instr::Addi {
+                rt: Reg::new(9),
+                rs: Reg::ZERO,
+                imm: 2,
+            },
             0,
         )
         .unwrap();
@@ -503,7 +500,13 @@ mod tests {
         .unwrap();
         let mut m = Machine::new(program);
         let err = m.run(100).unwrap_err();
-        assert!(matches!(err, ExecError::InvalidInstruction { word: 0xfc00_0000, .. }));
+        assert!(matches!(
+            err,
+            ExecError::InvalidInstruction {
+                word: 0xfc00_0000,
+                ..
+            }
+        ));
     }
 
     #[test]

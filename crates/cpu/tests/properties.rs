@@ -1,141 +1,206 @@
-//! Property-based tests for the CPU substrate: binary encode/decode
-//! round-trips, assembler robustness, and machine invariants.
+//! Randomized property tests for the CPU substrate: binary encode/decode
+//! round-trips, assembler robustness, and machine invariants, drawn from
+//! seeded deterministic generators.
 
+use buscode_core::rng::Rng64;
 use buscode_cpu::{assemble, decode_instr, disassemble, encode_instr, Instr, Machine, Reg};
-use proptest::prelude::*;
 
-fn reg_strategy() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(Reg::new)
+fn random_reg(rng: &mut Rng64) -> Reg {
+    Reg::new(rng.gen_range(0u8..32))
 }
 
 /// Random instructions with field values that are always encodable at the
 /// given pc.
-fn instr_strategy(pc: u64) -> impl Strategy<Value = Instr> {
-    let r = reg_strategy;
-    prop_oneof![
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Add { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Sub { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Mul { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::And { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Or { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Xor { rd, rs, rt }),
-        (r(), r(), r()).prop_map(|(rd, rs, rt)| Instr::Slt { rd, rs, rt }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Instr::Addi {
-            rt,
-            rs,
-            imm: i32::from(imm)
-        }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, imm)| Instr::Slti {
-            rt,
-            rs,
-            imm: i32::from(imm)
-        }),
-        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Instr::Andi {
-            rt,
-            rs,
-            imm: u32::from(imm)
-        }),
-        (r(), r(), any::<u16>()).prop_map(|(rt, rs, imm)| Instr::Ori {
-            rt,
-            rs,
-            imm: u32::from(imm)
-        }),
-        (r(), any::<u16>()).prop_map(|(rt, imm)| Instr::Lui { rt, imm: u32::from(imm) }),
-        (r(), r(), 1u8..32).prop_map(|(rd, rt, shamt)| Instr::Sll { rd, rt, shamt }),
-        (r(), r(), 1u8..32).prop_map(|(rd, rt, shamt)| Instr::Srl { rd, rt, shamt }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, offset)| Instr::Lw {
-            rt,
-            rs,
-            offset: i32::from(offset)
-        }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, offset)| Instr::Sw {
-            rt,
-            rs,
-            offset: i32::from(offset)
-        }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, offset)| Instr::Lb {
-            rt,
-            rs,
-            offset: i32::from(offset)
-        }),
-        (r(), r(), any::<i16>()).prop_map(|(rt, rs, offset)| Instr::Sb {
-            rt,
-            rs,
-            offset: i32::from(offset)
-        }),
-        (r(), r(), -1000i64..1000).prop_map(move |(rs, rt, delta)| Instr::Beq {
-            rs,
-            rt,
-            target: (pc as i64 + 4 + 4 * delta) as u64
-        }),
-        (r(), r(), -1000i64..1000).prop_map(move |(rs, rt, delta)| Instr::Bne {
-            rs,
-            rt,
-            target: (pc as i64 + 4 + 4 * delta) as u64
-        }),
-        (r(), r(), -1000i64..1000).prop_map(move |(rs, rt, delta)| Instr::Blt {
-            rs,
-            rt,
-            target: (pc as i64 + 4 + 4 * delta) as u64
-        }),
-        (r(), r(), -1000i64..1000).prop_map(move |(rs, rt, delta)| Instr::Bge {
-            rs,
-            rt,
-            target: (pc as i64 + 4 + 4 * delta) as u64
-        }),
-        (0u64..(1 << 24)).prop_map(move |words| Instr::J {
-            target: ((pc + 4) & 0xf000_0000) | (words * 4)
-        }),
-        (0u64..(1 << 24)).prop_map(move |words| Instr::Jal {
-            target: ((pc + 4) & 0xf000_0000) | (words * 4)
-        }),
-        r().prop_map(|rs| Instr::Jr { rs }),
-        Just(Instr::Halt),
-    ]
+fn random_instr(rng: &mut Rng64, pc: u64) -> Instr {
+    let branch_target =
+        |rng: &mut Rng64| (pc as i64 + 4 + 4 * rng.gen_range(-1000i64..1000)) as u64;
+    let jump_target =
+        |rng: &mut Rng64| ((pc + 4) & 0xf000_0000) | (rng.gen_range(0u64..(1 << 24)) * 4);
+    match rng.gen_range(0u8..26) {
+        0 => Instr::Add {
+            rd: random_reg(rng),
+            rs: random_reg(rng),
+            rt: random_reg(rng),
+        },
+        1 => Instr::Sub {
+            rd: random_reg(rng),
+            rs: random_reg(rng),
+            rt: random_reg(rng),
+        },
+        2 => Instr::Mul {
+            rd: random_reg(rng),
+            rs: random_reg(rng),
+            rt: random_reg(rng),
+        },
+        3 => Instr::And {
+            rd: random_reg(rng),
+            rs: random_reg(rng),
+            rt: random_reg(rng),
+        },
+        4 => Instr::Or {
+            rd: random_reg(rng),
+            rs: random_reg(rng),
+            rt: random_reg(rng),
+        },
+        5 => Instr::Xor {
+            rd: random_reg(rng),
+            rs: random_reg(rng),
+            rt: random_reg(rng),
+        },
+        6 => Instr::Slt {
+            rd: random_reg(rng),
+            rs: random_reg(rng),
+            rt: random_reg(rng),
+        },
+        7 => Instr::Addi {
+            rt: random_reg(rng),
+            rs: random_reg(rng),
+            imm: i32::from(rng.gen::<i16>()),
+        },
+        8 => Instr::Slti {
+            rt: random_reg(rng),
+            rs: random_reg(rng),
+            imm: i32::from(rng.gen::<i16>()),
+        },
+        9 => Instr::Andi {
+            rt: random_reg(rng),
+            rs: random_reg(rng),
+            imm: u32::from(rng.gen::<u16>()),
+        },
+        10 => Instr::Ori {
+            rt: random_reg(rng),
+            rs: random_reg(rng),
+            imm: u32::from(rng.gen::<u16>()),
+        },
+        11 => Instr::Lui {
+            rt: random_reg(rng),
+            imm: u32::from(rng.gen::<u16>()),
+        },
+        12 => Instr::Sll {
+            rd: random_reg(rng),
+            rt: random_reg(rng),
+            shamt: rng.gen_range(1u8..32),
+        },
+        13 => Instr::Srl {
+            rd: random_reg(rng),
+            rt: random_reg(rng),
+            shamt: rng.gen_range(1u8..32),
+        },
+        14 => Instr::Lw {
+            rt: random_reg(rng),
+            rs: random_reg(rng),
+            offset: i32::from(rng.gen::<i16>()),
+        },
+        15 => Instr::Sw {
+            rt: random_reg(rng),
+            rs: random_reg(rng),
+            offset: i32::from(rng.gen::<i16>()),
+        },
+        16 => Instr::Lb {
+            rt: random_reg(rng),
+            rs: random_reg(rng),
+            offset: i32::from(rng.gen::<i16>()),
+        },
+        17 => Instr::Sb {
+            rt: random_reg(rng),
+            rs: random_reg(rng),
+            offset: i32::from(rng.gen::<i16>()),
+        },
+        18 => Instr::Beq {
+            rs: random_reg(rng),
+            rt: random_reg(rng),
+            target: branch_target(rng),
+        },
+        19 => Instr::Bne {
+            rs: random_reg(rng),
+            rt: random_reg(rng),
+            target: branch_target(rng),
+        },
+        20 => Instr::Blt {
+            rs: random_reg(rng),
+            rt: random_reg(rng),
+            target: branch_target(rng),
+        },
+        21 => Instr::Bge {
+            rs: random_reg(rng),
+            rt: random_reg(rng),
+            target: branch_target(rng),
+        },
+        22 => Instr::J {
+            target: jump_target(rng),
+        },
+        23 => Instr::Jal {
+            target: jump_target(rng),
+        },
+        24 => Instr::Jr {
+            rs: random_reg(rng),
+        },
+        _ => Instr::Halt,
+    }
 }
 
-proptest! {
-    /// Binary round-trip: decode(encode(i)) == i for any encodable
-    /// instruction.
-    #[test]
-    fn encode_decode_round_trips(
-        pc_words in 0x10_0000u64..0x20_0000,
-        instr in instr_strategy(0x0040_0000),
-    ) {
-        // The strategy generates targets relative to a fixed pc; encode at
-        // that same pc (pc_words drives an independent second check below).
-        let pc = 0x0040_0000u64;
-        let word = encode_instr(&instr, pc).expect("strategy yields encodable instrs");
+/// Binary round-trip: decode(encode(i)) == i for any encodable
+/// instruction.
+#[test]
+fn encode_decode_round_trips() {
+    let mut rng = Rng64::seed_from_u64(0xc2_0001);
+    let pc = 0x0040_0000u64;
+    for case in 0..512 {
+        let instr = random_instr(&mut rng, pc);
+        let word = encode_instr(&instr, pc).expect("generator yields encodable instrs");
         let back = decode_instr(word, pc).expect("round trip decodes");
-        prop_assert_eq!(back, instr);
-        let _ = pc_words;
+        assert_eq!(back, instr, "case {case}");
     }
+}
 
-    /// The disassembler never panics on arbitrary words, and valid words
-    /// disassemble to the instruction's own display form.
-    #[test]
-    fn disassembler_total(word in any::<u32>()) {
+/// The disassembler never panics on arbitrary words, and valid words
+/// disassemble to the instruction's own display form.
+#[test]
+fn disassembler_total() {
+    let mut rng = Rng64::seed_from_u64(0xc2_0002);
+    for case in 0..2048 {
+        let word = rng.gen::<u32>();
         let text = disassemble(word, 0x0040_0000);
-        prop_assert!(!text.is_empty());
+        assert!(!text.is_empty(), "case {case}");
         if let Ok(instr) = decode_instr(word, 0x0040_0000) {
-            prop_assert_eq!(text, instr.to_string());
+            assert_eq!(text, instr.to_string(), "case {case}");
         } else {
-            prop_assert!(text.starts_with(".word"));
+            assert!(text.starts_with(".word"), "case {case}");
         }
     }
+}
 
-    /// The assembler is total: arbitrary input may fail with an error but
-    /// never panics.
-    #[test]
-    fn assembler_never_panics(source in "[ -~\n]{0,400}") {
+/// The assembler is total: arbitrary printable input may fail with an
+/// error but never panics.
+#[test]
+fn assembler_never_panics() {
+    let mut rng = Rng64::seed_from_u64(0xc2_0003);
+    for _ in 0..256 {
+        let len = rng.gen_range(0usize..400);
+        let source: String = (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.1) {
+                    '\n'
+                } else {
+                    // Printable ASCII, space through tilde.
+                    char::from(rng.gen_range(0x20u8..0x7f))
+                }
+            })
+            .collect();
         let _ = assemble(&source);
     }
+}
 
-    /// Assembling always yields a runnable machine or a clean error; when
-    /// a tiny straight-line program assembles, it runs to halt and r0
-    /// stays zero.
-    #[test]
-    fn straight_line_programs_execute(values in prop::collection::vec(-100i32..100, 1..20)) {
+/// Assembling always yields a runnable machine or a clean error; when a
+/// tiny straight-line program assembles, it runs to halt and r0 stays
+/// zero.
+#[test]
+fn straight_line_programs_execute() {
+    let mut rng = Rng64::seed_from_u64(0xc2_0004);
+    for _ in 0..64 {
+        let values: Vec<i32> = (0..rng.gen_range(1usize..20))
+            .map(|_| rng.gen_range(-100i32..100))
+            .collect();
         let mut src = String::from("main:\n");
         for (i, v) in values.iter().enumerate() {
             let reg = 8 + (i % 10); // t-registers
@@ -145,7 +210,7 @@ proptest! {
         let program = assemble(&src).expect("valid program");
         let mut machine = Machine::new(program);
         let outcome = machine.run(1000).expect("halts");
-        prop_assert_eq!(outcome.steps, values.len() as u64 + 1);
-        prop_assert_eq!(machine.reg(Reg::ZERO), 0);
+        assert_eq!(outcome.steps, values.len() as u64 + 1);
+        assert_eq!(machine.reg(Reg::ZERO), 0);
     }
 }

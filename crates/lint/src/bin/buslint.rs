@@ -1,0 +1,170 @@
+//! `buslint` — static verification driver for the buscode workspace.
+//!
+//! Runs every netlist lint pass over every generated codec circuit
+//! (encoders and decoders, raw / optimized / tech-mapped) and then the
+//! protocol model checker over every behavioural code, and reports the
+//! findings as text or JSON. Exits nonzero when any error-severity
+//! finding (structural breakage or a disproved protocol property) is
+//! present.
+//!
+//! ```text
+//! buslint [--format text|json] [--width BITS] [--protocol-width BITS]
+//!         [--skip-netlists] [--skip-protocol] [--fail-on-warnings]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use buscode_core::check::{check_all, CheckConfig, Verdict};
+use buscode_core::CodeParams;
+use buscode_lint::passes::lint_netlist;
+use buscode_lint::suite::codec_netlists;
+use buscode_lint::{Diagnostic, Report, Severity};
+
+/// Parsed command line.
+struct Options {
+    json: bool,
+    /// Width for generated codec netlists.
+    width: u32,
+    /// Width for the protocol model checker (kept small: state spaces
+    /// are exponential in it).
+    protocol_width: u32,
+    run_netlists: bool,
+    run_protocol: bool,
+    fail_on_warnings: bool,
+}
+
+/// Outcome of argument parsing: run, print help, or reject.
+enum Parsed {
+    Run(Options),
+    Help,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Parsed, String> {
+        let mut opts = Options {
+            json: false,
+            width: 8,
+            protocol_width: 4,
+            run_netlists: true,
+            run_protocol: true,
+            fail_on_warnings: false,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--format" => {
+                    let value = it.next().ok_or("--format needs a value")?;
+                    opts.json = match value.as_str() {
+                        "json" => true,
+                        "text" => false,
+                        other => return Err(format!("unknown format '{other}'")),
+                    };
+                }
+                "--width" => {
+                    opts.width = parse_width(it.next().ok_or("--width needs a value")?, 64)?;
+                }
+                "--protocol-width" => {
+                    let value = it.next().ok_or("--protocol-width needs a value")?;
+                    // The checker itself refuses widths over 16.
+                    opts.protocol_width = parse_width(value, 16)?;
+                }
+                "--skip-netlists" => opts.run_netlists = false,
+                "--skip-protocol" => opts.run_protocol = false,
+                "--fail-on-warnings" => opts.fail_on_warnings = true,
+                "--help" | "-h" => return Ok(Parsed::Help),
+                other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+            }
+        }
+        Ok(Parsed::Run(opts))
+    }
+}
+
+const USAGE: &str = "usage: buslint [--format text|json] [--width BITS] \
+[--protocol-width BITS] [--skip-netlists] [--skip-protocol] [--fail-on-warnings]";
+
+fn parse_width(s: &str, max: u32) -> Result<u32, String> {
+    match s.parse::<u32>() {
+        Ok(v) if (1..=max).contains(&v) => Ok(v),
+        _ => Err(format!("width '{s}' is not in 1..={max}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match Options::parse(&args) {
+        Ok(Parsed::Run(opts)) => opts,
+        Ok(Parsed::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut report = Report::new();
+
+    if opts.run_netlists {
+        for entry in codec_netlists(opts.width) {
+            report.extend(lint_netlist(&entry.label, &entry.netlist));
+        }
+    }
+
+    if opts.run_protocol {
+        let params = match CodeParams::new(opts.protocol_width, 1) {
+            Ok(params) => params,
+            Err(err) => {
+                eprintln!("buslint: bad protocol width: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        // Keep the CLI snappy: a couple of seconds even in debug builds.
+        // Codes whose state space exceeds this budget come back Bounded,
+        // which still certifies every explored transition.
+        let config = CheckConfig {
+            max_states: 1 << 18,
+            max_transitions: 2_000_000,
+        };
+        match check_all(params, &config) {
+            Ok(verdicts) => {
+                for (kind, verdict) in verdicts {
+                    report.push(protocol_diagnostic(kind.name(), &verdict));
+                }
+            }
+            Err(err) => {
+                eprintln!("buslint: protocol check failed to run: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if opts.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+
+    let failed = !report.is_clean() || (opts.fail_on_warnings && report.warning_count() > 0);
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Folds a model-checker verdict into the diagnostic stream: failures
+/// are errors carrying the counterexample trace, proofs and bounded
+/// explorations are info.
+fn protocol_diagnostic(code: &str, verdict: &Verdict) -> Diagnostic {
+    let severity = if verdict.holds() {
+        Severity::Info
+    } else {
+        Severity::Error
+    };
+    let mut d = Diagnostic::new(severity, "protocol", None, verdict.to_string());
+    d.circuit = code.to_string();
+    d
+}

@@ -1,0 +1,230 @@
+//! Structured lint diagnostics and report rendering.
+
+use core::fmt;
+
+/// How serious a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory only (estimates such as glitch-hazard skew).
+    Info,
+    /// Suspicious but simulatable (dead logic, duplicate gates).
+    Warning,
+    /// Structurally broken hardware or a disproved protocol property.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name, used in text and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding from one pass over one circuit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// The pass that produced it (`"comb-loop"`, `"undriven"`, ...).
+    pub pass: &'static str,
+    /// The circuit the finding is about (filled in by the runner).
+    pub circuit: String,
+    /// The net (gate output) the finding points at, if it has a single
+    /// location.
+    pub net: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with no circuit attribution yet.
+    pub fn new(
+        severity: Severity,
+        pass: &'static str,
+        net: Option<usize>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity,
+            pass,
+            circuit: String::new(),
+            net,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: [{}] {}", self.severity, self.pass, self.circuit)?;
+        if let Some(net) = self.net {
+            write!(f, " net {net}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// A collection of diagnostics, renderable as text or JSON.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All findings, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends another report's findings.
+    pub fn extend(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Appends one finding.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// True when the report contains no errors.
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Renders one line per finding plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} finding(s) total\n",
+            self.error_count(),
+            self.warning_count(),
+            self.diagnostics.len()
+        ));
+        out
+    }
+
+    /// Renders the report as a JSON document.
+    ///
+    /// The schema is stable:
+    /// `{"diagnostics": [{"severity", "pass", "circuit", "net", "message"}],
+    ///   "errors": n, "warnings": n}`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"severity\":\"{}\",\"pass\":\"{}\",\"circuit\":{},\"net\":{},\"message\":{}}}",
+                d.severity,
+                d.pass,
+                json_string(&d.circuit),
+                d.net.map_or("null".to_string(), |n| n.to_string()),
+                json_string(&d.message),
+            ));
+        }
+        out.push_str(&format!(
+            "],\"errors\":{},\"warnings\":{}}}",
+            self.error_count(),
+            self.warning_count()
+        ));
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut report = Report::new();
+        let mut d = Diagnostic::new(Severity::Error, "comb-loop", Some(3), "cycle a\"b");
+        d.circuit = "t0-enc".to_string();
+        report.push(d);
+        report.push(Diagnostic::new(Severity::Warning, "dup-gate", None, "dup"));
+        report
+    }
+
+    #[test]
+    fn counts_and_cleanliness() {
+        let report = sample();
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.warning_count(), 1);
+        assert!(!report.is_clean());
+        assert!(Report::new().is_clean());
+    }
+
+    #[test]
+    fn text_has_one_line_per_finding_plus_summary() {
+        let text = sample().render_text();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("error: [comb-loop] t0-enc net 3: cycle a\"b"));
+        assert!(text.ends_with("1 error(s), 1 warning(s), 2 finding(s) total\n"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_structured() {
+        let json = sample().render_json();
+        assert!(json.starts_with("{\"diagnostics\":["));
+        assert!(json.contains("\\\"b"));
+        assert!(json.contains("\"net\":3"));
+        assert!(json.contains("\"net\":null"));
+        assert!(json.ends_with("\"errors\":1,\"warnings\":1}"));
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(json_string("a\nb\t\u{1}"), "\"a\\nb\\t\\u0001\"");
+    }
+}

@@ -1,0 +1,502 @@
+//! Netlist lint passes.
+//!
+//! Every pass is a pure function from a [`Netlist`] to a list of
+//! [`Diagnostic`]s. None of them simulate the circuit: they work on the
+//! gate graph alone, so they run in linear (or near-linear) time even on
+//! tech-mapped 32-bit codecs and they catch classes of defect that
+//! simulation with a finite stimulus set can miss entirely (a
+//! combinational loop only oscillates on the right input vector; a dead
+//! cone never shows up in any output).
+//!
+//! Severity policy:
+//!
+//! * structural breakage (combinational loops, undriven flip-flops,
+//!   dangling net references) is an **error** — the netlist does not
+//!   describe buildable synchronous hardware;
+//! * logic that exists but cannot matter (dead cones, duplicate gates,
+//!   constant outputs) is a **warning** — it simulates fine but wastes
+//!   area/power or hints at a generator bug;
+//! * the glitch-hazard estimate is **info** — path-depth skew is a proxy
+//!   for dynamic hazards, not a proof of one.
+
+use crate::diagnostic::{Diagnostic, Report, Severity};
+use buscode_logic::{Gate, NetId, Netlist};
+
+/// Path-depth skew (longest minus shortest input-to-output path, in
+/// gate levels) at or above which the glitch pass reports an output.
+pub const GLITCH_SKEW_THRESHOLD: u32 = 5;
+
+/// Runs every pass over one netlist and labels the findings with
+/// `circuit`.
+pub fn lint_netlist(circuit: &str, netlist: &Netlist) -> Report {
+    let mut report = Report::new();
+    let mut all = Vec::new();
+    all.extend(undriven(netlist));
+    all.extend(combinational_loops(netlist));
+    all.extend(dead_logic(netlist));
+    all.extend(constant_outputs(netlist));
+    all.extend(duplicate_gates(netlist));
+    all.extend(glitch_hazards(netlist));
+    for mut d in all {
+        d.circuit = circuit.to_string();
+        report.push(d);
+    }
+    report
+}
+
+/// True when `id` points at a real gate in `netlist`.
+fn in_range(netlist: &Netlist, id: NetId) -> bool {
+    id.index() < netlist.gate_count()
+}
+
+/// Detects undriven flip-flops and dangling net references.
+///
+/// A [`Gate::Dff`] whose `d` input was never connected holds reset
+/// forever; a gate operand pointing past the end of the gate list cannot
+/// be evaluated at all. Both are reported as errors. Netlists built
+/// through [`Netlist`]'s safe builder cannot contain dangling
+/// references, but netlists deserialized or assembled through
+/// [`Netlist::from_parts_unchecked`] can.
+pub fn undriven(netlist: &Netlist) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        if matches!(gate, Gate::Dff { d: None }) {
+            out.push(Diagnostic::new(
+                Severity::Error,
+                "undriven",
+                Some(i),
+                "flip-flop has no data input; it holds its reset value forever",
+            ));
+        }
+        for input in gate.inputs() {
+            if !in_range(netlist, input) {
+                out.push(Diagnostic::new(
+                    Severity::Error,
+                    "undriven",
+                    Some(i),
+                    format!(
+                        "gate reads net {}, but the netlist only has {} nets",
+                        input.index(),
+                        netlist.gate_count()
+                    ),
+                ));
+            }
+        }
+    }
+    for (name, id) in netlist.output_names() {
+        if !in_range(netlist, id) {
+            out.push(Diagnostic::new(
+                Severity::Error,
+                "undriven",
+                Some(id.index()),
+                format!("output '{name}' names a net that does not exist"),
+            ));
+        }
+    }
+    out
+}
+
+/// Detects combinational cycles with Tarjan's SCC algorithm.
+///
+/// The graph has one node per gate and an edge `a -> b` whenever
+/// combinational gate `b` reads net `a`. Flip-flops are cut points: a
+/// [`Gate::Dff`]'s `d` edge crosses a clock boundary, so it contributes
+/// no edge and any feedback path through a flip-flop is legal. A
+/// strongly connected component with more than one node — or a gate that
+/// reads its own output — is an unclocked feedback loop: the circuit has
+/// no static evaluation order and may oscillate.
+///
+/// The implementation is iterative, so deep tech-mapped netlists cannot
+/// overflow the stack.
+pub fn combinational_loops(netlist: &Netlist) -> Vec<Diagnostic> {
+    let n = netlist.gate_count();
+    let mut succ = vec![Vec::new(); n];
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        if gate.is_sequential() {
+            continue; // DFF inputs are sequential edges: cut here.
+        }
+        for input in gate.inputs() {
+            if input.index() < n {
+                succ[input.index()].push(i);
+            }
+        }
+    }
+
+    // Iterative Tarjan.
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    // (node, next successor position) call frames.
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            if *pos < succ[v].len() {
+                let w = succ[v][*pos];
+                *pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    if scc.len() > 1 || succ[v].contains(&v) {
+                        scc.sort_unstable();
+                        sccs.push(scc);
+                    }
+                }
+            }
+        }
+    }
+
+    sccs.sort_unstable();
+    sccs.iter()
+        .map(|scc| {
+            let shown: Vec<String> = scc.iter().take(8).map(|g| g.to_string()).collect();
+            let suffix = if scc.len() > 8 { ", ..." } else { "" };
+            Diagnostic::new(
+                Severity::Error,
+                "comb-loop",
+                Some(scc[0]),
+                format!(
+                    "combinational loop through {} gate(s): nets {}{}",
+                    scc.len(),
+                    shown.join(", "),
+                    suffix
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Detects gates outside the cone of influence of every marked output.
+///
+/// Walks backwards from each output through gate inputs (including
+/// flip-flop `d` inputs, since state feeding an output matters across
+/// cycles). Gates never reached — other than primary inputs, which the
+/// test bench drives and which merely being unused is not a netlist
+/// defect — can be deleted without changing any observable behaviour.
+/// Netlists with no marked outputs are skipped: everything would be
+/// trivially dead.
+pub fn dead_logic(netlist: &Netlist) -> Vec<Diagnostic> {
+    let outputs = netlist.output_names();
+    if outputs.is_empty() {
+        return Vec::new();
+    }
+    let n = netlist.gate_count();
+    let mut live = vec![false; n];
+    let mut work: Vec<usize> = outputs
+        .iter()
+        .filter(|(_, id)| id.index() < n)
+        .map(|(_, id)| id.index())
+        .collect();
+    while let Some(i) = work.pop() {
+        if live[i] {
+            continue;
+        }
+        live[i] = true;
+        for input in netlist.gates()[i].inputs() {
+            if input.index() < n && !live[input.index()] {
+                work.push(input.index());
+            }
+        }
+    }
+    netlist
+        .gates()
+        .iter()
+        .enumerate()
+        .filter(|&(i, gate)| !live[i] && !matches!(gate, Gate::Input))
+        .map(|(i, gate)| {
+            Diagnostic::new(
+                Severity::Warning,
+                "dead-logic",
+                Some(i),
+                format!("{} does not influence any marked output", gate_kind(gate)),
+            )
+        })
+        .collect()
+}
+
+/// Detects outputs that constant-fold to a fixed value.
+///
+/// Runs a forward three-valued constant propagation (unknown / 0 / 1)
+/// with short-circuit rules (`AND` with a known 0 is 0 regardless of the
+/// other operand, and so on). Primary inputs start unknown. A flip-flop
+/// resets to 0 and is therefore known-0 exactly when its `d` input is
+/// known-0 — that needs a fixpoint iteration because flip-flops can sit
+/// in feedback loops. An output with a known value is a warning: a
+/// codec output that never moves is almost certainly a generator bug.
+pub fn constant_outputs(netlist: &Netlist) -> Vec<Diagnostic> {
+    let n = netlist.gate_count();
+    let mut value: Vec<Option<bool>> = vec![None; n];
+    let get = |value: &[Option<bool>], id: NetId| -> Option<bool> {
+        if id.index() < n {
+            value[id.index()]
+        } else {
+            None
+        }
+    };
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            if value[i].is_some() {
+                continue; // Values only ever go unknown -> known.
+            }
+            let folded = match netlist.gates()[i] {
+                Gate::Input => None,
+                Gate::Const(v) => Some(v),
+                Gate::Not(a) => get(&value, a).map(|v| !v),
+                Gate::And(a, b) => {
+                    binary(get(&value, a), get(&value, b), |x, y| x & y, Some(false))
+                }
+                Gate::Or(a, b) => binary(get(&value, a), get(&value, b), |x, y| x | y, Some(true)),
+                Gate::Nand(a, b) => {
+                    binary(get(&value, a), get(&value, b), |x, y| !(x & y), Some(false))
+                }
+                Gate::Nor(a, b) => {
+                    binary(get(&value, a), get(&value, b), |x, y| !(x | y), Some(true))
+                }
+                Gate::Xor(a, b) => binary(get(&value, a), get(&value, b), |x, y| x ^ y, None),
+                Gate::Xnor(a, b) => binary(get(&value, a), get(&value, b), |x, y| !(x ^ y), None),
+                Gate::Mux { sel, a, b } => match get(&value, sel) {
+                    Some(true) => get(&value, a),
+                    Some(false) => get(&value, b),
+                    None => match (get(&value, a), get(&value, b)) {
+                        (Some(x), Some(y)) if x == y => Some(x),
+                        _ => None,
+                    },
+                },
+                // q starts at 0 and stays 0 iff d is provably always 0.
+                Gate::Dff { d: Some(d) } => match get(&value, d) {
+                    Some(false) => Some(false),
+                    _ => None,
+                },
+                Gate::Dff { d: None } => None, // undriven pass owns this case
+            };
+            if folded.is_some() {
+                value[i] = folded;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut out: Vec<Diagnostic> = netlist
+        .output_names()
+        .into_iter()
+        .filter(|(_, id)| id.index() < n)
+        .filter_map(|(name, id)| {
+            value[id.index()].map(|v| {
+                Diagnostic::new(
+                    Severity::Warning,
+                    "const-output",
+                    Some(id.index()),
+                    format!("output '{name}' is constant {}", u8::from(v)),
+                )
+            })
+        })
+        .collect();
+    out.sort_by_key(|d| d.net);
+    out
+}
+
+/// Evaluates a two-input boolean with a short-circuit absorbing value.
+///
+/// `absorb` is the operand value that fixes the *pre-inversion* result
+/// (0 for AND/NAND, 1 for OR/NOR, none for XOR/XNOR); when one operand
+/// equals it the gate's output is known even if the other is not.
+fn binary(
+    a: Option<bool>,
+    b: Option<bool>,
+    op: fn(bool, bool) -> bool,
+    absorb: Option<bool>,
+) -> Option<bool> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(op(x, y)),
+        (Some(x), None) | (None, Some(x)) => {
+            if absorb == Some(x) {
+                // Feed the absorbing value for both operands; `op` then
+                // yields the absorbed (possibly inverted) result.
+                Some(op(x, x))
+            } else {
+                None
+            }
+        }
+        (None, None) => None,
+    }
+}
+
+/// Detects structurally identical gates via hashing.
+///
+/// Two gates are duplicates when they have the same kind and the same
+/// input nets (commutative inputs are sorted first, so `And(a, b)` and
+/// `And(b, a)` collide). Inputs, constants and flip-flops are exempt:
+/// constants are deliberately freely replicated by the word builders and
+/// flip-flops with the same `d` are distinct state elements on purpose.
+/// Each duplicate is a common-subexpression-elimination opportunity the
+/// optimizer should have caught.
+pub fn duplicate_gates(netlist: &Netlist) -> Vec<Diagnostic> {
+    use std::collections::HashMap;
+    let mut seen: HashMap<(u8, usize, usize, usize), usize> = HashMap::new();
+    let mut out = Vec::new();
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let key = match *gate {
+            Gate::Input | Gate::Const(_) | Gate::Dff { .. } => continue,
+            Gate::Not(a) => (0u8, a.index(), usize::MAX, usize::MAX),
+            Gate::And(a, b) => commutative(1, a, b),
+            Gate::Or(a, b) => commutative(2, a, b),
+            Gate::Nand(a, b) => commutative(3, a, b),
+            Gate::Nor(a, b) => commutative(4, a, b),
+            Gate::Xor(a, b) => commutative(5, a, b),
+            Gate::Xnor(a, b) => commutative(6, a, b),
+            Gate::Mux { sel, a, b } => (7, sel.index(), a.index(), b.index()),
+        };
+        match seen.entry(key) {
+            std::collections::hash_map::Entry::Occupied(first) => {
+                out.push(Diagnostic::new(
+                    Severity::Warning,
+                    "dup-gate",
+                    Some(i),
+                    format!(
+                        "{} duplicates net {} (same kind, same inputs)",
+                        gate_kind(gate),
+                        first.get()
+                    ),
+                ));
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(i);
+            }
+        }
+    }
+    out
+}
+
+fn commutative(kind: u8, a: NetId, b: NetId) -> (u8, usize, usize, usize) {
+    let (lo, hi) = if a.index() <= b.index() {
+        (a.index(), b.index())
+    } else {
+        (b.index(), a.index())
+    };
+    (kind, lo, hi, usize::MAX)
+}
+
+/// Estimates glitch hazards from input-to-output path-depth skew.
+///
+/// For every net the pass computes the longest and shortest
+/// combinational path (in gate levels) back to a stable source (primary
+/// input, constant or flip-flop output). When the two differ by
+/// [`GLITCH_SKEW_THRESHOLD`] or more at a marked output, late-arriving
+/// and early-arriving versions of correlated signals can race and the
+/// output may glitch several times per cycle before settling — which
+/// costs real transition energy on an address bus even though the
+/// settled value is correct. Reported as info: skew is a proxy, not a
+/// proof, and balancing paths is a synthesis decision.
+pub fn glitch_hazards(netlist: &Netlist) -> Vec<Diagnostic> {
+    let n = netlist.gate_count();
+    let mut longest = vec![0u32; n];
+    let mut shortest = vec![0u32; n];
+    // Creation order is a topological order for combinational edges in
+    // builder-made netlists; malformed ones are caught by the loop pass,
+    // and out-of-order references here just read a conservative 0.
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        if gate.is_sequential() || gate.inputs().is_empty() {
+            continue; // sources: depth (0, 0)
+        }
+        let ins = gate.inputs();
+        longest[i] = 1 + ins
+            .iter()
+            .map(|id| {
+                if id.index() < n {
+                    longest[id.index()]
+                } else {
+                    0
+                }
+            })
+            .max()
+            .unwrap_or(0);
+        shortest[i] = 1 + ins
+            .iter()
+            .map(|id| {
+                if id.index() < n {
+                    shortest[id.index()]
+                } else {
+                    0
+                }
+            })
+            .min()
+            .unwrap_or(0);
+    }
+    let mut out = Vec::new();
+    for (name, id) in netlist.output_names() {
+        if id.index() >= n {
+            continue;
+        }
+        let skew = longest[id.index()].saturating_sub(shortest[id.index()]);
+        if skew >= GLITCH_SKEW_THRESHOLD {
+            out.push(Diagnostic::new(
+                Severity::Info,
+                "glitch",
+                Some(id.index()),
+                format!(
+                    "output '{name}' has path-depth skew {skew} (longest {}, shortest {}); \
+                     unbalanced arrival times can glitch before settling",
+                    longest[id.index()],
+                    shortest[id.index()]
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Short human name for a gate variant.
+fn gate_kind(gate: &Gate) -> &'static str {
+    match gate {
+        Gate::Input => "input",
+        Gate::Const(_) => "constant",
+        Gate::Not(_) => "inverter",
+        Gate::And(..) => "and gate",
+        Gate::Or(..) => "or gate",
+        Gate::Nand(..) => "nand gate",
+        Gate::Nor(..) => "nor gate",
+        Gate::Xor(..) => "xor gate",
+        Gate::Xnor(..) => "xnor gate",
+        Gate::Mux { .. } => "mux",
+        Gate::Dff { .. } => "flip-flop",
+    }
+}

@@ -1,0 +1,139 @@
+//! Enumeration of every codec netlist the workspace can generate, at
+//! every compilation stage, for sweeping with the lint passes.
+
+use buscode_core::{BusWidth, Stride};
+use buscode_logic::codecs;
+use buscode_logic::{tech_map, Netlist};
+
+/// The compilation stage a suite entry was captured at.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// As emitted by the generator, before any optimization.
+    Raw,
+    /// After `buscode_logic::optimize` (constant folding, sharing,
+    /// dead-gate removal).
+    Optimized,
+    /// After optimization and NAND/NOT technology mapping.
+    TechMapped,
+}
+
+impl Stage {
+    /// Stable lowercase name used in circuit labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Raw => "raw",
+            Stage::Optimized => "opt",
+            Stage::TechMapped => "mapped",
+        }
+    }
+
+    /// All stages, in compilation order.
+    pub fn all() -> [Stage; 3] {
+        [Stage::Raw, Stage::Optimized, Stage::TechMapped]
+    }
+}
+
+/// One netlist to lint: `label` is `"<codec>-<enc|dec>[<stage>]"`.
+#[derive(Clone, Debug)]
+pub struct SuiteEntry {
+    /// Display label, e.g. `"t0-enc[opt]"`.
+    pub label: String,
+    /// The codec family name, e.g. `"t0"`.
+    pub codec: &'static str,
+    /// The stage this netlist was captured at.
+    pub stage: Stage,
+    /// The netlist itself.
+    pub netlist: Netlist,
+}
+
+/// Builds every generated codec circuit (encoder and decoder of all nine
+/// gate-level codecs) at the given width, at all three stages: raw,
+/// optimized, and tech-mapped.
+///
+/// # Panics
+///
+/// Panics if `bits` is not a valid [`BusWidth`] or cannot hold a word
+/// stride — widths from the CLI are validated before this is called.
+pub fn codec_netlists(bits: u32) -> Vec<SuiteEntry> {
+    let width = BusWidth::new(bits).expect("valid width");
+    let stride = Stride::new(1, width).expect("valid stride");
+    let pairs: Vec<(&'static str, Netlist, Netlist)> = vec![
+        (
+            "binary",
+            codecs::binary_encoder(width).netlist,
+            codecs::binary_decoder(width).netlist,
+        ),
+        (
+            "gray",
+            codecs::gray_encoder(width, stride).netlist,
+            codecs::gray_decoder(width, stride).netlist,
+        ),
+        (
+            "bus-invert",
+            codecs::bus_invert_encoder(width).netlist,
+            codecs::bus_invert_decoder(width).netlist,
+        ),
+        (
+            "t0",
+            codecs::t0_encoder(width, stride).netlist,
+            codecs::t0_decoder(width, stride).netlist,
+        ),
+        (
+            "t0-bi",
+            codecs::t0bi_encoder(width, stride).netlist,
+            codecs::t0bi_decoder(width, stride).netlist,
+        ),
+        (
+            "t0-xor",
+            codecs::t0xor_encoder(width, stride).netlist,
+            codecs::t0xor_decoder(width, stride).netlist,
+        ),
+        (
+            "dual-t0",
+            codecs::dual_t0_encoder(width, stride).netlist,
+            codecs::dual_t0_decoder(width, stride).netlist,
+        ),
+        (
+            "dual-t0-bi",
+            codecs::dual_t0bi_encoder(width, stride).netlist,
+            codecs::dual_t0bi_decoder(width, stride).netlist,
+        ),
+        (
+            "offset",
+            codecs::offset_encoder(width).netlist,
+            codecs::offset_decoder(width).netlist,
+        ),
+    ];
+    let mut out = Vec::with_capacity(pairs.len() * 6);
+    for (codec, enc, dec) in pairs {
+        for (role, raw) in [("enc", enc), ("dec", dec)] {
+            for stage in Stage::all() {
+                let netlist = match stage {
+                    Stage::Raw => raw.clone(),
+                    Stage::Optimized => buscode_logic::optimize(&raw).0,
+                    Stage::TechMapped => tech_map(&buscode_logic::optimize(&raw).0).0,
+                };
+                out.push(SuiteEntry {
+                    label: format!("{codec}-{role}[{}]", stage.name()),
+                    codec,
+                    stage,
+                    netlist,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_nine_codecs_three_stages_two_roles() {
+        let entries = codec_netlists(4);
+        assert_eq!(entries.len(), 9 * 2 * 3);
+        assert!(entries.iter().any(|e| e.label == "dual-t0-bi-enc[mapped]"));
+        assert!(entries.iter().all(|e| e.netlist.gate_count() > 0));
+    }
+}

@@ -1,0 +1,325 @@
+//! Seeded-defect tests for the netlist lint passes.
+//!
+//! Each test plants exactly one class of defect in an otherwise healthy
+//! circuit and asserts that the owning pass flags it precisely — the
+//! right pass, the right net, the right count — while every *other*
+//! pass stays quiet about it. A companion sweep asserts the passes stay
+//! silent on all clean generated codecs, so the fixtures here measure
+//! detection, not noise.
+
+use buscode_lint::passes::{
+    combinational_loops, constant_outputs, dead_logic, duplicate_gates, glitch_hazards,
+    lint_netlist, undriven,
+};
+use buscode_lint::suite::{codec_netlists, Stage};
+use buscode_lint::Severity;
+use buscode_logic::{Gate, NetId, Netlist};
+
+/// A healthy little sequential circuit: a 1-bit toggler with an XOR
+/// output. Every pass must be silent on it.
+fn clean_fixture() -> Netlist {
+    let mut n = Netlist::new();
+    let a = n.input();
+    let q = n.dff();
+    let nq = n.not(q);
+    n.drive_dff(q, nq).unwrap();
+    let out = n.xor(a, q);
+    n.mark_output("out", out);
+    n.check().unwrap();
+    n
+}
+
+#[test]
+fn clean_fixture_is_silent_everywhere() {
+    let n = clean_fixture();
+    assert!(lint_netlist("clean", &n).diagnostics.is_empty());
+}
+
+#[test]
+fn comb_loop_is_flagged_exactly() {
+    // net0 = input, net1 = And(net0, net2), net2 = Not(net1): an
+    // unclocked feedback loop the safe builder cannot express.
+    let n = Netlist::from_parts_unchecked(
+        vec![
+            Gate::Input,
+            Gate::And(NetId::from_index(0), NetId::from_index(2)),
+            Gate::Not(NetId::from_index(1)),
+        ],
+        vec![NetId::from_index(0)],
+        vec![("out".to_string(), NetId::from_index(2))],
+    );
+    let findings = combinational_loops(&n);
+    assert_eq!(findings.len(), 1, "one loop, one diagnostic: {findings:?}");
+    assert_eq!(findings[0].severity, Severity::Error);
+    assert_eq!(findings[0].net, Some(1), "anchored at the loop's first net");
+    assert!(findings[0].message.contains("nets 1, 2"));
+    // The defect is invisible to the passes that don't own it.
+    assert!(undriven(&n).is_empty());
+    assert!(duplicate_gates(&n).is_empty());
+}
+
+#[test]
+fn self_loop_is_flagged() {
+    let n = Netlist::from_parts_unchecked(
+        vec![Gate::Not(NetId::from_index(0))],
+        vec![],
+        vec![("out".to_string(), NetId::from_index(0))],
+    );
+    let findings = combinational_loops(&n);
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].message.contains("1 gate(s)"));
+}
+
+#[test]
+fn loop_through_dff_is_legal() {
+    // The toggler feeds its own inverse back through a flip-flop; the
+    // clock boundary cuts the cycle.
+    assert!(combinational_loops(&clean_fixture()).is_empty());
+}
+
+#[test]
+fn undriven_dff_is_flagged_exactly() {
+    let mut n = Netlist::new();
+    let a = n.input();
+    let q = n.dff(); // never driven
+    let out = n.or(a, q);
+    n.mark_output("out", out);
+    let findings = undriven(&n);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].severity, Severity::Error);
+    assert_eq!(findings[0].net, Some(q.index()));
+    assert!(findings[0].message.contains("no data input"));
+    assert!(combinational_loops(&n).is_empty());
+    assert!(dead_logic(&n).is_empty());
+}
+
+#[test]
+fn dangling_reference_is_flagged() {
+    let n = Netlist::from_parts_unchecked(
+        vec![Gate::Input, Gate::Not(NetId::from_index(7))],
+        vec![NetId::from_index(0)],
+        vec![("out".to_string(), NetId::from_index(1))],
+    );
+    let findings = undriven(&n);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].net, Some(1), "the *reading* gate is the defect");
+    assert!(findings[0].message.contains("net 7"));
+}
+
+#[test]
+fn dangling_output_is_flagged() {
+    let n = Netlist::from_parts_unchecked(
+        vec![Gate::Input],
+        vec![NetId::from_index(0)],
+        vec![("ghost".to_string(), NetId::from_index(3))],
+    );
+    let findings = undriven(&n);
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].message.contains("'ghost'"));
+}
+
+#[test]
+fn dead_cone_is_flagged_exactly() {
+    let mut n = Netlist::new();
+    let a = n.input();
+    let b = n.input();
+    let live = n.and(a, b);
+    // A whole little cone that feeds nothing.
+    let dead1 = n.xor(a, b);
+    let dead2 = n.not(dead1);
+    n.mark_output("out", live);
+    n.check().unwrap();
+    let findings = dead_logic(&n);
+    assert_eq!(findings.len(), 2, "both dead gates, nothing else");
+    let nets: Vec<Option<usize>> = findings.iter().map(|d| d.net).collect();
+    assert!(nets.contains(&Some(dead1.index())));
+    assert!(nets.contains(&Some(dead2.index())));
+    assert!(findings.iter().all(|d| d.severity == Severity::Warning));
+    // Unused *inputs* are the bench's business, not a netlist defect.
+    assert!(!nets.contains(&Some(a.index())));
+    assert!(undriven(&n).is_empty());
+    assert!(combinational_loops(&n).is_empty());
+}
+
+#[test]
+fn netlist_without_outputs_has_no_dead_logic() {
+    let mut n = Netlist::new();
+    let a = n.input();
+    n.not(a);
+    assert!(dead_logic(&n).is_empty());
+}
+
+#[test]
+fn duplicate_gate_is_flagged_exactly() {
+    let mut n = Netlist::new();
+    let a = n.input();
+    let b = n.input();
+    let first = n.and(a, b);
+    let dup = n.and(b, a); // commutated operands still collide
+    let out = n.xor(first, dup);
+    n.mark_output("out", out);
+    n.check().unwrap();
+    let findings = duplicate_gates(&n);
+    assert_eq!(findings.len(), 1, "the duplicate, not the original");
+    assert_eq!(findings[0].net, Some(dup.index()));
+    assert!(findings[0]
+        .message
+        .contains(&format!("net {}", first.index())));
+    assert!(dead_logic(&n).is_empty());
+}
+
+#[test]
+fn distinct_gates_do_not_collide() {
+    let mut n = Netlist::new();
+    let a = n.input();
+    let b = n.input();
+    let x = n.and(a, b);
+    let y = n.or(a, b); // same inputs, different kind
+    let z = n.nand(a, b); // inverted cousin is still distinct
+    let out = n.xor(x, y);
+    let out = n.xor(out, z);
+    n.mark_output("out", out);
+    assert!(duplicate_gates(&n).is_empty());
+}
+
+#[test]
+fn replicated_constants_and_dffs_are_exempt() {
+    let mut n = Netlist::new();
+    let c1 = n.constant(true);
+    let c2 = n.constant(true);
+    let d = n.and(c1, c2);
+    let q1 = n.dff();
+    let q2 = n.dff();
+    n.drive_dff(q1, d).unwrap();
+    n.drive_dff(q2, d).unwrap();
+    let out = n.xor(q1, q2);
+    n.mark_output("out", out);
+    n.check().unwrap();
+    assert!(duplicate_gates(&n).is_empty());
+}
+
+#[test]
+fn constant_output_is_flagged_through_short_circuit_and_state() {
+    let mut n = Netlist::new();
+    let a = n.input();
+    let zero = n.constant(false);
+    // AND with a known 0 folds even though `a` is unknown.
+    let gnd = n.and(a, zero);
+    // A flip-flop fed only 0 resets to 0 and never leaves it.
+    let q = n.dff();
+    n.drive_dff(q, gnd).unwrap();
+    let stuck = n.or(q, gnd);
+    let alive = n.xor(a, q);
+    n.mark_output("stuck", stuck);
+    n.mark_output("alive", alive);
+    n.check().unwrap();
+    let findings = constant_outputs(&n);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].net, Some(stuck.index()));
+    assert!(findings[0].message.contains("'stuck' is constant 0"));
+}
+
+#[test]
+fn toggling_dff_is_not_constant() {
+    // q feeds back through an inverter: constant propagation must not
+    // conclude anything about it.
+    assert!(constant_outputs(&clean_fixture()).is_empty());
+}
+
+#[test]
+fn deep_skew_raises_glitch_info() {
+    let mut n = Netlist::new();
+    let a = n.input();
+    let b = n.input();
+    // A 6-deep inverter chain racing a direct input into one XOR.
+    let mut deep = a;
+    for _ in 0..6 {
+        deep = n.not(deep);
+    }
+    let out = n.xor(deep, b);
+    n.mark_output("out", out);
+    n.check().unwrap();
+    let findings = glitch_hazards(&n);
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].severity, Severity::Info);
+    assert!(findings[0].message.contains("skew 6"));
+}
+
+#[test]
+fn balanced_paths_raise_nothing() {
+    let mut n = Netlist::new();
+    let a = n.input();
+    let b = n.input();
+    let out = n.xor(a, b);
+    n.mark_output("out", out);
+    assert!(glitch_hazards(&n).is_empty());
+}
+
+/// The noise-floor guarantee: across every generated codec, at every
+/// stage, no pass reports an error; and the structural passes that
+/// assert cleanliness (loops, undriven, duplicates before tech-mapping,
+/// dead logic after optimization) are completely silent.
+#[test]
+fn clean_codecs_stay_clean() {
+    for entry in codec_netlists(8) {
+        let report = lint_netlist(&entry.label, &entry.netlist);
+        assert!(
+            report.is_clean(),
+            "{}: unexpected errors:\n{}",
+            entry.label,
+            report.render_text()
+        );
+        assert!(
+            combinational_loops(&entry.netlist).is_empty(),
+            "{}: loop in a builder-made netlist",
+            entry.label
+        );
+        assert!(undriven(&entry.netlist).is_empty(), "{}", entry.label);
+        // tech_map deliberately replicates NAND inverters, so the
+        // duplicate lint's no-noise contract covers raw and optimized
+        // netlists.
+        if entry.stage != Stage::TechMapped {
+            assert!(
+                duplicate_gates(&entry.netlist).is_empty(),
+                "{}: duplicates before tech-mapping",
+                entry.label
+            );
+        }
+        // The optimizer's dead-gate removal is exactly what this pass
+        // checks, so optimized and mapped netlists must be cone-tight.
+        if entry.stage != Stage::Raw {
+            assert!(
+                dead_logic(&entry.netlist).is_empty(),
+                "{}: dead logic survived optimization",
+                entry.label
+            );
+        }
+        assert!(
+            constant_outputs(&entry.netlist).is_empty(),
+            "{}",
+            entry.label
+        );
+    }
+}
+
+/// The raw generators do leave dead carry bits behind — that is a true
+/// finding, and the optimizer is the fix. Pin the relationship.
+#[test]
+fn optimizer_clears_raw_dead_logic() {
+    let mut saw_raw_dead = false;
+    for entry in codec_netlists(8) {
+        if entry.stage == Stage::Raw && !dead_logic(&entry.netlist).is_empty() {
+            saw_raw_dead = true;
+            let optimized = buscode_logic::optimize(&entry.netlist).0;
+            assert!(
+                dead_logic(&optimized).is_empty(),
+                "{}: optimize() left dead gates",
+                entry.label
+            );
+        }
+    }
+    assert!(
+        saw_raw_dead,
+        "expected at least one raw netlist with dead gates"
+    );
+}

@@ -74,7 +74,10 @@ impl EncoderCircuit {
                 sim.set(sel, access.kind.sel());
             }
             sim.step();
-            out.push(BusState::new(sim.word(&self.bus_out), sim.word(&self.aux_out)));
+            out.push(BusState::new(
+                sim.word(&self.bus_out),
+                sim.word(&self.aux_out),
+            ));
         }
         (out, sim)
     }
@@ -261,7 +264,8 @@ pub fn bus_invert_encoder(width: BusWidth) -> EncoderCircuit {
 
     let bus_out = xor_broadcast(&mut n, &address_in, invert);
     n.drive_dff_word(&prev_bus, &bus_out).expect("widths match");
-    n.drive_dff(prev_inv, invert).expect("prev_inv is a flip-flop");
+    n.drive_dff(prev_inv, invert)
+        .expect("prev_inv is a flip-flop");
 
     n.mark_output_word("bus", &bus_out);
     n.mark_output("inv", invert);
@@ -328,7 +332,8 @@ pub fn dual_t0bi_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
 
     // State updates.
     let next_ref = n.mux_word(sel, &address_in, &reference);
-    n.drive_dff_word(&reference, &next_ref).expect("widths match");
+    n.drive_dff_word(&reference, &next_ref)
+        .expect("widths match");
     let next_valid = n.or(ref_valid, sel);
     n.drive_dff(ref_valid, next_valid).expect("flip-flop");
     n.drive_dff_word(&prev_bus, &bus_out).expect("widths match");
@@ -365,7 +370,8 @@ pub fn dual_t0bi_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
     let address_out = n.mux_word(freeze, &predicted, &un_inverted);
 
     let next_ref = n.mux_word(sel, &address_out, &reference);
-    n.drive_dff_word(&reference, &next_ref).expect("widths match");
+    n.drive_dff_word(&reference, &next_ref)
+        .expect("widths match");
 
     n.mark_output_word("address", &address_out);
     DecoderCircuit {
@@ -435,7 +441,10 @@ pub fn gray_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
         let inv = n.not(bus_in[i as usize]);
         address_out[i as usize] = Some(n.not(inv));
     }
-    let address_out: Word = address_out.into_iter().map(|b| b.expect("all bits set")).collect();
+    let address_out: Word = address_out
+        .into_iter()
+        .map(|b| b.expect("all bits set"))
+        .collect();
     n.mark_output_word("address", &address_out);
     DecoderCircuit {
         netlist: n,
@@ -482,7 +491,8 @@ pub fn t0bi_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
 
     let one = n.constant(true);
     n.drive_dff(valid, one).expect("flip-flop");
-    n.drive_dff_word(&prev_addr, &address_in).expect("widths match");
+    n.drive_dff_word(&prev_addr, &address_in)
+        .expect("widths match");
     n.drive_dff_word(&prev_bus, &bus_out).expect("widths match");
     n.drive_dff(prev_inc, inc).expect("flip-flop");
     n.drive_dff(prev_inv, inv).expect("flip-flop");
@@ -512,7 +522,8 @@ pub fn t0bi_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
     let predicted = n.add_const(&prev_dec, stride.get());
     let un_inverted = xor_broadcast(&mut n, &bus_in, inv);
     let address_out = n.mux_word(inc, &predicted, &un_inverted);
-    n.drive_dff_word(&prev_dec, &address_out).expect("widths match");
+    n.drive_dff_word(&prev_dec, &address_out)
+        .expect("widths match");
 
     n.mark_output_word("address", &address_out);
     DecoderCircuit {
@@ -545,7 +556,8 @@ pub fn dual_t0_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
     let bus_out = n.mux_word(inc, &prev_bus, &address_in);
 
     let next_ref = n.mux_word(sel, &address_in, &reference);
-    n.drive_dff_word(&reference, &next_ref).expect("widths match");
+    n.drive_dff_word(&reference, &next_ref)
+        .expect("widths match");
     let next_valid = n.or(ref_valid, sel);
     n.drive_dff(ref_valid, next_valid).expect("flip-flop");
     n.drive_dff_word(&prev_bus, &bus_out).expect("widths match");
@@ -575,7 +587,8 @@ pub fn dual_t0_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
     let freeze = n.and(inc, sel);
     let address_out = n.mux_word(freeze, &predicted, &bus_in);
     let next_ref = n.mux_word(sel, &address_out, &reference);
-    n.drive_dff_word(&reference, &next_ref).expect("widths match");
+    n.drive_dff_word(&reference, &next_ref)
+        .expect("widths match");
 
     n.mark_output_word("address", &address_out);
     DecoderCircuit {
@@ -707,13 +720,13 @@ mod tests {
     use buscode_core::codes::{
         BusInvertEncoder, DualT0BiDecoder, DualT0BiEncoder, T0Decoder, T0Encoder,
     };
+    use buscode_core::rng::Rng64;
     use buscode_core::{Decoder as _, Encoder as _};
-    use rand::{Rng, SeedableRng};
 
     const W: BusWidth = BusWidth::MIPS;
 
     fn mixed_stream(len: usize, seed: u64) -> Vec<Access> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let mut iaddr = 0x40_0000u64;
         (0..len)
             .map(|_| {
@@ -766,8 +779,10 @@ mod tests {
         let dec = t0_decoder(W, Stride::WORD);
         let stream = mixed_stream(500, 3);
         let (words, _) = enc.run(&stream);
-        let pairs: Vec<(BusState, AccessKind)> =
-            words.iter().map(|&w| (w, AccessKind::Instruction)).collect();
+        let pairs: Vec<(BusState, AccessKind)> = words
+            .iter()
+            .map(|&w| (w, AccessKind::Instruction))
+            .collect();
         let (addrs, _) = dec.run(&pairs);
         for (i, (addr, access)) in addrs.iter().zip(&stream).enumerate() {
             assert_eq!(*addr, access.address & W.mask(), "cycle {i}");
@@ -781,8 +796,10 @@ mod tests {
         let mut behavioural = T0Decoder::new(W, Stride::WORD).unwrap();
         let stream = mixed_stream(300, 4);
         let (words, _) = enc.run(&stream);
-        let pairs: Vec<(BusState, AccessKind)> =
-            words.iter().map(|&w| (w, AccessKind::Instruction)).collect();
+        let pairs: Vec<(BusState, AccessKind)> = words
+            .iter()
+            .map(|&w| (w, AccessKind::Instruction))
+            .collect();
         let (addrs, _) = dec.run(&pairs);
         for (i, (addr, word)) in addrs.iter().zip(&words).enumerate() {
             assert_eq!(
@@ -866,9 +883,7 @@ mod tests {
             let pairs: Vec<(BusState, AccessKind)> =
                 words.iter().map(|&w| (w, AccessKind::Data)).collect();
             let (addrs, _) = dec.run(&pairs);
-            for (i, ((word, addr), access)) in
-                words.iter().zip(&addrs).zip(&stream).enumerate()
-            {
+            for (i, ((word, addr), access)) in words.iter().zip(&addrs).zip(&stream).enumerate() {
                 assert_eq!(*word, behavioural_enc.encode(*access), "enc cycle {i}");
                 assert_eq!(*addr, access.address & W.mask(), "round trip cycle {i}");
                 assert_eq!(
@@ -1068,7 +1083,7 @@ mod tests {
         let s = Stride::new(4, w8).unwrap();
         let circuit = dual_t0bi_encoder(w8, s);
         let mut behavioural = DualT0BiEncoder::new(w8, s).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng = Rng64::seed_from_u64(9);
         let stream: Vec<Access> = (0..400)
             .map(|i| {
                 let addr = rng.gen::<u64>() & w8.mask();

@@ -26,6 +26,16 @@ impl NetId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Creates a net id from a raw evaluation-order index.
+    ///
+    /// Intended for analysis tooling (such as `buscode-lint`) that
+    /// assembles [`Gate`] lists by hand; an id pointing past the end of
+    /// the gate vector makes the netlist invalid, which
+    /// [`Netlist::check`] and the simulator will reject.
+    pub fn from_index(index: usize) -> Self {
+        NetId(index as u32)
+    }
 }
 
 /// A gate primitive. Every variant drives exactly one output net.
@@ -125,6 +135,28 @@ impl Netlist {
     /// Creates an empty netlist.
     pub fn new() -> Self {
         Netlist::default()
+    }
+
+    /// Assembles a netlist directly from parts, bypassing the builder's
+    /// by-construction guarantees.
+    ///
+    /// The builder API cannot express malformed circuits (combinational
+    /// cycles are impossible because gates may only reference earlier
+    /// nets); static-analysis tooling needs exactly such circuits as lint
+    /// fixtures. The result may violate every structural invariant —
+    /// validate with [`Netlist::check`] or `buscode-lint` before
+    /// simulating. Entries in `inputs` should index [`Gate::Input`] gates
+    /// and `outputs` name the circuit's observable nets.
+    pub fn from_parts_unchecked(
+        gates: Vec<Gate>,
+        inputs: Vec<NetId>,
+        outputs: Vec<(String, NetId)>,
+    ) -> Self {
+        Netlist {
+            gates,
+            inputs,
+            outputs: outputs.into_iter().collect(),
+        }
     }
 
     fn push(&mut self, gate: Gate) -> NetId {
@@ -597,9 +629,9 @@ mod tests {
     use crate::sim::Simulator;
 
     fn eval_word(sim: &Simulator, word: &Word) -> u64 {
-        word.iter()
-            .enumerate()
-            .fold(0u64, |acc, (i, &bit)| acc | (u64::from(sim.value(bit)) << i))
+        word.iter().enumerate().fold(0u64, |acc, (i, &bit)| {
+            acc | (u64::from(sim.value(bit)) << i)
+        })
     }
 
     #[test]
@@ -629,7 +661,10 @@ mod tests {
     fn check_finds_undriven_dff() {
         let mut n = Netlist::new();
         let _ = n.dff();
-        assert!(matches!(n.check(), Err(LogicError::UndrivenFlipFlop { .. })));
+        assert!(matches!(
+            n.check(),
+            Err(LogicError::UndrivenFlipFlop { .. })
+        ));
     }
 
     #[test]

@@ -69,10 +69,7 @@ impl NetMap {
 pub fn optimize(original: &Netlist) -> (Netlist, NetMap) {
     let (folded, fold_map) = fold(original);
     let (pruned, prune_map) = prune(&folded);
-    let forward = fold_map
-        .iter()
-        .map(|new| prune_map[new.index()])
-        .collect();
+    let forward = fold_map.iter().map(|new| prune_map[new.index()]).collect();
     (pruned, NetMap { forward })
 }
 
@@ -117,7 +114,8 @@ fn fold(original: &Netlist) -> (Netlist, Vec<NetId>) {
         macro_rules! konst {
             ($v:expr) => {{
                 let v = $v;
-                *cse.entry(CseKey::Const(v)).or_insert_with(|| out.constant(v))
+                *cse.entry(CseKey::Const(v))
+                    .or_insert_with(|| out.constant(v))
             }};
         }
         macro_rules! share {

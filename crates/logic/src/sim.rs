@@ -148,9 +148,9 @@ impl Simulator {
 
     /// Reads a word as an integer, LSB-first.
     pub fn word(&self, word: &Word) -> u64 {
-        word.iter()
-            .enumerate()
-            .fold(0u64, |acc, (i, &bit)| acc | (u64::from(self.value(bit)) << i))
+        word.iter().enumerate().fold(0u64, |acc, (i, &bit)| {
+            acc | (u64::from(self.value(bit)) << i)
+        })
     }
 
     /// Transition count of one net since construction.

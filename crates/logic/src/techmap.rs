@@ -169,7 +169,10 @@ mod tests {
             n.mark_output("y", y);
             let (mapped, _) = tech_map(&n);
             assert!(is_nand_only(&mapped));
-            assert_eq!(mapped.gate_census().get("nand").copied().unwrap_or(0), nands);
+            assert_eq!(
+                mapped.gate_census().get("nand").copied().unwrap_or(0),
+                nands
+            );
         }
     }
 
@@ -251,14 +254,22 @@ mod tests {
     #[test]
     fn codec_circuits_map_and_stay_equivalent() {
         use buscode_core::{Access, BusWidth, Stride};
-        let circuit = crate::codecs::t0_encoder(BusWidth::new(8).unwrap(),
-            Stride::new(4, BusWidth::new(8).unwrap()).unwrap());
+        let circuit = crate::codecs::t0_encoder(
+            BusWidth::new(8).unwrap(),
+            Stride::new(4, BusWidth::new(8).unwrap()).unwrap(),
+        );
         let (mapped, map) = tech_map(&circuit.netlist);
         assert!(is_nand_only(&mapped));
         let mut original = Simulator::new(circuit.netlist.clone());
         let mut nanded = Simulator::new(mapped);
         let stream: Vec<Access> = (0..200u64)
-            .map(|i| Access::instruction(if i % 5 == 4 { i * 13 % 256 } else { 4 * i % 256 }))
+            .map(|i| {
+                Access::instruction(if i % 5 == 4 {
+                    i * 13 % 256
+                } else {
+                    4 * i % 256
+                })
+            })
             .collect();
         for access in stream {
             original.set_word(&circuit.address_in, access.address);

@@ -1,8 +1,10 @@
-//! Property-based tests for the gate-level substrate: the simulator
+//! Randomized property tests for the gate-level substrate: the simulator
 //! against a direct functional interpreter on random DAG circuits, the
 //! word-level macro blocks against integer arithmetic, and the codec
-//! circuits against the behavioural codes on random streams.
+//! circuits against the behavioural codes on random streams. All cases are
+//! drawn from seeded deterministic generators.
 
+use buscode_core::rng::Rng64;
 use buscode_core::{Access, AccessKind, BusState, BusWidth, Decoder as _, Encoder as _, Stride};
 use buscode_logic::codecs::{
     bus_invert_decoder, bus_invert_encoder, dual_t0_decoder, dual_t0_encoder, dual_t0bi_decoder,
@@ -10,7 +12,6 @@ use buscode_logic::codecs::{
     t0bi_encoder,
 };
 use buscode_logic::{Netlist, Simulator};
-use proptest::prelude::*;
 
 /// A random combinational gate description over earlier nets.
 #[derive(Clone, Debug)]
@@ -25,23 +26,27 @@ enum Op {
     Mux(usize, usize, usize),
 }
 
-fn op_strategy() -> impl Strategy<Value = (Op, u64)> {
-    // Operand indexes are taken modulo the number of existing nets.
-    let idx = any::<usize>();
-    (
-        prop_oneof![
-            idx.prop_map(Op::Not),
-            (idx, idx).prop_map(|(a, b)| Op::And(a, b)),
-            (idx, idx).prop_map(|(a, b)| Op::Or(a, b)),
-            (idx, idx).prop_map(|(a, b)| Op::Nand(a, b)),
-            (idx, idx).prop_map(|(a, b)| Op::Nor(a, b)),
-            (idx, idx).prop_map(|(a, b)| Op::Xor(a, b)),
-            (idx, idx).prop_map(|(a, b)| Op::Xnor(a, b)),
-            (idx, idx, idx).prop_map(|(s, a, b)| Op::Mux(s, a, b)),
-        ],
-        any::<u64>(),
-    )
-        .prop_map(|(op, salt)| (op, salt))
+/// Draws one random op; operand indexes are taken modulo the number of
+/// existing nets at build/eval time.
+fn random_op(rng: &mut Rng64) -> Op {
+    let a = rng.gen::<usize>();
+    let b = rng.gen::<usize>();
+    match rng.gen_range(0u8..8) {
+        0 => Op::Not(a),
+        1 => Op::And(a, b),
+        2 => Op::Or(a, b),
+        3 => Op::Nand(a, b),
+        4 => Op::Nor(a, b),
+        5 => Op::Xor(a, b),
+        6 => Op::Xnor(a, b),
+        _ => Op::Mux(rng.gen::<usize>(), a, b),
+    }
+}
+
+fn random_ops(rng: &mut Rng64, max: usize) -> Vec<Op> {
+    (0..rng.gen_range(1usize..max))
+        .map(|_| random_op(rng))
+        .collect()
 }
 
 /// Software reference evaluation of the same random circuit.
@@ -70,95 +75,84 @@ fn reference_eval(ops: &[Op], inputs: &[bool]) -> Vec<bool> {
     values
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Builds the netlist realization of a random op list over `n_inputs`
+/// primary inputs; returns the netlist, input nets, and all nets in order.
+fn build_circuit(
+    ops: &[Op],
+    n_inputs: usize,
+) -> (
+    Netlist,
+    Vec<buscode_logic::NetId>,
+    Vec<buscode_logic::NetId>,
+) {
+    let mut netlist = Netlist::new();
+    let inputs: Vec<_> = (0..n_inputs).map(|_| netlist.input()).collect();
+    let mut nets = inputs.clone();
+    for op in ops {
+        let n = nets.len();
+        let id = match *op {
+            Op::Not(a) => netlist.not(nets[a % n]),
+            Op::And(a, b) => netlist.and(nets[a % n], nets[b % n]),
+            Op::Or(a, b) => netlist.or(nets[a % n], nets[b % n]),
+            Op::Nand(a, b) => netlist.nand(nets[a % n], nets[b % n]),
+            Op::Nor(a, b) => netlist.nor(nets[a % n], nets[b % n]),
+            Op::Xor(a, b) => netlist.xor(nets[a % n], nets[b % n]),
+            Op::Xnor(a, b) => netlist.xnor(nets[a % n], nets[b % n]),
+            Op::Mux(s, a, b) => netlist.mux(nets[s % n], nets[a % n], nets[b % n]),
+        };
+        nets.push(id);
+    }
+    (netlist, inputs, nets)
+}
 
-    /// The cycle simulator computes the same values as a direct
-    /// interpreter on arbitrary combinational DAGs, cycle after cycle.
-    #[test]
-    fn simulator_matches_reference_interpreter(
-        n_inputs in 1usize..6,
-        raw_ops in prop::collection::vec(op_strategy(), 1..40),
-        stimuli in prop::collection::vec(any::<u8>(), 1..10),
-    ) {
-        let ops: Vec<Op> = raw_ops.into_iter().map(|(op, _)| op).collect();
-        let mut netlist = Netlist::new();
-        let inputs: Vec<_> = (0..n_inputs).map(|_| netlist.input()).collect();
-        let mut nets = inputs.clone();
-        for op in &ops {
-            let n = nets.len();
-            let id = match *op {
-                Op::Not(a) => netlist.not(nets[a % n]),
-                Op::And(a, b) => netlist.and(nets[a % n], nets[b % n]),
-                Op::Or(a, b) => netlist.or(nets[a % n], nets[b % n]),
-                Op::Nand(a, b) => netlist.nand(nets[a % n], nets[b % n]),
-                Op::Nor(a, b) => netlist.nor(nets[a % n], nets[b % n]),
-                Op::Xor(a, b) => netlist.xor(nets[a % n], nets[b % n]),
-                Op::Xnor(a, b) => netlist.xnor(nets[a % n], nets[b % n]),
-                Op::Mux(s, a, b) => netlist.mux(nets[s % n], nets[a % n], nets[b % n]),
-            };
-            nets.push(id);
-        }
-        prop_assert!(netlist.check().is_ok());
+/// The cycle simulator computes the same values as a direct interpreter on
+/// arbitrary combinational DAGs, cycle after cycle.
+#[test]
+fn simulator_matches_reference_interpreter() {
+    let mut rng = Rng64::seed_from_u64(0x1c_0001);
+    for case in 0..48 {
+        let n_inputs = rng.gen_range(1usize..6);
+        let ops = random_ops(&mut rng, 40);
+        let (netlist, inputs, nets) = build_circuit(&ops, n_inputs);
+        assert!(netlist.check().is_ok());
         let mut sim = Simulator::new(netlist);
-        for stimulus in stimuli {
-            let input_bits: Vec<bool> =
-                (0..n_inputs).map(|i| (stimulus >> i) & 1 == 1).collect();
+        for _ in 0..rng.gen_range(1usize..10) {
+            let stimulus = rng.gen::<u8>();
+            let input_bits: Vec<bool> = (0..n_inputs).map(|i| (stimulus >> i) & 1 == 1).collect();
             for (net, bit) in inputs.iter().zip(&input_bits) {
                 sim.set(*net, *bit);
             }
             sim.step();
             let expected = reference_eval(&ops, &input_bits);
             for (net, want) in nets.iter().zip(&expected) {
-                prop_assert_eq!(sim.value(*net), *want);
+                assert_eq!(sim.value(*net), *want, "case {case}");
             }
         }
     }
+}
 
-    /// The optimizer preserves every marked output's value on arbitrary
-    /// circuits and stimuli, and never grows the gate count.
-    #[test]
-    fn optimizer_preserves_semantics(
-        n_inputs in 1usize..5,
-        raw_ops in prop::collection::vec(op_strategy(), 1..40),
-        stimuli in prop::collection::vec(any::<u8>(), 1..8),
-    ) {
-        let ops: Vec<Op> = raw_ops.into_iter().map(|(op, _)| op).collect();
-        let mut netlist = Netlist::new();
-        let inputs: Vec<_> = (0..n_inputs).map(|_| netlist.input()).collect();
-        let mut nets = inputs.clone();
-        for op in &ops {
-            let n = nets.len();
-            let id = match *op {
-                Op::Not(a) => netlist.not(nets[a % n]),
-                Op::And(a, b) => netlist.and(nets[a % n], nets[b % n]),
-                Op::Or(a, b) => netlist.or(nets[a % n], nets[b % n]),
-                Op::Nand(a, b) => netlist.nand(nets[a % n], nets[b % n]),
-                Op::Nor(a, b) => netlist.nor(nets[a % n], nets[b % n]),
-                Op::Xor(a, b) => netlist.xor(nets[a % n], nets[b % n]),
-                Op::Xnor(a, b) => netlist.xnor(nets[a % n], nets[b % n]),
-                Op::Mux(s, a, b) => netlist.mux(nets[s % n], nets[a % n], nets[b % n]),
-            };
-            nets.push(id);
-        }
+/// The optimizer preserves every marked output's value on arbitrary
+/// circuits and stimuli, and never grows the gate count.
+#[test]
+fn optimizer_preserves_semantics() {
+    let mut rng = Rng64::seed_from_u64(0x1c_0002);
+    for case in 0..48 {
+        let n_inputs = rng.gen_range(1usize..5);
+        let ops = random_ops(&mut rng, 40);
+        let (mut netlist, inputs, nets) = build_circuit(&ops, n_inputs);
         // Mark a handful of nets (including the last) as outputs.
-        let outputs: Vec<_> = nets
-            .iter()
-            .rev()
-            .step_by(3)
-            .take(4)
-            .copied()
-            .collect();
+        let outputs: Vec<_> = nets.iter().rev().step_by(3).take(4).copied().collect();
         for (i, &net) in outputs.iter().enumerate() {
             netlist.mark_output(&format!("o{i}"), net);
         }
         let (optimized, map) = buscode_logic::optimize(&netlist);
-        prop_assert!(optimized.gate_count() <= netlist.gate_count());
-        prop_assert!(optimized.check().is_ok());
+        assert!(optimized.gate_count() <= netlist.gate_count());
+        assert!(optimized.check().is_ok());
 
         let mut original_sim = Simulator::new(netlist);
         let mut optimized_sim = Simulator::new(optimized);
-        for stimulus in stimuli {
+        for _ in 0..rng.gen_range(1usize..8) {
+            let stimulus = rng.gen::<u8>();
             for (i, net) in inputs.iter().enumerate() {
                 let bit = (stimulus >> i) & 1 == 1;
                 original_sim.set(*net, bit);
@@ -167,45 +161,31 @@ proptest! {
             original_sim.step();
             optimized_sim.step();
             for &net in &outputs {
-                prop_assert_eq!(
+                assert_eq!(
                     original_sim.value(net),
-                    optimized_sim.value(map.get(net).unwrap())
+                    optimized_sim.value(map.get(net).unwrap()),
+                    "case {case}"
                 );
             }
         }
     }
+}
 
-    /// NAND2 technology mapping preserves every net's function on
-    /// arbitrary circuits and stimuli.
-    #[test]
-    fn tech_map_preserves_semantics(
-        n_inputs in 1usize..5,
-        raw_ops in prop::collection::vec(op_strategy(), 1..30),
-        stimuli in prop::collection::vec(any::<u8>(), 1..6),
-    ) {
-        let ops: Vec<Op> = raw_ops.into_iter().map(|(op, _)| op).collect();
-        let mut netlist = Netlist::new();
-        let inputs: Vec<_> = (0..n_inputs).map(|_| netlist.input()).collect();
-        let mut nets = inputs.clone();
-        for op in &ops {
-            let n = nets.len();
-            let id = match *op {
-                Op::Not(a) => netlist.not(nets[a % n]),
-                Op::And(a, b) => netlist.and(nets[a % n], nets[b % n]),
-                Op::Or(a, b) => netlist.or(nets[a % n], nets[b % n]),
-                Op::Nand(a, b) => netlist.nand(nets[a % n], nets[b % n]),
-                Op::Nor(a, b) => netlist.nor(nets[a % n], nets[b % n]),
-                Op::Xor(a, b) => netlist.xor(nets[a % n], nets[b % n]),
-                Op::Xnor(a, b) => netlist.xnor(nets[a % n], nets[b % n]),
-                Op::Mux(s, a, b) => netlist.mux(nets[s % n], nets[a % n], nets[b % n]),
-            };
-            nets.push(id);
-        }
+/// NAND2 technology mapping preserves every net's function on arbitrary
+/// circuits and stimuli.
+#[test]
+fn tech_map_preserves_semantics() {
+    let mut rng = Rng64::seed_from_u64(0x1c_0003);
+    for case in 0..48 {
+        let n_inputs = rng.gen_range(1usize..5);
+        let ops = random_ops(&mut rng, 30);
+        let (netlist, inputs, nets) = build_circuit(&ops, n_inputs);
         let (mapped, map) = buscode_logic::tech_map(&netlist);
-        prop_assert!(mapped.check().is_ok());
+        assert!(mapped.check().is_ok());
         let mut original_sim = Simulator::new(netlist);
         let mut mapped_sim = Simulator::new(mapped);
-        for stimulus in stimuli {
+        for _ in 0..rng.gen_range(1usize..6) {
+            let stimulus = rng.gen::<u8>();
             for (i, net) in inputs.iter().enumerate() {
                 let bit = (stimulus >> i) & 1 == 1;
                 original_sim.set(*net, bit);
@@ -214,42 +194,45 @@ proptest! {
             original_sim.step();
             mapped_sim.step();
             for &net in &nets {
-                prop_assert_eq!(
+                assert_eq!(
                     original_sim.value(net),
-                    mapped_sim.value(map.get(net).unwrap())
+                    mapped_sim.value(map.get(net).unwrap()),
+                    "case {case}"
                 );
             }
         }
     }
+}
 
-    /// add_const is addition modulo 2^width for arbitrary widths/values.
-    #[test]
-    fn add_const_is_modular_addition(
-        width in 1u32..16,
-        k in any::<u64>(),
-        values in prop::collection::vec(any::<u64>(), 1..8),
-    ) {
+/// add_const is addition modulo 2^width for arbitrary widths/values.
+#[test]
+fn add_const_is_modular_addition() {
+    let mut rng = Rng64::seed_from_u64(0x1c_0004);
+    for _ in 0..48 {
+        let width = rng.gen_range(1u32..16);
         let mask = (1u64 << width) - 1;
-        let k = k & mask;
+        let k = rng.gen::<u64>() & mask;
         let mut n = Netlist::new();
         let a = n.input_word(width);
         let sum = n.add_const(&a, k);
         let mut sim = Simulator::new(n);
-        for v in values {
-            let v = v & mask;
+        for _ in 0..rng.gen_range(1usize..8) {
+            let v = rng.gen::<u64>() & mask;
             sim.set_word(&a, v);
             sim.step();
-            prop_assert_eq!(sim.word(&sum), (v + k) & mask);
+            assert_eq!(sim.word(&sum), (v + k) & mask);
         }
     }
+}
 
-    /// popcount and gt_const agree with integer arithmetic.
-    #[test]
-    fn popcount_and_comparator_agree_with_integers(
-        bits in 1usize..20,
-        value in any::<u64>(),
-        threshold in 0u64..24,
-    ) {
+/// popcount and gt_const agree with integer arithmetic.
+#[test]
+fn popcount_and_comparator_agree_with_integers() {
+    let mut rng = Rng64::seed_from_u64(0x1c_0005);
+    for _ in 0..48 {
+        let bits = rng.gen_range(1usize..20);
+        let value = rng.gen::<u64>();
+        let threshold = rng.gen_range(0u64..24);
         let mut n = Netlist::new();
         let word: Vec<_> = (0..bits).map(|_| n.input()).collect();
         let count = n.popcount(&word);
@@ -260,29 +243,29 @@ proptest! {
         }
         sim.step();
         let ones = u64::from((value & ((1u64 << bits) - 1)).count_ones());
-        prop_assert_eq!(sim.word(&count), ones);
-        prop_assert_eq!(sim.value(gt), ones > threshold);
+        assert_eq!(sim.word(&count), ones);
+        assert_eq!(sim.value(gt), ones > threshold);
     }
+}
 
-    /// Every gate-level codec pair round-trips arbitrary muxed streams and
-    /// matches its behavioural twin.
-    #[test]
-    fn all_codec_circuits_round_trip(
-        moves in prop::collection::vec((any::<u64>(), 0u8..4, prop::bool::ANY), 1..60),
-    ) {
+/// Every gate-level codec pair round-trips arbitrary muxed streams and
+/// matches its behavioural twin.
+#[test]
+fn all_codec_circuits_round_trip() {
+    let mut rng = Rng64::seed_from_u64(0x1c_0006);
+    for case in 0..24 {
         let width = BusWidth::new(16).unwrap();
         let stride = Stride::new(4, width).unwrap();
         // Build a stream mixing runs, repeats and jumps.
         let mut addr = 0x40u64;
-        let stream: Vec<Access> = moves
-            .iter()
-            .map(|&(jump, kind, is_data)| {
-                addr = match kind {
+        let stream: Vec<Access> = (0..rng.gen_range(1usize..60))
+            .map(|_| {
+                addr = match rng.gen_range(0u8..4) {
                     0 | 1 => addr.wrapping_add(4) & width.mask(),
                     2 => addr,
-                    _ => jump & width.mask(),
+                    _ => rng.gen::<u64>() & width.mask(),
                 };
-                if is_data {
+                if rng.gen::<bool>() {
                     Access::data(addr)
                 } else {
                     Access::instruction(addr)
@@ -295,8 +278,14 @@ proptest! {
             (t0_encoder(width, stride), t0_decoder(width, stride)),
             (bus_invert_encoder(width), bus_invert_decoder(width)),
             (t0bi_encoder(width, stride), t0bi_decoder(width, stride)),
-            (dual_t0_encoder(width, stride), dual_t0_decoder(width, stride)),
-            (dual_t0bi_encoder(width, stride), dual_t0bi_decoder(width, stride)),
+            (
+                dual_t0_encoder(width, stride),
+                dual_t0_decoder(width, stride),
+            ),
+            (
+                dual_t0bi_encoder(width, stride),
+                dual_t0bi_decoder(width, stride),
+            ),
         ];
         for (enc, dec) in circuits {
             let (words, _) = enc.run(&stream);
@@ -307,44 +296,43 @@ proptest! {
                 .collect();
             let (addrs, _) = dec.run(&pairs);
             for (i, (got, access)) in addrs.iter().zip(&stream).enumerate() {
-                prop_assert_eq!(
+                assert_eq!(
                     *got,
                     access.address & width.mask(),
-                    "{} cycle {}",
+                    "case {case}, {} cycle {}",
                     enc.name,
                     i
                 );
             }
         }
     }
+}
 
-    /// Behavioural/gate-level equivalence for the flagship codec on
-    /// arbitrary streams (beyond the fixed-seed unit tests).
-    #[test]
-    fn dual_t0bi_equivalence_on_arbitrary_streams(
-        addrs in prop::collection::vec((any::<u64>(), prop::bool::ANY), 1..80),
-    ) {
+/// Behavioural/gate-level equivalence for the flagship codec on arbitrary
+/// streams (beyond the fixed-seed unit tests).
+#[test]
+fn dual_t0bi_equivalence_on_arbitrary_streams() {
+    let mut rng = Rng64::seed_from_u64(0x1c_0007);
+    for _ in 0..24 {
         let width = BusWidth::new(12).unwrap();
         let stride = Stride::new(4, width).unwrap();
         let circuit = dual_t0bi_encoder(width, stride);
-        let mut behavioural =
-            buscode_core::codes::DualT0BiEncoder::new(width, stride).unwrap();
-        let mut behavioural_dec =
-            buscode_core::codes::DualT0BiDecoder::new(width, stride).unwrap();
-        let stream: Vec<Access> = addrs
-            .iter()
-            .map(|&(a, d)| {
-                if d {
-                    Access::data(a & width.mask())
+        let mut behavioural = buscode_core::codes::DualT0BiEncoder::new(width, stride).unwrap();
+        let mut behavioural_dec = buscode_core::codes::DualT0BiDecoder::new(width, stride).unwrap();
+        let stream: Vec<Access> = (0..rng.gen_range(1usize..80))
+            .map(|_| {
+                let a = rng.gen::<u64>() & width.mask();
+                if rng.gen::<bool>() {
+                    Access::data(a)
                 } else {
-                    Access::instruction(a & width.mask())
+                    Access::instruction(a)
                 }
             })
             .collect();
         let (words, _) = circuit.run(&stream);
         for (word, access) in words.iter().zip(&stream) {
-            prop_assert_eq!(*word, behavioural.encode(*access));
-            prop_assert_eq!(
+            assert_eq!(*word, behavioural.encode(*access));
+            assert_eq!(
                 behavioural_dec.decode(*word, access.kind).unwrap(),
                 access.address & width.mask()
             );

@@ -20,8 +20,8 @@
 use buscode_core::{Access, AccessKind, BusState, BusWidth, Stride};
 use buscode_logic::codecs::{
     binary_decoder, binary_encoder, bus_invert_decoder, bus_invert_encoder, dual_t0_decoder,
-    dual_t0_encoder, dual_t0bi_decoder, dual_t0bi_encoder, gray_decoder, gray_encoder,
-    t0_decoder, t0_encoder, t0bi_decoder, t0bi_encoder,
+    dual_t0_encoder, dual_t0bi_decoder, dual_t0bi_encoder, gray_decoder, gray_encoder, t0_decoder,
+    t0_encoder, t0bi_decoder, t0bi_encoder,
 };
 use buscode_logic::{milliwatts, CapacitanceModel, NetId, Simulator, Technology};
 
@@ -136,12 +136,7 @@ struct CodecSims {
     line_activity: Vec<f64>,
 }
 
-fn run_codec(
-    name: &'static str,
-    width: BusWidth,
-    stride: Stride,
-    stream: &[Access],
-) -> CodecSims {
+fn run_codec(name: &'static str, width: BusWidth, stride: Stride, stream: &[Access]) -> CodecSims {
     let (enc, dec) = match name {
         "binary" => (binary_encoder(width), binary_decoder(width)),
         "gray" => (gray_encoder(width, stride), gray_decoder(width, stride)),

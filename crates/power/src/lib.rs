@@ -35,8 +35,8 @@ mod soc;
 mod system;
 
 pub use codec_power::{
-    offchip_table, offchip_table_for, onchip_table, onchip_table_for, CodecPower,
-    CodecPowerTable, LoadRow, ALL_CODECS, TABLE_CODECS,
+    offchip_table, offchip_table_for, onchip_table, onchip_table_for, CodecPower, CodecPowerTable,
+    LoadRow, ALL_CODECS, TABLE_CODECS,
 };
 pub use pads::PadModel;
 pub use soc::{evaluate_soc, LevelEstimate, SocConfig, SocReport};

@@ -87,16 +87,12 @@ pub struct SocReport {
 impl SocReport {
     /// The code with the lowest power at the L1 bus.
     pub fn best_l1(&self) -> Option<&LevelEstimate> {
-        self.l1
-            .iter()
-            .min_by(|a, b| a.bus_mw.total_cmp(&b.bus_mw))
+        self.l1.iter().min_by(|a, b| a.bus_mw.total_cmp(&b.bus_mw))
     }
 
     /// The code with the lowest power at the L2 bus.
     pub fn best_l2(&self) -> Option<&LevelEstimate> {
-        self.l2
-            .iter()
-            .min_by(|a, b| a.bus_mw.total_cmp(&b.bus_mw))
+        self.l2.iter().min_by(|a, b| a.bus_mw.total_cmp(&b.bus_mw))
     }
 }
 
@@ -112,8 +108,7 @@ fn level_estimates(
         .map(|&code| {
             let mut enc = code.encoder(params)?;
             let stats = count_transitions(enc.as_mut(), stream.iter().copied());
-            let watts =
-                0.5 * tech.vdd * tech.vdd * tech.frequency * stats.per_cycle() * line_cap;
+            let watts = 0.5 * tech.vdd * tech.vdd * tech.frequency * stats.per_cycle() * line_cap;
             Ok(LevelEstimate {
                 code,
                 transitions_per_cycle: stats.per_cycle(),
@@ -188,8 +183,7 @@ mod tests {
 
     #[test]
     fn l1_prefers_a_sequential_code() {
-        let report = evaluate_soc(&stream(), SocConfig::date98(), CodeKind::paper_codes())
-            .unwrap();
+        let report = evaluate_soc(&stream(), SocConfig::date98(), CodeKind::paper_codes()).unwrap();
         let best = report.best_l1().unwrap();
         assert!(
             matches!(
@@ -205,8 +199,7 @@ mod tests {
     fn l2_winner_may_differ_from_l1() {
         // Not asserted to differ (it depends on the stream), but both
         // must be real entries and binary must not win the L1 bus.
-        let report = evaluate_soc(&stream(), SocConfig::date98(), CodeKind::paper_codes())
-            .unwrap();
+        let report = evaluate_soc(&stream(), SocConfig::date98(), CodeKind::paper_codes()).unwrap();
         assert_ne!(report.best_l1().unwrap().code, CodeKind::Binary);
         let l2_best = report.best_l2().unwrap();
         assert!(l2_best.bus_mw > 0.0);

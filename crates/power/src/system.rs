@@ -105,8 +105,8 @@ mod tests {
     #[test]
     fn t0_minimizes_power_on_instruction_streams() {
         let stream = InstructionModel::new(0.63).generate(20_000, 5);
-        let ranking = rank_codes(CodeParams::default(), &stream, 50.0, Technology::date98())
-            .unwrap();
+        let ranking =
+            rank_codes(CodeParams::default(), &stream, 50.0, Technology::date98()).unwrap();
         let first = ranking.first().unwrap().code;
         assert!(
             matches!(
@@ -124,8 +124,8 @@ mod tests {
         // The paper's headline: dual T0_BI is the best code for the
         // multiplexed MIPS bus.
         let stream = MuxedModel::with_targets(0.6304, 0.1139, 0.5762).generate(40_000, 9);
-        let ranking = rank_codes(CodeParams::default(), &stream, 50.0, Technology::date98())
-            .unwrap();
+        let ranking =
+            rank_codes(CodeParams::default(), &stream, 50.0, Technology::date98()).unwrap();
         let names: Vec<&str> = ranking.iter().map(|e| e.code.name()).collect();
         let pos = |n: &str| names.iter().position(|&x| x == n).unwrap();
         assert!(pos("dual-t0-bi") < pos("t0"), "{names:?}");

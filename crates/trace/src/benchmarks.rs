@@ -187,7 +187,14 @@ mod tests {
         assert_eq!(
             names,
             [
-                "gzip", "gunzip", "ghostview", "espresso", "nova", "jedi", "latex", "matlab",
+                "gzip",
+                "gunzip",
+                "ghostview",
+                "espresso",
+                "nova",
+                "jedi",
+                "latex",
+                "matlab",
                 "oracle"
             ]
         );
@@ -240,6 +247,9 @@ mod tests {
     #[test]
     fn full_length_streams_have_declared_length() {
         let profile = &paper_benchmarks()[4]; // the shortest one
-        assert_eq!(profile.stream(StreamKind::Instruction).len(), profile.length);
+        assert_eq!(
+            profile.stream(StreamKind::Instruction).len(),
+            profile.length
+        );
     }
 }

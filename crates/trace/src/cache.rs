@@ -168,8 +168,8 @@ impl FilteredTrace {
     /// block size).
     pub fn stats(&self, block_bytes: u64) -> StreamStats {
         let width = buscode_core::BusWidth::MIPS;
-        let stride = buscode_core::Stride::new(block_bytes, width)
-            .expect("block size is a valid stride");
+        let stride =
+            buscode_core::Stride::new(block_bytes, width).expect("block size is a valid stride");
         StreamStats::measure(&self.misses, stride)
     }
 }
@@ -284,7 +284,11 @@ mod tests {
             CacheConfig::small_icache(),
             CacheConfig::small_dcache(),
         );
-        assert!(filtered.icache_hit_rate > 0.7, "{}", filtered.icache_hit_rate);
+        assert!(
+            filtered.icache_hit_rate > 0.7,
+            "{}",
+            filtered.icache_hit_rate
+        );
         assert!(filtered.misses.len() < stream.len() / 2);
     }
 

@@ -211,7 +211,13 @@ impl MarkovStats {
                 jump_seq += u64::from(second);
             }
         }
-        let ratio = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
         MarkovStats {
             p_seq_given_seq: ratio(seq_seq, seq_total),
             p_seq_given_jump: ratio(jump_seq, jump_total),
@@ -390,7 +396,10 @@ mod tests {
         // The generator uses a = max(0.85, q); q = 0.63 -> a = 0.85 and
         // b = q(1-a)/(1-q) ~ 0.2554.
         assert!((markov.p_seq_given_seq - 0.85).abs() < 0.02, "{markov:?}");
-        assert!((markov.p_seq_given_jump - 0.2554).abs() < 0.02, "{markov:?}");
+        assert!(
+            (markov.p_seq_given_jump - 0.2554).abs() < 0.02,
+            "{markov:?}"
+        );
         let direct = StreamStats::measure(&stream, Stride::WORD).in_seq_fraction();
         assert!((markov.stationary_in_seq() - direct).abs() < 0.02);
     }
@@ -402,7 +411,7 @@ mod tests {
         let markov = MarkovStats::measure(&run, Stride::WORD);
         assert_eq!(markov.p_seq_given_seq, 1.0);
         assert_eq!(markov.p_seq_given_jump, 0.0); // never observed
-        // Too short for any window.
+                                                  // Too short for any window.
         let markov = MarkovStats::measure(&run[..2], Stride::WORD);
         assert_eq!(markov.transitions, 0);
     }

@@ -10,9 +10,8 @@
 //!
 //! All generators are deterministic given a seed.
 
+use buscode_core::rng::Rng64;
 use buscode_core::{Access, BusWidth, Stride};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Generator of instruction-address streams (stream alpha).
 ///
@@ -90,7 +89,7 @@ impl InstructionModel {
     /// is parameterized to leave the stationary in-sequence fraction at the
     /// calibration target while producing realistic run lengths.
     pub fn generate(&self, len: usize, seed: u64) -> Vec<Access> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let mut out = Vec::with_capacity(len);
         let mut pc = self.code_base;
         let mut call_stack: Vec<u64> = Vec::new();
@@ -128,7 +127,11 @@ impl InstructionModel {
                     } else {
                         rng.gen_range(9..=64)
                     };
-                    let delta = if rng.gen_bool(0.6) { -magnitude } else { magnitude };
+                    let delta = if rng.gen_bool(0.6) {
+                        -magnitude
+                    } else {
+                        magnitude
+                    };
                     let target = pc.wrapping_add_signed(delta * stride as i64) & mask;
                     if target >= self.code_base && target < self.code_base + self.code_span {
                         target
@@ -141,14 +144,14 @@ impl InstructionModel {
                     if call_stack.len() > 64 {
                         call_stack.remove(0);
                     }
-                    let target = self.code_base
-                        + stride * rng.gen_range(0..self.code_span / stride);
+                    let target =
+                        self.code_base + stride * rng.gen_range(0..self.code_span / stride);
                     target & mask
                 } else if let Some(ret) = call_stack.pop() {
                     ret & mask
                 } else {
-                    let target = self.code_base
-                        + stride * rng.gen_range(0..self.code_span / stride);
+                    let target =
+                        self.code_base + stride * rng.gen_range(0..self.code_span / stride);
                     target & mask
                 };
             }
@@ -223,7 +226,7 @@ impl DataModel {
 
     /// Generates a stream of `len` data accesses.
     pub fn generate(&self, len: usize, seed: u64) -> Vec<Access> {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut rng = Rng64::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
         let mut out: Vec<Access> = Vec::with_capacity(len);
         let stride = self.stride.get();
         let mask = self.width.mask();
@@ -279,14 +282,13 @@ impl DataModel {
                     // Resume (or restart) another array walk.
                     current = rng.gen_range(0..cursors.len());
                     if rng.gen_bool(0.2) {
-                        cursors[current] = self.heap_base
-                            + rng.gen_range(0..self.heap_span / stride) * stride;
+                        cursors[current] =
+                            self.heap_base + rng.gen_range(0..self.heap_span / stride) * stride;
                     }
                     cursors[current] & mask
                 } else {
                     // Pointer chase into the heap.
-                    (self.heap_base + rng.gen_range(0..self.heap_span / stride) * stride)
-                        & mask
+                    (self.heap_base + rng.gen_range(0..self.heap_span / stride) * stride) & mask
                 };
             }
         }
@@ -341,7 +343,7 @@ impl MuxedModel {
 
     /// Generates a multiplexed stream of `len` bus transactions.
     pub fn generate(&self, len: usize, seed: u64) -> Vec<Access> {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d);
+        let mut rng = Rng64::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d);
         // Generate both component streams lazily long enough, then weave.
         let instructions = self.instruction.generate(len, seed);
         let data = self.data.generate(len, seed.wrapping_add(1));
@@ -441,7 +443,9 @@ mod tests {
         assert_eq!(InstructionModel::new(0.5).generate(12345, 1).len(), 12345);
         assert_eq!(DataModel::new(0.1).generate(999, 1).len(), 999);
         assert_eq!(
-            MuxedModel::with_targets(0.6, 0.1, 0.5).generate(7777, 1).len(),
+            MuxedModel::with_targets(0.6, 0.1, 0.5)
+                .generate(7777, 1)
+                .len(),
             7777
         );
     }

@@ -59,8 +59,8 @@ impl Encoder for SplitT0Encoder {
     fn encode(&mut self, access: Access) -> BusState {
         let b = access.address & self.width.mask();
         let i = slot(access.kind);
-        let sequential = self.references[i]
-            .is_some_and(|r| b == self.width.wrapping_add(r, self.stride.get()));
+        let sequential =
+            self.references[i].is_some_and(|r| b == self.width.wrapping_add(r, self.stride.get()));
         let out = if sequential {
             BusState::new(self.prev_bus.payload, 1)
         } else {

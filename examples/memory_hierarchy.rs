@@ -38,8 +38,7 @@ fn print_ranking(title: &str, rows: &[(String, f64)]) {
 
 fn main() -> Result<(), CodecError> {
     let width = BusWidth::MIPS;
-    let processor_stream =
-        MuxedModel::with_targets(0.6304, 0.1139, 0.5762).generate(200_000, 11);
+    let processor_stream = MuxedModel::with_targets(0.6304, 0.1139, 0.5762).generate(200_000, 11);
 
     // Processor-side bus: stride 4 (one instruction word).
     let l1_params = CodeParams {
@@ -52,7 +51,10 @@ fn main() -> Result<(), CodecError> {
         l1_stats.len,
         l1_stats.in_seq_percent()
     );
-    print_ranking("Ranking on the processor-side (L1) bus:", &rank(&processor_stream, l1_params));
+    print_ranking(
+        "Ranking on the processor-side (L1) bus:",
+        &rank(&processor_stream, l1_params),
+    );
 
     // Behind the caches: block-aligned miss traffic, stride = block size.
     let icfg = CacheConfig::small_icache();
@@ -75,7 +77,10 @@ fn main() -> Result<(), CodecError> {
         l2_stats.in_seq_percent(),
         icfg.block_bytes
     );
-    print_ranking("Ranking on the miss-filtered (L2) bus:", &rank(&filtered.misses, l2_params));
+    print_ranking(
+        "Ranking on the miss-filtered (L2) bus:",
+        &rank(&filtered.misses, l2_params),
+    );
 
     println!("Cache filtering thins sequential runs, so the sequential codes lose");
     println!("ground behind the cache — the hierarchy level changes the best code,");
@@ -84,7 +89,11 @@ fn main() -> Result<(), CodecError> {
     // Finally, price both levels electrically: the short on-chip L1 bus
     // versus the pad-driven off-chip L2 bus.
     use buscode::power::{evaluate_soc, SocConfig};
-    let report = evaluate_soc(&processor_stream, SocConfig::date98(), CodeKind::paper_codes())?;
+    let report = evaluate_soc(
+        &processor_stream,
+        SocConfig::date98(),
+        CodeKind::paper_codes(),
+    )?;
     println!(
         "Power view (0.5 pF on-chip, 50 pF off-chip): {} L1 vs {} L2 transactions",
         report.l1_transactions, report.l2_transactions

@@ -19,8 +19,15 @@ fn main() -> Result<(), CodecError> {
     let params = CodeParams::default(); // 32-bit bus, stride 4
 
     let binary = binary_reference(params.width, stream.iter().copied());
-    println!("stream: {} bus cycles, binary reference: {} transitions\n", stream.len(), binary.total());
-    println!("{:<12} {:>12} {:>9}  redundant lines", "code", "transitions", "savings");
+    println!(
+        "stream: {} bus cycles, binary reference: {} transitions\n",
+        stream.len(),
+        binary.total()
+    );
+    println!(
+        "{:<12} {:>12} {:>9}  redundant lines",
+        "code", "transitions", "savings"
+    );
 
     for kind in CodeKind::paper_codes() {
         let mut encoder = kind.encoder(params)?;

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     write_trace(std::fs::File::create(&path)?, &stream)?;
     let reloaded = read_trace(std::io::BufReader::new(std::fs::File::open(&path)?))?;
     assert_eq!(reloaded, stream);
-    println!("trace: {} accesses round-tripped through {}", stream.len(), path.display());
+    println!(
+        "trace: {} accesses round-tripped through {}",
+        stream.len(),
+        path.display()
+    );
 
     // 3. Characterize.
     let stride = Stride::WORD;
@@ -41,9 +45,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let jumps = jump_hamming_histogram(&reloaded, stride);
     println!("\ncharacterization:");
     println!("  in-sequence:        {:.1}%", stats.in_seq_percent());
-    println!("  run persistence:    P(seq|seq) = {:.3}", markov.p_seq_given_seq);
+    println!(
+        "  run persistence:    P(seq|seq) = {:.3}",
+        markov.p_seq_given_seq
+    );
     println!("  mean run length:    {:.1} fetches", histogram_mean(&runs));
-    println!("  mean jump distance: {:.1} bit flips", histogram_mean(&jumps));
+    println!(
+        "  mean jump distance: {:.1} bit flips",
+        histogram_mean(&jumps)
+    );
 
     // 4. Pick a code by measurement.
     let params = CodeParams::default();
@@ -51,8 +61,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut best: Option<(&str, f64)> = None;
     for kind in CodeKind::paper_codes() {
         let mut enc = kind.encoder(params)?;
-        let savings = count_transitions(enc.as_mut(), reloaded.iter().copied())
-            .savings_vs(&reference);
+        let savings =
+            count_transitions(enc.as_mut(), reloaded.iter().copied()).savings_vs(&reference);
         if best.is_none_or(|(_, b)| savings > b) {
             best = Some((kind.name(), savings));
         }
@@ -75,6 +85,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let vcd_path = std::env::temp_dir().join("buscode_t0.vcd");
     recorder.write(std::fs::File::create(&vcd_path)?)?;
-    println!("waveforms: {} cycles dumped to {}", recorder.cycles(), vcd_path.display());
+    println!(
+        "waveforms: {} cycles dumped to {}",
+        recorder.cycles(),
+        vcd_path.display()
+    );
     Ok(())
 }

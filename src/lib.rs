@@ -18,7 +18,10 @@
 //!   simulation and switching-activity accounting, hosting the paper's
 //!   encoder/decoder architectures;
 //! - [`buscode_power`] (`power`) — system-level power models for on-chip and
-//!   off-chip buses (the paper's Tables 8-9).
+//!   off-chip buses (the paper's Tables 8-9);
+//! - [`buscode_lint`] (`lint`) — static verification: graph-level netlist
+//!   lints (the `buslint` tool) and the exhaustive encoder/decoder
+//!   protocol model checker.
 //!
 //! ## Quick start
 //!
@@ -45,6 +48,7 @@
 
 pub use buscode_core as core;
 pub use buscode_cpu as cpu;
+pub use buscode_lint as lint;
 pub use buscode_logic as logic;
 pub use buscode_power as power;
 pub use buscode_trace as trace;
@@ -60,7 +64,7 @@ pub mod prelude {
         binary_reference, compare_codes, count_transitions, verify_round_trip,
     };
     pub use buscode_core::{
-        Access, AccessKind, BusState, BusWidth, CodeKind, CodeParams, CodecError, Decoder,
-        Encoder, Stride, TransitionStats,
+        Access, AccessKind, BusState, BusWidth, CodeKind, CodeParams, CodecError, Decoder, Encoder,
+        Stride, TransitionStats,
     };
 }

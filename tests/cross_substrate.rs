@@ -31,8 +31,7 @@ fn synthetic_and_cpu_traces_agree_on_code_ordering() {
         let trace = kernel.trace().expect("kernel runs");
         let instr = trace.instruction();
         assert!(
-            savings(CodeKind::T0, params, &instr)
-                > savings(CodeKind::BusInvert, params, &instr),
+            savings(CodeKind::T0, params, &instr) > savings(CodeKind::BusInvert, params, &instr),
             "{}",
             kernel.name
         );

@@ -18,7 +18,13 @@ fn every_code_round_trips_on_every_kernel_trace() {
             let mut dec = kind.decoder(params).expect("valid params");
             let result =
                 verify_round_trip(enc.as_mut(), dec.as_mut(), trace.muxed().iter().copied());
-            assert!(result.is_ok(), "{} on {}: {:?}", kind, kernel.name, result.err());
+            assert!(
+                result.is_ok(),
+                "{} on {}: {:?}",
+                kind,
+                kernel.name,
+                result.err()
+            );
         }
     }
 }

@@ -9,10 +9,10 @@
 //! the bus again.
 
 use buscode::core::{Access, AccessKind, BusState, CodeKind, CodeParams, CodecError};
-use rand::{Rng, SeedableRng};
+use buscode_core::rng::Rng64;
 
 fn muxed_stream(len: usize, seed: u64) -> Vec<Access> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut iaddr = 0x40_0000u64;
     (0..len)
         .map(|_| {
@@ -31,7 +31,7 @@ fn muxed_stream(len: usize, seed: u64) -> Vec<Access> {
 }
 
 /// Flips one random payload or aux line of some words in transit.
-fn corrupt(words: &mut [BusState], rng: &mut impl Rng, rate: f64) -> usize {
+fn corrupt(words: &mut [BusState], rng: &mut Rng64, rate: f64) -> usize {
     let mut injected = 0;
     for word in words.iter_mut() {
         if rng.gen_bool(rate) {
@@ -50,13 +50,11 @@ fn corrupt(words: &mut [BusState], rng: &mut impl Rng, rate: f64) -> usize {
 fn decoders_never_panic_on_corrupted_buses() {
     let params = CodeParams::default();
     let stream = muxed_stream(2_000, 1);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut rng = Rng64::seed_from_u64(2);
     for kind in CodeKind::all() {
         let mut enc = kind.encoder(params).expect("valid params");
-        let mut words: Vec<(BusState, AccessKind)> = stream
-            .iter()
-            .map(|&a| (enc.encode(a), a.kind))
-            .collect();
+        let mut words: Vec<(BusState, AccessKind)> =
+            stream.iter().map(|&a| (enc.encode(a), a.kind)).collect();
         {
             let mut bus: Vec<BusState> = words.iter().map(|(w, _)| *w).collect();
             let injected = corrupt(&mut bus, &mut rng, 0.05);
@@ -85,8 +83,13 @@ fn irredundant_codes_decode_every_corrupted_word() {
     // corruption silently decodes to a wrong address, never to an error.
     let params = CodeParams::default();
     let stream = muxed_stream(1_000, 3);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-    for kind in [CodeKind::Binary, CodeKind::Gray, CodeKind::T0Xor, CodeKind::Offset] {
+    let mut rng = Rng64::seed_from_u64(4);
+    for kind in [
+        CodeKind::Binary,
+        CodeKind::Gray,
+        CodeKind::T0Xor,
+        CodeKind::Offset,
+    ] {
         let mut enc = kind.encoder(params).expect("valid params");
         let mut words: Vec<BusState> = stream.iter().map(|&a| enc.encode(a)).collect();
         corrupt(&mut words, &mut rng, 0.1);
@@ -111,9 +114,9 @@ fn t0_decoder_resynchronizes_after_a_glitch() {
 
     let stream = [
         Access::instruction(0x100),
-        Access::instruction(0x104), // INC
-        Access::instruction(0x900), // plain — corrupted in transit
-        Access::instruction(0x904), // INC: decodes relative to the glitch
+        Access::instruction(0x104),  // INC
+        Access::instruction(0x900),  // plain — corrupted in transit
+        Access::instruction(0x904),  // INC: decodes relative to the glitch
         Access::instruction(0x2000), // plain — resynchronizes
         Access::instruction(0x2004), // INC: exact again
     ];
@@ -160,11 +163,9 @@ fn dual_t0bi_sel_glitch_is_survivable() {
     let mut enc = CodeKind::DualT0Bi.encoder(params).unwrap();
     let mut dec = CodeKind::DualT0Bi.decoder(params).unwrap();
     let stream = muxed_stream(500, 9);
-    let words: Vec<(BusState, AccessKind)> = stream
-        .iter()
-        .map(|&a| (enc.encode(a), a.kind))
-        .collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    let words: Vec<(BusState, AccessKind)> =
+        stream.iter().map(|&a| (enc.encode(a), a.kind)).collect();
+    let mut rng = Rng64::seed_from_u64(10);
     for (word, sel) in words {
         let observed_sel = if rng.gen_bool(0.05) {
             // flip the SEL classification

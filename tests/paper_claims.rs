@@ -2,8 +2,8 @@
 //! calibrated benchmark suite — the integration-level contract of the
 //! whole reproduction (see EXPERIMENTS.md for the measured numbers).
 
-use buscode_bench::tables;
 use buscode::core::{BusWidth, Stride};
+use buscode_bench::tables;
 
 const LEN: usize = 20_000;
 
@@ -14,8 +14,16 @@ fn claim_instruction_buses_are_dominantly_sequential() {
     // (11.39%)".
     let t2 = tables::table2(LEN);
     let t3 = tables::table3(LEN);
-    assert!((t2.avg_in_seq_percent - 63.04).abs() < 3.0, "{}", t2.avg_in_seq_percent);
-    assert!((t3.avg_in_seq_percent - 11.39).abs() < 3.0, "{}", t3.avg_in_seq_percent);
+    assert!(
+        (t2.avg_in_seq_percent - 63.04).abs() < 3.0,
+        "{}",
+        t2.avg_in_seq_percent
+    );
+    assert!(
+        (t3.avg_in_seq_percent - 11.39).abs() < 3.0,
+        "{}",
+        t3.avg_in_seq_percent
+    );
     assert!(t2.avg_in_seq_percent > t3.avg_in_seq_percent + 40.0);
 }
 
@@ -126,7 +134,9 @@ fn claim_asymptotic_zero_transition_property() {
     use buscode::core::{Access, CodeKind, CodeParams};
     let params = CodeParams::default();
     let mut enc = CodeKind::T0.encoder(params).unwrap();
-    let run: Vec<Access> = (0..100_000u64).map(|i| Access::instruction(4 * i)).collect();
+    let run: Vec<Access> = (0..100_000u64)
+        .map(|i| Access::instruction(4 * i))
+        .collect();
     let stats = count_transitions(enc.as_mut(), run.iter().copied());
     assert!(stats.per_cycle() < 1e-3, "{}", stats.per_cycle());
 

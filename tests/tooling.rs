@@ -25,7 +25,11 @@ fn lazy_adapters_compose_with_every_factory_code() {
             .zip(stream.iter().map(|a| a.kind))
             .collect();
         for (decoded, original) in dec.decode_iter(words).zip(&stream) {
-            assert_eq!(decoded.expect("conforming stream"), original.address, "{kind}");
+            assert_eq!(
+                decoded.expect("conforming stream"),
+                original.address,
+                "{kind}"
+            );
         }
     }
 }
@@ -101,7 +105,11 @@ fn soc_evaluation_accepts_extension_codes() {
     let report = evaluate_soc(
         &stream(10_000),
         SocConfig::date98(),
-        &[CodeKind::Binary, CodeKind::DualT0Bi, CodeKind::SelfOrganizing],
+        &[
+            CodeKind::Binary,
+            CodeKind::DualT0Bi,
+            CodeKind::SelfOrganizing,
+        ],
     )
     .expect("all codes evaluate");
     assert_eq!(report.l1.len(), 3);

@@ -4,10 +4,10 @@
 
 use buscode::core::metrics::verify_round_trip;
 use buscode::core::{Access, BusWidth, CodeKind, CodeParams, Stride};
-use rand::{Rng, SeedableRng};
+use buscode_core::rng::Rng64;
 
 fn mixed_stream(width: BusWidth, stride: Stride, len: usize, seed: u64) -> Vec<Access> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mask = width.mask();
     let mut addr = 0x11u64 & mask;
     (0..len)
