@@ -6,12 +6,13 @@
 //! paper_tables [--table N] [--len L] [--ablations]
 //! ```
 //!
-//! Without arguments, all nine tables are printed at full benchmark
-//! lengths (use `--len` to cap stream lengths for a quick run).
+//! Without arguments, all nine paper tables plus the hardening
+//! power-vs-reliability table (`--table 10`) are printed at full
+//! benchmark lengths (use `--len` to cap stream lengths for a quick run).
 
 use buscode_bench::render::{
-    csv_power_table, csv_transition_table, render_power_table, render_table1,
-    render_transition_table,
+    csv_hardening_table, csv_power_table, csv_transition_table, render_hardening_table,
+    render_power_table, render_table1, render_transition_table,
 };
 use buscode_bench::tables;
 use buscode_core::{BusWidth, Stride};
@@ -175,6 +176,17 @@ fn main() {
             )
         );
         write_csv("table9.csv", csv_power_table(&table));
+    }
+    if want(10) {
+        let rows = tables::hardening_table(power_len);
+        println!(
+            "{}",
+            render_hardening_table(
+                "Hardening Cost: Bus Power of Stateful Codes Bare vs Hardened (50 pF)",
+                &rows
+            )
+        );
+        write_csv("hardening.csv", csv_hardening_table(&rows));
     }
     if opts.ablations {
         println!("Codec synthesis report (32-bit encoders)");

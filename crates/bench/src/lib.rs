@@ -28,7 +28,7 @@ pub mod tables;
 
 pub use tables::{
     ablation_extensions, ablation_partitioned_bus_invert, ablation_stride, ablation_width,
-    codec_synthesis_report, decoder_synthesis_report, sequentiality_sweep, table1, table2, table3,
-    table4, table5, table6, table7, table8, table9, SweepPoint, SynthesisRow, Table1Report,
-    TransitionTable,
+    codec_synthesis_report, decoder_synthesis_report, hardening_table, sequentiality_sweep, table1,
+    table2, table3, table4, table5, table6, table7, table8, table9, SweepPoint, SynthesisRow,
+    Table1Report, TransitionTable, HARDENING_REFRESHES,
 };

@@ -2,7 +2,7 @@
 //! paper's tables.
 
 use crate::tables::{Table1Report, TransitionTable};
-use buscode_power::CodecPowerTable;
+use buscode_power::{CodecPowerTable, HardeningCost};
 
 fn hr(widths: &[usize]) -> String {
     let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
@@ -127,6 +127,48 @@ pub fn render_power_table(title: &str, table: &CodecPowerTable, with_pads: bool)
     out
 }
 
+/// Renders the hardening power-vs-reliability table: per stateful code
+/// and refresh interval, bare versus hardened bus power and the overhead
+/// the parity line and refresh words cost.
+pub fn render_hardening_table(title: &str, rows: &[HardeningCost]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>12} {:>14} {:>10}\n",
+        "Code", "Refresh", "Bare(mW)", "Hardened(mW)", "Overhead"
+    ));
+    out.push_str(&hr(&[12, 8, 12, 14, 10]));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>12.4} {:>14.4} {:>9.2}%\n",
+            row.code.name(),
+            row.refresh,
+            row.bare_mw,
+            row.hardened_mw,
+            row.overhead_percent()
+        ));
+    }
+    out
+}
+
+/// Renders the hardening trade-off table as CSV.
+pub fn csv_hardening_table(rows: &[HardeningCost]) -> String {
+    let mut out = String::from("code,refresh,bare_mw,hardened_mw,overhead_percent\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{},{},{:.6},{:.6},{:.4}\n",
+            row.code.name(),
+            row.refresh,
+            row.bare_mw,
+            row.hardened_mw,
+            row.overhead_percent()
+        ));
+    }
+    out
+}
+
 /// Renders one of Tables 2-7 as CSV (machine-readable companion to the
 /// plain-text layout).
 pub fn csv_transition_table(table: &TransitionTable) -> String {
@@ -221,6 +263,21 @@ mod tests {
         }
         assert!(lines[0].contains("t0_savings_percent"));
         assert!(lines[1].starts_with("gzip,"));
+    }
+
+    #[test]
+    fn hardening_table_renders_and_csv_parses() {
+        let rows = tables::hardening_table(2_000);
+        let text = render_hardening_table("Hardening cost", &rows);
+        assert!(text.contains("dual-t0-bi"));
+        assert!(text.contains("Overhead"));
+        let csv = csv_hardening_table(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + rows.len());
+        let columns = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), columns);
+        }
     }
 
     #[test]

@@ -4,7 +4,9 @@ use buscode_core::analysis::{self, StreamClass, Table1Row};
 use buscode_core::metrics::{binary_reference, count_transitions};
 use buscode_core::{Access, BusWidth, CodeKind, CodeParams, Stride};
 use buscode_logic::Technology;
-use buscode_power::{offchip_table, onchip_table, CodecPowerTable, PadModel};
+use buscode_power::{
+    hardening_cost, offchip_table, onchip_table, CodecPowerTable, HardeningCost, PadModel,
+};
 use buscode_trace::{paper_benchmarks, DataModel, InstructionModel, StreamKind, StreamStats};
 
 /// Table 1 with both the closed-form models and a Monte-Carlo check of
@@ -413,6 +415,42 @@ pub fn ablation_extensions(length: usize) -> Vec<(StreamKind, TransitionTable)> 
         .collect()
 }
 
+/// The refresh intervals swept by [`hardening_table`].
+pub const HARDENING_REFRESHES: [u64; 3] = [8, 32, 128];
+
+/// The power-vs-reliability trade-off: bus power of each stateful paper
+/// code bare and under the `Hardened` wrapper, on the reference
+/// multiplexed stream at the off-chip load of Table 9's 50 pF column.
+/// One [`HardeningCost`] per code × refresh interval in
+/// [`HARDENING_REFRESHES`]; the reliability side of the same trade-off is
+/// the `faultrun` campaign's resync bound.
+pub fn hardening_table(stream_length: usize) -> Vec<HardeningCost> {
+    let stream = reference_muxed_stream(stream_length);
+    let params = CodeParams {
+        width: BusWidth::MIPS,
+        stride: Stride::WORD,
+    };
+    let tech = Technology::date98();
+    let codes = [
+        CodeKind::T0,
+        CodeKind::T0Bi,
+        CodeKind::DualT0,
+        CodeKind::DualT0Bi,
+        CodeKind::T0Xor,
+        CodeKind::Offset,
+    ];
+    let mut out = Vec::new();
+    for code in codes {
+        for refresh in HARDENING_REFRESHES {
+            out.push(
+                hardening_cost(code, params, refresh, &stream, 50.0, tech)
+                    .expect("valid params for every stateful paper code"),
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -622,6 +660,23 @@ mod tests {
         // NAND2 area preserves the cost ordering.
         assert!(by("binary").nand2_area < by("t0").nand2_area);
         assert!(by("t0").nand2_area < by("dual-t0-bi").nand2_area);
+    }
+
+    #[test]
+    fn hardening_table_shows_overhead_shrinking_with_refresh() {
+        let rows = hardening_table(4_000);
+        assert_eq!(rows.len(), 6 * HARDENING_REFRESHES.len());
+        for chunk in rows.chunks(HARDENING_REFRESHES.len()) {
+            // Hardening always costs power…
+            for row in chunk {
+                assert!(row.hardened_mw > row.bare_mw, "{row:?}");
+            }
+            // …and the tighter the resync bound, the more it costs.
+            for pair in chunk.windows(2) {
+                assert!(pair[0].refresh < pair[1].refresh);
+                assert!(pair[0].hardened_mw > pair[1].hardened_mw, "{pair:?}");
+            }
+        }
     }
 
     #[test]

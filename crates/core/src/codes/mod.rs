@@ -15,6 +15,10 @@
 //! Extension codes from the follow-on literature, used for ablations:
 //! [`t0_xor`], [`offset`], [`working_zone`], [`beach`], and
 //! [`self_organizing`].
+//!
+//! The [`hardened`] module wraps any of the above with aux-line parity
+//! and a periodic plain-word refresh, bounding the damage a transient
+//! bus fault can do to the stateful codes.
 
 pub mod beach;
 pub mod binary;
@@ -22,6 +26,7 @@ pub mod bus_invert;
 pub mod dual_t0;
 pub mod dual_t0_bi;
 pub mod gray;
+pub mod hardened;
 pub mod offset;
 pub mod self_organizing;
 pub mod t0;
@@ -35,6 +40,7 @@ pub use bus_invert::{BusInvertDecoder, BusInvertEncoder};
 pub use dual_t0::{DualT0Decoder, DualT0Encoder};
 pub use dual_t0_bi::{DualT0BiDecoder, DualT0BiEncoder};
 pub use gray::{gray_decode, gray_encode, GrayDecoder, GrayEncoder};
+pub use hardened::Hardened;
 pub use offset::{OffsetDecoder, OffsetEncoder};
 pub use self_organizing::{SelfOrganizingDecoder, SelfOrganizingEncoder};
 pub use t0::{T0Decoder, T0Encoder};

@@ -1,0 +1,198 @@
+//! `faultrun` — fault-injection campaign driver for the buscode
+//! workspace.
+//!
+//! Runs seeded Monte Carlo fault campaigns over every code × stream kind
+//! (bare and under the `Hardened` wrapper), optionally the gate-level
+//! campaign over the synthesized codec netlists, and reports silent-data-
+//! corruption rate, detection rate, and cycles-to-resync as text or JSON.
+//!
+//! `--smoke` runs the small fixed-seed campaign CI gates on: it exits
+//! nonzero if any hardened codec shows corruption beyond its refresh
+//! bound or misses a transient-flip detection, or if a bare stateful code
+//! stops showing the silent corruption the hardening layer exists for.
+//!
+//! ```text
+//! faultrun [--format text|json] [--trials N] [--len CYCLES] [--seed S]
+//!          [--refresh R] [--fault MODEL] [--gate] [--smoke]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use buscode_fault::campaign::{run_campaign, CampaignConfig};
+use buscode_fault::gate::{render_gate_json, render_gate_text, run_gate_campaign};
+use buscode_fault::models::FaultKind;
+use buscode_fault::GateCampaignConfig;
+
+/// Parsed command line.
+struct Options {
+    json: bool,
+    trials: u32,
+    stream_len: usize,
+    seed: u64,
+    refresh: u64,
+    /// Restrict to one fault model (default: all).
+    fault: Option<FaultKind>,
+    /// Also run the gate-level campaign.
+    gate: bool,
+    /// Small fixed-seed campaign with the CI assertions.
+    smoke: bool,
+}
+
+/// Outcome of argument parsing: run, print help, or reject.
+enum Parsed {
+    Run(Options),
+    Help,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Parsed, String> {
+        let mut opts = Options {
+            json: false,
+            trials: 100,
+            stream_len: 500,
+            seed: 42,
+            refresh: 32,
+            fault: None,
+            gate: false,
+            smoke: false,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--format" => {
+                    let value = it.next().ok_or("--format needs a value")?;
+                    opts.json = match value.as_str() {
+                        "json" => true,
+                        "text" => false,
+                        other => return Err(format!("unknown format '{other}'")),
+                    };
+                }
+                "--trials" => {
+                    opts.trials = parse_num(it.next().ok_or("--trials needs a value")?)? as u32;
+                }
+                "--len" => {
+                    opts.stream_len = parse_num(it.next().ok_or("--len needs a value")?)? as usize;
+                    if opts.stream_len < 32 {
+                        return Err("--len must be at least 32 cycles".to_string());
+                    }
+                }
+                "--seed" => {
+                    opts.seed = parse_num(it.next().ok_or("--seed needs a value")?)?;
+                }
+                "--refresh" => {
+                    opts.refresh = parse_num(it.next().ok_or("--refresh needs a value")?)?;
+                    if opts.refresh == 0 {
+                        return Err("--refresh must be at least 1".to_string());
+                    }
+                }
+                "--fault" => {
+                    let value = it.next().ok_or("--fault needs a value")?;
+                    opts.fault = Some(parse_fault(value)?);
+                }
+                "--gate" => opts.gate = true,
+                "--smoke" => opts.smoke = true,
+                "--help" | "-h" => return Ok(Parsed::Help),
+                other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+            }
+        }
+        Ok(Parsed::Run(opts))
+    }
+}
+
+const USAGE: &str = "usage: faultrun [--format text|json] [--trials N] [--len CYCLES] \
+[--seed S] [--refresh R] [--fault MODEL] [--gate] [--smoke]\n\
+fault models: transient-flip stuck-at-0 stuck-at-1 burst drop-cycle duplicate-cycle";
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse::<u64>()
+        .map_err(|_| format!("'{s}' is not a nonnegative integer"))
+}
+
+fn parse_fault(s: &str) -> Result<FaultKind, String> {
+    FaultKind::all()
+        .iter()
+        .copied()
+        .find(|k| k.name() == s)
+        .ok_or_else(|| format!("unknown fault model '{s}'\n{USAGE}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match Options::parse(&args) {
+        Ok(Parsed::Run(opts)) => opts,
+        Ok(Parsed::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let config = if opts.smoke {
+        CampaignConfig {
+            seed: opts.seed,
+            refresh: opts.refresh,
+            ..CampaignConfig::smoke()
+        }
+    } else {
+        CampaignConfig {
+            trials: opts.trials,
+            stream_len: opts.stream_len,
+            seed: opts.seed,
+            refresh: opts.refresh,
+            faults: match opts.fault {
+                Some(kind) => vec![kind],
+                None => FaultKind::all().to_vec(),
+            },
+            ..CampaignConfig::default()
+        }
+    };
+
+    let report = match run_campaign(&config) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("faultrun: campaign failed to run: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+
+    if opts.gate {
+        let gate_rows = run_gate_campaign(&GateCampaignConfig {
+            trials: opts.trials.min(20),
+            seed: opts.seed,
+            ..GateCampaignConfig::default()
+        });
+        if opts.json {
+            println!("{}", render_gate_json(&gate_rows));
+        } else {
+            println!("\ngate-level campaign (width 8):");
+            print!("{}", render_gate_text(&gate_rows));
+        }
+    }
+
+    if opts.smoke {
+        let failures = report.smoke_failures();
+        if !failures.is_empty() {
+            for failure in &failures {
+                eprintln!("faultrun: SMOKE FAILURE: {failure}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "faultrun: smoke gate passed ({} campaign cells, seed {})",
+            report.rows.len(),
+            config.seed
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,555 @@
+//! Seeded Monte Carlo fault-injection campaigns over the behavioral
+//! codecs.
+//!
+//! A campaign sweeps every code × stream kind × fault model, twice per
+//! combination: once on the bare codec and once under
+//! [`Hardened`][buscode_core::codes::Hardened]. Each trial encodes a
+//! synthetic stream (the paper's Section 4 statistics), injects one drawn
+//! [`FaultSite`], decodes what arrives, and classifies every cycle from
+//! the fault onward:
+//!
+//! - **silent data corruption (SDC)** — the decoder returned `Ok` with
+//!   the wrong address: the system consumes a bad address without knowing;
+//! - **detected** — the decoder returned an error
+//!   ([`CodecError::ProtocolViolation`]): the fault is observable and a
+//!   system-level retry/refresh can react;
+//! - **clean** — the decoder produced the intended address.
+//!
+//! *Cycles-to-resync* is the distance from the fault to the last bad
+//! cycle; a trial still bad at stream end is *unresolved* (the bare
+//! stateful codes never resync on their own — exactly the hazard the
+//! hardening layer bounds). For hardened codecs the campaign separately
+//! counts bad cycles past the first refresh boundary after the fault
+//! clears — the [`FaultStats::beyond_bound_cycles`] that the `--smoke`
+//! gate requires to be zero.
+//!
+//! Everything is deterministic given [`CampaignConfig::seed`].
+
+use buscode_core::rng::Rng64;
+use buscode_core::{Access, CodeKind, CodeParams, CodecError, Decoder, Encoder};
+use buscode_trace::{DataModel, InstructionModel, MuxedModel, StreamKind};
+
+use crate::models::{apply_fault, BusGeometry, FaultKind, FaultSite};
+
+/// Campaign dimensions and budgets.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Codec geometry (width, stride).
+    pub params: CodeParams,
+    /// Trials per code × stream × fault model × hardening combination.
+    pub trials: u32,
+    /// Length of each trial's access stream.
+    pub stream_len: usize,
+    /// Master seed; every stream and fault placement derives from it.
+    pub seed: u64,
+    /// Refresh interval for the hardened arm of the campaign.
+    pub refresh: u64,
+    /// Fault models to inject.
+    pub faults: Vec<FaultKind>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            params: CodeParams::default(),
+            trials: 100,
+            stream_len: 500,
+            seed: 42,
+            refresh: 32,
+            faults: FaultKind::all().to_vec(),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// The small fixed-seed configuration behind `faultrun --smoke`:
+    /// transient flips only, enough trials that every stateful code shows
+    /// silent corruption while the run stays interactive.
+    pub fn smoke() -> Self {
+        CampaignConfig {
+            trials: 32,
+            stream_len: 256,
+            faults: vec![FaultKind::TransientFlip],
+            ..CampaignConfig::default()
+        }
+    }
+}
+
+/// Aggregated outcome of one campaign cell (code × stream × fault ×
+/// hardening).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Trials run.
+    pub trials: u32,
+    /// Trials with at least one silently corrupted cycle.
+    pub trials_with_sdc: u32,
+    /// Trials with at least one detected (error-reporting) cycle.
+    pub trials_detected: u32,
+    /// Trials still decoding wrongly at stream end (never resynced).
+    pub trials_unresolved: u32,
+    /// Trials with at least one bad (SDC or detected) cycle.
+    pub trials_affected: u32,
+    /// Decoded cycles across all trials (the rate denominator).
+    pub decoded_cycles: u64,
+    /// Cycles that decoded `Ok` to a wrong address.
+    pub sdc_cycles: u64,
+    /// Cycles the decoder flagged with an error.
+    pub detected_cycles: u64,
+    /// Sum over trials of cycles-to-resync (fault to last bad cycle).
+    pub resync_sum: u64,
+    /// Worst cycles-to-resync over all trials.
+    pub resync_max: u64,
+    /// Bad cycles at or after the first refresh boundary following the
+    /// fault's last active cycle. Only accounted for line faults (the
+    /// resync bound does not cover re-timing faults) — must be zero for
+    /// a correct [`Hardened`][buscode_core::codes::Hardened] codec.
+    pub beyond_bound_cycles: u64,
+}
+
+impl FaultStats {
+    /// Silently corrupted cycles per decoded cycle.
+    pub fn sdc_rate(&self) -> f64 {
+        if self.decoded_cycles == 0 {
+            0.0
+        } else {
+            self.sdc_cycles as f64 / self.decoded_cycles as f64
+        }
+    }
+
+    /// Fraction of trials in which the decoder reported the fault.
+    pub fn detection_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            f64::from(self.trials_detected) / f64::from(self.trials)
+        }
+    }
+
+    /// Mean cycles-to-resync over trials that had any bad cycle.
+    pub fn mean_resync(&self) -> f64 {
+        if self.trials_affected == 0 {
+            0.0
+        } else {
+            self.resync_sum as f64 / f64::from(self.trials_affected)
+        }
+    }
+}
+
+/// One campaign cell: the key plus its aggregated stats.
+#[derive(Clone, Debug)]
+pub struct CampaignRow {
+    /// The code under test.
+    pub code: CodeKind,
+    /// The synthetic stream driven through it.
+    pub stream: StreamKind,
+    /// The fault model injected.
+    pub fault: FaultKind,
+    /// Whether the codec ran under the `Hardened` wrapper.
+    pub hardened: bool,
+    /// Aggregated outcomes.
+    pub stats: FaultStats,
+}
+
+/// A finished campaign: every row plus the configuration that produced
+/// it, renderable as text or JSON (the `faultrun` output).
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// The configuration the campaign ran with.
+    pub config: CampaignConfig,
+    /// One row per code × stream × fault × hardening combination.
+    pub rows: Vec<CampaignRow>,
+}
+
+/// True for codes whose *decoder* carries state across cycles — the codes
+/// a single transient fault can desynchronize for more than one cycle.
+pub fn is_stateful(kind: CodeKind) -> bool {
+    !matches!(
+        kind,
+        CodeKind::Binary | CodeKind::Gray | CodeKind::BusInvert | CodeKind::Beach
+    )
+}
+
+/// Generates the synthetic stream for one kind with the paper's measured
+/// in-sequence probabilities (Section 4).
+pub fn stream_for(kind: StreamKind, len: usize, seed: u64) -> Vec<Access> {
+    match kind {
+        StreamKind::Instruction => InstructionModel::new(0.6304).generate(len, seed),
+        StreamKind::Data => DataModel::new(0.1139).generate(len, seed),
+        StreamKind::Muxed => MuxedModel::with_targets(0.6304, 0.1139, 0.5762).generate(len, seed),
+    }
+}
+
+/// Runs the full campaign described by `config`.
+///
+/// # Errors
+///
+/// Propagates codec construction errors (invalid parameters).
+pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, CodecError> {
+    let mut rows = Vec::new();
+    let streams = [StreamKind::Instruction, StreamKind::Data, StreamKind::Muxed];
+    for (si, &stream_kind) in streams.iter().enumerate() {
+        let stream = stream_for(
+            stream_kind,
+            config.stream_len,
+            config.seed.wrapping_add(si as u64),
+        );
+        for (ci, kind) in CodeKind::all().into_iter().enumerate() {
+            for (fi, &fault) in config.faults.iter().enumerate() {
+                for hardened in [false, true] {
+                    // One deterministic rng per cell, derived from the
+                    // master seed and the cell coordinates.
+                    let cell = (ci as u64) << 16 | (si as u64) << 8 | fi as u64;
+                    let cell = cell << 1 | u64::from(hardened);
+                    let mut rng =
+                        Rng64::seed_from_u64(config.seed ^ cell.wrapping_mul(0x9e3779b97f4a7c15));
+                    let stats = run_cell(config, kind, &stream, fault, hardened, &mut rng)?;
+                    rows.push(CampaignRow {
+                        code: kind,
+                        stream: stream_kind,
+                        fault,
+                        hardened,
+                        stats,
+                    });
+                }
+            }
+        }
+    }
+    Ok(CampaignReport {
+        config: config.clone(),
+        rows,
+    })
+}
+
+/// Runs all trials of one campaign cell.
+fn run_cell(
+    config: &CampaignConfig,
+    kind: CodeKind,
+    stream: &[Access],
+    fault: FaultKind,
+    hardened: bool,
+    rng: &mut Rng64,
+) -> Result<FaultStats, CodecError> {
+    let mut stats = FaultStats::default();
+    for _ in 0..config.trials {
+        let trial = if hardened {
+            let enc = kind.hardened_encoder(config.params, config.refresh)?;
+            let dec = kind.hardened_decoder(config.params, config.refresh)?;
+            run_trial(config, enc, dec, stream, fault, Some(config.refresh), rng)
+        } else {
+            let enc = kind.encoder(config.params)?;
+            let dec = kind.decoder(config.params)?;
+            run_trial(config, enc, dec, stream, fault, None, rng)
+        };
+        stats.trials += 1;
+        stats.trials_with_sdc += u32::from(trial.sdc_cycles > 0);
+        stats.trials_detected += u32::from(trial.detected_cycles > 0);
+        stats.trials_unresolved += u32::from(trial.unresolved);
+        stats.trials_affected += u32::from(trial.resync > 0);
+        stats.decoded_cycles += trial.decoded_cycles;
+        stats.sdc_cycles += trial.sdc_cycles;
+        stats.detected_cycles += trial.detected_cycles;
+        stats.resync_sum += trial.resync;
+        stats.resync_max = stats.resync_max.max(trial.resync);
+        stats.beyond_bound_cycles += trial.beyond_bound_cycles;
+    }
+    Ok(stats)
+}
+
+/// Outcome of a single trial.
+struct TrialOutcome {
+    decoded_cycles: u64,
+    sdc_cycles: u64,
+    detected_cycles: u64,
+    /// Fault cycle to last bad cycle, inclusive; 0 if nothing went wrong.
+    resync: u64,
+    /// Still bad on the final cycle.
+    unresolved: bool,
+    beyond_bound_cycles: u64,
+}
+
+/// Encodes the stream, injects one drawn fault, decodes, classifies.
+fn run_trial<E: Encoder, D: Decoder>(
+    config: &CampaignConfig,
+    mut enc: E,
+    mut dec: D,
+    stream: &[Access],
+    fault: FaultKind,
+    refresh: Option<u64>,
+    rng: &mut Rng64,
+) -> TrialOutcome {
+    let geometry = BusGeometry::new(config.params.width.bits(), enc.aux_line_count());
+    let words: Vec<_> = stream.iter().map(|&a| enc.encode(a)).collect();
+    let site = FaultSite::draw(fault, words.len(), geometry, rng);
+    let faulted = apply_fault(&words, stream, geometry, site);
+
+    // The bound applies once the fault stops being active: transient
+    // flips last one cycle, stuck-at/burst a window. Re-timing faults
+    // shift the refresh schedules against each other, so the bound does
+    // not apply to them at all.
+    let fault_end = match site.kind {
+        FaultKind::TransientFlip => Some(site.cycle),
+        FaultKind::StuckAt0 | FaultKind::StuckAt1 | FaultKind::Burst => {
+            Some(site.cycle + site.window - 1)
+        }
+        FaultKind::DropCycle | FaultKind::DuplicateCycle => None,
+    };
+    let bound_start = match (refresh, fault_end) {
+        (Some(r), Some(end)) => Some(((end as u64 / r) + 1) * r),
+        _ => None,
+    };
+
+    let mut outcome = TrialOutcome {
+        decoded_cycles: 0,
+        sdc_cycles: 0,
+        detected_cycles: 0,
+        resync: 0,
+        unresolved: false,
+        beyond_bound_cycles: 0,
+    };
+    let last = faulted.observed.len() - 1;
+    for (i, (&(word, sel), &expected)) in faulted.observed.iter().zip(&faulted.expected).enumerate()
+    {
+        outcome.decoded_cycles += 1;
+        let bad = match dec.decode(word, sel) {
+            Ok(addr) if addr == expected => false,
+            Ok(_) => {
+                outcome.sdc_cycles += 1;
+                true
+            }
+            Err(_) => {
+                outcome.detected_cycles += 1;
+                true
+            }
+        };
+        if bad {
+            outcome.resync = (i.saturating_sub(site.cycle) + 1) as u64;
+            outcome.unresolved = i == last;
+            if let Some(start) = bound_start {
+                if i as u64 >= start {
+                    outcome.beyond_bound_cycles += 1;
+                }
+            }
+        }
+    }
+    outcome
+}
+
+impl CampaignReport {
+    /// Rows matching a predicate.
+    pub fn select(&self, f: impl Fn(&CampaignRow) -> bool) -> Vec<&CampaignRow> {
+        self.rows.iter().filter(|r| f(r)).collect()
+    }
+
+    /// Renders the fixed-width text table (the `faultrun` default).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fault campaign: {} trials x {} cycles per cell, seed {}, refresh {}\n",
+            self.config.trials, self.config.stream_len, self.config.seed, self.config.refresh
+        ));
+        out.push_str(&format!(
+            "{:<12} {:<12} {:<15} {:<9} {:>9} {:>7} {:>7} {:>8} {:>7} {:>7}\n",
+            "code", "stream", "fault", "codec", "sdc-rate", "sdc", "det", "resync", "max", "beyond"
+        ));
+        for row in &self.rows {
+            let s = &row.stats;
+            out.push_str(&format!(
+                "{:<12} {:<12} {:<15} {:<9} {:>9.5} {:>7} {:>7} {:>8.1} {:>7} {:>7}\n",
+                row.code.name(),
+                row.stream.to_string(),
+                row.fault.name(),
+                if row.hardened { "hardened" } else { "bare" },
+                s.sdc_rate(),
+                s.sdc_cycles,
+                s.detected_cycles,
+                s.mean_resync(),
+                s.resync_max,
+                s.beyond_bound_cycles,
+            ));
+        }
+        out
+    }
+
+    /// Renders the report as a JSON document with a stable schema:
+    /// `{"config": {...}, "rows": [{"code", "stream", "fault",
+    /// "hardened", "trials", "sdc_cycles", "detected_cycles",
+    /// "decoded_cycles", "sdc_rate", "detection_rate", "trials_with_sdc",
+    /// "trials_detected", "trials_unresolved", "mean_resync",
+    /// "max_resync", "beyond_bound_cycles"}]}`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"config\":{");
+        out.push_str(&format!(
+            "\"width\":{},\"trials\":{},\"stream_len\":{},\"seed\":{},\"refresh\":{}}},\"rows\":[",
+            self.config.params.width.bits(),
+            self.config.trials,
+            self.config.stream_len,
+            self.config.seed,
+            self.config.refresh
+        ));
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let s = &row.stats;
+            out.push_str(&format!(
+                concat!(
+                    "{{\"code\":\"{}\",\"stream\":\"{}\",\"fault\":\"{}\",\"hardened\":{},",
+                    "\"trials\":{},\"sdc_cycles\":{},\"detected_cycles\":{},",
+                    "\"decoded_cycles\":{},\"sdc_rate\":{:.6},\"detection_rate\":{:.4},",
+                    "\"trials_with_sdc\":{},\"trials_detected\":{},\"trials_unresolved\":{},",
+                    "\"mean_resync\":{:.2},\"max_resync\":{},\"beyond_bound_cycles\":{}}}"
+                ),
+                row.code.name(),
+                row.stream,
+                row.fault.name(),
+                row.hardened,
+                s.trials,
+                s.sdc_cycles,
+                s.detected_cycles,
+                s.decoded_cycles,
+                s.sdc_rate(),
+                s.detection_rate(),
+                s.trials_with_sdc,
+                s.trials_detected,
+                s.trials_unresolved,
+                s.mean_resync(),
+                s.resync_max,
+                s.beyond_bound_cycles,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The smoke-gate verdict: the regressions `faultrun --smoke` fails
+    /// CI on, as human-readable messages (empty = pass).
+    ///
+    /// The gate encodes the PR's acceptance criteria: under transient
+    /// flips, (1) every *hardened* codec has zero bad cycles beyond its
+    /// refresh bound and detects the fault in every trial; (2) every
+    /// *bare stateful* code shows nonzero silent corruption — the hazard
+    /// that justifies the hardening layer.
+    pub fn smoke_failures(&self) -> Vec<String> {
+        let mut failures = Vec::new();
+        for row in &self.rows {
+            if row.fault != FaultKind::TransientFlip {
+                continue;
+            }
+            if row.hardened {
+                if row.stats.beyond_bound_cycles > 0 {
+                    failures.push(format!(
+                        "hardened {} on {}: {} bad cycle(s) beyond the refresh bound",
+                        row.code.name(),
+                        row.stream,
+                        row.stats.beyond_bound_cycles
+                    ));
+                }
+                if row.stats.trials_detected < row.stats.trials {
+                    failures.push(format!(
+                        "hardened {} on {}: only {}/{} transient flips detected",
+                        row.code.name(),
+                        row.stream,
+                        row.stats.trials_detected,
+                        row.stats.trials
+                    ));
+                }
+            }
+        }
+        // Silent corruption is asserted per code over all streams: a
+        // single stream can dodge a fault (e.g. a flip on a frozen line),
+        // but across streams a stateful code always bleeds.
+        for kind in CodeKind::all() {
+            if !is_stateful(kind) {
+                continue;
+            }
+            let sdc: u64 = self
+                .rows
+                .iter()
+                .filter(|r| r.code == kind && !r.hardened && r.fault == FaultKind::TransientFlip)
+                .map(|r| r.stats.sdc_cycles)
+                .sum();
+            if sdc == 0 {
+                failures.push(format!(
+                    "bare {} showed no silent corruption — stateful codes must (check models)",
+                    kind.name()
+                ));
+            }
+        }
+        failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CampaignConfig {
+        CampaignConfig {
+            trials: 4,
+            stream_len: 64,
+            refresh: 8,
+            faults: vec![FaultKind::TransientFlip],
+            ..CampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let config = tiny();
+        let a = run_campaign(&config).unwrap();
+        let b = run_campaign(&config).unwrap();
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(x.stats, y.stats, "{} {} differs", x.code, x.fault);
+        }
+    }
+
+    #[test]
+    fn covers_every_cell() {
+        let config = tiny();
+        let report = run_campaign(&config).unwrap();
+        // 12 codes x 3 streams x 1 fault x {bare, hardened}.
+        assert_eq!(report.rows.len(), 12 * 3 * 2);
+        assert!(report.rows.iter().all(|r| r.stats.trials == 4));
+    }
+
+    #[test]
+    fn hardened_detects_and_bounds_transients() {
+        let report = run_campaign(&tiny()).unwrap();
+        for row in report.select(|r| r.hardened) {
+            assert_eq!(
+                row.stats.beyond_bound_cycles, 0,
+                "{} on {}: corruption escaped the refresh bound",
+                row.code, row.stream
+            );
+            assert_eq!(
+                row.stats.trials_detected, row.stats.trials,
+                "{} on {}: an undetected transient flip",
+                row.code, row.stream
+            );
+        }
+    }
+
+    #[test]
+    fn bare_stateful_codes_corrupt_silently() {
+        let mut config = tiny();
+        config.trials = 8;
+        let report = run_campaign(&config).unwrap();
+        assert!(
+            report.smoke_failures().is_empty(),
+            "{:?}",
+            report.smoke_failures()
+        );
+    }
+
+    #[test]
+    fn renders_text_and_json() {
+        let report = run_campaign(&tiny()).unwrap();
+        let text = report.render_text();
+        assert!(text.contains("dual-t0-bi"));
+        assert!(text.contains("hardened"));
+        let json = report.render_json();
+        assert!(json.starts_with("{\"config\":{"));
+        assert!(json.contains("\"fault\":\"transient-flip\""));
+        assert!(json.ends_with("]}"));
+    }
+}

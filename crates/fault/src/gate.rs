@@ -1,0 +1,370 @@
+//! Gate-level fault injection: the same campaign idea run on the
+//! synthesized codec netlists.
+//!
+//! The behavioral campaign corrupts words on an ideal wire; this module
+//! injects faults *inside* the circuits — a stuck-at on one gate's output
+//! pin, or a single-event upset flipping one decoder flip-flop — and
+//! measures how many decoded addresses go wrong. Gate-level decoders have
+//! no error output, so every wrong address is silent corruption; the
+//! numbers here are the circuit-level floor the behavioral hardening
+//! layer (parity + refresh) exists to lift.
+//!
+//! The decoder runs cycle by cycle through its own [`Simulator`] (instead
+//! of [`DecoderCircuit::run`]) so faults can be injected and cleared
+//! mid-stream.
+
+use buscode_core::rng::Rng64;
+use buscode_core::{Access, BusWidth, Stride};
+use buscode_logic::codecs::{
+    binary_decoder, binary_encoder, bus_invert_decoder, bus_invert_encoder, dual_t0_decoder,
+    dual_t0_encoder, dual_t0bi_decoder, dual_t0bi_encoder, gray_decoder, gray_encoder,
+    offset_decoder, offset_encoder, t0_decoder, t0_encoder, t0bi_decoder, t0bi_encoder,
+    t0xor_decoder, t0xor_encoder,
+};
+use buscode_logic::{DecoderCircuit, EncoderCircuit, Simulator};
+
+/// The gate-level codec pairs with circuit implementations.
+pub fn gate_codecs(width: BusWidth, stride: Stride) -> Vec<(EncoderCircuit, DecoderCircuit)> {
+    vec![
+        (binary_encoder(width), binary_decoder(width)),
+        (gray_encoder(width, stride), gray_decoder(width, stride)),
+        (bus_invert_encoder(width), bus_invert_decoder(width)),
+        (t0_encoder(width, stride), t0_decoder(width, stride)),
+        (t0bi_encoder(width, stride), t0bi_decoder(width, stride)),
+        (
+            dual_t0_encoder(width, stride),
+            dual_t0_decoder(width, stride),
+        ),
+        (
+            dual_t0bi_encoder(width, stride),
+            dual_t0bi_decoder(width, stride),
+        ),
+        (t0xor_encoder(width, stride), t0xor_decoder(width, stride)),
+        (offset_encoder(width), offset_decoder(width)),
+    ]
+}
+
+/// Where a gate-level fault is injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateFault {
+    /// A decoder flip-flop state bit flips once (SEU).
+    DecoderSeu,
+    /// A random decoder net is stuck at a value for a window of cycles
+    /// (an intermittent contact; permanent stuck-ats never resync and
+    /// are what `buslint`'s structural passes plus testing screen for).
+    DecoderStuck {
+        /// The forced value.
+        value: bool,
+    },
+}
+
+impl GateFault {
+    fn name(self) -> &'static str {
+        match self {
+            GateFault::DecoderSeu => "decoder-seu",
+            GateFault::DecoderStuck { value: false } => "decoder-stuck-0",
+            GateFault::DecoderStuck { value: true } => "decoder-stuck-1",
+        }
+    }
+}
+
+/// Aggregated outcome of one gate-level cell (codec × fault model).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GateCellStats {
+    /// The codec's name (matches the behavioral [`name`s]
+    /// [buscode_core::Encoder::name]).
+    pub codec: &'static str,
+    /// The fault model's stable name.
+    pub fault: &'static str,
+    /// Trials run (0 when the circuit has no injectable site, e.g. a
+    /// flip-flop-free decoder under the SEU model).
+    pub trials: u32,
+    /// Decoded addresses compared across all trials.
+    pub decoded_cycles: u64,
+    /// Wrong decoded addresses — all silent at gate level.
+    pub sdc_cycles: u64,
+    /// Trials with at least one wrong address.
+    pub trials_with_sdc: u32,
+    /// Trials still wrong on the final cycle.
+    pub trials_unresolved: u32,
+    /// Worst fault-to-last-bad-cycle distance.
+    pub resync_max: u64,
+}
+
+impl GateCellStats {
+    /// Wrong addresses per decoded address.
+    pub fn sdc_rate(&self) -> f64 {
+        if self.decoded_cycles == 0 {
+            0.0
+        } else {
+            self.sdc_cycles as f64 / self.decoded_cycles as f64
+        }
+    }
+}
+
+/// Configuration for [`run_gate_campaign`].
+#[derive(Clone, Copy, Debug)]
+pub struct GateCampaignConfig {
+    /// Circuit width (kept narrow: gate simulation is per-net work).
+    pub width: BusWidth,
+    /// Sequential stride.
+    pub stride: Stride,
+    /// Trials per codec × fault model.
+    pub trials: u32,
+    /// Access-stream length per trial.
+    pub stream_len: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for GateCampaignConfig {
+    fn default() -> Self {
+        GateCampaignConfig {
+            width: BusWidth::new(8).expect("8 is a valid width"),
+            stride: Stride::WORD,
+            trials: 20,
+            stream_len: 128,
+            seed: 42,
+        }
+    }
+}
+
+/// Runs the gate-level campaign: for each codec circuit pair and each
+/// [`GateFault`] model, repeatedly encode a clean stream, inject one
+/// fault into the decoder mid-stream, and count wrong addresses.
+pub fn run_gate_campaign(config: &GateCampaignConfig) -> Vec<GateCellStats> {
+    let faults = [
+        GateFault::DecoderSeu,
+        GateFault::DecoderStuck { value: false },
+        GateFault::DecoderStuck { value: true },
+    ];
+    let mut rows = Vec::new();
+    for (enc, dec) in gate_codecs(config.width, config.stride) {
+        for fault in faults {
+            rows.push(run_gate_cell(config, &enc, &dec, fault));
+        }
+    }
+    rows
+}
+
+/// A mixed instruction/data stream in the circuit's address range.
+fn gate_stream(len: usize, width: BusWidth, stride: Stride, seed: u64) -> Vec<Access> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mask = width.mask();
+    let mut addr = 0u64;
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.7) {
+                addr = if rng.gen_bool(0.6) {
+                    width.wrapping_add(addr, stride.get())
+                } else {
+                    rng.gen::<u64>() & mask
+                };
+                Access::instruction(addr)
+            } else {
+                Access::data(rng.gen::<u64>() & mask)
+            }
+        })
+        .collect()
+}
+
+fn run_gate_cell(
+    config: &GateCampaignConfig,
+    enc: &EncoderCircuit,
+    dec: &DecoderCircuit,
+    fault: GateFault,
+) -> GateCellStats {
+    let mut stats = GateCellStats {
+        codec: dec.name,
+        fault: fault.name(),
+        trials: 0,
+        decoded_cycles: 0,
+        sdc_cycles: 0,
+        trials_with_sdc: 0,
+        trials_unresolved: 0,
+        resync_max: 0,
+    };
+    let mut rng = Rng64::seed_from_u64(
+        config
+            .seed
+            .wrapping_add(fxhash(dec.name) ^ fxhash(fault.name())),
+    );
+    let probe = Simulator::new(dec.netlist.clone());
+    let seu_sites = probe.dff_nets();
+    if matches!(fault, GateFault::DecoderSeu) && seu_sites.is_empty() {
+        return stats; // memoryless decoder: no SEU target
+    }
+    let net_count = dec.netlist.gate_count();
+    let stream = gate_stream(config.stream_len, config.width, config.stride, config.seed);
+    let (words, _) = enc.run(&stream);
+
+    for _ in 0..config.trials {
+        let mut sim = Simulator::new(dec.netlist.clone());
+        let margin = config.stream_len / 5;
+        let fault_cycle = rng
+            .gen_range((config.stream_len / 10) as u64..(config.stream_len - margin) as u64)
+            as usize;
+        let window = rng.gen_range(2..=6u64) as usize;
+        let mut last_bad: Option<usize> = None;
+        let mut sdc = 0u64;
+        for (i, (word, access)) in words.iter().zip(&stream).enumerate() {
+            if i == fault_cycle {
+                match fault {
+                    GateFault::DecoderSeu => {
+                        let site = seu_sites[rng.gen_range(0..seu_sites.len() as u64) as usize];
+                        sim.flip_dff(site);
+                    }
+                    GateFault::DecoderStuck { value } => {
+                        let net = buscode_logic::NetId::from_index(
+                            rng.gen_range(0..net_count as u64) as usize,
+                        );
+                        sim.inject_stuck(net, value);
+                    }
+                }
+            }
+            if matches!(fault, GateFault::DecoderStuck { .. }) && i == fault_cycle + window {
+                sim.clear_faults();
+            }
+            sim.set_word(&dec.bus_in, word.payload);
+            for (bit, &net) in dec.aux_in.iter().enumerate() {
+                sim.set(net, (word.aux >> bit) & 1 == 1);
+            }
+            if let Some(sel) = dec.sel_in {
+                sim.set(sel, access.kind.sel());
+            }
+            sim.step();
+            let decoded = sim.word(&dec.address_out);
+            stats.decoded_cycles += 1;
+            if decoded != access.address & config.width.mask() {
+                sdc += 1;
+                last_bad = Some(i);
+            }
+        }
+        stats.trials += 1;
+        stats.sdc_cycles += sdc;
+        stats.trials_with_sdc += u32::from(sdc > 0);
+        if let Some(last) = last_bad {
+            stats.trials_unresolved += u32::from(last == words.len() - 1);
+            stats.resync_max = stats
+                .resync_max
+                .max((last.saturating_sub(fault_cycle) + 1) as u64);
+        }
+    }
+    stats
+}
+
+/// A tiny deterministic string hash for per-cell seed derivation.
+fn fxhash(s: &str) -> u64 {
+    s.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+    })
+}
+
+/// Renders the gate campaign as an aligned text table.
+pub fn render_gate_text(rows: &[GateCellStats]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:<16} {:>7} {:>9} {:>7} {:>9} {:>7}\n",
+        "codec", "fault", "trials", "sdc-rate", "sdc", "affected", "max"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<12} {:<16} {:>7} {:>9.5} {:>7} {:>9} {:>7}\n",
+            row.codec,
+            row.fault,
+            row.trials,
+            row.sdc_rate(),
+            row.sdc_cycles,
+            row.trials_with_sdc,
+            row.resync_max,
+        ));
+    }
+    out
+}
+
+/// Renders the gate campaign as a JSON array with a stable schema.
+pub fn render_gate_json(rows: &[GateCellStats]) -> String {
+    let mut out = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            concat!(
+                "{{\"codec\":\"{}\",\"fault\":\"{}\",\"trials\":{},\"decoded_cycles\":{},",
+                "\"sdc_cycles\":{},\"sdc_rate\":{:.6},\"trials_with_sdc\":{},",
+                "\"trials_unresolved\":{},\"max_resync\":{}}}"
+            ),
+            row.codec,
+            row.fault,
+            row.trials,
+            row.decoded_cycles,
+            row.sdc_cycles,
+            row.sdc_rate(),
+            row.trials_with_sdc,
+            row.trials_unresolved,
+            row.resync_max,
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> GateCampaignConfig {
+        // Enough trials that an SEU reliably lands before an INC cycle
+        // (a flip right before a plain word heals with no corruption).
+        GateCampaignConfig {
+            trials: 10,
+            stream_len: 64,
+            ..GateCampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_covers_every_codec_and_model() {
+        let rows = run_gate_campaign(&tiny());
+        assert_eq!(rows.len(), 9 * 3);
+        // The binary decoder is pure buffers: no flip-flops, so the SEU
+        // model has no site to hit and runs zero trials.
+        let binary_seu = rows
+            .iter()
+            .find(|r| r.codec == "binary" && r.fault == "decoder-seu")
+            .unwrap();
+        assert_eq!(binary_seu.trials, 0);
+    }
+
+    #[test]
+    fn seu_in_a_t0_decoder_corrupts_addresses() {
+        let rows = run_gate_campaign(&tiny());
+        let t0_seu = rows
+            .iter()
+            .find(|r| r.codec.contains("t0") && r.fault == "decoder-seu" && r.trials > 0)
+            .expect("t0 decoder has flip-flops");
+        assert!(
+            t0_seu.sdc_cycles > 0,
+            "an upset reference register must corrupt decodes"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_gate_campaign(&tiny());
+        let b = run_gate_campaign(&tiny());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn renders_both_formats() {
+        let rows = run_gate_campaign(&tiny());
+        let text = render_gate_text(&rows);
+        assert!(text.contains("decoder-seu"));
+        let json = render_gate_json(&rows);
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"fault\":\"decoder-stuck-1\""));
+    }
+}

@@ -1,0 +1,375 @@
+//! Behavioral fault models: what can go wrong on the wires between the
+//! encoder and the decoder.
+//!
+//! Faults are modeled on the encoded word stream — the [`BusState`]
+//! sequence an encoder drove — because that is the boundary the two codec
+//! halves share: anything a physical fault does to the lines is, from the
+//! decoder's point of view, a transformation of that sequence. The
+//! models:
+//!
+//! - [`FaultKind::TransientFlip`] — one line flips for one cycle
+//!   (crosstalk, SEU on a bus latch);
+//! - [`FaultKind::StuckAt0`] / [`FaultKind::StuckAt1`] — one line reads
+//!   constant for a window of cycles (solder joint, bridging fault; the
+//!   campaign uses a finite window so resync is measurable);
+//! - [`FaultKind::Burst`] — several consecutive cycles each lose a random
+//!   line (supply noise, simultaneous-switching events);
+//! - [`FaultKind::DropCycle`] / [`FaultKind::DuplicateCycle`] — a
+//!   handshake fault deletes or repeats one bus cycle, shifting the
+//!   stream under the decoder.
+//!
+//! Every model is deterministic given an [`Rng64`] — campaigns are
+//! replayable from their seed.
+
+use buscode_core::rng::Rng64;
+use buscode_core::{Access, AccessKind, BusState};
+
+/// The behavioral fault models; see the [module docs](self).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// One random line flips for exactly one cycle.
+    TransientFlip,
+    /// One random line reads 0 for a window of cycles.
+    StuckAt0,
+    /// One random line reads 1 for a window of cycles.
+    StuckAt1,
+    /// Consecutive cycles each get one random line flipped.
+    Burst,
+    /// One bus cycle disappears: the decoder never sees it.
+    DropCycle,
+    /// One bus cycle is latched twice: the decoder sees it again.
+    DuplicateCycle,
+}
+
+impl FaultKind {
+    /// Every model, in report order.
+    pub fn all() -> &'static [FaultKind] {
+        &[
+            FaultKind::TransientFlip,
+            FaultKind::StuckAt0,
+            FaultKind::StuckAt1,
+            FaultKind::Burst,
+            FaultKind::DropCycle,
+            FaultKind::DuplicateCycle,
+        ]
+    }
+
+    /// A short stable identifier for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::TransientFlip => "transient-flip",
+            FaultKind::StuckAt0 => "stuck-at-0",
+            FaultKind::StuckAt1 => "stuck-at-1",
+            FaultKind::Burst => "burst",
+            FaultKind::DropCycle => "drop-cycle",
+            FaultKind::DuplicateCycle => "duplicate-cycle",
+        }
+    }
+
+    /// True for the models that corrupt line values in place; false for
+    /// the cycle-structure faults (drop/duplicate), which preserve every
+    /// word but change how many the decoder sees.
+    pub fn corrupts_lines(self) -> bool {
+        !matches!(self, FaultKind::DropCycle | FaultKind::DuplicateCycle)
+    }
+}
+
+impl core::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The geometry a fault injector needs: how many lines of each kind the
+/// bus carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BusGeometry {
+    /// Payload line count.
+    pub payload_lines: u32,
+    /// Redundant line count (0 for irredundant codes).
+    pub aux_lines: u32,
+}
+
+impl BusGeometry {
+    /// Creates a geometry.
+    pub fn new(payload_lines: u32, aux_lines: u32) -> Self {
+        BusGeometry {
+            payload_lines,
+            aux_lines,
+        }
+    }
+
+    /// Total transmitted lines.
+    pub fn total_lines(self) -> u32 {
+        self.payload_lines + self.aux_lines
+    }
+}
+
+/// Flips line `line` (payload lines first, then aux lines) of one word.
+pub fn flip_line(word: &mut BusState, geometry: BusGeometry, line: u32) {
+    debug_assert!(line < geometry.total_lines());
+    if line < geometry.payload_lines {
+        word.payload ^= 1 << line;
+    } else {
+        word.aux ^= 1 << (line - geometry.payload_lines);
+    }
+}
+
+/// Flips one uniformly random line of one word.
+pub fn flip_random_line(word: &mut BusState, geometry: BusGeometry, rng: &mut Rng64) {
+    let line = rng.gen_range(0..u64::from(geometry.total_lines())) as u32;
+    flip_line(word, geometry, line);
+}
+
+/// Forces line `line` of one word to `value`, returning whether the word
+/// actually changed (a stuck-at only manifests when the healthy value
+/// differs).
+pub fn force_line(word: &mut BusState, geometry: BusGeometry, line: u32, value: bool) -> bool {
+    let before = *word;
+    if line < geometry.payload_lines {
+        let mask = 1u64 << line;
+        word.payload = if value {
+            word.payload | mask
+        } else {
+            word.payload & !mask
+        };
+    } else {
+        let mask = 1u64 << (line - geometry.payload_lines);
+        word.aux = if value {
+            word.aux | mask
+        } else {
+            word.aux & !mask
+        };
+    }
+    *word != before
+}
+
+/// Flips one random payload-or-aux line of some words in transit — the
+/// shared corruption helper the black-box fault tests use. Every line is
+/// a candidate, including every aux line (T0_BI carries two; dual T0_BI's
+/// `INCV` is line `payload_lines`).
+///
+/// Returns the number of corrupted words.
+pub fn corrupt_words(
+    words: &mut [BusState],
+    geometry: BusGeometry,
+    rng: &mut Rng64,
+    rate: f64,
+) -> usize {
+    let mut injected = 0;
+    for word in words.iter_mut() {
+        if rng.gen_bool(rate) {
+            flip_random_line(word, geometry, rng);
+            injected += 1;
+        }
+    }
+    injected
+}
+
+/// One concrete fault placement: where and what, fully determined so a
+/// trial is replayable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSite {
+    /// The model.
+    pub kind: FaultKind,
+    /// First affected cycle (index into the encoded stream).
+    pub cycle: usize,
+    /// Affected line for line faults; unused for drop/duplicate.
+    pub line: u32,
+    /// Window length for stuck-at and burst faults.
+    pub window: usize,
+}
+
+impl FaultSite {
+    /// Draws a fault placement uniformly: the cycle from
+    /// `warmup..len - margin` (so faults land in steady state and leave
+    /// room to observe resync), the line uniformly over the geometry, and
+    /// the window from `2..=window_max`.
+    pub fn draw(kind: FaultKind, len: usize, geometry: BusGeometry, rng: &mut Rng64) -> FaultSite {
+        let warmup = (len / 10).max(2);
+        let margin = (len / 5).max(4);
+        let cycle = rng.gen_range(warmup as u64..(len - margin) as u64) as usize;
+        let line = rng.gen_range(0..u64::from(geometry.total_lines())) as u32;
+        let window = rng.gen_range(2..=6u64) as usize;
+        FaultSite {
+            kind,
+            cycle,
+            line,
+            window,
+        }
+    }
+}
+
+/// What the decoder observes after a fault: the (possibly corrupted,
+/// possibly re-timed) word/`SEL` sequence, paired with the address each
+/// observed cycle *should* decode to.
+pub struct FaultedStream {
+    /// The words and `SEL` values the decoder sees, in arrival order.
+    pub observed: Vec<(BusState, AccessKind)>,
+    /// The address the master intended for each observed cycle.
+    pub expected: Vec<u64>,
+}
+
+/// Applies one fault to an encoded stream.
+///
+/// For the line faults the timing is unchanged and `expected[i]` is
+/// simply `stream[i].address`. For [`FaultKind::DropCycle`] the faulted
+/// word (and its `SEL`) never arrives, so from the fault cycle on the
+/// decoder is judged against the shifted intent; for
+/// [`FaultKind::DuplicateCycle`] the word arrives twice and the repeat is
+/// expected to decode to the same address (an idempotent re-latch), with
+/// the tail truncated to the original length.
+pub fn apply_fault(
+    words: &[BusState],
+    stream: &[Access],
+    geometry: BusGeometry,
+    site: FaultSite,
+) -> FaultedStream {
+    debug_assert_eq!(words.len(), stream.len());
+    let mut observed: Vec<(BusState, AccessKind)> = words
+        .iter()
+        .zip(stream)
+        .map(|(&w, a)| (w, a.kind))
+        .collect();
+    let mut expected: Vec<u64> = stream.iter().map(|a| a.address).collect();
+    match site.kind {
+        FaultKind::TransientFlip => {
+            flip_line(&mut observed[site.cycle].0, geometry, site.line);
+        }
+        FaultKind::StuckAt0 | FaultKind::StuckAt1 => {
+            let value = site.kind == FaultKind::StuckAt1;
+            let end = (site.cycle + site.window).min(observed.len());
+            for (word, _) in &mut observed[site.cycle..end] {
+                force_line(word, geometry, site.line, value);
+            }
+        }
+        FaultKind::Burst => {
+            let end = (site.cycle + site.window).min(observed.len());
+            // Deterministic line walk across the burst: consecutive
+            // cycles hit rotating lines starting from the drawn one.
+            for (offset, (word, _)) in observed[site.cycle..end].iter_mut().enumerate() {
+                let line = (site.line + offset as u32) % geometry.total_lines();
+                flip_line(word, geometry, line);
+            }
+        }
+        FaultKind::DropCycle => {
+            observed.remove(site.cycle);
+            expected.remove(site.cycle);
+        }
+        FaultKind::DuplicateCycle => {
+            let repeat = observed[site.cycle];
+            observed.insert(site.cycle + 1, repeat);
+            expected.insert(site.cycle + 1, expected[site.cycle]);
+            observed.truncate(words.len());
+            expected.truncate(words.len());
+        }
+    }
+    FaultedStream { observed, expected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(n: usize) -> Vec<BusState> {
+        (0..n as u64).map(|i| BusState::new(i, 0)).collect()
+    }
+
+    fn accesses(n: usize) -> Vec<Access> {
+        (0..n as u64).map(Access::instruction).collect()
+    }
+
+    #[test]
+    fn flip_covers_every_aux_line() {
+        // The regression the shared helper exists for: with two aux
+        // lines, both must be reachable.
+        let geometry = BusGeometry::new(4, 2);
+        let mut seen_aux = [false; 2];
+        let mut rng = Rng64::seed_from_u64(1);
+        for _ in 0..200 {
+            let mut word = BusState::new(0, 0);
+            flip_random_line(&mut word, geometry, &mut rng);
+            for (i, seen) in seen_aux.iter_mut().enumerate() {
+                if word.aux & (1 << i) != 0 {
+                    *seen = true;
+                }
+            }
+        }
+        assert!(seen_aux.iter().all(|&s| s), "both aux lines must be hit");
+    }
+
+    #[test]
+    fn force_line_reports_change() {
+        let geometry = BusGeometry::new(4, 1);
+        let mut word = BusState::new(0b1010, 1);
+        assert!(!force_line(&mut word, geometry, 1, true), "already 1");
+        assert!(force_line(&mut word, geometry, 1, false));
+        assert_eq!(word.payload, 0b1000);
+        assert!(force_line(&mut word, geometry, 4, false), "aux line 0");
+        assert_eq!(word.aux, 0);
+    }
+
+    #[test]
+    fn drop_shifts_the_expected_stream() {
+        let geometry = BusGeometry::new(8, 0);
+        let site = FaultSite {
+            kind: FaultKind::DropCycle,
+            cycle: 3,
+            line: 0,
+            window: 0,
+        };
+        let faulted = apply_fault(&words(10), &accesses(10), geometry, site);
+        assert_eq!(faulted.observed.len(), 9);
+        assert_eq!(faulted.expected[2], 2);
+        assert_eq!(faulted.expected[3], 4, "cycle 3 was dropped");
+    }
+
+    #[test]
+    fn duplicate_preserves_length_and_repeats() {
+        let geometry = BusGeometry::new(8, 0);
+        let site = FaultSite {
+            kind: FaultKind::DuplicateCycle,
+            cycle: 3,
+            line: 0,
+            window: 0,
+        };
+        let faulted = apply_fault(&words(10), &accesses(10), geometry, site);
+        assert_eq!(faulted.observed.len(), 10);
+        assert_eq!(faulted.observed[3].0, faulted.observed[4].0);
+        assert_eq!(faulted.expected[4], 3, "the repeat re-latches cycle 3");
+        assert_eq!(faulted.expected[9], 8, "tail shifted by one");
+    }
+
+    #[test]
+    fn transient_flip_touches_exactly_one_cycle() {
+        let geometry = BusGeometry::new(8, 1);
+        let clean = words(10);
+        let site = FaultSite {
+            kind: FaultKind::TransientFlip,
+            cycle: 5,
+            line: 8, // the aux line
+            window: 0,
+        };
+        let faulted = apply_fault(&clean, &accesses(10), geometry, site);
+        for (i, (word, _)) in faulted.observed.iter().enumerate() {
+            if i == 5 {
+                assert_eq!(word.aux, 1);
+            } else {
+                assert_eq!(*word, clean[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn sites_land_in_steady_state() {
+        let geometry = BusGeometry::new(8, 1);
+        let mut rng = Rng64::seed_from_u64(7);
+        for _ in 0..500 {
+            let site = FaultSite::draw(FaultKind::Burst, 100, geometry, &mut rng);
+            assert!(site.cycle >= 10);
+            assert!(site.cycle < 80);
+            assert!((2..=6).contains(&site.window));
+            assert!(site.line < 9);
+        }
+    }
+}

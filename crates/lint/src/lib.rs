@@ -34,7 +34,9 @@ pub mod diagnostic;
 pub mod passes;
 pub mod suite;
 
-pub use buscode_core::check::{check_all, check_code, CheckConfig, Counterexample, Verdict};
+pub use buscode_core::check::{
+    check_all, check_code, check_hardened, check_hardened_all, CheckConfig, Counterexample, Verdict,
+};
 pub use diagnostic::{Diagnostic, Report, Severity};
 pub use passes::lint_netlist;
 

@@ -41,6 +41,9 @@ pub struct Simulator {
     transitions: Vec<u64>,
     /// Number of clock cycles simulated.
     cycles: u64,
+    /// Per-net stuck-at overrides (fault injection). A forced net settles
+    /// to the forced value every cycle regardless of its gate function.
+    forced: Vec<Option<bool>>,
 }
 
 impl Simulator {
@@ -63,6 +66,7 @@ impl Simulator {
             inputs: vec![false; n],
             transitions: vec![0; n],
             cycles: 0,
+            forced: vec![None; n],
         }
     }
 
@@ -111,6 +115,12 @@ impl Simulator {
                 }
                 Gate::Dff { .. } => self.q_state[i],
             };
+            // Apply stuck-at faults at the gate's output pin: nets are
+            // settled in creation order (a topological order), so every
+            // downstream gate sees the forced value.
+            if let Some(v) = self.forced[i] {
+                settled[i] = v;
+            }
         }
         // Activity: a net switches when the value it carried this cycle
         // differs from the previous cycle's. Flip-flop output changes are
@@ -140,10 +150,65 @@ impl Simulator {
     /// downstream logic will see next cycle), which is what register
     /// checks want to read.
     pub fn value(&self, net: NetId) -> bool {
+        if let Some(v) = self.forced[net.index()] {
+            return v;
+        }
         match self.netlist.gates()[net.index()] {
             Gate::Dff { .. } => self.q_state[net.index()],
             _ => self.observed[net.index()],
         }
+    }
+
+    /// Injects a stuck-at fault: from the next [`Simulator::step`] on,
+    /// `net` settles to `value` every cycle regardless of its gate
+    /// function, and every downstream gate sees the faulty value. Models
+    /// a line shorted to Vdd (`true`) or ground (`false`).
+    ///
+    /// The fault persists until [`Simulator::clear_faults`].
+    pub fn inject_stuck(&mut self, net: NetId, value: bool) {
+        self.forced[net.index()] = Some(value);
+    }
+
+    /// Removes every injected stuck-at fault.
+    pub fn clear_faults(&mut self) {
+        self.forced.fill(None);
+    }
+
+    /// Nets currently carrying a stuck-at fault.
+    pub fn faulted_nets(&self) -> Vec<NetId> {
+        self.forced
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.map(|_| NetId::from_index(i)))
+            .collect()
+    }
+
+    /// Flips the stored state of a flip-flop — a single-event upset. The
+    /// corrupted value is what downstream logic reads on the next
+    /// [`Simulator::step`]; the fault is transient (normal capture
+    /// resumes at the next clock edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a flip-flop.
+    pub fn flip_dff(&mut self, net: NetId) {
+        assert!(
+            matches!(self.netlist.gates()[net.index()], Gate::Dff { .. }),
+            "net {net:?} is not a flip-flop"
+        );
+        self.q_state[net.index()] = !self.q_state[net.index()];
+    }
+
+    /// Every flip-flop net in the circuit, in creation order — the SEU
+    /// target list for [`Simulator::flip_dff`].
+    pub fn dff_nets(&self) -> Vec<NetId> {
+        self.netlist
+            .gates()
+            .iter()
+            .enumerate()
+            .filter(|(_, gate)| matches!(gate, Gate::Dff { .. }))
+            .map(|(i, _)| NetId::from_index(i))
+            .collect()
     }
 
     /// Reads a word as an integer, LSB-first.
@@ -294,6 +359,53 @@ mod tests {
         sim.step();
         assert_eq!(sim.word(&w2), 0xa5);
         let _ = w;
+    }
+
+    #[test]
+    fn stuck_at_overrides_gate_function_downstream() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let x = n.xor(a, b);
+        let y = n.not(x);
+        let mut sim = Simulator::new(n);
+        sim.set(a, true);
+        sim.set(b, false);
+        sim.inject_stuck(x, false); // stuck-at-0 on the XOR output
+        sim.step();
+        assert!(!sim.value(x), "forced value wins over the gate function");
+        assert!(sim.value(y), "downstream logic sees the fault");
+        assert_eq!(sim.faulted_nets(), vec![x]);
+        sim.clear_faults();
+        sim.step();
+        assert!(sim.value(x), "healthy again after clearing");
+        assert!(sim.faulted_nets().is_empty());
+    }
+
+    #[test]
+    fn dff_seu_is_transient() {
+        let mut n = Netlist::new();
+        let d = n.input();
+        let q = n.dff();
+        n.drive_dff(q, d).unwrap();
+        let mut sim = Simulator::new(n);
+        sim.set(d, true);
+        sim.step();
+        assert!(sim.value(q));
+        sim.flip_dff(q); // SEU: stored 1 becomes 0
+        assert!(!sim.value(q));
+        assert_eq!(sim.dff_nets(), vec![q]);
+        sim.step(); // next edge recaptures the clean input
+        assert!(sim.value(q), "normal capture resumes after one cycle");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a flip-flop")]
+    fn flipping_non_dff_panics() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let mut sim = Simulator::new(n);
+        sim.flip_dff(a);
     }
 
     #[test]

@@ -40,4 +40,6 @@ pub use codec_power::{
 };
 pub use pads::PadModel;
 pub use soc::{evaluate_soc, LevelEstimate, SocConfig, SocReport};
-pub use system::{bus_power, rank_codes, BusPowerEstimate};
+pub use system::{
+    bus_power, hardened_bus_power, hardening_cost, rank_codes, BusPowerEstimate, HardeningCost,
+};

@@ -68,6 +68,87 @@ pub fn bus_power(
     })
 }
 
+/// A power-vs-reliability point: the same code bare and under
+/// [`Hardened`][buscode_core::codes::Hardened], with the overhead the
+/// parity line and refresh words cost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HardeningCost {
+    /// The code.
+    pub code: CodeKind,
+    /// The refresh interval the hardened estimate used.
+    pub refresh: u64,
+    /// Bus power of the bare codec, milliwatts.
+    pub bare_mw: f64,
+    /// Bus power under the hardened wrapper, milliwatts.
+    pub hardened_mw: f64,
+}
+
+impl HardeningCost {
+    /// Power overhead of hardening, in percent of the bare power.
+    pub fn overhead_percent(&self) -> f64 {
+        if self.bare_mw == 0.0 {
+            0.0
+        } else {
+            100.0 * (self.hardened_mw - self.bare_mw) / self.bare_mw
+        }
+    }
+}
+
+/// Estimates the bus power of `code` under the
+/// [`Hardened`][buscode_core::codes::Hardened] wrapper: the same
+/// transition-count model as [`bus_power`], but the counted lines include
+/// the parity line and the refresh cycles' forced plain words. This is
+/// the power side of the power-vs-reliability trade-off the fault
+/// campaigns quantify the reliability side of.
+///
+/// # Errors
+///
+/// Propagates construction errors from the code's encoder factory and the
+/// wrapper (`refresh == 0`).
+pub fn hardened_bus_power(
+    code: CodeKind,
+    params: CodeParams,
+    refresh: u64,
+    stream: &[Access],
+    line_cap_pf: f64,
+    tech: Technology,
+) -> Result<BusPowerEstimate, CodecError> {
+    let mut encoder = code.hardened_encoder(params, refresh)?;
+    let stats = count_transitions(&mut encoder, stream.iter().copied());
+    let line_cap = line_cap_pf * 1e-12;
+    let switched_cap_per_cycle = stats.per_cycle() * line_cap;
+    let bus_w = 0.5 * tech.vdd * tech.vdd * tech.frequency * switched_cap_per_cycle;
+    Ok(BusPowerEstimate {
+        code,
+        stats,
+        switched_cap_per_cycle,
+        bus_mw: milliwatts(bus_w),
+    })
+}
+
+/// The bare-vs-hardened cost point for one code on one stream.
+///
+/// # Errors
+///
+/// Propagates [`bus_power`] and [`hardened_bus_power`] errors.
+pub fn hardening_cost(
+    code: CodeKind,
+    params: CodeParams,
+    refresh: u64,
+    stream: &[Access],
+    line_cap_pf: f64,
+    tech: Technology,
+) -> Result<HardeningCost, CodecError> {
+    let bare = bus_power(code, params, stream, line_cap_pf, tech)?;
+    let hardened = hardened_bus_power(code, params, refresh, stream, line_cap_pf, tech)?;
+    Ok(HardeningCost {
+        code,
+        refresh,
+        bare_mw: bare.bus_mw,
+        hardened_mw: hardened.bus_mw,
+    })
+}
+
 /// Ranks every paper code by bus power on one stream (ascending).
 ///
 /// # Errors
@@ -131,6 +212,21 @@ mod tests {
         assert!(pos("dual-t0-bi") < pos("t0"), "{names:?}");
         assert!(pos("dual-t0-bi") < pos("bus-invert"), "{names:?}");
         assert!(pos("dual-t0-bi") < pos("binary"), "{names:?}");
+    }
+
+    #[test]
+    fn hardening_costs_power_and_shrinks_with_refresh() {
+        let stream = InstructionModel::new(0.63).generate(8_000, 11);
+        let params = CodeParams::default();
+        let tech = Technology::date98();
+        let tight = hardening_cost(CodeKind::T0, params, 8, &stream, 50.0, tech).unwrap();
+        let loose = hardening_cost(CodeKind::T0, params, 128, &stream, 50.0, tech).unwrap();
+        // The parity line and refresh words always cost something…
+        assert!(tight.hardened_mw > tight.bare_mw);
+        assert!(tight.overhead_percent() > 0.0);
+        // …and refreshing less often costs less.
+        assert!(loose.hardened_mw < tight.hardened_mw);
+        assert_eq!(tight.bare_mw, loose.bare_mw);
     }
 
     #[test]

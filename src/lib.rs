@@ -21,7 +21,11 @@
 //!   off-chip buses (the paper's Tables 8-9);
 //! - [`buscode_lint`] (`lint`) — static verification: graph-level netlist
 //!   lints (the `buslint` tool) and the exhaustive encoder/decoder
-//!   protocol model checker.
+//!   protocol model checker;
+//! - [`buscode_fault`] (`fault`) — fault models, seeded Monte Carlo
+//!   fault-injection campaigns (the `faultrun` tool), and gate-level
+//!   stuck-at/SEU injection, measuring the resilience side of the
+//!   power-vs-reliability trade-off of the `Hardened` codec wrapper.
 //!
 //! ## Quick start
 //!
@@ -48,6 +52,7 @@
 
 pub use buscode_core as core;
 pub use buscode_cpu as cpu;
+pub use buscode_fault as fault;
 pub use buscode_lint as lint;
 pub use buscode_logic as logic;
 pub use buscode_power as power;
@@ -57,7 +62,7 @@ pub use buscode_trace as trace;
 pub mod prelude {
     pub use buscode_core::codes::{
         BinaryEncoder, BusInvertDecoder, BusInvertEncoder, DualT0BiDecoder, DualT0BiEncoder,
-        DualT0Decoder, DualT0Encoder, GrayDecoder, GrayEncoder, T0BiDecoder, T0BiEncoder,
+        DualT0Decoder, DualT0Encoder, GrayDecoder, GrayEncoder, Hardened, T0BiDecoder, T0BiEncoder,
         T0Decoder, T0Encoder,
     };
     pub use buscode_core::metrics::{

@@ -8,8 +8,16 @@
 //! for the stateful codes — re-synchronize once a full plain word crosses
 //! the bus again.
 
-use buscode::core::{Access, AccessKind, BusState, CodeKind, CodeParams, CodecError};
+use buscode::core::{Access, AccessKind, BusState, CodeKind, CodeParams, CodecError, Encoder};
+use buscode::fault::{corrupt_words, BusGeometry};
 use buscode_core::rng::Rng64;
+
+/// The geometry of one code's bus: 32 payload lines plus however many
+/// redundant lines its encoder drives (so corruption can reach *every*
+/// aux line — T0_BI carries two, dual codes carry `INCV`).
+fn geometry_of(enc: &dyn Encoder, params: CodeParams) -> BusGeometry {
+    BusGeometry::new(params.width.bits(), enc.aux_line_count())
+}
 
 fn muxed_stream(len: usize, seed: u64) -> Vec<Access> {
     let mut rng = Rng64::seed_from_u64(seed);
@@ -30,22 +38,6 @@ fn muxed_stream(len: usize, seed: u64) -> Vec<Access> {
         .collect()
 }
 
-/// Flips one random payload or aux line of some words in transit.
-fn corrupt(words: &mut [BusState], rng: &mut Rng64, rate: f64) -> usize {
-    let mut injected = 0;
-    for word in words.iter_mut() {
-        if rng.gen_bool(rate) {
-            if rng.gen_bool(0.8) {
-                word.payload ^= 1 << rng.gen_range(0..32);
-            } else {
-                word.aux ^= 1;
-            }
-            injected += 1;
-        }
-    }
-    injected
-}
-
 #[test]
 fn decoders_never_panic_on_corrupted_buses() {
     let params = CodeParams::default();
@@ -53,11 +45,12 @@ fn decoders_never_panic_on_corrupted_buses() {
     let mut rng = Rng64::seed_from_u64(2);
     for kind in CodeKind::all() {
         let mut enc = kind.encoder(params).expect("valid params");
+        let geometry = geometry_of(enc.as_ref(), params);
         let mut words: Vec<(BusState, AccessKind)> =
             stream.iter().map(|&a| (enc.encode(a), a.kind)).collect();
         {
             let mut bus: Vec<BusState> = words.iter().map(|(w, _)| *w).collect();
-            let injected = corrupt(&mut bus, &mut rng, 0.05);
+            let injected = corrupt_words(&mut bus, geometry, &mut rng, 0.05);
             assert!(injected > 0);
             for (slot, corrupted) in words.iter_mut().zip(bus) {
                 slot.0 = corrupted;
@@ -91,8 +84,9 @@ fn irredundant_codes_decode_every_corrupted_word() {
         CodeKind::Offset,
     ] {
         let mut enc = kind.encoder(params).expect("valid params");
+        let geometry = geometry_of(enc.as_ref(), params);
         let mut words: Vec<BusState> = stream.iter().map(|&a| enc.encode(a)).collect();
-        corrupt(&mut words, &mut rng, 0.1);
+        corrupt_words(&mut words, geometry, &mut rng, 0.1);
         let mut dec = kind.decoder(params).expect("valid params");
         for word in words {
             // Aux corruption is meaningless for irredundant codes; only

@@ -8,7 +8,7 @@
 //! carries the checker's counterexample trace verbatim.
 
 use buscode::lint::suite::codec_netlists;
-use buscode::lint::{check_all, lint_netlist, CheckConfig, Verdict};
+use buscode::lint::{check_all, check_hardened_all, lint_netlist, CheckConfig, Verdict};
 use buscode::prelude::{CodeKind, CodeParams};
 
 fn run(width: u32, config: &CheckConfig) -> Vec<(CodeKind, Verdict)> {
@@ -72,6 +72,56 @@ fn every_code_holds_at_width_8() {
             );
         }
     }
+}
+
+fn assert_all_hardened_hold(width: u32, verdicts: &[(CodeKind, Verdict)]) {
+    assert_eq!(verdicts.len(), CodeKind::all().len());
+    for (kind, verdict) in verdicts {
+        assert!(
+            verdict.holds(),
+            "hardened {} violates its protocol at width {width}:\n{}",
+            kind.name(),
+            verdict
+                .counterexample()
+                .expect("failed verdicts carry a trace")
+        );
+    }
+}
+
+#[test]
+fn every_hardened_code_holds_at_width_4() {
+    // The hardened checker proves the wrapper's whole contract on the
+    // reachable product space: encoder and decoder refresh schedules stay
+    // in lockstep, round trips are exact, every single-line flip is
+    // detected by the parity line, and a refresh cycle returns the
+    // decoder to its reset state (the bounded-resync guarantee).
+    let params = CodeParams::new(4, 1).expect("valid params");
+    let verdicts =
+        check_hardened_all(params, 4, &CheckConfig::default()).expect("checker constructs");
+    assert_all_hardened_hold(4, &verdicts);
+    for (kind, verdict) in &verdicts {
+        if *kind != CodeKind::WorkingZone {
+            assert!(
+                verdict.is_proven(),
+                "hardened {} should be exhaustively proven at width 4, got: {verdict}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_hardened_code_holds_at_width_8() {
+    // The parity line and refresh counter multiply the product state
+    // space; the same 6M-transition budget as the bare width-8 sweep
+    // still certifies every explored transition.
+    let config = CheckConfig {
+        max_states: 1 << 20,
+        max_transitions: 6_000_000,
+    };
+    let params = CodeParams::new(8, 1).expect("valid params");
+    let verdicts = check_hardened_all(params, 8, &config).expect("checker constructs");
+    assert_all_hardened_hold(8, &verdicts);
 }
 
 #[test]
