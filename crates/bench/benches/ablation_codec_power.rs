@@ -16,7 +16,8 @@ fn bench(c: &mut Criterion) {
         BusWidth::MIPS,
         Stride::WORD,
         Technology::date98(),
-    );
+    )
+    .expect("table builds");
     println!("Ablation: codec power (mW), all gate-level codecs, on-chip loads");
     println!(
         "{:>12} {:>10} {:>10} {:>10}",

@@ -9,7 +9,7 @@ use buscode_logic::codecs::{dual_t0bi_encoder, t0_encoder};
 use buscode_trace::{paper_benchmarks, StreamKind};
 
 fn bench(c: &mut Criterion) {
-    let table = tables::table8(30_000);
+    let table = tables::table8(30_000).expect("table 8 builds");
     println!(
         "{}",
         render_power_table(
@@ -23,11 +23,11 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table8/gate_level_encode");
     group.throughput(Throughput::Elements(stream.len() as u64));
     group.bench_function("t0_circuit", |b| {
-        let circuit = t0_encoder(BusWidth::MIPS, Stride::WORD);
+        let circuit = t0_encoder(BusWidth::MIPS, Stride::WORD).expect("circuit builds");
         b.iter(|| circuit.run(&stream))
     });
     group.bench_function("dual_t0bi_circuit", |b| {
-        let circuit = dual_t0bi_encoder(BusWidth::MIPS, Stride::WORD);
+        let circuit = dual_t0bi_encoder(BusWidth::MIPS, Stride::WORD).expect("circuit builds");
         b.iter(|| circuit.run(&stream))
     });
     group.finish();

@@ -6,7 +6,7 @@ use buscode_bench::render::render_power_table;
 use buscode_bench::tables;
 
 fn bench(c: &mut Criterion) {
-    let table = tables::table9(30_000);
+    let table = tables::table9(30_000).expect("table 9 builds");
     println!(
         "{}",
         render_power_table(
@@ -17,7 +17,7 @@ fn bench(c: &mut Criterion) {
     );
 
     c.bench_function("table9/full_sweep_1k_stream", |b| {
-        b.iter(|| tables::table9(1_000))
+        b.iter(|| tables::table9(1_000).expect("table 9 builds"))
     });
 }
 

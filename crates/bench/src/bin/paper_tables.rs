@@ -154,7 +154,7 @@ fn main() {
         write_csv("table7.csv", csv_transition_table(&table));
     }
     if want(8) {
-        let table = tables::table8(power_len);
+        let table = tables::table8(power_len).expect("table 8 builds");
         println!(
             "{}",
             render_power_table(
@@ -166,7 +166,7 @@ fn main() {
         write_csv("table8.csv", csv_power_table(&table));
     }
     if want(9) {
-        let table = tables::table9(power_len);
+        let table = tables::table9(power_len).expect("table 9 builds");
         println!(
             "{}",
             render_power_table(
@@ -178,7 +178,7 @@ fn main() {
         write_csv("table9.csv", csv_power_table(&table));
     }
     if want(10) {
-        let rows = tables::hardening_table(power_len);
+        let rows = tables::hardening_table(power_len).expect("hardening table builds");
         println!(
             "{}",
             render_hardening_table(
@@ -194,7 +194,7 @@ fn main() {
             "{:>12} {:>7} {:>6} {:>7} {:>10} {:>10}",
             "codec", "gates", "dffs", "depth", "optimized", "nand2"
         );
-        for row in tables::codec_synthesis_report() {
+        for row in tables::codec_synthesis_report().expect("synthesis report builds") {
             println!(
                 "{:>12} {:>7} {:>6} {:>7} {:>10} {:>10}",
                 row.codec, row.gates, row.dffs, row.depth, row.optimized_gates, row.nand2_area
@@ -206,7 +206,7 @@ fn main() {
             "{:>12} {:>7} {:>6} {:>7} {:>10} {:>10}",
             "codec", "gates", "dffs", "depth", "optimized", "nand2"
         );
-        for row in tables::decoder_synthesis_report() {
+        for row in tables::decoder_synthesis_report().expect("synthesis report builds") {
             println!(
                 "{:>12} {:>7} {:>6} {:>7} {:>10} {:>10}",
                 row.codec, row.gates, row.dffs, row.depth, row.optimized_gates, row.nand2_area

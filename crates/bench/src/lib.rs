@@ -20,6 +20,7 @@
 //! and [`ablation_extensions`].
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod harness;

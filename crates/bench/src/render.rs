@@ -245,7 +245,7 @@ mod tests {
 
     #[test]
     fn power_table_renders_loads() {
-        let t = tables::table8(500);
+        let t = tables::table8(500).unwrap();
         let text = render_power_table("Table 8", &t, false);
         assert!(text.contains("0.10"));
         assert!(text.contains("dual-t0-bi.enc"));
@@ -267,7 +267,7 @@ mod tests {
 
     #[test]
     fn hardening_table_renders_and_csv_parses() {
-        let rows = tables::hardening_table(2_000);
+        let rows = tables::hardening_table(2_000).unwrap();
         let text = render_hardening_table("Hardening cost", &rows);
         assert!(text.contains("dual-t0-bi"));
         assert!(text.contains("Overhead"));
@@ -282,7 +282,7 @@ mod tests {
 
     #[test]
     fn csv_power_table_is_parseable() {
-        let t = tables::table8(300);
+        let t = tables::table8(300).unwrap();
         let csv = csv_power_table(&t);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 1 + tables::TABLE8_LOADS_PF.len());

@@ -2,8 +2,9 @@
 
 use buscode_core::analysis::{self, StreamClass, Table1Row};
 use buscode_core::metrics::{binary_reference, count_transitions};
+use buscode_core::CodecError;
 use buscode_core::{Access, BusWidth, CodeKind, CodeParams, Stride};
-use buscode_logic::Technology;
+use buscode_logic::{LogicError, Technology};
 use buscode_power::{
     hardening_cost, offchip_table, onchip_table, CodecPowerTable, HardeningCost, PadModel,
 };
@@ -195,7 +196,11 @@ pub const TABLE8_LOADS_PF: [f64; 6] = [0.1, 0.2, 0.4, 0.8, 1.6, 3.2];
 pub const TABLE9_LOADS_PF: [f64; 6] = [5.0, 10.0, 20.0, 50.0, 100.0, 200.0];
 
 /// Table 8: encoder/decoder power for on-chip loads.
-pub fn table8(stream_length: usize) -> CodecPowerTable {
+///
+/// # Errors
+///
+/// Propagates circuit-construction errors from the gate-level builders.
+pub fn table8(stream_length: usize) -> Result<CodecPowerTable, LogicError> {
     onchip_table(
         &reference_muxed_stream(stream_length),
         &TABLE8_LOADS_PF,
@@ -206,7 +211,11 @@ pub fn table8(stream_length: usize) -> CodecPowerTable {
 }
 
 /// Table 9: encoder/decoder/pad power for off-chip loads.
-pub fn table9(stream_length: usize) -> CodecPowerTable {
+///
+/// # Errors
+///
+/// Propagates circuit-construction errors from the gate-level builders.
+pub fn table9(stream_length: usize) -> Result<CodecPowerTable, LogicError> {
     offchip_table(
         &reference_muxed_stream(stream_length),
         &TABLE9_LOADS_PF,
@@ -274,33 +283,37 @@ pub struct SynthesisRow {
 /// the structural counterpart of the paper's Section 4 synthesis results
 /// (its 5.36 ns critical path "through the bus-invert section and the
 /// output mux" shows up here as the dual T0_BI depth).
-pub fn codec_synthesis_report() -> Vec<SynthesisRow> {
+///
+/// # Errors
+///
+/// Propagates circuit-construction and optimization errors.
+pub fn codec_synthesis_report() -> Result<Vec<SynthesisRow>, LogicError> {
     use buscode_logic::codecs::{
         binary_encoder, bus_invert_encoder, dual_t0_encoder, dual_t0bi_encoder, gray_encoder,
         t0_encoder, t0bi_encoder,
     };
     let (w, s) = (BusWidth::MIPS, Stride::WORD);
     let circuits = [
-        binary_encoder(w),
-        gray_encoder(w, s),
-        bus_invert_encoder(w),
-        t0_encoder(w, s),
-        t0bi_encoder(w, s),
-        dual_t0_encoder(w, s),
-        dual_t0bi_encoder(w, s),
+        binary_encoder(w)?,
+        gray_encoder(w, s)?,
+        bus_invert_encoder(w)?,
+        t0_encoder(w, s)?,
+        t0bi_encoder(w, s)?,
+        dual_t0_encoder(w, s)?,
+        dual_t0bi_encoder(w, s)?,
     ];
     circuits
         .into_iter()
         .map(|circuit| {
-            let optimized = circuit.optimized();
-            SynthesisRow {
+            let optimized = circuit.optimized()?;
+            Ok(SynthesisRow {
                 codec: circuit.name,
                 gates: circuit.netlist.gate_count(),
                 dffs: circuit.netlist.dff_count(),
                 depth: circuit.netlist.logic_depth(),
                 optimized_gates: optimized.netlist.gate_count(),
                 nand2_area: buscode_logic::nand2_area(&circuit.netlist),
-            }
+            })
         })
         .collect()
 }
@@ -310,33 +323,37 @@ pub fn codec_synthesis_report() -> Vec<SynthesisRow> {
 /// *encoder* is two levels deep while its decoder's XOR prefix chain is
 /// ~30 levels — the timing cost that pushed the literature from Gray to
 /// the redundant codes.
-pub fn decoder_synthesis_report() -> Vec<SynthesisRow> {
+///
+/// # Errors
+///
+/// Propagates circuit-construction and optimization errors.
+pub fn decoder_synthesis_report() -> Result<Vec<SynthesisRow>, LogicError> {
     use buscode_logic::codecs::{
         binary_decoder, bus_invert_decoder, dual_t0_decoder, dual_t0bi_decoder, gray_decoder,
         t0_decoder, t0bi_decoder,
     };
     let (w, s) = (BusWidth::MIPS, Stride::WORD);
     let circuits = [
-        binary_decoder(w),
-        gray_decoder(w, s),
-        bus_invert_decoder(w),
-        t0_decoder(w, s),
-        t0bi_decoder(w, s),
-        dual_t0_decoder(w, s),
-        dual_t0bi_decoder(w, s),
+        binary_decoder(w)?,
+        gray_decoder(w, s)?,
+        bus_invert_decoder(w)?,
+        t0_decoder(w, s)?,
+        t0bi_decoder(w, s)?,
+        dual_t0_decoder(w, s)?,
+        dual_t0bi_decoder(w, s)?,
     ];
     circuits
         .into_iter()
         .map(|circuit| {
-            let optimized = circuit.optimized();
-            SynthesisRow {
+            let optimized = circuit.optimized()?;
+            Ok(SynthesisRow {
                 codec: circuit.name,
                 gates: circuit.netlist.gate_count(),
                 dffs: circuit.netlist.dff_count(),
                 depth: circuit.netlist.logic_depth(),
                 optimized_gates: optimized.netlist.gate_count(),
                 nand2_area: buscode_logic::nand2_area(&circuit.netlist),
-            }
+            })
         })
         .collect()
 }
@@ -424,7 +441,11 @@ pub const HARDENING_REFRESHES: [u64; 3] = [8, 32, 128];
 /// One [`HardeningCost`] per code × refresh interval in
 /// [`HARDENING_REFRESHES`]; the reliability side of the same trade-off is
 /// the `faultrun` campaign's resync bound.
-pub fn hardening_table(stream_length: usize) -> Vec<HardeningCost> {
+///
+/// # Errors
+///
+/// Propagates invalid-parameter errors from the power model.
+pub fn hardening_table(stream_length: usize) -> Result<Vec<HardeningCost>, CodecError> {
     let stream = reference_muxed_stream(stream_length);
     let params = CodeParams {
         width: BusWidth::MIPS,
@@ -442,13 +463,10 @@ pub fn hardening_table(stream_length: usize) -> Vec<HardeningCost> {
     let mut out = Vec::new();
     for code in codes {
         for refresh in HARDENING_REFRESHES {
-            out.push(
-                hardening_cost(code, params, refresh, &stream, 50.0, tech)
-                    .expect("valid params for every stateful paper code"),
-            );
+            out.push(hardening_cost(code, params, refresh, &stream, 50.0, tech)?);
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -549,7 +567,7 @@ mod tests {
 
     #[test]
     fn table8_has_all_rows_and_codecs() {
-        let t = table8(2_000);
+        let t = table8(2_000).unwrap();
         assert_eq!(t.rows.len(), TABLE8_LOADS_PF.len());
         for row in &t.rows {
             assert_eq!(row.entries.len(), 3);
@@ -562,7 +580,7 @@ mod tests {
 
     #[test]
     fn table9_encoded_codecs_win_at_the_top_of_the_sweep() {
-        let t = table9(2_000);
+        let t = table9(2_000).unwrap();
         let last = t.rows.last().unwrap();
         let by_name = |n: &str| last.entries.iter().find(|e| e.codec == n).unwrap();
         assert!(by_name("dual-t0-bi").global_mw < by_name("binary").global_mw);
@@ -587,8 +605,8 @@ mod tests {
 
     #[test]
     fn decoder_report_shows_the_gray_asymmetry() {
-        let decoders = decoder_synthesis_report();
-        let encoders = codec_synthesis_report();
+        let decoders = decoder_synthesis_report().unwrap();
+        let encoders = codec_synthesis_report().unwrap();
         let dec = |n: &str| decoders.iter().find(|r| r.codec == n).unwrap();
         let enc = |n: &str| encoders.iter().find(|r| r.codec == n).unwrap();
         // Gray: trivial encoder, deep decoder (the XOR prefix chain).
@@ -642,7 +660,7 @@ mod tests {
 
     #[test]
     fn synthesis_report_matches_paper_observations() {
-        let report = codec_synthesis_report();
+        let report = codec_synthesis_report().unwrap();
         assert_eq!(report.len(), 7);
         let by = |n: &str| report.iter().find(|r| r.codec == n).unwrap();
         // Cost ordering of the paper's three compared codecs.
@@ -664,7 +682,7 @@ mod tests {
 
     #[test]
     fn hardening_table_shows_overhead_shrinking_with_refresh() {
-        let rows = hardening_table(4_000);
+        let rows = hardening_table(4_000).unwrap();
         assert_eq!(rows.len(), 6 * HARDENING_REFRESHES.len());
         for chunk in rows.chunks(HARDENING_REFRESHES.len()) {
             // Hardening always costs power…

@@ -207,6 +207,30 @@ impl Decoder for BeachDecoder {
     fn reset(&mut self) {}
 }
 
+// --- Snapshot support ------------------------------------------------------
+
+use crate::snapshot::{ImageReader, Snapshot, StateImage};
+
+impl Snapshot for BeachEncoder {
+    fn snapshot(&self) -> StateImage {
+        StateImage::new("beach", Vec::new())
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        ImageReader::open(image, "beach")?.finish()
+    }
+}
+
+impl Snapshot for BeachDecoder {
+    fn snapshot(&self) -> StateImage {
+        StateImage::new("beach", Vec::new())
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        ImageReader::open(image, "beach")?.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -84,6 +84,30 @@ impl Decoder for BinaryDecoder {
     fn reset(&mut self) {}
 }
 
+// --- Snapshot support ------------------------------------------------------
+
+use crate::snapshot::{ImageReader, Snapshot, StateImage};
+
+impl Snapshot for BinaryEncoder {
+    fn snapshot(&self) -> StateImage {
+        StateImage::new("binary", Vec::new())
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        ImageReader::open(image, "binary")?.finish()
+    }
+}
+
+impl Snapshot for BinaryDecoder {
+    fn snapshot(&self) -> StateImage {
+        StateImage::new("binary", Vec::new())
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        ImageReader::open(image, "binary")?.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

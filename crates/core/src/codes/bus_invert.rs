@@ -216,6 +216,41 @@ impl Decoder for BusInvertDecoder {
     fn reset(&mut self) {}
 }
 
+// --- Snapshot support ------------------------------------------------------
+
+use crate::snapshot::{ImageReader, Snapshot, StateImage};
+
+impl Snapshot for BusInvertEncoder {
+    fn snapshot(&self) -> StateImage {
+        StateImage::new("bus-invert", vec![self.prev_payload, self.prev_inv])
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        let mut r = ImageReader::open(image, "bus-invert")?;
+        let prev_payload = r.word_at_most(self.width.mask())?;
+        let inv_mask = if self.partitions.len() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.partitions.len()) - 1
+        };
+        let prev_inv = r.word_at_most(inv_mask)?;
+        r.finish()?;
+        self.prev_payload = prev_payload;
+        self.prev_inv = prev_inv;
+        Ok(())
+    }
+}
+
+impl Snapshot for BusInvertDecoder {
+    fn snapshot(&self) -> StateImage {
+        StateImage::new("bus-invert", Vec::new())
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        ImageReader::open(image, "bus-invert")?.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

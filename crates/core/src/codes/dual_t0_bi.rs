@@ -176,6 +176,47 @@ impl Decoder for DualT0BiDecoder {
     }
 }
 
+// --- Snapshot support ------------------------------------------------------
+
+use crate::snapshot::{push_opt, ImageReader, Snapshot, StateImage};
+
+impl Snapshot for DualT0BiEncoder {
+    fn snapshot(&self) -> StateImage {
+        let mut words = Vec::with_capacity(4);
+        push_opt(&mut words, self.reference);
+        words.push(self.prev_bus.payload);
+        words.push(self.prev_bus.aux);
+        StateImage::new("dual-t0-bi", words)
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        let mut r = ImageReader::open(image, "dual-t0-bi")?;
+        let reference = r.opt_at_most(self.width.mask())?;
+        let payload = r.word_at_most(self.width.mask())?;
+        let aux = r.word_at_most(1)?; // shared INCV line
+        r.finish()?;
+        self.reference = reference;
+        self.prev_bus = BusState::new(payload, aux);
+        Ok(())
+    }
+}
+
+impl Snapshot for DualT0BiDecoder {
+    fn snapshot(&self) -> StateImage {
+        let mut words = Vec::with_capacity(2);
+        push_opt(&mut words, self.reference);
+        StateImage::new("dual-t0-bi", words)
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        let mut r = ImageReader::open(image, "dual-t0-bi")?;
+        let reference = r.opt_at_most(self.width.mask())?;
+        r.finish()?;
+        self.reference = reference;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -160,6 +160,30 @@ impl Decoder for GrayDecoder {
     fn reset(&mut self) {}
 }
 
+// --- Snapshot support ------------------------------------------------------
+
+use crate::snapshot::{ImageReader, Snapshot, StateImage};
+
+impl Snapshot for GrayEncoder {
+    fn snapshot(&self) -> StateImage {
+        StateImage::new("gray", Vec::new())
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        ImageReader::open(image, "gray")?.finish()
+    }
+}
+
+impl Snapshot for GrayDecoder {
+    fn snapshot(&self) -> StateImage {
+        StateImage::new("gray", Vec::new())
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        ImageReader::open(image, "gray")?.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

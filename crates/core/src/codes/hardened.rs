@@ -285,6 +285,48 @@ impl CodeKind {
     }
 }
 
+// --- Snapshot support ------------------------------------------------------
+
+use crate::snapshot::{Snapshot, StateImage};
+
+impl<C: Snapshot> Snapshot for Hardened<C> {
+    /// The image is the inner codec's image with the refresh-cycle
+    /// counter appended, under a `hardened:`-prefixed code name.
+    fn snapshot(&self) -> StateImage {
+        let inner = self.inner.snapshot();
+        let mut words = inner.words().to_vec();
+        words.push(self.cycle);
+        StateImage::new(format!("hardened:{}", inner.code()), words)
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        let Some(inner_code) = image.code().strip_prefix("hardened:") else {
+            return Err(CodecError::SnapshotMismatch {
+                code: "hardened",
+                reason: "image is not a hardened snapshot",
+            });
+        };
+        let Some((&cycle, inner_words)) = image.words().split_last() else {
+            return Err(CodecError::SnapshotMismatch {
+                code: "hardened",
+                reason: "missing refresh-cycle counter",
+            });
+        };
+        if cycle >= self.refresh {
+            return Err(CodecError::SnapshotMismatch {
+                code: "hardened",
+                reason: "cycle counter outside the refresh interval",
+            });
+        }
+        // Restore the inner codec first: it validates before mutating, so
+        // a bad inner image leaves the whole wrapper unchanged.
+        self.inner
+            .restore(&StateImage::new(inner_code, inner_words.to_vec()))?;
+        self.cycle = cycle;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

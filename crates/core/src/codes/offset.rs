@@ -109,6 +109,38 @@ impl Decoder for OffsetDecoder {
     }
 }
 
+// --- Snapshot support ------------------------------------------------------
+
+use crate::snapshot::{ImageReader, Snapshot, StateImage};
+
+impl Snapshot for OffsetEncoder {
+    fn snapshot(&self) -> StateImage {
+        StateImage::new("offset", vec![self.prev_address])
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        let mut r = ImageReader::open(image, "offset")?;
+        let prev_address = r.word_at_most(self.width.mask())?;
+        r.finish()?;
+        self.prev_address = prev_address;
+        Ok(())
+    }
+}
+
+impl Snapshot for OffsetDecoder {
+    fn snapshot(&self) -> StateImage {
+        StateImage::new("offset", vec![self.prev_address])
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        let mut r = ImageReader::open(image, "offset")?;
+        let prev_address = r.word_at_most(self.width.mask())?;
+        r.finish()?;
+        self.prev_address = prev_address;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

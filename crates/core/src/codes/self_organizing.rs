@@ -212,6 +212,58 @@ impl Decoder for SelfOrganizingDecoder {
     }
 }
 
+// --- Snapshot support ------------------------------------------------------
+
+use crate::snapshot::{ImageReader, Snapshot, StateImage};
+
+impl SolState {
+    fn snapshot_words(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(self.list.len() + 1);
+        words.push(self.list.len() as u64);
+        words.extend_from_slice(&self.list);
+        words
+    }
+
+    /// Reads and validates a list state without mutating `self`.
+    fn read_words(&self, r: &mut ImageReader<'_>) -> Result<Vec<u64>, CodecError> {
+        let len = r.word_at_most(self.capacity as u64)? as usize;
+        let high_max = self.width.mask() >> self.low_bits;
+        let mut list = Vec::with_capacity(len);
+        for _ in 0..len {
+            list.push(r.word_at_most(high_max)?);
+        }
+        Ok(list)
+    }
+}
+
+impl Snapshot for SelfOrganizingEncoder {
+    fn snapshot(&self) -> StateImage {
+        StateImage::new("self-org", self.state.snapshot_words())
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        let mut r = ImageReader::open(image, "self-org")?;
+        let list = self.state.read_words(&mut r)?;
+        r.finish()?;
+        self.state.list = list;
+        Ok(())
+    }
+}
+
+impl Snapshot for SelfOrganizingDecoder {
+    fn snapshot(&self) -> StateImage {
+        StateImage::new("self-org", self.state.snapshot_words())
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        let mut r = ImageReader::open(image, "self-org")?;
+        let list = self.state.read_words(&mut r)?;
+        r.finish()?;
+        self.state.list = list;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

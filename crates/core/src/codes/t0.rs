@@ -159,6 +159,47 @@ impl Decoder for T0Decoder {
     }
 }
 
+// --- Snapshot support ------------------------------------------------------
+
+use crate::snapshot::{push_opt, ImageReader, Snapshot, StateImage};
+
+impl Snapshot for T0Encoder {
+    fn snapshot(&self) -> StateImage {
+        let mut words = Vec::with_capacity(4);
+        push_opt(&mut words, self.prev_address);
+        words.push(self.prev_bus.payload);
+        words.push(self.prev_bus.aux);
+        StateImage::new("t0", words)
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        let mut r = ImageReader::open(image, "t0")?;
+        let prev_address = r.opt_at_most(self.width.mask())?;
+        let payload = r.word_at_most(self.width.mask())?;
+        let aux = r.word_at_most(1)?; // INC line only
+        r.finish()?;
+        self.prev_address = prev_address;
+        self.prev_bus = BusState::new(payload, aux);
+        Ok(())
+    }
+}
+
+impl Snapshot for T0Decoder {
+    fn snapshot(&self) -> StateImage {
+        let mut words = Vec::with_capacity(2);
+        push_opt(&mut words, self.prev_address);
+        StateImage::new("t0", words)
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        let mut r = ImageReader::open(image, "t0")?;
+        let prev_address = r.opt_at_most(self.width.mask())?;
+        r.finish()?;
+        self.prev_address = prev_address;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

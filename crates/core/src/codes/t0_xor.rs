@@ -136,6 +136,38 @@ impl Decoder for T0XorDecoder {
     }
 }
 
+// --- Snapshot support ------------------------------------------------------
+
+use crate::snapshot::{ImageReader, Snapshot, StateImage};
+
+impl Snapshot for T0XorEncoder {
+    fn snapshot(&self) -> StateImage {
+        StateImage::new("t0-xor", vec![self.prev_address])
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        let mut r = ImageReader::open(image, "t0-xor")?;
+        let prev_address = r.word_at_most(self.width.mask())?;
+        r.finish()?;
+        self.prev_address = prev_address;
+        Ok(())
+    }
+}
+
+impl Snapshot for T0XorDecoder {
+    fn snapshot(&self) -> StateImage {
+        StateImage::new("t0-xor", vec![self.prev_address])
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        let mut r = ImageReader::open(image, "t0-xor")?;
+        let prev_address = r.word_at_most(self.width.mask())?;
+        r.finish()?;
+        self.prev_address = prev_address;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

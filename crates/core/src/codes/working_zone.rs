@@ -219,6 +219,66 @@ impl Decoder for WorkingZoneDecoder {
     }
 }
 
+// --- Snapshot support ------------------------------------------------------
+
+use crate::snapshot::{push_opt, ImageReader, Snapshot, StateImage};
+
+impl ZoneTable {
+    fn snapshot_words(&self, words: &mut Vec<u64>) {
+        for base in &self.bases {
+            push_opt(words, *base);
+        }
+        words.push(self.victim as u64);
+    }
+
+    /// Reads and validates a table state without mutating `self`.
+    fn read_words(&self, r: &mut ImageReader<'_>) -> Result<(Vec<Option<u64>>, usize), CodecError> {
+        let mut bases = Vec::with_capacity(self.bases.len());
+        for _ in 0..self.bases.len() {
+            bases.push(r.opt_at_most(self.width.mask())?);
+        }
+        let victim = r.word_at_most(self.bases.len() as u64 - 1)? as usize;
+        Ok((bases, victim))
+    }
+}
+
+impl Snapshot for WorkingZoneEncoder {
+    fn snapshot(&self) -> StateImage {
+        let mut words = Vec::with_capacity(2 * self.zones.bases.len() + 2);
+        self.zones.snapshot_words(&mut words);
+        words.push(self.prev_zone_field);
+        StateImage::new("working-zone", words)
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        let mut r = ImageReader::open(image, "working-zone")?;
+        let (bases, victim) = self.zones.read_words(&mut r)?;
+        let prev_zone_field = r.word_at_most(self.zones.bases.len() as u64 - 1)?;
+        r.finish()?;
+        self.zones.bases = bases;
+        self.zones.victim = victim;
+        self.prev_zone_field = prev_zone_field;
+        Ok(())
+    }
+}
+
+impl Snapshot for WorkingZoneDecoder {
+    fn snapshot(&self) -> StateImage {
+        let mut words = Vec::with_capacity(2 * self.zones.bases.len() + 1);
+        self.zones.snapshot_words(&mut words);
+        StateImage::new("working-zone", words)
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        let mut r = ImageReader::open(image, "working-zone")?;
+        let (bases, victim) = self.zones.read_words(&mut r)?;
+        r.finish()?;
+        self.zones.bases = bases;
+        self.zones.victim = victim;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

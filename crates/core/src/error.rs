@@ -55,6 +55,78 @@ pub enum CodecError {
         /// A short description of the constraint that failed.
         reason: &'static str,
     },
+    /// A [`StateImage`][crate::snapshot::StateImage] could not be restored
+    /// into this codec (wrong code, wrong word count, or out-of-domain
+    /// state words).
+    SnapshotMismatch {
+        /// The code the restoring codec implements.
+        code: &'static str,
+        /// A short description of the mismatch.
+        reason: &'static str,
+    },
+}
+
+/// How a [`CodecError`] observed mid-stream should be recovered from.
+///
+/// This is the taxonomy the `buscode-pipeline` supervisor drives its
+/// policies off: each class maps to one recovery action (retry, forced
+/// resync, abort). The classification is conservative — when in doubt an
+/// error is promoted to the more severe class, never demoted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RecoveryClass {
+    /// A single-word fault with the codec state still valid: the failed
+    /// word can simply be retried (retransmitted). The hardened wrapper's
+    /// aux-parity detection is the canonical example — it reports the
+    /// corruption at the cycle it happens and leaves the inner decoder
+    /// state untouched.
+    Transient,
+    /// Encoder and decoder state have (or may have) diverged: retrying the
+    /// same word cannot help, and every later relative decode is suspect.
+    /// Recovery requires a forced resync — resetting both halves so the
+    /// next word is a self-contained plain transmission.
+    Desync,
+    /// A construction or configuration error: no amount of retrying or
+    /// resyncing produces a working codec. The stream must abort.
+    Fatal,
+}
+
+impl fmt::Display for RecoveryClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RecoveryClass::Transient => "transient",
+            RecoveryClass::Desync => "desync",
+            RecoveryClass::Fatal => "fatal",
+        })
+    }
+}
+
+impl CodecError {
+    /// Classifies this error for stream-level recovery.
+    ///
+    /// - [`Transient`][RecoveryClass::Transient]: the hardened wrapper's
+    ///   parity detection (`ProtocolViolation` with code `"hardened"`,
+    ///   which by construction leaves the inner decoder untouched) and
+    ///   out-of-range input addresses;
+    /// - [`Desync`][RecoveryClass::Desync]: every other protocol
+    ///   violation and round-trip mismatches — the decoder's references
+    ///   can no longer be trusted;
+    /// - [`Fatal`][RecoveryClass::Fatal]: parameter, width, stride, and
+    ///   snapshot-restore errors.
+    pub fn recovery_class(&self) -> RecoveryClass {
+        match self {
+            CodecError::ProtocolViolation { code, .. } if *code == "hardened" => {
+                RecoveryClass::Transient
+            }
+            CodecError::AddressOutOfRange { .. } => RecoveryClass::Transient,
+            CodecError::ProtocolViolation { .. } | CodecError::RoundTripMismatch { .. } => {
+                RecoveryClass::Desync
+            }
+            CodecError::InvalidWidth { .. }
+            | CodecError::InvalidStride { .. }
+            | CodecError::InvalidParameter { .. }
+            | CodecError::SnapshotMismatch { .. } => RecoveryClass::Fatal,
+        }
+    }
 }
 
 impl fmt::Display for CodecError {
@@ -83,6 +155,9 @@ impl fmt::Display for CodecError {
             ),
             CodecError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter {name}: {reason}")
+            }
+            CodecError::SnapshotMismatch { code, reason } => {
+                write!(f, "{code} snapshot mismatch: {reason}")
             }
         }
     }
@@ -119,6 +194,10 @@ mod tests {
                 name: "zones",
                 reason: "must be nonzero",
             },
+            CodecError::SnapshotMismatch {
+                code: "t0",
+                reason: "expected 4 state words",
+            },
         ];
         for err in cases {
             let msg = err.to_string();
@@ -132,6 +211,70 @@ mod tests {
     fn error_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CodecError>();
+    }
+
+    #[test]
+    fn recovery_classes_cover_the_taxonomy() {
+        // Hardened parity detection is retryable: the wrapper documents
+        // that the inner decoder state is untouched on a parity error.
+        assert_eq!(
+            CodecError::ProtocolViolation {
+                code: "hardened",
+                reason: "aux parity mismatch",
+            }
+            .recovery_class(),
+            RecoveryClass::Transient
+        );
+        assert_eq!(
+            CodecError::AddressOutOfRange {
+                address: 0x1_0000_0000,
+                width: 32,
+            }
+            .recovery_class(),
+            RecoveryClass::Transient
+        );
+        // Any inner-code protocol violation means the decoder state is
+        // suspect.
+        assert_eq!(
+            CodecError::ProtocolViolation {
+                code: "t0",
+                reason: "inc asserted on first cycle",
+            }
+            .recovery_class(),
+            RecoveryClass::Desync
+        );
+        assert_eq!(
+            CodecError::RoundTripMismatch {
+                cycle: 3,
+                expected: 1,
+                decoded: 2,
+            }
+            .recovery_class(),
+            RecoveryClass::Desync
+        );
+        for fatal in [
+            CodecError::InvalidWidth { bits: 65 },
+            CodecError::InvalidStride {
+                stride: 3,
+                width: 32,
+            },
+            CodecError::InvalidParameter {
+                name: "refresh",
+                reason: "must be nonzero",
+            },
+            CodecError::SnapshotMismatch {
+                code: "t0",
+                reason: "wrong code",
+            },
+        ] {
+            assert_eq!(fatal.recovery_class(), RecoveryClass::Fatal, "{fatal}");
+        }
+    }
+
+    #[test]
+    fn recovery_class_orders_by_severity() {
+        assert!(RecoveryClass::Transient < RecoveryClass::Desync);
+        assert!(RecoveryClass::Desync < RecoveryClass::Fatal);
     }
 
     #[test]

@@ -51,6 +51,7 @@
 //!   [`Access`], [`BusState`]) and the [`Encoder`] / [`Decoder`] traits.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod analysis;
@@ -60,11 +61,13 @@ pub mod codes;
 mod error;
 pub mod metrics;
 pub mod rng;
+pub mod snapshot;
 pub mod stream;
 mod traits;
 
 pub use bus::{hamming, Access, AccessKind, BusState, BusWidth, Stride};
-pub use error::CodecError;
+pub use error::{CodecError, RecoveryClass};
 pub use metrics::TransitionStats;
+pub use snapshot::{Snapshot, SnapshotDecoder, SnapshotEncoder, StateImage};
 pub use stream::{DecoderExt, EncoderExt};
 pub use traits::{CodeKind, CodeParams, Decoder, Encoder};

@@ -1,0 +1,406 @@
+//! Checkpointable codec state: the [`Snapshot`] trait and its portable
+//! [`StateImage`] representation.
+//!
+//! The stateful codes buy their savings with registers shared between
+//! encoder and decoder (T0's reference address, the working-zone bases,
+//! the self-organizing list). A long-running stream runtime therefore
+//! needs to *capture* and *restore* that state — for crash recovery, for
+//! migrating a stream between processes, and for the supervisor's
+//! retry-after-restore policy in `buscode-pipeline`.
+//!
+//! Every encoder and decoder in this crate implements [`Snapshot`]:
+//!
+//! - [`Snapshot::snapshot`] serializes the codec's *dynamic* state (not
+//!   its construction parameters) into a [`StateImage`] — a code name
+//!   plus a flat vector of `u64` state words;
+//! - [`Snapshot::restore`] validates an image against the codec's code
+//!   name, expected word count, and per-word domains, then installs it.
+//!   On error the codec is left unchanged.
+//!
+//! Restoring assumes the receiving codec was constructed with the same
+//! parameters (width, stride, zone count…) as the one that produced the
+//! image; the image deliberately carries only the mutable registers, the
+//! way a hardware scan chain would.
+//!
+//! The resume-equals-straight-through guarantee — encode/decode `k`
+//! words, snapshot, restore into a freshly constructed codec, continue,
+//! and observe exactly the words a never-interrupted codec produces — is
+//! property-tested over all 12 codes in the repository's
+//! `tests/checkpoint_restore.rs`.
+//!
+//! # Examples
+//!
+//! ```
+//! use buscode_core::snapshot::Snapshot;
+//! use buscode_core::{Access, CodeKind, CodeParams, Encoder};
+//!
+//! # fn main() -> Result<(), buscode_core::CodecError> {
+//! let params = CodeParams::default();
+//! let mut enc = CodeKind::T0.snapshot_encoder(params)?;
+//! enc.encode(Access::instruction(0x100));
+//! let image = enc.snapshot();
+//!
+//! // A fresh encoder restored from the image continues identically.
+//! let mut resumed = CodeKind::T0.snapshot_encoder(params)?;
+//! resumed.restore(&image)?;
+//! assert_eq!(
+//!     resumed.encode(Access::instruction(0x104)),
+//!     enc.encode(Access::instruction(0x104)),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::CodecError;
+use crate::traits::{CodeKind, CodeParams, Decoder, Encoder};
+
+/// A serialized codec state: the code's name plus its dynamic registers
+/// flattened into `u64` words.
+///
+/// Images are portable between processes via the text form
+/// ([`StateImage::to_line`] / [`StateImage::parse_line`]): the code name
+/// followed by the state words in hexadecimal, space-separated, on one
+/// line.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct StateImage {
+    code: String,
+    words: Vec<u64>,
+}
+
+impl StateImage {
+    /// Creates an image for `code` from its raw state words.
+    pub fn new(code: impl Into<String>, words: Vec<u64>) -> Self {
+        StateImage {
+            code: code.into(),
+            words,
+        }
+    }
+
+    /// The name of the code that produced this image.
+    pub fn code(&self) -> &str {
+        &self.code
+    }
+
+    /// The raw state words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Renders the image as a single text line: the code name followed by
+    /// the state words in hexadecimal.
+    pub fn to_line(&self) -> String {
+        let mut line = self.code.clone();
+        for w in &self.words {
+            line.push(' ');
+            line.push_str(&format!("{w:x}"));
+        }
+        line
+    }
+
+    /// Parses a line produced by [`StateImage::to_line`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::SnapshotMismatch`] on an empty line or a
+    /// word that is not valid hexadecimal `u64`.
+    pub fn parse_line(line: &str) -> Result<Self, CodecError> {
+        let mut tokens = line.split_whitespace();
+        let code = tokens.next().ok_or(CodecError::SnapshotMismatch {
+            code: "state-image",
+            reason: "empty state line",
+        })?;
+        let mut words = Vec::new();
+        for tok in tokens {
+            let w = u64::from_str_radix(tok, 16).map_err(|_| CodecError::SnapshotMismatch {
+                code: "state-image",
+                reason: "state word is not hexadecimal",
+            })?;
+            words.push(w);
+        }
+        Ok(StateImage::new(code, words))
+    }
+}
+
+/// Appends an `Option<u64>` to a state-word vector as a presence flag
+/// followed by the value (0 when absent).
+pub(crate) fn push_opt(words: &mut Vec<u64>, value: Option<u64>) {
+    words.push(u64::from(value.is_some()));
+    words.push(value.unwrap_or(0));
+}
+
+/// A validating cursor over a [`StateImage`]'s words.
+///
+/// Restore implementations open the image against their code name, pull
+/// the expected words in order, and call [`ImageReader::finish`] to
+/// reject trailing words — so a wrong-code or wrong-shape image is always
+/// reported as [`CodecError::SnapshotMismatch`] before any state is
+/// mutated.
+pub(crate) struct ImageReader<'a> {
+    code: &'static str,
+    words: core::slice::Iter<'a, u64>,
+}
+
+impl<'a> ImageReader<'a> {
+    /// Opens `image`, checking it was produced by `code`.
+    pub(crate) fn open(
+        image: &'a StateImage,
+        code: &'static str,
+    ) -> Result<ImageReader<'a>, CodecError> {
+        if image.code() != code {
+            return Err(CodecError::SnapshotMismatch {
+                code,
+                reason: "image was produced by a different code",
+            });
+        }
+        Ok(ImageReader {
+            code,
+            words: image.words().iter(),
+        })
+    }
+
+    /// Pulls the next state word.
+    pub(crate) fn word(&mut self) -> Result<u64, CodecError> {
+        self.words
+            .next()
+            .copied()
+            .ok_or(CodecError::SnapshotMismatch {
+                code: self.code,
+                reason: "image has too few state words",
+            })
+    }
+
+    /// Pulls a word and checks it does not exceed `max`.
+    pub(crate) fn word_at_most(&mut self, max: u64) -> Result<u64, CodecError> {
+        let w = self.word()?;
+        if w > max {
+            return Err(CodecError::SnapshotMismatch {
+                code: self.code,
+                reason: "state word outside its domain",
+            });
+        }
+        Ok(w)
+    }
+
+    /// Pulls an `Option<u64>` written by [`push_opt`], masking the value
+    /// against `max`.
+    pub(crate) fn opt_at_most(&mut self, max: u64) -> Result<Option<u64>, CodecError> {
+        let flag = self.word_at_most(1)?;
+        let value = self.word_at_most(max)?;
+        Ok((flag == 1).then_some(value))
+    }
+
+    /// Checks every word was consumed.
+    pub(crate) fn finish(mut self) -> Result<(), CodecError> {
+        if self.words.next().is_some() {
+            return Err(CodecError::SnapshotMismatch {
+                code: self.code,
+                reason: "image has too many state words",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Capture and restore of a codec's dynamic state; see the
+/// [module docs](self).
+pub trait Snapshot {
+    /// Serializes the codec's dynamic state.
+    fn snapshot(&self) -> StateImage;
+
+    /// Installs a state previously captured by [`Snapshot::snapshot`]
+    /// from a codec constructed with the same parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::SnapshotMismatch`] if the image was produced
+    /// by a different code, has the wrong number of state words, or
+    /// contains a word outside its domain. The codec is unchanged on
+    /// error.
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError>;
+}
+
+impl<S: Snapshot + ?Sized> Snapshot for Box<S> {
+    fn snapshot(&self) -> StateImage {
+        (**self).snapshot()
+    }
+
+    fn restore(&mut self, image: &StateImage) -> Result<(), CodecError> {
+        (**self).restore(image)
+    }
+}
+
+/// An [`Encoder`] whose state can be checkpointed — the object-safe
+/// bound the streaming runtime stores codecs behind.
+pub trait SnapshotEncoder: Encoder + Snapshot {}
+impl<T: Encoder + Snapshot + ?Sized> SnapshotEncoder for T {}
+
+/// A [`Decoder`] whose state can be checkpointed.
+pub trait SnapshotDecoder: Decoder + Snapshot {}
+impl<T: Decoder + Snapshot + ?Sized> SnapshotDecoder for T {}
+
+impl CodeKind {
+    /// Builds this code's encoder behind the checkpointable
+    /// [`SnapshotEncoder`] bound.
+    ///
+    /// Same construction as [`CodeKind::encoder`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation errors from the code's constructor.
+    pub fn snapshot_encoder(
+        self,
+        params: CodeParams,
+    ) -> Result<Box<dyn SnapshotEncoder>, CodecError> {
+        use crate::codes::*;
+        Ok(match self {
+            CodeKind::Binary => Box::new(BinaryEncoder::new(params.width)),
+            CodeKind::Gray => Box::new(GrayEncoder::new(params.width, params.stride)?),
+            CodeKind::BusInvert => Box::new(BusInvertEncoder::new(params.width)),
+            CodeKind::T0 => Box::new(T0Encoder::new(params.width, params.stride)?),
+            CodeKind::T0Bi => Box::new(T0BiEncoder::new(params.width, params.stride)?),
+            CodeKind::DualT0 => Box::new(DualT0Encoder::new(params.width, params.stride)?),
+            CodeKind::DualT0Bi => Box::new(DualT0BiEncoder::new(params.width, params.stride)?),
+            CodeKind::T0Xor => Box::new(T0XorEncoder::new(params.width, params.stride)?),
+            CodeKind::Offset => Box::new(OffsetEncoder::new(params.width)),
+            CodeKind::WorkingZone => {
+                Box::new(WorkingZoneEncoder::new(params.width, params.stride, 4)?)
+            }
+            CodeKind::Beach => Box::new(BeachCode::identity(params.width).into_encoder()),
+            CodeKind::SelfOrganizing => {
+                let low_bits = 8.min(params.width.bits() - 1);
+                let entries = 16.min(params.width.bits() - low_bits);
+                Box::new(SelfOrganizingEncoder::new(params.width, low_bits, entries)?)
+            }
+        })
+    }
+
+    /// Builds the decoder paired with [`CodeKind::snapshot_encoder`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation errors from the code's constructor.
+    pub fn snapshot_decoder(
+        self,
+        params: CodeParams,
+    ) -> Result<Box<dyn SnapshotDecoder>, CodecError> {
+        use crate::codes::*;
+        Ok(match self {
+            CodeKind::Binary => Box::new(BinaryDecoder::new(params.width)),
+            CodeKind::Gray => Box::new(GrayDecoder::new(params.width, params.stride)?),
+            CodeKind::BusInvert => Box::new(BusInvertDecoder::new(params.width)),
+            CodeKind::T0 => Box::new(T0Decoder::new(params.width, params.stride)?),
+            CodeKind::T0Bi => Box::new(T0BiDecoder::new(params.width, params.stride)?),
+            CodeKind::DualT0 => Box::new(DualT0Decoder::new(params.width, params.stride)?),
+            CodeKind::DualT0Bi => Box::new(DualT0BiDecoder::new(params.width, params.stride)?),
+            CodeKind::T0Xor => Box::new(T0XorDecoder::new(params.width, params.stride)?),
+            CodeKind::Offset => Box::new(OffsetDecoder::new(params.width)),
+            CodeKind::WorkingZone => {
+                Box::new(WorkingZoneDecoder::new(params.width, params.stride, 4)?)
+            }
+            CodeKind::Beach => Box::new(BeachCode::identity(params.width).into_decoder()),
+            CodeKind::SelfOrganizing => {
+                let low_bits = 8.min(params.width.bits() - 1);
+                let entries = 16.min(params.width.bits() - low_bits);
+                Box::new(SelfOrganizingDecoder::new(params.width, low_bits, entries)?)
+            }
+        })
+    }
+
+    /// Builds this code's encoder wrapped in
+    /// [`Hardened`][crate::codes::Hardened], behind the checkpointable
+    /// bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor and wrapper validation errors.
+    pub fn hardened_snapshot_encoder(
+        self,
+        params: CodeParams,
+        refresh: u64,
+    ) -> Result<Box<dyn SnapshotEncoder>, CodecError> {
+        let inner = self.snapshot_encoder(params)?;
+        let aux = inner.aux_line_count();
+        Ok(Box::new(crate::codes::Hardened::with_aux_lines(
+            inner, refresh, aux,
+        )?))
+    }
+
+    /// Builds the decoder paired with
+    /// [`CodeKind::hardened_snapshot_encoder`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor and wrapper validation errors.
+    pub fn hardened_snapshot_decoder(
+        self,
+        params: CodeParams,
+        refresh: u64,
+    ) -> Result<Box<dyn SnapshotDecoder>, CodecError> {
+        let aux = self.aux_line_count(params)?;
+        Ok(Box::new(crate::codes::Hardened::with_aux_lines(
+            self.snapshot_decoder(params)?,
+            refresh,
+            aux,
+        )?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trip() {
+        let image = StateImage::new("t0", vec![1, 0x104, 0xdead_beef, 0]);
+        let line = image.to_line();
+        assert_eq!(line, "t0 1 104 deadbeef 0");
+        assert_eq!(StateImage::parse_line(&line).unwrap(), image);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(StateImage::parse_line("").is_err());
+        assert!(StateImage::parse_line("   ").is_err());
+        assert!(StateImage::parse_line("t0 zz").is_err());
+        // Overflowing hex word.
+        assert!(StateImage::parse_line("t0 1ffffffffffffffff").is_err());
+    }
+
+    #[test]
+    fn reader_rejects_wrong_code_and_shape() {
+        let image = StateImage::new("t0", vec![1, 2]);
+        assert!(ImageReader::open(&image, "gray").is_err());
+        let mut r = ImageReader::open(&image, "t0").unwrap();
+        assert_eq!(r.word().unwrap(), 1);
+        // Finish with one word left over.
+        assert!(r.finish().is_err());
+
+        let mut r = ImageReader::open(&image, "t0").unwrap();
+        r.word().unwrap();
+        r.word().unwrap();
+        assert!(r.word().is_err());
+    }
+
+    #[test]
+    fn reader_enforces_domains() {
+        let image = StateImage::new("t0", vec![2, 7]);
+        let mut r = ImageReader::open(&image, "t0").unwrap();
+        assert!(r.word_at_most(1).is_err());
+        let image = StateImage::new("t0", vec![1, 0x1_0000]);
+        let mut r = ImageReader::open(&image, "t0").unwrap();
+        assert!(r.opt_at_most(0xffff).is_err());
+    }
+
+    #[test]
+    fn factories_build_every_code() {
+        let params = CodeParams::default();
+        for kind in CodeKind::all() {
+            let enc = kind.snapshot_encoder(params).unwrap();
+            let dec = kind.snapshot_decoder(params).unwrap();
+            assert_eq!(enc.snapshot().code(), kind.name());
+            assert_eq!(dec.snapshot().code(), kind.name());
+            let henc = kind.hardened_snapshot_encoder(params, 16).unwrap();
+            assert!(henc.snapshot().code().starts_with("hardened:"));
+        }
+    }
+}

@@ -167,11 +167,17 @@ fn main() -> ExitCode {
     }
 
     if opts.gate {
-        let gate_rows = run_gate_campaign(&GateCampaignConfig {
+        let gate_rows = match run_gate_campaign(&GateCampaignConfig {
             trials: opts.trials.min(20),
             seed: opts.seed,
             ..GateCampaignConfig::default()
-        });
+        }) {
+            Ok(rows) => rows,
+            Err(err) => {
+                eprintln!("faultrun: gate campaign failed: {err}");
+                return ExitCode::from(2);
+            }
+        };
         if opts.json {
             println!("{}", render_gate_json(&gate_rows));
         } else {

@@ -21,27 +21,34 @@ use buscode_logic::codecs::{
     offset_decoder, offset_encoder, t0_decoder, t0_encoder, t0bi_decoder, t0bi_encoder,
     t0xor_decoder, t0xor_encoder,
 };
-use buscode_logic::{DecoderCircuit, EncoderCircuit, Simulator};
+use buscode_logic::{DecoderCircuit, EncoderCircuit, LogicError, Simulator};
 
 /// The gate-level codec pairs with circuit implementations.
-pub fn gate_codecs(width: BusWidth, stride: Stride) -> Vec<(EncoderCircuit, DecoderCircuit)> {
-    vec![
-        (binary_encoder(width), binary_decoder(width)),
-        (gray_encoder(width, stride), gray_decoder(width, stride)),
-        (bus_invert_encoder(width), bus_invert_decoder(width)),
-        (t0_encoder(width, stride), t0_decoder(width, stride)),
-        (t0bi_encoder(width, stride), t0bi_decoder(width, stride)),
+///
+/// # Errors
+///
+/// Propagates circuit-construction errors from the gate-level builders.
+pub fn gate_codecs(
+    width: BusWidth,
+    stride: Stride,
+) -> Result<Vec<(EncoderCircuit, DecoderCircuit)>, LogicError> {
+    Ok(vec![
+        (binary_encoder(width)?, binary_decoder(width)?),
+        (gray_encoder(width, stride)?, gray_decoder(width, stride)?),
+        (bus_invert_encoder(width)?, bus_invert_decoder(width)?),
+        (t0_encoder(width, stride)?, t0_decoder(width, stride)?),
+        (t0bi_encoder(width, stride)?, t0bi_decoder(width, stride)?),
         (
-            dual_t0_encoder(width, stride),
-            dual_t0_decoder(width, stride),
+            dual_t0_encoder(width, stride)?,
+            dual_t0_decoder(width, stride)?,
         ),
         (
-            dual_t0bi_encoder(width, stride),
-            dual_t0bi_decoder(width, stride),
+            dual_t0bi_encoder(width, stride)?,
+            dual_t0bi_decoder(width, stride)?,
         ),
-        (t0xor_encoder(width, stride), t0xor_decoder(width, stride)),
-        (offset_encoder(width), offset_decoder(width)),
-    ]
+        (t0xor_encoder(width, stride)?, t0xor_decoder(width, stride)?),
+        (offset_encoder(width)?, offset_decoder(width)?),
+    ])
 }
 
 /// Where a gate-level fault is injected.
@@ -132,19 +139,23 @@ impl Default for GateCampaignConfig {
 /// Runs the gate-level campaign: for each codec circuit pair and each
 /// [`GateFault`] model, repeatedly encode a clean stream, inject one
 /// fault into the decoder mid-stream, and count wrong addresses.
-pub fn run_gate_campaign(config: &GateCampaignConfig) -> Vec<GateCellStats> {
+///
+/// # Errors
+///
+/// Propagates circuit-construction errors from the gate-level builders.
+pub fn run_gate_campaign(config: &GateCampaignConfig) -> Result<Vec<GateCellStats>, LogicError> {
     let faults = [
         GateFault::DecoderSeu,
         GateFault::DecoderStuck { value: false },
         GateFault::DecoderStuck { value: true },
     ];
     let mut rows = Vec::new();
-    for (enc, dec) in gate_codecs(config.width, config.stride) {
+    for (enc, dec) in gate_codecs(config.width, config.stride)? {
         for fault in faults {
             rows.push(run_gate_cell(config, &enc, &dec, fault));
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// A mixed instruction/data stream in the circuit's address range.
@@ -326,7 +337,7 @@ mod tests {
 
     #[test]
     fn campaign_covers_every_codec_and_model() {
-        let rows = run_gate_campaign(&tiny());
+        let rows = run_gate_campaign(&tiny()).unwrap();
         assert_eq!(rows.len(), 9 * 3);
         // The binary decoder is pure buffers: no flip-flops, so the SEU
         // model has no site to hit and runs zero trials.
@@ -339,7 +350,7 @@ mod tests {
 
     #[test]
     fn seu_in_a_t0_decoder_corrupts_addresses() {
-        let rows = run_gate_campaign(&tiny());
+        let rows = run_gate_campaign(&tiny()).unwrap();
         let t0_seu = rows
             .iter()
             .find(|r| r.codec.contains("t0") && r.fault == "decoder-seu" && r.trials > 0)
@@ -352,14 +363,14 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let a = run_gate_campaign(&tiny());
-        let b = run_gate_campaign(&tiny());
+        let a = run_gate_campaign(&tiny()).unwrap();
+        let b = run_gate_campaign(&tiny()).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn renders_both_formats() {
-        let rows = run_gate_campaign(&tiny());
+        let rows = run_gate_campaign(&tiny()).unwrap();
         let text = render_gate_text(&rows);
         assert!(text.contains("decoder-seu"));
         let json = render_gate_json(&rows);

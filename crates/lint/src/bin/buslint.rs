@@ -108,7 +108,14 @@ fn main() -> ExitCode {
     let mut report = Report::new();
 
     if opts.run_netlists {
-        for entry in codec_netlists(opts.width) {
+        let entries = match codec_netlists(opts.width) {
+            Ok(entries) => entries,
+            Err(err) => {
+                eprintln!("buslint: building codec netlists failed: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        for entry in entries {
             report.extend(lint_netlist(&entry.label, &entry.netlist));
         }
     }

@@ -22,12 +22,14 @@
 //! let enc = buscode_logic::codecs::t0_encoder(
 //!     BusWidth::new(8).unwrap(),
 //!     buscode_core::Stride::new(1, BusWidth::new(8).unwrap()).unwrap(),
-//! );
+//! )?;
 //! let report = lint_netlist("t0-enc", &enc.netlist);
 //! assert!(report.is_clean());
+//! # Ok::<(), buscode_logic::LogicError>(())
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod diagnostic;
@@ -48,7 +50,7 @@ mod tests {
     #[test]
     fn t0_encoder_is_clean() {
         let width = BusWidth::new(8).unwrap();
-        let enc = buscode_logic::codecs::t0_encoder(width, Stride::new(1, width).unwrap());
+        let enc = buscode_logic::codecs::t0_encoder(width, Stride::new(1, width).unwrap()).unwrap();
         assert!(crate::lint_netlist("t0-enc", &enc.netlist).is_clean());
     }
 }

@@ -3,7 +3,7 @@
 
 use buscode_core::{BusWidth, Stride};
 use buscode_logic::codecs;
-use buscode_logic::{tech_map, Netlist};
+use buscode_logic::{tech_map, LogicError, Netlist};
 
 /// The compilation stage a suite entry was captured at.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,54 +54,58 @@ pub struct SuiteEntry {
 ///
 /// Panics if `bits` is not a valid [`BusWidth`] or cannot hold a word
 /// stride — widths from the CLI are validated before this is called.
-pub fn codec_netlists(bits: u32) -> Vec<SuiteEntry> {
+///
+/// # Errors
+///
+/// Propagates circuit-construction errors from the gate-level builders.
+pub fn codec_netlists(bits: u32) -> Result<Vec<SuiteEntry>, LogicError> {
     let width = BusWidth::new(bits).expect("valid width");
     let stride = Stride::new(1, width).expect("valid stride");
     let pairs: Vec<(&'static str, Netlist, Netlist)> = vec![
         (
             "binary",
-            codecs::binary_encoder(width).netlist,
-            codecs::binary_decoder(width).netlist,
+            codecs::binary_encoder(width)?.netlist,
+            codecs::binary_decoder(width)?.netlist,
         ),
         (
             "gray",
-            codecs::gray_encoder(width, stride).netlist,
-            codecs::gray_decoder(width, stride).netlist,
+            codecs::gray_encoder(width, stride)?.netlist,
+            codecs::gray_decoder(width, stride)?.netlist,
         ),
         (
             "bus-invert",
-            codecs::bus_invert_encoder(width).netlist,
-            codecs::bus_invert_decoder(width).netlist,
+            codecs::bus_invert_encoder(width)?.netlist,
+            codecs::bus_invert_decoder(width)?.netlist,
         ),
         (
             "t0",
-            codecs::t0_encoder(width, stride).netlist,
-            codecs::t0_decoder(width, stride).netlist,
+            codecs::t0_encoder(width, stride)?.netlist,
+            codecs::t0_decoder(width, stride)?.netlist,
         ),
         (
             "t0-bi",
-            codecs::t0bi_encoder(width, stride).netlist,
-            codecs::t0bi_decoder(width, stride).netlist,
+            codecs::t0bi_encoder(width, stride)?.netlist,
+            codecs::t0bi_decoder(width, stride)?.netlist,
         ),
         (
             "t0-xor",
-            codecs::t0xor_encoder(width, stride).netlist,
-            codecs::t0xor_decoder(width, stride).netlist,
+            codecs::t0xor_encoder(width, stride)?.netlist,
+            codecs::t0xor_decoder(width, stride)?.netlist,
         ),
         (
             "dual-t0",
-            codecs::dual_t0_encoder(width, stride).netlist,
-            codecs::dual_t0_decoder(width, stride).netlist,
+            codecs::dual_t0_encoder(width, stride)?.netlist,
+            codecs::dual_t0_decoder(width, stride)?.netlist,
         ),
         (
             "dual-t0-bi",
-            codecs::dual_t0bi_encoder(width, stride).netlist,
-            codecs::dual_t0bi_decoder(width, stride).netlist,
+            codecs::dual_t0bi_encoder(width, stride)?.netlist,
+            codecs::dual_t0bi_decoder(width, stride)?.netlist,
         ),
         (
             "offset",
-            codecs::offset_encoder(width).netlist,
-            codecs::offset_decoder(width).netlist,
+            codecs::offset_encoder(width)?.netlist,
+            codecs::offset_decoder(width)?.netlist,
         ),
     ];
     let mut out = Vec::with_capacity(pairs.len() * 6);
@@ -122,7 +126,7 @@ pub fn codec_netlists(bits: u32) -> Vec<SuiteEntry> {
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -131,7 +135,7 @@ mod tests {
 
     #[test]
     fn suite_has_nine_codecs_three_stages_two_roles() {
-        let entries = codec_netlists(4);
+        let entries = codec_netlists(4).unwrap();
         assert_eq!(entries.len(), 9 * 2 * 3);
         assert!(entries.iter().any(|e| e.label == "dual-t0-bi-enc[mapped]"));
         assert!(entries.iter().all(|e| e.netlist.gate_count() > 0));

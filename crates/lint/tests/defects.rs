@@ -261,7 +261,7 @@ fn balanced_paths_raise_nothing() {
 /// dead logic after optimization) are completely silent.
 #[test]
 fn clean_codecs_stay_clean() {
-    for entry in codec_netlists(8) {
+    for entry in codec_netlists(8).unwrap() {
         let report = lint_netlist(&entry.label, &entry.netlist);
         assert!(
             report.is_clean(),
@@ -307,7 +307,7 @@ fn clean_codecs_stay_clean() {
 #[test]
 fn optimizer_clears_raw_dead_logic() {
     let mut saw_raw_dead = false;
-    for entry in codec_netlists(8) {
+    for entry in codec_netlists(8).unwrap() {
         if entry.stage == Stage::Raw && !dead_logic(&entry.netlist).is_empty() {
             saw_raw_dead = true;
             let optimized = buscode_logic::optimize(&entry.netlist).0;

@@ -22,6 +22,7 @@
 
 use buscode_core::{Access, AccessKind, BusState, BusWidth, Stride};
 
+use crate::error::LogicError;
 use crate::netlist::{NetId, Netlist, Word};
 use crate::sim::Simulator;
 
@@ -46,20 +47,26 @@ impl EncoderCircuit {
     /// Returns an optimized copy of this circuit (constant folding,
     /// sharing, dead-gate removal) with all interface nets remapped.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the optimizer removed an interface net — impossible for
-    /// the circuits built by this module (their interfaces are live).
-    pub fn optimized(&self) -> EncoderCircuit {
+    /// Returns [`LogicError::InterfaceNetRemoved`] if the optimizer
+    /// removed an interface net — which cannot happen for the circuits
+    /// built by this module (their interfaces are live), but is checked
+    /// rather than assumed for circuits assembled by hand.
+    pub fn optimized(&self) -> Result<EncoderCircuit, LogicError> {
         let (netlist, map) = crate::optimize(&self.netlist);
-        EncoderCircuit {
-            address_in: map.word(&self.address_in).expect("inputs survive"),
-            sel_in: self.sel_in.map(|s| map.get(s).expect("inputs survive")),
-            bus_out: map.word(&self.bus_out).expect("outputs survive"),
-            aux_out: map.word(&self.aux_out).expect("outputs survive"),
+        let missing = |interface| LogicError::InterfaceNetRemoved { interface };
+        Ok(EncoderCircuit {
+            address_in: map.word(&self.address_in).ok_or(missing("address"))?,
+            sel_in: match self.sel_in {
+                Some(s) => Some(map.get(s).ok_or(missing("sel"))?),
+                None => None,
+            },
+            bus_out: map.word(&self.bus_out).ok_or(missing("bus"))?,
+            aux_out: map.word(&self.aux_out).ok_or(missing("aux"))?,
             netlist,
             name: self.name,
-        }
+        })
     }
 
     /// Runs the circuit over a stream, returning the bus state it drove
@@ -104,20 +111,24 @@ impl DecoderCircuit {
     /// Returns an optimized copy of this circuit with all interface nets
     /// remapped; see [`EncoderCircuit::optimized`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the optimizer removed an interface net — impossible for
-    /// the circuits built by this module.
-    pub fn optimized(&self) -> DecoderCircuit {
+    /// Returns [`LogicError::InterfaceNetRemoved`] if the optimizer
+    /// removed an interface net; see [`EncoderCircuit::optimized`].
+    pub fn optimized(&self) -> Result<DecoderCircuit, LogicError> {
         let (netlist, map) = crate::optimize(&self.netlist);
-        DecoderCircuit {
-            bus_in: map.word(&self.bus_in).expect("inputs survive"),
-            aux_in: map.word(&self.aux_in).expect("inputs survive"),
-            sel_in: self.sel_in.map(|s| map.get(s).expect("inputs survive")),
-            address_out: map.word(&self.address_out).expect("outputs survive"),
+        let missing = |interface| LogicError::InterfaceNetRemoved { interface };
+        Ok(DecoderCircuit {
+            bus_in: map.word(&self.bus_in).ok_or(missing("bus"))?,
+            aux_in: map.word(&self.aux_in).ok_or(missing("aux"))?,
+            sel_in: match self.sel_in {
+                Some(s) => Some(map.get(s).ok_or(missing("sel"))?),
+                None => None,
+            },
+            address_out: map.word(&self.address_out).ok_or(missing("address"))?,
             netlist,
             name: self.name,
-        }
+        })
     }
 
     /// Runs the circuit over an encoded stream (bus words plus the `SEL`
@@ -155,40 +166,40 @@ fn buffer_word(n: &mut Netlist, word: &Word) -> Word {
 }
 
 /// The binary encoder: output buffers, no transformation.
-pub fn binary_encoder(width: BusWidth) -> EncoderCircuit {
+pub fn binary_encoder(width: BusWidth) -> Result<EncoderCircuit, LogicError> {
     let mut n = Netlist::new();
     let address_in = n.input_word(width.bits());
     let bus_out = buffer_word(&mut n, &address_in);
     n.mark_output_word("bus", &bus_out);
-    EncoderCircuit {
+    Ok(EncoderCircuit {
         netlist: n,
         address_in,
         sel_in: None,
         bus_out,
         aux_out: vec![],
         name: "binary",
-    }
+    })
 }
 
 /// The binary decoder: input buffers, no transformation.
-pub fn binary_decoder(width: BusWidth) -> DecoderCircuit {
+pub fn binary_decoder(width: BusWidth) -> Result<DecoderCircuit, LogicError> {
     let mut n = Netlist::new();
     let bus_in = n.input_word(width.bits());
     let address_out = buffer_word(&mut n, &bus_in);
     n.mark_output_word("address", &address_out);
-    DecoderCircuit {
+    Ok(DecoderCircuit {
         netlist: n,
         bus_in,
         aux_in: vec![],
         sel_in: None,
         address_out,
         name: "binary",
-    }
+    })
 }
 
 /// The T0 encoder architecture: address register, increment comparator,
 /// frozen-bus register, output mux, `INC` generation.
-pub fn t0_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
+pub fn t0_encoder(width: BusWidth, stride: Stride) -> Result<EncoderCircuit, LogicError> {
     let mut n = Netlist::new();
     let bits = width.bits();
     let address_in = n.input_word(bits);
@@ -204,26 +215,25 @@ pub fn t0_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
     let bus_out = n.mux_word(inc, &prev_bus, &address_in);
 
     let one = n.constant(true);
-    n.drive_dff(valid, one).expect("valid is a flip-flop");
-    n.drive_dff_word(&prev_addr, &address_in)
-        .expect("widths match");
-    n.drive_dff_word(&prev_bus, &bus_out).expect("widths match");
+    n.drive_dff(valid, one)?;
+    n.drive_dff_word(&prev_addr, &address_in)?;
+    n.drive_dff_word(&prev_bus, &bus_out)?;
 
     n.mark_output_word("bus", &bus_out);
     n.mark_output("inc", inc);
-    EncoderCircuit {
+    Ok(EncoderCircuit {
         netlist: n,
         address_in,
         sel_in: None,
         bus_out,
         aux_out: vec![inc],
         name: "t0",
-    }
+    })
 }
 
 /// The T0 decoder architecture: decoded-address register, local
 /// incrementer, output mux steered by `INC`.
-pub fn t0_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
+pub fn t0_decoder(width: BusWidth, stride: Stride) -> Result<DecoderCircuit, LogicError> {
     let mut n = Netlist::new();
     let bits = width.bits();
     let bus_in = n.input_word(bits);
@@ -232,24 +242,23 @@ pub fn t0_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
     let prev_dec = n.dff_word(bits);
     let predicted = n.add_const(&prev_dec, stride.get());
     let address_out = n.mux_word(inc, &predicted, &bus_in);
-    n.drive_dff_word(&prev_dec, &address_out)
-        .expect("widths match");
+    n.drive_dff_word(&prev_dec, &address_out)?;
 
     n.mark_output_word("address", &address_out);
-    DecoderCircuit {
+    Ok(DecoderCircuit {
         netlist: n,
         bus_in,
         aux_in: vec![inc],
         sel_in: None,
         address_out,
         name: "t0",
-    }
+    })
 }
 
 /// The bus-invert encoder: Hamming-distance evaluator (per-line XOR plus
 /// population count over the previous `INV`), majority voter, conditional
 /// inversion stage.
-pub fn bus_invert_encoder(width: BusWidth) -> EncoderCircuit {
+pub fn bus_invert_encoder(width: BusWidth) -> Result<EncoderCircuit, LogicError> {
     let mut n = Netlist::new();
     let bits = width.bits();
     let address_in = n.input_word(bits);
@@ -263,44 +272,43 @@ pub fn bus_invert_encoder(width: BusWidth) -> EncoderCircuit {
     let invert = n.gt_const(&hd, u64::from(bits / 2));
 
     let bus_out = xor_broadcast(&mut n, &address_in, invert);
-    n.drive_dff_word(&prev_bus, &bus_out).expect("widths match");
-    n.drive_dff(prev_inv, invert)
-        .expect("prev_inv is a flip-flop");
+    n.drive_dff_word(&prev_bus, &bus_out)?;
+    n.drive_dff(prev_inv, invert)?;
 
     n.mark_output_word("bus", &bus_out);
     n.mark_output("inv", invert);
-    EncoderCircuit {
+    Ok(EncoderCircuit {
         netlist: n,
         address_in,
         sel_in: None,
         bus_out,
         aux_out: vec![invert],
         name: "bus-invert",
-    }
+    })
 }
 
 /// The bus-invert decoder: one XOR per line steered by `INV`.
-pub fn bus_invert_decoder(width: BusWidth) -> DecoderCircuit {
+pub fn bus_invert_decoder(width: BusWidth) -> Result<DecoderCircuit, LogicError> {
     let mut n = Netlist::new();
     let bus_in = n.input_word(width.bits());
     let inv = n.input();
     let address_out = xor_broadcast(&mut n, &bus_in, inv);
     n.mark_output_word("address", &address_out);
-    DecoderCircuit {
+    Ok(DecoderCircuit {
         netlist: n,
         bus_in,
         aux_in: vec![inv],
         sel_in: None,
         address_out,
         name: "bus-invert",
-    }
+    })
 }
 
 /// The dual T0_BI encoder (paper Section 4.1): T0 section with the
 /// `SEL`-gated reference register, bus-invert section with Hamming
 /// evaluator and majority voter, and the output multiplexor controlled by
 /// `SEL` and `INCV`.
-pub fn dual_t0bi_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
+pub fn dual_t0bi_encoder(width: BusWidth, stride: Stride) -> Result<EncoderCircuit, LogicError> {
     let mut n = Netlist::new();
     let bits = width.bits();
     let address_in = n.input_word(bits);
@@ -332,28 +340,27 @@ pub fn dual_t0bi_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
 
     // State updates.
     let next_ref = n.mux_word(sel, &address_in, &reference);
-    n.drive_dff_word(&reference, &next_ref)
-        .expect("widths match");
+    n.drive_dff_word(&reference, &next_ref)?;
     let next_valid = n.or(ref_valid, sel);
-    n.drive_dff(ref_valid, next_valid).expect("flip-flop");
-    n.drive_dff_word(&prev_bus, &bus_out).expect("widths match");
-    n.drive_dff(prev_incv, incv).expect("flip-flop");
+    n.drive_dff(ref_valid, next_valid)?;
+    n.drive_dff_word(&prev_bus, &bus_out)?;
+    n.drive_dff(prev_incv, incv)?;
 
     n.mark_output_word("bus", &bus_out);
     n.mark_output("incv", incv);
-    EncoderCircuit {
+    Ok(EncoderCircuit {
         netlist: n,
         address_in,
         sel_in: Some(sel),
         bus_out,
         aux_out: vec![incv],
         name: "dual-t0-bi",
-    }
+    })
 }
 
 /// The dual T0_BI decoder (paper Eq. 12): `SEL` and `INCV` steer among
 /// local increment, conditional inversion, and pass-through.
-pub fn dual_t0bi_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
+pub fn dual_t0bi_decoder(width: BusWidth, stride: Stride) -> Result<DecoderCircuit, LogicError> {
     let mut n = Netlist::new();
     let bits = width.bits();
     let bus_in = n.input_word(bits);
@@ -370,23 +377,22 @@ pub fn dual_t0bi_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
     let address_out = n.mux_word(freeze, &predicted, &un_inverted);
 
     let next_ref = n.mux_word(sel, &address_out, &reference);
-    n.drive_dff_word(&reference, &next_ref)
-        .expect("widths match");
+    n.drive_dff_word(&reference, &next_ref)?;
 
     n.mark_output_word("address", &address_out);
-    DecoderCircuit {
+    Ok(DecoderCircuit {
         netlist: n,
         bus_in,
         aux_in: vec![incv],
         sel_in: Some(sel),
         address_out,
         name: "dual-t0-bi",
-    }
+    })
 }
 
 /// The stride-aware Gray encoder: one XOR per payload line above the
 /// stride bits (`g_i = b_i ^ b_{i+1}`), combinational only.
-pub fn gray_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
+pub fn gray_encoder(width: BusWidth, stride: Stride) -> Result<EncoderCircuit, LogicError> {
     let mut n = Netlist::new();
     let bits = width.bits();
     let k = stride.log2();
@@ -406,25 +412,25 @@ pub fn gray_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
         }
     }
     n.mark_output_word("bus", &bus_out);
-    EncoderCircuit {
+    Ok(EncoderCircuit {
         netlist: n,
         address_in,
         sel_in: None,
         bus_out,
         aux_out: vec![],
         name: "gray",
-    }
+    })
 }
 
 /// The Gray decoder: the classic MSB-to-LSB XOR prefix chain — cheap in
 /// gates but deep in logic levels, the Gray code's known timing cost.
-pub fn gray_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
+pub fn gray_decoder(width: BusWidth, stride: Stride) -> Result<DecoderCircuit, LogicError> {
     let mut n = Netlist::new();
     let bits = width.bits();
     let k = stride.log2();
     let bus_in = n.input_word(bits);
-    let mut address_out = vec![None; bits as usize];
     // b_top = g_top; b_i = g_i ^ b_{i+1}, down to the stride bits.
+    let mut upper = Vec::with_capacity((bits - k) as usize);
     let mut prev: Option<NetId> = None;
     for i in (k..bits).rev() {
         let bit = match prev {
@@ -434,32 +440,31 @@ pub fn gray_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
             }
             Some(above) => n.xor(bus_in[i as usize], above),
         };
-        address_out[i as usize] = Some(bit);
+        upper.push(bit);
         prev = Some(bit);
     }
+    upper.reverse();
+    let mut address_out: Word = Vec::with_capacity(bits as usize);
     for i in 0..k {
         let inv = n.not(bus_in[i as usize]);
-        address_out[i as usize] = Some(n.not(inv));
+        address_out.push(n.not(inv));
     }
-    let address_out: Word = address_out
-        .into_iter()
-        .map(|b| b.expect("all bits set"))
-        .collect();
+    address_out.extend(upper);
     n.mark_output_word("address", &address_out);
-    DecoderCircuit {
+    Ok(DecoderCircuit {
         netlist: n,
         bus_in,
         aux_in: vec![],
         sel_in: None,
         address_out,
         name: "gray",
-    }
+    })
 }
 
 /// The T0_BI encoder (paper Section 3.1): T0 section, bus-invert section
 /// with the `(N+2)/2` threshold over all `N+2` lines, and a three-way
 /// output stage (freeze / plain / inverted).
-pub fn t0bi_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
+pub fn t0bi_encoder(width: BusWidth, stride: Stride) -> Result<EncoderCircuit, LogicError> {
     let mut n = Netlist::new();
     let bits = width.bits();
     let address_in = n.input_word(bits);
@@ -490,28 +495,27 @@ pub fn t0bi_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
     let bus_out = n.mux_word(inc, &prev_bus, &xored);
 
     let one = n.constant(true);
-    n.drive_dff(valid, one).expect("flip-flop");
-    n.drive_dff_word(&prev_addr, &address_in)
-        .expect("widths match");
-    n.drive_dff_word(&prev_bus, &bus_out).expect("widths match");
-    n.drive_dff(prev_inc, inc).expect("flip-flop");
-    n.drive_dff(prev_inv, inv).expect("flip-flop");
+    n.drive_dff(valid, one)?;
+    n.drive_dff_word(&prev_addr, &address_in)?;
+    n.drive_dff_word(&prev_bus, &bus_out)?;
+    n.drive_dff(prev_inc, inc)?;
+    n.drive_dff(prev_inv, inv)?;
 
     n.mark_output_word("bus", &bus_out);
     n.mark_output("inc", inc);
     n.mark_output("inv", inv);
-    EncoderCircuit {
+    Ok(EncoderCircuit {
         netlist: n,
         address_in,
         sel_in: None,
         bus_out,
         aux_out: vec![inc, inv],
         name: "t0-bi",
-    }
+    })
 }
 
 /// The T0_BI decoder (paper Eq. 7).
-pub fn t0bi_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
+pub fn t0bi_decoder(width: BusWidth, stride: Stride) -> Result<DecoderCircuit, LogicError> {
     let mut n = Netlist::new();
     let bits = width.bits();
     let bus_in = n.input_word(bits);
@@ -522,23 +526,22 @@ pub fn t0bi_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
     let predicted = n.add_const(&prev_dec, stride.get());
     let un_inverted = xor_broadcast(&mut n, &bus_in, inv);
     let address_out = n.mux_word(inc, &predicted, &un_inverted);
-    n.drive_dff_word(&prev_dec, &address_out)
-        .expect("widths match");
+    n.drive_dff_word(&prev_dec, &address_out)?;
 
     n.mark_output_word("address", &address_out);
-    DecoderCircuit {
+    Ok(DecoderCircuit {
         netlist: n,
         bus_in,
         aux_in: vec![inc, inv],
         sel_in: None,
         address_out,
         name: "t0-bi",
-    }
+    })
 }
 
 /// The dual T0 encoder (paper Section 3.2): the T0 section of the dual
 /// T0_BI architecture without the bus-invert half.
-pub fn dual_t0_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
+pub fn dual_t0_encoder(width: BusWidth, stride: Stride) -> Result<EncoderCircuit, LogicError> {
     let mut n = Netlist::new();
     let bits = width.bits();
     let address_in = n.input_word(bits);
@@ -556,26 +559,25 @@ pub fn dual_t0_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
     let bus_out = n.mux_word(inc, &prev_bus, &address_in);
 
     let next_ref = n.mux_word(sel, &address_in, &reference);
-    n.drive_dff_word(&reference, &next_ref)
-        .expect("widths match");
+    n.drive_dff_word(&reference, &next_ref)?;
     let next_valid = n.or(ref_valid, sel);
-    n.drive_dff(ref_valid, next_valid).expect("flip-flop");
-    n.drive_dff_word(&prev_bus, &bus_out).expect("widths match");
+    n.drive_dff(ref_valid, next_valid)?;
+    n.drive_dff_word(&prev_bus, &bus_out)?;
 
     n.mark_output_word("bus", &bus_out);
     n.mark_output("inc", inc);
-    EncoderCircuit {
+    Ok(EncoderCircuit {
         netlist: n,
         address_in,
         sel_in: Some(sel),
         bus_out,
         aux_out: vec![inc],
         name: "dual-t0",
-    }
+    })
 }
 
 /// The dual T0 decoder (paper Eq. 10).
-pub fn dual_t0_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
+pub fn dual_t0_decoder(width: BusWidth, stride: Stride) -> Result<DecoderCircuit, LogicError> {
     let mut n = Netlist::new();
     let bits = width.bits();
     let bus_in = n.input_word(bits);
@@ -587,18 +589,17 @@ pub fn dual_t0_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
     let freeze = n.and(inc, sel);
     let address_out = n.mux_word(freeze, &predicted, &bus_in);
     let next_ref = n.mux_word(sel, &address_out, &reference);
-    n.drive_dff_word(&reference, &next_ref)
-        .expect("widths match");
+    n.drive_dff_word(&reference, &next_ref)?;
 
     n.mark_output_word("address", &address_out);
-    DecoderCircuit {
+    Ok(DecoderCircuit {
         netlist: n,
         bus_in,
         aux_in: vec![inc],
         sel_in: Some(sel),
         address_out,
         name: "dual-t0",
-    }
+    })
 }
 
 /// Ripple-carry adder computing `a + b` over equal-width words.
@@ -637,81 +638,81 @@ fn sub_words(n: &mut Netlist, a: &Word, b: &Word) -> Word {
 }
 
 /// The T0-XOR encoder (extension): `B = b XOR (prev + S)`, irredundant.
-pub fn t0xor_encoder(width: BusWidth, stride: Stride) -> EncoderCircuit {
+pub fn t0xor_encoder(width: BusWidth, stride: Stride) -> Result<EncoderCircuit, LogicError> {
     let mut n = Netlist::new();
     let bits = width.bits();
     let address_in = n.input_word(bits);
     let prev = n.dff_word(bits);
     let predicted = n.add_const(&prev, stride.get());
     let bus_out = n.xor_word(&address_in, &predicted);
-    n.drive_dff_word(&prev, &address_in).expect("widths match");
+    n.drive_dff_word(&prev, &address_in)?;
     n.mark_output_word("bus", &bus_out);
-    EncoderCircuit {
+    Ok(EncoderCircuit {
         netlist: n,
         address_in,
         sel_in: None,
         bus_out,
         aux_out: vec![],
         name: "t0-xor",
-    }
+    })
 }
 
 /// The T0-XOR decoder: `b = B XOR (prev_decoded + S)`.
-pub fn t0xor_decoder(width: BusWidth, stride: Stride) -> DecoderCircuit {
+pub fn t0xor_decoder(width: BusWidth, stride: Stride) -> Result<DecoderCircuit, LogicError> {
     let mut n = Netlist::new();
     let bits = width.bits();
     let bus_in = n.input_word(bits);
     let prev = n.dff_word(bits);
     let predicted = n.add_const(&prev, stride.get());
     let address_out = n.xor_word(&bus_in, &predicted);
-    n.drive_dff_word(&prev, &address_out).expect("widths match");
+    n.drive_dff_word(&prev, &address_out)?;
     n.mark_output_word("address", &address_out);
-    DecoderCircuit {
+    Ok(DecoderCircuit {
         netlist: n,
         bus_in,
         aux_in: vec![],
         sel_in: None,
         address_out,
         name: "t0-xor",
-    }
+    })
 }
 
 /// The offset encoder (extension): `B = b - prev (mod 2^N)`, irredundant.
-pub fn offset_encoder(width: BusWidth) -> EncoderCircuit {
+pub fn offset_encoder(width: BusWidth) -> Result<EncoderCircuit, LogicError> {
     let mut n = Netlist::new();
     let bits = width.bits();
     let address_in = n.input_word(bits);
     let prev = n.dff_word(bits);
     let bus_out = sub_words(&mut n, &address_in, &prev);
-    n.drive_dff_word(&prev, &address_in).expect("widths match");
+    n.drive_dff_word(&prev, &address_in)?;
     n.mark_output_word("bus", &bus_out);
-    EncoderCircuit {
+    Ok(EncoderCircuit {
         netlist: n,
         address_in,
         sel_in: None,
         bus_out,
         aux_out: vec![],
         name: "offset",
-    }
+    })
 }
 
 /// The offset decoder: `b = prev_decoded + B`.
-pub fn offset_decoder(width: BusWidth) -> DecoderCircuit {
+pub fn offset_decoder(width: BusWidth) -> Result<DecoderCircuit, LogicError> {
     let mut n = Netlist::new();
     let bits = width.bits();
     let bus_in = n.input_word(bits);
     let prev = n.dff_word(bits);
     let address_out = add_words(&mut n, &prev, &bus_in);
-    n.drive_dff_word(&prev, &address_out).expect("widths match");
+    n.drive_dff_word(&prev, &address_out)?;
     n.mark_output_word("address", &address_out);
-    DecoderCircuit {
+    Ok(DecoderCircuit {
         netlist: n,
         bus_in,
         aux_in: vec![],
         sel_in: None,
         address_out,
         name: "offset",
-    }
+    })
 }
 
 #[cfg(test)]
@@ -746,14 +747,14 @@ mod tests {
 
     #[test]
     fn binary_circuit_is_identity() {
-        let enc = binary_encoder(W);
+        let enc = binary_encoder(W).unwrap();
         let stream = mixed_stream(200, 1);
         let (words, _) = enc.run(&stream);
         for (w, a) in words.iter().zip(&stream) {
             assert_eq!(w.payload, a.address & W.mask());
             assert_eq!(w.aux, 0);
         }
-        let dec = binary_decoder(W);
+        let dec = binary_decoder(W).unwrap();
         let pairs: Vec<(BusState, AccessKind)> =
             words.iter().map(|&w| (w, AccessKind::Data)).collect();
         let (addrs, _) = dec.run(&pairs);
@@ -764,7 +765,7 @@ mod tests {
 
     #[test]
     fn t0_circuit_matches_behavioural_encoder() {
-        let circuit = t0_encoder(W, Stride::WORD);
+        let circuit = t0_encoder(W, Stride::WORD).unwrap();
         let mut behavioural = T0Encoder::new(W, Stride::WORD).unwrap();
         let stream = mixed_stream(500, 2);
         let (words, _) = circuit.run(&stream);
@@ -775,8 +776,8 @@ mod tests {
 
     #[test]
     fn t0_circuit_round_trips_through_gate_level_decoder() {
-        let enc = t0_encoder(W, Stride::WORD);
-        let dec = t0_decoder(W, Stride::WORD);
+        let enc = t0_encoder(W, Stride::WORD).unwrap();
+        let dec = t0_decoder(W, Stride::WORD).unwrap();
         let stream = mixed_stream(500, 3);
         let (words, _) = enc.run(&stream);
         let pairs: Vec<(BusState, AccessKind)> = words
@@ -791,8 +792,8 @@ mod tests {
 
     #[test]
     fn t0_gate_decoder_matches_behavioural_decoder() {
-        let enc = t0_encoder(W, Stride::WORD);
-        let dec = t0_decoder(W, Stride::WORD);
+        let enc = t0_encoder(W, Stride::WORD).unwrap();
+        let dec = t0_decoder(W, Stride::WORD).unwrap();
         let mut behavioural = T0Decoder::new(W, Stride::WORD).unwrap();
         let stream = mixed_stream(300, 4);
         let (words, _) = enc.run(&stream);
@@ -812,7 +813,7 @@ mod tests {
 
     #[test]
     fn bus_invert_circuit_matches_behavioural_encoder() {
-        let circuit = bus_invert_encoder(W);
+        let circuit = bus_invert_encoder(W).unwrap();
         let mut behavioural = BusInvertEncoder::new(W);
         let stream = mixed_stream(500, 5);
         let (words, _) = circuit.run(&stream);
@@ -823,8 +824,8 @@ mod tests {
 
     #[test]
     fn bus_invert_round_trips_gate_level() {
-        let enc = bus_invert_encoder(W);
-        let dec = bus_invert_decoder(W);
+        let enc = bus_invert_encoder(W).unwrap();
+        let dec = bus_invert_decoder(W).unwrap();
         let stream = mixed_stream(300, 6);
         let (words, _) = enc.run(&stream);
         let pairs: Vec<(BusState, AccessKind)> =
@@ -837,7 +838,7 @@ mod tests {
 
     #[test]
     fn dual_t0bi_circuit_matches_behavioural_encoder() {
-        let circuit = dual_t0bi_encoder(W, Stride::WORD);
+        let circuit = dual_t0bi_encoder(W, Stride::WORD).unwrap();
         let mut behavioural = DualT0BiEncoder::new(W, Stride::WORD).unwrap();
         let stream = mixed_stream(800, 7);
         let (words, _) = circuit.run(&stream);
@@ -848,8 +849,8 @@ mod tests {
 
     #[test]
     fn dual_t0bi_gate_decoder_matches_behavioural_decoder() {
-        let enc = dual_t0bi_encoder(W, Stride::WORD);
-        let dec = dual_t0bi_decoder(W, Stride::WORD);
+        let enc = dual_t0bi_encoder(W, Stride::WORD).unwrap();
+        let dec = dual_t0bi_decoder(W, Stride::WORD).unwrap();
         let mut behavioural = DualT0BiDecoder::new(W, Stride::WORD).unwrap();
         let stream = mixed_stream(800, 8);
         let (words, _) = enc.run(&stream);
@@ -874,8 +875,8 @@ mod tests {
         use buscode_core::codes::{GrayDecoder, GrayEncoder};
         for stride_val in [1u64, 4] {
             let stride = Stride::new(stride_val, W).unwrap();
-            let enc = gray_encoder(W, stride);
-            let dec = gray_decoder(W, stride);
+            let enc = gray_encoder(W, stride).unwrap();
+            let dec = gray_decoder(W, stride).unwrap();
             let mut behavioural_enc = GrayEncoder::new(W, stride).unwrap();
             let mut behavioural_dec = GrayDecoder::new(W, stride).unwrap();
             let stream = mixed_stream(300, 10);
@@ -898,8 +899,8 @@ mod tests {
     #[test]
     fn t0bi_circuit_matches_behavioural_codec() {
         use buscode_core::codes::{T0BiDecoder, T0BiEncoder};
-        let enc = t0bi_encoder(W, Stride::WORD);
-        let dec = t0bi_decoder(W, Stride::WORD);
+        let enc = t0bi_encoder(W, Stride::WORD).unwrap();
+        let dec = t0bi_decoder(W, Stride::WORD).unwrap();
         let mut behavioural_enc = T0BiEncoder::new(W, Stride::WORD).unwrap();
         let mut behavioural_dec = T0BiDecoder::new(W, Stride::WORD).unwrap();
         let stream = mixed_stream(800, 11);
@@ -921,8 +922,8 @@ mod tests {
     #[test]
     fn dual_t0_circuit_matches_behavioural_codec() {
         use buscode_core::codes::{DualT0Decoder, DualT0Encoder};
-        let enc = dual_t0_encoder(W, Stride::WORD);
-        let dec = dual_t0_decoder(W, Stride::WORD);
+        let enc = dual_t0_encoder(W, Stride::WORD).unwrap();
+        let dec = dual_t0_decoder(W, Stride::WORD).unwrap();
         let mut behavioural_enc = DualT0Encoder::new(W, Stride::WORD).unwrap();
         let mut behavioural_dec = DualT0Decoder::new(W, Stride::WORD).unwrap();
         let stream = mixed_stream(800, 12);
@@ -947,8 +948,8 @@ mod tests {
     #[test]
     fn t0xor_circuit_matches_behavioural_codec() {
         use buscode_core::codes::{T0XorDecoder, T0XorEncoder};
-        let enc = t0xor_encoder(W, Stride::WORD);
-        let dec = t0xor_decoder(W, Stride::WORD);
+        let enc = t0xor_encoder(W, Stride::WORD).unwrap();
+        let dec = t0xor_decoder(W, Stride::WORD).unwrap();
         let mut behavioural_enc = T0XorEncoder::new(W, Stride::WORD).unwrap();
         let mut behavioural_dec = T0XorDecoder::new(W, Stride::WORD).unwrap();
         let stream = mixed_stream(400, 13);
@@ -970,8 +971,8 @@ mod tests {
     #[test]
     fn offset_circuit_matches_behavioural_codec() {
         use buscode_core::codes::{OffsetDecoder, OffsetEncoder};
-        let enc = offset_encoder(W);
-        let dec = offset_decoder(W);
+        let enc = offset_encoder(W).unwrap();
+        let dec = offset_decoder(W).unwrap();
         let mut behavioural_enc = OffsetEncoder::new(W);
         let mut behavioural_dec = OffsetDecoder::new(W);
         let stream = mixed_stream(400, 14);
@@ -995,9 +996,12 @@ mod tests {
         // Paper Section 4.1: the dual T0_BI encoder's critical path is
         // "through the bus-invert section and the output mux" — so its
         // logic depth must exceed the T0 encoder's (no Hamming evaluator).
-        let t0 = t0_encoder(W, Stride::WORD).netlist.logic_depth();
-        let dual = dual_t0bi_encoder(W, Stride::WORD).netlist.logic_depth();
-        let binary = binary_encoder(W).netlist.logic_depth();
+        let t0 = t0_encoder(W, Stride::WORD).unwrap().netlist.logic_depth();
+        let dual = dual_t0bi_encoder(W, Stride::WORD)
+            .unwrap()
+            .netlist
+            .logic_depth();
+        let binary = binary_encoder(W).unwrap().netlist.logic_depth();
         assert!(dual > t0, "dual {dual} vs t0 {t0}");
         assert!(t0 > binary, "t0 {t0} vs binary {binary}");
     }
@@ -1005,7 +1009,7 @@ mod tests {
     #[test]
     fn gray_decoder_is_deep_but_small() {
         // The Gray decoder's XOR prefix chain: depth ~ width, tiny area.
-        let dec = gray_decoder(W, Stride::WORD);
+        let dec = gray_decoder(W, Stride::WORD).unwrap();
         assert!(dec.netlist.logic_depth() >= 28);
         assert!(dec.netlist.gate_count() < 110);
     }
@@ -1013,9 +1017,12 @@ mod tests {
     #[test]
     fn codec_complexity_ordering() {
         // The paper's qualitative cost claim: binary < T0 < dual T0_BI.
-        let b = binary_encoder(W).netlist.gate_count();
-        let t = t0_encoder(W, Stride::WORD).netlist.gate_count();
-        let d = dual_t0bi_encoder(W, Stride::WORD).netlist.gate_count();
+        let b = binary_encoder(W).unwrap().netlist.gate_count();
+        let t = t0_encoder(W, Stride::WORD).unwrap().netlist.gate_count();
+        let d = dual_t0bi_encoder(W, Stride::WORD)
+            .unwrap()
+            .netlist
+            .gate_count();
         assert!(b < t && t < d, "binary {b}, t0 {t}, dual t0-bi {d}");
     }
 
@@ -1023,12 +1030,12 @@ mod tests {
     fn optimized_codecs_stay_equivalent() {
         let stream = mixed_stream(400, 20);
         for circuit in [
-            t0_encoder(W, Stride::WORD),
-            t0bi_encoder(W, Stride::WORD),
-            dual_t0bi_encoder(W, Stride::WORD),
-            bus_invert_encoder(W),
+            t0_encoder(W, Stride::WORD).unwrap(),
+            t0bi_encoder(W, Stride::WORD).unwrap(),
+            dual_t0bi_encoder(W, Stride::WORD).unwrap(),
+            bus_invert_encoder(W).unwrap(),
         ] {
-            let optimized = circuit.optimized();
+            let optimized = circuit.optimized().unwrap();
             assert!(
                 optimized.netlist.gate_count() <= circuit.netlist.gate_count(),
                 "{}",
@@ -1043,15 +1050,15 @@ mod tests {
     #[test]
     fn optimized_decoders_stay_equivalent() {
         let stream = mixed_stream(300, 21);
-        let enc = dual_t0bi_encoder(W, Stride::WORD);
+        let enc = dual_t0bi_encoder(W, Stride::WORD).unwrap();
         let (words, _) = enc.run(&stream);
         let pairs: Vec<(BusState, AccessKind)> = words
             .iter()
             .zip(&stream)
             .map(|(&w, a)| (w, a.kind))
             .collect();
-        let dec = dual_t0bi_decoder(W, Stride::WORD);
-        let optimized = dec.optimized();
+        let dec = dual_t0bi_decoder(W, Stride::WORD).unwrap();
+        let optimized = dec.optimized().unwrap();
         assert!(optimized.netlist.gate_count() <= dec.netlist.gate_count());
         let (a, _) = dec.run(&pairs);
         let (b, _) = optimized.run(&pairs);
@@ -1060,7 +1067,7 @@ mod tests {
 
     #[test]
     fn gate_census_accounts_for_everything() {
-        let circuit = t0_encoder(W, Stride::WORD);
+        let circuit = t0_encoder(W, Stride::WORD).unwrap();
         let census = circuit.netlist.gate_census();
         let total: usize = census.values().sum();
         assert_eq!(total, circuit.netlist.gate_count());
@@ -1073,7 +1080,7 @@ mod tests {
     fn optimizer_collapses_binary_buffers() {
         // The binary "codec" is two inverters per line; the optimizer
         // reduces it to wires (inputs only).
-        let optimized = binary_encoder(W).optimized();
+        let optimized = binary_encoder(W).unwrap().optimized().unwrap();
         assert_eq!(optimized.netlist.gate_count(), 32);
     }
 
@@ -1081,7 +1088,7 @@ mod tests {
     fn narrow_bus_codecs_work() {
         let w8 = BusWidth::new(8).unwrap();
         let s = Stride::new(4, w8).unwrap();
-        let circuit = dual_t0bi_encoder(w8, s);
+        let circuit = dual_t0bi_encoder(w8, s).unwrap();
         let mut behavioural = DualT0BiEncoder::new(w8, s).unwrap();
         let mut rng = Rng64::seed_from_u64(9);
         let stream: Vec<Access> = (0..400)

@@ -34,6 +34,17 @@ pub enum LogicError {
         /// Width of the right word.
         right: usize,
     },
+    /// The optimizer dropped a net that belongs to a circuit's interface
+    /// (an input or output the caller still needs to address).
+    InterfaceNetRemoved {
+        /// Which interface word lost a net.
+        interface: &'static str,
+    },
+    /// A codec name has no gate-level implementation.
+    UnknownCodec {
+        /// The requested name.
+        name: &'static str,
+    },
 }
 
 impl fmt::Display for LogicError {
@@ -54,6 +65,12 @@ impl fmt::Display for LogicError {
             LogicError::WidthMismatch { left, right } => {
                 write!(f, "word widths differ: {left} vs {right}")
             }
+            LogicError::InterfaceNetRemoved { interface } => {
+                write!(f, "optimizer removed a net of the '{interface}' interface")
+            }
+            LogicError::UnknownCodec { name } => {
+                write!(f, "no gate-level codec named '{name}'")
+            }
         }
     }
 }
@@ -72,6 +89,8 @@ mod tests {
             LogicError::AlreadyDriven { net: 2 },
             LogicError::CombinationalCycle { net: 9 },
             LogicError::WidthMismatch { left: 4, right: 8 },
+            LogicError::InterfaceNetRemoved { interface: "bus" },
+            LogicError::UnknownCodec { name: "nonesuch" },
         ];
         for err in cases {
             let msg = err.to_string();

@@ -22,7 +22,8 @@
 //! use buscode_logic::codecs::t0_encoder;
 //! use buscode_logic::{CapacitanceModel, Technology};
 //!
-//! let circuit = t0_encoder(BusWidth::MIPS, Stride::WORD);
+//! # fn main() -> Result<(), buscode_logic::LogicError> {
+//! let circuit = t0_encoder(BusWidth::MIPS, Stride::WORD)?;
 //! let stream: Vec<Access> = (0..256u64).map(|i| Access::instruction(4 * i)).collect();
 //! let (words, sim) = circuit.run(&stream);
 //! assert_eq!(words.len(), 256);
@@ -31,9 +32,12 @@
 //! cap.add_word_load(&circuit.bus_out, 10.0e-12); // a 10 pF off-chip bus
 //! let watts = cap.power(&sim);
 //! assert!(watts >= 0.0);
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod codecs;

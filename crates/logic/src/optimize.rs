@@ -479,7 +479,8 @@ mod tests {
         let circuit = crate::codecs::dual_t0bi_encoder(
             buscode_core::BusWidth::MIPS,
             buscode_core::Stride::WORD,
-        );
+        )
+        .unwrap();
         let (opt, _) = optimize(&circuit.netlist);
         assert!(opt.check().is_ok());
         assert!(opt.gate_count() <= circuit.netlist.gate_count());

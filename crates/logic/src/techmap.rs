@@ -257,7 +257,8 @@ mod tests {
         let circuit = crate::codecs::t0_encoder(
             BusWidth::new(8).unwrap(),
             Stride::new(4, BusWidth::new(8).unwrap()).unwrap(),
-        );
+        )
+        .unwrap();
         let (mapped, map) = tech_map(&circuit.netlist);
         assert!(is_nand_only(&mapped));
         let mut original = Simulator::new(circuit.netlist.clone());
@@ -289,8 +290,8 @@ mod tests {
     #[test]
     fn nand2_area_is_reported() {
         use buscode_core::{BusWidth, Stride};
-        let t0 = crate::codecs::t0_encoder(BusWidth::MIPS, Stride::WORD);
-        let dual = crate::codecs::dual_t0bi_encoder(BusWidth::MIPS, Stride::WORD);
+        let t0 = crate::codecs::t0_encoder(BusWidth::MIPS, Stride::WORD).unwrap();
+        let dual = crate::codecs::dual_t0bi_encoder(BusWidth::MIPS, Stride::WORD).unwrap();
         let a_t0 = nand2_area(&t0.netlist);
         let a_dual = nand2_area(&dual.netlist);
         assert!(a_t0 > 100);

@@ -11,7 +11,7 @@
 //! use buscode_logic::{Simulator, VcdRecorder};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let circuit = t0_encoder(BusWidth::MIPS, Stride::WORD);
+//! let circuit = t0_encoder(BusWidth::MIPS, Stride::WORD)?;
 //! let mut recorder = VcdRecorder::new();
 //! recorder.watch_word("bus", &circuit.bus_out);
 //! recorder.watch("inc", circuit.aux_out[0]);

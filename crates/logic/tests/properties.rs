@@ -274,17 +274,29 @@ fn all_codec_circuits_round_trip() {
             .collect();
 
         let circuits: Vec<(buscode_logic::EncoderCircuit, buscode_logic::DecoderCircuit)> = vec![
-            (gray_encoder(width, stride), gray_decoder(width, stride)),
-            (t0_encoder(width, stride), t0_decoder(width, stride)),
-            (bus_invert_encoder(width), bus_invert_decoder(width)),
-            (t0bi_encoder(width, stride), t0bi_decoder(width, stride)),
             (
-                dual_t0_encoder(width, stride),
-                dual_t0_decoder(width, stride),
+                gray_encoder(width, stride).unwrap(),
+                gray_decoder(width, stride).unwrap(),
             ),
             (
-                dual_t0bi_encoder(width, stride),
-                dual_t0bi_decoder(width, stride),
+                t0_encoder(width, stride).unwrap(),
+                t0_decoder(width, stride).unwrap(),
+            ),
+            (
+                bus_invert_encoder(width).unwrap(),
+                bus_invert_decoder(width).unwrap(),
+            ),
+            (
+                t0bi_encoder(width, stride).unwrap(),
+                t0bi_decoder(width, stride).unwrap(),
+            ),
+            (
+                dual_t0_encoder(width, stride).unwrap(),
+                dual_t0_decoder(width, stride).unwrap(),
+            ),
+            (
+                dual_t0bi_encoder(width, stride).unwrap(),
+                dual_t0bi_decoder(width, stride).unwrap(),
             ),
         ];
         for (enc, dec) in circuits {
@@ -316,7 +328,7 @@ fn dual_t0bi_equivalence_on_arbitrary_streams() {
     for _ in 0..24 {
         let width = BusWidth::new(12).unwrap();
         let stride = Stride::new(4, width).unwrap();
-        let circuit = dual_t0bi_encoder(width, stride);
+        let circuit = dual_t0bi_encoder(width, stride).unwrap();
         let mut behavioural = buscode_core::codes::DualT0BiEncoder::new(width, stride).unwrap();
         let mut behavioural_dec = buscode_core::codes::DualT0BiDecoder::new(width, stride).unwrap();
         let stream: Vec<Access> = (0..rng.gen_range(1usize..80))

@@ -1,0 +1,443 @@
+//! `pipeline` — supervised streaming codec runtime driver.
+//!
+//! Drives one code over a seeded synthetic stream through the supervised
+//! pipeline, optionally injecting faults (`--soak`), pricing demotion
+//! time (`--power`), and writing/resuming text checkpoints.
+//!
+//! `--soak` is the CI gate: it replays a seeded fault campaign (single
+//! flips, parity-evading double flips, and a demotion-inducing burst) and
+//! exits nonzero unless every word was recovered, every resync stayed
+//! within the policy bound, and the degradation machine both demoted and
+//! re-promoted. `--no-recovery` turns the supervisor's repairs off — the
+//! same soak then fails, which is the point.
+//!
+//! ```text
+//! pipeline [--code NAME] [--width BITS] [--stride N] [--refresh R|bare]
+//!          [--stream instruction|data|muxed] [--len WORDS] [--seed S]
+//!          [--chunk WORDS] [--deadline-us US] [--format text|json]
+//!          [--soak] [--no-recovery] [--no-degrade] [--power]
+//!          [--checkpoint-out FILE] [--resume FILE]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use buscode_core::{CodeKind, CodeParams};
+use buscode_fault::campaign::stream_for;
+use buscode_pipeline::soak::{run_soak, SoakConfig, SoakReport};
+use buscode_pipeline::{clean_channel, Checkpoint, Pipeline, PipelineConfig, PipelineStats};
+use buscode_power::degradation_cost;
+use buscode_trace::StreamKind;
+
+struct Options {
+    code: CodeKind,
+    width: u32,
+    stride: u64,
+    /// `None` runs the code bare (no hardening wrapper).
+    refresh: Option<u64>,
+    stream: StreamKind,
+    len: u64,
+    seed: u64,
+    chunk: usize,
+    deadline_us: Option<u64>,
+    json: bool,
+    soak: bool,
+    no_recovery: bool,
+    no_degrade: bool,
+    power: bool,
+    checkpoint_out: Option<String>,
+    resume: Option<String>,
+}
+
+enum Parsed {
+    Run(Options),
+    Help,
+}
+
+const USAGE: &str = "usage: pipeline [--code NAME] [--width BITS] [--stride N] \
+[--refresh R|bare] [--stream instruction|data|muxed] [--len WORDS] [--seed S] \
+[--chunk WORDS] [--deadline-us US] [--format text|json] [--soak] [--no-recovery] \
+[--no-degrade] [--power] [--checkpoint-out FILE] [--resume FILE]\n\
+codes: binary gray bus-invert t0 t0-bi dual-t0 dual-t0-bi t0-xor offset \
+working-zone beach self-org";
+
+fn parse_num(s: &str) -> Result<u64, String> {
+    s.parse::<u64>()
+        .map_err(|_| format!("'{s}' is not a nonnegative integer"))
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Parsed, String> {
+        let mut opts = Options {
+            code: CodeKind::DualT0Bi,
+            width: 32,
+            stride: 4,
+            refresh: Some(16),
+            stream: StreamKind::Muxed,
+            len: 100_000,
+            seed: 42,
+            chunk: 4096,
+            deadline_us: None,
+            json: false,
+            soak: false,
+            no_recovery: false,
+            no_degrade: false,
+            power: false,
+            checkpoint_out: None,
+            resume: None,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--code" => {
+                    let value = it.next().ok_or("--code needs a value")?;
+                    opts.code = CodeKind::all()
+                        .into_iter()
+                        .find(|k| k.name() == value.as_str())
+                        .ok_or_else(|| format!("unknown code '{value}'\n{USAGE}"))?;
+                }
+                "--width" => {
+                    opts.width =
+                        u32::try_from(parse_num(it.next().ok_or("--width needs a value")?)?)
+                            .map_err(|_| "--width out of range".to_string())?;
+                }
+                "--stride" => {
+                    opts.stride = parse_num(it.next().ok_or("--stride needs a value")?)?;
+                }
+                "--refresh" => {
+                    let value = it.next().ok_or("--refresh needs a value")?;
+                    opts.refresh = if value == "bare" {
+                        None
+                    } else {
+                        let r = parse_num(value)?;
+                        if r == 0 {
+                            return Err("--refresh must be at least 1 (or 'bare')".to_string());
+                        }
+                        Some(r)
+                    };
+                }
+                "--stream" => {
+                    let value = it.next().ok_or("--stream needs a value")?;
+                    opts.stream = match value.as_str() {
+                        "instruction" => StreamKind::Instruction,
+                        "data" => StreamKind::Data,
+                        "muxed" => StreamKind::Muxed,
+                        other => return Err(format!("unknown stream kind '{other}'\n{USAGE}")),
+                    };
+                }
+                "--len" => {
+                    opts.len = parse_num(it.next().ok_or("--len needs a value")?)?;
+                    if opts.len == 0 {
+                        return Err("--len must be at least 1 word".to_string());
+                    }
+                }
+                "--seed" => {
+                    opts.seed = parse_num(it.next().ok_or("--seed needs a value")?)?;
+                }
+                "--chunk" => {
+                    opts.chunk =
+                        usize::try_from(parse_num(it.next().ok_or("--chunk needs a value")?)?)
+                            .map_err(|_| "--chunk out of range".to_string())?;
+                    if opts.chunk == 0 {
+                        return Err("--chunk must be at least 1 word".to_string());
+                    }
+                }
+                "--deadline-us" => {
+                    opts.deadline_us =
+                        Some(parse_num(it.next().ok_or("--deadline-us needs a value")?)?);
+                }
+                "--format" => {
+                    let value = it.next().ok_or("--format needs a value")?;
+                    opts.json = match value.as_str() {
+                        "json" => true,
+                        "text" => false,
+                        other => return Err(format!("unknown format '{other}'")),
+                    };
+                }
+                "--soak" => opts.soak = true,
+                "--no-recovery" => opts.no_recovery = true,
+                "--no-degrade" => opts.no_degrade = true,
+                "--power" => opts.power = true,
+                "--checkpoint-out" => {
+                    opts.checkpoint_out =
+                        Some(it.next().ok_or("--checkpoint-out needs a value")?.clone());
+                }
+                "--resume" => {
+                    opts.resume = Some(it.next().ok_or("--resume needs a value")?.clone());
+                }
+                "--help" | "-h" => return Ok(Parsed::Help),
+                other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+            }
+        }
+        Ok(Parsed::Run(opts))
+    }
+
+    fn pipeline_config(&self) -> Result<PipelineConfig, String> {
+        let params = CodeParams::new(self.width, self.stride)
+            .map_err(|e| format!("invalid bus parameters: {e}"))?;
+        let mut config = PipelineConfig::new(self.code, params);
+        config.refresh = self.refresh;
+        config.chunk_words = self.chunk;
+        config.deadline_micros = self.deadline_us;
+        config.policy.enabled = !self.no_recovery;
+        config.degrade.enabled = !self.no_degrade;
+        Ok(config)
+    }
+}
+
+fn render_stats_text(stats: &PipelineStats) -> String {
+    format!(
+        "words             {}\n\
+         clean words       {}\n\
+         faulted words     {}\n\
+         transient faults  {}\n\
+         retries           {}\n\
+         backoff cycles    {}\n\
+         desyncs           {}\n\
+         forced resyncs    {}\n\
+         max resync gap    {}\n\
+         unrecovered       {}\n\
+         demotions         {}\n\
+         repromotions      {}\n\
+         degraded words    {}\n\
+         watchdog fires    {}\n",
+        stats.words,
+        stats.clean_words,
+        stats.faulted_words,
+        stats.transient_faults,
+        stats.retries,
+        stats.backoff_cycles,
+        stats.desyncs,
+        stats.forced_resyncs,
+        stats.max_resync_gap,
+        stats.unrecovered,
+        stats.demotions,
+        stats.repromotions,
+        stats.degraded_words,
+        stats.watchdog_fires,
+    )
+}
+
+fn render_stats_json(stats: &PipelineStats) -> String {
+    format!(
+        "{{\"words\":{},\"clean_words\":{},\"faulted_words\":{},\"transient_faults\":{},\
+         \"retries\":{},\"backoff_cycles\":{},\"desyncs\":{},\"forced_resyncs\":{},\
+         \"max_resync_gap\":{},\"unrecovered\":{},\"demotions\":{},\"repromotions\":{},\
+         \"degraded_words\":{},\"watchdog_fires\":{}}}",
+        stats.words,
+        stats.clean_words,
+        stats.faulted_words,
+        stats.transient_faults,
+        stats.retries,
+        stats.backoff_cycles,
+        stats.desyncs,
+        stats.forced_resyncs,
+        stats.max_resync_gap,
+        stats.unrecovered,
+        stats.demotions,
+        stats.repromotions,
+        stats.degraded_words,
+        stats.watchdog_fires,
+    )
+}
+
+fn print_soak_report(opts: &Options, report: &SoakReport) {
+    if opts.json {
+        let failures: Vec<String> = report
+            .failures
+            .iter()
+            .map(|f| format!("{{\"gate\":\"{}\",\"reason\":\"{}\"}}", f.gate, f.reason))
+            .collect();
+        println!(
+            "{{\"mode\":\"soak\",\"code\":\"{}\",\"seed\":{},\"words\":{},\
+             \"injected_single\":{},\"injected_double\":{},\"injected_burst\":{},\
+             \"stats\":{},\"passed\":{},\"failures\":[{}]}}",
+            opts.code.name(),
+            report.soak.seed,
+            report.soak.words,
+            report.injected_single,
+            report.injected_double,
+            report.injected_burst,
+            render_stats_json(&report.stats),
+            report.passed(),
+            failures.join(",")
+        );
+    } else {
+        println!(
+            "soak: {} over {} words (seed {}, stream {})",
+            opts.code.name(),
+            report.soak.words,
+            report.soak.seed,
+            report.soak.stream
+        );
+        println!(
+            "injected: {} single-flip, {} double-flip, {} burst",
+            report.injected_single, report.injected_double, report.injected_burst
+        );
+        print!("{}", render_stats_text(&report.stats));
+        if report.passed() {
+            println!("soak gate: PASS");
+        } else {
+            for f in &report.failures {
+                println!("soak gate FAILURE [{}]: {}", f.gate, f.reason);
+            }
+        }
+    }
+}
+
+fn print_power(
+    opts: &Options,
+    config: &PipelineConfig,
+    stats: &PipelineStats,
+) -> Result<(), String> {
+    let stream = stream_for(
+        opts.stream,
+        usize::try_from(opts.len.min(100_000)).unwrap_or(100_000),
+        opts.seed,
+    );
+    let degraded_fraction = if stats.words == 0 {
+        0.0
+    } else {
+        stats.degraded_words as f64 / stats.words as f64
+    };
+    let cost = degradation_cost(
+        opts.code,
+        config.params,
+        &stream,
+        degraded_fraction,
+        50.0,
+        buscode_logic::Technology::date98(),
+    )
+    .map_err(|e| format!("power model failed: {e}"))?;
+    if opts.json {
+        println!(
+            "{{\"mode\":\"power\",\"code\":\"{}\",\"code_mw\":{:.6},\"binary_mw\":{:.6},\
+             \"degraded_fraction\":{:.6},\"penalty_mw\":{:.6},\"effective_mw\":{:.6}}}",
+            opts.code.name(),
+            cost.code_mw,
+            cost.binary_mw,
+            cost.degraded_fraction,
+            cost.penalty_mw,
+            cost.effective_mw()
+        );
+    } else {
+        println!(
+            "degradation cost: {} {:.4} mW, binary {:.4} mW, {:.2}% of words demoted -> \
+             penalty {:.4} mW (effective {:.4} mW)",
+            opts.code.name(),
+            cost.code_mw,
+            cost.binary_mw,
+            100.0 * cost.degraded_fraction,
+            cost.penalty_mw,
+            cost.effective_mw()
+        );
+    }
+    Ok(())
+}
+
+fn run(opts: &Options) -> Result<ExitCode, String> {
+    let config = opts.pipeline_config()?;
+
+    if opts.soak {
+        let soak = SoakConfig::new(opts.seed, opts.len);
+        let report = run_soak(config, soak).map_err(|e| format!("soak run failed: {e}"))?;
+        print_soak_report(opts, &report);
+        if opts.power {
+            print_power(opts, &config, &report.stats)?;
+        }
+        return Ok(if report.passed() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        });
+    }
+
+    // Plain (clean-channel) run, with optional checkpoint write/resume.
+    let mut pipe = match &opts.resume {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read checkpoint '{path}': {e}"))?;
+            let checkpoint = Checkpoint::parse(&text).map_err(|e| format!("cannot resume: {e}"))?;
+            Pipeline::from_checkpoint(config, &checkpoint)
+                .map_err(|e| format!("cannot resume: {e}"))?
+        }
+        None => Pipeline::new(config).map_err(|e| format!("cannot build pipeline: {e}"))?,
+    };
+
+    let already_done = pipe.position();
+    if already_done >= opts.len {
+        return Err(format!(
+            "checkpoint is already at word {already_done}, nothing left of a {}-word stream",
+            opts.len
+        ));
+    }
+    let accesses = stream_for(
+        opts.stream,
+        usize::try_from(opts.len).unwrap_or(usize::MAX),
+        opts.seed,
+    );
+    let remaining = accesses
+        .into_iter()
+        .skip(usize::try_from(already_done).unwrap_or(usize::MAX));
+    let stats = pipe
+        .run(remaining, &mut clean_channel())
+        .map_err(|e| format!("pipeline failed: {e}"))?;
+
+    if opts.json {
+        println!(
+            "{{\"mode\":\"run\",\"code\":\"{}\",\"resumed_at\":{},\"final_mode\":\"{}\",\"stats\":{}}}",
+            opts.code.name(),
+            already_done,
+            pipe.mode(),
+            render_stats_json(&stats)
+        );
+    } else {
+        println!(
+            "run: {} over {} words (resumed at {}, final mode {})",
+            opts.code.name(),
+            opts.len,
+            already_done,
+            pipe.mode()
+        );
+        print!("{}", render_stats_text(&stats));
+    }
+    if opts.power {
+        print_power(opts, &config, &stats)?;
+    }
+
+    if let Some(path) = &opts.checkpoint_out {
+        let checkpoint = pipe.checkpoint();
+        std::fs::write(path, checkpoint.to_text())
+            .map_err(|e| format!("cannot write checkpoint '{path}': {e}"))?;
+        eprintln!("pipeline: checkpoint written to {path}");
+    }
+
+    Ok(if stats.unrecovered == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match Options::parse(&args) {
+        Ok(Parsed::Run(opts)) => opts,
+        Ok(Parsed::Help) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("pipeline: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("pipeline: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! Whole-pipeline checkpoints: a text-serializable capture of codec
+//! state, degradation state, statistics, and stream position.
+
+use buscode_core::{CodeKind, CodeParams, StateImage};
+
+use crate::policy::{DegradeSnapshot, Mode};
+use crate::runtime::{PipelineError, PipelineStats};
+
+/// A complete pipeline state, produced by
+/// [`Pipeline::checkpoint`][crate::Pipeline::checkpoint] and consumed by
+/// [`Pipeline::from_checkpoint`][crate::Pipeline::from_checkpoint].
+///
+/// The text form ([`Checkpoint::to_text`] / [`Checkpoint::parse`]) is a
+/// small line-oriented `key=value` format with the two codec state
+/// images on their own lines — human-inspectable and free of any
+/// serialization dependency.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// The configured code.
+    pub code: CodeKind,
+    /// Bus width and stride the pipeline ran with.
+    pub params: CodeParams,
+    /// Hardened refresh interval (`None` when the code ran bare).
+    pub refresh: Option<u64>,
+    /// Words fully processed when the checkpoint was taken.
+    pub position: u64,
+    /// Primary encoder state.
+    pub encoder: StateImage,
+    /// Primary decoder state.
+    pub decoder: StateImage,
+    /// Degradation machine registers.
+    pub degrade: DegradeSnapshot,
+    /// Statistics accumulated up to the checkpoint.
+    pub stats: PipelineStats,
+}
+
+const HEADER: &str = "buscode-pipeline-checkpoint v1";
+
+impl Checkpoint {
+    /// Renders the checkpoint as text.
+    pub fn to_text(&self) -> String {
+        let s = &self.stats;
+        let d = &self.degrade;
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("code={}\n", self.code.name()));
+        out.push_str(&format!("width={}\n", self.params.width.bits()));
+        out.push_str(&format!("stride={}\n", self.params.stride.get()));
+        out.push_str(&format!(
+            "refresh={}\n",
+            self.refresh.unwrap_or(0) // 0 is an invalid interval: means bare
+        ));
+        out.push_str(&format!("position={}\n", self.position));
+        out.push_str(&format!("mode={}\n", d.mode));
+        out.push_str(&format!("window_start={}\n", d.window_start));
+        out.push_str(&format!("window_errors={}\n", d.window_errors));
+        out.push_str(&format!("clean_run={}\n", d.clean_run));
+        out.push_str(&format!(
+            "stats={} {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
+            s.words,
+            s.clean_words,
+            s.faulted_words,
+            s.transient_faults,
+            s.retries,
+            s.backoff_cycles,
+            s.desyncs,
+            s.forced_resyncs,
+            s.max_resync_gap,
+            s.unrecovered,
+            s.demotions,
+            s.repromotions,
+            s.degraded_words,
+            s.watchdog_fires,
+        ));
+        out.push_str(&format!("encoder={}\n", self.encoder.to_line()));
+        out.push_str(&format!("decoder={}\n", self.decoder.to_line()));
+        out
+    }
+
+    /// Parses text produced by [`Checkpoint::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Checkpoint`] on a missing header, an
+    /// unknown code name, a malformed field, or a missing key.
+    pub fn parse(text: &str) -> Result<Self, PipelineError> {
+        let bad = |reason: String| PipelineError::Checkpoint { reason };
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(HEADER) {
+            return Err(bad(format!("missing header line `{HEADER}`")));
+        }
+        let mut fields = std::collections::BTreeMap::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| bad(format!("malformed line `{line}`")))?;
+            fields.insert(key.to_string(), value.to_string());
+        }
+        let get = |key: &str| -> Result<String, PipelineError> {
+            fields
+                .get(key)
+                .cloned()
+                .ok_or_else(|| bad(format!("missing field `{key}`")))
+        };
+        let int = |key: &str| -> Result<u64, PipelineError> {
+            get(key)?
+                .parse::<u64>()
+                .map_err(|_| bad(format!("field `{key}` is not an integer")))
+        };
+
+        let code_name = get("code")?;
+        let code = CodeKind::all()
+            .into_iter()
+            .find(|k| k.name() == code_name)
+            .ok_or_else(|| bad(format!("unknown code `{code_name}`")))?;
+        let width = u32::try_from(int("width")?)
+            .map_err(|_| bad("field `width` out of range".to_string()))?;
+        let params = CodeParams::new(width, int("stride")?)
+            .map_err(|e| bad(format!("invalid bus parameters: {e}")))?;
+        let refresh = match int("refresh")? {
+            0 => None,
+            r => Some(r),
+        };
+        let mode = match get("mode")?.as_str() {
+            "normal" => Mode::Normal,
+            "degraded" => Mode::Degraded,
+            other => return Err(bad(format!("unknown mode `{other}`"))),
+        };
+        let degrade = DegradeSnapshot {
+            mode,
+            window_start: int("window_start")?,
+            window_errors: u32::try_from(int("window_errors")?)
+                .map_err(|_| bad("field `window_errors` out of range".to_string()))?,
+            clean_run: int("clean_run")?,
+        };
+
+        let stats_line = get("stats")?;
+        let nums: Vec<u64> = stats_line
+            .split_whitespace()
+            .map(|t| t.parse::<u64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| bad("field `stats` contains a non-integer".to_string()))?;
+        let [words, clean_words, faulted_words, transient_faults, retries, backoff_cycles, desyncs, forced_resyncs, max_resync_gap, unrecovered, demotions, repromotions, degraded_words, watchdog_fires] =
+            nums[..]
+        else {
+            return Err(bad(format!(
+                "field `stats` must have 14 counters, found {}",
+                nums.len()
+            )));
+        };
+        let stats = PipelineStats {
+            words,
+            clean_words,
+            faulted_words,
+            transient_faults,
+            retries,
+            backoff_cycles,
+            desyncs,
+            forced_resyncs,
+            max_resync_gap,
+            unrecovered,
+            demotions,
+            repromotions,
+            degraded_words,
+            watchdog_fires,
+        };
+
+        let encoder = StateImage::parse_line(&get("encoder")?)
+            .map_err(|e| bad(format!("encoder image: {e}")))?;
+        let decoder = StateImage::parse_line(&get("decoder")?)
+            .map_err(|e| bad(format!("decoder image: {e}")))?;
+
+        Ok(Checkpoint {
+            code,
+            params,
+            refresh,
+            position: int("position")?,
+            encoder,
+            decoder,
+            degrade,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buscode_core::Snapshot;
+
+    fn sample() -> Checkpoint {
+        let params = CodeParams::default();
+        let enc = CodeKind::T0.hardened_snapshot_encoder(params, 16).unwrap();
+        let dec = CodeKind::T0.hardened_snapshot_decoder(params, 16).unwrap();
+        Checkpoint {
+            code: CodeKind::T0,
+            params,
+            refresh: Some(16),
+            position: 12345,
+            encoder: enc.snapshot(),
+            decoder: dec.snapshot(),
+            degrade: DegradeSnapshot {
+                mode: Mode::Degraded,
+                window_start: 12000,
+                window_errors: 3,
+                clean_run: 17,
+            },
+            stats: PipelineStats {
+                words: 12345,
+                clean_words: 12000,
+                faulted_words: 345,
+                transient_faults: 200,
+                retries: 210,
+                backoff_cycles: 500,
+                desyncs: 20,
+                forced_resyncs: 22,
+                max_resync_gap: 2,
+                unrecovered: 0,
+                demotions: 1,
+                repromotions: 0,
+                degraded_words: 40,
+                watchdog_fires: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let cp = sample();
+        let text = cp.to_text();
+        let parsed = Checkpoint::parse(&text).unwrap();
+        assert_eq!(parsed, cp);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Checkpoint::parse("").is_err());
+        assert!(Checkpoint::parse("not a checkpoint").is_err());
+        let cp = sample();
+        let text = cp.to_text();
+        // Drop the decoder line.
+        let truncated: String = text
+            .lines()
+            .filter(|l| !l.starts_with("decoder="))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(Checkpoint::parse(&truncated).is_err());
+        // Corrupt the stats line.
+        let garbled = text.replace("stats=", "stats=zzz ");
+        assert!(Checkpoint::parse(&garbled).is_err());
+        // Unknown code.
+        let unknown = text.replace("code=t0", "code=nonesuch");
+        assert!(Checkpoint::parse(&unknown).is_err());
+    }
+
+    #[test]
+    fn bare_refresh_round_trips_as_zero() {
+        let mut cp = sample();
+        cp.refresh = None;
+        cp.encoder = StateImage::new("t0", vec![0, 0, 0, 0]);
+        cp.decoder = StateImage::new("t0", vec![0, 0]);
+        let parsed = Checkpoint::parse(&cp.to_text()).unwrap();
+        assert_eq!(parsed.refresh, None);
+    }
+}

@@ -1,0 +1,87 @@
+//! Time sources for the chunk watchdog.
+//!
+//! The watchdog needs *a* monotonic clock, not *the* clock: tests drive
+//! the deadline logic deterministically with [`ManualClock`] while the
+//! CLI uses [`SystemClock`].
+
+/// A monotonic microsecond clock the watchdog reads between words.
+pub trait Clock {
+    /// Microseconds elapsed since an arbitrary fixed origin.
+    fn now_micros(&mut self) -> u64;
+}
+
+/// The real monotonic clock ([`std::time::Instant`]).
+#[derive(Clone, Debug)]
+pub struct SystemClock {
+    start: std::time::Instant,
+}
+
+impl SystemClock {
+    /// Creates a clock whose origin is now.
+    pub fn new() -> Self {
+        SystemClock {
+            start: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_micros(&mut self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A deterministic test clock that advances by a fixed step on every
+/// read — so "each word takes `step` microseconds" can be simulated
+/// without sleeping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ManualClock {
+    now: u64,
+    step: u64,
+}
+
+impl ManualClock {
+    /// Creates a clock starting at zero that advances `step_micros` per
+    /// read.
+    pub fn advancing(step_micros: u64) -> Self {
+        ManualClock {
+            now: 0,
+            step: step_micros,
+        }
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&mut self) -> u64 {
+        let t = self.now;
+        self.now = self.now.saturating_add(self.step);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_steps_deterministically() {
+        let mut c = ManualClock::advancing(10);
+        assert_eq!(c.now_micros(), 0);
+        assert_eq!(c.now_micros(), 10);
+        assert_eq!(c.now_micros(), 20);
+    }
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let mut c = SystemClock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,305 @@
+//! Recovery and degradation policies, and the degradation state machine.
+
+/// How the supervisor reacts to recoverable decode errors.
+///
+/// Transient faults are retried (retransmitted) with capped exponential
+/// backoff; desyncs force a plain-word resync of both codec halves. With
+/// `enabled == false` the supervisor only *counts* — nothing is repaired,
+/// which is the baseline the `--soak` CI gate proves is unacceptable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Master switch; `false` turns every recovery action off.
+    pub enabled: bool,
+    /// Retransmission attempts for one transient fault before escalating
+    /// to the desync path.
+    pub max_retries: u32,
+    /// Backoff charged for the first retry, in bus cycles.
+    pub backoff_base: u64,
+    /// Cap on the per-retry backoff, in bus cycles.
+    pub backoff_cap: u64,
+    /// Forced-resync attempts for one desync before the word is declared
+    /// unrecovered. This is the "refresh bound" the soak gate checks
+    /// resync gaps against.
+    pub resync_bound: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            enabled: true,
+            max_retries: 3,
+            backoff_base: 1,
+            backoff_cap: 64,
+            resync_bound: 16,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The capped exponential backoff charged for retry number `attempt`
+    /// (zero-based), in bus cycles.
+    pub fn backoff_cycles(&self, attempt: u32) -> u64 {
+        self.backoff_base
+            .checked_shl(attempt)
+            .unwrap_or(u64::MAX)
+            .min(self.backoff_cap)
+    }
+}
+
+/// When to demote the configured code to plain binary, and when to
+/// re-promote it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Master switch for the degradation machine.
+    pub enabled: bool,
+    /// Length of the error-rate observation window, in words.
+    pub window: u64,
+    /// Number of faulted words within one window that triggers demotion.
+    pub demote_errors: u32,
+    /// Consecutive clean words required (while demoted) before the
+    /// configured code is re-promoted.
+    pub stable_window: u64,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy {
+            enabled: true,
+            window: 256,
+            demote_errors: 8,
+            stable_window: 512,
+        }
+    }
+}
+
+/// Which codec pair is currently on the bus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// The configured code is active.
+    Normal,
+    /// The runtime has demoted to plain binary.
+    Degraded,
+}
+
+impl core::fmt::Display for Mode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Mode::Normal => "normal",
+            Mode::Degraded => "degraded",
+        })
+    }
+}
+
+/// A demote/re-promote decision emitted by the machine for one word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Transition {
+    Demote,
+    Repromote,
+}
+
+/// The mutable registers of the degradation machine, exposed so
+/// checkpoints can carry them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegradeSnapshot {
+    /// Current mode.
+    pub mode: Mode,
+    /// Word index where the current observation window started.
+    pub window_start: u64,
+    /// Faulted words observed in the current window.
+    pub window_errors: u32,
+    /// Consecutive clean words observed while demoted.
+    pub clean_run: u64,
+}
+
+/// The error-rate-driven demote/re-promote state machine.
+///
+/// Word-indexed and fully deterministic: feed it one `(word_index,
+/// had_error)` observation per word and apply the transitions it returns.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DegradeMachine {
+    policy: DegradePolicy,
+    mode: Mode,
+    window_start: u64,
+    window_errors: u32,
+    clean_run: u64,
+}
+
+impl DegradeMachine {
+    pub(crate) fn new(policy: DegradePolicy) -> Self {
+        DegradeMachine {
+            policy,
+            mode: Mode::Normal,
+            window_start: 0,
+            window_errors: 0,
+            clean_run: 0,
+        }
+    }
+
+    pub(crate) fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    pub(crate) fn snapshot(&self) -> DegradeSnapshot {
+        DegradeSnapshot {
+            mode: self.mode,
+            window_start: self.window_start,
+            window_errors: self.window_errors,
+            clean_run: self.clean_run,
+        }
+    }
+
+    pub(crate) fn restore(&mut self, snap: DegradeSnapshot) {
+        self.mode = snap.mode;
+        self.window_start = snap.window_start;
+        self.window_errors = snap.window_errors;
+        self.clean_run = snap.clean_run;
+    }
+
+    /// Observes one word; returns a transition the runtime must apply.
+    pub(crate) fn on_word(&mut self, word_index: u64, had_error: bool) -> Option<Transition> {
+        if !self.policy.enabled {
+            return None;
+        }
+        match self.mode {
+            Mode::Normal => {
+                if word_index.saturating_sub(self.window_start) >= self.policy.window {
+                    self.window_start = word_index;
+                    self.window_errors = 0;
+                }
+                if had_error {
+                    self.window_errors += 1;
+                    if self.window_errors >= self.policy.demote_errors {
+                        self.mode = Mode::Degraded;
+                        self.clean_run = 0;
+                        return Some(Transition::Demote);
+                    }
+                }
+                None
+            }
+            Mode::Degraded => {
+                if had_error {
+                    self.clean_run = 0;
+                } else {
+                    self.clean_run += 1;
+                    if self.clean_run >= self.policy.stable_window {
+                        self.mode = Mode::Normal;
+                        self.window_start = word_index;
+                        self.window_errors = 0;
+                        return Some(Transition::Repromote);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let p = RecoveryPolicy {
+            backoff_base: 2,
+            backoff_cap: 16,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(p.backoff_cycles(0), 2);
+        assert_eq!(p.backoff_cycles(1), 4);
+        assert_eq!(p.backoff_cycles(2), 8);
+        assert_eq!(p.backoff_cycles(3), 16);
+        assert_eq!(p.backoff_cycles(10), 16);
+        assert_eq!(p.backoff_cycles(200), 16);
+    }
+
+    #[test]
+    fn demotes_at_threshold_and_repromotes_after_stable_window() {
+        let policy = DegradePolicy {
+            enabled: true,
+            window: 16,
+            demote_errors: 3,
+            stable_window: 8,
+        };
+        let mut m = DegradeMachine::new(policy);
+        let mut word = 0u64;
+        // Two errors: still normal.
+        assert_eq!(m.on_word(word, true), None);
+        word += 1;
+        assert_eq!(m.on_word(word, true), None);
+        word += 1;
+        // Third error in the window: demote.
+        assert_eq!(m.on_word(word, true), Some(Transition::Demote));
+        assert_eq!(m.mode(), Mode::Degraded);
+        // Seven clean words: still degraded.
+        for _ in 0..7 {
+            word += 1;
+            assert_eq!(m.on_word(word, false), None);
+        }
+        // Eighth clean word: re-promote.
+        word += 1;
+        assert_eq!(m.on_word(word, false), Some(Transition::Repromote));
+        assert_eq!(m.mode(), Mode::Normal);
+    }
+
+    #[test]
+    fn window_roll_forgets_old_errors() {
+        let policy = DegradePolicy {
+            enabled: true,
+            window: 4,
+            demote_errors: 2,
+            stable_window: 8,
+        };
+        let mut m = DegradeMachine::new(policy);
+        assert_eq!(m.on_word(0, true), None);
+        // The next error lands in a fresh window: no demotion.
+        assert_eq!(m.on_word(10, true), None);
+        assert_eq!(m.mode(), Mode::Normal);
+        // Two errors in the same window demote.
+        assert_eq!(m.on_word(11, true), Some(Transition::Demote));
+    }
+
+    #[test]
+    fn error_while_degraded_resets_the_clean_run() {
+        let policy = DegradePolicy {
+            enabled: true,
+            window: 4,
+            demote_errors: 1,
+            stable_window: 3,
+        };
+        let mut m = DegradeMachine::new(policy);
+        assert_eq!(m.on_word(0, true), Some(Transition::Demote));
+        assert_eq!(m.on_word(1, false), None);
+        assert_eq!(m.on_word(2, false), None);
+        assert_eq!(m.on_word(3, true), None); // resets the run
+        assert_eq!(m.on_word(4, false), None);
+        assert_eq!(m.on_word(5, false), None);
+        assert_eq!(m.on_word(6, false), Some(Transition::Repromote));
+    }
+
+    #[test]
+    fn disabled_machine_never_transitions() {
+        let policy = DegradePolicy {
+            enabled: false,
+            window: 1,
+            demote_errors: 1,
+            stable_window: 1,
+        };
+        let mut m = DegradeMachine::new(policy);
+        for i in 0..100 {
+            assert_eq!(m.on_word(i, true), None);
+        }
+        assert_eq!(m.mode(), Mode::Normal);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut m = DegradeMachine::new(DegradePolicy::default());
+        m.on_word(0, true);
+        m.on_word(1, true);
+        let snap = m.snapshot();
+        let mut n = DegradeMachine::new(DegradePolicy::default());
+        n.restore(snap);
+        assert_eq!(n.snapshot(), snap);
+    }
+}

@@ -1,0 +1,294 @@
+//! Seeded soak harness: long synthetic streams, injected faults, and
+//! pass/fail gates.
+//!
+//! A soak run drives one [`Pipeline`] over a seeded address stream (from
+//! `buscode-fault`'s trace models) through a fault-injecting [`Channel`]
+//! that mixes three stressors:
+//!
+//! - **single-line flips** (`transient_ppm`): one payload line flipped —
+//!   on a hardened code the aux parity catches these, exercising the
+//!   retransmit-with-backoff path;
+//! - **double-line flips** (`desync_ppm`): two distinct payload lines
+//!   flipped — parity stays valid, so the corruption is silent until
+//!   end-to-end verification flags it, exercising the forced-resync path;
+//! - **a fault burst** (`burst_start`/`burst_words`/`burst_rate`): a
+//!   window of heavy corruption that pushes the error rate over the
+//!   demotion threshold, exercising the degradation state machine both
+//!   ways (the stream after the burst is long enough to re-promote).
+//!
+//! Everything is derived from one seed, so a soak run is reproducible
+//! bit-for-bit. [`run_soak`] evaluates the gates the CI job enforces:
+//! zero unrecovered words, every resync within the policy's bound, and
+//! at least one demotion *and* re-promotion.
+
+use buscode_core::rng::Rng64;
+use buscode_core::BusState;
+use buscode_fault::campaign::stream_for;
+use buscode_fault::models::{flip_line, BusGeometry};
+use buscode_trace::StreamKind;
+
+use crate::runtime::{Channel, Pipeline, PipelineConfig, PipelineError, PipelineStats};
+
+/// Parameters of one soak run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SoakConfig {
+    /// Master seed for the stream and the fault process.
+    pub seed: u64,
+    /// Stream length in words.
+    pub words: u64,
+    /// Which synthetic address stream to replay.
+    pub stream: StreamKind,
+    /// Single-line flip rate, in faults per million transmissions.
+    pub transient_ppm: u64,
+    /// Double-line (parity-evading) flip rate, in faults per million
+    /// transmissions.
+    pub desync_ppm: u64,
+    /// First word of the heavy-fault burst window.
+    pub burst_start: u64,
+    /// Length of the burst window, in words (0 disables the burst).
+    pub burst_words: u64,
+    /// Per-transmission corruption probability inside the burst window.
+    pub burst_rate: f64,
+}
+
+impl SoakConfig {
+    /// The standard soak shape for a stream of `words` words: background
+    /// single flips at 300 ppm, silent double flips at 150 ppm, and a
+    /// 2048-word burst at 5% starting a quarter of the way in — early
+    /// enough that the remaining stream comfortably re-promotes.
+    pub fn new(seed: u64, words: u64) -> Self {
+        SoakConfig {
+            seed,
+            words,
+            stream: StreamKind::Muxed,
+            transient_ppm: 300,
+            desync_ppm: 150,
+            burst_start: words / 4,
+            burst_words: 2048.min(words / 8),
+            burst_rate: 0.05,
+        }
+    }
+}
+
+/// The fault-injecting channel a soak run transmits through.
+///
+/// Faults are drawn fresh on every transmission — retransmissions and
+/// forced resyncs of the same word roll the dice again, exactly like
+/// retried cycles on a real noisy bus.
+pub struct SoakChannel {
+    rng: Rng64,
+    geometry: BusGeometry,
+    config: SoakConfig,
+    /// Single-line flips injected.
+    pub injected_single: u64,
+    /// Double-line flips injected.
+    pub injected_double: u64,
+    /// Burst-window corruptions injected.
+    pub injected_burst: u64,
+}
+
+impl SoakChannel {
+    /// Builds the channel for a payload of `payload_lines` bus lines.
+    ///
+    /// Only payload lines are flipped; the rates in `config` are applied
+    /// per transmission. The RNG is decoupled from the stream generator
+    /// so the fault process does not depend on the address model.
+    pub fn new(config: SoakConfig, payload_lines: u32) -> Self {
+        SoakChannel {
+            rng: Rng64::seed_from_u64(config.seed ^ 0xfa17_1e55_c0de_b05eu64),
+            geometry: BusGeometry::new(payload_lines, 0),
+            config,
+            injected_single: 0,
+            injected_double: 0,
+            injected_burst: 0,
+        }
+    }
+
+    fn in_burst(&self, word_index: u64) -> bool {
+        self.config.burst_words > 0
+            && word_index >= self.config.burst_start
+            && word_index < self.config.burst_start + self.config.burst_words
+    }
+}
+
+impl Channel for SoakChannel {
+    fn transmit(&mut self, word_index: u64, mut word: BusState) -> BusState {
+        let lines = u64::from(self.geometry.payload_lines);
+        if self.in_burst(word_index) && self.rng.gen_bool(self.config.burst_rate) {
+            self.injected_burst += 1;
+            flip_line(
+                &mut word,
+                self.geometry,
+                self.rng.gen_range(0..lines) as u32,
+            );
+            return word;
+        }
+        let roll = self.rng.gen_range(0..1_000_000u64);
+        if roll < self.config.transient_ppm {
+            self.injected_single += 1;
+            flip_line(
+                &mut word,
+                self.geometry,
+                self.rng.gen_range(0..lines) as u32,
+            );
+        } else if roll < self.config.transient_ppm + self.config.desync_ppm {
+            self.injected_double += 1;
+            let a = self.rng.gen_range(0..lines) as u32;
+            let mut b = self.rng.gen_range(0..lines) as u32;
+            while b == a {
+                b = self.rng.gen_range(0..lines) as u32;
+            }
+            flip_line(&mut word, self.geometry, a);
+            flip_line(&mut word, self.geometry, b);
+        }
+        word
+    }
+}
+
+/// One failed gate: which invariant broke and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GateFailure {
+    /// Short gate name (`unrecovered`, `resync-bound`, `demotion`,
+    /// `repromotion`).
+    pub gate: &'static str,
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+/// The outcome of a soak run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SoakReport {
+    /// The soak parameters the run used.
+    pub soak: SoakConfig,
+    /// Pipeline statistics at end of stream.
+    pub stats: PipelineStats,
+    /// Single-line flips the channel injected.
+    pub injected_single: u64,
+    /// Double-line flips the channel injected.
+    pub injected_double: u64,
+    /// Burst-window corruptions the channel injected.
+    pub injected_burst: u64,
+    /// Gates that failed (empty on a passing run).
+    pub failures: Vec<GateFailure>,
+}
+
+impl SoakReport {
+    /// True when every gate passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Evaluates the soak gates over final statistics.
+///
+/// The gates encode the acceptance criteria of a supervised run: no word
+/// may end unrecovered, every desync must resync within the policy's
+/// bound, and the degradation machine must have demonstrably demoted and
+/// re-promoted (only checked when degradation is enabled and faults were
+/// actually injected).
+pub fn evaluate_gates(
+    config: &PipelineConfig,
+    stats: &PipelineStats,
+    expect_degradation_cycle: bool,
+) -> Vec<GateFailure> {
+    let mut failures = Vec::new();
+    if stats.unrecovered > 0 {
+        failures.push(GateFailure {
+            gate: "unrecovered",
+            reason: format!("{} word(s) ended with no correct decode", stats.unrecovered),
+        });
+    }
+    let bound = config.policy.resync_bound;
+    if stats.max_resync_gap > bound {
+        failures.push(GateFailure {
+            gate: "resync-bound",
+            reason: format!(
+                "worst resync took {} transmissions, bound is {}",
+                stats.max_resync_gap, bound
+            ),
+        });
+    }
+    if expect_degradation_cycle {
+        if stats.demotions == 0 {
+            failures.push(GateFailure {
+                gate: "demotion",
+                reason: "the fault burst never demoted the code".to_string(),
+            });
+        }
+        if stats.repromotions == 0 {
+            failures.push(GateFailure {
+                gate: "repromotion",
+                reason: "the code was never re-promoted after the burst".to_string(),
+            });
+        }
+    }
+    failures
+}
+
+/// Runs one soak campaign: generates the seeded stream, drives the
+/// pipeline through the fault-injecting channel, and evaluates gates.
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] from pipeline construction or a fatal
+/// codec error (neither occurs for valid configurations).
+pub fn run_soak(config: PipelineConfig, soak: SoakConfig) -> Result<SoakReport, PipelineError> {
+    let mut pipe = Pipeline::new(config)?;
+    let mut channel = SoakChannel::new(soak, config.params.width.bits());
+    let accesses = stream_for(
+        soak.stream,
+        usize::try_from(soak.words).unwrap_or(usize::MAX),
+        soak.seed,
+    );
+    let stats = pipe.run(accesses, &mut channel)?;
+    let expect_cycle = config.degrade.enabled && soak.burst_words > 0 && config.policy.enabled;
+    let failures = evaluate_gates(&config, &stats, expect_cycle);
+    Ok(SoakReport {
+        soak,
+        stats,
+        injected_single: channel.injected_single,
+        injected_double: channel.injected_double,
+        injected_burst: channel.injected_burst,
+        failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buscode_core::{CodeKind, CodeParams};
+
+    #[test]
+    fn soak_with_recovery_passes_every_gate() {
+        let config = PipelineConfig::new(CodeKind::T0, CodeParams::default());
+        let soak = SoakConfig::new(42, 50_000);
+        let report = run_soak(config, soak).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert_eq!(report.stats.words, 50_000);
+        assert!(report.injected_single > 0);
+        assert!(report.injected_double > 0);
+        assert!(report.injected_burst > 0);
+        assert!(report.stats.demotions >= 1);
+        assert!(report.stats.repromotions >= 1);
+        assert_eq!(report.stats.unrecovered, 0);
+    }
+
+    #[test]
+    fn soak_without_recovery_fails_the_unrecovered_gate() {
+        let mut config = PipelineConfig::new(CodeKind::T0, CodeParams::default());
+        config.policy.enabled = false;
+        let soak = SoakConfig::new(42, 50_000);
+        let report = run_soak(config, soak).unwrap();
+        assert!(!report.passed());
+        assert!(report.stats.unrecovered > 0);
+        assert!(report.failures.iter().any(|f| f.gate == "unrecovered"));
+    }
+
+    #[test]
+    fn soak_is_reproducible() {
+        let config = PipelineConfig::new(CodeKind::DualT0, CodeParams::default());
+        let a = run_soak(config, SoakConfig::new(7, 20_000)).unwrap();
+        let b = run_soak(config, SoakConfig::new(7, 20_000)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -23,7 +23,7 @@ use buscode_logic::codecs::{
     dual_t0_encoder, dual_t0bi_decoder, dual_t0bi_encoder, gray_decoder, gray_encoder, t0_decoder,
     t0_encoder, t0bi_decoder, t0bi_encoder,
 };
-use buscode_logic::{milliwatts, CapacitanceModel, NetId, Simulator, Technology};
+use buscode_logic::{milliwatts, CapacitanceModel, LogicError, NetId, Simulator, Technology};
 
 use crate::pads::PadModel;
 
@@ -136,22 +136,27 @@ struct CodecSims {
     line_activity: Vec<f64>,
 }
 
-fn run_codec(name: &'static str, width: BusWidth, stride: Stride, stream: &[Access]) -> CodecSims {
+fn run_codec(
+    name: &'static str,
+    width: BusWidth,
+    stride: Stride,
+    stream: &[Access],
+) -> Result<CodecSims, LogicError> {
     let (enc, dec) = match name {
-        "binary" => (binary_encoder(width), binary_decoder(width)),
-        "gray" => (gray_encoder(width, stride), gray_decoder(width, stride)),
-        "bus-invert" => (bus_invert_encoder(width), bus_invert_decoder(width)),
-        "t0" => (t0_encoder(width, stride), t0_decoder(width, stride)),
-        "t0-bi" => (t0bi_encoder(width, stride), t0bi_decoder(width, stride)),
+        "binary" => (binary_encoder(width)?, binary_decoder(width)?),
+        "gray" => (gray_encoder(width, stride)?, gray_decoder(width, stride)?),
+        "bus-invert" => (bus_invert_encoder(width)?, bus_invert_decoder(width)?),
+        "t0" => (t0_encoder(width, stride)?, t0_decoder(width, stride)?),
+        "t0-bi" => (t0bi_encoder(width, stride)?, t0bi_decoder(width, stride)?),
         "dual-t0" => (
-            dual_t0_encoder(width, stride),
-            dual_t0_decoder(width, stride),
+            dual_t0_encoder(width, stride)?,
+            dual_t0_decoder(width, stride)?,
         ),
         "dual-t0-bi" => (
-            dual_t0bi_encoder(width, stride),
-            dual_t0bi_decoder(width, stride),
+            dual_t0bi_encoder(width, stride)?,
+            dual_t0bi_decoder(width, stride)?,
         ),
-        other => unreachable!("unknown codec {other}"),
+        name => return Err(LogicError::UnknownCodec { name }),
     };
     let (words, enc_sim) = enc.run(stream);
     let pairs: Vec<(BusState, AccessKind)> = words
@@ -167,14 +172,14 @@ fn run_codec(name: &'static str, width: BusWidth, stride: Stride, stream: &[Acce
         .iter()
         .map(|&net| enc_sim.activity(net))
         .collect();
-    CodecSims {
+    Ok(CodecSims {
         name,
         enc_sim,
         enc_outputs,
         dec_sim,
         dec_outputs: dec.address_out.clone(),
         line_activity,
-    }
+    })
 }
 
 /// The codecs compared by Tables 8 and 9, in table order.
@@ -195,17 +200,26 @@ pub const ALL_CODECS: [&str; 7] = [
 ///
 /// `loads_pf` are per-line on-chip bus capacitances in picofarads; the
 /// paper sweeps fractions of a picofarad up to a few picofarads.
+///
+/// # Errors
+///
+/// Propagates circuit-construction errors from the gate-level builders.
 pub fn onchip_table(
     stream: &[Access],
     loads_pf: &[f64],
     width: BusWidth,
     stride: Stride,
     tech: Technology,
-) -> CodecPowerTable {
+) -> Result<CodecPowerTable, LogicError> {
     onchip_table_for(&TABLE_CODECS, stream, loads_pf, width, stride, tech)
 }
 
 /// [`onchip_table`] over an explicit codec list (any of [`ALL_CODECS`]).
+///
+/// # Errors
+///
+/// Propagates circuit-construction errors, and rejects codec names with
+/// no gate-level implementation.
 pub fn onchip_table_for(
     codecs: &[&'static str],
     stream: &[Access],
@@ -213,11 +227,11 @@ pub fn onchip_table_for(
     width: BusWidth,
     stride: Stride,
     tech: Technology,
-) -> CodecPowerTable {
+) -> Result<CodecPowerTable, LogicError> {
     let sims: Vec<CodecSims> = codecs
         .iter()
         .map(|name| run_codec(name, width, stride, stream))
-        .collect();
+        .collect::<Result<_, _>>()?;
     let rows = loads_pf
         .iter()
         .map(|&load_pf| {
@@ -245,7 +259,7 @@ pub fn onchip_table_for(
             LoadRow { load_pf, entries }
         })
         .collect();
-    CodecPowerTable { rows }
+    Ok(CodecPowerTable { rows })
 }
 
 /// Computes the off-chip codec power sweep (paper Table 9).
@@ -255,6 +269,10 @@ pub fn onchip_table_for(
 /// capacitance; the pads switch `intrinsic + external` at the encoded
 /// line activities; input-pad power at the decoder is neglected, as in
 /// the paper.
+///
+/// # Errors
+///
+/// Propagates circuit-construction errors from the gate-level builders.
 pub fn offchip_table(
     stream: &[Access],
     loads_pf: &[f64],
@@ -262,11 +280,16 @@ pub fn offchip_table(
     stride: Stride,
     tech: Technology,
     pad: PadModel,
-) -> CodecPowerTable {
+) -> Result<CodecPowerTable, LogicError> {
     offchip_table_for(&TABLE_CODECS, stream, loads_pf, width, stride, tech, pad)
 }
 
 /// [`offchip_table`] over an explicit codec list (any of [`ALL_CODECS`]).
+///
+/// # Errors
+///
+/// Propagates circuit-construction errors, and rejects codec names with
+/// no gate-level implementation.
 #[allow(clippy::too_many_arguments)] // a sweep is inherently a config bundle
 pub fn offchip_table_for(
     codecs: &[&'static str],
@@ -276,11 +299,11 @@ pub fn offchip_table_for(
     stride: Stride,
     tech: Technology,
     pad: PadModel,
-) -> CodecPowerTable {
+) -> Result<CodecPowerTable, LogicError> {
     let sims: Vec<CodecSims> = codecs
         .iter()
         .map(|name| run_codec(name, width, stride, stream))
-        .collect();
+        .collect::<Result<_, _>>()?;
     let rows = loads_pf
         .iter()
         .map(|&load_pf| {
@@ -314,7 +337,7 @@ pub fn offchip_table_for(
             LoadRow { load_pf, entries }
         })
         .collect();
-    CodecPowerTable { rows }
+    Ok(CodecPowerTable { rows })
 }
 
 #[cfg(test)]
@@ -336,7 +359,8 @@ mod tests {
             BusWidth::MIPS,
             Stride::WORD,
             Technology::date98(),
-        );
+        )
+        .unwrap();
         let e = &table.rows[0].entries;
         assert!(e[0].encoder_mw < e[1].encoder_mw, "binary < t0");
         assert!(e[1].encoder_mw < e[2].encoder_mw, "t0 < dual t0-bi");
@@ -353,7 +377,8 @@ mod tests {
             BusWidth::MIPS,
             Stride::WORD,
             Technology::date98(),
-        );
+        )
+        .unwrap();
         let e = &table.rows[0].entries;
         let ratio = e[2].decoder_mw / e[1].decoder_mw;
         assert!(ratio > 0.5 && ratio < 2.5, "ratio {ratio}");
@@ -369,7 +394,8 @@ mod tests {
             BusWidth::MIPS,
             Stride::WORD,
             Technology::date98(),
-        );
+        )
+        .unwrap();
         let rel_gap = |row: &LoadRow| {
             let e = &row.entries;
             (e[2].encoder_mw - e[1].encoder_mw) / e[1].encoder_mw
@@ -386,7 +412,8 @@ mod tests {
             Stride::WORD,
             Technology::date98(),
             PadModel::date98(),
-        );
+        )
+        .unwrap();
         for entry in &table.rows[0].entries {
             let pads = entry.pads_mw.unwrap();
             assert!(pads > entry.encoder_mw + entry.decoder_mw, "{entry:?}");
@@ -404,7 +431,8 @@ mod tests {
             Stride::WORD,
             Technology::date98(),
             PadModel::date98(),
-        );
+        )
+        .unwrap();
         let e = &table.rows[0].entries;
         assert!(e[1].global_mw < e[0].global_mw, "t0 beats binary");
         assert!(e[2].global_mw < e[1].global_mw, "dual t0-bi beats t0");
@@ -419,7 +447,8 @@ mod tests {
             Stride::WORD,
             Technology::date98(),
             PadModel::date98(),
-        );
+        )
+        .unwrap();
         // dual T0_BI eventually overtakes binary somewhere in the sweep.
         let cross = table.crossover("binary", "dual-t0-bi");
         assert!(cross.is_some());
@@ -445,7 +474,8 @@ mod tests {
             Stride::WORD,
             Technology::date98(),
             PadModel::date98(),
-        );
+        )
+        .unwrap();
         let exact = table.crossover_exact("binary", "dual-t0-bi").unwrap();
         // The swept crossover is the first grid point past the exact one.
         let swept = table.crossover("binary", "dual-t0-bi").unwrap();
@@ -465,7 +495,8 @@ mod tests {
             Stride::WORD,
             Technology::date98(),
             PadModel::date98(),
-        );
+        )
+        .unwrap();
         assert_eq!(table.crossover_exact("dual-t0-bi", "binary"), None);
     }
 
@@ -478,7 +509,8 @@ mod tests {
             BusWidth::MIPS,
             Stride::WORD,
             Technology::date98(),
-        );
+        )
+        .unwrap();
         assert_eq!(table.rows[0].entries.len(), 7);
         for e in &table.rows[0].entries {
             assert!(e.global_mw > 0.0, "{e:?}");
@@ -505,7 +537,8 @@ mod tests {
             BusWidth::MIPS,
             Stride::WORD,
             Technology::date98(),
-        );
+        )
+        .unwrap();
         assert_eq!(table.series("t0").len(), 2);
         assert!(table.series("nonexistent").is_empty());
     }

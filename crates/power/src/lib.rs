@@ -22,11 +22,13 @@
 //!     Stride::WORD,
 //!     Technology::date98(),
 //!     PadModel::date98(),
-//! );
+//! )?;
 //! assert_eq!(table.rows.len(), 2);
+//! # Ok::<(), buscode_logic::LogicError>(())
 //! ```
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 mod codec_power;
@@ -41,5 +43,6 @@ pub use codec_power::{
 pub use pads::PadModel;
 pub use soc::{evaluate_soc, LevelEstimate, SocConfig, SocReport};
 pub use system::{
-    bus_power, hardened_bus_power, hardening_cost, rank_codes, BusPowerEstimate, HardeningCost,
+    bus_power, degradation_cost, hardened_bus_power, hardening_cost, rank_codes, BusPowerEstimate,
+    DegradationCost, HardeningCost,
 };

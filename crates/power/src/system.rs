@@ -149,6 +149,69 @@ pub fn hardening_cost(
     })
 }
 
+/// What running demoted costs: the power savings of the configured code
+/// that a degraded streaming pipeline forfeits while it drives plain
+/// binary instead.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegradationCost {
+    /// The configured code.
+    pub code: CodeKind,
+    /// Bus power of the configured code, milliwatts.
+    pub code_mw: f64,
+    /// Bus power of plain binary (the demotion target), milliwatts.
+    pub binary_mw: f64,
+    /// Fraction of words spent demoted, in `[0, 1]`.
+    pub degraded_fraction: f64,
+    /// Average milliwatts lost to demotion over the whole run:
+    /// `degraded_fraction * (binary_mw - code_mw)`.
+    pub penalty_mw: f64,
+}
+
+impl DegradationCost {
+    /// The effective average bus power of the mixed run, milliwatts.
+    pub fn effective_mw(&self) -> f64 {
+        self.code_mw + self.penalty_mw
+    }
+}
+
+/// Prices a streaming runtime's graceful degradation: estimates the bus
+/// power of `code` and of plain binary on the same stream, then charges
+/// the difference for the fraction of words the runtime spent demoted
+/// (`buscode-pipeline` reports that fraction as `degraded_words / words`).
+///
+/// The penalty is zero when the code never demoted, and grows linearly to
+/// the code's full savings over binary when it ran demoted throughout.
+///
+/// # Errors
+///
+/// Propagates [`bus_power`] errors; returns
+/// [`CodecError::InvalidParameter`] when `degraded_fraction` is not a
+/// proportion in `[0, 1]`.
+pub fn degradation_cost(
+    code: CodeKind,
+    params: CodeParams,
+    stream: &[Access],
+    degraded_fraction: f64,
+    line_cap_pf: f64,
+    tech: Technology,
+) -> Result<DegradationCost, CodecError> {
+    if !(0.0..=1.0).contains(&degraded_fraction) {
+        return Err(CodecError::InvalidParameter {
+            name: "degraded_fraction",
+            reason: "must be a proportion in [0, 1]",
+        });
+    }
+    let code_est = bus_power(code, params, stream, line_cap_pf, tech)?;
+    let binary_est = bus_power(CodeKind::Binary, params, stream, line_cap_pf, tech)?;
+    Ok(DegradationCost {
+        code,
+        code_mw: code_est.bus_mw,
+        binary_mw: binary_est.bus_mw,
+        degraded_fraction,
+        penalty_mw: degraded_fraction * (binary_est.bus_mw - code_est.bus_mw),
+    })
+}
+
 /// Ranks every paper code by bus power on one stream (ascending).
 ///
 /// # Errors
@@ -227,6 +290,26 @@ mod tests {
         // …and refreshing less often costs less.
         assert!(loose.hardened_mw < tight.hardened_mw);
         assert_eq!(tight.bare_mw, loose.bare_mw);
+    }
+
+    #[test]
+    fn degradation_penalty_scales_with_demoted_fraction() {
+        let stream = InstructionModel::new(0.63).generate(10_000, 3);
+        let params = CodeParams::default();
+        let tech = Technology::date98();
+        let never = degradation_cost(CodeKind::T0, params, &stream, 0.0, 50.0, tech).unwrap();
+        let half = degradation_cost(CodeKind::T0, params, &stream, 0.5, 50.0, tech).unwrap();
+        let always = degradation_cost(CodeKind::T0, params, &stream, 1.0, 50.0, tech).unwrap();
+        assert_eq!(never.penalty_mw, 0.0);
+        // T0 beats binary on sequential streams, so demotion costs power…
+        assert!(half.penalty_mw > 0.0);
+        // …linearly in the time spent demoted.
+        assert!((always.penalty_mw - 2.0 * half.penalty_mw).abs() < 1e-12);
+        assert!((half.effective_mw() - (half.code_mw + half.penalty_mw)).abs() < 1e-12);
+        // Fully demoted, the effective power is binary's.
+        assert!((always.effective_mw() - always.binary_mw).abs() < 1e-9);
+        // Out-of-domain fractions are rejected.
+        assert!(degradation_cost(CodeKind::T0, params, &stream, 1.5, 50.0, tech).is_err());
     }
 
     #[test]

@@ -42,6 +42,24 @@ pub enum ParseTraceError {
         /// The offending token.
         token: String,
     },
+    /// The address does not fit in 64 bits.
+    AddressOverflow {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A line exceeds [`MAX_LINE_BYTES`] — traces are short fixed-shape
+    /// lines, so an enormous one is corruption, not data.
+    LineTooLong {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A line contains a NUL byte, which no text trace produces.
+    EmbeddedNul {
+        /// 1-based line number.
+        line: usize,
+    },
 }
 
 impl core::fmt::Display for ParseTraceError {
@@ -55,6 +73,15 @@ impl core::fmt::Display for ParseTraceError {
             }
             ParseTraceError::BadAddress { line, token } => {
                 write!(f, "line {line}: bad hexadecimal address `{token}`")
+            }
+            ParseTraceError::AddressOverflow { line, token } => {
+                write!(f, "line {line}: address `{token}` exceeds 64 bits")
+            }
+            ParseTraceError::LineTooLong { line } => {
+                write!(f, "line {line}: longer than {MAX_LINE_BYTES} bytes")
+            }
+            ParseTraceError::EmbeddedNul { line } => {
+                write!(f, "line {line}: contains a NUL byte")
             }
         }
     }
@@ -91,22 +118,72 @@ pub fn write_trace<W: Write>(mut writer: W, stream: &[Access]) -> io::Result<()>
     Ok(())
 }
 
+/// The longest line [`read_trace`] accepts. Real trace lines are under
+/// 32 bytes; the cap bounds memory on adversarial input (a gigabyte of
+/// bytes with no newline never reaches a `String`).
+pub const MAX_LINE_BYTES: usize = 4096;
+
+/// How much offending text an error echoes back, to keep error values
+/// small even when the input line was huge.
+const SNIPPET_BYTES: usize = 64;
+
+fn snippet(text: &str) -> String {
+    if text.len() <= SNIPPET_BYTES {
+        return text.to_owned();
+    }
+    let mut end = SNIPPET_BYTES;
+    while !text.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &text[..end])
+}
+
 /// Reads a stream from the text trace format.
 ///
 /// A mutable reference to a reader can be passed wherever `R: BufRead` is
 /// expected.
 ///
+/// Hardened against adversarial input: lines are read with a
+/// [`MAX_LINE_BYTES`] cap (no unbounded allocation), NUL bytes and
+/// non-UTF-8 bytes are rejected, addresses that overflow 64 bits report
+/// [`ParseTraceError::AddressOverflow`], and error values echo at most a
+/// short snippet of the offending text. A final line without a newline
+/// (a truncated file) still parses if it is otherwise well formed.
+///
 /// # Errors
 ///
 /// Returns a [`ParseTraceError`] locating the first malformed line;
 /// I/O errors surface as a `MalformedLine` at the failing position.
-pub fn read_trace<R: BufRead>(reader: R) -> Result<Vec<Access>, ParseTraceError> {
+pub fn read_trace<R: BufRead>(mut reader: R) -> Result<Vec<Access>, ParseTraceError> {
     let mut out = Vec::new();
-    for (index, line) in reader.lines().enumerate() {
-        let number = index + 1;
-        let line = line.map_err(|e| ParseTraceError::MalformedLine {
+    let mut buf: Vec<u8> = Vec::with_capacity(128);
+    let mut number = 0usize;
+    loop {
+        number += 1;
+        buf.clear();
+        let read = std::io::Read::take(&mut reader, MAX_LINE_BYTES as u64 + 1)
+            .read_until(b'\n', &mut buf)
+            .map_err(|e| ParseTraceError::MalformedLine {
+                line: number,
+                text: format!("<io error: {e}>"),
+            })?;
+        if read == 0 {
+            break;
+        }
+        if buf.last() == Some(&b'\n') {
+            buf.pop();
+        } else if buf.len() > MAX_LINE_BYTES {
+            return Err(ParseTraceError::LineTooLong { line: number });
+        }
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+        if buf.contains(&0) {
+            return Err(ParseTraceError::EmbeddedNul { line: number });
+        }
+        let line = core::str::from_utf8(&buf).map_err(|_| ParseTraceError::MalformedLine {
             line: number,
-            text: format!("<io error: {e}>"),
+            text: "<non-utf-8 bytes>".to_owned(),
         })?;
         let body = line.split('#').next().unwrap_or("").trim();
         if body.is_empty() {
@@ -116,13 +193,21 @@ pub fn read_trace<R: BufRead>(reader: R) -> Result<Vec<Access>, ParseTraceError>
         let (Some(tag), Some(addr), None) = (parts.next(), parts.next(), parts.next()) else {
             return Err(ParseTraceError::MalformedLine {
                 line: number,
-                text: body.to_owned(),
+                text: snippet(body),
             });
         };
-        let address = u64::from_str_radix(addr.trim_start_matches("0x"), 16).map_err(|_| {
-            ParseTraceError::BadAddress {
-                line: number,
-                token: addr.to_owned(),
+        let digits = addr.trim_start_matches("0x");
+        let address = u64::from_str_radix(digits, 16).map_err(|e| {
+            if *e.kind() == core::num::IntErrorKind::PosOverflow {
+                ParseTraceError::AddressOverflow {
+                    line: number,
+                    token: snippet(addr),
+                }
+            } else {
+                ParseTraceError::BadAddress {
+                    line: number,
+                    token: snippet(addr),
+                }
             }
         })?;
         let access = match tag {
@@ -131,7 +216,7 @@ pub fn read_trace<R: BufRead>(reader: R) -> Result<Vec<Access>, ParseTraceError>
             other => {
                 return Err(ParseTraceError::UnknownKind {
                     line: number,
-                    kind: other.to_owned(),
+                    kind: snippet(other),
                 })
             }
         };
@@ -210,5 +295,111 @@ mod tests {
     #[test]
     fn empty_input_is_empty_stream() {
         assert_eq!(read_trace("".as_bytes()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn truncated_final_line_still_parses() {
+        let stream = read_trace("i 400000\nd 10008000".as_bytes()).unwrap();
+        assert_eq!(stream.len(), 2);
+    }
+
+    #[test]
+    fn overflowing_address_reported_as_overflow() {
+        let err = read_trace("i 1ffffffffffffffff\n".as_bytes()).unwrap_err();
+        assert!(matches!(
+            err,
+            ParseTraceError::AddressOverflow { line: 1, .. }
+        ));
+        // 16 f digits is exactly u64::MAX — not an overflow.
+        let stream = read_trace("i ffffffffffffffff\n".as_bytes()).unwrap();
+        assert_eq!(stream[0].address, u64::MAX);
+    }
+
+    #[test]
+    fn giant_line_is_rejected_without_unbounded_allocation() {
+        let adversarial = vec![b'a'; 64 * 1024 * 1024];
+        let err = read_trace(adversarial.as_slice()).unwrap_err();
+        assert_eq!(err, ParseTraceError::LineTooLong { line: 1 });
+    }
+
+    #[test]
+    fn newline_at_the_cap_boundary_is_not_too_long() {
+        let mut line = vec![b'#'; MAX_LINE_BYTES];
+        line.push(b'\n');
+        line.extend_from_slice(b"i 400000\n");
+        let stream = read_trace(line.as_slice()).unwrap();
+        assert_eq!(stream.len(), 1);
+    }
+
+    #[test]
+    fn embedded_nul_rejected() {
+        let err = read_trace(b"i 40\x000000\n".as_slice()).unwrap_err();
+        assert_eq!(err, ParseTraceError::EmbeddedNul { line: 1 });
+    }
+
+    #[test]
+    fn non_utf8_bytes_rejected_not_panicking() {
+        let err = read_trace(b"i \xff\xfe 400000\n".as_slice()).unwrap_err();
+        assert!(matches!(
+            err,
+            ParseTraceError::MalformedLine { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn error_snippets_are_bounded() {
+        let mut text = String::from("i ");
+        text.push_str(&"9".repeat(1_000));
+        text.push('\n');
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        let ParseTraceError::AddressOverflow { token, .. } = &err else {
+            panic!("expected overflow, got {err:?}");
+        };
+        assert!(token.len() < 80, "token {} bytes", token.len());
+    }
+
+    #[test]
+    fn seeded_malformed_corpus_never_panics() {
+        use buscode_core::rng::Rng64;
+        // Start from a valid trace, splice in random byte corruption, and
+        // require read_trace to return (Ok or Err) without panicking or
+        // allocating the input size.
+        let clean: Vec<u8> = {
+            let stream = MuxedModel::with_targets(0.6, 0.1, 0.5).generate(200, 7);
+            let mut bytes = Vec::new();
+            write_trace(&mut bytes, &stream).unwrap();
+            bytes
+        };
+        let mut rng = Rng64::seed_from_u64(0xc0_2b_05);
+        for _ in 0..500 {
+            let mut case = clean.clone();
+            for _ in 0..=rng.gen_range(0..8) {
+                match rng.gen_range(0..4) {
+                    // Flip one byte to an arbitrary value (NULs included).
+                    0 => {
+                        let at = rng.gen_range(0..case.len() as u64) as usize;
+                        case[at] = (rng.gen::<u64>() & 0xff) as u8;
+                    }
+                    // Truncate mid-line.
+                    1 => {
+                        let at = rng.gen_range(1..=case.len() as u64) as usize;
+                        case.truncate(at);
+                    }
+                    // Delete a newline, fusing two lines.
+                    2 => {
+                        if let Some(at) = case.iter().position(|&b| b == b'\n') {
+                            case.remove(at);
+                        }
+                    }
+                    // Splice in a run of digits (overflow bait).
+                    _ => {
+                        let at = rng.gen_range(0..=case.len() as u64) as usize;
+                        let run = rng.gen_range(1..64u64) as usize;
+                        case.splice(at..at, core::iter::repeat_n(b'f', run));
+                    }
+                }
+            }
+            let _ = read_trace(case.as_slice());
+        }
     }
 }

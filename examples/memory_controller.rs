@@ -29,7 +29,8 @@ fn main() {
         Stride::WORD,
         Technology::date98(),
         PadModel::date98(),
-    );
+    )
+    .expect("table builds for the paper configuration");
 
     println!("Off-chip bus: global power (mW) per codec, 100 MHz, 3.3 V\n");
     println!(

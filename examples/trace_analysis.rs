@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nwinner: {winner} ({savings:.2}%)");
 
     // 5. Dump the T0 encoder's waveforms over the first cycles.
-    let circuit = t0_encoder(BusWidth::MIPS, stride);
+    let circuit = t0_encoder(BusWidth::MIPS, stride)?;
     let mut recorder = VcdRecorder::new();
     recorder.watch_word("address", &circuit.address_in);
     recorder.watch_word("bus", &circuit.bus_out);

@@ -25,7 +25,11 @@
 //! - [`buscode_fault`] (`fault`) — fault models, seeded Monte Carlo
 //!   fault-injection campaigns (the `faultrun` tool), and gate-level
 //!   stuck-at/SEU injection, measuring the resilience side of the
-//!   power-vs-reliability trade-off of the `Hardened` codec wrapper.
+//!   power-vs-reliability trade-off of the `Hardened` codec wrapper;
+//! - [`buscode_pipeline`] (`pipeline`) — the supervised streaming runtime
+//!   (the `pipeline` tool): bounded-memory chunked codec driving with
+//!   recovery policies, graceful degradation to binary, watchdog
+//!   deadlines, and checkpoint/restore.
 //!
 //! ## Quick start
 //!
@@ -48,6 +52,7 @@
 //! harness that regenerates every table of the paper.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub use buscode_core as core;
@@ -55,6 +60,7 @@ pub use buscode_cpu as cpu;
 pub use buscode_fault as fault;
 pub use buscode_lint as lint;
 pub use buscode_logic as logic;
+pub use buscode_pipeline as pipeline;
 pub use buscode_power as power;
 pub use buscode_trace as trace;
 

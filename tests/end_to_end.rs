@@ -52,8 +52,8 @@ fn t0_beats_binary_on_every_kernel_instruction_bus() {
 fn gate_level_dual_t0bi_matches_behavioural_on_cpu_trace() {
     let trace = all_kernels()[0].trace().expect("kernel runs");
     let stream = trace.muxed();
-    let enc = dual_t0bi_encoder(BusWidth::MIPS, Stride::WORD);
-    let dec = dual_t0bi_decoder(BusWidth::MIPS, Stride::WORD);
+    let enc = dual_t0bi_encoder(BusWidth::MIPS, Stride::WORD).unwrap();
+    let dec = dual_t0bi_decoder(BusWidth::MIPS, Stride::WORD).unwrap();
 
     let (words, _) = enc.run(stream);
     let mut behavioural = CodeKind::DualT0Bi
@@ -80,7 +80,7 @@ fn gate_level_power_decreases_when_activity_decreases() {
     // dynamic power must drop well below the same circuit on random
     // addresses — the physical mechanism behind the whole paper.
     use buscode::core::Access;
-    let circuit = t0_encoder(BusWidth::MIPS, Stride::WORD);
+    let circuit = t0_encoder(BusWidth::MIPS, Stride::WORD).unwrap();
     let tech = Technology::date98();
 
     let sequential: Vec<Access> = (0..2_000u64).map(|i| Access::instruction(4 * i)).collect();

@@ -106,7 +106,7 @@ fn claim_dual_t0bi_is_the_headline_winner_on_the_muxed_bus() {
 fn claim_codec_cost_ordering_on_chip() {
     // Table 8: the dual T0_BI encoder is substantially more expensive
     // than the T0 encoder at small on-chip loads; decoders comparable.
-    let t8 = tables::table8(3_000);
+    let t8 = tables::table8(3_000).unwrap();
     let small = &t8.rows[0];
     let by = |n: &str| small.entries.iter().find(|e| e.codec == n).unwrap();
     assert!(by("dual-t0-bi").encoder_mw > 2.0 * by("t0").encoder_mw);
@@ -118,7 +118,7 @@ fn claim_codec_cost_ordering_on_chip() {
 fn claim_offchip_recommendation_depends_on_load() {
     // Table 9: the net winner changes along the load sweep, with the
     // encoded codecs recommended for large external loads.
-    let t9 = tables::table9(3_000);
+    let t9 = tables::table9(3_000).unwrap();
     let last = t9.rows.last().unwrap();
     let by = |n: &str| last.entries.iter().find(|e| e.codec == n).unwrap();
     assert!(by("t0").global_mw < by("binary").global_mw);

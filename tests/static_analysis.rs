@@ -126,7 +126,7 @@ fn every_hardened_code_holds_at_width_8() {
 
 #[test]
 fn no_codec_netlist_has_structural_errors() {
-    for entry in codec_netlists(8) {
+    for entry in codec_netlists(8).unwrap() {
         let report = lint_netlist(&entry.label, &entry.netlist);
         assert!(
             report.is_clean(),

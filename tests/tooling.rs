@@ -36,7 +36,7 @@ fn lazy_adapters_compose_with_every_factory_code() {
 
 #[test]
 fn optimize_then_tech_map_preserves_codec_behaviour() {
-    let circuit = dual_t0bi_encoder(BusWidth::MIPS, Stride::WORD);
+    let circuit = dual_t0bi_encoder(BusWidth::MIPS, Stride::WORD).unwrap();
     let accesses = stream(400);
 
     let (optimized, opt_map) = optimize(&circuit.netlist);
@@ -74,14 +74,14 @@ fn optimize_then_tech_map_preserves_codec_behaviour() {
 
 #[test]
 fn nand2_area_shrinks_after_optimization() {
-    let circuit = dual_t0bi_encoder(BusWidth::MIPS, Stride::WORD);
+    let circuit = dual_t0bi_encoder(BusWidth::MIPS, Stride::WORD).unwrap();
     let (optimized, _) = optimize(&circuit.netlist);
     assert!(nand2_area(&optimized) <= nand2_area(&circuit.netlist));
 }
 
 #[test]
 fn vcd_of_a_real_codec_run_is_consistent() {
-    let circuit = dual_t0bi_encoder(BusWidth::MIPS, Stride::WORD);
+    let circuit = dual_t0bi_encoder(BusWidth::MIPS, Stride::WORD).unwrap();
     let mut recorder = VcdRecorder::new();
     recorder.watch_word("bus", &circuit.bus_out);
     recorder.watch("incv", circuit.aux_out[0]);
