@@ -3,12 +3,22 @@
 //! Usage:
 //!
 //! ```text
-//! paper_tables [--table N] [--len L] [--ablations]
+//! paper_tables [--table N] [--len L] [--ablations] [--csv DIR]
+//!              [--format text|json] [--seed S] [--jobs N] [--quiet]
 //! ```
 //!
 //! Without arguments, all nine paper tables plus the hardening
 //! power-vs-reliability table (`--table 10`) are printed at full
-//! benchmark lengths (use `--len` to cap stream lengths for a quick run).
+//! benchmark lengths (use `--len` to cap stream lengths for a quick
+//! run). `--jobs N` shards the transition tables' benchmark rows across
+//! worker threads; the output is byte-identical to a serial run. The
+//! common `--seed` flag is accepted for interface uniformity but unused:
+//! every stream here is fixed by the paper's benchmark profiles.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
 
 use buscode_bench::render::{
     csv_hardening_table, csv_power_table, csv_transition_table, render_hardening_table,
@@ -16,6 +26,14 @@ use buscode_bench::render::{
 };
 use buscode_bench::tables;
 use buscode_core::{BusWidth, Stride};
+use buscode_engine::cli::{self, json_escape, CommonArgs, Outcome, ToolRun, COMMON_USAGE};
+use buscode_engine::SweepEngine;
+
+const TOOL: &str = "paper_tables";
+
+fn usage() -> String {
+    format!("usage: paper_tables [--table N] [--len L] [--ablations] [--csv DIR] {COMMON_USAGE}")
+}
 
 struct Options {
     table: Option<u32>,
@@ -24,34 +42,28 @@ struct Options {
     csv_dir: Option<std::path::PathBuf>,
 }
 
-fn parse_args() -> Result<Options, String> {
+fn parse_tool_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         table: None,
         len: usize::MAX,
         ablations: false,
         csv_dir: None,
     };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
         match arg.as_str() {
             "--table" => {
-                let v = args.next().ok_or("--table needs a number")?;
+                let v = it.next().ok_or("--table needs a number")?;
                 opts.table = Some(v.parse().map_err(|_| format!("bad table number {v}"))?);
             }
             "--len" => {
-                let v = args.next().ok_or("--len needs a number")?;
+                let v = it.next().ok_or("--len needs a number")?;
                 opts.len = v.parse().map_err(|_| format!("bad length {v}"))?;
             }
             "--ablations" => opts.ablations = true,
             "--csv" => {
-                let dir = args.next().ok_or("--csv needs a directory")?;
+                let dir = it.next().ok_or("--csv needs a directory")?;
                 opts.csv_dir = Some(std::path::PathBuf::from(dir));
-            }
-            "--help" | "-h" => {
-                return Err(
-                    "usage: paper_tables [--table N] [--len L] [--ablations] [--csv DIR]"
-                        .to_owned(),
-                )
             }
             other => return Err(format!("unknown argument {other}")),
         }
@@ -59,24 +71,23 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
-fn main() {
-    let opts = match parse_args() {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
+/// One rendered table: an identifier for the JSON envelope plus the text
+/// block the serial binary has always printed.
+struct Section {
+    id: String,
+    text: String,
+}
+
+fn build_sections(opts: &Options, engine: &SweepEngine) -> Result<Vec<Section>, String> {
     let want = |n: u32| opts.table.is_none() || opts.table == Some(n);
-    let write_csv = |name: &str, contents: String| {
+    let mut sections = Vec::new();
+    let write_csv = |name: &str, contents: String| -> Result<(), String> {
         if let Some(dir) = &opts.csv_dir {
-            if let Err(e) =
-                std::fs::create_dir_all(dir).and_then(|()| std::fs::write(dir.join(name), contents))
-            {
-                eprintln!("cannot write {name}: {e}");
-                std::process::exit(1);
-            }
+            std::fs::create_dir_all(dir)
+                .and_then(|()| std::fs::write(dir.join(name), contents))
+                .map_err(|e| format!("cannot write {name}: {e}"))?;
         }
+        Ok(())
     };
     // Power tables simulate gate-level circuits; cap their stream length
     // to keep the run minutes-scale even at "full" settings.
@@ -84,168 +95,218 @@ fn main() {
     let t1_cycles = opts.len.min(200_000);
 
     if want(1) {
-        let report = tables::table1(BusWidth::MIPS, Stride::WORD, t1_cycles);
-        println!("{}", render_table1(&report));
+        let report = tables::table1_with(engine, BusWidth::MIPS, Stride::WORD, t1_cycles);
+        sections.push(Section {
+            id: "1".to_string(),
+            text: format!("{}\n", render_table1(&report)),
+        });
     }
-    if want(2) {
-        let table = tables::table2(opts.len);
-        println!(
-            "{}",
-            render_transition_table(
-                "Table 2: Existing Encoding Schemes, Instruction Address Streams",
-                &table
-            )
-        );
-        write_csv("table2.csv", csv_transition_table(&table));
-    }
-    if want(3) {
-        let table = tables::table3(opts.len);
-        println!(
-            "{}",
-            render_transition_table(
-                "Table 3: Existing Encoding Schemes, Data Address Streams",
-                &table
-            )
-        );
-        write_csv("table3.csv", csv_transition_table(&table));
-    }
-    if want(4) {
-        let table = tables::table4(opts.len);
-        println!(
-            "{}",
-            render_transition_table(
-                "Table 4: Existing Encoding Schemes, Multiplexed Address Streams",
-                &table
-            )
-        );
-        write_csv("table4.csv", csv_transition_table(&table));
-    }
-    if want(5) {
-        let table = tables::table5(opts.len);
-        println!(
-            "{}",
-            render_transition_table(
-                "Table 5: Mixed Encoding Schemes, Instruction Address Streams",
-                &table
-            )
-        );
-        write_csv("table5.csv", csv_transition_table(&table));
-    }
-    if want(6) {
-        let table = tables::table6(opts.len);
-        println!(
-            "{}",
-            render_transition_table(
-                "Table 6: Mixed Encoding Schemes, Data Address Streams",
-                &table
-            )
-        );
-        write_csv("table6.csv", csv_transition_table(&table));
-    }
-    if want(7) {
-        let table = tables::table7(opts.len);
-        println!(
-            "{}",
-            render_transition_table(
-                "Table 7: Mixed Encoding Schemes, Multiplexed Address Streams",
-                &table
-            )
-        );
-        write_csv("table7.csv", csv_transition_table(&table));
+    type TableFn = fn(&SweepEngine, usize) -> tables::TransitionTable;
+    let transition_tables: [(u32, TableFn, &str); 6] = [
+        (
+            2,
+            tables::table2_with,
+            "Table 2: Existing Encoding Schemes, Instruction Address Streams",
+        ),
+        (
+            3,
+            tables::table3_with,
+            "Table 3: Existing Encoding Schemes, Data Address Streams",
+        ),
+        (
+            4,
+            tables::table4_with,
+            "Table 4: Existing Encoding Schemes, Multiplexed Address Streams",
+        ),
+        (
+            5,
+            tables::table5_with,
+            "Table 5: Mixed Encoding Schemes, Instruction Address Streams",
+        ),
+        (
+            6,
+            tables::table6_with,
+            "Table 6: Mixed Encoding Schemes, Data Address Streams",
+        ),
+        (
+            7,
+            tables::table7_with,
+            "Table 7: Mixed Encoding Schemes, Multiplexed Address Streams",
+        ),
+    ];
+    for (n, build, title) in transition_tables {
+        if want(n) {
+            let table = build(engine, opts.len);
+            sections.push(Section {
+                id: n.to_string(),
+                text: format!("{}\n", render_transition_table(title, &table)),
+            });
+            write_csv(&format!("table{n}.csv"), csv_transition_table(&table))?;
+        }
     }
     if want(8) {
-        let table = tables::table8(power_len).expect("table 8 builds");
-        println!(
-            "{}",
-            render_power_table(
-                "Table 8: Enc/Dec Power Consumption for On-Chip Loads",
-                &table,
-                false
-            )
-        );
-        write_csv("table8.csv", csv_power_table(&table));
+        let table = tables::table8(power_len).map_err(|e| format!("table 8 failed: {e}"))?;
+        sections.push(Section {
+            id: "8".to_string(),
+            text: format!(
+                "{}\n",
+                render_power_table(
+                    "Table 8: Enc/Dec Power Consumption for On-Chip Loads",
+                    &table,
+                    false
+                )
+            ),
+        });
+        write_csv("table8.csv", csv_power_table(&table))?;
     }
     if want(9) {
-        let table = tables::table9(power_len).expect("table 9 builds");
-        println!(
-            "{}",
-            render_power_table(
-                "Table 9: Enc/Dec Power Consumption for Off-Chip Loads",
-                &table,
-                true
-            )
-        );
-        write_csv("table9.csv", csv_power_table(&table));
+        let table = tables::table9(power_len).map_err(|e| format!("table 9 failed: {e}"))?;
+        sections.push(Section {
+            id: "9".to_string(),
+            text: format!(
+                "{}\n",
+                render_power_table(
+                    "Table 9: Enc/Dec Power Consumption for Off-Chip Loads",
+                    &table,
+                    true
+                )
+            ),
+        });
+        write_csv("table9.csv", csv_power_table(&table))?;
     }
     if want(10) {
-        let rows = tables::hardening_table(power_len).expect("hardening table builds");
-        println!(
-            "{}",
-            render_hardening_table(
-                "Hardening Cost: Bus Power of Stateful Codes Bare vs Hardened (50 pF)",
-                &rows
-            )
-        );
-        write_csv("hardening.csv", csv_hardening_table(&rows));
+        let rows = tables::hardening_table(power_len)
+            .map_err(|e| format!("hardening table failed: {e}"))?;
+        sections.push(Section {
+            id: "10".to_string(),
+            text: format!(
+                "{}\n",
+                render_hardening_table(
+                    "Hardening Cost: Bus Power of Stateful Codes Bare vs Hardened (50 pF)",
+                    &rows
+                )
+            ),
+        });
+        write_csv("hardening.csv", csv_hardening_table(&rows))?;
     }
     if opts.ablations {
-        println!("Codec synthesis report (32-bit encoders)");
-        println!(
-            "{:>12} {:>7} {:>6} {:>7} {:>10} {:>10}",
-            "codec", "gates", "dffs", "depth", "optimized", "nand2"
-        );
-        for row in tables::codec_synthesis_report().expect("synthesis report builds") {
-            println!(
-                "{:>12} {:>7} {:>6} {:>7} {:>10} {:>10}",
-                row.codec, row.gates, row.dffs, row.depth, row.optimized_gates, row.nand2_area
-            );
-        }
-        println!();
-        println!("Decoder synthesis report (32-bit decoders)");
-        println!(
-            "{:>12} {:>7} {:>6} {:>7} {:>10} {:>10}",
-            "codec", "gates", "dffs", "depth", "optimized", "nand2"
-        );
-        for row in tables::decoder_synthesis_report().expect("synthesis report builds") {
-            println!(
-                "{:>12} {:>7} {:>6} {:>7} {:>10} {:>10}",
-                row.codec, row.gates, row.dffs, row.depth, row.optimized_gates, row.nand2_area
-            );
-        }
-        println!();
-        println!("Ablation: T0 savings vs configured stride (machine stride = 4)");
-        for (stride, savings) in tables::ablation_stride(opts.len.min(100_000)) {
-            println!("  stride {stride}: {savings:.2}%");
-        }
-        println!("\nAblation: analytical transitions/clock vs bus width (random stream)");
-        for (bits, binary, bus_invert) in tables::ablation_width() {
-            println!("  N={bits}: binary {binary:.3}, bus-invert {bus_invert:.3}");
-        }
-        println!("\nAblation: partitioned bus-invert on data streams");
-        for (partitions, savings) in tables::ablation_partitioned_bus_invert(opts.len.min(50_000)) {
-            println!("  {partitions} partition(s): {savings:.2}% savings vs binary");
-        }
-        println!("\nDesign-space sweep: savings vs in-sequence fraction (data-style streams)");
-        let sweep = tables::sequentiality_sweep(opts.len.min(60_000));
-        print!("{:>8}", "in-seq");
-        for (code, _) in &sweep[0].savings {
-            print!(" {code:>11}");
-        }
-        println!();
-        for point in &sweep {
-            print!("{:>7.0}%", 100.0 * point.in_seq);
-            for (_, savings) in &point.savings {
-                print!(" {savings:>10.2}%");
-            }
-            println!();
-        }
-        println!("\nAblation: extension codes, average savings vs binary");
-        for (kind, table) in tables::ablation_extensions(opts.len.min(50_000)) {
-            print!("  {kind}:");
-            for (code, savings) in table.codes.iter().zip(&table.avg_savings_percent) {
-                print!(" {}={savings:.2}%", code.name());
-            }
-            println!();
-        }
+        sections.push(Section {
+            id: "ablations".to_string(),
+            text: build_ablations(opts.len)?,
+        });
     }
+    Ok(sections)
+}
+
+fn build_ablations(len: usize) -> Result<String, String> {
+    let mut out = String::new();
+    let fail = |e: buscode_logic::LogicError| format!("synthesis report failed: {e}");
+    out.push_str("Codec synthesis report (32-bit encoders)\n");
+    let _ = writeln!(
+        out,
+        "{:>12} {:>7} {:>6} {:>7} {:>10} {:>10}",
+        "codec", "gates", "dffs", "depth", "optimized", "nand2"
+    );
+    for row in tables::codec_synthesis_report().map_err(fail)? {
+        let _ = writeln!(
+            out,
+            "{:>12} {:>7} {:>6} {:>7} {:>10} {:>10}",
+            row.codec, row.gates, row.dffs, row.depth, row.optimized_gates, row.nand2_area
+        );
+    }
+    out.push_str("\nDecoder synthesis report (32-bit decoders)\n");
+    let _ = writeln!(
+        out,
+        "{:>12} {:>7} {:>6} {:>7} {:>10} {:>10}",
+        "codec", "gates", "dffs", "depth", "optimized", "nand2"
+    );
+    for row in tables::decoder_synthesis_report().map_err(fail)? {
+        let _ = writeln!(
+            out,
+            "{:>12} {:>7} {:>6} {:>7} {:>10} {:>10}",
+            row.codec, row.gates, row.dffs, row.depth, row.optimized_gates, row.nand2_area
+        );
+    }
+    out.push_str("\nAblation: T0 savings vs configured stride (machine stride = 4)\n");
+    for (stride, savings) in tables::ablation_stride(len.min(100_000)) {
+        let _ = writeln!(out, "  stride {stride}: {savings:.2}%");
+    }
+    out.push_str("\nAblation: analytical transitions/clock vs bus width (random stream)\n");
+    for (bits, binary, bus_invert) in tables::ablation_width() {
+        let _ = writeln!(
+            out,
+            "  N={bits}: binary {binary:.3}, bus-invert {bus_invert:.3}"
+        );
+    }
+    out.push_str("\nAblation: partitioned bus-invert on data streams\n");
+    for (partitions, savings) in tables::ablation_partitioned_bus_invert(len.min(50_000)) {
+        let _ = writeln!(
+            out,
+            "  {partitions} partition(s): {savings:.2}% savings vs binary"
+        );
+    }
+    out.push_str("\nDesign-space sweep: savings vs in-sequence fraction (data-style streams)\n");
+    let sweep = tables::sequentiality_sweep(len.min(60_000));
+    let _ = write!(out, "{:>8}", "in-seq");
+    for (code, _) in &sweep[0].savings {
+        let _ = write!(out, " {code:>11}");
+    }
+    out.push('\n');
+    for point in &sweep {
+        let _ = write!(out, "{:>7.0}%", 100.0 * point.in_seq);
+        for (_, savings) in &point.savings {
+            let _ = write!(out, " {savings:>10.2}%");
+        }
+        out.push('\n');
+    }
+    out.push_str("\nAblation: extension codes, average savings vs binary\n");
+    for (kind, table) in tables::ablation_extensions(len.min(50_000)) {
+        let _ = write!(out, "  {kind}:");
+        for (code, savings) in table.codes.iter().zip(&table.avg_savings_percent) {
+            let _ = write!(out, " {}={savings:.2}%", code.name());
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let common = match CommonArgs::extract(&mut args) {
+        Ok(common) => common,
+        Err(msg) => return cli::usage_error(TOOL, &usage(), &msg),
+    };
+    if common.help {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_tool_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => return cli::usage_error(TOOL, &usage(), &msg),
+    };
+    let run = ToolRun::new(TOOL, env!("CARGO_PKG_VERSION"), common);
+    let engine = common.engine();
+
+    let sections = match build_sections(&opts, &engine) {
+        Ok(sections) => sections,
+        Err(msg) => return run.finish(&Outcome::error(msg)),
+    };
+
+    let text: String = sections.iter().map(|s| s.text.as_str()).collect();
+    let entries: Vec<String> = sections
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"table\":\"{}\",\"render\":\"{}\"}}",
+                json_escape(&s.id),
+                json_escape(&s.text)
+            )
+        })
+        .collect();
+    let data = format!(
+        "{{\"jobs\":{},\"tables\":[{}]}}",
+        engine.jobs(),
+        entries.join(",")
+    );
+    run.finish(&Outcome::success(text, data))
 }

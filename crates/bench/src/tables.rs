@@ -4,6 +4,7 @@ use buscode_core::analysis::{self, StreamClass, Table1Row};
 use buscode_core::metrics::{binary_reference, count_transitions};
 use buscode_core::CodecError;
 use buscode_core::{Access, BusWidth, CodeKind, CodeParams, Stride};
+use buscode_engine::SweepEngine;
 use buscode_logic::{LogicError, Technology};
 use buscode_power::{
     hardening_cost, offchip_table, onchip_table, CodecPowerTable, HardeningCost, PadModel,
@@ -25,6 +26,19 @@ pub struct Table1Report {
 /// bus-invert on out-of-sequence and in-sequence unlimited streams, plus
 /// a Monte-Carlo verification with `cycles` simulated cycles per cell.
 pub fn table1(width: BusWidth, stride: Stride, cycles: usize) -> Table1Report {
+    table1_with(&SweepEngine::serial(), width, stride, cycles)
+}
+
+/// [`table1`] with its Monte-Carlo cells sharded through `engine`.
+///
+/// Cell order — and therefore the report — is identical for any worker
+/// count.
+pub fn table1_with(
+    engine: &SweepEngine,
+    width: BusWidth,
+    stride: Stride,
+    cycles: usize,
+) -> Table1Report {
     use buscode_core::rng::Rng64;
     let analytical = analysis::table1(width, stride);
 
@@ -43,17 +57,20 @@ pub fn table1(width: BusWidth, stride: Stride, cycles: usize) -> Table1Report {
         ("t0", CodeKind::T0),
         ("bus-invert", CodeKind::BusInvert),
     ];
-    let mut measured = Vec::new();
+    let mut cells = Vec::new();
     for (stream_class, stream) in [
         (StreamClass::OutOfSequence, &random),
         (StreamClass::InSequence, &sequential),
     ] {
         for (name, kind) in kinds {
-            let mut enc = kind.encoder(params).expect("valid params");
-            let stats = count_transitions(enc.as_mut(), stream.iter().copied());
-            measured.push((stream_class, name, stats.per_cycle()));
+            cells.push((stream_class, name, kind, stream));
         }
     }
+    let measured = engine.run(cells, |(stream_class, name, kind, stream)| {
+        let mut enc = kind.encoder(params).expect("valid params");
+        let stats = count_transitions(enc.as_mut(), stream.iter().copied());
+        (stream_class, name, stats.per_cycle())
+    });
     Table1Report {
         analytical,
         measured,
@@ -105,9 +122,24 @@ impl TransitionTable {
 /// `length` caps each benchmark's stream (pass `usize::MAX` for the full
 /// profile lengths used by the paper-scale runs).
 pub fn transition_table(codes: &[CodeKind], stream: StreamKind, length: usize) -> TransitionTable {
+    transition_table_with(&SweepEngine::serial(), codes, stream, length)
+}
+
+/// [`transition_table`] with its benchmark rows sharded through `engine`.
+///
+/// Each of the nine rows is an independent job; results come back in
+/// paper order regardless of worker count, so the rendered table is
+/// byte-identical between `--jobs 1` and `--jobs N`.
+pub fn transition_table_with(
+    engine: &SweepEngine,
+    codes: &[CodeKind],
+    stream: StreamKind,
+    length: usize,
+) -> TransitionTable {
     let params = CodeParams::default();
-    let mut rows = Vec::new();
-    for profile in paper_benchmarks() {
+    let profiles: Vec<&'static buscode_trace::BenchmarkProfile> =
+        paper_benchmarks().iter().collect();
+    let rows = engine.run(profiles, |profile| {
         let len = profile.length.min(length);
         let accesses = profile.stream_with_len(stream, len);
         let stats = StreamStats::measure(&accesses, params.stride);
@@ -127,14 +159,14 @@ pub fn transition_table(codes: &[CodeKind], stream: StreamKind, length: usize) -
             let coded = count_transitions(enc.as_mut(), accesses.iter().copied());
             code_cells.push((kind.name(), coded.total(), coded.savings_vs(&reference)));
         }
-        rows.push(BenchmarkRow {
+        BenchmarkRow {
             name: profile.name,
             length: len as u64,
             in_seq_percent: stats.in_seq_percent(),
             binary_transitions: reference.total(),
             codes: code_cells,
-        });
-    }
+        }
+    });
     let n = rows.len() as f64;
     let avg_in_seq_percent = rows.iter().map(|r| r.in_seq_percent).sum::<f64>() / n;
     let avg_savings_percent = (0..codes.len())
@@ -180,6 +212,36 @@ pub fn table6(length: usize) -> TransitionTable {
 /// Table 7: mixed schemes on multiplexed address streams.
 pub fn table7(length: usize) -> TransitionTable {
     transition_table(&MIXED_CODES, StreamKind::Muxed, length)
+}
+
+/// [`table2`] sharded through `engine`.
+pub fn table2_with(engine: &SweepEngine, length: usize) -> TransitionTable {
+    transition_table_with(engine, &EXISTING_CODES, StreamKind::Instruction, length)
+}
+
+/// [`table3`] sharded through `engine`.
+pub fn table3_with(engine: &SweepEngine, length: usize) -> TransitionTable {
+    transition_table_with(engine, &EXISTING_CODES, StreamKind::Data, length)
+}
+
+/// [`table4`] sharded through `engine`.
+pub fn table4_with(engine: &SweepEngine, length: usize) -> TransitionTable {
+    transition_table_with(engine, &EXISTING_CODES, StreamKind::Muxed, length)
+}
+
+/// [`table5`] sharded through `engine`.
+pub fn table5_with(engine: &SweepEngine, length: usize) -> TransitionTable {
+    transition_table_with(engine, &MIXED_CODES, StreamKind::Instruction, length)
+}
+
+/// [`table6`] sharded through `engine`.
+pub fn table6_with(engine: &SweepEngine, length: usize) -> TransitionTable {
+    transition_table_with(engine, &MIXED_CODES, StreamKind::Data, length)
+}
+
+/// [`table7`] sharded through `engine`.
+pub fn table7_with(engine: &SweepEngine, length: usize) -> TransitionTable {
+    transition_table_with(engine, &MIXED_CODES, StreamKind::Muxed, length)
 }
 
 /// The reference multiplexed stream driving the codec power sweeps: the

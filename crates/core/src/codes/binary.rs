@@ -8,6 +8,7 @@
 
 use crate::bus::{Access, AccessKind, BusState, BusWidth};
 use crate::error::CodecError;
+use crate::metrics::{LineActivity, TransitionStats};
 use crate::traits::{Decoder, Encoder};
 
 /// The identity encoder: drives the address onto the bus unchanged.
@@ -52,6 +53,79 @@ impl Encoder for BinaryEncoder {
         BusState::new(access.address & self.width.mask(), 0)
     }
 
+    fn encode_block(&mut self, accesses: &[Access], out: &mut Vec<BusState>) {
+        let mask = self.width.mask();
+        out.extend(accesses.iter().map(|a| BusState::new(a.address & mask, 0)));
+    }
+
+    fn count_block(
+        &mut self,
+        accesses: &[Access],
+        prev: &mut BusState,
+        stats: &mut TransitionStats,
+    ) {
+        if accesses.is_empty() {
+            return;
+        }
+        let mask = self.width.mask();
+        let (payload, last) = if mask <= u64::from(u32::MAX) {
+            // Packed carry-save kernel: two diffs per u64, one popcount
+            // per 32 cycles (see `crate::kernels`).
+            crate::kernels::packed_diff_transitions(accesses, mask, 0, prev.payload)
+        } else {
+            // Wide buses: fused mask-XOR-popcount chain, no bus-word
+            // buffer.
+            let mut last = prev.payload;
+            let mut payload = 0u64;
+            for a in accesses {
+                let word = a.address & mask;
+                payload += u64::from((word ^ last).count_ones());
+                last = word;
+            }
+            (payload, last)
+        };
+        stats.cycles += accesses.len() as u64;
+        stats.payload_transitions += payload;
+        // Binary drives no aux lines: whatever `prev` held falls low on
+        // the first cycle and stays there.
+        stats.aux_transitions += u64::from(prev.aux.count_ones());
+        *prev = BusState::new(last, 0);
+    }
+
+    fn activity_block(
+        &mut self,
+        accesses: &[Access],
+        prev: &mut BusState,
+        activity: &mut LineActivity,
+    ) {
+        if accesses.is_empty() {
+            return;
+        }
+        let mask = self.width.mask();
+        if mask <= u64::from(u32::MAX) {
+            // Positional carry-save kernel (see `crate::kernels`): exact
+            // per-line counts at nearly the total-count kernel's rate.
+            let mut counts = [0u64; 32];
+            let last = crate::kernels::packed_line_transitions(
+                accesses,
+                mask,
+                0,
+                prev.payload,
+                &mut counts,
+            );
+            for (slot, &c) in activity.payload.iter_mut().zip(counts.iter()) {
+                *slot += c;
+            }
+            activity.cycles += accesses.len() as u64;
+            // Binary drives no aux lines, and `activity.aux` is empty.
+            *prev = BusState::new(last, 0);
+        } else {
+            let mut words = Vec::with_capacity(accesses.len());
+            self.encode_block(accesses, &mut words);
+            activity.accumulate_block(&words, prev);
+        }
+    }
+
     fn reset(&mut self) {}
 }
 
@@ -79,6 +153,17 @@ impl Decoder for BinaryDecoder {
 
     fn decode(&mut self, word: BusState, _kind: AccessKind) -> Result<u64, CodecError> {
         Ok(word.payload & self.width.mask())
+    }
+
+    fn decode_block(
+        &mut self,
+        words: &[BusState],
+        _kinds: &[AccessKind],
+        out: &mut Vec<u64>,
+    ) -> Result<(), CodecError> {
+        let mask = self.width.mask();
+        out.extend(words.iter().map(|w| w.payload & mask));
+        Ok(())
     }
 
     fn reset(&mut self) {}

@@ -15,6 +15,7 @@
 
 use crate::bus::{Access, AccessKind, BusState, BusWidth, Stride};
 use crate::error::CodecError;
+use crate::metrics::{LineActivity, TransitionStats};
 use crate::traits::{Decoder, Encoder};
 
 /// Converts a binary value to binary-reflected Gray code.
@@ -119,6 +120,99 @@ impl Encoder for GrayEncoder {
         BusState::new((gray_encode(high) << k) | low, 0)
     }
 
+    fn encode_block(&mut self, accesses: &[Access], out: &mut Vec<BusState>) {
+        let mask = self.width.mask();
+        let low_mask = self.stride.get() - 1;
+        let k = self.stride.log2();
+        out.extend(accesses.iter().map(|a| {
+            let high = (a.address & mask) >> k;
+            BusState::new((gray_encode(high) << k) | (a.address & low_mask), 0)
+        }));
+    }
+
+    fn count_block(
+        &mut self,
+        accesses: &[Access],
+        prev: &mut BusState,
+        stats: &mut TransitionStats,
+    ) {
+        if accesses.is_empty() {
+            return;
+        }
+        let mask = self.width.mask();
+        let low_mask = self.stride.get() - 1;
+        let k = self.stride.log2();
+        let (payload, last) = if mask <= u64::from(u32::MAX) {
+            // Packed carry-save kernel (see `crate::kernels`). The
+            // stride-aware Gray word of a masked address `x` is exactly
+            // `x ^ ((x >> 1) & gxm)` — an XOR-linear transform, so it
+            // commutes with the diff and applies to packed diff pairs.
+            // The kernel works in the binary domain: un-Gray the previous
+            // bus word on entry, re-Gray the final word on exit.
+            let gxm = (mask >> 1) & !low_mask;
+            let p = prev.payload;
+            let prev_bin = (gray_decode((p & mask) >> k) << k) | (p & low_mask);
+            let (payload, last_bin) =
+                crate::kernels::packed_diff_transitions(accesses, mask, gxm, prev_bin);
+            let last_gray = (gray_encode(last_bin >> k) << k) | (last_bin & low_mask);
+            (payload, last_gray)
+        } else {
+            // Wide buses: fused Gray-encode-XOR-popcount chain, no
+            // bus-word buffer.
+            let mut last = prev.payload;
+            let mut payload = 0u64;
+            for a in accesses {
+                let high = (a.address & mask) >> k;
+                let word = (gray_encode(high) << k) | (a.address & low_mask);
+                payload += u64::from((word ^ last).count_ones());
+                last = word;
+            }
+            (payload, last)
+        };
+        stats.cycles += accesses.len() as u64;
+        stats.payload_transitions += payload;
+        // Gray drives no aux lines: whatever `prev` held falls low on the
+        // first cycle and stays there.
+        stats.aux_transitions += u64::from(prev.aux.count_ones());
+        *prev = BusState::new(last, 0);
+    }
+
+    fn activity_block(
+        &mut self,
+        accesses: &[Access],
+        prev: &mut BusState,
+        activity: &mut LineActivity,
+    ) {
+        if accesses.is_empty() {
+            return;
+        }
+        let mask = self.width.mask();
+        let low_mask = self.stride.get() - 1;
+        let k = self.stride.log2();
+        if mask <= u64::from(u32::MAX) {
+            // Positional carry-save kernel, same binary-domain bridging as
+            // `count_block`: un-Gray the previous word on entry, re-Gray
+            // the final word on exit.
+            let gxm = (mask >> 1) & !low_mask;
+            let p = prev.payload;
+            let prev_bin = (gray_decode((p & mask) >> k) << k) | (p & low_mask);
+            let mut counts = [0u64; 32];
+            let last_bin =
+                crate::kernels::packed_line_transitions(accesses, mask, gxm, prev_bin, &mut counts);
+            for (slot, &c) in activity.payload.iter_mut().zip(counts.iter()) {
+                *slot += c;
+            }
+            activity.cycles += accesses.len() as u64;
+            let last_gray = (gray_encode(last_bin >> k) << k) | (last_bin & low_mask);
+            // Gray drives no aux lines, and `activity.aux` is empty.
+            *prev = BusState::new(last_gray, 0);
+        } else {
+            let mut words = Vec::with_capacity(accesses.len());
+            self.encode_block(accesses, &mut words);
+            activity.accumulate_block(&words, prev);
+        }
+    }
+
     fn reset(&mut self) {}
 }
 
@@ -155,6 +249,22 @@ impl Decoder for GrayDecoder {
         let low_mask = self.stride.get() - 1;
         let payload = word.payload & self.width.mask();
         Ok((gray_decode(payload >> k) << k) | (payload & low_mask))
+    }
+
+    fn decode_block(
+        &mut self,
+        words: &[BusState],
+        _kinds: &[AccessKind],
+        out: &mut Vec<u64>,
+    ) -> Result<(), CodecError> {
+        let mask = self.width.mask();
+        let low_mask = self.stride.get() - 1;
+        let k = self.stride.log2();
+        out.extend(words.iter().map(|w| {
+            let payload = w.payload & mask;
+            (gray_decode(payload >> k) << k) | (payload & low_mask)
+        }));
+        Ok(())
     }
 
     fn reset(&mut self) {}

@@ -67,6 +67,18 @@ impl Encoder for OffsetEncoder {
         BusState::new(diff, 0)
     }
 
+    fn encode_block(&mut self, accesses: &[Access], out: &mut Vec<BusState>) {
+        let mask = self.width.mask();
+        let mut prev = self.prev_address;
+        out.extend(accesses.iter().map(|a| {
+            let b = a.address & mask;
+            let diff = b.wrapping_sub(prev) & mask;
+            prev = b;
+            BusState::new(diff, 0)
+        }));
+        self.prev_address = prev;
+    }
+
     fn reset(&mut self) {
         self.prev_address = 0;
     }
@@ -102,6 +114,22 @@ impl Decoder for OffsetDecoder {
         let address = self.width.wrapping_add(self.prev_address, word.payload);
         self.prev_address = address;
         Ok(address)
+    }
+
+    fn decode_block(
+        &mut self,
+        words: &[BusState],
+        _kinds: &[AccessKind],
+        out: &mut Vec<u64>,
+    ) -> Result<(), CodecError> {
+        let width = self.width;
+        let mut prev = self.prev_address;
+        out.extend(words.iter().map(|w| {
+            prev = width.wrapping_add(prev, w.payload);
+            prev
+        }));
+        self.prev_address = prev;
+        Ok(())
     }
 
     fn reset(&mut self) {

@@ -98,6 +98,27 @@ impl Encoder for T0Encoder {
         out
     }
 
+    fn encode_block(&mut self, accesses: &[Access], out: &mut Vec<BusState>) {
+        let width = self.width;
+        let stride = self.stride.get();
+        let mut prev_address = self.prev_address;
+        let mut prev_bus = self.prev_bus;
+        out.extend(accesses.iter().map(|a| {
+            let b = a.address & width.mask();
+            let sequential = prev_address.is_some_and(|prev| b == width.wrapping_add(prev, stride));
+            let word = if sequential {
+                BusState::new(prev_bus.payload, 1)
+            } else {
+                BusState::new(b, 0)
+            };
+            prev_address = Some(b);
+            prev_bus = word;
+            word
+        }));
+        self.prev_address = prev_address;
+        self.prev_bus = prev_bus;
+    }
+
     fn reset(&mut self) {
         self.prev_address = None;
         self.prev_bus = BusState::reset();
@@ -152,6 +173,33 @@ impl Decoder for T0Decoder {
         };
         self.prev_address = Some(address);
         Ok(address)
+    }
+
+    fn decode_block(
+        &mut self,
+        words: &[BusState],
+        _kinds: &[AccessKind],
+        out: &mut Vec<u64>,
+    ) -> Result<(), CodecError> {
+        out.reserve(words.len());
+        let width = self.width;
+        let stride = self.stride.get();
+        for &word in words {
+            let address = if word.aux & 1 == 1 {
+                let Some(prev) = self.prev_address else {
+                    return Err(CodecError::ProtocolViolation {
+                        code: "t0",
+                        reason: "inc asserted before any reference address",
+                    });
+                };
+                width.wrapping_add(prev, stride)
+            } else {
+                word.payload & width.mask()
+            };
+            self.prev_address = Some(address);
+            out.push(address);
+        }
+        Ok(())
     }
 
     fn reset(&mut self) {

@@ -84,6 +84,20 @@ impl Encoder for T0XorEncoder {
         BusState::new(b ^ predicted, 0)
     }
 
+    fn encode_block(&mut self, accesses: &[Access], out: &mut Vec<BusState>) {
+        let width = self.width;
+        let stride = self.stride.get();
+        let mask = width.mask();
+        let mut prev = self.prev_address;
+        out.extend(accesses.iter().map(|a| {
+            let b = a.address & mask;
+            let predicted = width.wrapping_add(prev, stride);
+            prev = b;
+            BusState::new(b ^ predicted, 0)
+        }));
+        self.prev_address = prev;
+    }
+
     fn reset(&mut self) {
         self.prev_address = 0;
     }
@@ -129,6 +143,25 @@ impl Decoder for T0XorDecoder {
         let address = (word.payload ^ predicted) & self.width.mask();
         self.prev_address = address;
         Ok(address)
+    }
+
+    fn decode_block(
+        &mut self,
+        words: &[BusState],
+        _kinds: &[AccessKind],
+        out: &mut Vec<u64>,
+    ) -> Result<(), CodecError> {
+        let width = self.width;
+        let stride = self.stride.get();
+        let mask = width.mask();
+        let mut prev = self.prev_address;
+        out.extend(words.iter().map(|w| {
+            let predicted = width.wrapping_add(prev, stride);
+            prev = (w.payload ^ predicted) & mask;
+            prev
+        }));
+        self.prev_address = prev;
+        Ok(())
     }
 
     fn reset(&mut self) {

@@ -59,6 +59,7 @@ mod bus;
 pub mod check;
 pub mod codes;
 mod error;
+mod kernels;
 pub mod metrics;
 pub mod rng;
 pub mod snapshot;

@@ -30,6 +30,7 @@ pub struct TransitionStats {
 impl TransitionStats {
     /// Total transitions over all lines.
     #[inline]
+    #[must_use]
     pub fn total(&self) -> u64 {
         self.payload_transitions + self.aux_transitions
     }
@@ -37,6 +38,7 @@ impl TransitionStats {
     /// Average transitions per clock cycle (the paper's Table 1 metric).
     ///
     /// Returns 0 for an empty stream.
+    #[must_use]
     pub fn per_cycle(&self) -> f64 {
         if self.cycles == 0 {
             0.0
@@ -49,6 +51,7 @@ impl TransitionStats {
     /// (the paper's "Savings" columns, reference = binary).
     ///
     /// Returns 0 when the reference saw no transitions.
+    #[must_use]
     pub fn savings_vs(&self, reference: &TransitionStats) -> f64 {
         if reference.total() == 0 {
             0.0
@@ -61,6 +64,28 @@ impl TransitionStats {
         self.cycles += 1;
         self.payload_transitions += u64::from((word.payload ^ prev.payload).count_ones());
         self.aux_transitions += u64::from((word.aux ^ prev.aux).count_ones());
+    }
+
+    /// Accumulates the transitions of a whole block of bus words in one
+    /// packed pass: each cycle is a u64 XOR against the previous word plus
+    /// a `count_ones`, with no per-word dispatch.
+    ///
+    /// `prev` is the last word before the block (the hardware-reset state
+    /// for the first block) and is left at the block's final word, so
+    /// consecutive blocks chain exactly like the per-word path.
+    pub fn accumulate_block(&mut self, words: &[BusState], prev: &mut BusState) {
+        let mut last = *prev;
+        let mut payload = 0u64;
+        let mut aux = 0u64;
+        for &word in words {
+            payload += u64::from((word.payload ^ last.payload).count_ones());
+            aux += u64::from((word.aux ^ last.aux).count_ones());
+            last = word;
+        }
+        self.cycles += words.len() as u64;
+        self.payload_transitions += payload;
+        self.aux_transitions += aux;
+        *prev = last;
     }
 }
 
@@ -96,7 +121,61 @@ impl core::fmt::Display for TransitionStats {
 /// # Ok(())
 /// # }
 /// ```
+#[must_use]
 pub fn count_transitions<I>(encoder: &mut dyn Encoder, stream: I) -> TransitionStats
+where
+    I: IntoIterator<Item = Access>,
+{
+    // Chunk the stream through the block path: one virtual dispatch and
+    // one packed encode-XOR-popcount kernel per block instead of per
+    // cycle (see [`Encoder::count_block`]).
+    let mut stats = TransitionStats::default();
+    let mut prev = BusState::reset();
+    let mut accesses: Vec<Access> = Vec::with_capacity(METRICS_BLOCK);
+    let mut stream = stream.into_iter();
+    loop {
+        accesses.clear();
+        accesses.extend(stream.by_ref().take(METRICS_BLOCK));
+        if accesses.is_empty() {
+            return stats;
+        }
+        encoder.count_block(&accesses, &mut prev, &mut stats);
+    }
+}
+
+/// Block size used when chunking iterator streams through the block API:
+/// large enough to amortize dispatch, small enough that the access and
+/// bus-word buffers stay cache-resident.
+const METRICS_BLOCK: usize = 8 * 1024;
+
+/// Slice fast path of [`count_transitions`]: the accesses are already in
+/// memory, so sub-slices feed [`Encoder::count_block`] directly with no
+/// staging buffer. This is the fastest way to count transitions of a
+/// buffered stream — for the codes with packed `count_block` kernels
+/// (binary, Gray) it runs at the kernel's full rate.
+///
+/// Semantically identical to `count_transitions(encoder,
+/// accesses.iter().copied())`.
+#[must_use]
+pub fn count_transitions_slice(encoder: &mut dyn Encoder, accesses: &[Access]) -> TransitionStats {
+    let mut stats = TransitionStats::default();
+    let mut prev = BusState::reset();
+    // Still chunked, so codes relying on the default buffering
+    // `count_block` keep their scratch allocation bounded.
+    for block in accesses.chunks(METRICS_BLOCK) {
+        encoder.count_block(block, &mut prev, &mut stats);
+    }
+    stats
+}
+
+/// The original cycle-at-a-time transition counter: one virtual
+/// [`Encoder::encode`] call and one stats update per bus cycle.
+///
+/// Semantically identical to [`count_transitions`]; kept as the reference
+/// for equivalence tests and as the baseline the engine throughput
+/// harness measures the block kernels against.
+#[doc(hidden)]
+pub fn count_transitions_per_word<I>(encoder: &mut dyn Encoder, stream: I) -> TransitionStats
 where
     I: IntoIterator<Item = Access>,
 {
@@ -128,21 +207,41 @@ where
     let width_mask = encoder.width().mask();
     let mut stats = TransitionStats::default();
     let mut prev = BusState::reset();
-    for (cycle, access) in stream.into_iter().enumerate() {
-        let word = encoder.encode(access);
-        let decoded = decoder.decode(word, access.kind)?;
-        let expected = access.address & width_mask;
-        if decoded != expected {
-            return Err(CodecError::RoundTripMismatch {
-                cycle: cycle as u64,
-                expected,
-                decoded,
-            });
+    let mut accesses: Vec<Access> = Vec::with_capacity(METRICS_BLOCK);
+    let mut kinds = Vec::with_capacity(METRICS_BLOCK);
+    let mut words: Vec<BusState> = Vec::with_capacity(METRICS_BLOCK);
+    let mut decoded: Vec<u64> = Vec::with_capacity(METRICS_BLOCK);
+    let mut stream = stream.into_iter();
+    let mut base = 0u64;
+    loop {
+        accesses.clear();
+        accesses.extend(stream.by_ref().take(METRICS_BLOCK));
+        if accesses.is_empty() {
+            return Ok(stats);
         }
-        stats.record(word, prev);
-        prev = word;
+        kinds.clear();
+        kinds.extend(accesses.iter().map(|a| a.kind));
+        words.clear();
+        encoder.encode_block(&accesses, &mut words);
+        decoded.clear();
+        let decode_result = decoder.decode_block(&words, &kinds, &mut decoded);
+        // Check the decoded prefix first: a mismatch earlier in the block
+        // outranks a protocol error later in it, exactly as the per-word
+        // path would report them.
+        for (i, (&got, access)) in decoded.iter().zip(&accesses).enumerate() {
+            let expected = access.address & width_mask;
+            if got != expected {
+                return Err(CodecError::RoundTripMismatch {
+                    cycle: base + i as u64,
+                    expected,
+                    decoded: got,
+                });
+            }
+        }
+        decode_result?;
+        stats.accumulate_block(&words, &mut prev);
+        base += accesses.len() as u64;
     }
-    Ok(stats)
 }
 
 /// Per-line switching activity of an encoder over a stream.
@@ -163,7 +262,52 @@ pub struct LineActivity {
 }
 
 impl LineActivity {
+    /// Creates a zeroed activity record shaped for `encoder`: one payload
+    /// counter per bus line and one aux counter per redundant line.
+    #[must_use]
+    pub fn for_encoder(encoder: &dyn Encoder) -> LineActivity {
+        LineActivity {
+            payload: vec![0; encoder.width().bits() as usize],
+            aux: vec![0; encoder.aux_line_count() as usize],
+            cycles: 0,
+        }
+    }
+
+    /// Accumulates the per-line transitions of a whole block of bus words:
+    /// each cycle XORs against the previous word and walks the set bits —
+    /// most cycles flip a handful of lines on a 32-line bus, so the sparse
+    /// walk beats scanning every line every cycle.
+    ///
+    /// `prev` is the last word before the block ([`BusState::reset`] at
+    /// stream start) and is left at the block's final word. Flips on lines
+    /// beyond the `payload`/`aux` vector lengths are ignored.
+    pub fn accumulate_block(&mut self, words: &[BusState], prev: &mut BusState) {
+        let mut last = *prev;
+        for &word in words {
+            let mut payload_flips = word.payload ^ last.payload;
+            while payload_flips != 0 {
+                let i = payload_flips.trailing_zeros() as usize;
+                if let Some(slot) = self.payload.get_mut(i) {
+                    *slot += 1;
+                }
+                payload_flips &= payload_flips - 1;
+            }
+            let mut aux_flips = word.aux ^ last.aux;
+            while aux_flips != 0 {
+                let i = aux_flips.trailing_zeros() as usize;
+                if let Some(slot) = self.aux.get_mut(i) {
+                    *slot += 1;
+                }
+                aux_flips &= aux_flips - 1;
+            }
+            last = word;
+        }
+        self.cycles += words.len() as u64;
+        *prev = last;
+    }
+
     /// Per-payload-line activity in transitions per cycle.
+    #[must_use]
     pub fn payload_activity(&self) -> Vec<f64> {
         self.payload
             .iter()
@@ -178,6 +322,7 @@ impl LineActivity {
     }
 
     /// Total transitions over all lines.
+    #[must_use]
     pub fn total(&self) -> u64 {
         self.payload.iter().chain(&self.aux).sum()
     }
@@ -198,17 +343,55 @@ impl LineActivity {
 /// let act = lines.payload_activity();
 /// assert!(act[0] > act[7]); // low-order lines toggle more while counting
 /// ```
+#[must_use]
 pub fn line_activity<I>(encoder: &mut dyn Encoder, stream: I) -> LineActivity
 where
     I: IntoIterator<Item = Access>,
 {
-    let width = encoder.width().bits() as usize;
-    let aux_lines = encoder.aux_line_count() as usize;
-    let mut activity = LineActivity {
-        payload: vec![0; width],
-        aux: vec![0; aux_lines],
-        cycles: 0,
-    };
+    let mut activity = LineActivity::for_encoder(encoder);
+    let mut prev = BusState::reset();
+    let mut accesses: Vec<Access> = Vec::with_capacity(METRICS_BLOCK);
+    let mut stream = stream.into_iter();
+    loop {
+        accesses.clear();
+        accesses.extend(stream.by_ref().take(METRICS_BLOCK));
+        if accesses.is_empty() {
+            return activity;
+        }
+        encoder.activity_block(&accesses, &mut prev, &mut activity);
+    }
+}
+
+/// Slice fast path of [`line_activity`]: sub-slices feed
+/// [`Encoder::activity_block`] directly with no staging buffer — for the
+/// codes with packed positional kernels (binary, Gray) this computes the
+/// full per-line profile at nearly the total-count kernel's rate.
+///
+/// Semantically identical to `line_activity(encoder,
+/// accesses.iter().copied())`.
+#[must_use]
+pub fn line_activity_slice(encoder: &mut dyn Encoder, accesses: &[Access]) -> LineActivity {
+    let mut activity = LineActivity::for_encoder(encoder);
+    let mut prev = BusState::reset();
+    for block in accesses.chunks(METRICS_BLOCK) {
+        encoder.activity_block(block, &mut prev, &mut activity);
+    }
+    activity
+}
+
+/// The original cycle-at-a-time line-activity profiler: one virtual
+/// [`Encoder::encode`] call per bus cycle, then a dense scan of every
+/// line's flip bit.
+///
+/// Semantically identical to [`line_activity`]; kept as the reference for
+/// equivalence tests and as the baseline the engine throughput harness
+/// measures the positional block kernels against.
+#[doc(hidden)]
+pub fn line_activity_per_word<I>(encoder: &mut dyn Encoder, stream: I) -> LineActivity
+where
+    I: IntoIterator<Item = Access>,
+{
+    let mut activity = LineActivity::for_encoder(encoder);
     let mut prev = BusState::reset();
     for access in stream {
         let word = encoder.encode(access);
@@ -229,6 +412,7 @@ where
 /// Convenience: the binary (reference) transition count of a stream.
 ///
 /// Every "Savings" column of the paper's tables is computed against this.
+#[must_use]
 pub fn binary_reference<I>(width: crate::BusWidth, stream: I) -> TransitionStats
 where
     I: IntoIterator<Item = Access>,
@@ -253,6 +437,7 @@ pub struct CodeReport {
 ///
 /// Encoders are reset before evaluation. The stream is buffered internally
 /// so it can be replayed per code.
+#[must_use]
 pub fn compare_codes(encoders: &mut [Box<dyn Encoder>], stream: &[Access]) -> Vec<CodeReport> {
     let reference = if let Some(first) = encoders.first() {
         binary_reference(first.width(), stream.iter().copied())

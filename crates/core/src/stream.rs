@@ -3,16 +3,30 @@
 //! For long traces (or traces read incrementally from disk) the whole
 //! stream need not be buffered: [`EncoderExt::encode_iter`] and
 //! [`DecoderExt::decode_iter`] wrap any access/word iterator into a lazy
-//! pipeline that advances the codec one cycle per `next()`.
+//! pipeline. Internally the adapters pull the source in chunks of
+//! [`STREAM_CHUNK`] items and run them through the block API
+//! ([`Encoder::encode_block`] / [`Decoder::decode_block`]), so the streaming
+//! and batch paths share one implementation; at most one chunk is buffered
+//! at a time.
 
 use crate::bus::{Access, AccessKind, BusState};
 use crate::error::CodecError;
 use crate::traits::{Decoder, Encoder};
 
+/// Number of items the streaming adapters pull from the source per refill.
+///
+/// Large enough that block-specialized codes amortize their per-block setup,
+/// small enough that "lazy" still means bounded memory and prompt first
+/// output on unbounded sources.
+pub const STREAM_CHUNK: usize = 256;
+
 /// Iterator returned by [`EncoderExt::encode_iter`].
 pub struct EncodeIter<'a, I> {
     encoder: &'a mut dyn Encoder,
     stream: I,
+    accesses: Vec<Access>,
+    buffer: Vec<BusState>,
+    pos: usize,
 }
 
 impl<I> core::fmt::Debug for EncodeIter<'_, I> {
@@ -27,11 +41,29 @@ impl<I: Iterator<Item = Access>> Iterator for EncodeIter<'_, I> {
     type Item = BusState;
 
     fn next(&mut self) -> Option<BusState> {
-        self.stream.next().map(|access| self.encoder.encode(access))
+        if self.pos == self.buffer.len() {
+            self.accesses.clear();
+            self.accesses
+                .extend(self.stream.by_ref().take(STREAM_CHUNK));
+            if self.accesses.is_empty() {
+                return None;
+            }
+            self.buffer.clear();
+            self.encoder.encode_block(&self.accesses, &mut self.buffer);
+            self.pos = 0;
+        }
+        let word = self.buffer.get(self.pos).copied();
+        self.pos += 1;
+        word
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.stream.size_hint()
+        let buffered = self.buffer.len() - self.pos;
+        let (lo, hi) = self.stream.size_hint();
+        (
+            lo.saturating_add(buffered),
+            hi.and_then(|h| h.checked_add(buffered)),
+        )
     }
 }
 
@@ -56,6 +88,7 @@ pub trait EncoderExt: Encoder {
     /// # Ok(())
     /// # }
     /// ```
+    #[must_use = "the adapter is lazy: no cycle runs until the iterator is consumed"]
     fn encode_iter<I>(&mut self, stream: I) -> EncodeIter<'_, I::IntoIter>
     where
         I: IntoIterator<Item = Access>,
@@ -64,6 +97,9 @@ pub trait EncoderExt: Encoder {
         EncodeIter {
             encoder: self,
             stream: stream.into_iter(),
+            accesses: Vec::new(),
+            buffer: Vec::new(),
+            pos: 0,
         }
     }
 }
@@ -74,6 +110,11 @@ impl<E: Encoder + ?Sized> EncoderExt for E {}
 pub struct DecodeIter<'a, I> {
     decoder: &'a mut dyn Decoder,
     words: I,
+    word_buf: Vec<BusState>,
+    kind_buf: Vec<AccessKind>,
+    addr_buf: Vec<u64>,
+    out_buf: Vec<Result<u64, CodecError>>,
+    pos: usize,
 }
 
 impl<I> core::fmt::Debug for DecodeIter<'_, I> {
@@ -84,23 +125,70 @@ impl<I> core::fmt::Debug for DecodeIter<'_, I> {
     }
 }
 
+impl<I: Iterator<Item = (BusState, AccessKind)>> DecodeIter<'_, I> {
+    /// Pulls the next chunk and decodes it. Returns `false` at end of input.
+    ///
+    /// A protocol error inside the chunk does not end the stream: the items
+    /// after the failing word are decoded per-word (exactly as a caller of
+    /// [`Decoder::decode`] would), so the yielded sequence of `Ok`/`Err`
+    /// results is identical to the unchunked per-word path.
+    fn refill(&mut self) -> bool {
+        self.word_buf.clear();
+        self.kind_buf.clear();
+        for (word, kind) in self.words.by_ref().take(STREAM_CHUNK) {
+            self.word_buf.push(word);
+            self.kind_buf.push(kind);
+        }
+        if self.word_buf.is_empty() {
+            return false;
+        }
+        self.addr_buf.clear();
+        self.out_buf.clear();
+        let result = self
+            .decoder
+            .decode_block(&self.word_buf, &self.kind_buf, &mut self.addr_buf);
+        self.out_buf.extend(self.addr_buf.drain(..).map(Ok));
+        if let Err(error) = result {
+            self.out_buf.push(Err(error));
+            // Resume after the failing word; the decoder is already in its
+            // post-failure state, matching the per-word contract.
+            for i in self.out_buf.len()..self.word_buf.len() {
+                if let (Some(&word), Some(&kind)) = (self.word_buf.get(i), self.kind_buf.get(i)) {
+                    self.out_buf.push(self.decoder.decode(word, kind));
+                }
+            }
+        }
+        self.pos = 0;
+        true
+    }
+}
+
 impl<I: Iterator<Item = (BusState, AccessKind)>> Iterator for DecodeIter<'_, I> {
     type Item = Result<u64, CodecError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.words
-            .next()
-            .map(|(word, kind)| self.decoder.decode(word, kind))
+        if self.pos == self.out_buf.len() && !self.refill() {
+            return None;
+        }
+        let item = self.out_buf.get(self.pos).cloned();
+        self.pos += 1;
+        item
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        self.words.size_hint()
+        let buffered = self.out_buf.len() - self.pos;
+        let (lo, hi) = self.words.size_hint();
+        (
+            lo.saturating_add(buffered),
+            hi.and_then(|h| h.checked_add(buffered)),
+        )
     }
 }
 
 /// Streaming extension for every [`Decoder`].
 pub trait DecoderExt: Decoder {
     /// Lazily decodes `(word, sel)` pairs, one address per pulled item.
+    #[must_use = "the adapter is lazy: no cycle runs until the iterator is consumed"]
     fn decode_iter<I>(&mut self, words: I) -> DecodeIter<'_, I::IntoIter>
     where
         I: IntoIterator<Item = (BusState, AccessKind)>,
@@ -109,6 +197,11 @@ pub trait DecoderExt: Decoder {
         DecodeIter {
             decoder: self,
             words: words.into_iter(),
+            word_buf: Vec::new(),
+            kind_buf: Vec::new(),
+            addr_buf: Vec::new(),
+            out_buf: Vec::new(),
+            pos: 0,
         }
     }
 }
@@ -118,7 +211,7 @@ impl<D: Decoder + ?Sized> DecoderExt for D {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::codes::{DualT0BiDecoder, DualT0BiEncoder};
+    use crate::codes::{DualT0BiDecoder, DualT0BiEncoder, T0Decoder};
     use crate::{BusWidth, Stride};
 
     #[test]
@@ -146,7 +239,8 @@ mod tests {
     #[test]
     fn adapters_are_lazy() {
         let mut enc = DualT0BiEncoder::new(BusWidth::MIPS, Stride::WORD).unwrap();
-        // Only two items are pulled from an unbounded source.
+        // A bounded prefix is pulled from an unbounded source: at most one
+        // chunk, not the whole stream.
         let mut pulled = 0u64;
         let source = std::iter::from_fn(|| {
             pulled += 1;
@@ -154,6 +248,7 @@ mod tests {
         });
         let first_two: Vec<BusState> = enc.encode_iter(source).take(2).collect();
         assert_eq!(first_two.len(), 2);
+        assert!(pulled <= STREAM_CHUNK as u64 + 1);
     }
 
     #[test]
@@ -165,6 +260,15 @@ mod tests {
     }
 
     #[test]
+    fn size_hint_counts_buffered_items() {
+        let mut enc = DualT0BiEncoder::new(BusWidth::MIPS, Stride::WORD).unwrap();
+        let stream: Vec<Access> = (0..7u64).map(Access::instruction).collect();
+        let mut iter = enc.encode_iter(stream);
+        let _ = iter.next(); // fills the chunk buffer, consumes one item
+        assert_eq!(iter.size_hint(), (6, Some(6)));
+    }
+
+    #[test]
     fn works_through_trait_objects() {
         use crate::{CodeKind, CodeParams};
         let mut enc = CodeKind::T0.encoder(CodeParams::default()).unwrap();
@@ -173,5 +277,22 @@ mod tests {
             .map(|w| w.aux as u32 & 1)
             .sum();
         assert_eq!(total, 63);
+    }
+
+    #[test]
+    fn decode_errors_interleave_like_the_per_word_path() {
+        // First word asserts INC with no reference address: protocol error.
+        // The stream must yield that error in place and keep decoding.
+        let mut dec = T0Decoder::new(BusWidth::MIPS, Stride::WORD).unwrap();
+        let words = vec![
+            (BusState::new(0, 1), AccessKind::Instruction),
+            (BusState::new(0x100, 0), AccessKind::Instruction),
+            (BusState::new(0x100, 1), AccessKind::Instruction),
+        ];
+        let results: Vec<Result<u64, CodecError>> = dec.decode_iter(words).collect();
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_err());
+        assert_eq!(results[1].as_ref().unwrap(), &0x100);
+        assert_eq!(results[2].as_ref().unwrap(), &0x104);
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::bus::{Access, BusState, BusWidth, Stride};
 use crate::error::CodecError;
+use crate::metrics::{LineActivity, TransitionStats};
 
 /// A stateful address-bus encoder.
 ///
@@ -47,6 +48,78 @@ pub trait Encoder {
     /// The address is masked to [`Encoder::width`] before encoding.
     fn encode(&mut self, access: Access) -> BusState;
 
+    /// Encodes a whole block of transactions, appending one [`BusState`]
+    /// per access to `out`.
+    ///
+    /// This is the bulk entry point the sweep engine and the transition
+    /// kernels drive. The contract is exact cycle equivalence with the
+    /// per-word path: state is carried across block boundaries, so any
+    /// partitioning of a stream into blocks (including empty and
+    /// single-word blocks) produces the same bus words as calling
+    /// [`Encoder::encode`] once per access.
+    ///
+    /// The default implementation loops over [`Encoder::encode`]; because
+    /// default trait methods are monomorphized per implementing type, the
+    /// loop is statically dispatched even when called through
+    /// `dyn Encoder` — one virtual call per block, not per word. Cheap
+    /// codes additionally override this with fused loops.
+    fn encode_block(&mut self, accesses: &[Access], out: &mut Vec<BusState>) {
+        out.reserve(accesses.len());
+        for &access in accesses {
+            out.push(self.encode(access));
+        }
+    }
+
+    /// Encodes a block and accumulates its line transitions in one pass,
+    /// without materializing the bus words for the caller.
+    ///
+    /// `prev` is the last bus word before the block ([`BusState::reset`]
+    /// at stream start) and is left at the block's final word; `stats`
+    /// receives the block's cycle count and payload/aux transitions.
+    /// Exactly equivalent to [`Encoder::encode_block`] followed by
+    /// [`TransitionStats::accumulate_block`] — this is the packed kernel
+    /// behind [`count_transitions`][crate::metrics::count_transitions].
+    ///
+    /// The default implementation does just that through a scratch
+    /// buffer. The irredundant stateless codes (binary, Gray) override it
+    /// with fused loops that keep the whole encode-XOR-popcount chain in
+    /// registers, never touching a bus-word buffer at all.
+    fn count_block(
+        &mut self,
+        accesses: &[Access],
+        prev: &mut BusState,
+        stats: &mut TransitionStats,
+    ) {
+        let mut words = Vec::with_capacity(accesses.len());
+        self.encode_block(accesses, &mut words);
+        stats.accumulate_block(&words, prev);
+    }
+
+    /// Encodes a block and accumulates *per-line* transition counts in one
+    /// pass — the profile counterpart of [`Encoder::count_block`].
+    ///
+    /// `activity` must be shaped for this encoder
+    /// ([`LineActivity::for_encoder`]): `payload` holds one counter per
+    /// payload line (LSB-first) and `aux` one per redundant line. `prev`
+    /// carries the last bus word across block boundaries exactly as in
+    /// [`Encoder::count_block`], so any partitioning of a stream yields
+    /// identical counts.
+    ///
+    /// The default implementation encodes through a scratch buffer and
+    /// walks the set bits of each XOR word. Binary and Gray override it
+    /// with the positional carry-save kernel, which runs within a few
+    /// percent of their total-count kernels.
+    fn activity_block(
+        &mut self,
+        accesses: &[Access],
+        prev: &mut BusState,
+        activity: &mut LineActivity,
+    ) {
+        let mut words = Vec::with_capacity(accesses.len());
+        self.encode_block(accesses, &mut words);
+        activity.accumulate_block(&words, prev);
+    }
+
     /// Returns the encoder to its hardware-reset state (all registers and
     /// the modelled bus lines low).
     fn reset(&mut self);
@@ -67,6 +140,28 @@ impl<E: Encoder + ?Sized> Encoder for Box<E> {
 
     fn encode(&mut self, access: Access) -> BusState {
         (**self).encode(access)
+    }
+
+    fn encode_block(&mut self, accesses: &[Access], out: &mut Vec<BusState>) {
+        (**self).encode_block(accesses, out)
+    }
+
+    fn count_block(
+        &mut self,
+        accesses: &[Access],
+        prev: &mut BusState,
+        stats: &mut TransitionStats,
+    ) {
+        (**self).count_block(accesses, prev, stats)
+    }
+
+    fn activity_block(
+        &mut self,
+        accesses: &[Access],
+        prev: &mut BusState,
+        activity: &mut LineActivity,
+    ) {
+        (**self).activity_block(accesses, prev, activity)
     }
 
     fn reset(&mut self) {
@@ -107,6 +202,34 @@ pub trait Decoder {
     /// inconsistent with the code's protocol in the current state.
     fn decode(&mut self, word: BusState, kind: crate::AccessKind) -> Result<u64, CodecError>;
 
+    /// Decodes a whole block of bus words, appending one address per word
+    /// to `out`. `kinds` carries the per-cycle `SEL` values and must be at
+    /// least as long as `words`; extra elements are ignored.
+    ///
+    /// Cycle-for-cycle equivalent to calling [`Decoder::decode`] once per
+    /// word, with state carried across block boundaries. On the first
+    /// protocol error decoding stops: `out` keeps the successfully decoded
+    /// prefix (so the failing cycle's offset within the block is the
+    /// number of addresses this call appended) and the decoder is left in
+    /// the state the failing [`Decoder::decode`] call produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CodecError::ProtocolViolation`] encountered, as
+    /// the per-word path would.
+    fn decode_block(
+        &mut self,
+        words: &[BusState],
+        kinds: &[crate::AccessKind],
+        out: &mut Vec<u64>,
+    ) -> Result<(), CodecError> {
+        out.reserve(words.len());
+        for (&word, &kind) in words.iter().zip(kinds) {
+            out.push(self.decode(word, kind)?);
+        }
+        Ok(())
+    }
+
     /// Returns the decoder to its hardware-reset state.
     fn reset(&mut self);
 }
@@ -122,6 +245,15 @@ impl<D: Decoder + ?Sized> Decoder for Box<D> {
 
     fn decode(&mut self, word: BusState, kind: crate::AccessKind) -> Result<u64, CodecError> {
         (**self).decode(word, kind)
+    }
+
+    fn decode_block(
+        &mut self,
+        words: &[BusState],
+        kinds: &[crate::AccessKind],
+        out: &mut Vec<u64>,
+    ) -> Result<(), CodecError> {
+        (**self).decode_block(words, kinds, out)
     }
 
     fn reset(&mut self) {

@@ -12,15 +12,30 @@
 //! optionally writing the multiplexed trace in the text format the rest
 //! of the toolkit consumes). `dis` shows the binary encoding the machine
 //! actually fetches. `kernels` lists the built-in workloads.
+//!
+//! The common flags (`--format text|json`, `--seed`, `--jobs`, `--quiet`)
+//! are accepted for interface uniformity with the other buscode tools;
+//! `--seed` and `--jobs` are unused here — execution is deterministic and
+//! single-machine.
 
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use buscode_core::Stride;
 use buscode_cpu::{all_kernels, assemble, disassemble, encode_instr, Machine, Program};
+use buscode_engine::cli::{self, json_escape, CommonArgs, Outcome, ToolRun, COMMON_USAGE};
 use buscode_trace::{write_trace, StreamStats};
 
-fn usage() -> &'static str {
-    "usage:\n  asmrun run <file.s> [--steps N] [--trace out.trace] [--regs]\n  asmrun dis <file.s>\n  asmrun kernels\n  asmrun kernel <name> [--trace out.trace]"
+const TOOL: &str = "asmrun";
+
+fn usage() -> String {
+    format!(
+        "usage:\n  asmrun run <file.s> [--steps N] [--trace out.trace] [--regs]\n  \
+         asmrun dis <file.s>\n  asmrun kernels\n  asmrun kernel <name> [--trace out.trace]\n  \
+         common flags: {COMMON_USAGE}"
+    )
 }
 
 fn load(path: &str) -> Result<Program, String> {
@@ -28,25 +43,61 @@ fn load(path: &str) -> Result<Program, String> {
     assemble(&source).map_err(|e| format!("{path}: {e}"))
 }
 
-fn report(machine: &Machine, steps: u64, trace: &buscode_cpu::BusTrace, regs: bool) {
+fn stats_json(stats: &StreamStats) -> String {
+    format!(
+        "{{\"len\":{},\"instruction_count\":{},\"data_count\":{},\"in_seq_pairs\":{},\
+         \"pairs\":{},\"runs\":{},\"longest_run\":{},\"kind_switches\":{}}}",
+        stats.len,
+        stats.instruction_count,
+        stats.data_count,
+        stats.in_seq_pairs,
+        stats.pairs,
+        stats.runs,
+        stats.longest_run,
+        stats.kind_switches,
+    )
+}
+
+/// Bus statistics of one finished execution: text body plus the JSON
+/// fragments shared by `run` and `kernel`.
+fn report(
+    machine: &Machine,
+    steps: u64,
+    trace: &buscode_cpu::BusTrace,
+    regs: bool,
+) -> (String, String) {
     let stride = Stride::WORD;
     let muxed = StreamStats::measure(trace.muxed(), stride);
     let instr = StreamStats::measure(&trace.instruction(), stride);
     let data = StreamStats::measure(&trace.data(), stride);
-    println!("halted after {steps} instructions");
-    println!("bus: {muxed}");
-    println!("  instruction stream: {instr}");
-    println!("  data stream:        {data}");
+    let mut text = format!(
+        "halted after {steps} instructions\n\
+         bus: {muxed}\n  instruction stream: {instr}\n  data stream:        {data}\n"
+    );
     if regs {
-        println!("registers:");
+        text.push_str("registers:\n");
         for i in 0..32u8 {
             let reg = buscode_cpu::Reg::new(i);
             let value = machine.reg(reg);
             if value != 0 {
-                println!("  r{i:<2} = {value:#010x} ({value})");
+                let _ = writeln!(text, "  r{i:<2} = {value:#010x} ({value})");
             }
         }
     }
+    let json = format!(
+        "\"steps\":{},\"muxed\":{},\"instruction\":{},\"data_stream\":{}",
+        steps,
+        stats_json(&muxed),
+        stats_json(&instr),
+        stats_json(&data),
+    );
+    (text, json)
+}
+
+fn write_trace_file(path: &str, trace: &buscode_cpu::BusTrace) -> Result<String, String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    write_trace(file, trace.muxed()).map_err(|e| format!("{path}: {e}"))?;
+    Ok(format!("trace written to {path}\n"))
 }
 
 fn run_program(
@@ -54,20 +105,20 @@ fn run_program(
     steps: u64,
     trace_path: Option<&str>,
     regs: bool,
-) -> Result<(), String> {
+) -> Result<Outcome, String> {
     let mut machine = Machine::try_new(program).map_err(|e| e.to_string())?;
     let outcome = machine.run(steps).map_err(|e| e.to_string())?;
-    report(&machine, outcome.steps, &outcome.trace, regs);
+    let (mut text, json) = report(&machine, outcome.steps, &outcome.trace, regs);
     if let Some(path) = trace_path {
-        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
-        write_trace(file, outcome.trace.muxed()).map_err(|e| format!("{path}: {e}"))?;
-        println!("trace written to {path}");
+        text.push_str(&write_trace_file(path, &outcome.trace)?);
     }
-    Ok(())
+    Ok(Outcome::success(
+        text,
+        format!("{{\"mode\":\"run\",{json}}}"),
+    ))
 }
 
-fn main_inner() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn run_tool(args: &[String]) -> Result<Outcome, String> {
     let mut steps = 10_000_000u64;
     let mut trace_path: Option<String> = None;
     let mut regs = false;
@@ -77,7 +128,7 @@ fn main_inner() -> Result<(), String> {
         match arg.as_str() {
             "--steps" => {
                 let v = iter.next().ok_or("--steps needs a number")?;
-                steps = v.parse().map_err(|_| format!("bad step count {v}"))?;
+                steps = cli::parse_u64("--steps", v)?;
             }
             "--trace" => {
                 trace_path = Some(iter.next().ok_or("--trace needs a path")?.clone());
@@ -90,17 +141,32 @@ fn main_inner() -> Result<(), String> {
         ["run", path] => run_program(load(path)?, steps, trace_path.as_deref(), regs),
         ["dis", path] => {
             let program = load(path)?;
+            let mut text = String::new();
+            let mut count = 0u64;
             for (&addr, instr) in &program.text {
                 let word = encode_instr(instr, addr).map_err(|e| e.to_string())?;
-                println!("{addr:08x}: {word:08x}  {}", disassemble(word, addr));
+                let _ = writeln!(text, "{addr:08x}: {word:08x}  {}", disassemble(word, addr));
+                count += 1;
             }
-            Ok(())
+            Ok(Outcome::success(
+                text,
+                format!("{{\"mode\":\"dis\",\"instructions\":{count}}}"),
+            ))
         }
         ["kernels"] => {
-            for kernel in all_kernels() {
-                println!("{}", kernel.name);
-            }
-            Ok(())
+            let names: Vec<&str> = all_kernels().iter().map(|k| k.name).collect();
+            let text = names.iter().fold(String::new(), |mut out, name| {
+                let _ = writeln!(out, "{name}");
+                out
+            });
+            let list: Vec<String> = names
+                .iter()
+                .map(|n| format!("\"{}\"", json_escape(n)))
+                .collect();
+            Ok(Outcome::success(
+                text,
+                format!("{{\"mode\":\"kernels\",\"kernels\":[{}]}}", list.join(",")),
+            ))
         }
         ["kernel", name] => {
             let kernel = all_kernels()
@@ -109,24 +175,41 @@ fn main_inner() -> Result<(), String> {
                 .ok_or_else(|| format!("unknown kernel `{name}` (see `asmrun kernels`)"))?;
             let mut machine = Machine::try_new(kernel.program()).map_err(|e| e.to_string())?;
             let outcome = machine.run(kernel.max_steps).map_err(|e| e.to_string())?;
-            report(&machine, outcome.steps, &outcome.trace, regs);
+            let (mut text, json) = report(&machine, outcome.steps, &outcome.trace, regs);
             if let Some(path) = trace_path.as_deref() {
-                let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
-                write_trace(file, outcome.trace.muxed()).map_err(|e| format!("{path}: {e}"))?;
-                println!("trace written to {path}");
+                text.push_str(&write_trace_file(path, &outcome.trace)?);
             }
-            Ok(())
+            Ok(Outcome::success(
+                text,
+                format!(
+                    "{{\"mode\":\"kernel\",\"kernel\":\"{}\",{json}}}",
+                    json_escape(kernel.name)
+                ),
+            ))
         }
-        _ => Err(usage().to_owned()),
+        _ => Err("expected a subcommand: run, dis, kernels, or kernel".to_string()),
     }
 }
 
 fn main() -> ExitCode {
-    match main_inner() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("{message}");
-            ExitCode::from(2)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let common = match CommonArgs::extract(&mut args) {
+        Ok(common) => common,
+        Err(msg) => return cli::usage_error(TOOL, &usage(), &msg),
+    };
+    if common.help {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let run = ToolRun::new(TOOL, env!("CARGO_PKG_VERSION"), common);
+    match run_tool(&args) {
+        Ok(outcome) => run.finish(&outcome),
+        Err(msg) => {
+            if common.json() {
+                run.finish(&Outcome::error(msg))
+            } else {
+                cli::usage_error(TOOL, &usage(), &msg)
+            }
         }
     }
 }

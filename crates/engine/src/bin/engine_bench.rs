@@ -1,0 +1,157 @@
+//! `engine_bench` — the batch-engine throughput smoke harness.
+//!
+//! Runs the block-API transition kernels and the sharded all-codes sweep
+//! on a fixed-seed synthetic stream, writes the `BENCH_engine.json`
+//! throughput record, and gates on correctness: the multi-thread sweep
+//! must be bit-identical to the serial run, and (with `--min-speedup`)
+//! the batched transition-profile kernels (total + per-line counts, the
+//! `speedup` field) must beat the per-word seed path by the given
+//! factor. Total-only kernel throughput is reported alongside as the
+//! `count_speedup` reference.
+//!
+//! ```text
+//! engine_bench [--words N] [--out FILE] [--min-speedup X]
+//!              [--format text|json] [--seed S] [--jobs N] [--quiet]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use buscode_engine::cli::{self, CommonArgs, Outcome, ToolRun, COMMON_USAGE};
+use buscode_engine::throughput::run_throughput;
+
+const TOOL: &str = "engine_bench";
+
+fn usage() -> String {
+    format!("usage: engine_bench [--words N] [--out FILE] [--min-speedup X] {COMMON_USAGE}")
+}
+
+struct Options {
+    words: usize,
+    out: Option<String>,
+    min_speedup: f64,
+}
+
+fn parse_tool_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        words: 1_000_000,
+        out: Some("BENCH_engine.json".to_string()),
+        min_speedup: 0.0,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--words" => {
+                let value = it.next().ok_or("--words needs a value")?;
+                opts.words = usize::try_from(cli::parse_u64("--words", value)?)
+                    .map_err(|_| "--words out of range".to_string())?;
+                if opts.words == 0 {
+                    return Err("--words must be at least 1".to_string());
+                }
+            }
+            "--out" => {
+                let value = it.next().ok_or("--out needs a value")?;
+                opts.out = if value == "-" {
+                    None
+                } else {
+                    Some(value.clone())
+                };
+            }
+            "--min-speedup" => {
+                let value = it.next().ok_or("--min-speedup needs a value")?;
+                opts.min_speedup = value
+                    .parse::<f64>()
+                    .map_err(|_| format!("--min-speedup: '{value}' is not a number"))?;
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let common = match CommonArgs::extract(&mut args) {
+        Ok(common) => common,
+        Err(msg) => return cli::usage_error(TOOL, &usage(), &msg),
+    };
+    if common.help {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_tool_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => return cli::usage_error(TOOL, &usage(), &msg),
+    };
+    let run = ToolRun::new(TOOL, env!("CARGO_PKG_VERSION"), common);
+    let seed = common.seed_or(42);
+
+    let report = match run_throughput(opts.words, seed, common.jobs) {
+        Ok(report) => report,
+        Err(msg) => return run.finish(&Outcome::error(msg)),
+    };
+
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, report.render_json()) {
+            return run.finish(&Outcome::error(format!("cannot write {path}: {e}")));
+        }
+    }
+
+    let mut text = format!("throughput: {} words, seed {}\n", report.words, report.seed);
+    for k in &report.kernels {
+        text.push_str(&format!(
+            "  {:<8} profile  per-word {:>8.2} Mw/s, block {:>8.2} Mw/s, speedup {:.2}x \
+             ({} transitions)\n",
+            k.code,
+            k.per_word_words_per_sec / 1e6,
+            k.block_words_per_sec / 1e6,
+            k.speedup,
+            k.transitions
+        ));
+        text.push_str(&format!(
+            "  {:<8} total    per-word {:>8.2} Mw/s, block {:>8.2} Mw/s, speedup {:.2}x\n",
+            "", // align under the code name
+            k.count_per_word_words_per_sec / 1e6,
+            k.count_block_words_per_sec / 1e6,
+            k.count_speedup
+        ));
+    }
+    text.push_str(&format!(
+        "sweep: {} cells, jobs {}: serial {:.1} ms, parallel {:.1} ms, \
+         speedup {:.2}x, {}\n",
+        report.sweep.cells,
+        report.sweep.jobs,
+        report.sweep.serial_ms,
+        report.sweep.parallel_ms,
+        report.sweep.speedup,
+        if report.sweep.identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        }
+    ));
+    if let Some(path) = &opts.out {
+        text.push_str(&format!("record written to {path}\n"));
+    }
+
+    let mut failures = Vec::new();
+    if !report.sweep.identical {
+        failures.push("multi-thread sweep diverged from the serial run".to_string());
+    }
+    let min_kernel = report.min_kernel_speedup();
+    if min_kernel < opts.min_speedup {
+        failures.push(format!(
+            "kernel speedup {min_kernel:.2}x below the --min-speedup {:.2}x gate",
+            opts.min_speedup
+        ));
+    }
+
+    let data = report.render_json();
+    let outcome = if failures.is_empty() {
+        Outcome::success(text, data)
+    } else {
+        Outcome::failure(failures.join("; "), text, data)
+    };
+    run.finish(&outcome)
+}

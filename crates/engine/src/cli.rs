@@ -1,0 +1,384 @@
+//! The unified command-line surface for every buscode binary.
+//!
+//! All workspace tools (`paper_tables`, `buslint`, `faultrun`,
+//! `pipeline`, `asmrun`, `engine_bench`) share:
+//!
+//! - one common flag set — `--format text|json`, `--seed S`, `--jobs N`,
+//!   `--quiet` — extracted by [`CommonArgs::extract`] before the tool
+//!   parses its own flags;
+//! - one JSON envelope — tool name, version, elapsed milliseconds, exit
+//!   status, reason, and a tool-specific `data` object — emitted by
+//!   [`ToolRun::finish`];
+//! - one exit-code convention: `0` success, `1` a gate or check failed,
+//!   `2` usage error or the tool itself could not run.
+//!
+//! A binary's `main` is reduced to: collect args, [`CommonArgs::extract`],
+//! parse the leftover tool flags with the shared helpers, compute an
+//! [`Outcome`], and hand it to [`ToolRun::finish`].
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use crate::sweep::SweepEngine;
+
+/// Output format selected by `--format`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// Human-readable text on stdout (the default).
+    #[default]
+    Text,
+    /// The shared JSON envelope on stdout.
+    Json,
+}
+
+impl Format {
+    /// Parses a `--format` value.
+    fn parse(value: &str) -> Result<Format, String> {
+        match value {
+            "text" => Ok(Format::Text),
+            "json" => Ok(Format::Json),
+            other => Err(format!("unknown format '{other}' (expected text|json)")),
+        }
+    }
+}
+
+/// The flags every buscode tool accepts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct CommonArgs {
+    /// Output format (`--format`).
+    pub format: Format,
+    /// Seed override (`--seed`); `None` keeps the tool's default.
+    pub seed: Option<u64>,
+    /// Worker threads for sweeps (`--jobs`); `0` means auto-detect,
+    /// the default `1` is serial.
+    pub jobs: usize,
+    /// Suppress the text body (`--quiet`); failures still reach stderr
+    /// and JSON envelopes are always complete.
+    pub quiet: bool,
+    /// `--help`/`-h` was given.
+    pub help: bool,
+}
+
+/// The usage fragment describing the common flags, for tool usage strings.
+pub const COMMON_USAGE: &str = "[--format text|json] [--seed S] [--jobs N] [--quiet]";
+
+impl CommonArgs {
+    /// Extracts the common flags from `args`, leaving tool-specific
+    /// arguments (in their original order) behind.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when a common flag is malformed (missing
+    /// or non-numeric value, unknown format).
+    pub fn extract(args: &mut Vec<String>) -> Result<CommonArgs, String> {
+        let mut common = CommonArgs {
+            jobs: 1,
+            ..CommonArgs::default()
+        };
+        let mut rest = Vec::with_capacity(args.len());
+        let mut it = std::mem::take(args).into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--format" => {
+                    let value = it.next().ok_or("--format needs a value")?;
+                    common.format = Format::parse(&value)?;
+                }
+                "--seed" => {
+                    let value = it.next().ok_or("--seed needs a value")?;
+                    common.seed = Some(parse_u64("--seed", &value)?);
+                }
+                "--jobs" => {
+                    let value = it.next().ok_or("--jobs needs a value")?;
+                    common.jobs = usize::try_from(parse_u64("--jobs", &value)?)
+                        .map_err(|_| "--jobs out of range".to_string())?;
+                }
+                "--quiet" | "-q" => common.quiet = true,
+                "--help" | "-h" => common.help = true,
+                _ => rest.push(arg),
+            }
+        }
+        *args = rest;
+        Ok(common)
+    }
+
+    /// The sweep engine matching `--jobs` (`0` = auto-detect).
+    #[must_use]
+    pub fn engine(&self) -> SweepEngine {
+        SweepEngine::new(self.jobs)
+    }
+
+    /// The effective seed: the `--seed` override or the tool default.
+    #[must_use]
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// True when JSON output was requested.
+    #[must_use]
+    pub fn json(&self) -> bool {
+        self.format == Format::Json
+    }
+}
+
+/// Parses a nonnegative integer flag value.
+///
+/// # Errors
+///
+/// Returns a usage message naming the flag on parse failure.
+pub fn parse_u64(flag: &str, value: &str) -> Result<u64, String> {
+    value
+        .parse::<u64>()
+        .map_err(|_| format!("{flag}: '{value}' is not a nonnegative integer"))
+}
+
+/// How a tool run ended; maps onto the process exit code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RunStatus {
+    /// Everything passed — exit 0.
+    Success,
+    /// The tool ran but a gate or check failed — exit 1.
+    Failure,
+    /// The tool could not run (bad input, broken environment) — exit 2.
+    Error,
+}
+
+impl RunStatus {
+    /// The status label used in the JSON envelope.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunStatus::Success => "success",
+            RunStatus::Failure => "failure",
+            RunStatus::Error => "error",
+        }
+    }
+
+    /// The process exit code for this status.
+    #[must_use]
+    pub fn exit_code(&self) -> ExitCode {
+        match self {
+            RunStatus::Success => ExitCode::SUCCESS,
+            RunStatus::Failure => ExitCode::FAILURE,
+            RunStatus::Error => ExitCode::from(2),
+        }
+    }
+}
+
+/// What a tool produced: status, reason, a text body, and a JSON body.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// How the run ended.
+    pub status: RunStatus,
+    /// One-line explanation of the status (goes into the envelope and,
+    /// on failure, to stderr).
+    pub reason: String,
+    /// Human-readable body for `--format text`.
+    pub text: String,
+    /// Tool-specific JSON value for the envelope's `data` field.
+    pub data: String,
+}
+
+impl Outcome {
+    /// A successful run.
+    #[must_use]
+    pub fn success(text: String, data: String) -> Self {
+        Outcome {
+            status: RunStatus::Success,
+            reason: "ok".to_string(),
+            text,
+            data,
+        }
+    }
+
+    /// A completed run whose gate failed.
+    #[must_use]
+    pub fn failure(reason: String, text: String, data: String) -> Self {
+        Outcome {
+            status: RunStatus::Failure,
+            reason,
+            text,
+            data,
+        }
+    }
+
+    /// A run that could not complete.
+    #[must_use]
+    pub fn error(reason: String) -> Self {
+        Outcome {
+            status: RunStatus::Error,
+            reason,
+            text: String::new(),
+            data: "{}".to_string(),
+        }
+    }
+}
+
+/// One tool invocation: identity, wall clock, and the common flags.
+#[derive(Debug)]
+pub struct ToolRun {
+    tool: &'static str,
+    version: &'static str,
+    common: CommonArgs,
+    start: Instant,
+}
+
+impl ToolRun {
+    /// Starts the clock for one invocation. Pass
+    /// `env!("CARGO_PKG_VERSION")` from the binary crate as `version`.
+    #[must_use]
+    pub fn new(tool: &'static str, version: &'static str, common: CommonArgs) -> Self {
+        ToolRun {
+            tool,
+            version,
+            common,
+            start: Instant::now(),
+        }
+    }
+
+    /// The common flags this run was started with.
+    #[must_use]
+    pub fn common(&self) -> &CommonArgs {
+        &self.common
+    }
+
+    /// Renders the shared JSON envelope around `outcome`.
+    #[must_use]
+    pub fn envelope(&self, outcome: &Outcome) -> String {
+        let elapsed_ms = self.start.elapsed().as_secs_f64() * 1e3;
+        format!(
+            "{{\"tool\":\"{}\",\"version\":\"{}\",\"elapsed_ms\":{:.3},\
+             \"status\":\"{}\",\"reason\":\"{}\",\"data\":{}}}",
+            json_escape(self.tool),
+            json_escape(self.version),
+            elapsed_ms,
+            outcome.status.label(),
+            json_escape(&outcome.reason),
+            if outcome.data.is_empty() {
+                "{}"
+            } else {
+                &outcome.data
+            },
+        )
+    }
+
+    /// Prints the outcome in the selected format and converts its status
+    /// into the process exit code.
+    ///
+    /// Text mode prints the body to stdout (suppressed by `--quiet`) and
+    /// failure reasons to stderr; JSON mode always prints the complete
+    /// envelope to stdout.
+    pub fn finish(self, outcome: &Outcome) -> ExitCode {
+        match self.common.format {
+            Format::Json => println!("{}", self.envelope(outcome)),
+            Format::Text => {
+                if !self.common.quiet && !outcome.text.is_empty() {
+                    if outcome.text.ends_with('\n') {
+                        print!("{}", outcome.text);
+                    } else {
+                        println!("{}", outcome.text);
+                    }
+                }
+                if outcome.status != RunStatus::Success {
+                    eprintln!("{}: {}", self.tool, outcome.reason);
+                }
+            }
+        }
+        outcome.status.exit_code()
+    }
+}
+
+/// Prints a usage error to stderr and returns the usage exit code.
+pub fn usage_error(tool: &str, usage: &str, message: &str) -> ExitCode {
+    eprintln!("{tool}: {message}");
+    eprintln!("{usage}");
+    ExitCode::from(2)
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn extract_splits_common_from_tool_flags() {
+        let mut args = argv(&[
+            "--table", "2", "--format", "json", "--seed", "7", "--jobs", "4", "--len", "100",
+            "--quiet",
+        ]);
+        let common = CommonArgs::extract(&mut args).unwrap();
+        assert_eq!(common.format, Format::Json);
+        assert_eq!(common.seed, Some(7));
+        assert_eq!(common.jobs, 4);
+        assert!(common.quiet);
+        assert!(!common.help);
+        assert_eq!(args, argv(&["--table", "2", "--len", "100"]));
+    }
+
+    #[test]
+    fn defaults_are_text_serial_no_seed() {
+        let mut args = Vec::new();
+        let common = CommonArgs::extract(&mut args).unwrap();
+        assert_eq!(common.format, Format::Text);
+        assert_eq!(common.seed, None);
+        assert_eq!(common.jobs, 1);
+        assert!(!common.quiet);
+        assert_eq!(common.seed_or(42), 42);
+    }
+
+    #[test]
+    fn bad_common_values_are_usage_errors() {
+        assert!(CommonArgs::extract(&mut argv(&["--format"])).is_err());
+        assert!(CommonArgs::extract(&mut argv(&["--format", "xml"])).is_err());
+        assert!(CommonArgs::extract(&mut argv(&["--seed", "many"])).is_err());
+        assert!(CommonArgs::extract(&mut argv(&["--jobs", "-1"])).is_err());
+    }
+
+    #[test]
+    fn envelope_has_the_shared_shape() {
+        let mut args = argv(&["--format", "json"]);
+        let common = CommonArgs::extract(&mut args).unwrap();
+        let run = ToolRun::new("testtool", "0.1.0", common);
+        let outcome = Outcome::success(String::new(), "{\"x\":1}".to_string());
+        let envelope = run.envelope(&outcome);
+        assert!(envelope.starts_with("{\"tool\":\"testtool\",\"version\":\"0.1.0\","));
+        assert!(envelope.contains("\"status\":\"success\""));
+        assert!(envelope.contains("\"reason\":\"ok\""));
+        assert!(envelope.ends_with("\"data\":{\"x\":1}}"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn status_labels_and_exit_codes() {
+        assert_eq!(RunStatus::Success.label(), "success");
+        assert_eq!(RunStatus::Failure.label(), "failure");
+        assert_eq!(RunStatus::Error.label(), "error");
+    }
+}

@@ -1,0 +1,31 @@
+//! # buscode-engine
+//!
+//! The batch execution layer of the buscode workspace.
+//!
+//! The paper's Tables 2–9 — and every campaign built on top of them — are
+//! bulk sweeps: many independent `(code, stream kind, width)` cells, each
+//! of which is a pure function of its inputs. This crate provides the
+//! machinery to run such sweeps at full machine speed without giving up
+//! the bit-exact reproducibility the rest of the workspace is built on:
+//!
+//! - [`sweep`] — [`SweepEngine`], a `std::thread::scope`-based sharder
+//!   that fans a job list across worker threads and returns results in
+//!   input order, so a `--jobs 8` run is byte-identical to `--jobs 1`;
+//! - [`cli`] — the unified command-line surface shared by every binary
+//!   in the workspace (`paper_tables`, `buslint`, `faultrun`, `pipeline`,
+//!   `asmrun`, `engine_bench`): common `--format`/`--seed`/`--jobs`/
+//!   `--quiet` flags, one JSON envelope, one exit-code convention;
+//! - [`throughput`] — the words/sec harness behind `BENCH_engine.json`,
+//!   measuring the block-API kernels against the per-word seed path.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod sweep;
+pub mod throughput;
+
+pub use cli::{CommonArgs, Format, Outcome, RunStatus, ToolRun};
+pub use sweep::SweepEngine;
+pub use throughput::{run_throughput, ThroughputReport};

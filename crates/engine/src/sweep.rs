@@ -1,0 +1,193 @@
+//! The sharded sweep engine.
+//!
+//! A sweep is a list of independent jobs — table rows, campaign cells,
+//! soak configurations — mapped through a pure worker function. The
+//! engine claims jobs with an atomic cursor, runs them on scoped threads,
+//! and writes each result into the slot matching its input index, so the
+//! output order (and therefore every rendered report) is independent of
+//! scheduling. `--jobs 8` must be byte-identical to `--jobs 1`; the only
+//! thing parallelism is allowed to change is wall-clock time.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Shards independent jobs across worker threads with deterministic
+/// result ordering.
+///
+/// # Examples
+///
+/// ```
+/// use buscode_engine::SweepEngine;
+///
+/// let engine = SweepEngine::new(4);
+/// let squares = engine.run((0u64..100).collect(), |n| n * n);
+/// assert_eq!(squares[7], 49); // input order, regardless of scheduling
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SweepEngine {
+    jobs: NonZeroUsize,
+}
+
+impl SweepEngine {
+    /// Creates an engine with the given worker count.
+    ///
+    /// `0` asks the OS for the available parallelism (falling back to 1
+    /// when that cannot be determined); any other value is used as-is.
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        let jobs = match NonZeroUsize::new(jobs) {
+            Some(n) => n,
+            None => std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN),
+        };
+        SweepEngine { jobs }
+    }
+
+    /// The single-threaded engine: runs every job inline on the caller's
+    /// thread. This is the reference behavior every parallel run must
+    /// reproduce byte-for-byte.
+    #[must_use]
+    pub fn serial() -> Self {
+        SweepEngine {
+            jobs: NonZeroUsize::MIN,
+        }
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs.get()
+    }
+
+    /// Runs `worker` over every input, returning outputs in input order.
+    ///
+    /// With one worker (or at most one input) everything runs inline on
+    /// the calling thread — no threads are spawned, so the serial path
+    /// has zero scheduling overhead. A panic in any worker propagates to
+    /// the caller once the scope joins.
+    pub fn run<In, Out, F>(&self, inputs: Vec<In>, worker: F) -> Vec<Out>
+    where
+        In: Send,
+        Out: Send,
+        F: Fn(In) -> Out + Sync,
+    {
+        let workers = self.jobs.get().min(inputs.len());
+        if workers <= 1 {
+            return inputs.into_iter().map(worker).collect();
+        }
+
+        let slots: Vec<Mutex<JobSlot<In, Out>>> = inputs
+            .into_iter()
+            .map(|input| Mutex::new(JobSlot::Pending(input)))
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        let worker = &worker;
+        let slots_ref = &slots;
+        let cursor_ref = &cursor;
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let index = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                    let Some(slot) = slots_ref.get(index) else {
+                        break;
+                    };
+                    let input = {
+                        let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+                        match std::mem::replace(&mut *guard, JobSlot::Running) {
+                            JobSlot::Pending(input) => input,
+                            other => {
+                                *guard = other;
+                                continue;
+                            }
+                        }
+                    };
+                    let output = worker(input);
+                    let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+                    *guard = JobSlot::Done(output);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                let inner = slot.into_inner().unwrap_or_else(|e| e.into_inner());
+                match inner {
+                    JobSlot::Done(output) => output,
+                    // Unreachable unless a worker panicked, in which case
+                    // the scope join above has already propagated it.
+                    JobSlot::Pending(_) | JobSlot::Running => {
+                        unreachable!("sweep job not completed")
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+impl Default for SweepEngine {
+    /// Defaults to the serial engine: parallelism is always opt-in.
+    fn default() -> Self {
+        SweepEngine::serial()
+    }
+}
+
+/// Lifecycle of one job inside [`SweepEngine::run`].
+enum JobSlot<In, Out> {
+    Pending(In),
+    Running,
+    Done(Out),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let inputs: Vec<u64> = (0..1000).collect();
+        let serial = SweepEngine::serial().run(inputs.clone(), |n| n.wrapping_mul(0x9e37));
+        let parallel = SweepEngine::new(8).run(inputs, |n| n.wrapping_mul(0x9e37));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn results_are_in_input_order() {
+        // Make early jobs slow so late jobs finish first.
+        let inputs: Vec<usize> = (0..32).collect();
+        let outputs = SweepEngine::new(8).run(inputs, |n| {
+            if n < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            n * 10
+        });
+        assert_eq!(outputs, (0..32).map(|n| n * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let outputs: Vec<u32> = SweepEngine::new(4).run(Vec::<u32>::new(), |n| n);
+        assert!(outputs.is_empty());
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let outputs = SweepEngine::new(16).run(vec![41u32], |n| n + 1);
+        assert_eq!(outputs, vec![42]);
+    }
+
+    #[test]
+    fn zero_means_auto() {
+        assert!(SweepEngine::new(0).jobs() >= 1);
+        assert_eq!(SweepEngine::new(3).jobs(), 3);
+    }
+
+    #[test]
+    fn non_copy_inputs_and_outputs() {
+        let inputs: Vec<String> = (0..64).map(|i| format!("job-{i}")).collect();
+        let expected: Vec<String> = inputs.iter().map(|s| s.to_uppercase()).collect();
+        let outputs = SweepEngine::new(4).run(inputs, |s| s.to_uppercase());
+        assert_eq!(outputs, expected);
+    }
+}

@@ -1,0 +1,308 @@
+//! The throughput harness behind `BENCH_engine.json`.
+//!
+//! Measures, on one fixed-seed synthetic address stream:
+//!
+//! 1. the **kernel speedup** — the batched transition-count kernel
+//!    ([`buscode_core::metrics::line_activity_slice`], which produces the
+//!    total *and* the per-line transition profile in one packed
+//!    carry-save pass) against the per-word seed path it replaced
+//!    ([`buscode_core::metrics::line_activity_per_word`]: one virtual
+//!    encode and a per-line flip scan per bus cycle), for the binary and
+//!    Gray codes. The total-only pair
+//!    ([`buscode_core::metrics::count_transitions_slice`] vs
+//!    [`buscode_core::metrics::count_transitions_per_word`]) is recorded
+//!    alongside for reference.
+//! 2. the **sweep speedup** — a full all-codes transition sweep sharded
+//!    through [`SweepEngine`] with `--jobs N` against the serial engine,
+//!    including a bit-exactness check between the two runs.
+//!
+//! Both measurements are pure functions of `(words, seed)`, so the
+//! transition totals they report are stable across machines; only the
+//! timing fields vary.
+
+use std::time::Instant;
+
+use buscode_core::metrics::{
+    count_transitions_per_word, count_transitions_slice, line_activity_per_word,
+    line_activity_slice,
+};
+use buscode_core::rng::Rng64;
+use buscode_core::{Access, CodeKind, CodeParams};
+
+use crate::sweep::SweepEngine;
+
+/// One code's block-vs-per-word kernel measurement.
+#[derive(Clone, Debug)]
+pub struct KernelRecord {
+    /// Code name.
+    pub code: &'static str,
+    /// Transition total (identical for every measured path by
+    /// construction; the harness errors out otherwise).
+    pub transitions: u64,
+    /// Words/sec of the per-word seed path computing the transition
+    /// profile (total + per-line counts).
+    pub per_word_words_per_sec: f64,
+    /// Words/sec of the batched kernel computing the same profile.
+    pub block_words_per_sec: f64,
+    /// `block / per_word` throughput ratio of the profile kernel — the
+    /// gated speedup.
+    pub speedup: f64,
+    /// Words/sec of the per-word seed path computing the total only.
+    pub count_per_word_words_per_sec: f64,
+    /// Words/sec of the batched total-only kernel.
+    pub count_block_words_per_sec: f64,
+    /// `block / per_word` ratio of the total-only kernel (reference).
+    pub count_speedup: f64,
+}
+
+/// The multi-thread sweep measurement.
+#[derive(Clone, Debug)]
+pub struct SweepRecord {
+    /// Number of (code) cells swept.
+    pub cells: usize,
+    /// Worker threads used for the parallel run.
+    pub jobs: usize,
+    /// Serial wall time, milliseconds.
+    pub serial_ms: f64,
+    /// Parallel wall time, milliseconds.
+    pub parallel_ms: f64,
+    /// `serial / parallel` wall-time ratio.
+    pub speedup: f64,
+    /// Whether the parallel run's results were bit-identical to serial.
+    pub identical: bool,
+}
+
+/// The full throughput record written to `BENCH_engine.json`.
+#[derive(Clone, Debug)]
+pub struct ThroughputReport {
+    /// Stream length in words.
+    pub words: usize,
+    /// Stream seed.
+    pub seed: u64,
+    /// Per-code kernel measurements (binary, gray).
+    pub kernels: Vec<KernelRecord>,
+    /// The sharded sweep measurement.
+    pub sweep: SweepRecord,
+}
+
+impl ThroughputReport {
+    /// The smallest gated kernel speedup across the measured codes.
+    #[must_use]
+    pub fn min_kernel_speedup(&self) -> f64 {
+        self.kernels
+            .iter()
+            .map(|k| k.speedup)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Renders the record as a JSON object (the `BENCH_engine.json`
+    /// payload and the `data` field of the `engine_bench` envelope).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let kernels: Vec<String> = self
+            .kernels
+            .iter()
+            .map(|k| {
+                format!(
+                    "{{\"code\":\"{}\",\"transitions\":{},\
+                     \"per_word_words_per_sec\":{:.0},\
+                     \"block_words_per_sec\":{:.0},\"speedup\":{:.3},\
+                     \"count_per_word_words_per_sec\":{:.0},\
+                     \"count_block_words_per_sec\":{:.0},\
+                     \"count_speedup\":{:.3}}}",
+                    k.code,
+                    k.transitions,
+                    k.per_word_words_per_sec,
+                    k.block_words_per_sec,
+                    k.speedup,
+                    k.count_per_word_words_per_sec,
+                    k.count_block_words_per_sec,
+                    k.count_speedup
+                )
+            })
+            .collect();
+        format!(
+            "{{\"words\":{},\"seed\":{},\"kernels\":[{}],\
+             \"sweep\":{{\"cells\":{},\"jobs\":{},\"serial_ms\":{:.3},\
+             \"parallel_ms\":{:.3},\"speedup\":{:.3},\"identical\":{}}}}}",
+            self.words,
+            self.seed,
+            kernels.join(","),
+            self.sweep.cells,
+            self.sweep.jobs,
+            self.sweep.serial_ms,
+            self.sweep.parallel_ms,
+            self.sweep.speedup,
+            self.sweep.identical
+        )
+    }
+}
+
+/// Generates the fixed-seed benchmark stream: instruction-style traffic,
+/// ~70% in-sequence word-stride fetches with random jumps, the mix the
+/// paper's instruction benchmarks average out to.
+#[must_use]
+pub fn benchmark_stream(words: usize, seed: u64) -> Vec<Access> {
+    let params = CodeParams::default();
+    let mask = params.width.mask();
+    let stride = params.stride.get();
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut addr = 0x0040_0000u64 & mask;
+    let mut stream = Vec::with_capacity(words);
+    for _ in 0..words {
+        if rng.gen_bool(0.7) {
+            addr = params.width.wrapping_add(addr, stride);
+        } else {
+            addr = rng.gen::<u64>() & mask;
+        }
+        stream.push(Access::instruction(addr));
+    }
+    stream
+}
+
+/// Runs the full throughput harness.
+///
+/// # Errors
+///
+/// Returns a message when a codec cannot be built or when any measured
+/// path disagrees with another (which would make the timing numbers
+/// meaningless).
+pub fn run_throughput(words: usize, seed: u64, jobs: usize) -> Result<ThroughputReport, String> {
+    let params = CodeParams::default();
+    let stream = benchmark_stream(words, seed);
+
+    // Each path is timed several times and the best run kept — the
+    // standard way to strip scheduler and frequency-scaling noise from a
+    // ratio of two throughputs. Both paths get the identical protocol.
+    const TIMING_RUNS: usize = 7;
+    let timed = |f: &mut dyn FnMut()| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..TIMING_RUNS {
+            let start = Instant::now();
+            f();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    let mut kernels = Vec::new();
+    // The kind list goes through `black_box` so the loop cannot be
+    // unrolled into per-code specializations: each measured path must
+    // dispatch on a code picked at run time, like production sweeps do.
+    for kind in std::hint::black_box(vec![CodeKind::Binary, CodeKind::Gray]) {
+        let mut enc = kind
+            .encoder(params)
+            .map_err(|e| format!("cannot build {} encoder: {e}", kind.name()))?;
+        // `black_box` pins every path to genuine dynamic dispatch — the
+        // production situation, where the code is picked at run time.
+
+        // The gated pair: the transition profile (total + per-line).
+        let mut profile_pw = Default::default();
+        let per_word_secs = timed(&mut || {
+            enc.reset();
+            profile_pw =
+                line_activity_per_word(std::hint::black_box(enc.as_mut()), stream.iter().copied());
+        });
+        let mut profile_blk = Default::default();
+        let block_secs = timed(&mut || {
+            enc.reset();
+            profile_blk = line_activity_slice(std::hint::black_box(enc.as_mut()), &stream);
+        });
+        if profile_pw != profile_blk {
+            return Err(format!(
+                "{}: block profile kernel disagrees with the per-word path",
+                kind.name()
+            ));
+        }
+
+        // The reference pair: total-only transition count.
+        let mut count_pw = Default::default();
+        let count_per_word_secs = timed(&mut || {
+            enc.reset();
+            count_pw = count_transitions_per_word(
+                std::hint::black_box(enc.as_mut()),
+                stream.iter().copied(),
+            );
+        });
+        let mut count_blk = Default::default();
+        let count_block_secs = timed(&mut || {
+            enc.reset();
+            count_blk = count_transitions_slice(std::hint::black_box(enc.as_mut()), &stream);
+        });
+        if count_pw.total() != count_blk.total() || count_blk.total() != profile_blk.total() {
+            return Err(format!(
+                "{}: count paths disagree ({} per-word, {} block, {} profile)",
+                kind.name(),
+                count_pw.total(),
+                count_blk.total(),
+                profile_blk.total()
+            ));
+        }
+
+        kernels.push(KernelRecord {
+            code: kind.name(),
+            transitions: count_blk.total(),
+            per_word_words_per_sec: words as f64 / per_word_secs.max(1e-9),
+            block_words_per_sec: words as f64 / block_secs.max(1e-9),
+            speedup: per_word_secs / block_secs.max(1e-9),
+            count_per_word_words_per_sec: words as f64 / count_per_word_secs.max(1e-9),
+            count_block_words_per_sec: words as f64 / count_block_secs.max(1e-9),
+            count_speedup: count_per_word_secs / count_block_secs.max(1e-9),
+        });
+    }
+
+    // The sweep: every code over the same stream, serial vs sharded.
+    let cells: Vec<CodeKind> = CodeKind::all().to_vec();
+    let sweep_cell = |kind: CodeKind| -> u64 {
+        let mut enc = kind.encoder(params).expect("valid default params");
+        count_transitions_slice(enc.as_mut(), &stream).total()
+    };
+
+    let start = Instant::now();
+    let serial = SweepEngine::serial().run(cells.clone(), sweep_cell);
+    let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let engine = SweepEngine::new(jobs);
+    let start = Instant::now();
+    let parallel = engine.run(cells.clone(), sweep_cell);
+    let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    Ok(ThroughputReport {
+        words,
+        seed,
+        kernels,
+        sweep: SweepRecord {
+            cells: cells.len(),
+            jobs: engine.jobs(),
+            serial_ms,
+            parallel_ms,
+            speedup: serial_ms / parallel_ms.max(1e-9),
+            identical: serial == parallel,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic() {
+        assert_eq!(benchmark_stream(1000, 42), benchmark_stream(1000, 42));
+        assert_ne!(benchmark_stream(1000, 42), benchmark_stream(1000, 43));
+    }
+
+    #[test]
+    fn report_is_consistent_and_identical_across_jobs() {
+        let report = run_throughput(20_000, 42, 4).expect("harness runs");
+        assert_eq!(report.kernels.len(), 2);
+        assert_eq!(report.kernels[0].code, "binary");
+        assert_eq!(report.kernels[1].code, "gray");
+        assert!(report.sweep.identical, "jobs 4 diverged from serial");
+        assert_eq!(report.sweep.cells, CodeKind::all().len());
+        let json = report.render_json();
+        assert!(json.contains("\"kernels\":["));
+        assert!(json.contains("\"count_speedup\":"));
+        assert!(json.contains("\"identical\":true"));
+    }
+}

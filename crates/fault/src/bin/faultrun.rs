@@ -11,26 +11,40 @@
 //! bound or misses a transient-flip detection, or if a bare stateful code
 //! stops showing the silent corruption the hardening layer exists for.
 //!
+//! `--jobs N` shards campaign cells across worker threads; every cell
+//! draws from its own seed-derived RNG, so the report is byte-identical
+//! to a serial run.
+//!
 //! ```text
-//! faultrun [--format text|json] [--trials N] [--len CYCLES] [--seed S]
-//!          [--refresh R] [--fault MODEL] [--gate] [--smoke]
+//! faultrun [--trials N] [--len CYCLES] [--refresh R] [--fault MODEL]
+//!          [--gate] [--smoke]
+//!          [--format text|json] [--seed S] [--jobs N] [--quiet]
 //! ```
 
 #![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 
-use buscode_fault::campaign::{run_campaign, CampaignConfig};
+use buscode_engine::cli::{self, json_escape, CommonArgs, Outcome, ToolRun, COMMON_USAGE};
+use buscode_fault::campaign::{run_campaign_with, CampaignConfig};
 use buscode_fault::gate::{render_gate_json, render_gate_text, run_gate_campaign};
 use buscode_fault::models::FaultKind;
 use buscode_fault::GateCampaignConfig;
 
-/// Parsed command line.
+const TOOL: &str = "faultrun";
+
+fn usage() -> String {
+    format!(
+        "usage: faultrun [--trials N] [--len CYCLES] [--refresh R] [--fault MODEL] \
+         [--gate] [--smoke] {COMMON_USAGE}\n\
+         fault models: transient-flip stuck-at-0 stuck-at-1 burst drop-cycle duplicate-cycle"
+    )
+}
+
+/// Tool-specific flags left after the common extraction.
 struct Options {
-    json: bool,
     trials: u32,
     stream_len: usize,
-    seed: u64,
     refresh: u64,
     /// Restrict to one fault model (default: all).
     fault: Option<FaultKind>,
@@ -40,74 +54,47 @@ struct Options {
     smoke: bool,
 }
 
-/// Outcome of argument parsing: run, print help, or reject.
-enum Parsed {
-    Run(Options),
-    Help,
-}
-
-impl Options {
-    fn parse(args: &[String]) -> Result<Parsed, String> {
-        let mut opts = Options {
-            json: false,
-            trials: 100,
-            stream_len: 500,
-            seed: 42,
-            refresh: 32,
-            fault: None,
-            gate: false,
-            smoke: false,
-        };
-        let mut it = args.iter();
-        while let Some(arg) = it.next() {
-            match arg.as_str() {
-                "--format" => {
-                    let value = it.next().ok_or("--format needs a value")?;
-                    opts.json = match value.as_str() {
-                        "json" => true,
-                        "text" => false,
-                        other => return Err(format!("unknown format '{other}'")),
-                    };
-                }
-                "--trials" => {
-                    opts.trials = parse_num(it.next().ok_or("--trials needs a value")?)? as u32;
-                }
-                "--len" => {
-                    opts.stream_len = parse_num(it.next().ok_or("--len needs a value")?)? as usize;
-                    if opts.stream_len < 32 {
-                        return Err("--len must be at least 32 cycles".to_string());
-                    }
-                }
-                "--seed" => {
-                    opts.seed = parse_num(it.next().ok_or("--seed needs a value")?)?;
-                }
-                "--refresh" => {
-                    opts.refresh = parse_num(it.next().ok_or("--refresh needs a value")?)?;
-                    if opts.refresh == 0 {
-                        return Err("--refresh must be at least 1".to_string());
-                    }
-                }
-                "--fault" => {
-                    let value = it.next().ok_or("--fault needs a value")?;
-                    opts.fault = Some(parse_fault(value)?);
-                }
-                "--gate" => opts.gate = true,
-                "--smoke" => opts.smoke = true,
-                "--help" | "-h" => return Ok(Parsed::Help),
-                other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+fn parse_tool_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        trials: 100,
+        stream_len: 500,
+        refresh: 32,
+        fault: None,
+        gate: false,
+        smoke: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trials" => {
+                let value = it.next().ok_or("--trials needs a value")?;
+                opts.trials = u32::try_from(cli::parse_u64("--trials", value)?)
+                    .map_err(|_| "--trials out of range".to_string())?;
             }
+            "--len" => {
+                let value = it.next().ok_or("--len needs a value")?;
+                opts.stream_len = cli::parse_u64("--len", value)? as usize;
+                if opts.stream_len < 32 {
+                    return Err("--len must be at least 32 cycles".to_string());
+                }
+            }
+            "--refresh" => {
+                let value = it.next().ok_or("--refresh needs a value")?;
+                opts.refresh = cli::parse_u64("--refresh", value)?;
+                if opts.refresh == 0 {
+                    return Err("--refresh must be at least 1".to_string());
+                }
+            }
+            "--fault" => {
+                let value = it.next().ok_or("--fault needs a value")?;
+                opts.fault = Some(parse_fault(value)?);
+            }
+            "--gate" => opts.gate = true,
+            "--smoke" => opts.smoke = true,
+            other => return Err(format!("unknown argument '{other}'")),
         }
-        Ok(Parsed::Run(opts))
     }
-}
-
-const USAGE: &str = "usage: faultrun [--format text|json] [--trials N] [--len CYCLES] \
-[--seed S] [--refresh R] [--fault MODEL] [--gate] [--smoke]\n\
-fault models: transient-flip stuck-at-0 stuck-at-1 burst drop-cycle duplicate-cycle";
-
-fn parse_num(s: &str) -> Result<u64, String> {
-    s.parse::<u64>()
-        .map_err(|_| format!("'{s}' is not a nonnegative integer"))
+    Ok(opts)
 }
 
 fn parse_fault(s: &str) -> Result<FaultKind, String> {
@@ -115,26 +102,30 @@ fn parse_fault(s: &str) -> Result<FaultKind, String> {
         .iter()
         .copied()
         .find(|k| k.name() == s)
-        .ok_or_else(|| format!("unknown fault model '{s}'\n{USAGE}"))
+        .ok_or_else(|| format!("unknown fault model '{s}'"))
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match Options::parse(&args) {
-        Ok(Parsed::Run(opts)) => opts,
-        Ok(Parsed::Help) => {
-            println!("{USAGE}");
-            return ExitCode::SUCCESS;
-        }
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::from(2);
-        }
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let common = match CommonArgs::extract(&mut args) {
+        Ok(common) => common,
+        Err(msg) => return cli::usage_error(TOOL, &usage(), &msg),
     };
+    if common.help {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_tool_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => return cli::usage_error(TOOL, &usage(), &msg),
+    };
+    let run = ToolRun::new(TOOL, env!("CARGO_PKG_VERSION"), common);
+    let engine = common.engine();
+    let seed = common.seed_or(42);
 
     let config = if opts.smoke {
         CampaignConfig {
-            seed: opts.seed,
+            seed,
             refresh: opts.refresh,
             ..CampaignConfig::smoke()
         }
@@ -142,7 +133,7 @@ fn main() -> ExitCode {
         CampaignConfig {
             trials: opts.trials,
             stream_len: opts.stream_len,
-            seed: opts.seed,
+            seed,
             refresh: opts.refresh,
             faults: match opts.fault {
                 Some(kind) => vec![kind],
@@ -152,53 +143,63 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match run_campaign(&config) {
+    let report = match run_campaign_with(&engine, &config) {
         Ok(report) => report,
-        Err(err) => {
-            eprintln!("faultrun: campaign failed to run: {err}");
-            return ExitCode::from(2);
-        }
+        Err(err) => return run.finish(&Outcome::error(format!("campaign failed to run: {err}"))),
     };
 
-    if opts.json {
-        println!("{}", report.render_json());
-    } else {
-        print!("{}", report.render_text());
-    }
+    let mut text = report.render_text();
+    let mut data = format!(
+        "{{\"jobs\":{},\"campaign\":{}",
+        engine.jobs(),
+        report.render_json()
+    );
 
     if opts.gate {
         let gate_rows = match run_gate_campaign(&GateCampaignConfig {
             trials: opts.trials.min(20),
-            seed: opts.seed,
+            seed,
             ..GateCampaignConfig::default()
         }) {
             Ok(rows) => rows,
-            Err(err) => {
-                eprintln!("faultrun: gate campaign failed: {err}");
-                return ExitCode::from(2);
-            }
+            Err(err) => return run.finish(&Outcome::error(format!("gate campaign failed: {err}"))),
         };
-        if opts.json {
-            println!("{}", render_gate_json(&gate_rows));
-        } else {
-            println!("\ngate-level campaign (width 8):");
-            print!("{}", render_gate_text(&gate_rows));
-        }
+        text.push_str("\ngate-level campaign (width 8):\n");
+        text.push_str(&render_gate_text(&gate_rows));
+        data.push_str(",\"gate\":");
+        data.push_str(&render_gate_json(&gate_rows));
     }
 
-    if opts.smoke {
+    let outcome = if opts.smoke {
         let failures = report.smoke_failures();
-        if !failures.is_empty() {
+        let failure_list: Vec<String> = failures
+            .iter()
+            .map(|f| format!("\"{}\"", json_escape(f)))
+            .collect();
+        data.push_str(&format!(
+            ",\"smoke_failures\":[{}]}}",
+            failure_list.join(",")
+        ));
+        if failures.is_empty() {
+            text.push_str(&format!(
+                "smoke gate passed ({} campaign cells, seed {})\n",
+                report.rows.len(),
+                config.seed
+            ));
+            Outcome::success(text, data)
+        } else {
             for failure in &failures {
-                eprintln!("faultrun: SMOKE FAILURE: {failure}");
+                text.push_str(&format!("SMOKE FAILURE: {failure}\n"));
             }
-            return ExitCode::FAILURE;
+            Outcome::failure(
+                format!("{} smoke gate failure(s)", failures.len()),
+                text,
+                data,
+            )
         }
-        eprintln!(
-            "faultrun: smoke gate passed ({} campaign cells, seed {})",
-            report.rows.len(),
-            config.seed
-        );
-    }
-    ExitCode::SUCCESS
+    } else {
+        data.push('}');
+        Outcome::success(text, data)
+    };
+    run.finish(&outcome)
 }

@@ -27,6 +27,7 @@
 
 use buscode_core::rng::Rng64;
 use buscode_core::{Access, CodeKind, CodeParams, CodecError, Decoder, Encoder};
+use buscode_engine::SweepEngine;
 use buscode_trace::{DataModel, InstructionModel, MuxedModel, StreamKind};
 
 use crate::models::{apply_fault, BusGeometry, FaultKind, FaultSite};
@@ -185,34 +186,59 @@ pub fn stream_for(kind: StreamKind, len: usize, seed: u64) -> Vec<Access> {
 ///
 /// Propagates codec construction errors (invalid parameters).
 pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, CodecError> {
-    let mut rows = Vec::new();
+    run_campaign_with(&SweepEngine::serial(), config)
+}
+
+/// [`run_campaign`] with its cells sharded through `engine`.
+///
+/// Every cell draws from its own RNG derived from the master seed and
+/// the cell coordinates, and results come back in the serial nested-loop
+/// order, so the report is bit-identical for any worker count.
+///
+/// # Errors
+///
+/// Propagates codec construction errors (invalid parameters).
+pub fn run_campaign_with(
+    engine: &SweepEngine,
+    config: &CampaignConfig,
+) -> Result<CampaignReport, CodecError> {
     let streams = [StreamKind::Instruction, StreamKind::Data, StreamKind::Muxed];
+    let generated: Vec<Vec<Access>> = streams
+        .iter()
+        .enumerate()
+        .map(|(si, &kind)| stream_for(kind, config.stream_len, config.seed.wrapping_add(si as u64)))
+        .collect();
+
+    let mut cells = Vec::new();
     for (si, &stream_kind) in streams.iter().enumerate() {
-        let stream = stream_for(
-            stream_kind,
-            config.stream_len,
-            config.seed.wrapping_add(si as u64),
-        );
         for (ci, kind) in CodeKind::all().into_iter().enumerate() {
             for (fi, &fault) in config.faults.iter().enumerate() {
                 for hardened in [false, true] {
-                    // One deterministic rng per cell, derived from the
-                    // master seed and the cell coordinates.
-                    let cell = (ci as u64) << 16 | (si as u64) << 8 | fi as u64;
-                    let cell = cell << 1 | u64::from(hardened);
-                    let mut rng =
-                        Rng64::seed_from_u64(config.seed ^ cell.wrapping_mul(0x9e3779b97f4a7c15));
-                    let stats = run_cell(config, kind, &stream, fault, hardened, &mut rng)?;
-                    rows.push(CampaignRow {
-                        code: kind,
-                        stream: stream_kind,
-                        fault,
-                        hardened,
-                        stats,
-                    });
+                    cells.push((si, ci, fi, stream_kind, kind, fault, hardened));
                 }
             }
         }
+    }
+
+    let results = engine.run(cells, |(si, ci, fi, stream_kind, kind, fault, hardened)| {
+        // One deterministic rng per cell, derived from the master seed
+        // and the cell coordinates — independent of scheduling.
+        let cell = (ci as u64) << 16 | (si as u64) << 8 | fi as u64;
+        let cell = cell << 1 | u64::from(hardened);
+        let mut rng = Rng64::seed_from_u64(config.seed ^ cell.wrapping_mul(0x9e3779b97f4a7c15));
+        let stream = generated.get(si).map(Vec::as_slice).unwrap_or_default();
+        run_cell(config, kind, stream, fault, hardened, &mut rng).map(|stats| CampaignRow {
+            code: kind,
+            stream: stream_kind,
+            fault,
+            hardened,
+            stats,
+        })
+    });
+
+    let mut rows = Vec::with_capacity(results.len());
+    for result in results {
+        rows.push(result?);
     }
     Ok(CampaignReport {
         config: config.clone(),
@@ -501,6 +527,24 @@ mod tests {
         for (x, y) in a.rows.iter().zip(&b.rows) {
             assert_eq!(x.stats, y.stats, "{} {} differs", x.code, x.fault);
         }
+    }
+
+    #[test]
+    fn sharded_campaign_matches_serial_bit_for_bit() {
+        let mut config = tiny();
+        config.faults = vec![FaultKind::TransientFlip, FaultKind::Burst];
+        let serial = run_campaign(&config).unwrap();
+        let parallel = run_campaign_with(&SweepEngine::new(8), &config).unwrap();
+        assert_eq!(serial.rows.len(), parallel.rows.len());
+        for (x, y) in serial.rows.iter().zip(&parallel.rows) {
+            assert_eq!(
+                (x.code, x.stream, x.fault, x.hardened),
+                (y.code, y.stream, y.fault, y.hardened)
+            );
+            assert_eq!(x.stats, y.stats);
+        }
+        assert_eq!(serial.render_json(), parallel.render_json());
+        assert_eq!(serial.render_text(), parallel.render_text());
     }
 
     #[test]

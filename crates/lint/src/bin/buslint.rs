@@ -7,24 +7,38 @@
 //! finding (structural breakage or a disproved protocol property) is
 //! present.
 //!
+//! `--jobs N` shards the per-circuit lints and the per-code protocol
+//! checks across worker threads; diagnostics come back in the serial
+//! order, so the report is byte-identical for any worker count.
+//!
 //! ```text
-//! buslint [--format text|json] [--width BITS] [--protocol-width BITS]
+//! buslint [--width BITS] [--protocol-width BITS]
 //!         [--skip-netlists] [--skip-protocol] [--fail-on-warnings]
+//!         [--format text|json] [--seed S] [--jobs N] [--quiet]
 //! ```
 
 #![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 
-use buscode_core::check::{check_all, CheckConfig, Verdict};
-use buscode_core::CodeParams;
+use buscode_core::check::{check_code, CheckConfig, Verdict};
+use buscode_core::{CodeKind, CodeParams};
+use buscode_engine::cli::{self, CommonArgs, Outcome, ToolRun, COMMON_USAGE};
 use buscode_lint::passes::lint_netlist;
 use buscode_lint::suite::codec_netlists;
 use buscode_lint::{Diagnostic, Report, Severity};
 
-/// Parsed command line.
+const TOOL: &str = "buslint";
+
+fn usage() -> String {
+    format!(
+        "usage: buslint [--width BITS] [--protocol-width BITS] [--skip-netlists] \
+         [--skip-protocol] [--fail-on-warnings] {COMMON_USAGE}"
+    )
+}
+
+/// Tool-specific flags left after the common extraction.
 struct Options {
-    json: bool,
     /// Width for generated codec netlists.
     width: u32,
     /// Width for the protocol model checker (kept small: state spaces
@@ -35,54 +49,33 @@ struct Options {
     fail_on_warnings: bool,
 }
 
-/// Outcome of argument parsing: run, print help, or reject.
-enum Parsed {
-    Run(Options),
-    Help,
-}
-
-impl Options {
-    fn parse(args: &[String]) -> Result<Parsed, String> {
-        let mut opts = Options {
-            json: false,
-            width: 8,
-            protocol_width: 4,
-            run_netlists: true,
-            run_protocol: true,
-            fail_on_warnings: false,
-        };
-        let mut it = args.iter();
-        while let Some(arg) = it.next() {
-            match arg.as_str() {
-                "--format" => {
-                    let value = it.next().ok_or("--format needs a value")?;
-                    opts.json = match value.as_str() {
-                        "json" => true,
-                        "text" => false,
-                        other => return Err(format!("unknown format '{other}'")),
-                    };
-                }
-                "--width" => {
-                    opts.width = parse_width(it.next().ok_or("--width needs a value")?, 64)?;
-                }
-                "--protocol-width" => {
-                    let value = it.next().ok_or("--protocol-width needs a value")?;
-                    // The checker itself refuses widths over 16.
-                    opts.protocol_width = parse_width(value, 16)?;
-                }
-                "--skip-netlists" => opts.run_netlists = false,
-                "--skip-protocol" => opts.run_protocol = false,
-                "--fail-on-warnings" => opts.fail_on_warnings = true,
-                "--help" | "-h" => return Ok(Parsed::Help),
-                other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+fn parse_tool_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        width: 8,
+        protocol_width: 4,
+        run_netlists: true,
+        run_protocol: true,
+        fail_on_warnings: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--width" => {
+                opts.width = parse_width(it.next().ok_or("--width needs a value")?, 64)?;
             }
+            "--protocol-width" => {
+                let value = it.next().ok_or("--protocol-width needs a value")?;
+                // The checker itself refuses widths over 16.
+                opts.protocol_width = parse_width(value, 16)?;
+            }
+            "--skip-netlists" => opts.run_netlists = false,
+            "--skip-protocol" => opts.run_protocol = false,
+            "--fail-on-warnings" => opts.fail_on_warnings = true,
+            other => return Err(format!("unknown argument '{other}'")),
         }
-        Ok(Parsed::Run(opts))
     }
+    Ok(opts)
 }
-
-const USAGE: &str = "usage: buslint [--format text|json] [--width BITS] \
-[--protocol-width BITS] [--skip-netlists] [--skip-protocol] [--fail-on-warnings]";
 
 fn parse_width(s: &str, max: u32) -> Result<u32, String> {
     match s.parse::<u32>() {
@@ -92,18 +85,21 @@ fn parse_width(s: &str, max: u32) -> Result<u32, String> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match Options::parse(&args) {
-        Ok(Parsed::Run(opts)) => opts,
-        Ok(Parsed::Help) => {
-            println!("{USAGE}");
-            return ExitCode::SUCCESS;
-        }
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::from(2);
-        }
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let common = match CommonArgs::extract(&mut args) {
+        Ok(common) => common,
+        Err(msg) => return cli::usage_error(TOOL, &usage(), &msg),
     };
+    if common.help {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_tool_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => return cli::usage_error(TOOL, &usage(), &msg),
+    };
+    let run = ToolRun::new(TOOL, env!("CARGO_PKG_VERSION"), common);
+    let engine = common.engine();
 
     let mut report = Report::new();
 
@@ -111,22 +107,22 @@ fn main() -> ExitCode {
         let entries = match codec_netlists(opts.width) {
             Ok(entries) => entries,
             Err(err) => {
-                eprintln!("buslint: building codec netlists failed: {err}");
-                return ExitCode::from(2);
+                return run.finish(&Outcome::error(format!(
+                    "building codec netlists failed: {err}"
+                )))
             }
         };
-        for entry in entries {
-            report.extend(lint_netlist(&entry.label, &entry.netlist));
+        // Each circuit lints independently; the engine returns results in
+        // entry order, so the report reads identically at any job count.
+        for diagnostics in engine.run(entries, |entry| lint_netlist(&entry.label, &entry.netlist)) {
+            report.extend(diagnostics);
         }
     }
 
     if opts.run_protocol {
         let params = match CodeParams::new(opts.protocol_width, 1) {
             Ok(params) => params,
-            Err(err) => {
-                eprintln!("buslint: bad protocol width: {err}");
-                return ExitCode::from(2);
-            }
+            Err(err) => return run.finish(&Outcome::error(format!("bad protocol width: {err}"))),
         };
         // Keep the CLI snappy: a couple of seconds even in debug builds.
         // Codes whose state space exceeds this budget come back Bounded,
@@ -135,31 +131,42 @@ fn main() -> ExitCode {
             max_states: 1 << 18,
             max_transitions: 2_000_000,
         };
-        match check_all(params, &config) {
-            Ok(verdicts) => {
-                for (kind, verdict) in verdicts {
-                    report.push(protocol_diagnostic(kind.name(), &verdict));
+        let verdicts = engine.run(CodeKind::all().to_vec(), |kind| {
+            check_code(kind, params, &config).map(|verdict| (kind, verdict))
+        });
+        for result in verdicts {
+            match result {
+                Ok((kind, verdict)) => report.push(protocol_diagnostic(kind.name(), &verdict)),
+                Err(err) => {
+                    return run.finish(&Outcome::error(format!(
+                        "protocol check failed to run: {err}"
+                    )))
                 }
-            }
-            Err(err) => {
-                eprintln!("buslint: protocol check failed to run: {err}");
-                return ExitCode::from(2);
             }
         }
     }
 
-    if opts.json {
-        println!("{}", report.render_json());
-    } else {
-        print!("{}", report.render_text());
-    }
-
     let failed = !report.is_clean() || (opts.fail_on_warnings && report.warning_count() > 0);
-    if failed {
-        ExitCode::FAILURE
+    let text = report.render_text();
+    let data = format!(
+        "{{\"jobs\":{},\"report\":{}}}",
+        engine.jobs(),
+        report.render_json()
+    );
+    let outcome = if failed {
+        let reason = if report.is_clean() {
+            format!(
+                "{} warning(s) with --fail-on-warnings",
+                report.warning_count()
+            )
+        } else {
+            "error-severity findings present".to_string()
+        };
+        Outcome::failure(reason, text, data)
     } else {
-        ExitCode::SUCCESS
-    }
+        Outcome::success(text, data)
+    };
+    run.finish(&outcome)
 }
 
 /// Folds a model-checker verdict into the diagnostic stream: failures

@@ -11,24 +11,46 @@
 //! re-promoted. `--no-recovery` turns the supervisor's repairs off — the
 //! same soak then fails, which is the point.
 //!
+//! `--sweep` runs the soak over every code, sharded across `--jobs N`
+//! worker threads by the batch engine; the combined gate passes only if
+//! every code passes, and the report is byte-identical for any worker
+//! count.
+//!
 //! ```text
 //! pipeline [--code NAME] [--width BITS] [--stride N] [--refresh R|bare]
-//!          [--stream instruction|data|muxed] [--len WORDS] [--seed S]
-//!          [--chunk WORDS] [--deadline-us US] [--format text|json]
-//!          [--soak] [--no-recovery] [--no-degrade] [--power]
+//!          [--stream instruction|data|muxed] [--len WORDS]
+//!          [--chunk WORDS] [--deadline-us US]
+//!          [--soak] [--sweep] [--no-recovery] [--no-degrade] [--power]
 //!          [--checkpoint-out FILE] [--resume FILE]
+//!          [--format text|json] [--seed S] [--jobs N] [--quiet]
 //! ```
 
 #![forbid(unsafe_code)]
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use buscode_core::{CodeKind, CodeParams};
+use buscode_engine::cli::{self, json_escape, CommonArgs, Outcome, ToolRun, COMMON_USAGE};
+use buscode_engine::SweepEngine;
 use buscode_fault::campaign::stream_for;
 use buscode_pipeline::soak::{run_soak, SoakConfig, SoakReport};
 use buscode_pipeline::{clean_channel, Checkpoint, Pipeline, PipelineConfig, PipelineStats};
 use buscode_power::degradation_cost;
 use buscode_trace::StreamKind;
+
+const TOOL: &str = "pipeline";
+
+fn usage() -> String {
+    format!(
+        "usage: pipeline [--code NAME] [--width BITS] [--stride N] [--refresh R|bare] \
+         [--stream instruction|data|muxed] [--len WORDS] [--chunk WORDS] [--deadline-us US] \
+         [--soak] [--sweep] [--no-recovery] [--no-degrade] [--power] \
+         [--checkpoint-out FILE] [--resume FILE] {COMMON_USAGE}\n\
+         codes: binary gray bus-invert t0 t0-bi dual-t0 dual-t0-bi t0-xor offset \
+         working-zone beach self-org"
+    )
+}
 
 struct Options {
     code: CodeKind,
@@ -41,8 +63,8 @@ struct Options {
     seed: u64,
     chunk: usize,
     deadline_us: Option<u64>,
-    json: bool,
     soak: bool,
+    sweep: bool,
     no_recovery: bool,
     no_degrade: bool,
     power: bool,
@@ -50,133 +72,107 @@ struct Options {
     resume: Option<String>,
 }
 
-enum Parsed {
-    Run(Options),
-    Help,
-}
-
-const USAGE: &str = "usage: pipeline [--code NAME] [--width BITS] [--stride N] \
-[--refresh R|bare] [--stream instruction|data|muxed] [--len WORDS] [--seed S] \
-[--chunk WORDS] [--deadline-us US] [--format text|json] [--soak] [--no-recovery] \
-[--no-degrade] [--power] [--checkpoint-out FILE] [--resume FILE]\n\
-codes: binary gray bus-invert t0 t0-bi dual-t0 dual-t0-bi t0-xor offset \
-working-zone beach self-org";
-
-fn parse_num(s: &str) -> Result<u64, String> {
-    s.parse::<u64>()
-        .map_err(|_| format!("'{s}' is not a nonnegative integer"))
+fn parse_tool_args(args: &[String], seed: u64) -> Result<Options, String> {
+    let mut opts = Options {
+        code: CodeKind::DualT0Bi,
+        width: 32,
+        stride: 4,
+        refresh: Some(16),
+        stream: StreamKind::Muxed,
+        len: 100_000,
+        seed,
+        chunk: 4096,
+        deadline_us: None,
+        soak: false,
+        sweep: false,
+        no_recovery: false,
+        no_degrade: false,
+        power: false,
+        checkpoint_out: None,
+        resume: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--code" => {
+                let value = it.next().ok_or("--code needs a value")?;
+                opts.code = CodeKind::all()
+                    .into_iter()
+                    .find(|k| k.name() == value.as_str())
+                    .ok_or_else(|| format!("unknown code '{value}'"))?;
+            }
+            "--width" => {
+                let value = it.next().ok_or("--width needs a value")?;
+                opts.width = u32::try_from(cli::parse_u64("--width", value)?)
+                    .map_err(|_| "--width out of range".to_string())?;
+            }
+            "--stride" => {
+                let value = it.next().ok_or("--stride needs a value")?;
+                opts.stride = cli::parse_u64("--stride", value)?;
+            }
+            "--refresh" => {
+                let value = it.next().ok_or("--refresh needs a value")?;
+                opts.refresh = if value == "bare" {
+                    None
+                } else {
+                    let r = cli::parse_u64("--refresh", value)?;
+                    if r == 0 {
+                        return Err("--refresh must be at least 1 (or 'bare')".to_string());
+                    }
+                    Some(r)
+                };
+            }
+            "--stream" => {
+                let value = it.next().ok_or("--stream needs a value")?;
+                opts.stream = match value.as_str() {
+                    "instruction" => StreamKind::Instruction,
+                    "data" => StreamKind::Data,
+                    "muxed" => StreamKind::Muxed,
+                    other => return Err(format!("unknown stream kind '{other}'")),
+                };
+            }
+            "--len" => {
+                let value = it.next().ok_or("--len needs a value")?;
+                opts.len = cli::parse_u64("--len", value)?;
+                if opts.len == 0 {
+                    return Err("--len must be at least 1 word".to_string());
+                }
+            }
+            "--chunk" => {
+                let value = it.next().ok_or("--chunk needs a value")?;
+                opts.chunk = usize::try_from(cli::parse_u64("--chunk", value)?)
+                    .map_err(|_| "--chunk out of range".to_string())?;
+                if opts.chunk == 0 {
+                    return Err("--chunk must be at least 1 word".to_string());
+                }
+            }
+            "--deadline-us" => {
+                let value = it.next().ok_or("--deadline-us needs a value")?;
+                opts.deadline_us = Some(cli::parse_u64("--deadline-us", value)?);
+            }
+            "--soak" => opts.soak = true,
+            "--sweep" => opts.sweep = true,
+            "--no-recovery" => opts.no_recovery = true,
+            "--no-degrade" => opts.no_degrade = true,
+            "--power" => opts.power = true,
+            "--checkpoint-out" => {
+                opts.checkpoint_out =
+                    Some(it.next().ok_or("--checkpoint-out needs a value")?.clone());
+            }
+            "--resume" => {
+                opts.resume = Some(it.next().ok_or("--resume needs a value")?.clone());
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(opts)
 }
 
 impl Options {
-    fn parse(args: &[String]) -> Result<Parsed, String> {
-        let mut opts = Options {
-            code: CodeKind::DualT0Bi,
-            width: 32,
-            stride: 4,
-            refresh: Some(16),
-            stream: StreamKind::Muxed,
-            len: 100_000,
-            seed: 42,
-            chunk: 4096,
-            deadline_us: None,
-            json: false,
-            soak: false,
-            no_recovery: false,
-            no_degrade: false,
-            power: false,
-            checkpoint_out: None,
-            resume: None,
-        };
-        let mut it = args.iter();
-        while let Some(arg) = it.next() {
-            match arg.as_str() {
-                "--code" => {
-                    let value = it.next().ok_or("--code needs a value")?;
-                    opts.code = CodeKind::all()
-                        .into_iter()
-                        .find(|k| k.name() == value.as_str())
-                        .ok_or_else(|| format!("unknown code '{value}'\n{USAGE}"))?;
-                }
-                "--width" => {
-                    opts.width =
-                        u32::try_from(parse_num(it.next().ok_or("--width needs a value")?)?)
-                            .map_err(|_| "--width out of range".to_string())?;
-                }
-                "--stride" => {
-                    opts.stride = parse_num(it.next().ok_or("--stride needs a value")?)?;
-                }
-                "--refresh" => {
-                    let value = it.next().ok_or("--refresh needs a value")?;
-                    opts.refresh = if value == "bare" {
-                        None
-                    } else {
-                        let r = parse_num(value)?;
-                        if r == 0 {
-                            return Err("--refresh must be at least 1 (or 'bare')".to_string());
-                        }
-                        Some(r)
-                    };
-                }
-                "--stream" => {
-                    let value = it.next().ok_or("--stream needs a value")?;
-                    opts.stream = match value.as_str() {
-                        "instruction" => StreamKind::Instruction,
-                        "data" => StreamKind::Data,
-                        "muxed" => StreamKind::Muxed,
-                        other => return Err(format!("unknown stream kind '{other}'\n{USAGE}")),
-                    };
-                }
-                "--len" => {
-                    opts.len = parse_num(it.next().ok_or("--len needs a value")?)?;
-                    if opts.len == 0 {
-                        return Err("--len must be at least 1 word".to_string());
-                    }
-                }
-                "--seed" => {
-                    opts.seed = parse_num(it.next().ok_or("--seed needs a value")?)?;
-                }
-                "--chunk" => {
-                    opts.chunk =
-                        usize::try_from(parse_num(it.next().ok_or("--chunk needs a value")?)?)
-                            .map_err(|_| "--chunk out of range".to_string())?;
-                    if opts.chunk == 0 {
-                        return Err("--chunk must be at least 1 word".to_string());
-                    }
-                }
-                "--deadline-us" => {
-                    opts.deadline_us =
-                        Some(parse_num(it.next().ok_or("--deadline-us needs a value")?)?);
-                }
-                "--format" => {
-                    let value = it.next().ok_or("--format needs a value")?;
-                    opts.json = match value.as_str() {
-                        "json" => true,
-                        "text" => false,
-                        other => return Err(format!("unknown format '{other}'")),
-                    };
-                }
-                "--soak" => opts.soak = true,
-                "--no-recovery" => opts.no_recovery = true,
-                "--no-degrade" => opts.no_degrade = true,
-                "--power" => opts.power = true,
-                "--checkpoint-out" => {
-                    opts.checkpoint_out =
-                        Some(it.next().ok_or("--checkpoint-out needs a value")?.clone());
-                }
-                "--resume" => {
-                    opts.resume = Some(it.next().ok_or("--resume needs a value")?.clone());
-                }
-                "--help" | "-h" => return Ok(Parsed::Help),
-                other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
-            }
-        }
-        Ok(Parsed::Run(opts))
-    }
-
-    fn pipeline_config(&self) -> Result<PipelineConfig, String> {
+    fn pipeline_config(&self, code: CodeKind) -> Result<PipelineConfig, String> {
         let params = CodeParams::new(self.width, self.stride)
             .map_err(|e| format!("invalid bus parameters: {e}"))?;
-        let mut config = PipelineConfig::new(self.code, params);
+        let mut config = PipelineConfig::new(code, params);
         config.refresh = self.refresh;
         config.chunk_words = self.chunk;
         config.deadline_micros = self.deadline_us;
@@ -242,55 +238,63 @@ fn render_stats_json(stats: &PipelineStats) -> String {
     )
 }
 
-fn print_soak_report(opts: &Options, report: &SoakReport) {
-    if opts.json {
-        let failures: Vec<String> = report
-            .failures
-            .iter()
-            .map(|f| format!("{{\"gate\":\"{}\",\"reason\":\"{}\"}}", f.gate, f.reason))
-            .collect();
-        println!(
-            "{{\"mode\":\"soak\",\"code\":\"{}\",\"seed\":{},\"words\":{},\
-             \"injected_single\":{},\"injected_double\":{},\"injected_burst\":{},\
-             \"stats\":{},\"passed\":{},\"failures\":[{}]}}",
-            opts.code.name(),
-            report.soak.seed,
-            report.soak.words,
-            report.injected_single,
-            report.injected_double,
-            report.injected_burst,
-            render_stats_json(&report.stats),
-            report.passed(),
-            failures.join(",")
-        );
-    } else {
-        println!(
-            "soak: {} over {} words (seed {}, stream {})",
-            opts.code.name(),
-            report.soak.words,
-            report.soak.seed,
-            report.soak.stream
-        );
-        println!(
-            "injected: {} single-flip, {} double-flip, {} burst",
-            report.injected_single, report.injected_double, report.injected_burst
-        );
-        print!("{}", render_stats_text(&report.stats));
-        if report.passed() {
-            println!("soak gate: PASS");
-        } else {
-            for f in &report.failures {
-                println!("soak gate FAILURE [{}]: {}", f.gate, f.reason);
-            }
-        }
-    }
+fn soak_report_json(code: CodeKind, report: &SoakReport) -> String {
+    let failures: Vec<String> = report
+        .failures
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"gate\":\"{}\",\"reason\":\"{}\"}}",
+                f.gate,
+                json_escape(&f.reason)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"code\":\"{}\",\"seed\":{},\"words\":{},\
+         \"injected_single\":{},\"injected_double\":{},\"injected_burst\":{},\
+         \"stats\":{},\"passed\":{},\"failures\":[{}]}}",
+        code.name(),
+        report.soak.seed,
+        report.soak.words,
+        report.injected_single,
+        report.injected_double,
+        report.injected_burst,
+        render_stats_json(&report.stats),
+        report.passed(),
+        failures.join(",")
+    )
 }
 
-fn print_power(
+fn soak_report_text(code: CodeKind, report: &SoakReport) -> String {
+    let mut out = format!(
+        "soak: {} over {} words (seed {}, stream {})\n\
+         injected: {} single-flip, {} double-flip, {} burst\n",
+        code.name(),
+        report.soak.words,
+        report.soak.seed,
+        report.soak.stream,
+        report.injected_single,
+        report.injected_double,
+        report.injected_burst,
+    );
+    out.push_str(&render_stats_text(&report.stats));
+    if report.passed() {
+        out.push_str("soak gate: PASS\n");
+    } else {
+        for f in &report.failures {
+            let _ = writeln!(out, "soak gate FAILURE [{}]: {}", f.gate, f.reason);
+        }
+    }
+    out
+}
+
+/// Renders the power cost of the demoted fraction: text and JSON forms.
+fn power_report(
     opts: &Options,
     config: &PipelineConfig,
     stats: &PipelineStats,
-) -> Result<(), String> {
+) -> Result<(String, String), String> {
     let stream = stream_for(
         opts.stream,
         usize::try_from(opts.len.min(100_000)).unwrap_or(100_000),
@@ -310,46 +314,119 @@ fn print_power(
         buscode_logic::Technology::date98(),
     )
     .map_err(|e| format!("power model failed: {e}"))?;
-    if opts.json {
-        println!(
-            "{{\"mode\":\"power\",\"code\":\"{}\",\"code_mw\":{:.6},\"binary_mw\":{:.6},\
-             \"degraded_fraction\":{:.6},\"penalty_mw\":{:.6},\"effective_mw\":{:.6}}}",
-            opts.code.name(),
-            cost.code_mw,
-            cost.binary_mw,
-            cost.degraded_fraction,
-            cost.penalty_mw,
-            cost.effective_mw()
-        );
-    } else {
-        println!(
-            "degradation cost: {} {:.4} mW, binary {:.4} mW, {:.2}% of words demoted -> \
-             penalty {:.4} mW (effective {:.4} mW)",
-            opts.code.name(),
-            cost.code_mw,
-            cost.binary_mw,
-            100.0 * cost.degraded_fraction,
-            cost.penalty_mw,
-            cost.effective_mw()
-        );
-    }
-    Ok(())
+    let text = format!(
+        "degradation cost: {} {:.4} mW, binary {:.4} mW, {:.2}% of words demoted -> \
+         penalty {:.4} mW (effective {:.4} mW)\n",
+        opts.code.name(),
+        cost.code_mw,
+        cost.binary_mw,
+        100.0 * cost.degraded_fraction,
+        cost.penalty_mw,
+        cost.effective_mw()
+    );
+    let json = format!(
+        "{{\"code\":\"{}\",\"code_mw\":{:.6},\"binary_mw\":{:.6},\
+         \"degraded_fraction\":{:.6},\"penalty_mw\":{:.6},\"effective_mw\":{:.6}}}",
+        opts.code.name(),
+        cost.code_mw,
+        cost.binary_mw,
+        cost.degraded_fraction,
+        cost.penalty_mw,
+        cost.effective_mw()
+    );
+    Ok((text, json))
 }
 
-fn run(opts: &Options) -> Result<ExitCode, String> {
-    let config = opts.pipeline_config()?;
+/// `--sweep`: the soak campaign over every code, sharded by the engine.
+fn run_sweep(opts: &Options, engine: &SweepEngine) -> Result<Outcome, String> {
+    let soak = SoakConfig::new(opts.seed, opts.len);
+    let results = engine.run(CodeKind::all().to_vec(), |code| {
+        let config = opts.pipeline_config(code)?;
+        let report = run_soak(config, soak).map_err(|e| format!("{code} soak failed: {e}"))?;
+        Ok::<(CodeKind, SoakReport), String>((code, report))
+    });
+
+    let mut reports = Vec::with_capacity(results.len());
+    for result in results {
+        reports.push(result?);
+    }
+
+    let mut text = format!(
+        "soak sweep: {} codes x {} words (seed {}, jobs {})\n",
+        reports.len(),
+        opts.len,
+        opts.seed,
+        engine.jobs()
+    );
+    let mut failed = 0usize;
+    for (code, report) in &reports {
+        if report.passed() {
+            let _ = writeln!(
+                text,
+                "  {:>12}  PASS  ({} retries, {} resyncs, max gap {}, {} demotion(s))",
+                code.name(),
+                report.stats.retries,
+                report.stats.forced_resyncs,
+                report.stats.max_resync_gap,
+                report.stats.demotions,
+            );
+        } else {
+            failed += 1;
+            let gates: Vec<&str> = report.failures.iter().map(|f| f.gate).collect();
+            let _ = writeln!(text, "  {:>12}  FAIL  [{}]", code.name(), gates.join(", "));
+        }
+    }
+    let entries: Vec<String> = reports
+        .iter()
+        .map(|(code, report)| soak_report_json(*code, report))
+        .collect();
+    let data = format!(
+        "{{\"mode\":\"sweep\",\"jobs\":{},\"words\":{},\"seed\":{},\"codes\":[{}]}}",
+        engine.jobs(),
+        opts.len,
+        opts.seed,
+        entries.join(",")
+    );
+    if failed == 0 {
+        Ok(Outcome::success(text, data))
+    } else {
+        Ok(Outcome::failure(
+            format!("{failed} of {} codes failed the soak gate", reports.len()),
+            text,
+            data,
+        ))
+    }
+}
+
+fn run(opts: &Options, engine: &SweepEngine) -> Result<Outcome, String> {
+    if opts.sweep {
+        return run_sweep(opts, engine);
+    }
+    let config = opts.pipeline_config(opts.code)?;
 
     if opts.soak {
         let soak = SoakConfig::new(opts.seed, opts.len);
         let report = run_soak(config, soak).map_err(|e| format!("soak run failed: {e}"))?;
-        print_soak_report(opts, &report);
+        let mut text = soak_report_text(opts.code, &report);
+        let mut data = format!(
+            "{{\"mode\":\"soak\",\"soak\":{}",
+            soak_report_json(opts.code, &report)
+        );
         if opts.power {
-            print_power(opts, &config, &report.stats)?;
+            let (ptext, pjson) = power_report(opts, &config, &report.stats)?;
+            text.push_str(&ptext);
+            data.push_str(",\"power\":");
+            data.push_str(&pjson);
         }
+        data.push('}');
         return Ok(if report.passed() {
-            ExitCode::SUCCESS
+            Outcome::success(text, data)
         } else {
-            ExitCode::FAILURE
+            Outcome::failure(
+                format!("{} soak gate failure(s)", report.failures.len()),
+                text,
+                data,
+            )
         });
     }
 
@@ -384,60 +461,65 @@ fn run(opts: &Options) -> Result<ExitCode, String> {
         .run(remaining, &mut clean_channel())
         .map_err(|e| format!("pipeline failed: {e}"))?;
 
-    if opts.json {
-        println!(
-            "{{\"mode\":\"run\",\"code\":\"{}\",\"resumed_at\":{},\"final_mode\":\"{}\",\"stats\":{}}}",
-            opts.code.name(),
-            already_done,
-            pipe.mode(),
-            render_stats_json(&stats)
-        );
-    } else {
-        println!(
-            "run: {} over {} words (resumed at {}, final mode {})",
-            opts.code.name(),
-            opts.len,
-            already_done,
-            pipe.mode()
-        );
-        print!("{}", render_stats_text(&stats));
-    }
+    let mut text = format!(
+        "run: {} over {} words (resumed at {}, final mode {})\n",
+        opts.code.name(),
+        opts.len,
+        already_done,
+        pipe.mode()
+    );
+    text.push_str(&render_stats_text(&stats));
+    let mut data = format!(
+        "{{\"mode\":\"run\",\"code\":\"{}\",\"resumed_at\":{},\"final_mode\":\"{}\",\"stats\":{}",
+        opts.code.name(),
+        already_done,
+        pipe.mode(),
+        render_stats_json(&stats)
+    );
     if opts.power {
-        print_power(opts, &config, &stats)?;
+        let (ptext, pjson) = power_report(opts, &config, &stats)?;
+        text.push_str(&ptext);
+        data.push_str(",\"power\":");
+        data.push_str(&pjson);
     }
+    data.push('}');
 
     if let Some(path) = &opts.checkpoint_out {
         let checkpoint = pipe.checkpoint();
         std::fs::write(path, checkpoint.to_text())
             .map_err(|e| format!("cannot write checkpoint '{path}': {e}"))?;
-        eprintln!("pipeline: checkpoint written to {path}");
+        let _ = writeln!(text, "checkpoint written to {path}");
     }
 
     Ok(if stats.unrecovered == 0 {
-        ExitCode::SUCCESS
+        Outcome::success(text, data)
     } else {
-        ExitCode::FAILURE
+        Outcome::failure(
+            format!("{} word(s) ended unrecovered", stats.unrecovered),
+            text,
+            data,
+        )
     })
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let opts = match Options::parse(&args) {
-        Ok(Parsed::Run(opts)) => opts,
-        Ok(Parsed::Help) => {
-            println!("{USAGE}");
-            return ExitCode::SUCCESS;
-        }
-        Err(msg) => {
-            eprintln!("pipeline: {msg}");
-            return ExitCode::from(2);
-        }
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let common = match CommonArgs::extract(&mut args) {
+        Ok(common) => common,
+        Err(msg) => return cli::usage_error(TOOL, &usage(), &msg),
     };
-    match run(&opts) {
-        Ok(code) => code,
-        Err(msg) => {
-            eprintln!("pipeline: {msg}");
-            ExitCode::from(2)
-        }
+    if common.help {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_tool_args(&args, common.seed_or(42)) {
+        Ok(opts) => opts,
+        Err(msg) => return cli::usage_error(TOOL, &usage(), &msg),
+    };
+    let run_ctx = ToolRun::new(TOOL, env!("CARGO_PKG_VERSION"), common);
+    let engine = common.engine();
+    match run(&opts, &engine) {
+        Ok(outcome) => run_ctx.finish(&outcome),
+        Err(msg) => run_ctx.finish(&Outcome::error(msg)),
     }
 }

@@ -29,7 +29,12 @@
 //! - [`buscode_pipeline`] (`pipeline`) — the supervised streaming runtime
 //!   (the `pipeline` tool): bounded-memory chunked codec driving with
 //!   recovery policies, graceful degradation to binary, watchdog
-//!   deadlines, and checkpoint/restore.
+//!   deadlines, and checkpoint/restore;
+//! - [`buscode_engine`] (`engine`) — the batch execution layer: the
+//!   sharded [`SweepEngine`](buscode_engine::SweepEngine) with
+//!   deterministic result ordering, the unified CLI surface shared by
+//!   every workspace binary, and the throughput harness behind
+//!   `BENCH_engine.json`.
 //!
 //! ## Quick start
 //!
@@ -57,6 +62,7 @@
 
 pub use buscode_core as core;
 pub use buscode_cpu as cpu;
+pub use buscode_engine as engine;
 pub use buscode_fault as fault;
 pub use buscode_lint as lint;
 pub use buscode_logic as logic;
@@ -78,4 +84,5 @@ pub mod prelude {
         Access, AccessKind, BusState, BusWidth, CodeKind, CodeParams, CodecError, Decoder, Encoder,
         Stride, TransitionStats,
     };
+    pub use buscode_engine::SweepEngine;
 }
