@@ -680,8 +680,10 @@ where
 /// # Errors
 ///
 /// Returns [`CodecError::InvalidParameter`] for widths above 16 bits (the
-/// state space is exponential in the width; the paper invariants are
-/// checked at width ≤ 8) and propagates constructor errors.
+/// state space is exponential in the width; the round-trip property and
+/// the paper invariants are checked exhaustively at width ≤ 16 — for
+/// wider buses use the symbolic `busverify` engine) and propagates
+/// constructor errors.
 pub fn check_code(
     kind: CodeKind,
     params: CodeParams,
@@ -690,7 +692,10 @@ pub fn check_code(
     if params.width.bits() > 16 {
         return Err(CodecError::InvalidParameter {
             name: "width",
-            reason: "exhaustive checking requires width <= 16 bits",
+            reason: format!(
+                "exhaustive checking requires width <= 16 bits, got {}",
+                params.width.bits()
+            ),
         });
     }
     let w = params.width;
@@ -822,13 +827,14 @@ pub fn check_all(
 /// fault-tolerance contract exhaustively (within budget): every single
 /// line flip is detected, and every refresh cycle collapses the decoder
 /// to a state reachable from reset — the bounded-resync guarantee (see
-/// [`explore_hardened`]'s soundness argument in the source). Failures
+/// `explore_hardened`'s soundness argument in the source). Failures
 /// carry a replayable [`Counterexample`] like [`check_code`].
 ///
 /// # Errors
 ///
-/// Same width limit as [`check_code`], plus the [`Hardened`] constructor
-/// errors (`refresh == 0`).
+/// Same width limit as [`check_code`] (≤ 16 bits, with the offending
+/// width reported), plus the [`Hardened`] constructor errors
+/// (`refresh == 0`).
 pub fn check_hardened(
     kind: CodeKind,
     params: CodeParams,
@@ -838,7 +844,10 @@ pub fn check_hardened(
     if params.width.bits() > 16 {
         return Err(CodecError::InvalidParameter {
             name: "width",
-            reason: "exhaustive checking requires width <= 16 bits",
+            reason: format!(
+                "exhaustive checking requires width <= 16 bits, got {}",
+                params.width.bits()
+            ),
         });
     }
     let w = params.width;

@@ -98,7 +98,10 @@ impl BusInvertEncoder {
         if partitions == 0 || partitions > width.bits() {
             return Err(CodecError::InvalidParameter {
                 name: "partitions",
-                reason: "must be in 1..=width",
+                reason: format!(
+                    "must be in 1..=width, got {partitions} on a {}-bit bus",
+                    width.bits()
+                ),
             });
         }
         Ok(BusInvertEncoder {
@@ -181,7 +184,10 @@ impl BusInvertDecoder {
         if partitions == 0 || partitions > width.bits() {
             return Err(CodecError::InvalidParameter {
                 name: "partitions",
-                reason: "must be in 1..=width",
+                reason: format!(
+                    "must be in 1..=width, got {partitions} on a {}-bit bus",
+                    width.bits()
+                ),
             });
         }
         Ok(BusInvertDecoder {

@@ -113,13 +113,13 @@ impl<C> Hardened<C> {
         if refresh == 0 {
             return Err(CodecError::InvalidParameter {
                 name: "refresh",
-                reason: "refresh interval must be at least 1 cycle",
+                reason: "refresh interval must be at least 1 cycle".to_string(),
             });
         }
         if inner_aux >= 64 {
             return Err(CodecError::InvalidParameter {
                 name: "inner_aux",
-                reason: "parity line must fit within 64 redundant lines",
+                reason: format!("parity line must fit within 64 redundant lines, got {inner_aux}"),
             });
         }
         Ok(Hardened {

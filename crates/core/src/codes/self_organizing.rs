@@ -34,14 +34,19 @@ impl SolState {
         if low_bits >= width.bits() {
             return Err(CodecError::InvalidParameter {
                 name: "low_bits",
-                reason: "must be smaller than the bus width",
+                reason: format!(
+                    "must be smaller than the bus width, got {low_bits} on a {}-bit bus",
+                    width.bits()
+                ),
             });
         }
         let high_lines = width.bits() - low_bits;
         if entries == 0 || entries > high_lines {
             return Err(CodecError::InvalidParameter {
                 name: "entries",
-                reason: "must be in 1..=width-low_bits (one-hot lines)",
+                reason: format!(
+                    "must be in 1..=width-low_bits (one-hot lines), got {entries} with {high_lines} lines available"
+                ),
             });
         }
         Ok(SolState {

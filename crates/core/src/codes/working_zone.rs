@@ -33,7 +33,7 @@ fn validate_zones(zones: u32) -> Result<(), CodecError> {
     if zones == 0 || zones > 64 {
         return Err(CodecError::InvalidParameter {
             name: "zones",
-            reason: "must be in 1..=64",
+            reason: format!("must be in 1..=64, got {zones}"),
         });
     }
     Ok(())

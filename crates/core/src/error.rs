@@ -52,8 +52,9 @@ pub enum CodecError {
     InvalidParameter {
         /// The parameter name.
         name: &'static str,
-        /// A short description of the constraint that failed.
-        reason: &'static str,
+        /// A short description of the constraint that failed, including
+        /// the offending value where the caller knows it.
+        reason: String,
     },
     /// A [`StateImage`][crate::snapshot::StateImage] could not be restored
     /// into this codec (wrong code, wrong word count, or out-of-domain
@@ -192,7 +193,7 @@ mod tests {
             },
             CodecError::InvalidParameter {
                 name: "zones",
-                reason: "must be nonzero",
+                reason: "must be nonzero".to_string(),
             },
             CodecError::SnapshotMismatch {
                 code: "t0",
@@ -260,7 +261,7 @@ mod tests {
             },
             CodecError::InvalidParameter {
                 name: "refresh",
-                reason: "must be nonzero",
+                reason: "must be nonzero".to_string(),
             },
             CodecError::SnapshotMismatch {
                 code: "t0",

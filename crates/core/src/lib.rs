@@ -64,6 +64,7 @@ pub mod metrics;
 pub mod rng;
 pub mod snapshot;
 pub mod stream;
+pub mod sym;
 mod traits;
 
 pub use bus::{hamming, Access, AccessKind, BusState, BusWidth, Stride};

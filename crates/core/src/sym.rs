@@ -1,0 +1,815 @@
+//! Symbolic golden models: the behavioural codecs re-expressed over an
+//! abstract Boolean algebra.
+//!
+//! The exhaustive checker in [`check`][crate::check] explores product
+//! automata state by state and is therefore capped at width ≤ 16. This
+//! module provides the hooks a *symbolic* verifier needs to go to the
+//! paper's full 32-bit width: every code's single-cycle transfer function
+//! written against the [`BoolAlg`] trait, so the same definition can be
+//! evaluated over concrete `bool`s (differential testing against the
+//! stateful [`Encoder`][crate::Encoder] / [`Decoder`][crate::Decoder]
+//! implementations) or over BDD nodes (equivalence checking and induction
+//! proofs in the `buscode-verify` crate).
+//!
+//! For the nine gate-level codecs the state layout of
+//! [`encode_step`] / [`decode_step`] matches the flip-flop creation order
+//! of the corresponding `buscode-logic` netlist bit for bit, so a
+//! symbolic netlist evaluation and a symbolic spec evaluation can be
+//! compared register by register. The table-based extension codes
+//! (working-zone, self-organizing) have no flat register file; their
+//! proofs are assembled from the word helpers directly.
+
+use crate::bus::{BusWidth, Stride};
+use crate::traits::CodeKind;
+
+/// An abstract two-element Boolean algebra.
+///
+/// `B` is the carrier: `bool` for concrete evaluation ([`BoolEval`]), a
+/// node reference for a BDD manager. Implementations must provide the
+/// functionally complete core; the derived gates have default definitions
+/// and only need overriding when the backend has a cheaper primitive.
+pub trait BoolAlg {
+    /// The carrier type for a single Boolean value.
+    type B: Copy;
+
+    /// The constant `true` or `false`.
+    fn constant(&mut self, value: bool) -> Self::B;
+    /// Logical negation.
+    fn not(&mut self, a: Self::B) -> Self::B;
+    /// Logical conjunction.
+    fn and(&mut self, a: Self::B, b: Self::B) -> Self::B;
+    /// Logical disjunction.
+    fn or(&mut self, a: Self::B, b: Self::B) -> Self::B;
+    /// Exclusive or.
+    fn xor(&mut self, a: Self::B, b: Self::B) -> Self::B;
+
+    /// Equivalence (`!(a ^ b)`).
+    fn xnor(&mut self, a: Self::B, b: Self::B) -> Self::B {
+        let x = self.xor(a, b);
+        self.not(x)
+    }
+
+    /// Negated conjunction.
+    fn nand(&mut self, a: Self::B, b: Self::B) -> Self::B {
+        let x = self.and(a, b);
+        self.not(x)
+    }
+
+    /// Negated disjunction.
+    fn nor(&mut self, a: Self::B, b: Self::B) -> Self::B {
+        let x = self.or(a, b);
+        self.not(x)
+    }
+
+    /// Two-way multiplexer: `sel ? a : b`.
+    fn mux(&mut self, sel: Self::B, a: Self::B, b: Self::B) -> Self::B {
+        let t = self.and(sel, a);
+        let ns = self.not(sel);
+        let e = self.and(ns, b);
+        self.or(t, e)
+    }
+
+    /// Material implication `a -> b`.
+    fn implies(&mut self, a: Self::B, b: Self::B) -> Self::B {
+        let na = self.not(a);
+        self.or(na, b)
+    }
+}
+
+/// The concrete algebra: plain `bool` evaluation.
+///
+/// Stateless; exists so the spec functions can be exercised cycle by
+/// cycle against the behavioural codecs in ordinary tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BoolEval;
+
+impl BoolAlg for BoolEval {
+    type B = bool;
+
+    fn constant(&mut self, value: bool) -> bool {
+        value
+    }
+    fn not(&mut self, a: bool) -> bool {
+        !a
+    }
+    fn and(&mut self, a: bool, b: bool) -> bool {
+        a && b
+    }
+    fn or(&mut self, a: bool, b: bool) -> bool {
+        a || b
+    }
+    fn xor(&mut self, a: bool, b: bool) -> bool {
+        a ^ b
+    }
+}
+
+// --- Word helpers ----------------------------------------------------------
+//
+// LSB-first bit vectors, mirroring `buscode_logic::Word`. All arithmetic
+// is modulo 2^len, like the netlist ripple structures.
+
+/// Builds an LSB-first constant word.
+pub fn word_from_u64<A: BoolAlg>(alg: &mut A, value: u64, bits: u32) -> Vec<A::B> {
+    (0..bits)
+        .map(|i| alg.constant((value >> i) & 1 == 1))
+        .collect()
+}
+
+/// Packs a concrete word back into an integer (LSB-first).
+pub fn word_to_u64(word: &[bool]) -> u64 {
+    word.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+}
+
+/// Per-bit XOR of two equal-width words.
+pub fn xor_words<A: BoolAlg>(alg: &mut A, a: &[A::B], b: &[A::B]) -> Vec<A::B> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| alg.xor(x, y)).collect()
+}
+
+/// Per-bit inversion of a word.
+pub fn not_word<A: BoolAlg>(alg: &mut A, a: &[A::B]) -> Vec<A::B> {
+    a.iter().map(|&x| alg.not(x)).collect()
+}
+
+/// XOR of every line with a single control (conditional inversion).
+pub fn xor_broadcast<A: BoolAlg>(alg: &mut A, word: &[A::B], control: A::B) -> Vec<A::B> {
+    word.iter().map(|&bit| alg.xor(bit, control)).collect()
+}
+
+/// Word-wide 2:1 mux: `sel ? a : b`.
+pub fn mux_word<A: BoolAlg>(alg: &mut A, sel: A::B, a: &[A::B], b: &[A::B]) -> Vec<A::B> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| alg.mux(sel, x, y)).collect()
+}
+
+/// Ripple-carry `a + value` (mod 2^len), the netlist's `add_const`.
+pub fn add_const<A: BoolAlg>(alg: &mut A, a: &[A::B], value: u64) -> Vec<A::B> {
+    let mut carry = alg.constant(false);
+    let mut out = Vec::with_capacity(a.len());
+    for (i, &bit) in a.iter().enumerate() {
+        if (value >> i) & 1 == 1 {
+            let axc = alg.xor(bit, carry);
+            out.push(alg.not(axc));
+            carry = alg.or(bit, carry);
+        } else {
+            out.push(alg.xor(bit, carry));
+            carry = alg.and(bit, carry);
+        }
+    }
+    out
+}
+
+/// Ripple-carry adder `a + b` (mod 2^len).
+pub fn add_words<A: BoolAlg>(alg: &mut A, a: &[A::B], b: &[A::B]) -> Vec<A::B> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut carry = alg.constant(false);
+    let mut out = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let xy = alg.xor(x, y);
+        out.push(alg.xor(xy, carry));
+        let and1 = alg.and(x, y);
+        let and2 = alg.and(xy, carry);
+        carry = alg.or(and1, and2);
+    }
+    out
+}
+
+/// Two's-complement subtractor `a - b` (mod 2^len): `a + !b + 1`.
+pub fn sub_words<A: BoolAlg>(alg: &mut A, a: &[A::B], b: &[A::B]) -> Vec<A::B> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut carry = alg.constant(true);
+    let mut out = Vec::with_capacity(a.len());
+    for (&x, &y) in a.iter().zip(b) {
+        let ny = alg.not(y);
+        let xy = alg.xor(x, ny);
+        out.push(alg.xor(xy, carry));
+        let and1 = alg.and(x, ny);
+        let and2 = alg.and(xy, carry);
+        carry = alg.or(and1, and2);
+    }
+    out
+}
+
+/// Equality comparator over two equal-width words.
+pub fn equal_words<A: BoolAlg>(alg: &mut A, a: &[A::B], b: &[A::B]) -> A::B {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = alg.constant(true);
+    for (&x, &y) in a.iter().zip(b) {
+        let eq = alg.xnor(x, y);
+        acc = alg.and(acc, eq);
+    }
+    acc
+}
+
+/// Population count: a `ceil(log2(n+1))`-bit word, built as the netlist's
+/// ripple-accumulating chain.
+pub fn popcount<A: BoolAlg>(alg: &mut A, bits: &[A::B]) -> Vec<A::B> {
+    let out_bits = (usize::BITS - bits.len().leading_zeros()).max(1);
+    let mut acc: Vec<A::B> = (0..out_bits).map(|_| alg.constant(false)).collect();
+    for &bit in bits {
+        let mut carry = bit;
+        let mut next = Vec::with_capacity(acc.len());
+        for &a in &acc {
+            next.push(alg.xor(a, carry));
+            carry = alg.and(a, carry);
+        }
+        acc = next;
+    }
+    acc
+}
+
+/// Unsigned comparator `word > value`, MSB-down like the netlist's.
+pub fn gt_const<A: BoolAlg>(alg: &mut A, word: &[A::B], value: u64) -> A::B {
+    if word.len() < 64 && (value >> word.len()) != 0 {
+        return alg.constant(false);
+    }
+    let mut gt = alg.constant(false);
+    let mut eq = alg.constant(true);
+    for (i, &bit) in word.iter().enumerate().rev() {
+        if (value >> i) & 1 == 1 {
+            eq = alg.and(eq, bit);
+        } else {
+            let here = alg.and(eq, bit);
+            gt = alg.or(gt, here);
+            let not_bit = alg.not(bit);
+            eq = alg.and(eq, not_bit);
+        }
+    }
+    gt
+}
+
+/// Unsigned comparator `word < value`.
+pub fn lt_const<A: BoolAlg>(alg: &mut A, word: &[A::B], value: u64) -> A::B {
+    if value == 0 {
+        return alg.constant(false);
+    }
+    let gte = gt_const(alg, word, value - 1);
+    alg.not(gte)
+}
+
+/// Disjunction over a slice.
+pub fn or_many<A: BoolAlg>(alg: &mut A, bits: &[A::B]) -> A::B {
+    let mut acc = alg.constant(false);
+    for &b in bits {
+        acc = alg.or(acc, b);
+    }
+    acc
+}
+
+/// Conjunction over a slice.
+pub fn and_many<A: BoolAlg>(alg: &mut A, bits: &[A::B]) -> A::B {
+    let mut acc = alg.constant(true);
+    for &b in bits {
+        acc = alg.and(acc, b);
+    }
+    acc
+}
+
+// --- Flat-state codec models -----------------------------------------------
+
+/// The codes with a flat register-file symbolic model — the nine
+/// gate-level codecs plus the stateless Beach transform.
+///
+/// The working-zone and self-organizing codes keep CAM-like tables
+/// (valid-tagged base registers, a move-to-front list) whose symbolic
+/// proofs are assembled case by case in `buscode-verify` rather than from
+/// a single flat step function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FlatCode {
+    /// Plain binary (buffers only).
+    Binary,
+    /// Stride-aware Gray code.
+    Gray,
+    /// Stan & Burleson bus-invert.
+    BusInvert,
+    /// The paper's T0 code.
+    T0,
+    /// T0 + bus-invert mix.
+    T0Bi,
+    /// Dual (multiplexed-bus) T0.
+    DualT0,
+    /// Dual T0 + bus-invert mix.
+    DualT0Bi,
+    /// Irredundant T0-XOR extension.
+    T0Xor,
+    /// Irredundant offset (difference) extension.
+    Offset,
+    /// The Beach transform (identity partner map, as built by
+    /// [`CodeKind::Beach`]'s factory).
+    Beach,
+}
+
+impl FlatCode {
+    /// Maps a [`CodeKind`] to its flat model, if it has one.
+    pub fn from_kind(kind: CodeKind) -> Option<FlatCode> {
+        match kind {
+            CodeKind::Binary => Some(FlatCode::Binary),
+            CodeKind::Gray => Some(FlatCode::Gray),
+            CodeKind::BusInvert => Some(FlatCode::BusInvert),
+            CodeKind::T0 => Some(FlatCode::T0),
+            CodeKind::T0Bi => Some(FlatCode::T0Bi),
+            CodeKind::DualT0 => Some(FlatCode::DualT0),
+            CodeKind::DualT0Bi => Some(FlatCode::DualT0Bi),
+            CodeKind::T0Xor => Some(FlatCode::T0Xor),
+            CodeKind::Offset => Some(FlatCode::Offset),
+            CodeKind::Beach => Some(FlatCode::Beach),
+            _ => None,
+        }
+    }
+
+    /// The codec family name (matches the netlist builders' labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            FlatCode::Binary => "binary",
+            FlatCode::Gray => "gray",
+            FlatCode::BusInvert => "bus-invert",
+            FlatCode::T0 => "t0",
+            FlatCode::T0Bi => "t0-bi",
+            FlatCode::DualT0 => "dual-t0",
+            FlatCode::DualT0Bi => "dual-t0-bi",
+            FlatCode::T0Xor => "t0-xor",
+            FlatCode::Offset => "offset",
+            FlatCode::Beach => "beach",
+        }
+    }
+
+    /// Whether the code reads the `SEL` side channel.
+    pub fn uses_sel(self) -> bool {
+        matches!(self, FlatCode::DualT0 | FlatCode::DualT0Bi)
+    }
+
+    /// Number of redundant (`aux`) lines.
+    pub fn aux_lines(self) -> u32 {
+        match self {
+            FlatCode::Binary
+            | FlatCode::Gray
+            | FlatCode::T0Xor
+            | FlatCode::Offset
+            | FlatCode::Beach => 0,
+            FlatCode::BusInvert | FlatCode::T0 | FlatCode::DualT0 | FlatCode::DualT0Bi => 1,
+            FlatCode::T0Bi => 2,
+        }
+    }
+
+    /// Encoder state width in bits. The layout (and therefore the bit
+    /// order) is exactly the flip-flop creation order of the
+    /// corresponding `buscode_logic::codecs` builder:
+    ///
+    /// - `T0`: `prev_addr[w], prev_bus[w], valid`
+    /// - `BusInvert`: `prev_bus[w], prev_inv`
+    /// - `T0Bi`: `prev_addr[w], prev_bus[w], prev_inc, prev_inv, valid`
+    /// - `DualT0`: `reference[w], ref_valid, prev_bus[w]`
+    /// - `DualT0Bi`: `reference[w], ref_valid, prev_bus[w], prev_incv`
+    /// - `T0Xor` / `Offset`: `prev[w]`
+    pub fn enc_state_bits(self, bits: u32) -> u32 {
+        match self {
+            FlatCode::Binary | FlatCode::Gray | FlatCode::Beach => 0,
+            FlatCode::BusInvert => bits + 1,
+            FlatCode::T0 => 2 * bits + 1,
+            FlatCode::T0Bi => 2 * bits + 3,
+            FlatCode::DualT0 => 2 * bits + 1,
+            FlatCode::DualT0Bi => 2 * bits + 2,
+            FlatCode::T0Xor | FlatCode::Offset => bits,
+        }
+    }
+
+    /// Decoder state width in bits (netlist flip-flop creation order):
+    /// `prev_dec[w]` / `reference[w]` / `prev[w]` for the stateful
+    /// decoders, empty otherwise.
+    pub fn dec_state_bits(self, bits: u32) -> u32 {
+        match self {
+            FlatCode::Binary | FlatCode::Gray | FlatCode::BusInvert | FlatCode::Beach => 0,
+            FlatCode::T0
+            | FlatCode::T0Bi
+            | FlatCode::DualT0
+            | FlatCode::DualT0Bi
+            | FlatCode::T0Xor
+            | FlatCode::Offset => bits,
+        }
+    }
+}
+
+/// One symbolic encoder cycle: the driven word and the next register
+/// values (same layout as the `state` input).
+#[derive(Clone, Debug)]
+pub struct SymStep<B> {
+    /// Payload lines, LSB-first.
+    pub bus: Vec<B>,
+    /// Redundant lines, LSB-first.
+    pub aux: Vec<B>,
+    /// Next encoder state, in [`FlatCode::enc_state_bits`] layout.
+    pub next_state: Vec<B>,
+}
+
+/// One symbolic decoder cycle.
+#[derive(Clone, Debug)]
+pub struct SymDecode<B> {
+    /// Recovered address lines, LSB-first.
+    pub address: Vec<B>,
+    /// Next decoder state, in [`FlatCode::dec_state_bits`] layout.
+    pub next_state: Vec<B>,
+}
+
+/// Evaluates one encoder cycle of `code` symbolically.
+///
+/// `addr` is the input address word (LSB-first, `width.bits()` long),
+/// `sel` the `SEL` side channel (ignored by non-dual codes), and `state`
+/// the current register values in [`FlatCode::enc_state_bits`] layout.
+/// At reset every register is `false`, matching both the cycle
+/// simulator's flip-flop initial value and the behavioural codecs.
+///
+/// # Panics
+///
+/// Panics if `addr` or `state` have the wrong length for `code`.
+pub fn encode_step<A: BoolAlg>(
+    alg: &mut A,
+    code: FlatCode,
+    width: BusWidth,
+    stride: Stride,
+    addr: &[A::B],
+    sel: A::B,
+    state: &[A::B],
+) -> SymStep<A::B> {
+    let w = width.bits() as usize;
+    assert_eq!(addr.len(), w, "address width mismatch");
+    assert_eq!(
+        state.len(),
+        code.enc_state_bits(width.bits()) as usize,
+        "encoder state width mismatch"
+    );
+    match code {
+        FlatCode::Binary | FlatCode::Beach => SymStep {
+            bus: addr.to_vec(),
+            aux: vec![],
+            next_state: vec![],
+        },
+        FlatCode::Gray => {
+            let k = stride.log2() as usize;
+            let bus = (0..w)
+                .map(|i| {
+                    if i < k || i + 1 >= w {
+                        addr[i]
+                    } else {
+                        alg.xor(addr[i], addr[i + 1])
+                    }
+                })
+                .collect();
+            SymStep {
+                bus,
+                aux: vec![],
+                next_state: vec![],
+            }
+        }
+        FlatCode::BusInvert => {
+            let (prev_bus, prev_inv) = (&state[..w], state[w]);
+            let mut diff = xor_words(alg, prev_bus, addr);
+            diff.push(prev_inv);
+            let hd = popcount(alg, &diff);
+            let invert = gt_const(alg, &hd, u64::from(width.bits() / 2));
+            let bus = xor_broadcast(alg, addr, invert);
+            let mut next_state = bus.clone();
+            next_state.push(invert);
+            SymStep {
+                bus,
+                aux: vec![invert],
+                next_state,
+            }
+        }
+        FlatCode::T0 => {
+            let (prev_addr, prev_bus, valid) = (&state[..w], &state[w..2 * w], state[2 * w]);
+            let predicted = add_const(alg, prev_addr, stride.get());
+            let matches = equal_words(alg, addr, &predicted);
+            let inc = alg.and(matches, valid);
+            let bus = mux_word(alg, inc, prev_bus, addr);
+            let mut next_state = addr.to_vec();
+            next_state.extend_from_slice(&bus);
+            next_state.push(alg.constant(true));
+            SymStep {
+                bus,
+                aux: vec![inc],
+                next_state,
+            }
+        }
+        FlatCode::T0Bi => {
+            let (prev_addr, prev_bus) = (&state[..w], &state[w..2 * w]);
+            let (prev_inc, prev_inv, valid) = (state[2 * w], state[2 * w + 1], state[2 * w + 2]);
+            let predicted = add_const(alg, prev_addr, stride.get());
+            let matches = equal_words(alg, addr, &predicted);
+            let inc = alg.and(matches, valid);
+            let mut diff = xor_words(alg, prev_bus, addr);
+            diff.push(prev_inc);
+            diff.push(prev_inv);
+            let hd = popcount(alg, &diff);
+            let far = gt_const(alg, &hd, u64::from((width.bits() + 2) / 2));
+            let not_inc = alg.not(inc);
+            let inv = alg.and(far, not_inc);
+            let xored = xor_broadcast(alg, addr, inv);
+            let bus = mux_word(alg, inc, prev_bus, &xored);
+            let mut next_state = addr.to_vec();
+            next_state.extend_from_slice(&bus);
+            next_state.push(inc);
+            next_state.push(inv);
+            next_state.push(alg.constant(true));
+            SymStep {
+                bus,
+                aux: vec![inc, inv],
+                next_state,
+            }
+        }
+        FlatCode::DualT0 => {
+            let (reference, ref_valid, prev_bus) = (&state[..w], state[w], &state[w + 1..]);
+            let predicted = add_const(alg, reference, stride.get());
+            let matches = equal_words(alg, addr, &predicted);
+            let seq0 = alg.and(matches, ref_valid);
+            let inc = alg.and(seq0, sel);
+            let bus = mux_word(alg, inc, prev_bus, addr);
+            let mut next_state = mux_word(alg, sel, addr, reference);
+            next_state.push(alg.or(ref_valid, sel));
+            next_state.extend_from_slice(&bus);
+            SymStep {
+                bus,
+                aux: vec![inc],
+                next_state,
+            }
+        }
+        FlatCode::DualT0Bi => {
+            let (reference, ref_valid) = (&state[..w], state[w]);
+            let (prev_bus, prev_incv) = (&state[w + 1..2 * w + 1], state[2 * w + 1]);
+            let predicted = add_const(alg, reference, stride.get());
+            let matches = equal_words(alg, addr, &predicted);
+            let seq0 = alg.and(matches, ref_valid);
+            let seq = alg.and(seq0, sel);
+            let mut diff = xor_words(alg, prev_bus, addr);
+            diff.push(prev_incv);
+            let hd = popcount(alg, &diff);
+            let far = gt_const(alg, &hd, u64::from(width.bits() / 2));
+            let not_sel = alg.not(sel);
+            let inv = alg.and(far, not_sel);
+            let incv = alg.or(seq, inv);
+            let xored = xor_broadcast(alg, addr, inv);
+            let bus = mux_word(alg, seq, prev_bus, &xored);
+            let mut next_state = mux_word(alg, sel, addr, reference);
+            next_state.push(alg.or(ref_valid, sel));
+            next_state.extend_from_slice(&bus);
+            next_state.push(incv);
+            SymStep {
+                bus,
+                aux: vec![incv],
+                next_state,
+            }
+        }
+        FlatCode::T0Xor => {
+            let predicted = add_const(alg, state, stride.get());
+            let bus = xor_words(alg, addr, &predicted);
+            SymStep {
+                bus,
+                aux: vec![],
+                next_state: addr.to_vec(),
+            }
+        }
+        FlatCode::Offset => {
+            let bus = sub_words(alg, addr, state);
+            SymStep {
+                bus,
+                aux: vec![],
+                next_state: addr.to_vec(),
+            }
+        }
+    }
+}
+
+/// Evaluates one decoder cycle of `code` symbolically; see
+/// [`encode_step`] for the conventions.
+///
+/// # Panics
+///
+/// Panics if `bus`, `aux`, or `state` have the wrong length for `code`.
+#[allow(clippy::too_many_arguments)] // the decoder interface: bus + aux + SEL + registers
+pub fn decode_step<A: BoolAlg>(
+    alg: &mut A,
+    code: FlatCode,
+    width: BusWidth,
+    stride: Stride,
+    bus: &[A::B],
+    aux: &[A::B],
+    sel: A::B,
+    state: &[A::B],
+) -> SymDecode<A::B> {
+    let w = width.bits() as usize;
+    assert_eq!(bus.len(), w, "bus width mismatch");
+    assert_eq!(aux.len(), code.aux_lines() as usize, "aux width mismatch");
+    assert_eq!(
+        state.len(),
+        code.dec_state_bits(width.bits()) as usize,
+        "decoder state width mismatch"
+    );
+    match code {
+        FlatCode::Binary | FlatCode::Beach => SymDecode {
+            address: bus.to_vec(),
+            next_state: vec![],
+        },
+        FlatCode::Gray => {
+            let k = stride.log2() as usize;
+            // b_top = g_top; b_i = g_i ^ b_{i+1}, down to the stride bits.
+            let mut address = bus.to_vec();
+            for i in (k..w.saturating_sub(1)).rev() {
+                address[i] = alg.xor(bus[i], address[i + 1]);
+            }
+            SymDecode {
+                address,
+                next_state: vec![],
+            }
+        }
+        FlatCode::BusInvert => SymDecode {
+            address: xor_broadcast(alg, bus, aux[0]),
+            next_state: vec![],
+        },
+        FlatCode::T0 => {
+            let predicted = add_const(alg, state, stride.get());
+            let address = mux_word(alg, aux[0], &predicted, bus);
+            SymDecode {
+                next_state: address.clone(),
+                address,
+            }
+        }
+        FlatCode::T0Bi => {
+            let (inc, inv) = (aux[0], aux[1]);
+            let predicted = add_const(alg, state, stride.get());
+            let un_inverted = xor_broadcast(alg, bus, inv);
+            let address = mux_word(alg, inc, &predicted, &un_inverted);
+            SymDecode {
+                next_state: address.clone(),
+                address,
+            }
+        }
+        FlatCode::DualT0 => {
+            let predicted = add_const(alg, state, stride.get());
+            let freeze = alg.and(aux[0], sel);
+            let address = mux_word(alg, freeze, &predicted, bus);
+            let next_state = mux_word(alg, sel, &address, state);
+            SymDecode {
+                address,
+                next_state,
+            }
+        }
+        FlatCode::DualT0Bi => {
+            let incv = aux[0];
+            let predicted = add_const(alg, state, stride.get());
+            let not_sel = alg.not(sel);
+            let invert = alg.and(incv, not_sel);
+            let un_inverted = xor_broadcast(alg, bus, invert);
+            let freeze = alg.and(incv, sel);
+            let address = mux_word(alg, freeze, &predicted, &un_inverted);
+            let next_state = mux_word(alg, sel, &address, state);
+            SymDecode {
+                address,
+                next_state,
+            }
+        }
+        FlatCode::T0Xor => {
+            let predicted = add_const(alg, state, stride.get());
+            let address = xor_words(alg, bus, &predicted);
+            SymDecode {
+                next_state: address.clone(),
+                address,
+            }
+        }
+        FlatCode::Offset => {
+            let address = add_words(alg, state, bus);
+            SymDecode {
+                next_state: address.clone(),
+                address,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::{Access, AccessKind, BusState};
+    use crate::rng::Rng64;
+    use crate::traits::CodeParams;
+    use crate::{Decoder, Encoder};
+
+    fn bools(value: u64, bits: u32) -> Vec<bool> {
+        (0..bits).map(|i| (value >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn word_helpers_match_integer_arithmetic() {
+        let mut alg = BoolEval;
+        let mut rng = Rng64::seed_from_u64(11);
+        for _ in 0..500 {
+            let bits = 1 + (rng.gen::<u64>() % 16) as u32;
+            let mask = if bits == 64 {
+                u64::MAX
+            } else {
+                (1 << bits) - 1
+            };
+            let a = rng.gen::<u64>() & mask;
+            let b = rng.gen::<u64>() & mask;
+            let k = rng.gen::<u64>() & mask;
+            let wa = bools(a, bits);
+            let wb = bools(b, bits);
+            let sum = add_words(&mut alg, &wa, &wb);
+            assert_eq!(word_to_u64(&sum), a.wrapping_add(b) & mask);
+            let diff = sub_words(&mut alg, &wa, &wb);
+            assert_eq!(word_to_u64(&diff), a.wrapping_sub(b) & mask);
+            let plus_k = add_const(&mut alg, &wa, k);
+            assert_eq!(word_to_u64(&plus_k), a.wrapping_add(k) & mask);
+            assert_eq!(equal_words(&mut alg, &wa, &wb), a == b);
+            let pc = popcount(&mut alg, &wa);
+            assert_eq!(word_to_u64(&pc), u64::from(a.count_ones()));
+            assert_eq!(gt_const(&mut alg, &wa, b), a > b);
+            assert_eq!(lt_const(&mut alg, &wa, b), a < b);
+        }
+    }
+
+    /// Drives the flat spec model and the behavioural codec pair over the
+    /// same stream and requires cycle-identical bus words, decodes, and
+    /// round trips.
+    fn check_flat_model_against_behavioural(kind: CodeKind, bits: u32, seed: u64) {
+        let code = FlatCode::from_kind(kind).expect("flat model");
+        let params = CodeParams::new(bits, 4).unwrap();
+        let (width, stride) = (params.width, params.stride);
+        let mut enc = kind.encoder(params).unwrap();
+        let mut dec = kind.decoder(params).unwrap();
+        let mut alg = BoolEval;
+        let mut enc_state = vec![false; code.enc_state_bits(bits) as usize];
+        let mut dec_state = vec![false; code.dec_state_bits(bits) as usize];
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut iaddr = 0x40_0000u64 & width.mask();
+        for cycle in 0..600 {
+            let access = if rng.gen_bool(0.6) {
+                iaddr = if rng.gen_bool(0.75) {
+                    width.wrapping_add(iaddr, stride.get())
+                } else {
+                    rng.gen::<u64>() & width.mask()
+                };
+                Access::instruction(iaddr)
+            } else {
+                Access::data(rng.gen::<u64>() & width.mask())
+            };
+            let golden = enc.encode(access);
+            let addr_w = bools(access.address & width.mask(), bits);
+            let sel = access.kind == AccessKind::Instruction;
+            let step = encode_step(&mut alg, code, width, stride, &addr_w, sel, &enc_state);
+            let payload = word_to_u64(&step.bus);
+            let aux = word_to_u64(&step.aux);
+            assert_eq!(
+                BusState::new(payload, aux),
+                golden,
+                "{} encoder diverged at cycle {cycle}",
+                code.name()
+            );
+            let decoded = decode_step(
+                &mut alg, code, width, stride, &step.bus, &step.aux, sel, &dec_state,
+            );
+            let got = word_to_u64(&decoded.address);
+            assert_eq!(
+                got,
+                access.address & width.mask(),
+                "{} round trip failed at cycle {cycle}",
+                code.name()
+            );
+            assert_eq!(
+                got,
+                dec.decode(golden, access.kind).unwrap(),
+                "{} decoder diverged at cycle {cycle}",
+                code.name()
+            );
+            enc_state = step.next_state;
+            dec_state = decoded.next_state;
+        }
+    }
+
+    #[test]
+    fn flat_models_match_behavioural_codecs() {
+        let kinds = [
+            CodeKind::Binary,
+            CodeKind::Gray,
+            CodeKind::BusInvert,
+            CodeKind::T0,
+            CodeKind::T0Bi,
+            CodeKind::DualT0,
+            CodeKind::DualT0Bi,
+            CodeKind::T0Xor,
+            CodeKind::Offset,
+            CodeKind::Beach,
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            for bits in [8, 12, 16, 32] {
+                check_flat_model_against_behavioural(kind, bits, 100 + i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn table_codes_have_no_flat_model() {
+        assert_eq!(FlatCode::from_kind(CodeKind::WorkingZone), None);
+        assert_eq!(FlatCode::from_kind(CodeKind::SelfOrganizing), None);
+    }
+}

@@ -78,8 +78,8 @@ impl GateFault {
 /// Aggregated outcome of one gate-level cell (codec × fault model).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GateCellStats {
-    /// The codec's name (matches the behavioral [`name`s]
-    /// [buscode_core::Encoder::name]).
+    /// The codec's name (matches the behavioral
+    /// [`buscode_core::Encoder::name`]).
     pub codec: &'static str,
     /// The fault model's stable name.
     pub fault: &'static str,

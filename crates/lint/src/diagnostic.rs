@@ -119,6 +119,13 @@ impl Report {
         self.error_count() == 0
     }
 
+    /// Compact per-finding lines with no summary — for embedding a lint
+    /// report inside another tool's output (the symbolic verifier
+    /// cross-links structural findings under an equivalence failure).
+    pub fn brief(&self) -> Vec<String> {
+        self.diagnostics.iter().map(|d| d.to_string()).collect()
+    }
+
     /// Renders one line per finding plus a summary line.
     pub fn render_text(&self) -> String {
         let mut out = String::new();

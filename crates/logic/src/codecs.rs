@@ -54,7 +54,41 @@ impl EncoderCircuit {
     /// built by this module (their interfaces are live), but is checked
     /// rather than assumed for circuits assembled by hand.
     pub fn optimized(&self) -> Result<EncoderCircuit, LogicError> {
+        Ok(self.optimized_with_map()?.0)
+    }
+
+    /// As [`EncoderCircuit::optimized`], but also returns the net map so
+    /// callers (the symbolic verifier) can track non-interface nets —
+    /// flip-flop outputs in particular — across the rewrite.
+    ///
+    /// # Errors
+    ///
+    /// As [`EncoderCircuit::optimized`].
+    pub fn optimized_with_map(&self) -> Result<(EncoderCircuit, crate::NetMap), LogicError> {
         let (netlist, map) = crate::optimize(&self.netlist);
+        let circuit = self.remapped(netlist, &map)?;
+        Ok((circuit, map))
+    }
+
+    /// Technology-maps this circuit to the NAND/NOT/DFF library,
+    /// returning the mapped circuit and the net map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogicError::InterfaceNetRemoved`] if an interface net
+    /// was dropped — tech mapping preserves all mapped nets, so this
+    /// only fires for malformed hand-built circuits.
+    pub fn tech_mapped(&self) -> Result<(EncoderCircuit, crate::NetMap), LogicError> {
+        let (netlist, map) = crate::tech_map(&self.netlist);
+        let circuit = self.remapped(netlist, &map)?;
+        Ok((circuit, map))
+    }
+
+    fn remapped(
+        &self,
+        netlist: Netlist,
+        map: &crate::NetMap,
+    ) -> Result<EncoderCircuit, LogicError> {
         let missing = |interface| LogicError::InterfaceNetRemoved { interface };
         Ok(EncoderCircuit {
             address_in: map.word(&self.address_in).ok_or(missing("address"))?,
@@ -116,7 +150,37 @@ impl DecoderCircuit {
     /// Returns [`LogicError::InterfaceNetRemoved`] if the optimizer
     /// removed an interface net; see [`EncoderCircuit::optimized`].
     pub fn optimized(&self) -> Result<DecoderCircuit, LogicError> {
+        Ok(self.optimized_with_map()?.0)
+    }
+
+    /// As [`DecoderCircuit::optimized`], but also returns the net map;
+    /// see [`EncoderCircuit::optimized_with_map`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DecoderCircuit::optimized`].
+    pub fn optimized_with_map(&self) -> Result<(DecoderCircuit, crate::NetMap), LogicError> {
         let (netlist, map) = crate::optimize(&self.netlist);
+        let circuit = self.remapped(netlist, &map)?;
+        Ok((circuit, map))
+    }
+
+    /// Technology-maps this circuit; see [`EncoderCircuit::tech_mapped`].
+    ///
+    /// # Errors
+    ///
+    /// As [`EncoderCircuit::tech_mapped`].
+    pub fn tech_mapped(&self) -> Result<(DecoderCircuit, crate::NetMap), LogicError> {
+        let (netlist, map) = crate::tech_map(&self.netlist);
+        let circuit = self.remapped(netlist, &map)?;
+        Ok((circuit, map))
+    }
+
+    fn remapped(
+        &self,
+        netlist: Netlist,
+        map: &crate::NetMap,
+    ) -> Result<DecoderCircuit, LogicError> {
         let missing = |interface| LogicError::InterfaceNetRemoved { interface };
         Ok(DecoderCircuit {
             bus_in: map.word(&self.bus_in).ok_or(missing("bus"))?,

@@ -46,6 +46,7 @@ mod netlist;
 mod optimize;
 mod power;
 mod sim;
+pub mod symeval;
 mod techmap;
 mod vcd;
 

@@ -312,8 +312,15 @@ impl Netlist {
     }
 
     /// All `(name, net)` output pairs, in name order.
+    ///
+    /// Bus bits named `base[index]` sort numerically on the index, so
+    /// `out[2]` comes before `out[10]` (plain lexicographic `BTreeMap`
+    /// order would interleave them on buses of 10 or more bits).
     pub fn output_names(&self) -> Vec<(String, NetId)> {
-        self.outputs.iter().map(|(k, v)| (k.clone(), *v)).collect()
+        let mut names: Vec<(String, NetId)> =
+            self.outputs.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        names.sort_by_key(|(name, _)| output_sort_key(name));
+        names
     }
 
     /// Looks up a named output word `name[0..bits)`.
@@ -623,6 +630,21 @@ impl Netlist {
     }
 }
 
+/// Total-order sort key for output names: `base[index]` pairs order by
+/// base name, then numerically by index; names without a numeric suffix
+/// sort by the whole string. The full name is the final tiebreaker so
+/// aliases like `bus[007]` and `bus[7]` still order deterministically.
+fn output_sort_key(name: &str) -> (String, Option<u64>, String) {
+    if let Some((base, rest)) = name.split_once('[') {
+        if let Some(digits) = rest.strip_suffix(']') {
+            if let Ok(index) = digits.parse::<u64>() {
+                return (base.to_owned(), Some(index), name.to_owned());
+            }
+        }
+    }
+    (name.to_owned(), None, name.to_owned())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -632,6 +654,21 @@ mod tests {
         word.iter().enumerate().fold(0u64, |acc, (i, &bit)| {
             acc | (u64::from(sim.value(bit)) << i)
         })
+    }
+
+    #[test]
+    fn output_names_sort_numerically_on_bus_index() {
+        // Width 12 exercises the two-digit indices that lexicographic
+        // BTreeMap order would misplace (`out[10]` before `out[2]`).
+        let mut n = Netlist::new();
+        let word = n.input_word(12);
+        n.mark_output_word("out", &word);
+        let ready = n.constant(true);
+        n.mark_output("ready", ready);
+        let names: Vec<String> = n.output_names().into_iter().map(|(k, _)| k).collect();
+        let mut expected: Vec<String> = (0..12).map(|i| format!("out[{i}]")).collect();
+        expected.push("ready".to_owned());
+        assert_eq!(names, expected);
     }
 
     #[test]

@@ -198,7 +198,7 @@ pub fn degradation_cost(
     if !(0.0..=1.0).contains(&degraded_fraction) {
         return Err(CodecError::InvalidParameter {
             name: "degraded_fraction",
-            reason: "must be a proportion in [0, 1]",
+            reason: format!("must be a proportion in [0, 1], got {degraded_fraction}"),
         });
     }
     let code_est = bus_power(code, params, stream, line_cap_pf, tech)?;

@@ -1,0 +1,445 @@
+//! A self-contained reduced ordered binary decision diagram (ROBDD)
+//! engine.
+//!
+//! The workspace is offline, so this is a from-scratch manager rather
+//! than a binding to CUDD or a crates.io package: hash-consed nodes in a
+//! flat arena, a unique table for canonicity, and a memoized
+//! if-then-else ([`Bdd::ite`]) from which every connective derives. No
+//! complement edges — the node count stays within a few million for
+//! every proof in this crate, and the simpler invariants are easier to
+//! audit.
+//!
+//! Canonicity is the property everything else leans on: two functions
+//! are equal **iff** their [`Ref`]s are equal, so an equivalence check
+//! is `xor == FALSE` and a tautology check is `f == TRUE`, both O(1)
+//! after construction.
+//!
+//! Variable order is the index order of [`Bdd::var`] allocations. The
+//! callers in [`cec`][crate::cec] and [`seq`][crate::seq] interleave
+//! related bit columns (address bit *i* next to the state bits it is
+//! compared against), which keeps the ripple-carry comparators and
+//! symmetric threshold functions of the codecs polynomial-sized; see
+//! `DESIGN.md` §9.
+//!
+//! The manager implements [`BoolAlg`], so the symbolic golden models of
+//! [`buscode_core::sym`] and the netlist evaluator of
+//! [`buscode_logic::symeval`] run over BDDs unchanged.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use buscode_core::sym::BoolAlg;
+
+/// A handle to a BDD node (an index into the manager's arena).
+///
+/// Refs are only meaningful for the [`Bdd`] that created them; equality
+/// of refs from the same manager is equality of Boolean functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref(u32);
+
+/// The constant-false function.
+pub const FALSE: Ref = Ref(0);
+/// The constant-true function.
+pub const TRUE: Ref = Ref(1);
+
+/// Terminals carry this pseudo-variable, which orders after every real
+/// variable so cofactoring treats them as independent of everything.
+const TERMINAL_VAR: u32 = u32::MAX;
+
+/// Hard ceiling on arena size. Every proof in this crate stays well
+/// under this; hitting it means a variable-ordering bug, and panicking
+/// with a clear message beats grinding the host into swap.
+const MAX_NODES: usize = 1 << 24;
+
+#[derive(Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: Ref,
+    hi: Ref,
+}
+
+/// A multiply-mix hasher for the unique and ITE tables. The default
+/// SipHash is DoS-resistant but measurably slower on these hot,
+/// fixed-width keys; nothing here hashes attacker-controlled data.
+#[derive(Default)]
+pub struct MixHasher(u64);
+
+impl Hasher for MixHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        self.0 = (self.0 ^ u64::from(value)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 ^= self.0 >> 29;
+    }
+
+    fn finish(&self) -> u64 {
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h
+    }
+}
+
+type MixMap<K, V> = HashMap<K, V, BuildHasherDefault<MixHasher>>;
+
+/// The BDD manager: node arena, unique table, and operation caches.
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: MixMap<(u32, Ref, Ref), Ref>,
+    ite_cache: MixMap<(Ref, Ref, Ref), Ref>,
+    num_vars: u32,
+}
+
+impl Default for Bdd {
+    fn default() -> Self {
+        Bdd::new()
+    }
+}
+
+impl Bdd {
+    /// Creates a manager containing only the two terminals.
+    #[must_use]
+    pub fn new() -> Self {
+        let terminal = |_| Node {
+            var: TERMINAL_VAR,
+            lo: FALSE,
+            hi: TRUE,
+        };
+        Bdd {
+            nodes: vec![terminal(0), terminal(1)],
+            unique: MixMap::default(),
+            ite_cache: MixMap::default(),
+            num_vars: 0,
+        }
+    }
+
+    /// Allocates the next variable (its index is the next position in
+    /// the global order) and returns the function "variable is true".
+    pub fn fresh_var(&mut self) -> Ref {
+        let index = self.num_vars;
+        self.num_vars += 1;
+        self.mk(index, FALSE, TRUE)
+    }
+
+    /// The function "variable `index` is true". The variable must have
+    /// been allocated already (or be allocated by this call if `index`
+    /// is the next free one).
+    pub fn var(&mut self, index: u32) -> Ref {
+        assert!(
+            index <= self.num_vars,
+            "variable {index} allocated out of order"
+        );
+        if index == self.num_vars {
+            self.num_vars += 1;
+        }
+        self.mk(index, FALSE, TRUE)
+    }
+
+    /// Number of variables allocated so far.
+    #[must_use]
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of live nodes, terminals included. Deterministic for a
+    /// deterministic operation sequence, so it is safe to print in
+    /// reports that must be byte-identical across `--jobs` values.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> Ref {
+        if lo == hi {
+            return lo;
+        }
+        if let Some(&r) = self.unique.get(&(var, lo, hi)) {
+            return r;
+        }
+        assert!(
+            self.nodes.len() < MAX_NODES,
+            "BDD exceeded {MAX_NODES} nodes; variable ordering bug"
+        );
+        let r = Ref(self.nodes.len() as u32);
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), r);
+        r
+    }
+
+    fn top_var(&self, f: Ref) -> u32 {
+        self.nodes[f.0 as usize].var
+    }
+
+    fn cofactors(&self, f: Ref, var: u32) -> (Ref, Ref) {
+        let node = self.nodes[f.0 as usize];
+        if node.var == var {
+            (node.lo, node.hi)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Memoized if-then-else: `f ? g : h`. Every connective reduces to
+    /// this one operator.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        if f == TRUE {
+            return g;
+        }
+        if f == FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == TRUE && h == FALSE {
+            return f;
+        }
+        let key = (f, g, h);
+        if let Some(&r) = self.ite_cache.get(&key) {
+            return r;
+        }
+        let var = self.top_var(f).min(self.top_var(g)).min(self.top_var(h));
+        let (f0, f1) = self.cofactors(f, var);
+        let (g0, g1) = self.cofactors(g, var);
+        let (h0, h1) = self.cofactors(h, var);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(var, lo, hi);
+        self.ite_cache.insert(key, r);
+        r
+    }
+
+    /// Existential quantification of `vars` (any order) out of `f`.
+    pub fn exists(&mut self, f: Ref, vars: &[u32]) -> Ref {
+        let mut set: Vec<u32> = vars.to_vec();
+        set.sort_unstable();
+        let mut cache: MixMap<Ref, Ref> = MixMap::default();
+        self.exists_rec(f, &set, &mut cache)
+    }
+
+    fn exists_rec(&mut self, f: Ref, set: &[u32], cache: &mut MixMap<Ref, Ref>) -> Ref {
+        let var = self.top_var(f);
+        if var == TERMINAL_VAR {
+            return f;
+        }
+        if let Some(&r) = cache.get(&f) {
+            return r;
+        }
+        let (lo, hi) = self.cofactors(f, var);
+        let lo = self.exists_rec(lo, set, cache);
+        let hi = self.exists_rec(hi, set, cache);
+        let r = if set.binary_search(&var).is_ok() {
+            self.ite(lo, TRUE, hi)
+        } else {
+            self.mk(var, lo, hi)
+        };
+        cache.insert(f, r);
+        r
+    }
+
+    /// One satisfying assignment of `f` as `(variable, value)` pairs for
+    /// the variables along the chosen path; variables not listed are
+    /// don't-cares (callers conventionally default them to `false`).
+    /// `None` iff `f` is unsatisfiable.
+    #[must_use]
+    pub fn sat_one(&self, f: Ref) -> Option<Vec<(u32, bool)>> {
+        if f == FALSE {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut at = f;
+        while at != TRUE {
+            let node = self.nodes[at.0 as usize];
+            // In a reduced BDD every non-FALSE node reaches TRUE, so one
+            // of the children is satisfiable.
+            if node.hi != FALSE {
+                path.push((node.var, true));
+                at = node.hi;
+            } else {
+                path.push((node.var, false));
+                at = node.lo;
+            }
+        }
+        Some(path)
+    }
+
+    /// Evaluates `f` under a concrete assignment (indexed by variable).
+    #[must_use]
+    pub fn eval(&self, f: Ref, assignment: &[bool]) -> bool {
+        let mut at = f;
+        loop {
+            let node = self.nodes[at.0 as usize];
+            if node.var == TERMINAL_VAR {
+                return at == TRUE;
+            }
+            at = if assignment.get(node.var as usize).copied().unwrap_or(false) {
+                node.hi
+            } else {
+                node.lo
+            };
+        }
+    }
+}
+
+impl BoolAlg for Bdd {
+    type B = Ref;
+
+    fn constant(&mut self, value: bool) -> Ref {
+        if value {
+            TRUE
+        } else {
+            FALSE
+        }
+    }
+
+    fn not(&mut self, a: Ref) -> Ref {
+        self.ite(a, FALSE, TRUE)
+    }
+
+    fn and(&mut self, a: Ref, b: Ref) -> Ref {
+        self.ite(a, b, FALSE)
+    }
+
+    fn or(&mut self, a: Ref, b: Ref) -> Ref {
+        self.ite(a, TRUE, b)
+    }
+
+    fn xor(&mut self, a: Ref, b: Ref) -> Ref {
+        let nb = self.not(b);
+        self.ite(a, nb, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buscode_core::rng::Rng64;
+
+    /// Exhaustively compares a BDD against a truth-table oracle.
+    fn assert_matches_oracle(bdd: &Bdd, f: Ref, vars: u32, oracle: impl Fn(u64) -> bool) {
+        for input in 0..(1u64 << vars) {
+            let assignment: Vec<bool> = (0..vars).map(|i| (input >> i) & 1 == 1).collect();
+            assert_eq!(bdd.eval(f, &assignment), oracle(input), "input {input:#b}");
+        }
+    }
+
+    #[test]
+    fn connectives_match_truth_tables() {
+        let mut bdd = Bdd::new();
+        let a = bdd.fresh_var();
+        let b = bdd.fresh_var();
+        let c = bdd.fresh_var();
+        let ab = bdd.and(a, b);
+        let f = bdd.xor(ab, c);
+        assert_matches_oracle(&bdd, f, 3, |x| {
+            ((x & 1 == 1) && (x & 2 == 2)) ^ (x & 4 == 4)
+        });
+        let g = bdd.or(a, c);
+        assert_matches_oracle(&bdd, g, 3, |x| (x & 1 == 1) || (x & 4 == 4));
+    }
+
+    #[test]
+    fn canonicity_makes_equal_functions_identical() {
+        let mut bdd = Bdd::new();
+        let a = bdd.fresh_var();
+        let b = bdd.fresh_var();
+        // a ^ b built two structurally different ways.
+        let direct = bdd.xor(a, b);
+        let na = bdd.not(a);
+        let nb = bdd.not(b);
+        let t1 = bdd.and(a, nb);
+        let t2 = bdd.and(na, b);
+        let rebuilt = bdd.or(t1, t2);
+        assert_eq!(direct, rebuilt);
+        // Tautology and contradiction collapse to the terminals.
+        let taut = bdd.xor(direct, rebuilt);
+        assert_eq!(taut, FALSE);
+        let either = bdd.or(direct, TRUE);
+        assert_eq!(either, TRUE);
+    }
+
+    #[test]
+    fn random_expressions_agree_with_concrete_evaluation() {
+        let mut rng = Rng64::seed_from_u64(5);
+        for _ in 0..50 {
+            let mut bdd = Bdd::new();
+            let vars: Vec<Ref> = (0..6).map(|_| bdd.fresh_var()).collect();
+            // A random expression DAG over 6 variables.
+            let mut pool = vars.clone();
+            for _ in 0..40 {
+                let a = pool[(rng.gen::<u64>() as usize) % pool.len()];
+                let b = pool[(rng.gen::<u64>() as usize) % pool.len()];
+                let node = match rng.gen::<u64>() % 4 {
+                    0 => bdd.and(a, b),
+                    1 => bdd.or(a, b),
+                    2 => bdd.xor(a, b),
+                    _ => bdd.not(a),
+                };
+                pool.push(node);
+            }
+            let f = *pool.last().unwrap();
+            // Check eval against sat_one's claim and against ite identities.
+            if let Some(path) = bdd.sat_one(f) {
+                let mut assignment = vec![false; 6];
+                for (var, value) in path {
+                    assignment[var as usize] = value;
+                }
+                assert!(bdd.eval(f, &assignment));
+            } else {
+                assert_eq!(f, FALSE);
+            }
+            let nf = bdd.not(f);
+            let tautology = bdd.or(f, nf);
+            assert_eq!(tautology, TRUE);
+            let contradiction = bdd.and(f, nf);
+            assert_eq!(contradiction, FALSE);
+        }
+    }
+
+    #[test]
+    fn exists_quantifies_out_variables() {
+        let mut bdd = Bdd::new();
+        let a = bdd.fresh_var();
+        let b = bdd.fresh_var();
+        let c = bdd.fresh_var();
+        // f = (a & b) | (!a & c): exists a => b | c.
+        let ab = bdd.and(a, b);
+        let na = bdd.not(a);
+        let nac = bdd.and(na, c);
+        let f = bdd.or(ab, nac);
+        let ex = bdd.exists(f, &[0]);
+        let bc = bdd.or(b, c);
+        assert_eq!(ex, bc);
+        // Quantifying everything out of a satisfiable function gives TRUE.
+        let all = bdd.exists(f, &[0, 1, 2]);
+        assert_eq!(all, TRUE);
+    }
+
+    #[test]
+    fn sat_one_finds_the_narrow_cube() {
+        let mut bdd = Bdd::new();
+        let vars: Vec<Ref> = (0..8).map(|_| bdd.fresh_var()).collect();
+        // Exactly one satisfying assignment: 0b10110101.
+        let want = 0b1011_0101u64;
+        let mut f = TRUE;
+        for (i, &v) in vars.iter().enumerate() {
+            let lit = if (want >> i) & 1 == 1 { v } else { bdd.not(v) };
+            f = bdd.and(f, lit);
+        }
+        let path = bdd.sat_one(f).unwrap();
+        let mut assignment = [false; 8];
+        for (var, value) in path {
+            assignment[var as usize] = value;
+        }
+        let got: u64 = assignment
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | (u64::from(b) << i));
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,131 @@
+//! `busverify` — symbolic verification driver for the buscode
+//! workspace.
+//!
+//! Plans a deterministic suite of proof cells — gate-level equivalence
+//! of every staged codec netlist against the golden models, sequential
+//! induction of `decode ∘ encode = identity` plus the paper invariants
+//! at the sweep width, and width-8 product-machine reachability — and
+//! discharges them with the self-contained BDD engine. Exits nonzero
+//! when any cell fails (counterexample) or errors.
+//!
+//! `--jobs N` shards cells across worker threads; the output carries no
+//! timings or other volatile state, so it is byte-identical for any
+//! worker count.
+//!
+//! ```text
+//! busverify [--width BITS] [--mode all|cec|seq|image]
+//!           [--code NAME] [--stage raw|opt|mapped]
+//!           [--format text|json] [--seed S] [--jobs N] [--quiet]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use buscode_core::BusWidth;
+use buscode_engine::cli::{self, CommonArgs, Outcome, ToolRun, COMMON_USAGE};
+use buscode_verify::suite::{plan, render_json, render_text, run_cell, tally, Mode};
+use buscode_verify::Stage;
+
+const TOOL: &str = "busverify";
+
+fn usage() -> String {
+    format!(
+        "usage: busverify [--width BITS] [--mode all|cec|seq|image] [--code NAME] \
+         [--stage raw|opt|mapped] {COMMON_USAGE}"
+    )
+}
+
+struct Options {
+    width: BusWidth,
+    mode: Mode,
+    code: Option<String>,
+    stage: Option<Stage>,
+}
+
+fn parse_tool_args(args: &[String]) -> Result<Options, String> {
+    let mut width = 32u32;
+    let mut mode = Mode::All;
+    let mut code = None;
+    let mut stage = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--width" => {
+                let value = it.next().ok_or("--width needs a value")?;
+                width = match value.parse::<u32>() {
+                    Ok(v) if (1..=64).contains(&v) => v,
+                    _ => return Err(format!("width '{value}' is not in 1..=64")),
+                };
+            }
+            "--mode" => {
+                mode = Mode::parse(it.next().ok_or("--mode needs a value")?)?;
+            }
+            "--code" => {
+                code = Some(it.next().ok_or("--code needs a value")?.clone());
+            }
+            "--stage" => {
+                let value = it.next().ok_or("--stage needs a value")?;
+                stage = Some(match value.as_str() {
+                    "raw" => Stage::Raw,
+                    "opt" => Stage::Opt,
+                    "mapped" => Stage::Mapped,
+                    other => {
+                        return Err(format!("unknown stage '{other}' (expected raw|opt|mapped)"))
+                    }
+                });
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    let width = BusWidth::new(width).map_err(|e| e.to_string())?;
+    Ok(Options {
+        width,
+        mode,
+        code,
+        stage,
+    })
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let common = match CommonArgs::extract(&mut args) {
+        Ok(common) => common,
+        Err(msg) => return cli::usage_error(TOOL, &usage(), &msg),
+    };
+    if common.help {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_tool_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => return cli::usage_error(TOOL, &usage(), &msg),
+    };
+    let run = ToolRun::new(TOOL, env!("CARGO_PKG_VERSION"), common);
+    let engine = common.engine();
+
+    let cells = plan(opts.width, opts.mode, opts.code.as_deref(), opts.stage);
+    if cells.is_empty() {
+        return run.finish(&Outcome::error(
+            "no proof cells match the requested filters".to_string(),
+        ));
+    }
+    let results = engine.run(cells, |cell| run_cell(&cell));
+
+    let (proved, failed, errors) = tally(&results);
+    let text = render_text(opts.width, &results);
+    let data = format!(
+        "{{\"width\":{},\"jobs\":{},\"proved\":{proved},\"failed\":{failed},\"errors\":{errors},\"cells\":{}}}",
+        opts.width.bits(),
+        engine.jobs(),
+        render_json(&results)
+    );
+    let outcome = if errors > 0 {
+        Outcome::error(format!("{errors} cell(s) could not run"))
+    } else if failed > 0 {
+        Outcome::failure(format!("{failed} cell(s) failed"), text, data)
+    } else {
+        Outcome::success(text, data)
+    };
+    run.finish(&outcome)
+}

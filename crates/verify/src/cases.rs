@@ -1,0 +1,656 @@
+//! Guided case-decomposition proofs for the table codes
+//! (working-zone, self-organizing list) at full width.
+//!
+//! The table codes keep a small content-addressable memory on both
+//! sides of the bus (4 zone registers, a 16-entry move-to-front list).
+//! A monolithic product-machine BDD over that state is hopeless — the
+//! conjunction of 16 parallel 24-bit equality trackers has `2^16`
+//! distinguishable live subsets per variable column — so correctness is
+//! decomposed into small per-case tautologies, each touching at most
+//! two table entries, that together cover every behaviour:
+//!
+//! 1. **case split** — the first-match arms (`hit entry 0`, `hit entry
+//!    1 but not 0`, …, `miss`) are exhaustive and pairwise disjoint.
+//!    Proved once over *fresh abstract literals*, so the lemma
+//!    instantiates to the concrete hit predicates by substitution
+//!    without ever conjoining all the equality chains.
+//! 2. **weakened round trip, per entry** — if the address hits entry
+//!    `i` (one equality chain), the transmitted word decodes back to
+//!    the address against the *mirrored* entry. The decoder's table is
+//!    instantiated with the same BDD variables as the encoder's — the
+//!    tables-equal mirror invariant by substitution, as in
+//!    [`crate::seq`].
+//! 3. **first-occurrence agreement, pairwise** — the self-organizing
+//!    decoder re-derives the promoted position by searching its own
+//!    list, so it must find the *same* first occurrence the encoder
+//!    did. For every pair `q < p`: "first match at `p`" and
+//!    "entry `q` equals entry `p`" are jointly unsatisfiable (two
+//!    equality chains).
+//! 4. **transport** — the one-hot offset/position field round-trips
+//!    through the wire encoding, proved over a fresh symbolic index.
+//! 5. **lockstep** — on a miss both sides install the transmitted word
+//!    (which *is* the address: the payload lines are the address
+//!    variables, a BDD `Ref` identity) at the mirrored round-robin
+//!    victim / list front; on a hit the working-zone tables are
+//!    untouched and both list sides apply the same `remove(p)` +
+//!    `insert(0)` permutation (same position by lemma 3). The state
+//!    update is therefore identical by construction, which closes the
+//!    tables-equal induction that lemma 2 assumes.
+//!
+//! The hit predicates and wire formats used in the proofs are built by
+//! the `wz_*`/`sol_*` expression builders below, generic over
+//! [`BoolAlg`]. The same builders drive [`WzModel`] and [`SolModel`]
+//! through the concrete [`BoolEval`] algebra, and tests diff those
+//! models step-for-step against the behavioural
+//! `buscode_core::codes` codecs — anchoring the symbolic obligations
+//! to the implementation the rest of the workspace trusts.
+
+use buscode_core::sym::{
+    add_words, equal_words, lt_const, or_many, popcount, sub_words, word_from_u64, word_to_u64,
+    BoolAlg, BoolEval,
+};
+use buscode_core::{BusWidth, Stride};
+
+use crate::bdd::{Bdd, Ref, FALSE, TRUE};
+
+/// The result of one case-decomposition proof.
+#[derive(Clone, Debug)]
+pub struct CaseReport {
+    /// Number of tautologies proved.
+    pub obligations: usize,
+    /// BDD arena size after the proof (deterministic).
+    pub nodes: usize,
+    /// First violated obligation, if any. `None` means proved.
+    pub failure: Option<String>,
+}
+
+impl CaseReport {
+    /// True when every obligation held.
+    #[must_use]
+    pub fn proved(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+// --- Shared expression builders --------------------------------------------
+
+/// Hit predicate for one working-zone register: the zone is valid and
+/// `addr - base` is a stride-aligned offset within the zone span.
+/// Returns the predicate and the raw delta word.
+pub fn wz_zone_hit<A: BoolAlg>(
+    alg: &mut A,
+    addr: &[A::B],
+    valid: A::B,
+    base: &[A::B],
+    stride_log2: u32,
+    offset_log2: u32,
+) -> (A::B, Vec<A::B>) {
+    let delta = sub_words(alg, addr, base);
+    let in_span = lt_const(alg, &delta, 1u64 << (stride_log2 + offset_log2));
+    let low = &delta[..stride_log2 as usize];
+    let misaligned = or_many(alg, low);
+    let aligned = alg.not(misaligned);
+    let near = alg.and(in_span, aligned);
+    let hit = alg.and(valid, near);
+    (hit, delta)
+}
+
+/// One-hot hit payload for the working-zone code: payload line
+/// `delta / stride` is high, all others low.
+pub fn wz_hit_payload<A: BoolAlg>(
+    alg: &mut A,
+    delta: &[A::B],
+    stride_log2: u32,
+    offset_log2: u32,
+) -> Vec<A::B> {
+    let offset = &delta[stride_log2 as usize..(stride_log2 + offset_log2) as usize];
+    onehot(alg, offset, delta.len())
+}
+
+/// Hit predicate for one self-organizing-list entry: the entry is
+/// populated and stores the address's high part.
+pub fn sol_entry_hit<A: BoolAlg>(alg: &mut A, high: &[A::B], valid: A::B, entry: &[A::B]) -> A::B {
+    let same = equal_words(alg, high, entry);
+    alg.and(valid, same)
+}
+
+/// Hit payload for the self-organizing code: the binary low offset
+/// with the one-hot position line above it.
+pub fn sol_hit_payload<A: BoolAlg>(
+    alg: &mut A,
+    low: &[A::B],
+    position: usize,
+    width: u32,
+) -> Vec<A::B> {
+    (0..width as usize)
+        .map(|i| {
+            if i < low.len() {
+                low[i]
+            } else {
+                alg.constant(i == low.len() + position)
+            }
+        })
+        .collect()
+}
+
+/// Expands a binary index into `lines` one-hot lines.
+pub fn onehot<A: BoolAlg>(alg: &mut A, index: &[A::B], lines: usize) -> Vec<A::B> {
+    (0..lines)
+        .map(|i| {
+            // Lines beyond the index range stay low (the self-organizing
+            // position field uses fewer lines than the bus provides).
+            if i >= 1usize << index.len() {
+                return alg.constant(false);
+            }
+            let want = word_from_u64(alg, i as u64, index.len() as u32);
+            equal_words(alg, index, &want)
+        })
+        .collect()
+}
+
+/// Recovers the binary index from one-hot lines: index bit `j` is the
+/// OR of every line whose number has bit `j` set.
+pub fn onehot_to_index<A: BoolAlg>(alg: &mut A, lines: &[A::B], index_bits: u32) -> Vec<A::B> {
+    (0..index_bits)
+        .map(|j| {
+            let selected: Vec<A::B> = lines
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (i >> j) & 1 == 1)
+                .map(|(_, &line)| line)
+                .collect();
+            or_many(alg, &selected)
+        })
+        .collect()
+}
+
+// --- Proof obligations ------------------------------------------------------
+
+/// Lemma 1 over fresh literals: the first-match decomposition of
+/// `cases` hit signals (plus the all-miss arm) is exhaustive and
+/// pairwise disjoint.
+fn case_split(bdd: &mut Bdd, cases: u32, label: &str, obligations: &mut Vec<(String, Ref)>) {
+    let mut arms = Vec::with_capacity(cases as usize + 1);
+    let mut none_before = TRUE;
+    for _ in 0..cases {
+        let x = bdd.fresh_var();
+        arms.push(bdd.and(none_before, x));
+        let miss_here = bdd.not(x);
+        none_before = bdd.and(none_before, miss_here);
+    }
+    arms.push(none_before);
+    let covered = or_many(bdd, &arms);
+    obligations.push((format!("{label}-case-split-exhaustive"), covered));
+    for a in 0..arms.len() {
+        for b in a + 1..arms.len() {
+            let both = bdd.and(arms[a], arms[b]);
+            let disjoint = bdd.not(both);
+            obligations.push((format!("{label}-case-split-exclusive[{a},{b}]"), disjoint));
+        }
+    }
+}
+
+/// Lemma 4: an `index_bits`-wide symbolic index survives the trip
+/// through `lines` one-hot lines, and the field really is one-hot.
+fn transport_obligations(
+    bdd: &mut Bdd,
+    index_bits: u32,
+    lines: usize,
+    label: &str,
+    obligations: &mut Vec<(String, Ref)>,
+) {
+    debug_assert_eq!(1usize << index_bits, lines.min(1 << index_bits));
+    let index: Vec<Ref> = (0..index_bits).map(|_| bdd.fresh_var()).collect();
+    let hot = onehot(bdd, &index, lines);
+    let ones = popcount(bdd, &hot);
+    let one = word_from_u64(bdd, 1, ones.len() as u32);
+    let exactly_one = equal_words(bdd, &ones, &one);
+    obligations.push((format!("{label}-payload-onehot"), exactly_one));
+    let back = onehot_to_index(bdd, &hot, index_bits);
+    for (j, (&got, &want)) in back.iter().zip(&index).enumerate() {
+        let ok = bdd.xnor(got, want);
+        obligations.push((format!("{label}-index-transport[{j}]"), ok));
+    }
+}
+
+fn first_failure(bdd: &mut Bdd, obligations: &[(String, Ref)]) -> Option<String> {
+    for (name, ok) in obligations {
+        if *ok != TRUE {
+            let bad = bdd.not(*ok);
+            let witness = bdd
+                .sat_one(bad)
+                .map(|a| format!("{a:?}"))
+                .unwrap_or_default();
+            return Some(format!("{name} falsified at {witness}"));
+        }
+    }
+    None
+}
+
+/// Proves the working-zone codec round trip at full width by case
+/// decomposition over `zones` zone registers.
+///
+/// # Errors
+///
+/// The proof geometry requires power-of-two width, stride, and zone
+/// count, and the zone span must fit the address space.
+pub fn check_working_zone(
+    width: BusWidth,
+    stride: Stride,
+    zones: u32,
+) -> Result<CaseReport, String> {
+    let w = width.bits();
+    if !w.is_power_of_two() {
+        return Err(format!(
+            "working-zone proof requires a power-of-two width, got {w}"
+        ));
+    }
+    if !stride.get().is_power_of_two() {
+        return Err(format!(
+            "working-zone proof requires a power-of-two stride, got {}",
+            stride.get()
+        ));
+    }
+    if !zones.is_power_of_two() || zones > 64 {
+        return Err(format!(
+            "working-zone proof requires a power-of-two zone count in 1..=64, got {zones}"
+        ));
+    }
+    let stride_log2 = stride.get().trailing_zeros();
+    let offset_log2 = w.trailing_zeros();
+    if stride_log2 + offset_log2 > w {
+        return Err(format!(
+            "zone span 2^{} exceeds the {w}-bit address space",
+            stride_log2 + offset_log2
+        ));
+    }
+
+    let wu = w as usize;
+    let zu = zones as usize;
+    let mut bdd = Bdd::new();
+    // Valid flags first, then per-column addr bit / base bits so the
+    // ripple subtract in each hit predicate stays linear-sized.
+    let valid: Vec<Ref> = (0..zu).map(|_| bdd.fresh_var()).collect();
+    let mut addr = Vec::with_capacity(wu);
+    let mut base = vec![Vec::with_capacity(wu); zu];
+    for _ in 0..wu {
+        addr.push(bdd.fresh_var());
+        for b in &mut base {
+            b.push(bdd.fresh_var());
+        }
+    }
+
+    let mut obligations: Vec<(String, Ref)> = Vec::new();
+    case_split(&mut bdd, zones, "wz", &mut obligations);
+
+    for z in 0..zu {
+        let (hit, delta) = wz_zone_hit(
+            &mut bdd,
+            &addr,
+            valid[z],
+            &base[z],
+            stride_log2,
+            offset_log2,
+        );
+        // The one-hot payload transports exactly delta's offset field;
+        // the decoder rebuilds `base + offset * stride`. Masking delta
+        // down to that field models the transmission loss.
+        let masked: Vec<Ref> = (0..wu)
+            .map(|i| {
+                let bit = i as u32;
+                if bit >= stride_log2 && bit < stride_log2 + offset_log2 {
+                    delta[i]
+                } else {
+                    FALSE
+                }
+            })
+            .collect();
+        let rebuilt = add_words(&mut bdd, &base[z], &masked);
+        let same = equal_words(&mut bdd, &rebuilt, &addr);
+        let ok = bdd.implies(hit, same);
+        obligations.push((format!("wz-roundtrip[zone {z}]"), ok));
+    }
+
+    transport_obligations(&mut bdd, offset_log2, wu, "wz", &mut obligations);
+
+    // Lemma 5, miss arm: the payload lines *are* the address variables
+    // (same Refs), so the decoder's plain-binary read-back and both
+    // sides' round-robin install see identical words by construction.
+    let miss_identity = equal_words(&mut bdd, &addr, &addr);
+    obligations.push(("wz-miss-lockstep".to_string(), miss_identity));
+
+    let failure = first_failure(&mut bdd, &obligations);
+    Ok(CaseReport {
+        obligations: obligations.len(),
+        nodes: bdd.node_count(),
+        failure,
+    })
+}
+
+/// Proves the self-organizing-list codec round trip at full width by
+/// case decomposition over `entries` list positions.
+///
+/// # Errors
+///
+/// The proof geometry requires a power-of-two entry count that fits on
+/// the one-hot lines above `low_bits`.
+pub fn check_self_organizing(
+    width: BusWidth,
+    low_bits: u32,
+    entries: u32,
+) -> Result<CaseReport, String> {
+    let w = width.bits();
+    if low_bits >= w {
+        return Err(format!("low_bits {low_bits} must be below the width {w}"));
+    }
+    let high_bits = (w - low_bits) as usize;
+    if !entries.is_power_of_two() || entries as usize > high_bits {
+        return Err(format!(
+            "self-organizing proof requires a power-of-two entry count within the \
+             {high_bits} one-hot lines, got {entries}"
+        ));
+    }
+    let eu = entries as usize;
+    let lu = low_bits as usize;
+
+    let mut bdd = Bdd::new();
+    // Prefix-validity flags, the (independent) low offset bits, then
+    // per-column addr-high bit / list-entry bits.
+    let valid: Vec<Ref> = (0..eu).map(|_| bdd.fresh_var()).collect();
+    let low: Vec<Ref> = (0..lu).map(|_| bdd.fresh_var()).collect();
+    let mut high = Vec::with_capacity(high_bits);
+    let mut list = vec![Vec::with_capacity(high_bits); eu];
+    for _ in 0..high_bits {
+        high.push(bdd.fresh_var());
+        for entry in &mut list {
+            entry.push(bdd.fresh_var());
+        }
+    }
+    // The move-to-front list fills from the front: entry p populated
+    // implies every earlier entry is too.
+    let mut prefix_valid = TRUE;
+    for pair in valid.windows(2) {
+        let step = bdd.implies(pair[1], pair[0]);
+        prefix_valid = bdd.and(prefix_valid, step);
+    }
+
+    let mut obligations: Vec<(String, Ref)> = Vec::new();
+    case_split(&mut bdd, entries, "sol", &mut obligations);
+
+    for p in 0..eu {
+        // Lemma 2: a hit at p decodes against the mirrored entry p.
+        let hit = sol_entry_hit(&mut bdd, &high, valid[p], &list[p]);
+        let mut rebuilt: Vec<Ref> = low.clone();
+        rebuilt.extend_from_slice(&list[p]);
+        let mut address: Vec<Ref> = low.clone();
+        address.extend_from_slice(&high);
+        let same = equal_words(&mut bdd, &rebuilt, &address);
+        let ok = bdd.implies(hit, same);
+        obligations.push((format!("sol-roundtrip[{p}]"), ok));
+
+        // Lemma 3: under a first match at p no earlier entry can hold
+        // the same high part, so the decoder's own first-occurrence
+        // search lands on p too and both sides promote identically.
+        for q in 0..p {
+            let hit_q = sol_entry_hit(&mut bdd, &high, valid[q], &list[q]);
+            let missed_q = bdd.not(hit_q);
+            let duplicate = equal_words(&mut bdd, &list[q], &list[p]);
+            let conj = [prefix_valid, hit, missed_q, duplicate]
+                .iter()
+                .fold(TRUE, |acc, &t| bdd.and(acc, t));
+            let impossible = bdd.not(conj);
+            obligations.push((format!("sol-first-occurrence[{q},{p}]"), impossible));
+        }
+    }
+
+    transport_obligations(
+        &mut bdd,
+        entries.trailing_zeros(),
+        high_bits,
+        "sol",
+        &mut obligations,
+    );
+
+    // Lemma 5, miss arm: payload lines are the address variables, and
+    // both sides split off the same high part for the front insert.
+    let mut address: Vec<Ref> = low.clone();
+    address.extend_from_slice(&high);
+    let miss_identity = equal_words(&mut bdd, &address, &address);
+    obligations.push(("sol-miss-lockstep".to_string(), miss_identity));
+
+    let failure = first_failure(&mut bdd, &obligations);
+    Ok(CaseReport {
+        obligations: obligations.len(),
+        nodes: bdd.node_count(),
+        failure,
+    })
+}
+
+// --- Concrete models over the same builders ---------------------------------
+
+/// A working-zone encoder whose hit predicate and wire format are the
+/// *proof's* expression builders, evaluated through [`BoolEval`]; the
+/// table bookkeeping (round-robin install) is plain code. Tests diff
+/// this step-for-step against `buscode_core`'s behavioural encoder.
+#[derive(Clone, Debug)]
+pub struct WzModel {
+    width: BusWidth,
+    stride_log2: u32,
+    offset_log2: u32,
+    valid: Vec<bool>,
+    base: Vec<u64>,
+    victim: usize,
+    prev_zone_field: u64,
+}
+
+impl WzModel {
+    /// Creates the model; parameters must satisfy the proof geometry.
+    ///
+    /// # Errors
+    ///
+    /// As [`check_working_zone`].
+    pub fn new(width: BusWidth, stride: Stride, zones: u32) -> Result<Self, String> {
+        check_working_zone(width, stride, zones).map(|_| ())?;
+        Ok(WzModel {
+            width,
+            stride_log2: stride.get().trailing_zeros(),
+            offset_log2: width.bits().trailing_zeros(),
+            valid: vec![false; zones as usize],
+            base: vec![0; zones as usize],
+            victim: 0,
+            prev_zone_field: 0,
+        })
+    }
+
+    /// Encodes one address; returns `(payload, aux)`.
+    pub fn step(&mut self, address: u64) -> (u64, u64) {
+        let mut alg = BoolEval;
+        let w = self.width.bits();
+        let addr = word_from_u64(&mut alg, address & self.width.mask(), w);
+        for z in 0..self.base.len() {
+            let base = word_from_u64(&mut alg, self.base[z], w);
+            let (hit, delta) = wz_zone_hit(
+                &mut alg,
+                &addr,
+                self.valid[z],
+                &base,
+                self.stride_log2,
+                self.offset_log2,
+            );
+            if hit {
+                let payload = wz_hit_payload(&mut alg, &delta, self.stride_log2, self.offset_log2);
+                self.prev_zone_field = z as u64;
+                return (word_to_u64(&payload), 1 | ((z as u64) << 1));
+            }
+        }
+        self.valid[self.victim] = true;
+        self.base[self.victim] = address & self.width.mask();
+        self.victim = (self.victim + 1) % self.base.len();
+        (address & self.width.mask(), self.prev_zone_field << 1)
+    }
+}
+
+/// A self-organizing-list encoder built from the proof's expression
+/// builders, with the move-to-front bookkeeping in plain code.
+#[derive(Clone, Debug)]
+pub struct SolModel {
+    width: BusWidth,
+    low_bits: u32,
+    capacity: usize,
+    list: Vec<u64>,
+}
+
+impl SolModel {
+    /// Creates the model; parameters must satisfy the proof geometry.
+    ///
+    /// # Errors
+    ///
+    /// As [`check_self_organizing`].
+    pub fn new(width: BusWidth, low_bits: u32, entries: u32) -> Result<Self, String> {
+        check_self_organizing(width, low_bits, entries).map(|_| ())?;
+        Ok(SolModel {
+            width,
+            low_bits,
+            capacity: entries as usize,
+            list: Vec::new(),
+        })
+    }
+
+    /// Encodes one address; returns `(payload, aux)`.
+    pub fn step(&mut self, address: u64) -> (u64, u64) {
+        let mut alg = BoolEval;
+        let masked = address & self.width.mask();
+        let high_val = masked >> self.low_bits;
+        let high = word_from_u64(&mut alg, high_val, self.width.bits() - self.low_bits);
+        let low = word_from_u64(&mut alg, masked, self.low_bits);
+        let position = (0..self.list.len()).find(|&p| {
+            let entry = word_from_u64(&mut alg, self.list[p], self.width.bits() - self.low_bits);
+            sol_entry_hit(&mut alg, &high, true, &entry)
+        });
+        if let Some(p) = position {
+            let payload = sol_hit_payload(&mut alg, &low, p, self.width.bits());
+            let entry = self.list.remove(p);
+            self.list.insert(0, entry);
+            (word_to_u64(&payload), 1)
+        } else {
+            self.list.insert(0, high_val);
+            self.list.truncate(self.capacity);
+            (masked, 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buscode_core::codes::{SelfOrganizingEncoder, WorkingZoneEncoder};
+    use buscode_core::rng::Rng64;
+    use buscode_core::{Access, Encoder};
+
+    fn w32() -> BusWidth {
+        BusWidth::new(32).unwrap()
+    }
+
+    #[test]
+    fn working_zone_proves_at_widths_8_and_32() {
+        for bits in [8u32, 32] {
+            let width = BusWidth::new(bits).unwrap();
+            let stride = Stride::new(4, width).unwrap();
+            let report = check_working_zone(width, stride, 4).unwrap();
+            assert!(report.proved(), "width {bits}: {:?}", report.failure);
+            assert!(report.obligations > 4);
+        }
+    }
+
+    #[test]
+    fn self_organizing_proves_at_widths_8_and_32() {
+        for (bits, low, entries) in [(8u32, 2u32, 4u32), (32, 8, 16)] {
+            let width = BusWidth::new(bits).unwrap();
+            let report = check_self_organizing(width, low, entries).unwrap();
+            assert!(report.proved(), "width {bits}: {:?}", report.failure);
+            assert!(report.obligations > entries as usize);
+        }
+    }
+
+    #[test]
+    fn proof_geometry_is_validated() {
+        let width = BusWidth::new(12).unwrap(); // not a power of two
+        let stride = Stride::new(4, width).unwrap();
+        assert!(check_working_zone(width, stride, 4).is_err());
+        assert!(check_working_zone(w32(), Stride::new(4, w32()).unwrap(), 3).is_err());
+        assert!(check_self_organizing(w32(), 8, 3).is_err());
+        assert!(check_self_organizing(w32(), 32, 4).is_err());
+    }
+
+    /// The proof's expression builders drive the same bits the
+    /// behavioural encoder puts on the bus, step for step.
+    #[test]
+    fn wz_model_matches_behavioural_encoder() {
+        let width = w32();
+        let stride = Stride::new(4, width).unwrap();
+        let mut model = WzModel::new(width, stride, 4).unwrap();
+        let mut gold = WorkingZoneEncoder::new(width, stride, 4).unwrap();
+        let mut rng = Rng64::seed_from_u64(2024);
+        let zones = [0x1000u64, 0x8000, 0x4_0000, 0xffff_0000, 0x77_0000];
+        for step in 0..4000 {
+            let addr = if rng.gen_bool(0.8) {
+                zones[rng.gen_range(0..zones.len())] + 4 * rng.gen_range(0..32u64)
+            } else {
+                rng.gen::<u64>() & width.mask()
+            };
+            let want = gold.encode(Access::data(addr));
+            let (payload, aux) = model.step(addr);
+            assert_eq!(
+                (payload, aux),
+                (want.payload, want.aux),
+                "step {step} addr {addr:#x}"
+            );
+        }
+    }
+
+    /// Same anchoring for the self-organizing list.
+    #[test]
+    fn sol_model_matches_behavioural_encoder() {
+        let width = w32();
+        let mut model = SolModel::new(width, 8, 16).unwrap();
+        let mut gold = SelfOrganizingEncoder::new(width, 8, 16).unwrap();
+        let mut rng = Rng64::seed_from_u64(77);
+        let zones: Vec<u64> = (0..24).map(|i| 0x4000_0000 + (i << 17)).collect();
+        for step in 0..4000 {
+            let addr = if rng.gen_bool(0.9) {
+                zones[rng.gen_range(0..zones.len())] + rng.gen_range(0..256u64)
+            } else {
+                rng.gen::<u64>() & width.mask()
+            };
+            let want = gold.encode(Access::data(addr));
+            let (payload, aux) = model.step(addr);
+            assert_eq!(
+                (payload, aux),
+                (want.payload, want.aux),
+                "step {step} addr {addr:#x}"
+            );
+        }
+    }
+
+    /// The first-occurrence lemma is not vacuous: dropping the
+    /// `¬hit(q)` hypothesis leaves a satisfiable conjunction (two
+    /// entries *can* both match when nothing forbids it).
+    #[test]
+    fn first_occurrence_lemma_bites() {
+        let mut bdd = Bdd::new();
+        let high: Vec<_> = (0..6).map(|_| bdd.fresh_var()).collect();
+        let e0: Vec<_> = (0..6).map(|_| bdd.fresh_var()).collect();
+        let e1: Vec<_> = (0..6).map(|_| bdd.fresh_var()).collect();
+        let hit0 = sol_entry_hit(&mut bdd, &high, TRUE, &e0);
+        let hit1 = sol_entry_hit(&mut bdd, &high, TRUE, &e1);
+        let dup = equal_words(&mut bdd, &e0, &e1);
+        let both = bdd.and(hit0, hit1);
+        let weak = bdd.and(both, dup);
+        assert!(bdd.sat_one(weak).is_some());
+        // With the first-match hypothesis the conjunction is UNSAT.
+        let miss0 = bdd.not(hit0);
+        let strong1 = bdd.and(miss0, hit1);
+        let strong = bdd.and(strong1, dup);
+        assert_eq!(strong, FALSE);
+    }
+}

@@ -1,0 +1,738 @@
+//! Combinational equivalence checking of the gate-level codecs against
+//! the symbolic golden models, with register correspondence.
+//!
+//! Each check evaluates one codec netlist symbolically over BDDs
+//! ([`buscode_logic::symeval`]) with free variables on every primary
+//! input and flip-flop output, evaluates the matching golden step
+//! function ([`buscode_core::sym::encode_step`] /
+//! [`buscode_core::sym::decode_step`]) over the same
+//! variables, and requires every output line *and every flip-flop
+//! next-state function* to be the identical BDD. By canonicity that is
+//! a full-width proof — at width 32 it covers the 2^67-state input
+//! space a simulation could never enumerate.
+//!
+//! Register correspondence across stages: the raw netlist's flip-flop
+//! creation order matches the golden model's flat state layout by
+//! construction (documented on `FlatCode::enc_state_bits`); the
+//! optimizer and technology mapper report [`buscode_logic::NetMap`]s,
+//! which are
+//! composed to map each raw flip-flop to its surviving image, so the
+//! optimized and mapped netlists are checked against the same spec
+//! without trusting that the transforms preserve flop order.
+//!
+//! On a mismatch the checker extracts a satisfying assignment of the
+//! difference, decodes it into a concrete `(address, SEL, state)`
+//! triple, and *replays* it on the cycle simulator — flipping the
+//! assigned flip-flops from reset, driving the inputs, stepping one
+//! clock — to confirm the disagreement is real silicon behaviour, not a
+//! modelling artifact.
+
+use std::collections::HashMap;
+
+use buscode_core::sym::{decode_step, encode_step, BoolAlg, FlatCode};
+use buscode_core::{BusWidth, Stride};
+use buscode_logic::codecs::{
+    binary_decoder, binary_encoder, bus_invert_decoder, bus_invert_encoder, dual_t0_decoder,
+    dual_t0_encoder, dual_t0bi_decoder, dual_t0bi_encoder, gray_decoder, gray_encoder,
+    offset_decoder, offset_encoder, t0_decoder, t0_encoder, t0bi_decoder, t0bi_encoder,
+    t0xor_decoder, t0xor_encoder, DecoderCircuit, EncoderCircuit,
+};
+use buscode_logic::symeval::{dffs, evaluate};
+use buscode_logic::{NetId, Netlist, Simulator};
+
+use crate::bdd::{Bdd, Ref, FALSE};
+use crate::vars::{assigned_bit, assigned_word, dec_vars, enc_vars};
+
+/// A synthesis stage of a codec netlist, mirroring the `buslint` sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// As built by the [`buscode_logic::codecs`] constructors.
+    Raw,
+    /// After [`buscode_logic::optimize`] (folding, sharing, dead-gate
+    /// removal).
+    Opt,
+    /// After optimization and [`buscode_logic::tech_map`] (NAND/NOR/NOT
+    /// library).
+    Mapped,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    #[must_use]
+    pub fn all() -> [Stage; 3] {
+        [Stage::Raw, Stage::Opt, Stage::Mapped]
+    }
+
+    /// Stable lowercase name used in cell labels.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Raw => "raw",
+            Stage::Opt => "opt",
+            Stage::Mapped => "mapped",
+        }
+    }
+}
+
+/// The nine codecs with gate-level netlists, in report order. (Beach
+/// has a flat golden model but no netlist; the table codes have
+/// neither.)
+#[must_use]
+pub fn gate_codes() -> [FlatCode; 9] {
+    [
+        FlatCode::Binary,
+        FlatCode::Gray,
+        FlatCode::BusInvert,
+        FlatCode::T0,
+        FlatCode::T0Bi,
+        FlatCode::T0Xor,
+        FlatCode::DualT0,
+        FlatCode::DualT0Bi,
+        FlatCode::Offset,
+    ]
+}
+
+/// Builds the encoder netlist of a gate-level code.
+///
+/// # Errors
+///
+/// Fails for codes without a netlist (Beach) or invalid parameters.
+pub fn build_encoder(
+    code: FlatCode,
+    width: BusWidth,
+    stride: Stride,
+) -> Result<EncoderCircuit, String> {
+    let built = match code {
+        FlatCode::Binary => binary_encoder(width),
+        FlatCode::Gray => gray_encoder(width, stride),
+        FlatCode::BusInvert => bus_invert_encoder(width),
+        FlatCode::T0 => t0_encoder(width, stride),
+        FlatCode::T0Bi => t0bi_encoder(width, stride),
+        FlatCode::DualT0 => dual_t0_encoder(width, stride),
+        FlatCode::DualT0Bi => dual_t0bi_encoder(width, stride),
+        FlatCode::T0Xor => t0xor_encoder(width, stride),
+        FlatCode::Offset => offset_encoder(width),
+        FlatCode::Beach => return Err("beach has no gate-level netlist".to_string()),
+    };
+    built.map_err(|e| format!("building {} encoder: {e}", code.name()))
+}
+
+/// Builds the decoder netlist of a gate-level code.
+///
+/// # Errors
+///
+/// Fails for codes without a netlist (Beach) or invalid parameters.
+pub fn build_decoder(
+    code: FlatCode,
+    width: BusWidth,
+    stride: Stride,
+) -> Result<DecoderCircuit, String> {
+    let built = match code {
+        FlatCode::Binary => binary_decoder(width),
+        FlatCode::Gray => gray_decoder(width, stride),
+        FlatCode::BusInvert => bus_invert_decoder(width),
+        FlatCode::T0 => t0_decoder(width, stride),
+        FlatCode::T0Bi => t0bi_decoder(width, stride),
+        FlatCode::DualT0 => dual_t0_decoder(width, stride),
+        FlatCode::DualT0Bi => dual_t0bi_decoder(width, stride),
+        FlatCode::T0Xor => t0xor_decoder(width, stride),
+        FlatCode::Offset => offset_decoder(width),
+        FlatCode::Beach => return Err("beach has no gate-level netlist".to_string()),
+    };
+    built.map_err(|e| format!("building {} decoder: {e}", code.name()))
+}
+
+/// Maps each staged flip-flop (position in `staged`'s creation order)
+/// back to the raw flip-flop it implements (= the golden model's flat
+/// state index), through a chain of net maps.
+fn flop_correspondence(
+    raw: &Netlist,
+    staged: &Netlist,
+    maps: &[&buscode_logic::NetMap],
+) -> Result<Vec<usize>, String> {
+    let raw_flops = dffs(raw);
+    let staged_flops = dffs(staged);
+    let position_of_q: HashMap<usize, usize> = staged_flops
+        .iter()
+        .enumerate()
+        .map(|(j, &(q, _))| (q.index(), j))
+        .collect();
+    let mut spec_of = vec![usize::MAX; staged_flops.len()];
+    for (k, &(q, _)) in raw_flops.iter().enumerate() {
+        let mut net = q;
+        for map in maps {
+            net = map
+                .get(net)
+                .ok_or_else(|| format!("flip-flop {k} dropped by a netlist transform"))?;
+        }
+        let &j = position_of_q
+            .get(&net.index())
+            .ok_or_else(|| format!("flip-flop {k} mapped to a non-flop net"))?;
+        if spec_of[j] != usize::MAX {
+            return Err(format!("two raw flip-flops map onto staged flop {j}"));
+        }
+        spec_of[j] = k;
+    }
+    if let Some(j) = spec_of.iter().position(|&k| k == usize::MAX) {
+        return Err(format!("staged flip-flop {j} has no raw counterpart"));
+    }
+    Ok(spec_of)
+}
+
+/// An encoder netlist at a chosen stage, with its flop correspondence.
+pub struct StagedEncoder {
+    /// The code under check.
+    pub code: FlatCode,
+    /// The synthesis stage.
+    pub stage: Stage,
+    /// The staged circuit. Tests may substitute a mutated netlist (same
+    /// net ids) to seed defects.
+    pub circuit: EncoderCircuit,
+    /// Golden-model state index of each staged flip-flop.
+    pub spec_of_flop: Vec<usize>,
+}
+
+/// A decoder netlist at a chosen stage, with its flop correspondence.
+pub struct StagedDecoder {
+    /// The code under check.
+    pub code: FlatCode,
+    /// The synthesis stage.
+    pub stage: Stage,
+    /// The staged circuit.
+    pub circuit: DecoderCircuit,
+    /// Golden-model state index of each staged flip-flop.
+    pub spec_of_flop: Vec<usize>,
+}
+
+/// Builds the encoder of `code` and advances it to `stage`, composing
+/// the transform net maps into a flop correspondence.
+///
+/// # Errors
+///
+/// Propagates construction/transform failures as readable messages.
+pub fn stage_encoder(
+    code: FlatCode,
+    width: BusWidth,
+    stride: Stride,
+    stage: Stage,
+) -> Result<StagedEncoder, String> {
+    let raw = build_encoder(code, width, stride)?;
+    let err = |e| format!("staging {} encoder: {e}", code.name());
+    let (circuit, spec_of_flop) = match stage {
+        Stage::Raw => {
+            let n = dffs(&raw.netlist).len();
+            (raw, (0..n).collect())
+        }
+        Stage::Opt => {
+            let (opt, map) = raw.optimized_with_map().map_err(err)?;
+            let corr = flop_correspondence(&raw.netlist, &opt.netlist, &[&map])?;
+            (opt, corr)
+        }
+        Stage::Mapped => {
+            let (opt, map1) = raw.optimized_with_map().map_err(err)?;
+            let (mapped, map2) = opt.tech_mapped().map_err(err)?;
+            let corr = flop_correspondence(&raw.netlist, &mapped.netlist, &[&map1, &map2])?;
+            (mapped, corr)
+        }
+    };
+    Ok(StagedEncoder {
+        code,
+        stage,
+        circuit,
+        spec_of_flop,
+    })
+}
+
+/// As [`stage_encoder`], for the decoder.
+///
+/// # Errors
+///
+/// Propagates construction/transform failures as readable messages.
+pub fn stage_decoder(
+    code: FlatCode,
+    width: BusWidth,
+    stride: Stride,
+    stage: Stage,
+) -> Result<StagedDecoder, String> {
+    let raw = build_decoder(code, width, stride)?;
+    let err = |e| format!("staging {} decoder: {e}", code.name());
+    let (circuit, spec_of_flop) = match stage {
+        Stage::Raw => {
+            let n = dffs(&raw.netlist).len();
+            (raw, (0..n).collect())
+        }
+        Stage::Opt => {
+            let (opt, map) = raw.optimized_with_map().map_err(err)?;
+            let corr = flop_correspondence(&raw.netlist, &opt.netlist, &[&map])?;
+            (opt, corr)
+        }
+        Stage::Mapped => {
+            let (opt, map1) = raw.optimized_with_map().map_err(err)?;
+            let (mapped, map2) = opt.tech_mapped().map_err(err)?;
+            let corr = flop_correspondence(&raw.netlist, &mapped.netlist, &[&map1, &map2])?;
+            (mapped, corr)
+        }
+    };
+    Ok(StagedDecoder {
+        code,
+        stage,
+        circuit,
+        spec_of_flop,
+    })
+}
+
+/// Replay of a counterexample on the cycle simulator.
+#[derive(Clone, Debug)]
+pub struct Replay {
+    /// True when the simulator reproduced exactly the netlist value the
+    /// BDD predicted (and it differs from the golden model).
+    pub confirmed: bool,
+    /// One-line account of what the simulator observed.
+    pub detail: String,
+}
+
+/// A concrete input/state assignment on which netlist and golden model
+/// disagree.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The disagreeing signal (`bus[i]`, `aux[i]`, `addr[i]`, or
+    /// `next state[k]`).
+    pub signal: String,
+    /// Address (encoder) or bus payload (decoder) input word.
+    pub word_in: u64,
+    /// Aux input word (decoder checks only).
+    pub aux_in: u64,
+    /// The `SEL` line.
+    pub sel: bool,
+    /// Current register values, golden-model flat layout.
+    pub state: Vec<bool>,
+    /// The golden model's value of the signal.
+    pub expected: bool,
+    /// The netlist's value.
+    pub got: bool,
+    /// Simulator replay of the same cycle.
+    pub replay: Replay,
+}
+
+/// The result of one equivalence check.
+#[derive(Clone, Debug)]
+pub struct CecReport {
+    /// Number of per-bit equalities proved (outputs + next states).
+    pub obligations: usize,
+    /// BDD arena size after the check (deterministic).
+    pub nodes: usize,
+    /// First disagreement found, if any. `None` means proved.
+    pub cex: Option<Counterexample>,
+}
+
+impl CecReport {
+    /// True when every obligation held.
+    #[must_use]
+    pub fn proved(&self) -> bool {
+        self.cex.is_none()
+    }
+}
+
+/// Maps every primary input of `netlist` to its interface variable.
+fn input_vars(netlist: &Netlist, pairs: &[(NetId, Ref)]) -> Result<Vec<Ref>, String> {
+    let by_net: HashMap<usize, Ref> = pairs.iter().map(|&(net, var)| (net.index(), var)).collect();
+    netlist
+        .primary_inputs()
+        .iter()
+        .map(|pi| {
+            by_net
+                .get(&pi.index())
+                .copied()
+                .ok_or_else(|| format!("primary input {pi:?} is not an interface net"))
+        })
+        .collect()
+}
+
+/// One named proof obligation: netlist function vs golden function.
+struct Obligation {
+    signal: String,
+    netlist: Ref,
+    golden: Ref,
+}
+
+/// Checks the obligations in order; on the first violated one, decodes
+/// a counterexample and hands it to `replay`.
+fn discharge(
+    bdd: &mut Bdd,
+    obligations: &[Obligation],
+    mut decode: impl FnMut(&Bdd, &[(u32, bool)], &Obligation) -> Counterexample,
+) -> CecReport {
+    for obligation in obligations {
+        let diff = bdd.xor(obligation.netlist, obligation.golden);
+        if diff != FALSE {
+            let assignment = bdd
+                .sat_one(diff)
+                .expect("non-FALSE BDD must be satisfiable");
+            let cex = decode(bdd, &assignment, obligation);
+            return CecReport {
+                obligations: obligations.len(),
+                nodes: bdd.node_count(),
+                cex: Some(cex),
+            };
+        }
+    }
+    CecReport {
+        obligations: obligations.len(),
+        nodes: bdd.node_count(),
+        cex: None,
+    }
+}
+
+/// Symbolically proves `staged`'s encoder netlist equivalent to the
+/// golden model at full width.
+///
+/// # Errors
+///
+/// Fails when the netlist interface cannot be mapped (malformed or
+/// hand-mutated beyond gate substitution).
+pub fn check_encoder(
+    width: BusWidth,
+    stride: Stride,
+    staged: &StagedEncoder,
+) -> Result<CecReport, String> {
+    let code = staged.code;
+    let mut bdd = Bdd::new();
+    let vars = enc_vars(&mut bdd, code, width);
+    let golden = encode_step(
+        &mut bdd,
+        code,
+        width,
+        stride,
+        &vars.addr,
+        vars.sel,
+        &vars.state,
+    );
+
+    let mut pairs: Vec<(NetId, Ref)> = staged
+        .circuit
+        .address_in
+        .iter()
+        .zip(&vars.addr)
+        .map(|(&net, &var)| (net, var))
+        .collect();
+    if let Some(sel_net) = staged.circuit.sel_in {
+        pairs.push((sel_net, vars.sel));
+    }
+    let pi_vars = input_vars(&staged.circuit.netlist, &pairs)?;
+    let flops = dffs(&staged.circuit.netlist);
+    let values = evaluate(
+        &staged.circuit.netlist,
+        &mut bdd,
+        |k| pi_vars[k],
+        |j| vars.state[staged.spec_of_flop[j]],
+    );
+
+    let mut obligations = Vec::new();
+    for (i, &net) in staged.circuit.bus_out.iter().enumerate() {
+        obligations.push(Obligation {
+            signal: format!("bus[{i}]"),
+            netlist: values[net.index()],
+            golden: golden.bus[i],
+        });
+    }
+    for (i, &net) in staged.circuit.aux_out.iter().enumerate() {
+        obligations.push(Obligation {
+            signal: format!("aux[{i}]"),
+            netlist: values[net.index()],
+            golden: golden.aux[i],
+        });
+    }
+    for (j, &(_, d)) in flops.iter().enumerate() {
+        let d = d.ok_or_else(|| format!("staged flip-flop {j} is undriven"))?;
+        let k = staged.spec_of_flop[j];
+        obligations.push(Obligation {
+            signal: format!("next state[{k}]"),
+            netlist: values[d.index()],
+            golden: golden.next_state[k],
+        });
+    }
+
+    Ok(discharge(&mut bdd, &obligations, |bdd, assignment, obl| {
+        let addr = assigned_word(assignment, &vars.addr_idx);
+        let sel = vars.sel_idx.is_some_and(|i| assigned_bit(assignment, i));
+        let state: Vec<bool> = vars
+            .state_idx
+            .iter()
+            .map(|&i| assigned_bit(assignment, i))
+            .collect();
+        let expected = bdd.eval(obl.golden, &to_dense(assignment, bdd.num_vars()));
+        let got = bdd.eval(obl.netlist, &to_dense(assignment, bdd.num_vars()));
+        let replay = replay_encoder(staged, addr, sel, &state, &obl.signal, got);
+        Counterexample {
+            signal: obl.signal.clone(),
+            word_in: addr,
+            aux_in: 0,
+            sel,
+            state,
+            expected,
+            got,
+            replay,
+        }
+    }))
+}
+
+/// Symbolically proves `staged`'s decoder netlist equivalent to the
+/// golden model at full width.
+///
+/// # Errors
+///
+/// Fails when the netlist interface cannot be mapped.
+pub fn check_decoder(
+    width: BusWidth,
+    stride: Stride,
+    staged: &StagedDecoder,
+) -> Result<CecReport, String> {
+    let code = staged.code;
+    let mut bdd = Bdd::new();
+    let vars = dec_vars(&mut bdd, code, width);
+    let golden = decode_step(
+        &mut bdd,
+        code,
+        width,
+        stride,
+        &vars.bus,
+        &vars.aux,
+        vars.sel,
+        &vars.state,
+    );
+
+    let mut pairs: Vec<(NetId, Ref)> = staged
+        .circuit
+        .bus_in
+        .iter()
+        .zip(&vars.bus)
+        .map(|(&net, &var)| (net, var))
+        .collect();
+    pairs.extend(
+        staged
+            .circuit
+            .aux_in
+            .iter()
+            .zip(&vars.aux)
+            .map(|(&net, &var)| (net, var)),
+    );
+    if let Some(sel_net) = staged.circuit.sel_in {
+        pairs.push((sel_net, vars.sel));
+    }
+    let pi_vars = input_vars(&staged.circuit.netlist, &pairs)?;
+    let flops = dffs(&staged.circuit.netlist);
+    let values = evaluate(
+        &staged.circuit.netlist,
+        &mut bdd,
+        |k| pi_vars[k],
+        |j| vars.state[staged.spec_of_flop[j]],
+    );
+
+    let mut obligations = Vec::new();
+    for (i, &net) in staged.circuit.address_out.iter().enumerate() {
+        obligations.push(Obligation {
+            signal: format!("addr[{i}]"),
+            netlist: values[net.index()],
+            golden: golden.address[i],
+        });
+    }
+    for (j, &(_, d)) in flops.iter().enumerate() {
+        let d = d.ok_or_else(|| format!("staged flip-flop {j} is undriven"))?;
+        let k = staged.spec_of_flop[j];
+        obligations.push(Obligation {
+            signal: format!("next state[{k}]"),
+            netlist: values[d.index()],
+            golden: golden.next_state[k],
+        });
+    }
+
+    Ok(discharge(&mut bdd, &obligations, |bdd, assignment, obl| {
+        let bus = assigned_word(assignment, &vars.bus_idx);
+        let aux = assigned_word(assignment, &vars.aux_idx);
+        let sel = vars.sel_idx.is_some_and(|i| assigned_bit(assignment, i));
+        let state: Vec<bool> = vars
+            .state_idx
+            .iter()
+            .map(|&i| assigned_bit(assignment, i))
+            .collect();
+        let expected = bdd.eval(obl.golden, &to_dense(assignment, bdd.num_vars()));
+        let got = bdd.eval(obl.netlist, &to_dense(assignment, bdd.num_vars()));
+        let replay = replay_decoder(staged, bus, aux, sel, &state, &obl.signal, got);
+        Counterexample {
+            signal: obl.signal.clone(),
+            word_in: bus,
+            aux_in: aux,
+            sel,
+            state,
+            expected,
+            got,
+            replay,
+        }
+    }))
+}
+
+fn to_dense(assignment: &[(u32, bool)], num_vars: u32) -> Vec<bool> {
+    let mut dense = vec![false; num_vars as usize];
+    for &(var, value) in assignment {
+        dense[var as usize] = value;
+    }
+    dense
+}
+
+/// Looks up the net carrying `signal` after one simulated cycle.
+fn observe_signal(
+    sim: &Simulator,
+    signal: &str,
+    outputs: &[(String, Vec<NetId>)],
+    flops: &[(NetId, Option<NetId>)],
+    spec_of_flop: &[usize],
+) -> Option<bool> {
+    for (prefix, word) in outputs {
+        if let Some(rest) = signal.strip_prefix(&format!("{prefix}[")) {
+            let i: usize = rest.strip_suffix(']')?.parse().ok()?;
+            return Some(sim.value(*word.get(i)?));
+        }
+    }
+    if let Some(rest) = signal.strip_prefix("next state[") {
+        let k: usize = rest.strip_suffix(']')?.parse().ok()?;
+        let j = spec_of_flop.iter().position(|&s| s == k)?;
+        // Post-edge flip-flop state is the captured next-state value.
+        return Some(sim.value(flops.get(j)?.0));
+    }
+    None
+}
+
+fn replay_report(signal: &str, observed: Option<bool>, got: bool) -> Replay {
+    match observed {
+        Some(value) if value == got => Replay {
+            confirmed: true,
+            detail: format!(
+                "simulator reproduces {signal}={} (diverges from golden model)",
+                u8::from(value)
+            ),
+        },
+        Some(value) => Replay {
+            confirmed: false,
+            detail: format!(
+                "simulator observed {signal}={}, BDD predicted {}",
+                u8::from(value),
+                u8::from(got)
+            ),
+        },
+        None => Replay {
+            confirmed: false,
+            detail: format!("signal {signal} not observable in the simulator"),
+        },
+    }
+}
+
+fn replay_encoder(
+    staged: &StagedEncoder,
+    addr: u64,
+    sel: bool,
+    state: &[bool],
+    signal: &str,
+    got: bool,
+) -> Replay {
+    let mut sim = Simulator::new(staged.circuit.netlist.clone());
+    let flops = dffs(&staged.circuit.netlist);
+    for (j, &(q, _)) in flops.iter().enumerate() {
+        if state[staged.spec_of_flop[j]] {
+            sim.flip_dff(q);
+        }
+    }
+    sim.set_word(&staged.circuit.address_in, addr);
+    if let Some(sel_net) = staged.circuit.sel_in {
+        sim.set(sel_net, sel);
+    }
+    sim.step();
+    let outputs = [
+        ("bus".to_string(), staged.circuit.bus_out.clone()),
+        ("aux".to_string(), staged.circuit.aux_out.clone()),
+    ];
+    let observed = observe_signal(&sim, signal, &outputs, &flops, &staged.spec_of_flop);
+    replay_report(signal, observed, got)
+}
+
+fn replay_decoder(
+    staged: &StagedDecoder,
+    bus: u64,
+    aux: u64,
+    sel: bool,
+    state: &[bool],
+    signal: &str,
+    got: bool,
+) -> Replay {
+    let mut sim = Simulator::new(staged.circuit.netlist.clone());
+    let flops = dffs(&staged.circuit.netlist);
+    for (j, &(q, _)) in flops.iter().enumerate() {
+        if state[staged.spec_of_flop[j]] {
+            sim.flip_dff(q);
+        }
+    }
+    sim.set_word(&staged.circuit.bus_in, bus);
+    sim.set_word(&staged.circuit.aux_in, aux);
+    if let Some(sel_net) = staged.circuit.sel_in {
+        sim.set(sel_net, sel);
+    }
+    sim.step();
+    let outputs = [("addr".to_string(), staged.circuit.address_out.clone())];
+    let observed = observe_signal(&sim, signal, &outputs, &flops, &staged.spec_of_flop);
+    replay_report(signal, observed, got)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(bits: u32) -> (BusWidth, Stride) {
+        let width = BusWidth::new(bits).unwrap();
+        (width, Stride::new(4, width).unwrap())
+    }
+
+    #[test]
+    fn all_codecs_equivalent_at_width_8() {
+        let (width, stride) = params(8);
+        for code in gate_codes() {
+            for stage in Stage::all() {
+                let enc = stage_encoder(code, width, stride, stage).unwrap();
+                let report = check_encoder(width, stride, &enc).unwrap();
+                assert!(
+                    report.proved(),
+                    "{} encoder [{}]: {:?}",
+                    code.name(),
+                    stage.name(),
+                    report.cex
+                );
+                let dec = stage_decoder(code, width, stride, stage).unwrap();
+                let report = check_decoder(width, stride, &dec).unwrap();
+                assert!(
+                    report.proved(),
+                    "{} decoder [{}]: {:?}",
+                    code.name(),
+                    stage.name(),
+                    report.cex
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_counts_are_deterministic() {
+        let (width, stride) = params(8);
+        let enc = stage_encoder(FlatCode::T0Bi, width, stride, Stage::Mapped).unwrap();
+        let a = check_encoder(width, stride, &enc).unwrap();
+        let b = check_encoder(width, stride, &enc).unwrap();
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.obligations, b.obligations);
+    }
+
+    #[test]
+    fn t0_encoder_equivalent_at_width_32() {
+        let (width, stride) = params(32);
+        let enc = stage_encoder(FlatCode::T0, width, stride, Stage::Mapped).unwrap();
+        let report = check_encoder(width, stride, &enc).unwrap();
+        assert!(report.proved());
+        assert!(report.obligations >= 32 + 1 + 17);
+    }
+}

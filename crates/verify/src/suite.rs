@@ -1,0 +1,560 @@
+//! The `busverify` proof suite: cell planning, execution, rendering.
+//!
+//! A *cell* is one independent proof — an equivalence check of a staged
+//! codec netlist, a sequential induction at the sweep width, or a
+//! width-8 reachability cross-check. Cells are planned in a fixed
+//! deterministic order and executed through the shared
+//! [`buscode_engine::sweep::SweepEngine`], whose contract (results in
+//! input order regardless of worker count) plus the absence of any
+//! volatile line in the text rendering makes `busverify --jobs 8`
+//! byte-identical to a serial run. BDD node counts *are* printed: the
+//! manager allocates nodes in construction order and never iterates a
+//! hash map, so they are exactly reproducible.
+//!
+//! When an equivalence cell fails, the structural linter
+//! ([`buscode_lint::lint_netlist`]) runs over the offending netlist and
+//! its findings are cross-linked under the counterexample, pointing at
+//! likely structural culprits (dead cones, constant outputs) next to
+//! the simulator-replayed mismatch.
+
+use buscode_core::sym::FlatCode;
+use buscode_core::{BusWidth, Stride};
+use buscode_engine::cli::json_escape;
+use buscode_lint::lint_netlist;
+
+use crate::cases::{check_self_organizing, check_working_zone};
+use crate::cec::{
+    check_decoder, check_encoder, gate_codes, stage_decoder, stage_encoder, Counterexample, Stage,
+};
+use crate::image::check_reachable;
+use crate::seq::{check_flat, flat_codes};
+
+/// Which codec side an equivalence cell checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Address in, bus out.
+    Encoder,
+    /// Bus in, address out.
+    Decoder,
+}
+
+impl Role {
+    fn name(self) -> &'static str {
+        match self {
+            Role::Encoder => "encoder",
+            Role::Decoder => "decoder",
+        }
+    }
+}
+
+/// Proof families selectable with `--mode`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Everything.
+    All,
+    /// Gate-level equivalence cells only.
+    Cec,
+    /// Sequential induction / case-decomposition cells only.
+    Seq,
+    /// Width-8 reachability cells only.
+    Image,
+}
+
+impl Mode {
+    /// Parses a `--mode` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized value.
+    pub fn parse(value: &str) -> Result<Mode, String> {
+        match value {
+            "all" => Ok(Mode::All),
+            "cec" => Ok(Mode::Cec),
+            "seq" => Ok(Mode::Seq),
+            "image" => Ok(Mode::Image),
+            other => Err(format!(
+                "unknown mode '{other}' (expected all|cec|seq|image)"
+            )),
+        }
+    }
+}
+
+/// The work of one proof cell.
+#[derive(Clone, Debug)]
+pub enum CellKind {
+    /// Gate-level equivalence of one staged codec netlist.
+    Cec {
+        /// Code under check.
+        code: FlatCode,
+        /// Encoder or decoder side.
+        role: Role,
+        /// Synthesis stage.
+        stage: Stage,
+    },
+    /// Sequential induction for a flat code at the sweep width.
+    SeqFlat(FlatCode),
+    /// Case-decomposition proof of the working-zone code.
+    SeqWz,
+    /// Case-decomposition proof of the self-organizing code.
+    SeqSol,
+    /// Width-8 product-machine reachability for a gate code.
+    Image(FlatCode),
+}
+
+/// One planned proof cell.
+#[derive(Clone, Debug)]
+pub struct CellSpec {
+    /// Stable cell name, e.g. `cec:t0-encoder[opt]`.
+    pub name: String,
+    /// What to prove.
+    pub kind: CellKind,
+    /// Sweep width for cec/seq cells (image cells fix width 8).
+    pub width: BusWidth,
+}
+
+/// Outcome class of one cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Every obligation discharged.
+    Proved,
+    /// A concrete counterexample or violated obligation.
+    Failed,
+    /// The cell could not run (construction or geometry error).
+    Error,
+}
+
+impl CellStatus {
+    fn name(self) -> &'static str {
+        match self {
+            CellStatus::Proved => "proved",
+            CellStatus::Failed => "FAILED",
+            CellStatus::Error => "ERROR",
+        }
+    }
+}
+
+/// The outcome of one executed cell.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Cell name, copied from the spec.
+    pub name: String,
+    /// Outcome class.
+    pub status: CellStatus,
+    /// Obligations discharged (0 on error).
+    pub obligations: usize,
+    /// Final BDD arena size (deterministic; 0 on error).
+    pub nodes: usize,
+    /// Failure narrative: counterexample, replay, lint cross-links.
+    pub details: Vec<String>,
+}
+
+/// Image cells always run at width 8: the exact fixpoint is the
+/// cross-check of the induction strategy, not a full-width proof.
+fn image_width() -> BusWidth {
+    BusWidth::new(8).unwrap_or(BusWidth::MIPS)
+}
+
+fn sweep_stride(width: BusWidth) -> Stride {
+    Stride::new(4, width).unwrap_or(Stride::WORD)
+}
+
+/// Largest power of two not exceeding `n` (`n >= 1`).
+fn floor_power_of_two(n: u32) -> u32 {
+    1 << (31 - n.leading_zeros())
+}
+
+/// Working-zone proof geometry at a sweep width.
+fn wz_params(width: BusWidth) -> (Stride, u32) {
+    (sweep_stride(width), 4)
+}
+
+/// Self-organizing proof geometry at a sweep width: a quarter of the
+/// lines carry the binary offset, the list fills the one-hot lines up
+/// to 16 entries.
+fn sol_params(width: BusWidth) -> (u32, u32) {
+    let low_bits = width.bits() / 4;
+    let high_lines = width.bits() - low_bits;
+    (low_bits, floor_power_of_two(high_lines.min(16)))
+}
+
+/// Plans the proof cells for one run, in fixed deterministic order:
+/// equivalence cells (code-major, encoder before decoder, stages in
+/// pipeline order), then sequential cells, then reachability cells.
+/// Table-code cells are planned only at power-of-two widths (their
+/// proof geometry requirement).
+#[must_use]
+pub fn plan(
+    width: BusWidth,
+    mode: Mode,
+    code_filter: Option<&str>,
+    stage_filter: Option<Stage>,
+) -> Vec<CellSpec> {
+    let mut cells = Vec::new();
+    let wants = |name: &str| code_filter.is_none_or(|f| f == name);
+    if matches!(mode, Mode::All | Mode::Cec) {
+        for code in gate_codes() {
+            if !wants(code.name()) {
+                continue;
+            }
+            for role in [Role::Encoder, Role::Decoder] {
+                for stage in Stage::all() {
+                    if stage_filter.is_some_and(|f| f != stage) {
+                        continue;
+                    }
+                    cells.push(CellSpec {
+                        name: format!("cec:{}-{}[{}]", code.name(), role.name(), stage.name()),
+                        kind: CellKind::Cec { code, role, stage },
+                        width,
+                    });
+                }
+            }
+        }
+    }
+    if matches!(mode, Mode::All | Mode::Seq) && stage_filter.is_none() {
+        for code in flat_codes() {
+            if wants(code.name()) {
+                cells.push(CellSpec {
+                    name: format!("seq:{}", code.name()),
+                    kind: CellKind::SeqFlat(code),
+                    width,
+                });
+            }
+        }
+        if width.bits().is_power_of_two() {
+            if wants("working-zone") {
+                cells.push(CellSpec {
+                    name: "seq:working-zone".to_string(),
+                    kind: CellKind::SeqWz,
+                    width,
+                });
+            }
+            if wants("self-org") {
+                cells.push(CellSpec {
+                    name: "seq:self-org".to_string(),
+                    kind: CellKind::SeqSol,
+                    width,
+                });
+            }
+        }
+    }
+    if matches!(mode, Mode::All | Mode::Image) && stage_filter.is_none() {
+        for code in gate_codes() {
+            if wants(code.name()) {
+                cells.push(CellSpec {
+                    name: format!("image:{}", code.name()),
+                    kind: CellKind::Image(code),
+                    width: image_width(),
+                });
+            }
+        }
+    }
+    cells
+}
+
+fn describe_cex(cex: &Counterexample, role: Role) -> Vec<String> {
+    let input = match role {
+        Role::Encoder => format!("address={:#x}", cex.word_in),
+        Role::Decoder => format!("bus={:#x} aux={:#x}", cex.word_in, cex.aux_in),
+    };
+    let state: String = cex
+        .state
+        .iter()
+        .map(|&b| if b { '1' } else { '0' })
+        .collect();
+    vec![
+        format!(
+            "counterexample on {}: {} sel={} state={} — golden={}, netlist={}",
+            cex.signal,
+            input,
+            u8::from(cex.sel),
+            if state.is_empty() {
+                "-".to_string()
+            } else {
+                state
+            },
+            u8::from(cex.expected),
+            u8::from(cex.got)
+        ),
+        format!(
+            "replay: {}{}",
+            if cex.replay.confirmed {
+                "confirmed — "
+            } else {
+                ""
+            },
+            cex.replay.detail
+        ),
+    ]
+}
+
+/// Executes one planned cell. Infallible by design: errors become
+/// [`CellStatus::Error`] results so a sweep never aborts midway.
+#[must_use]
+pub fn run_cell(spec: &CellSpec) -> CellResult {
+    let width = spec.width;
+    let stride = sweep_stride(width);
+    let result = |status, obligations, nodes, details| CellResult {
+        name: spec.name.clone(),
+        status,
+        obligations,
+        nodes,
+        details,
+    };
+    let error = |message: String| result(CellStatus::Error, 0, 0, vec![message]);
+    match &spec.kind {
+        CellKind::Cec { code, role, stage } => {
+            let (report, netlist) = match role {
+                Role::Encoder => match stage_encoder(*code, width, stride, *stage) {
+                    Ok(staged) => match check_encoder(width, stride, &staged) {
+                        Ok(report) => (report, staged.circuit.netlist),
+                        Err(e) => return error(e),
+                    },
+                    Err(e) => return error(e),
+                },
+                Role::Decoder => match stage_decoder(*code, width, stride, *stage) {
+                    Ok(staged) => match check_decoder(width, stride, &staged) {
+                        Ok(report) => (report, staged.circuit.netlist),
+                        Err(e) => return error(e),
+                    },
+                    Err(e) => return error(e),
+                },
+            };
+            match report.cex {
+                None => result(
+                    CellStatus::Proved,
+                    report.obligations,
+                    report.nodes,
+                    Vec::new(),
+                ),
+                Some(cex) => {
+                    let mut details = describe_cex(&cex, *role);
+                    let lint = lint_netlist(&spec.name, &netlist);
+                    if !lint.is_clean() {
+                        details.push("structural findings on the failing netlist:".to_string());
+                        details.extend(lint.brief().into_iter().map(|l| format!("  {l}")));
+                    }
+                    result(
+                        CellStatus::Failed,
+                        report.obligations,
+                        report.nodes,
+                        details,
+                    )
+                }
+            }
+        }
+        CellKind::SeqFlat(code) => {
+            let report = check_flat(*code, width, stride);
+            match report.failure {
+                None => result(
+                    CellStatus::Proved,
+                    report.obligations,
+                    report.nodes,
+                    Vec::new(),
+                ),
+                Some(f) => {
+                    let state: String =
+                        f.state.iter().map(|&b| if b { '1' } else { '0' }).collect();
+                    let details = vec![format!(
+                        "violated {}: address={:#x} sel={} state={}",
+                        f.obligation,
+                        f.addr,
+                        u8::from(f.sel),
+                        if state.is_empty() {
+                            "-".to_string()
+                        } else {
+                            state
+                        }
+                    )];
+                    result(
+                        CellStatus::Failed,
+                        report.obligations,
+                        report.nodes,
+                        details,
+                    )
+                }
+            }
+        }
+        CellKind::SeqWz => {
+            let (stride, zones) = wz_params(width);
+            match check_working_zone(width, stride, zones) {
+                Err(e) => error(e),
+                Ok(report) => match report.failure {
+                    None => result(
+                        CellStatus::Proved,
+                        report.obligations,
+                        report.nodes,
+                        Vec::new(),
+                    ),
+                    Some(f) => result(
+                        CellStatus::Failed,
+                        report.obligations,
+                        report.nodes,
+                        vec![f],
+                    ),
+                },
+            }
+        }
+        CellKind::SeqSol => {
+            let (low_bits, entries) = sol_params(width);
+            match check_self_organizing(width, low_bits, entries) {
+                Err(e) => error(e),
+                Ok(report) => match report.failure {
+                    None => result(
+                        CellStatus::Proved,
+                        report.obligations,
+                        report.nodes,
+                        Vec::new(),
+                    ),
+                    Some(f) => result(
+                        CellStatus::Failed,
+                        report.obligations,
+                        report.nodes,
+                        vec![f],
+                    ),
+                },
+            }
+        }
+        CellKind::Image(code) => match check_reachable(*code, spec.width, sweep_stride(spec.width))
+        {
+            Err(e) => error(e),
+            Ok(report) => {
+                let details = report.failure.clone().into_iter().collect();
+                let status = if report.proved() {
+                    CellStatus::Proved
+                } else {
+                    CellStatus::Failed
+                };
+                result(status, report.obligations, report.nodes, details)
+            }
+        },
+    }
+}
+
+/// Counts of each outcome class.
+#[must_use]
+pub fn tally(results: &[CellResult]) -> (usize, usize, usize) {
+    let proved = results
+        .iter()
+        .filter(|r| r.status == CellStatus::Proved)
+        .count();
+    let failed = results
+        .iter()
+        .filter(|r| r.status == CellStatus::Failed)
+        .count();
+    let errors = results
+        .iter()
+        .filter(|r| r.status == CellStatus::Error)
+        .count();
+    (proved, failed, errors)
+}
+
+/// Renders the suite as stable text: no timings, no machine state —
+/// every line is reproducible across runs and worker counts.
+#[must_use]
+pub fn render_text(width: BusWidth, results: &[CellResult]) -> String {
+    let name_width = results.iter().map(|r| r.name.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "width {}: {} proof cells\n",
+        width.bits(),
+        results.len()
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<name_width$}  {:<7}  obligations={:<5}  nodes={}\n",
+            r.name,
+            r.status.name(),
+            r.obligations,
+            r.nodes
+        ));
+        for line in &r.details {
+            out.push_str(&format!("    {line}\n"));
+        }
+    }
+    let (proved, failed, errors) = tally(results);
+    out.push_str(&format!(
+        "summary: {proved} proved, {failed} failed, {errors} errors\n"
+    ));
+    out
+}
+
+/// Renders the suite as a JSON array (cell objects in plan order).
+#[must_use]
+pub fn render_json(results: &[CellResult]) -> String {
+    let cells: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let details: Vec<String> = r
+                .details
+                .iter()
+                .map(|d| format!("\"{}\"", json_escape(d)))
+                .collect();
+            format!(
+                "{{\"cell\":\"{}\",\"status\":\"{}\",\"obligations\":{},\"nodes\":{},\"details\":[{}]}}",
+                json_escape(&r.name),
+                r.status.name(),
+                r.obligations,
+                r.nodes,
+                details.join(",")
+            )
+        })
+        .collect();
+    format!("[{}]", cells.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buscode_engine::sweep::SweepEngine;
+
+    fn w8() -> BusWidth {
+        BusWidth::new(8).unwrap()
+    }
+
+    #[test]
+    fn plan_is_complete_and_deterministic() {
+        let cells = plan(w8(), Mode::All, None, None);
+        // 9 codes × 2 roles × 3 stages + 10 flat + wz + sol + 9 image.
+        assert_eq!(cells.len(), 54 + 12 + 9);
+        let again = plan(w8(), Mode::All, None, None);
+        let names: Vec<_> = cells.iter().map(|c| c.name.clone()).collect();
+        let names_again: Vec<_> = again.iter().map(|c| c.name.clone()).collect();
+        assert_eq!(names, names_again);
+        assert_eq!(plan(w8(), Mode::Cec, None, None).len(), 54);
+        assert_eq!(plan(w8(), Mode::Seq, None, None).len(), 12);
+        assert_eq!(plan(w8(), Mode::Image, None, None).len(), 9);
+        assert_eq!(plan(w8(), Mode::Cec, Some("t0"), Some(Stage::Opt)).len(), 2);
+    }
+
+    #[test]
+    fn non_power_of_two_width_skips_table_codes() {
+        let width = BusWidth::new(12).unwrap();
+        let cells = plan(width, Mode::Seq, None, None);
+        assert_eq!(cells.len(), 10);
+        assert!(cells.iter().all(|c| !c.name.contains("working-zone")));
+    }
+
+    #[test]
+    fn parallel_text_output_is_byte_identical_to_serial() {
+        let cells = plan(w8(), Mode::Seq, None, None);
+        let serial: Vec<CellResult> = cells.iter().map(run_cell).collect();
+        let parallel = SweepEngine::new(8).run(cells.clone(), |c| run_cell(&c));
+        assert_eq!(render_text(w8(), &serial), render_text(w8(), &parallel));
+    }
+
+    #[test]
+    fn sol_geometry_adapts_to_narrow_buses() {
+        assert_eq!(sol_params(w8()), (2, 4));
+        assert_eq!(sol_params(BusWidth::new(32).unwrap()), (8, 16));
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let cells = plan(w8(), Mode::Image, Some("binary"), None);
+        let results: Vec<CellResult> = cells.iter().map(run_cell).collect();
+        let json = render_json(&results);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"cell\":\"image:binary\""));
+        assert!(json.contains("\"status\":\"proved\""));
+    }
+}

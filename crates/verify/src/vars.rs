@@ -1,0 +1,282 @@
+//! Variable-order plans for the codec proofs.
+//!
+//! BDD size is hostage to variable order. The codecs compare, subtract,
+//! and XOR the address word against state words bit-by-bit, so the plan
+//! interleaves those words per bit *column*: address bit `i` sits next
+//! to every state bit it is combined with. Under this order the
+//! ripple-carry comparators (`addr == prev + stride`) are linear-sized
+//! and the popcount thresholds (bus-invert's majority vote) are the
+//! usual quadratic symmetric-function BDDs; an un-interleaved order
+//! (all address bits, then all state bits) makes the comparators
+//! exponential. Control bits (`SEL`, valid flags, remembered aux lines)
+//! go first — they select between whole behaviours, so testing them
+//! early keeps the cofactors simple.
+
+use buscode_core::sym::FlatCode;
+use buscode_core::BusWidth;
+
+use crate::bdd::{Bdd, Ref, FALSE};
+
+/// One element of a register-file layout: a `width`-bit word or a
+/// single control bit, in flat-state order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Seg {
+    Word,
+    Bit,
+}
+
+/// The encoder register layout of a flat code, in the flip-flop
+/// creation order of the matching `buscode_logic` builder (the same
+/// order documented on [`FlatCode::enc_state_bits`]).
+fn enc_segments(code: FlatCode) -> &'static [Seg] {
+    use Seg::{Bit, Word};
+    match code {
+        FlatCode::Binary | FlatCode::Gray | FlatCode::Beach => &[],
+        FlatCode::BusInvert => &[Word, Bit],
+        FlatCode::T0 => &[Word, Word, Bit],
+        FlatCode::T0Bi => &[Word, Word, Bit, Bit, Bit],
+        FlatCode::DualT0 => &[Word, Bit, Word],
+        FlatCode::DualT0Bi => &[Word, Bit, Word, Bit],
+        FlatCode::T0Xor | FlatCode::Offset => &[Word],
+    }
+}
+
+/// Variables for one symbolic encoder cycle.
+pub struct EncVars {
+    /// Address input lines, LSB-first.
+    pub addr: Vec<Ref>,
+    /// The `SEL` side channel — a real variable for dual codes, the
+    /// constant `FALSE` otherwise (non-dual codes ignore it).
+    pub sel: Ref,
+    /// Current register values in [`FlatCode::enc_state_bits`] layout.
+    pub state: Vec<Ref>,
+    /// Variable index of each `addr` line (for counterexample decoding).
+    pub addr_idx: Vec<u32>,
+    /// Variable index of `sel`, if allocated.
+    pub sel_idx: Option<u32>,
+    /// Variable index of each `state` bit.
+    pub state_idx: Vec<u32>,
+}
+
+/// Allocates encoder-cycle variables in proof order: `SEL`, control
+/// bits, then per-column `addr[i]` interleaved with the state words.
+pub fn enc_vars(bdd: &mut Bdd, code: FlatCode, width: BusWidth) -> EncVars {
+    let w = width.bits() as usize;
+    let segs = enc_segments(code);
+    // Flat-layout offset of each segment.
+    let mut offsets = Vec::with_capacity(segs.len());
+    let mut at = 0usize;
+    for seg in segs {
+        offsets.push(at);
+        at += match seg {
+            Seg::Word => w,
+            Seg::Bit => 1,
+        };
+    }
+    debug_assert_eq!(at, code.enc_state_bits(width.bits()) as usize);
+
+    let mut addr = vec![FALSE; w];
+    let mut addr_idx = vec![0u32; w];
+    let mut state = vec![FALSE; at];
+    let mut state_idx = vec![0u32; at];
+    let alloc = |bdd: &mut Bdd| {
+        let index = bdd.num_vars();
+        (bdd.fresh_var(), index)
+    };
+
+    let (sel, sel_idx) = if code.uses_sel() {
+        let (v, i) = alloc(bdd);
+        (v, Some(i))
+    } else {
+        (FALSE, None)
+    };
+    for (seg, &offset) in segs.iter().zip(&offsets) {
+        if *seg == Seg::Bit {
+            let (v, i) = alloc(bdd);
+            state[offset] = v;
+            state_idx[offset] = i;
+        }
+    }
+    for bit in 0..w {
+        let (v, i) = alloc(bdd);
+        addr[bit] = v;
+        addr_idx[bit] = i;
+        for (seg, &offset) in segs.iter().zip(&offsets) {
+            if *seg == Seg::Word {
+                let (v, i) = alloc(bdd);
+                state[offset + bit] = v;
+                state_idx[offset + bit] = i;
+            }
+        }
+    }
+    EncVars {
+        addr,
+        sel,
+        state,
+        addr_idx,
+        sel_idx,
+        state_idx,
+    }
+}
+
+/// Variables for one symbolic decoder cycle.
+pub struct DecVars {
+    /// Bus payload lines, LSB-first.
+    pub bus: Vec<Ref>,
+    /// Redundant lines, LSB-first.
+    pub aux: Vec<Ref>,
+    /// The `SEL` side channel (constant `FALSE` for non-dual codes).
+    pub sel: Ref,
+    /// Current decoder registers in [`FlatCode::dec_state_bits`] layout.
+    pub state: Vec<Ref>,
+    /// Variable index of each `bus` line.
+    pub bus_idx: Vec<u32>,
+    /// Variable index of each `aux` line.
+    pub aux_idx: Vec<u32>,
+    /// Variable index of `sel`, if allocated.
+    pub sel_idx: Option<u32>,
+    /// Variable index of each `state` bit.
+    pub state_idx: Vec<u32>,
+}
+
+/// Allocates decoder-cycle variables: `SEL` and the aux lines first,
+/// then per-column `bus[i]` next to decoder state bit `i`.
+pub fn dec_vars(bdd: &mut Bdd, code: FlatCode, width: BusWidth) -> DecVars {
+    let w = width.bits() as usize;
+    let aux_n = code.aux_lines() as usize;
+    let state_n = code.dec_state_bits(width.bits()) as usize;
+    let alloc = |bdd: &mut Bdd| {
+        let index = bdd.num_vars();
+        (bdd.fresh_var(), index)
+    };
+    let (sel, sel_idx) = if code.uses_sel() {
+        let (v, i) = alloc(bdd);
+        (v, Some(i))
+    } else {
+        (FALSE, None)
+    };
+    let mut aux = Vec::with_capacity(aux_n);
+    let mut aux_idx = Vec::with_capacity(aux_n);
+    for _ in 0..aux_n {
+        let (v, i) = alloc(bdd);
+        aux.push(v);
+        aux_idx.push(i);
+    }
+    let mut bus = Vec::with_capacity(w);
+    let mut bus_idx = Vec::with_capacity(w);
+    let mut state = Vec::with_capacity(state_n);
+    let mut state_idx = Vec::with_capacity(state_n);
+    for bit in 0..w {
+        let (v, i) = alloc(bdd);
+        bus.push(v);
+        bus_idx.push(i);
+        if bit < state_n {
+            let (v, i) = alloc(bdd);
+            state.push(v);
+            state_idx.push(i);
+        }
+    }
+    DecVars {
+        bus,
+        aux,
+        sel,
+        state,
+        bus_idx,
+        aux_idx,
+        sel_idx,
+        state_idx,
+    }
+}
+
+/// Variables for the encoder ∥ decoder product machine (reachability):
+/// `SEL` and control bits first, then per-column `addr[i]`, the encoder
+/// state words, and decoder state bit `i`.
+pub struct ProductVars {
+    /// Address input lines.
+    pub addr: Vec<Ref>,
+    /// `SEL` (constant `FALSE` for non-dual codes).
+    pub sel: Ref,
+    /// Encoder registers, flat layout.
+    pub enc_state: Vec<Ref>,
+    /// Decoder registers, flat layout.
+    pub dec_state: Vec<Ref>,
+    /// Variable index of each encoder state bit.
+    pub enc_state_idx: Vec<u32>,
+    /// Variable index of each decoder state bit.
+    pub dec_state_idx: Vec<u32>,
+}
+
+/// Allocates product-machine variables for image computation.
+pub fn product_vars(bdd: &mut Bdd, code: FlatCode, width: BusWidth) -> ProductVars {
+    let w = width.bits() as usize;
+    let segs = enc_segments(code);
+    let mut offsets = Vec::with_capacity(segs.len());
+    let mut at = 0usize;
+    for seg in segs {
+        offsets.push(at);
+        at += match seg {
+            Seg::Word => w,
+            Seg::Bit => 1,
+        };
+    }
+    let dec_n = code.dec_state_bits(width.bits()) as usize;
+
+    let mut addr = vec![FALSE; w];
+    let mut enc_state = vec![FALSE; at];
+    let mut enc_state_idx = vec![0u32; at];
+    let mut dec_state = Vec::with_capacity(dec_n);
+    let mut dec_state_idx = Vec::with_capacity(dec_n);
+    let alloc = |bdd: &mut Bdd| {
+        let index = bdd.num_vars();
+        (bdd.fresh_var(), index)
+    };
+    let sel = if code.uses_sel() { alloc(bdd).0 } else { FALSE };
+    for (seg, &offset) in segs.iter().zip(&offsets) {
+        if *seg == Seg::Bit {
+            let (v, i) = alloc(bdd);
+            enc_state[offset] = v;
+            enc_state_idx[offset] = i;
+        }
+    }
+    for bit in 0..w {
+        addr[bit] = alloc(bdd).0;
+        for (seg, &offset) in segs.iter().zip(&offsets) {
+            if *seg == Seg::Word {
+                let (v, i) = alloc(bdd);
+                enc_state[offset + bit] = v;
+                enc_state_idx[offset + bit] = i;
+            }
+        }
+        if bit < dec_n {
+            let (v, i) = alloc(bdd);
+            dec_state.push(v);
+            dec_state_idx.push(i);
+        }
+    }
+    ProductVars {
+        addr,
+        sel,
+        enc_state,
+        dec_state,
+        enc_state_idx,
+        dec_state_idx,
+    }
+}
+
+/// Decodes a word from a partial satisfying assignment (don't-cares
+/// default to `false`, matching [`crate::bdd::Bdd::sat_one`]).
+#[must_use]
+pub fn assigned_word(assignment: &[(u32, bool)], idx: &[u32]) -> u64 {
+    idx.iter().enumerate().fold(0u64, |acc, (bit, &var)| {
+        acc | (u64::from(assigned_bit(assignment, var)) << bit)
+    })
+}
+
+/// Reads one variable from a partial assignment (default `false`).
+#[must_use]
+pub fn assigned_bit(assignment: &[(u32, bool)], var: u32) -> bool {
+    assignment
+        .iter()
+        .find(|&&(v, _)| v == var)
+        .is_some_and(|&(_, value)| value)
+}
