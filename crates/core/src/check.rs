@@ -47,7 +47,7 @@ use std::hash::Hash;
 use crate::bus::{Access, AccessKind, BusState, BusWidth};
 use crate::codes::{
     BeachCode, BinaryDecoder, BinaryEncoder, BusInvertDecoder, BusInvertEncoder, DualT0BiDecoder,
-    DualT0BiEncoder, DualT0Decoder, DualT0Encoder, GrayDecoder, GrayEncoder, Hardened,
+    DualT0BiEncoder, DualT0Decoder, DualT0Encoder, EccHardened, GrayDecoder, GrayEncoder, Hardened,
     OffsetDecoder, OffsetEncoder, SelfOrganizingDecoder, SelfOrganizingEncoder, T0BiDecoder,
     T0BiEncoder, T0Decoder, T0Encoder, T0XorDecoder, T0XorEncoder, WorkingZoneDecoder,
     WorkingZoneEncoder,
@@ -670,6 +670,216 @@ where
     }
 }
 
+/// Flips line `line` (payload lines first, then aux lines) of `word`.
+fn flip_line(mut word: BusState, line: u32, payload_bits: u32) -> BusState {
+    if line < payload_bits {
+        word.payload ^= 1 << line;
+    } else {
+        word.aux ^= 1 << (line - payload_bits);
+    }
+    word
+}
+
+/// Breadth-first exhaustive exploration of an [`EccHardened`] codec pair,
+/// checking the SEC-DED contract on every transition.
+///
+/// On top of the plain round-trip property this verifies, for every
+/// reachable product state and every input:
+///
+/// - **schedule-sync**: both wrapper halves agree on whether the cycle is
+///   a refresh cycle (as in `explore_hardened`);
+/// - **single-flip-correction**: flipping any *one* of the `W + aux`
+///   transmitted lines still decodes — with no error — to the exact
+///   address, and leaves the decoder in *exactly* the clean decode's
+///   post-cycle state. This is strictly stronger than the parity
+///   wrapper's detection property: the fault costs nothing, not even a
+///   resync window;
+/// - **double-flip-detection**: flipping any *two* distinct lines makes
+///   the decoder (in its exact pre-transition state) report an error
+///   instead of a silently wrong address — the fault falls back to the
+///   bounded refresh-resync below, never to silent corruption;
+/// - **refresh-resync** and **reset-to-root**: exactly as in
+///   `explore_hardened` — together they prove the post-refresh product
+///   state is independent of the pre-refresh state, so recovery from a
+///   detected double flip takes at most `R` cycles.
+fn explore_ecc<E, D>(
+    kind: CodeKind,
+    params: CodeParams,
+    encoder: EccHardened<E>,
+    decoder: EccHardened<D>,
+    config: &CheckConfig,
+) -> Verdict
+where
+    E: Encoder + Clone + Eq + Hash,
+    D: Decoder + Clone + Eq + Hash,
+{
+    let width = params.width;
+    let mask = width.mask();
+    let total_lines = width.bits() + encoder.aux_line_count();
+    let alphabet: Vec<Access> = (0..=mask)
+        .flat_map(|a| [Access::instruction(a), Access::data(a)])
+        .collect();
+
+    let (root_enc, root_dec) = {
+        let (mut e, mut d) = (encoder.clone(), decoder.clone());
+        e.reset();
+        d.reset();
+        (e, d)
+    };
+
+    let root: State<EccHardened<E>, EccHardened<D>> =
+        (encoder.clone(), decoder.clone(), BusState::reset());
+    let mut exploration = Exploration {
+        states: vec![root.clone()],
+        parents: vec![(usize::MAX, Access::instruction(0))],
+        transitions: 0,
+    };
+    let mut seen: HashMap<State<EccHardened<E>, EccHardened<D>>, usize> = HashMap::new();
+    seen.insert(root, 0);
+    let mut frontier: VecDeque<usize> = VecDeque::from([0]);
+
+    while let Some(index) = frontier.pop_front() {
+        for &access in &alphabet {
+            if exploration.transitions >= config.max_transitions
+                || exploration.states.len() >= config.max_states
+            {
+                return Verdict::Bounded {
+                    states: exploration.states.len(),
+                    transitions: exploration.transitions,
+                };
+            }
+            exploration.transitions += 1;
+            let (mut enc, mut dec, _prev_word) = exploration.states[index].clone();
+            if enc.at_refresh_boundary() != dec.at_refresh_boundary() {
+                return fail(
+                    kind,
+                    "schedule-sync",
+                    "encoder and decoder disagree on the refresh boundary".to_string(),
+                    &exploration,
+                    index,
+                    access,
+                    &encoder,
+                    &decoder,
+                );
+            }
+            let refresh_cycle = enc.at_refresh_boundary();
+            let pre_dec = dec.clone();
+            let word = enc.encode(access);
+            let decoded = dec.decode(word, access.kind);
+            if !decoded.as_ref().is_ok_and(|&a| a == access.address & mask) {
+                let detail = match &decoded {
+                    Ok(addr) => format!("decoded {addr:#x}, expected {:#x}", access.address & mask),
+                    Err(e) => format!("decoder rejected a conforming word: {e}"),
+                };
+                return fail(
+                    kind,
+                    "round-trip",
+                    detail,
+                    &exploration,
+                    index,
+                    access,
+                    &encoder,
+                    &decoder,
+                );
+            }
+            for line in 0..total_lines {
+                let corrupted = flip_line(word, line, width.bits());
+                let mut probe = pre_dec.clone();
+                let corrected = probe.decode(corrupted, access.kind);
+                let exact = corrected
+                    .as_ref()
+                    .is_ok_and(|&a| a == access.address & mask)
+                    && probe == dec;
+                if !exact {
+                    let detail = match &corrected {
+                        Ok(addr) if probe != dec => {
+                            format!("flip of line {line} decoded {addr:#x} but the state drifted")
+                        }
+                        Ok(addr) => format!("flip of line {line} decoded {addr:#x}"),
+                        Err(e) => format!("flip of line {line} was not corrected: {e}"),
+                    };
+                    return fail(
+                        kind,
+                        "single-flip-correction",
+                        detail,
+                        &exploration,
+                        index,
+                        access,
+                        &encoder,
+                        &decoder,
+                    );
+                }
+            }
+            for a in 0..total_lines {
+                for b in (a + 1)..total_lines {
+                    let corrupted = flip_line(flip_line(word, a, width.bits()), b, width.bits());
+                    let mut probe = pre_dec.clone();
+                    if probe.decode(corrupted, access.kind).is_ok() {
+                        return fail(
+                            kind,
+                            "double-flip-detection",
+                            format!("flips of lines {a} and {b} decoded without an error"),
+                            &exploration,
+                            index,
+                            access,
+                            &encoder,
+                            &decoder,
+                        );
+                    }
+                }
+            }
+            if refresh_cycle {
+                let mut fresh = root_dec.clone();
+                let fresh_decoded = fresh.decode(word, access.kind);
+                let resynced = fresh_decoded
+                    .as_ref()
+                    .is_ok_and(|&a| a == access.address & mask)
+                    && fresh == dec;
+                if !resynced {
+                    return fail(
+                        kind,
+                        "refresh-resync",
+                        "refresh-cycle word does not resynchronize a reset decoder".to_string(),
+                        &exploration,
+                        index,
+                        access,
+                        &encoder,
+                        &decoder,
+                    );
+                }
+            }
+            let next: State<EccHardened<E>, EccHardened<D>> = (enc, dec, word);
+            if !seen.contains_key(&next) {
+                let (mut e, mut d, _) = next.clone();
+                e.reset();
+                d.reset();
+                if e != root_enc || d != root_dec {
+                    return fail(
+                        kind,
+                        "reset-to-root",
+                        "reset from a reachable state does not restore the initial state"
+                            .to_string(),
+                        &exploration,
+                        index,
+                        access,
+                        &encoder,
+                        &decoder,
+                    );
+                }
+                let id = exploration.states.len();
+                seen.insert(next.clone(), id);
+                exploration.states.push(next);
+                exploration.parents.push((index, access));
+                frontier.push_back(id);
+            }
+        }
+    }
+    Verdict::Proven {
+        states: exploration.states.len(),
+        transitions: exploration.transitions,
+    }
+}
+
 /// Model-checks one code at the given parameters.
 ///
 /// Builds the same encoder/decoder pair as [`CodeKind::encoder`] /
@@ -996,6 +1206,188 @@ pub fn check_hardened_all(
         .collect()
 }
 
+/// Model-checks one code wrapped in
+/// [`EccHardened`] with the given refresh
+/// interval.
+///
+/// Beyond the round-trip property this verifies the SEC-DED contract
+/// exhaustively (within budget): every single line flip is *corrected*
+/// in-flight — exact address, exact post-cycle decoder state, no resync —
+/// and every double line flip is *detected*, falling back to the bounded
+/// refresh-resync (see `explore_ecc`'s soundness argument in the source).
+/// Failures carry a replayable [`Counterexample`] like [`check_code`].
+///
+/// Note the per-transition cost is quadratic in the line count (every
+/// pair of flips is probed); prefer tighter budgets than
+/// [`check_code`]'s at width 8 and above.
+///
+/// # Errors
+///
+/// Same width limit as [`check_code`] (≤ 16 bits, with the offending
+/// width reported), plus the [`EccHardened`] constructor errors
+/// (`refresh == 0`).
+pub fn check_ecc(
+    kind: CodeKind,
+    params: CodeParams,
+    refresh: u64,
+    config: &CheckConfig,
+) -> Result<Verdict, CodecError> {
+    if params.width.bits() > 16 {
+        return Err(CodecError::InvalidParameter {
+            name: "width",
+            reason: format!(
+                "exhaustive checking requires width <= 16 bits, got {}",
+                params.width.bits()
+            ),
+        });
+    }
+    let w = params.width;
+    let s = params.stride;
+    /// Wraps a concrete pair, reading the redundant line count off the
+    /// encoder so the decoder half matches.
+    fn wrap<E, D>(
+        kind: CodeKind,
+        params: CodeParams,
+        refresh: u64,
+        enc: E,
+        dec: D,
+        config: &CheckConfig,
+    ) -> Result<Verdict, CodecError>
+    where
+        E: Encoder + Clone + Eq + Hash,
+        D: Decoder + Clone + Eq + Hash,
+    {
+        let inner_aux = enc.aux_line_count();
+        Ok(explore_ecc(
+            kind,
+            params,
+            EccHardened::encoder(enc, refresh)?,
+            EccHardened::with_aux_lines(dec, refresh, inner_aux)?,
+            config,
+        ))
+    }
+    match kind {
+        CodeKind::Binary => wrap(
+            kind,
+            params,
+            refresh,
+            BinaryEncoder::new(w),
+            BinaryDecoder::new(w),
+            config,
+        ),
+        CodeKind::Gray => wrap(
+            kind,
+            params,
+            refresh,
+            GrayEncoder::new(w, s)?,
+            GrayDecoder::new(w, s)?,
+            config,
+        ),
+        CodeKind::BusInvert => wrap(
+            kind,
+            params,
+            refresh,
+            BusInvertEncoder::new(w),
+            BusInvertDecoder::new(w),
+            config,
+        ),
+        CodeKind::T0 => wrap(
+            kind,
+            params,
+            refresh,
+            T0Encoder::new(w, s)?,
+            T0Decoder::new(w, s)?,
+            config,
+        ),
+        CodeKind::T0Bi => wrap(
+            kind,
+            params,
+            refresh,
+            T0BiEncoder::new(w, s)?,
+            T0BiDecoder::new(w, s)?,
+            config,
+        ),
+        CodeKind::DualT0 => wrap(
+            kind,
+            params,
+            refresh,
+            DualT0Encoder::new(w, s)?,
+            DualT0Decoder::new(w, s)?,
+            config,
+        ),
+        CodeKind::DualT0Bi => wrap(
+            kind,
+            params,
+            refresh,
+            DualT0BiEncoder::new(w, s)?,
+            DualT0BiDecoder::new(w, s)?,
+            config,
+        ),
+        CodeKind::T0Xor => wrap(
+            kind,
+            params,
+            refresh,
+            T0XorEncoder::new(w, s)?,
+            T0XorDecoder::new(w, s)?,
+            config,
+        ),
+        CodeKind::Offset => wrap(
+            kind,
+            params,
+            refresh,
+            OffsetEncoder::new(w),
+            OffsetDecoder::new(w),
+            config,
+        ),
+        CodeKind::WorkingZone => wrap(
+            kind,
+            params,
+            refresh,
+            WorkingZoneEncoder::new(w, s, 4)?,
+            WorkingZoneDecoder::new(w, s, 4)?,
+            config,
+        ),
+        CodeKind::Beach => wrap(
+            kind,
+            params,
+            refresh,
+            BeachCode::identity(w).into_encoder(),
+            BeachCode::identity(w).into_decoder(),
+            config,
+        ),
+        CodeKind::SelfOrganizing => {
+            let low_bits = 8.min(w.bits() - 1);
+            let entries = 16.min(w.bits() - low_bits);
+            wrap(
+                kind,
+                params,
+                refresh,
+                SelfOrganizingEncoder::new(w, low_bits, entries)?,
+                SelfOrganizingDecoder::new(w, low_bits, entries)?,
+                config,
+            )
+        }
+    }
+}
+
+/// Model-checks every [`CodeKind`] under
+/// [`EccHardened`] at the given refresh
+/// interval.
+///
+/// # Errors
+///
+/// Propagates the first [`check_ecc`] error.
+pub fn check_ecc_all(
+    params: CodeParams,
+    refresh: u64,
+    config: &CheckConfig,
+) -> Result<Vec<(CodeKind, Verdict)>, CodecError> {
+    CodeKind::all()
+        .into_iter()
+        .map(|kind| Ok((kind, check_ecc(kind, params, refresh, config)?)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1158,6 +1550,58 @@ mod tests {
             "unexpected invariant {}",
             ce.invariant
         );
+        assert!(!ce.trace.is_empty());
+    }
+
+    #[test]
+    fn every_ecc_code_proven_at_width_3() {
+        let p = CodeParams::new(3, 2).unwrap();
+        for (kind, verdict) in check_ecc_all(p, 2, &CheckConfig::default()).unwrap() {
+            assert!(verdict.holds(), "{kind}: {verdict}");
+            assert!(verdict.is_proven(), "{kind}: {verdict}");
+        }
+    }
+
+    #[test]
+    fn ecc_refresh_zero_and_wide_buses_are_rejected() {
+        let err = check_ecc(CodeKind::T0, params(4), 0, &CheckConfig::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            CodecError::InvalidParameter {
+                name: "refresh",
+                ..
+            }
+        ));
+        let err = check_ecc(
+            CodeKind::Binary,
+            CodeParams::new(32, 4).unwrap(),
+            2,
+            &CheckConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CodecError::InvalidParameter { name: "width", .. }
+        ));
+    }
+
+    #[test]
+    fn ecc_catches_a_decoder_with_the_wrong_geometry() {
+        // A decoder built with the wrong inner-aux count reads the check
+        // lines at the wrong offsets; the explorer must refute it rather
+        // than prove it.
+        let p = CodeParams::new(3, 1).unwrap();
+        let w = p.width;
+        let verdict = explore_ecc(
+            CodeKind::T0,
+            p,
+            EccHardened::encoder(T0Encoder::new(w, p.stride).unwrap(), 2).unwrap(),
+            EccHardened::with_aux_lines(T0Decoder::new(w, p.stride).unwrap(), 2, 0).unwrap(),
+            &CheckConfig::default(),
+        );
+        let ce = verdict
+            .counterexample()
+            .expect("mismatched geometry must fail");
         assert!(!ce.trace.is_empty());
     }
 

@@ -244,6 +244,10 @@ impl<D: Decoder> Decoder for Hardened<D> {
         self.inner.reset();
         self.cycle = 0;
     }
+
+    fn corrected_count(&self) -> u64 {
+        self.inner.corrected_count()
+    }
 }
 
 impl CodeKind {

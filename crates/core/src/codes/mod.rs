@@ -18,13 +18,16 @@
 //!
 //! The [`hardened`] module wraps any of the above with aux-line parity
 //! and a periodic plain-word refresh, bounding the damage a transient
-//! bus fault can do to the stateful codes.
+//! bus fault can do to the stateful codes; [`ecc_hardened`] upgrades the
+//! same machinery to SEC-DED Hamming, correcting single line flips
+//! in-flight instead of paying a resync window.
 
 pub mod beach;
 pub mod binary;
 pub mod bus_invert;
 pub mod dual_t0;
 pub mod dual_t0_bi;
+pub mod ecc_hardened;
 pub mod gray;
 pub mod hardened;
 pub mod offset;
@@ -39,6 +42,7 @@ pub use binary::{BinaryDecoder, BinaryEncoder};
 pub use bus_invert::{BusInvertDecoder, BusInvertEncoder};
 pub use dual_t0::{DualT0Decoder, DualT0Encoder};
 pub use dual_t0_bi::{DualT0BiDecoder, DualT0BiEncoder};
+pub use ecc_hardened::{ecc_check_bits, EccHardened};
 pub use gray::{gray_decode, gray_encode, GrayDecoder, GrayEncoder};
 pub use hardened::Hardened;
 pub use offset::{OffsetDecoder, OffsetEncoder};

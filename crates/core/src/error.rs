@@ -105,8 +105,9 @@ impl CodecError {
     /// Classifies this error for stream-level recovery.
     ///
     /// - [`Transient`][RecoveryClass::Transient]: the hardened wrapper's
-    ///   parity detection (`ProtocolViolation` with code `"hardened"`,
-    ///   which by construction leaves the inner decoder untouched) and
+    ///   parity detection and the ECC wrapper's double-error detection
+    ///   (`ProtocolViolation` with code `"hardened"` or `"ecc"`, which by
+    ///   construction leave the inner decoder untouched) and
     ///   out-of-range input addresses;
     /// - [`Desync`][RecoveryClass::Desync]: every other protocol
     ///   violation and round-trip mismatches — the decoder's references
@@ -115,7 +116,7 @@ impl CodecError {
     ///   snapshot-restore errors.
     pub fn recovery_class(&self) -> RecoveryClass {
         match self {
-            CodecError::ProtocolViolation { code, .. } if *code == "hardened" => {
+            CodecError::ProtocolViolation { code, .. } if *code == "hardened" || *code == "ecc" => {
                 RecoveryClass::Transient
             }
             CodecError::AddressOutOfRange { .. } => RecoveryClass::Transient,
@@ -269,6 +270,69 @@ mod tests {
             },
         ] {
             assert_eq!(fatal.recovery_class(), RecoveryClass::Fatal, "{fatal}");
+        }
+    }
+
+    /// Exhaustive classification coverage: every variant is matched
+    /// explicitly, with no wildcard arm, against the class
+    /// `recovery_class` assigns. Adding a `CodecError` variant without
+    /// deciding its recovery class breaks this match at compile time —
+    /// the taxonomy can never silently lag the error type.
+    #[test]
+    fn every_variant_has_a_deliberate_recovery_class() {
+        let cases: Vec<CodecError> = vec![
+            CodecError::InvalidWidth { bits: 65 },
+            CodecError::InvalidStride {
+                stride: 3,
+                width: 32,
+            },
+            CodecError::AddressOutOfRange {
+                address: 0x10,
+                width: 4,
+            },
+            CodecError::ProtocolViolation {
+                code: "hardened",
+                reason: "aux parity mismatch",
+            },
+            CodecError::ProtocolViolation {
+                code: "ecc",
+                reason: "double-line error detected",
+            },
+            CodecError::ProtocolViolation {
+                code: "t0",
+                reason: "inc asserted on first cycle",
+            },
+            CodecError::RoundTripMismatch {
+                cycle: 3,
+                expected: 1,
+                decoded: 2,
+            },
+            CodecError::InvalidParameter {
+                name: "refresh",
+                reason: "must be nonzero".to_string(),
+            },
+            CodecError::SnapshotMismatch {
+                code: "t0",
+                reason: "wrong code",
+            },
+        ];
+        for err in cases {
+            let expected = match &err {
+                CodecError::InvalidWidth { .. } => RecoveryClass::Fatal,
+                CodecError::InvalidStride { .. } => RecoveryClass::Fatal,
+                CodecError::AddressOutOfRange { .. } => RecoveryClass::Transient,
+                CodecError::ProtocolViolation { code, .. } => {
+                    if *code == "hardened" || *code == "ecc" {
+                        RecoveryClass::Transient
+                    } else {
+                        RecoveryClass::Desync
+                    }
+                }
+                CodecError::RoundTripMismatch { .. } => RecoveryClass::Desync,
+                CodecError::InvalidParameter { .. } => RecoveryClass::Fatal,
+                CodecError::SnapshotMismatch { .. } => RecoveryClass::Fatal,
+            };
+            assert_eq!(err.recovery_class(), expected, "{err}");
         }
     }
 

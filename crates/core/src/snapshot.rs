@@ -343,6 +343,42 @@ impl CodeKind {
             aux,
         )?))
     }
+
+    /// Builds this code's encoder wrapped in
+    /// [`EccHardened`][crate::codes::EccHardened], behind the
+    /// checkpointable bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor and wrapper validation errors.
+    pub fn ecc_snapshot_encoder(
+        self,
+        params: CodeParams,
+        refresh: u64,
+    ) -> Result<Box<dyn SnapshotEncoder>, CodecError> {
+        let inner = self.snapshot_encoder(params)?;
+        Ok(Box::new(crate::codes::EccHardened::encoder(
+            inner, refresh,
+        )?))
+    }
+
+    /// Builds the decoder paired with [`CodeKind::ecc_snapshot_encoder`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor and wrapper validation errors.
+    pub fn ecc_snapshot_decoder(
+        self,
+        params: CodeParams,
+        refresh: u64,
+    ) -> Result<Box<dyn SnapshotDecoder>, CodecError> {
+        let aux = self.aux_line_count(params)?;
+        Ok(Box::new(crate::codes::EccHardened::with_aux_lines(
+            self.snapshot_decoder(params)?,
+            refresh,
+            aux,
+        )?))
+    }
 }
 
 #[cfg(test)]

@@ -232,6 +232,18 @@ pub trait Decoder {
 
     /// Returns the decoder to its hardware-reset state.
     fn reset(&mut self);
+
+    /// How many transmitted words this decoder has repaired in-flight
+    /// since construction (forward error correction telemetry).
+    ///
+    /// Only correcting decoders — the
+    /// [`EccHardened`][crate::codes::EccHardened] wrapper — report a
+    /// nonzero count; the default is 0. Supervisors use the delta across
+    /// a decode call to observe faults that correction would otherwise
+    /// hide from the error path.
+    fn corrected_count(&self) -> u64 {
+        0
+    }
 }
 
 impl<D: Decoder + ?Sized> Decoder for Box<D> {
@@ -258,6 +270,10 @@ impl<D: Decoder + ?Sized> Decoder for Box<D> {
 
     fn reset(&mut self) {
         (**self).reset()
+    }
+
+    fn corrected_count(&self) -> u64 {
+        (**self).corrected_count()
     }
 }
 

@@ -6,10 +6,17 @@
 //! campaign over the synthesized codec netlists, and reports silent-data-
 //! corruption rate, detection rate, and cycles-to-resync as text or JSON.
 //!
+//! `--compare` switches to the parity-vs-ecc comparison mode: the same
+//! grid swept across all three hardening tiers (bare / parity / ECC) side
+//! by side, with an extra corrected-cycles column counting the flips the
+//! SEC-DED layer absorbed in-flight.
+//!
 //! `--smoke` runs the small fixed-seed campaign CI gates on: it exits
 //! nonzero if any hardened codec shows corruption beyond its refresh
 //! bound or misses a transient-flip detection, or if a bare stateful code
 //! stops showing the silent corruption the hardening layer exists for.
+//! Combined with `--compare` the gate instead asserts zero silent data
+//! corruption and a correction for every injected single flip under ECC.
 //!
 //! `--jobs N` shards campaign cells across worker threads; every cell
 //! draws from its own seed-derived RNG, so the report is byte-identical
@@ -17,7 +24,7 @@
 //!
 //! ```text
 //! faultrun [--trials N] [--len CYCLES] [--refresh R] [--fault MODEL]
-//!          [--gate] [--smoke]
+//!          [--gate] [--smoke] [--compare]
 //!          [--format text|json] [--seed S] [--jobs N] [--quiet]
 //! ```
 
@@ -26,7 +33,7 @@
 use std::process::ExitCode;
 
 use buscode_engine::cli::{self, json_escape, CommonArgs, Outcome, ToolRun, COMMON_USAGE};
-use buscode_fault::campaign::{run_campaign_with, CampaignConfig};
+use buscode_fault::campaign::{run_campaign_with, run_comparison_with, CampaignConfig};
 use buscode_fault::gate::{render_gate_json, render_gate_text, run_gate_campaign};
 use buscode_fault::models::FaultKind;
 use buscode_fault::GateCampaignConfig;
@@ -36,8 +43,9 @@ const TOOL: &str = "faultrun";
 fn usage() -> String {
     format!(
         "usage: faultrun [--trials N] [--len CYCLES] [--refresh R] [--fault MODEL] \
-         [--gate] [--smoke] {COMMON_USAGE}\n\
-         fault models: transient-flip stuck-at-0 stuck-at-1 burst drop-cycle duplicate-cycle"
+         [--gate] [--smoke] [--compare] {COMMON_USAGE}\n\
+         fault models: transient-flip stuck-at-0 stuck-at-1 burst drop-cycle duplicate-cycle\n\
+         --compare sweeps every cell across the bare/parity/ecc hardening tiers"
     )
 }
 
@@ -52,6 +60,8 @@ struct Options {
     gate: bool,
     /// Small fixed-seed campaign with the CI assertions.
     smoke: bool,
+    /// Run the parity-vs-ecc comparison instead of the standard campaign.
+    compare: bool,
 }
 
 fn parse_tool_args(args: &[String]) -> Result<Options, String> {
@@ -62,6 +72,7 @@ fn parse_tool_args(args: &[String]) -> Result<Options, String> {
         fault: None,
         gate: false,
         smoke: false,
+        compare: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -91,8 +102,12 @@ fn parse_tool_args(args: &[String]) -> Result<Options, String> {
             }
             "--gate" => opts.gate = true,
             "--smoke" => opts.smoke = true,
+            "--compare" => opts.compare = true,
             other => return Err(format!("unknown argument '{other}'")),
         }
+    }
+    if opts.compare && opts.gate {
+        return Err("--compare and --gate cannot be combined".to_string());
     }
     Ok(opts)
 }
@@ -142,6 +157,53 @@ fn main() -> ExitCode {
             ..CampaignConfig::default()
         }
     };
+
+    if opts.compare {
+        let report = match run_comparison_with(&engine, &config) {
+            Ok(report) => report,
+            Err(err) => {
+                return run.finish(&Outcome::error(format!("comparison failed to run: {err}")))
+            }
+        };
+        let mut text = report.render_text();
+        let mut data = format!(
+            "{{\"jobs\":{},\"comparison\":{}",
+            engine.jobs(),
+            report.render_json()
+        );
+        let outcome = if opts.smoke {
+            let failures = report.smoke_failures();
+            let failure_list: Vec<String> = failures
+                .iter()
+                .map(|f| format!("\"{}\"", json_escape(f)))
+                .collect();
+            data.push_str(&format!(
+                ",\"smoke_failures\":[{}]}}",
+                failure_list.join(",")
+            ));
+            if failures.is_empty() {
+                text.push_str(&format!(
+                    "comparison smoke gate passed ({} cells, seed {}): zero SDC under ecc\n",
+                    report.rows.len(),
+                    config.seed
+                ));
+                Outcome::success(text, data)
+            } else {
+                for failure in &failures {
+                    text.push_str(&format!("SMOKE FAILURE: {failure}\n"));
+                }
+                Outcome::failure(
+                    format!("{} comparison smoke gate failure(s)", failures.len()),
+                    text,
+                    data,
+                )
+            }
+        } else {
+            data.push('}');
+            Outcome::success(text, data)
+        };
+        return run.finish(&outcome);
+    }
 
     let report = match run_campaign_with(&engine, &config) {
         Ok(report) => report,

@@ -23,6 +23,13 @@
 //! clears — the [`FaultStats::beyond_bound_cycles`] that the `--smoke`
 //! gate requires to be zero.
 //!
+//! A fourth classification exists only under the
+//! [`EccHardened`][buscode_core::codes::EccHardened] tier: **corrected**
+//! — the decoder absorbed a line flip in-flight and still produced the
+//! intended address. [`run_comparison`] sweeps the same grid across all
+//! three [`HardeningTier`]s side by side, which is what
+//! `faultrun --compare` reports.
+//!
 //! Everything is deterministic given [`CampaignConfig::seed`].
 
 use buscode_core::rng::Rng64;
@@ -76,6 +83,49 @@ impl CampaignConfig {
     }
 }
 
+/// The protection level a codec runs under in the comparison campaign.
+///
+/// The tiers are ordered by redundancy: no aux protection, one parity
+/// line with detection only ([`Hardened`][buscode_core::codes::Hardened]),
+/// and SEC-DED check lines with in-flight single-flip correction
+/// ([`EccHardened`][buscode_core::codes::EccHardened]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HardeningTier {
+    /// The inner code alone — no detection, no correction.
+    Bare,
+    /// Aux-parity detection plus periodic refresh (`Hardened`).
+    Parity,
+    /// SEC-DED correction plus overall parity and periodic refresh
+    /// (`EccHardened`).
+    Ecc,
+}
+
+impl HardeningTier {
+    /// Every tier, in report order (least to most redundant).
+    pub fn all() -> &'static [HardeningTier] {
+        &[
+            HardeningTier::Bare,
+            HardeningTier::Parity,
+            HardeningTier::Ecc,
+        ]
+    }
+
+    /// A short stable identifier for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            HardeningTier::Bare => "bare",
+            HardeningTier::Parity => "parity",
+            HardeningTier::Ecc => "ecc",
+        }
+    }
+}
+
+impl core::fmt::Display for HardeningTier {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Aggregated outcome of one campaign cell (code × stream × fault ×
 /// hardening).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -96,6 +146,13 @@ pub struct FaultStats {
     pub sdc_cycles: u64,
     /// Cycles the decoder flagged with an error.
     pub detected_cycles: u64,
+    /// Cycles where the decoder absorbed a line flip in-flight and still
+    /// produced the intended address — nonzero only under
+    /// [`EccHardened`][buscode_core::codes::EccHardened], reported via
+    /// [`Decoder::corrected_count`].
+    pub corrected_cycles: u64,
+    /// Trials with at least one corrected cycle.
+    pub trials_corrected: u32,
     /// Sum over trials of cycles-to-resync (fault to last bad cycle).
     pub resync_sum: u64,
     /// Worst cycles-to-resync over all trials.
@@ -227,7 +284,12 @@ pub fn run_campaign_with(
         let cell = cell << 1 | u64::from(hardened);
         let mut rng = Rng64::seed_from_u64(config.seed ^ cell.wrapping_mul(0x9e3779b97f4a7c15));
         let stream = generated.get(si).map(Vec::as_slice).unwrap_or_default();
-        run_cell(config, kind, stream, fault, hardened, &mut rng).map(|stats| CampaignRow {
+        let tier = if hardened {
+            HardeningTier::Parity
+        } else {
+            HardeningTier::Bare
+        };
+        run_cell(config, kind, stream, fault, tier, &mut rng).map(|stats| CampaignRow {
             code: kind,
             stream: stream_kind,
             fault,
@@ -246,34 +308,134 @@ pub fn run_campaign_with(
     })
 }
 
+/// One comparison cell: the key (including its [`HardeningTier`]) plus
+/// its aggregated stats.
+#[derive(Clone, Debug)]
+pub struct ComparisonRow {
+    /// The code under test.
+    pub code: CodeKind,
+    /// The synthetic stream driven through it.
+    pub stream: StreamKind,
+    /// The fault model injected.
+    pub fault: FaultKind,
+    /// The protection level the codec ran under.
+    pub tier: HardeningTier,
+    /// Aggregated outcomes.
+    pub stats: FaultStats,
+}
+
+/// A finished parity-vs-ECC comparison: the same campaign grid swept
+/// across every [`HardeningTier`] side by side (the `faultrun --compare`
+/// output).
+#[derive(Clone, Debug)]
+pub struct ComparisonReport {
+    /// The configuration the comparison ran with.
+    pub config: CampaignConfig,
+    /// One row per code × stream × fault × tier combination.
+    pub rows: Vec<ComparisonRow>,
+}
+
+/// Runs the parity-vs-ECC comparison described by `config`: every code ×
+/// stream × fault cell three times, once per [`HardeningTier`].
+///
+/// # Errors
+///
+/// Propagates codec construction errors (invalid parameters).
+pub fn run_comparison(config: &CampaignConfig) -> Result<ComparisonReport, CodecError> {
+    run_comparison_with(&SweepEngine::serial(), config)
+}
+
+/// [`run_comparison`] with its cells sharded through `engine`; the report
+/// is bit-identical for any worker count (same per-cell RNG derivation as
+/// [`run_campaign_with`]).
+///
+/// # Errors
+///
+/// Propagates codec construction errors (invalid parameters).
+pub fn run_comparison_with(
+    engine: &SweepEngine,
+    config: &CampaignConfig,
+) -> Result<ComparisonReport, CodecError> {
+    let streams = [StreamKind::Instruction, StreamKind::Data, StreamKind::Muxed];
+    let generated: Vec<Vec<Access>> = streams
+        .iter()
+        .enumerate()
+        .map(|(si, &kind)| stream_for(kind, config.stream_len, config.seed.wrapping_add(si as u64)))
+        .collect();
+
+    let mut cells = Vec::new();
+    for (si, &stream_kind) in streams.iter().enumerate() {
+        for (ci, kind) in CodeKind::all().into_iter().enumerate() {
+            for (fi, &fault) in config.faults.iter().enumerate() {
+                for (ti, &tier) in HardeningTier::all().iter().enumerate() {
+                    cells.push((si, ci, fi, ti, stream_kind, kind, fault, tier));
+                }
+            }
+        }
+    }
+
+    let results = engine.run(cells, |(si, ci, fi, ti, stream_kind, kind, fault, tier)| {
+        let cell = (ci as u64) << 16 | (si as u64) << 8 | fi as u64;
+        let cell = cell << 2 | ti as u64;
+        let mut rng = Rng64::seed_from_u64(config.seed ^ cell.wrapping_mul(0x9e3779b97f4a7c15));
+        let stream = generated.get(si).map(Vec::as_slice).unwrap_or_default();
+        run_cell(config, kind, stream, fault, tier, &mut rng).map(|stats| ComparisonRow {
+            code: kind,
+            stream: stream_kind,
+            fault,
+            tier,
+            stats,
+        })
+    });
+
+    let mut rows = Vec::with_capacity(results.len());
+    for result in results {
+        rows.push(result?);
+    }
+    Ok(ComparisonReport {
+        config: config.clone(),
+        rows,
+    })
+}
+
 /// Runs all trials of one campaign cell.
 fn run_cell(
     config: &CampaignConfig,
     kind: CodeKind,
     stream: &[Access],
     fault: FaultKind,
-    hardened: bool,
+    tier: HardeningTier,
     rng: &mut Rng64,
 ) -> Result<FaultStats, CodecError> {
     let mut stats = FaultStats::default();
     for _ in 0..config.trials {
-        let trial = if hardened {
-            let enc = kind.hardened_encoder(config.params, config.refresh)?;
-            let dec = kind.hardened_decoder(config.params, config.refresh)?;
-            run_trial(config, enc, dec, stream, fault, Some(config.refresh), rng)
-        } else {
-            let enc = kind.encoder(config.params)?;
-            let dec = kind.decoder(config.params)?;
-            run_trial(config, enc, dec, stream, fault, None, rng)
+        let trial = match tier {
+            HardeningTier::Bare => {
+                let enc = kind.encoder(config.params)?;
+                let dec = kind.decoder(config.params)?;
+                run_trial(config, enc, dec, stream, fault, None, rng)
+            }
+            HardeningTier::Parity => {
+                let enc = kind.hardened_encoder(config.params, config.refresh)?;
+                let dec = kind.hardened_decoder(config.params, config.refresh)?;
+                run_trial(config, enc, dec, stream, fault, Some(config.refresh), rng)
+            }
+            HardeningTier::Ecc => {
+                let enc = kind.ecc_encoder(config.params, config.refresh)?;
+                let dec = kind.ecc_decoder(config.params, config.refresh)?;
+                run_trial(config, enc, dec, stream, fault, Some(config.refresh), rng)
+            }
         };
         stats.trials += 1;
         stats.trials_with_sdc += u32::from(trial.sdc_cycles > 0);
         stats.trials_detected += u32::from(trial.detected_cycles > 0);
+        stats.trials_corrected += u32::from(trial.corrected_cycles > 0);
         stats.trials_unresolved += u32::from(trial.unresolved);
         stats.trials_affected += u32::from(trial.resync > 0);
         stats.decoded_cycles += trial.decoded_cycles;
         stats.sdc_cycles += trial.sdc_cycles;
         stats.detected_cycles += trial.detected_cycles;
+        stats.corrected_cycles += trial.corrected_cycles;
         stats.resync_sum += trial.resync;
         stats.resync_max = stats.resync_max.max(trial.resync);
         stats.beyond_bound_cycles += trial.beyond_bound_cycles;
@@ -286,6 +448,8 @@ struct TrialOutcome {
     decoded_cycles: u64,
     sdc_cycles: u64,
     detected_cycles: u64,
+    /// Cycles the decoder's ECC layer corrected in-flight.
+    corrected_cycles: u64,
     /// Fault cycle to last bad cycle, inclusive; 0 if nothing went wrong.
     resync: u64,
     /// Still bad on the final cycle.
@@ -328,6 +492,7 @@ fn run_trial<E: Encoder, D: Decoder>(
         decoded_cycles: 0,
         sdc_cycles: 0,
         detected_cycles: 0,
+        corrected_cycles: 0,
         resync: 0,
         unresolved: false,
         beyond_bound_cycles: 0,
@@ -336,6 +501,7 @@ fn run_trial<E: Encoder, D: Decoder>(
     for (i, (&(word, sel), &expected)) in faulted.observed.iter().zip(&faulted.expected).enumerate()
     {
         outcome.decoded_cycles += 1;
+        let corrected_before = dec.corrected_count();
         let bad = match dec.decode(word, sel) {
             Ok(addr) if addr == expected => false,
             Ok(_) => {
@@ -347,6 +513,7 @@ fn run_trial<E: Encoder, D: Decoder>(
                 true
             }
         };
+        outcome.corrected_cycles += dec.corrected_count() - corrected_before;
         if bad {
             outcome.resync = (i.saturating_sub(site.cycle) + 1) as u64;
             outcome.unresolved = i == last;
@@ -399,9 +566,10 @@ impl CampaignReport {
     /// Renders the report as a JSON document with a stable schema:
     /// `{"config": {...}, "rows": [{"code", "stream", "fault",
     /// "hardened", "trials", "sdc_cycles", "detected_cycles",
-    /// "decoded_cycles", "sdc_rate", "detection_rate", "trials_with_sdc",
-    /// "trials_detected", "trials_unresolved", "mean_resync",
-    /// "max_resync", "beyond_bound_cycles"}]}`.
+    /// "corrected_cycles", "decoded_cycles", "sdc_rate",
+    /// "detection_rate", "trials_with_sdc", "trials_detected",
+    /// "trials_unresolved", "mean_resync", "max_resync",
+    /// "beyond_bound_cycles"}]}`.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\"config\":{");
         out.push_str(&format!(
@@ -421,6 +589,7 @@ impl CampaignReport {
                 concat!(
                     "{{\"code\":\"{}\",\"stream\":\"{}\",\"fault\":\"{}\",\"hardened\":{},",
                     "\"trials\":{},\"sdc_cycles\":{},\"detected_cycles\":{},",
+                    "\"corrected_cycles\":{},",
                     "\"decoded_cycles\":{},\"sdc_rate\":{:.6},\"detection_rate\":{:.4},",
                     "\"trials_with_sdc\":{},\"trials_detected\":{},\"trials_unresolved\":{},",
                     "\"mean_resync\":{:.2},\"max_resync\":{},\"beyond_bound_cycles\":{}}}"
@@ -432,6 +601,7 @@ impl CampaignReport {
                 s.trials,
                 s.sdc_cycles,
                 s.detected_cycles,
+                s.corrected_cycles,
                 s.decoded_cycles,
                 s.sdc_rate(),
                 s.detection_rate(),
@@ -499,6 +669,174 @@ impl CampaignReport {
                     "bare {} showed no silent corruption — stateful codes must (check models)",
                     kind.name()
                 ));
+            }
+        }
+        failures
+    }
+}
+
+impl ComparisonReport {
+    /// Rows matching a predicate.
+    pub fn select(&self, f: impl Fn(&ComparisonRow) -> bool) -> Vec<&ComparisonRow> {
+        self.rows.iter().filter(|r| f(r)).collect()
+    }
+
+    /// Renders the fixed-width parity-vs-ECC table (the
+    /// `faultrun --compare` default): silent corruption, detections,
+    /// in-flight corrections, and resync behavior side by side per tier.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "parity-vs-ecc comparison: {} trials x {} cycles per cell, seed {}, refresh {}\n",
+            self.config.trials, self.config.stream_len, self.config.seed, self.config.refresh
+        ));
+        out.push_str(&format!(
+            "{:<12} {:<12} {:<15} {:<7} {:>9} {:>7} {:>7} {:>7} {:>8} {:>7} {:>7}\n",
+            "code",
+            "stream",
+            "fault",
+            "tier",
+            "sdc-rate",
+            "sdc",
+            "det",
+            "corr",
+            "resync",
+            "max",
+            "beyond"
+        ));
+        for row in &self.rows {
+            let s = &row.stats;
+            out.push_str(&format!(
+                "{:<12} {:<12} {:<15} {:<7} {:>9.5} {:>7} {:>7} {:>7} {:>8.1} {:>7} {:>7}\n",
+                row.code.name(),
+                row.stream.to_string(),
+                row.fault.name(),
+                row.tier.name(),
+                s.sdc_rate(),
+                s.sdc_cycles,
+                s.detected_cycles,
+                s.corrected_cycles,
+                s.mean_resync(),
+                s.resync_max,
+                s.beyond_bound_cycles,
+            ));
+        }
+        out
+    }
+
+    /// Renders the comparison as a JSON document with a stable schema:
+    /// `{"config": {...}, "rows": [{"code", "stream", "fault", "tier",
+    /// "trials", "sdc_cycles", "detected_cycles", "corrected_cycles",
+    /// "decoded_cycles", "sdc_rate", "detection_rate", "trials_with_sdc",
+    /// "trials_detected", "trials_corrected", "trials_unresolved",
+    /// "mean_resync", "max_resync", "beyond_bound_cycles"}]}`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"config\":{");
+        out.push_str(&format!(
+            "\"width\":{},\"trials\":{},\"stream_len\":{},\"seed\":{},\"refresh\":{}}},\"rows\":[",
+            self.config.params.width.bits(),
+            self.config.trials,
+            self.config.stream_len,
+            self.config.seed,
+            self.config.refresh
+        ));
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let s = &row.stats;
+            out.push_str(&format!(
+                concat!(
+                    "{{\"code\":\"{}\",\"stream\":\"{}\",\"fault\":\"{}\",\"tier\":\"{}\",",
+                    "\"trials\":{},\"sdc_cycles\":{},\"detected_cycles\":{},",
+                    "\"corrected_cycles\":{},",
+                    "\"decoded_cycles\":{},\"sdc_rate\":{:.6},\"detection_rate\":{:.4},",
+                    "\"trials_with_sdc\":{},\"trials_detected\":{},\"trials_corrected\":{},",
+                    "\"trials_unresolved\":{},",
+                    "\"mean_resync\":{:.2},\"max_resync\":{},\"beyond_bound_cycles\":{}}}"
+                ),
+                row.code.name(),
+                row.stream,
+                row.fault.name(),
+                row.tier.name(),
+                s.trials,
+                s.sdc_cycles,
+                s.detected_cycles,
+                s.corrected_cycles,
+                s.decoded_cycles,
+                s.sdc_rate(),
+                s.detection_rate(),
+                s.trials_with_sdc,
+                s.trials_detected,
+                s.trials_corrected,
+                s.trials_unresolved,
+                s.mean_resync(),
+                s.resync_max,
+                s.beyond_bound_cycles,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The comparison smoke-gate verdict (empty = pass): under the
+    /// single-transient-flip model,
+    ///
+    /// 1. every ECC codec has **zero silently corrupted cycles** — the
+    ///    headline guarantee: a single flip is corrected, never consumed;
+    /// 2. every ECC codec corrects the flip in **every** trial (one
+    ///    injected flip, one correction — a shortfall means a flip slipped
+    ///    through some other path);
+    /// 3. every ECC codec has zero bad cycles beyond the refresh bound;
+    /// 4. every parity codec still detects the flip in every trial — the
+    ///    baseline the comparison is measured against.
+    pub fn smoke_failures(&self) -> Vec<String> {
+        let mut failures = Vec::new();
+        for row in &self.rows {
+            if row.fault != FaultKind::TransientFlip {
+                continue;
+            }
+            let s = &row.stats;
+            match row.tier {
+                HardeningTier::Ecc => {
+                    if s.sdc_cycles > 0 {
+                        failures.push(format!(
+                            "ecc {} on {}: {} silently corrupted cycle(s) under single flips",
+                            row.code.name(),
+                            row.stream,
+                            s.sdc_cycles
+                        ));
+                    }
+                    if u64::from(s.trials) != s.corrected_cycles {
+                        failures.push(format!(
+                            "ecc {} on {}: {} correction(s) for {} injected flips",
+                            row.code.name(),
+                            row.stream,
+                            s.corrected_cycles,
+                            s.trials
+                        ));
+                    }
+                    if s.beyond_bound_cycles > 0 {
+                        failures.push(format!(
+                            "ecc {} on {}: {} bad cycle(s) beyond the refresh bound",
+                            row.code.name(),
+                            row.stream,
+                            s.beyond_bound_cycles
+                        ));
+                    }
+                }
+                HardeningTier::Parity => {
+                    if s.trials_detected < s.trials {
+                        failures.push(format!(
+                            "parity {} on {}: only {}/{} transient flips detected",
+                            row.code.name(),
+                            row.stream,
+                            s.trials_detected,
+                            s.trials
+                        ));
+                    }
+                }
+                HardeningTier::Bare => {}
             }
         }
         failures
@@ -583,6 +921,96 @@ mod tests {
             "{:?}",
             report.smoke_failures()
         );
+    }
+
+    #[test]
+    fn comparison_covers_every_tier() {
+        let report = run_comparison(&tiny()).unwrap();
+        // 12 codes x 3 streams x 1 fault x {bare, parity, ecc}.
+        assert_eq!(report.rows.len(), 12 * 3 * 3);
+        assert!(report.rows.iter().all(|r| r.stats.trials == 4));
+        for tier in HardeningTier::all() {
+            assert!(report.rows.iter().any(|r| r.tier == *tier));
+        }
+    }
+
+    #[test]
+    fn ecc_tier_corrects_single_flips_in_flight() {
+        let report = run_comparison(&tiny()).unwrap();
+        for row in report.select(|r| r.tier == HardeningTier::Ecc) {
+            let s = &row.stats;
+            assert_eq!(
+                s.sdc_cycles, 0,
+                "{} on {}: silent corruption",
+                row.code, row.stream
+            );
+            assert_eq!(
+                s.detected_cycles, 0,
+                "{} on {}: a single flip must be corrected, not just detected",
+                row.code, row.stream
+            );
+            assert_eq!(
+                s.corrected_cycles,
+                u64::from(s.trials),
+                "{} on {}: one injected flip per trial, one correction",
+                row.code,
+                row.stream
+            );
+            assert_eq!(
+                s.resync_max, 0,
+                "{} on {}: in-flight correction needs no resync",
+                row.code, row.stream
+            );
+        }
+        assert!(
+            report.smoke_failures().is_empty(),
+            "{:?}",
+            report.smoke_failures()
+        );
+    }
+
+    #[test]
+    fn only_the_ecc_tier_ever_corrects() {
+        let report = run_comparison(&tiny()).unwrap();
+        for row in report.select(|r| r.tier != HardeningTier::Ecc) {
+            assert_eq!(
+                row.stats.corrected_cycles, 0,
+                "{} on {} ({}) reported corrections",
+                row.code, row.stream, row.tier
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_comparison_matches_serial_bit_for_bit() {
+        let mut config = tiny();
+        config.faults = vec![FaultKind::TransientFlip, FaultKind::Burst];
+        let serial = run_comparison(&config).unwrap();
+        let parallel = run_comparison_with(&SweepEngine::new(8), &config).unwrap();
+        assert_eq!(serial.rows.len(), parallel.rows.len());
+        for (x, y) in serial.rows.iter().zip(&parallel.rows) {
+            assert_eq!(
+                (x.code, x.stream, x.fault, x.tier),
+                (y.code, y.stream, y.fault, y.tier)
+            );
+            assert_eq!(x.stats, y.stats);
+        }
+        assert_eq!(serial.render_json(), parallel.render_json());
+        assert_eq!(serial.render_text(), parallel.render_text());
+    }
+
+    #[test]
+    fn comparison_renders_text_and_json() {
+        let report = run_comparison(&tiny()).unwrap();
+        let text = report.render_text();
+        assert!(text.contains("parity-vs-ecc comparison"));
+        assert!(text.contains(" ecc "));
+        assert!(text.contains(" corr"));
+        let json = report.render_json();
+        assert!(json.starts_with("{\"config\":{"));
+        assert!(json.contains("\"tier\":\"parity\""));
+        assert!(json.contains("\"corrected_cycles\":"));
+        assert!(json.ends_with("]}"));
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //! - [`campaign`] — seeded Monte Carlo campaigns over every code × stream
 //!   kind, bare and under the
 //!   [`Hardened`][buscode_core::codes::Hardened] wrapper, reporting
-//!   silent-data-corruption rate, detection rate, and cycles-to-resync;
+//!   silent-data-corruption rate, detection rate, and cycles-to-resync —
+//!   plus the parity-vs-ECC comparison grid
+//!   ([`campaign::run_comparison`]) that additionally
+//!   sweeps the [`EccHardened`][buscode_core::codes::EccHardened] tier
+//!   and counts in-flight corrections;
 //! - [`gate`] — the same idea at gate level: stuck-at and flip-flop SEU
 //!   injection inside the synthesized codec netlists via
 //!   [`Simulator`][buscode_logic::Simulator]'s fault hooks.
@@ -52,7 +56,8 @@ pub mod gate;
 pub mod models;
 
 pub use campaign::{
-    is_stateful, run_campaign, CampaignConfig, CampaignReport, CampaignRow, FaultStats,
+    is_stateful, run_campaign, run_comparison, CampaignConfig, CampaignReport, CampaignRow,
+    ComparisonReport, ComparisonRow, FaultStats, HardeningTier,
 };
 pub use gate::{run_gate_campaign, GateCampaignConfig, GateCellStats, GateFault};
 pub use models::{corrupt_words, BusGeometry, FaultKind, FaultSite};

@@ -11,16 +11,30 @@
 //! re-promoted. `--no-recovery` turns the supervisor's repairs off — the
 //! same soak then fails, which is the point.
 //!
+//! `--redundancy adaptive` turns on the tier ladder: the runtime starts
+//! the code bare and walks bare → parity → ECC as the observed fault
+//! rate (including ECC's silent in-flight corrections) demands, stepping
+//! back down after a long clean run. The soak gate then requires at
+//! least one escalation and one de-escalation instead of the
+//! demotion/repromotion cycle. The default (`fixed`) pins the tier
+//! implied by `--refresh`.
+//!
 //! `--sweep` runs the soak over every code, sharded across `--jobs N`
 //! worker threads by the batch engine; the combined gate passes only if
 //! every code passes, and the report is byte-identical for any worker
 //! count.
+//!
+//! Checkpoints are written atomically (temp file + rename) and carry a
+//! CRC-32 footer, so `--resume` either restores exactly the captured
+//! state or fails with a precise reason — never silently resumes from a
+//! torn or bit-rotted file.
 //!
 //! ```text
 //! pipeline [--code NAME] [--width BITS] [--stride N] [--refresh R|bare]
 //!          [--stream instruction|data|muxed] [--len WORDS]
 //!          [--chunk WORDS] [--deadline-us US]
 //!          [--soak] [--sweep] [--no-recovery] [--no-degrade] [--power]
+//!          [--redundancy fixed|adaptive]
 //!          [--checkpoint-out FILE] [--resume FILE]
 //!          [--format text|json] [--seed S] [--jobs N] [--quiet]
 //! ```
@@ -35,7 +49,9 @@ use buscode_engine::cli::{self, json_escape, CommonArgs, Outcome, ToolRun, COMMO
 use buscode_engine::SweepEngine;
 use buscode_fault::campaign::stream_for;
 use buscode_pipeline::soak::{run_soak, SoakConfig, SoakReport};
-use buscode_pipeline::{clean_channel, Checkpoint, Pipeline, PipelineConfig, PipelineStats};
+use buscode_pipeline::{
+    clean_channel, Checkpoint, Pipeline, PipelineConfig, PipelineStats, RedundancyPolicy,
+};
 use buscode_power::degradation_cost;
 use buscode_trace::StreamKind;
 
@@ -46,6 +62,7 @@ fn usage() -> String {
         "usage: pipeline [--code NAME] [--width BITS] [--stride N] [--refresh R|bare] \
          [--stream instruction|data|muxed] [--len WORDS] [--chunk WORDS] [--deadline-us US] \
          [--soak] [--sweep] [--no-recovery] [--no-degrade] [--power] \
+         [--redundancy fixed|adaptive] \
          [--checkpoint-out FILE] [--resume FILE] {COMMON_USAGE}\n\
          codes: binary gray bus-invert t0 t0-bi dual-t0 dual-t0-bi t0-xor offset \
          working-zone beach self-org"
@@ -68,6 +85,8 @@ struct Options {
     no_recovery: bool,
     no_degrade: bool,
     power: bool,
+    /// `--redundancy adaptive`: let the tier ladder manage protection.
+    adaptive: bool,
     checkpoint_out: Option<String>,
     resume: Option<String>,
 }
@@ -88,6 +107,7 @@ fn parse_tool_args(args: &[String], seed: u64) -> Result<Options, String> {
         no_recovery: false,
         no_degrade: false,
         power: false,
+        adaptive: false,
         checkpoint_out: None,
         resume: None,
     };
@@ -155,6 +175,14 @@ fn parse_tool_args(args: &[String], seed: u64) -> Result<Options, String> {
             "--no-recovery" => opts.no_recovery = true,
             "--no-degrade" => opts.no_degrade = true,
             "--power" => opts.power = true,
+            "--redundancy" => {
+                let value = it.next().ok_or("--redundancy needs a value")?;
+                opts.adaptive = match value.as_str() {
+                    "fixed" => false,
+                    "adaptive" => true,
+                    other => return Err(format!("unknown redundancy mode '{other}'")),
+                };
+            }
             "--checkpoint-out" => {
                 opts.checkpoint_out =
                     Some(it.next().ok_or("--checkpoint-out needs a value")?.clone());
@@ -178,6 +206,9 @@ impl Options {
         config.deadline_micros = self.deadline_us;
         config.policy.enabled = !self.no_recovery;
         config.degrade.enabled = !self.no_degrade;
+        if self.adaptive {
+            config.redundancy = RedundancyPolicy::adaptive();
+        }
         Ok(config)
     }
 }
@@ -197,7 +228,11 @@ fn render_stats_text(stats: &PipelineStats) -> String {
          demotions         {}\n\
          repromotions      {}\n\
          degraded words    {}\n\
-         watchdog fires    {}\n",
+         watchdog fires    {}\n\
+         corrected faults  {}\n\
+         escalations       {}\n\
+         deescalations     {}\n\
+         ecc words         {}\n",
         stats.words,
         stats.clean_words,
         stats.faulted_words,
@@ -212,6 +247,10 @@ fn render_stats_text(stats: &PipelineStats) -> String {
         stats.repromotions,
         stats.degraded_words,
         stats.watchdog_fires,
+        stats.corrected_faults,
+        stats.escalations,
+        stats.deescalations,
+        stats.ecc_words,
     )
 }
 
@@ -220,7 +259,8 @@ fn render_stats_json(stats: &PipelineStats) -> String {
         "{{\"words\":{},\"clean_words\":{},\"faulted_words\":{},\"transient_faults\":{},\
          \"retries\":{},\"backoff_cycles\":{},\"desyncs\":{},\"forced_resyncs\":{},\
          \"max_resync_gap\":{},\"unrecovered\":{},\"demotions\":{},\"repromotions\":{},\
-         \"degraded_words\":{},\"watchdog_fires\":{}}}",
+         \"degraded_words\":{},\"watchdog_fires\":{},\"corrected_faults\":{},\
+         \"escalations\":{},\"deescalations\":{},\"ecc_words\":{}}}",
         stats.words,
         stats.clean_words,
         stats.faulted_words,
@@ -235,6 +275,10 @@ fn render_stats_json(stats: &PipelineStats) -> String {
         stats.repromotions,
         stats.degraded_words,
         stats.watchdog_fires,
+        stats.corrected_faults,
+        stats.escalations,
+        stats.deescalations,
+        stats.ecc_words,
     )
 }
 
@@ -363,12 +407,15 @@ fn run_sweep(opts: &Options, engine: &SweepEngine) -> Result<Outcome, String> {
         if report.passed() {
             let _ = writeln!(
                 text,
-                "  {:>12}  PASS  ({} retries, {} resyncs, max gap {}, {} demotion(s))",
+                "  {:>12}  PASS  ({} retries, {} resyncs, max gap {}, {} demotion(s), \
+                 {} escalation(s), {} corrected)",
                 code.name(),
                 report.stats.retries,
                 report.stats.forced_resyncs,
                 report.stats.max_resync_gap,
                 report.stats.demotions,
+                report.stats.escalations,
+                report.stats.corrected_faults,
             );
         } else {
             failed += 1;
@@ -396,6 +443,20 @@ fn run_sweep(opts: &Options, engine: &SweepEngine) -> Result<Outcome, String> {
             data,
         ))
     }
+}
+
+/// Writes the checkpoint durably: the text goes to a sibling temp file
+/// first and is renamed over the final path, so a crash mid-write leaves
+/// either the previous checkpoint or the new one under `path` — never a
+/// torn file (the CRC-32 footer inside the text catches everything
+/// rename cannot).
+fn write_checkpoint_atomically(path: &str, text: &str) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, text).map_err(|e| format!("cannot write checkpoint '{tmp}': {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("cannot move checkpoint into place at '{path}': {e}")
+    })
 }
 
 fn run(opts: &Options, engine: &SweepEngine) -> Result<Outcome, String> {
@@ -462,18 +523,21 @@ fn run(opts: &Options, engine: &SweepEngine) -> Result<Outcome, String> {
         .map_err(|e| format!("pipeline failed: {e}"))?;
 
     let mut text = format!(
-        "run: {} over {} words (resumed at {}, final mode {})\n",
+        "run: {} over {} words (resumed at {}, final mode {}, final tier {})\n",
         opts.code.name(),
         opts.len,
         already_done,
-        pipe.mode()
+        pipe.mode(),
+        pipe.tier()
     );
     text.push_str(&render_stats_text(&stats));
     let mut data = format!(
-        "{{\"mode\":\"run\",\"code\":\"{}\",\"resumed_at\":{},\"final_mode\":\"{}\",\"stats\":{}",
+        "{{\"mode\":\"run\",\"code\":\"{}\",\"resumed_at\":{},\"final_mode\":\"{}\",\
+         \"final_tier\":\"{}\",\"stats\":{}",
         opts.code.name(),
         already_done,
         pipe.mode(),
+        pipe.tier(),
         render_stats_json(&stats)
     );
     if opts.power {
@@ -486,8 +550,7 @@ fn run(opts: &Options, engine: &SweepEngine) -> Result<Outcome, String> {
 
     if let Some(path) = &opts.checkpoint_out {
         let checkpoint = pipe.checkpoint();
-        std::fs::write(path, checkpoint.to_text())
-            .map_err(|e| format!("cannot write checkpoint '{path}': {e}"))?;
+        write_checkpoint_atomically(path, &checkpoint.to_text())?;
         let _ = writeln!(text, "checkpoint written to {path}");
     }
 

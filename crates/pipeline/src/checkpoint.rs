@@ -1,9 +1,18 @@
 //! Whole-pipeline checkpoints: a text-serializable capture of codec
-//! state, degradation state, statistics, and stream position.
+//! state, degradation state, redundancy-tier state, statistics, and
+//! stream position, sealed with a CRC-32 footer.
+//!
+//! Durability is two-layered: the `pipeline` binary writes checkpoints
+//! atomically (temp file + rename, so a crash never leaves a partial
+//! file under the final name), and the text itself carries a CRC-32
+//! (IEEE 802.3) over every preceding byte, so a truncated or bit-rotted
+//! checkpoint is rejected at parse time with a precise reason instead of
+//! restoring silently-wrong state.
 
 use buscode_core::{CodeKind, CodeParams, StateImage};
 
 use crate::policy::{DegradeSnapshot, Mode};
+use crate::redundancy::{RedundancySnapshot, RedundancyTier};
 use crate::runtime::{PipelineError, PipelineStats};
 
 /// A complete pipeline state, produced by
@@ -12,8 +21,8 @@ use crate::runtime::{PipelineError, PipelineStats};
 ///
 /// The text form ([`Checkpoint::to_text`] / [`Checkpoint::parse`]) is a
 /// small line-oriented `key=value` format with the two codec state
-/// images on their own lines — human-inspectable and free of any
-/// serialization dependency.
+/// images on their own lines and a `crc32=` integrity footer —
+/// human-inspectable and free of any serialization dependency.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Checkpoint {
     /// The configured code.
@@ -30,11 +39,27 @@ pub struct Checkpoint {
     pub decoder: StateImage,
     /// Degradation machine registers.
     pub degrade: DegradeSnapshot,
+    /// Redundancy manager registers (which tier the primary pair ran at).
+    pub redundancy: RedundancySnapshot,
     /// Statistics accumulated up to the checkpoint.
     pub stats: PipelineStats,
 }
 
 const HEADER: &str = "buscode-pipeline-checkpoint v1";
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — hand-rolled
+/// bitwise form, dependency-free.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 impl Checkpoint {
     /// Renders the checkpoint as text.
@@ -56,8 +81,13 @@ impl Checkpoint {
         out.push_str(&format!("window_start={}\n", d.window_start));
         out.push_str(&format!("window_errors={}\n", d.window_errors));
         out.push_str(&format!("clean_run={}\n", d.clean_run));
+        let r = &self.redundancy;
+        out.push_str(&format!("tier={}\n", r.tier.name()));
+        out.push_str(&format!("tier_window_start={}\n", r.window_start));
+        out.push_str(&format!("tier_faults={}\n", r.window_faults));
+        out.push_str(&format!("tier_clean_run={}\n", r.clean_run));
         out.push_str(&format!(
-            "stats={} {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
+            "stats={} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
             s.words,
             s.clean_words,
             s.faulted_words,
@@ -72,9 +102,14 @@ impl Checkpoint {
             s.repromotions,
             s.degraded_words,
             s.watchdog_fires,
+            s.corrected_faults,
+            s.escalations,
+            s.deescalations,
+            s.ecc_words,
         ));
         out.push_str(&format!("encoder={}\n", self.encoder.to_line()));
         out.push_str(&format!("decoder={}\n", self.decoder.to_line()));
+        out.push_str(&format!("crc32={:08x}\n", crc32(out.as_bytes())));
         out
     }
 
@@ -82,11 +117,41 @@ impl Checkpoint {
     ///
     /// # Errors
     ///
-    /// Returns [`PipelineError::Checkpoint`] on a missing header, an
-    /// unknown code name, a malformed field, or a missing key.
+    /// Returns [`PipelineError::Checkpoint`] on a missing header, a
+    /// missing or mismatching `crc32=` footer (truncation or bit rot),
+    /// an unknown code name, a malformed field, or a missing key.
     pub fn parse(text: &str) -> Result<Self, PipelineError> {
         let bad = |reason: String| PipelineError::Checkpoint { reason };
-        let mut lines = text.lines();
+
+        // Verify the integrity footer before trusting any field: the
+        // last non-empty line must be `crc32=` over every byte of the
+        // preceding lines (each terminated by a single `\n`).
+        let all_lines: Vec<&str> = text.lines().collect();
+        let crc_index = all_lines
+            .iter()
+            .rposition(|l| !l.trim().is_empty())
+            .ok_or_else(|| bad(format!("missing header line `{HEADER}`")))?;
+        let crc_line = all_lines[crc_index].trim();
+        let Some(stored_hex) = crc_line.strip_prefix("crc32=") else {
+            return Err(bad(
+                "missing `crc32=` integrity footer (checkpoint truncated?)".to_string(),
+            ));
+        };
+        let stored = u32::from_str_radix(stored_hex, 16)
+            .map_err(|_| bad("field `crc32` is not hexadecimal".to_string()))?;
+        let body: String = all_lines[..crc_index]
+            .iter()
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let computed = crc32(body.as_bytes());
+        if stored != computed {
+            return Err(bad(format!(
+                "crc32 mismatch: footer says {stored:08x}, body hashes to {computed:08x} \
+                 (checkpoint truncated or corrupted)"
+            )));
+        }
+
+        let mut lines = body.lines();
         if lines.next().map(str::trim) != Some(HEADER) {
             return Err(bad(format!("missing header line `{HEADER}`")));
         }
@@ -139,17 +204,28 @@ impl Checkpoint {
             clean_run: int("clean_run")?,
         };
 
+        let tier_name = get("tier")?;
+        let tier = RedundancyTier::from_name(&tier_name)
+            .ok_or_else(|| bad(format!("unknown redundancy tier `{tier_name}`")))?;
+        let redundancy = RedundancySnapshot {
+            tier,
+            window_start: int("tier_window_start")?,
+            window_faults: u32::try_from(int("tier_faults")?)
+                .map_err(|_| bad("field `tier_faults` out of range".to_string()))?,
+            clean_run: int("tier_clean_run")?,
+        };
+
         let stats_line = get("stats")?;
         let nums: Vec<u64> = stats_line
             .split_whitespace()
             .map(|t| t.parse::<u64>())
             .collect::<Result<_, _>>()
             .map_err(|_| bad("field `stats` contains a non-integer".to_string()))?;
-        let [words, clean_words, faulted_words, transient_faults, retries, backoff_cycles, desyncs, forced_resyncs, max_resync_gap, unrecovered, demotions, repromotions, degraded_words, watchdog_fires] =
+        let [words, clean_words, faulted_words, transient_faults, retries, backoff_cycles, desyncs, forced_resyncs, max_resync_gap, unrecovered, demotions, repromotions, degraded_words, watchdog_fires, corrected_faults, escalations, deescalations, ecc_words] =
             nums[..]
         else {
             return Err(bad(format!(
-                "field `stats` must have 14 counters, found {}",
+                "field `stats` must have 18 counters, found {}",
                 nums.len()
             )));
         };
@@ -168,6 +244,10 @@ impl Checkpoint {
             repromotions,
             degraded_words,
             watchdog_fires,
+            corrected_faults,
+            escalations,
+            deescalations,
+            ecc_words,
         };
 
         let encoder = StateImage::parse_line(&get("encoder")?)
@@ -183,6 +263,7 @@ impl Checkpoint {
             encoder,
             decoder,
             degrade,
+            redundancy,
             stats,
         })
     }
@@ -210,6 +291,12 @@ mod tests {
                 window_errors: 3,
                 clean_run: 17,
             },
+            redundancy: RedundancySnapshot {
+                tier: RedundancyTier::Ecc,
+                window_start: 12100,
+                window_faults: 2,
+                clean_run: 45,
+            },
             stats: PipelineStats {
                 words: 12345,
                 clean_words: 12000,
@@ -225,8 +312,23 @@ mod tests {
                 repromotions: 0,
                 degraded_words: 40,
                 watchdog_fires: 3,
+                corrected_faults: 120,
+                escalations: 2,
+                deescalations: 1,
+                ecc_words: 800,
             },
         }
+    }
+
+    /// Recomputes the CRC footer after a deliberate field tamper, so the
+    /// tamper tests exercise field validation rather than the CRC.
+    fn restamp(text: &str) -> String {
+        let body: String = text
+            .lines()
+            .filter(|l| !l.starts_with("crc32="))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        format!("{body}crc32={:08x}\n", crc32(body.as_bytes()))
     }
 
     #[test]
@@ -249,13 +351,53 @@ mod tests {
             .filter(|l| !l.starts_with("decoder="))
             .map(|l| format!("{l}\n"))
             .collect();
-        assert!(Checkpoint::parse(&truncated).is_err());
+        assert!(Checkpoint::parse(&restamp(&truncated)).is_err());
         // Corrupt the stats line.
-        let garbled = text.replace("stats=", "stats=zzz ");
+        let garbled = restamp(&text.replace("stats=", "stats=zzz "));
         assert!(Checkpoint::parse(&garbled).is_err());
         // Unknown code.
-        let unknown = text.replace("code=t0", "code=nonesuch");
+        let unknown = restamp(&text.replace("code=t0", "code=nonesuch"));
         assert!(Checkpoint::parse(&unknown).is_err());
+        // Unknown redundancy tier.
+        let bad_tier = restamp(&text.replace("tier=ecc", "tier=quintuple"));
+        assert!(Checkpoint::parse(&bad_tier).is_err());
+    }
+
+    #[test]
+    fn crc_footer_rejects_truncation() {
+        let text = sample().to_text();
+        // Cut the file anywhere: the footer (or the body it covers) is
+        // damaged and the parse must say so precisely.
+        for cut in [text.len() - 2, text.len() - 12, text.len() / 2, 10] {
+            let err = Checkpoint::parse(&text[..cut]).unwrap_err();
+            let PipelineError::Checkpoint { reason } = &err else {
+                panic!("expected a checkpoint error, got {err:?}");
+            };
+            assert!(
+                reason.contains("crc32") || reason.contains("truncated"),
+                "cut at {cut}: {reason}"
+            );
+        }
+    }
+
+    #[test]
+    fn crc_footer_rejects_bit_rot() {
+        let text = sample().to_text();
+        // Flip one digit in the position field without restamping.
+        let rotted = text.replace("position=12345", "position=12346");
+        assert_ne!(rotted, text);
+        let err = Checkpoint::parse(&rotted).unwrap_err();
+        let PipelineError::Checkpoint { reason } = &err else {
+            panic!("expected a checkpoint error, got {err:?}");
+        };
+        assert!(reason.contains("crc32 mismatch"), "{reason}");
+    }
+
+    #[test]
+    fn the_crc_implementation_matches_ieee_vectors() {
+        // The classic check value: CRC-32("123456789") = 0xcbf43926.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

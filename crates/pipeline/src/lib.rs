@@ -30,11 +30,22 @@
 //!   each chunk gets a deadline; a chunk that overruns is cut short and
 //!   the remainder re-chunked, so a wedged stage can never stall the
 //!   stream.
+//! - **Adaptive redundancy** ([`RedundancyPolicy`]): a windowed
+//!   fault-rate estimator ([`RedundancyManager`]) walks the bus up and
+//!   down the bare → parity → ECC protection ladder — escalating
+//!   immediately when faults cluster, de-escalating only after a long
+//!   clean run — and the runtime rebuilds the codec pair at the new tier
+//!   from reset, so every tier switch doubles as a resync. The estimator
+//!   counts the flips the ECC tier corrected silently (via
+//!   [`Decoder::corrected_count`][buscode_core::Decoder::corrected_count])
+//!   as faults, so a fully-corrected noisy bus never reads as clean.
+//!   `buscode-power`'s `ecc_cost` prices each rung in milliwatts.
 //! - **Checkpoint/restore** ([`Pipeline::checkpoint`],
 //!   [`Pipeline::from_checkpoint`]): the full runtime state — both codec
-//!   snapshots, the degradation machine, and the statistics — serializes
-//!   to a text [`Checkpoint`], enabling crash recovery and mid-stream
-//!   migration.
+//!   snapshots, the degradation machine, the redundancy manager, and the
+//!   statistics — serializes to a text [`Checkpoint`] whose integrity is
+//!   sealed by a CRC-32 footer, enabling crash recovery and mid-stream
+//!   migration with corruption and truncation detected at parse time.
 //!
 //! The `pipeline` binary drives all of it from the command line; its
 //! `--soak` mode replays a seeded fault campaign (via `buscode-fault`'s
@@ -66,12 +77,16 @@
 mod checkpoint;
 mod clock;
 mod policy;
+mod redundancy;
 mod runtime;
 pub mod soak;
 
 pub use checkpoint::Checkpoint;
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use policy::{DegradePolicy, DegradeSnapshot, Mode, RecoveryPolicy};
+pub use redundancy::{
+    RedundancyManager, RedundancyPolicy, RedundancySnapshot, RedundancyTier, TierShift,
+};
 pub use runtime::{
     clean_channel, Channel, ChunkReport, Pipeline, PipelineConfig, PipelineError, PipelineStats,
 };

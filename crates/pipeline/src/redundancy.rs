@@ -1,0 +1,388 @@
+//! Adaptive redundancy: an online fault-rate estimator that walks the
+//! bare → parity → ECC protection ladder.
+//!
+//! The [`RedundancyManager`] watches the per-word fault signal the
+//! supervisor feeds it — decode errors *and* the flips the ECC layer
+//! corrected silently (observable only through
+//! [`Decoder::corrected_count`][buscode_core::Decoder::corrected_count])
+//! — and decides which [`RedundancyTier`] the bus should run at:
+//!
+//! - **escalation** is immediate: when the faults observed inside one
+//!   sliding window reach the threshold, the manager steps up one tier
+//!   (bare → parity → ECC) and restarts the window;
+//! - **de-escalation** is hysteretic: only after a full run of
+//!   consecutive fault-free words does the manager step back down one
+//!   tier, so a noisy bus does not flap between tiers.
+//!
+//! The runtime applies a tier shift by rebuilding both codec halves at
+//! the new tier from reset — a tier switch doubles as a resync, so the
+//! ladder can be walked mid-stream without any handshake beyond the words
+//! themselves. `buscode-power`'s `ecc_cost` prices what each rung costs
+//! in milliwatts.
+
+/// The protection level the adaptive runtime drives the bus at.
+///
+/// Ordered by redundancy, so `tier as usize` indexes the ladder and
+/// comparisons express "at least this protected".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RedundancyTier {
+    /// The configured code alone — no detection, no correction.
+    Bare,
+    /// Aux-parity detection plus periodic refresh
+    /// ([`Hardened`][buscode_core::codes::Hardened]).
+    Parity,
+    /// SEC-DED in-flight correction plus overall parity
+    /// ([`EccHardened`][buscode_core::codes::EccHardened]).
+    Ecc,
+}
+
+impl RedundancyTier {
+    /// Every tier, bottom of the ladder first.
+    pub fn all() -> &'static [RedundancyTier] {
+        &[
+            RedundancyTier::Bare,
+            RedundancyTier::Parity,
+            RedundancyTier::Ecc,
+        ]
+    }
+
+    /// A short stable identifier for reports and checkpoints.
+    pub fn name(self) -> &'static str {
+        match self {
+            RedundancyTier::Bare => "bare",
+            RedundancyTier::Parity => "parity",
+            RedundancyTier::Ecc => "ecc",
+        }
+    }
+
+    /// Parses a [`RedundancyTier::name`] back into the tier.
+    pub fn from_name(name: &str) -> Option<RedundancyTier> {
+        RedundancyTier::all()
+            .iter()
+            .copied()
+            .find(|t| t.name() == name)
+    }
+
+    /// The next tier up, or `None` at the top of the ladder.
+    pub fn up(self) -> Option<RedundancyTier> {
+        match self {
+            RedundancyTier::Bare => Some(RedundancyTier::Parity),
+            RedundancyTier::Parity => Some(RedundancyTier::Ecc),
+            RedundancyTier::Ecc => None,
+        }
+    }
+
+    /// The next tier down, or `None` at the bottom of the ladder.
+    pub fn down(self) -> Option<RedundancyTier> {
+        match self {
+            RedundancyTier::Bare => None,
+            RedundancyTier::Parity => Some(RedundancyTier::Bare),
+            RedundancyTier::Ecc => Some(RedundancyTier::Parity),
+        }
+    }
+}
+
+impl core::fmt::Display for RedundancyTier {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// When to escalate the redundancy tier, and when to step back down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RedundancyPolicy {
+    /// Master switch: `false` pins the tier the pipeline was configured
+    /// with (`--redundancy fixed`).
+    pub enabled: bool,
+    /// Length of the fault-rate observation window, in words.
+    pub window: u64,
+    /// Faults observed within one window that trigger a one-tier
+    /// escalation.
+    pub escalate_faults: u32,
+    /// Consecutive fault-free words required before de-escalating one
+    /// tier (the hysteresis).
+    pub stable_window: u64,
+    /// The tier the manager starts at.
+    pub start: RedundancyTier,
+    /// The tier de-escalation never goes below.
+    pub floor: RedundancyTier,
+}
+
+impl Default for RedundancyPolicy {
+    fn default() -> Self {
+        RedundancyPolicy {
+            enabled: false,
+            window: 256,
+            escalate_faults: 4,
+            stable_window: 1024,
+            start: RedundancyTier::Bare,
+            floor: RedundancyTier::Bare,
+        }
+    }
+}
+
+impl RedundancyPolicy {
+    /// The adaptive preset: starts bare, escalates within a 256-word
+    /// window, de-escalates after 1024 clean words, full ladder.
+    pub fn adaptive() -> Self {
+        RedundancyPolicy {
+            enabled: true,
+            ..RedundancyPolicy::default()
+        }
+    }
+}
+
+/// A tier change the runtime must apply (rebuild both codec halves at
+/// [`RedundancyManager::tier`], from reset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TierShift {
+    /// One tier up the ladder.
+    Escalate,
+    /// One tier down the ladder.
+    Deescalate,
+}
+
+/// The mutable registers of the redundancy manager, exposed so
+/// checkpoints can carry them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RedundancySnapshot {
+    /// Current tier.
+    pub tier: RedundancyTier,
+    /// Word index where the current observation window started.
+    pub window_start: u64,
+    /// Faults observed in the current window.
+    pub window_faults: u32,
+    /// Consecutive fault-free words observed above the floor tier.
+    pub clean_run: u64,
+}
+
+/// The windowed fault-rate estimator driving the tier ladder.
+#[derive(Clone, Copy, Debug)]
+pub struct RedundancyManager {
+    policy: RedundancyPolicy,
+    tier: RedundancyTier,
+    window_start: u64,
+    window_faults: u32,
+    clean_run: u64,
+}
+
+impl RedundancyManager {
+    /// Builds a manager at the policy's start tier.
+    pub fn new(policy: RedundancyPolicy) -> Self {
+        RedundancyManager {
+            policy,
+            tier: policy.start,
+            window_start: 0,
+            window_faults: 0,
+            clean_run: 0,
+        }
+    }
+
+    /// The tier the bus should currently run at.
+    pub fn tier(&self) -> RedundancyTier {
+        self.tier
+    }
+
+    /// Captures the mutable registers.
+    pub fn snapshot(&self) -> RedundancySnapshot {
+        RedundancySnapshot {
+            tier: self.tier,
+            window_start: self.window_start,
+            window_faults: self.window_faults,
+            clean_run: self.clean_run,
+        }
+    }
+
+    /// Restores the mutable registers.
+    pub fn restore(&mut self, snap: RedundancySnapshot) {
+        self.tier = snap.tier;
+        self.window_start = snap.window_start;
+        self.window_faults = snap.window_faults;
+        self.clean_run = snap.clean_run;
+    }
+
+    /// Observes one word; returns a shift the runtime must apply.
+    ///
+    /// `had_fault` must include faults the current tier absorbed
+    /// silently — in particular ECC in-flight corrections — or the
+    /// estimator would read a fully-corrected noisy bus as clean and
+    /// de-escalate straight back into the noise.
+    pub fn on_word(&mut self, word_index: u64, had_fault: bool) -> Option<TierShift> {
+        if !self.policy.enabled {
+            return None;
+        }
+        if word_index.saturating_sub(self.window_start) >= self.policy.window {
+            self.window_start = word_index;
+            self.window_faults = 0;
+        }
+        if had_fault {
+            self.clean_run = 0;
+            self.window_faults += 1;
+            if self.window_faults >= self.policy.escalate_faults {
+                if let Some(up) = self.tier.up() {
+                    self.tier = up;
+                    self.window_start = word_index;
+                    self.window_faults = 0;
+                    return Some(TierShift::Escalate);
+                }
+            }
+            return None;
+        }
+        self.clean_run += 1;
+        if self.clean_run >= self.policy.stable_window && self.tier > self.policy.floor {
+            if let Some(down) = self.tier.down() {
+                self.tier = down;
+                self.clean_run = 0;
+                self.window_start = word_index;
+                self.window_faults = 0;
+                return Some(TierShift::Deescalate);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RedundancyPolicy {
+        RedundancyPolicy {
+            enabled: true,
+            window: 16,
+            escalate_faults: 3,
+            stable_window: 8,
+            start: RedundancyTier::Bare,
+            floor: RedundancyTier::Bare,
+        }
+    }
+
+    #[test]
+    fn the_ladder_is_ordered_and_walkable() {
+        assert!(RedundancyTier::Bare < RedundancyTier::Parity);
+        assert!(RedundancyTier::Parity < RedundancyTier::Ecc);
+        assert_eq!(RedundancyTier::Bare.up(), Some(RedundancyTier::Parity));
+        assert_eq!(RedundancyTier::Ecc.up(), None);
+        assert_eq!(RedundancyTier::Bare.down(), None);
+        for tier in RedundancyTier::all() {
+            assert_eq!(RedundancyTier::from_name(tier.name()), Some(*tier));
+        }
+        assert_eq!(RedundancyTier::from_name("nonesuch"), None);
+    }
+
+    #[test]
+    fn escalates_at_threshold_tier_by_tier() {
+        let mut m = RedundancyManager::new(policy());
+        let mut word = 0u64;
+        for _ in 0..2 {
+            assert_eq!(m.on_word(word, true), None);
+            word += 1;
+        }
+        assert_eq!(m.on_word(word, true), Some(TierShift::Escalate));
+        assert_eq!(m.tier(), RedundancyTier::Parity);
+        word += 1;
+        // The window restarted: three more faults for the next rung.
+        for _ in 0..2 {
+            assert_eq!(m.on_word(word, true), None);
+            word += 1;
+        }
+        assert_eq!(m.on_word(word, true), Some(TierShift::Escalate));
+        assert_eq!(m.tier(), RedundancyTier::Ecc);
+        word += 1;
+        // At the top of the ladder, faults no longer shift anything.
+        for _ in 0..10 {
+            assert_eq!(m.on_word(word, true), None);
+            word += 1;
+        }
+        assert_eq!(m.tier(), RedundancyTier::Ecc);
+    }
+
+    #[test]
+    fn deescalates_only_after_the_stable_window() {
+        let mut m = RedundancyManager::new(RedundancyPolicy {
+            start: RedundancyTier::Ecc,
+            ..policy()
+        });
+        let mut word = 0u64;
+        for _ in 0..7 {
+            assert_eq!(m.on_word(word, false), None);
+            word += 1;
+        }
+        assert_eq!(m.on_word(word, false), Some(TierShift::Deescalate));
+        assert_eq!(m.tier(), RedundancyTier::Parity);
+        word += 1;
+        // A fault resets the clean run.
+        for _ in 0..7 {
+            assert_eq!(m.on_word(word, false), None);
+            word += 1;
+        }
+        assert_eq!(m.on_word(word, true), None);
+        word += 1;
+        for _ in 0..7 {
+            assert_eq!(m.on_word(word, false), None);
+            word += 1;
+        }
+        assert_eq!(m.on_word(word, false), Some(TierShift::Deescalate));
+        assert_eq!(m.tier(), RedundancyTier::Bare);
+        word += 1;
+        // At the floor, clean words keep it there.
+        for _ in 0..20 {
+            assert_eq!(m.on_word(word, false), None);
+            word += 1;
+        }
+        assert_eq!(m.tier(), RedundancyTier::Bare);
+    }
+
+    #[test]
+    fn the_floor_is_respected() {
+        let mut m = RedundancyManager::new(RedundancyPolicy {
+            start: RedundancyTier::Ecc,
+            floor: RedundancyTier::Parity,
+            ..policy()
+        });
+        for word in 0..8 {
+            m.on_word(word, false);
+        }
+        assert_eq!(m.tier(), RedundancyTier::Parity);
+        for word in 8..100 {
+            assert_eq!(m.on_word(word, false), None);
+        }
+        assert_eq!(m.tier(), RedundancyTier::Parity);
+    }
+
+    #[test]
+    fn window_roll_forgets_old_faults() {
+        let mut m = RedundancyManager::new(policy());
+        assert_eq!(m.on_word(0, true), None);
+        assert_eq!(m.on_word(1, true), None);
+        // The third fault lands in a fresh window: no escalation.
+        assert_eq!(m.on_word(20, true), None);
+        assert_eq!(m.tier(), RedundancyTier::Bare);
+    }
+
+    #[test]
+    fn disabled_manager_never_shifts() {
+        let mut m = RedundancyManager::new(RedundancyPolicy {
+            enabled: false,
+            ..policy()
+        });
+        for i in 0..100 {
+            assert_eq!(m.on_word(i, true), None);
+        }
+        assert_eq!(m.tier(), RedundancyTier::Bare);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut m = RedundancyManager::new(policy());
+        m.on_word(0, true);
+        m.on_word(1, true);
+        m.on_word(2, true);
+        let snap = m.snapshot();
+        assert_eq!(snap.tier, RedundancyTier::Parity);
+        let mut n = RedundancyManager::new(policy());
+        n.restore(snap);
+        assert_eq!(n.snapshot(), snap);
+        assert_eq!(n.tier(), RedundancyTier::Parity);
+    }
+}

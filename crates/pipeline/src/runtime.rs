@@ -7,6 +7,7 @@ use buscode_core::{
 
 use crate::clock::{Clock, SystemClock};
 use crate::policy::{DegradeMachine, DegradePolicy, Mode, RecoveryPolicy, Transition};
+use crate::redundancy::{RedundancyManager, RedundancyPolicy, RedundancyTier, TierShift};
 
 /// Errors that abort the pipeline (everything recoverable is handled by
 /// policy and reported through [`PipelineStats`] instead).
@@ -106,6 +107,15 @@ pub struct PipelineStats {
     pub degraded_words: u64,
     /// Chunks cut short by the watchdog.
     pub watchdog_fires: u64,
+    /// Single-line flips the ECC tier corrected in-flight (no retry, no
+    /// resync — observable only through this counter).
+    pub corrected_faults: u64,
+    /// Redundancy-tier escalations (one rung up the ladder each).
+    pub escalations: u64,
+    /// Redundancy-tier de-escalations (one rung down each).
+    pub deescalations: u64,
+    /// Words processed while the redundancy tier was ECC.
+    pub ecc_words: u64,
 }
 
 /// Configuration of a [`Pipeline`].
@@ -124,6 +134,9 @@ pub struct PipelineConfig {
     pub policy: RecoveryPolicy,
     /// Degradation policy.
     pub degrade: DegradePolicy,
+    /// Adaptive-redundancy policy (disabled by default: the tier is
+    /// pinned by [`PipelineConfig::refresh`]).
+    pub redundancy: RedundancyPolicy,
     /// Per-chunk watchdog deadline in microseconds (`None`: no deadline).
     pub deadline_micros: Option<u64>,
 }
@@ -139,7 +152,21 @@ impl PipelineConfig {
             chunk_words: 4096,
             policy: RecoveryPolicy::default(),
             degrade: DegradePolicy::default(),
+            redundancy: RedundancyPolicy::default(),
             deadline_micros: None,
+        }
+    }
+
+    /// The redundancy tier the pipeline starts at: the policy's start
+    /// tier when adaptive, otherwise pinned by [`PipelineConfig::refresh`]
+    /// (`None` → bare, `Some(_)` → parity).
+    pub fn initial_tier(&self) -> RedundancyTier {
+        if self.redundancy.enabled {
+            self.redundancy.start
+        } else if self.refresh.is_some() {
+            RedundancyTier::Parity
+        } else {
+            RedundancyTier::Bare
         }
     }
 }
@@ -161,6 +188,7 @@ pub struct Pipeline {
     plain_enc: Box<dyn SnapshotEncoder>,
     plain_dec: Box<dyn SnapshotDecoder>,
     degrade: DegradeMachine,
+    redundancy: RedundancyManager,
     stats: PipelineStats,
     position: u64,
     clock: Box<dyn Clock>,
@@ -168,15 +196,29 @@ pub struct Pipeline {
 
 type CodecPair = (Box<dyn SnapshotEncoder>, Box<dyn SnapshotDecoder>);
 
-fn build_pair(config: &PipelineConfig) -> Result<CodecPair, CodecError> {
-    match config.refresh {
-        Some(r) => Ok((
-            config.kind.hardened_snapshot_encoder(config.params, r)?,
-            config.kind.hardened_snapshot_decoder(config.params, r)?,
-        )),
-        None => Ok((
+/// Refresh interval used for the parity and ECC tiers when the
+/// configuration runs bare (`refresh: None`) but the adaptive manager
+/// escalates anyway.
+const DEFAULT_TIER_REFRESH: u64 = 16;
+
+fn build_tier_pair(config: &PipelineConfig, tier: RedundancyTier) -> Result<CodecPair, CodecError> {
+    let refresh = config.refresh.unwrap_or(DEFAULT_TIER_REFRESH);
+    match tier {
+        RedundancyTier::Bare => Ok((
             config.kind.snapshot_encoder(config.params)?,
             config.kind.snapshot_decoder(config.params)?,
+        )),
+        RedundancyTier::Parity => Ok((
+            config
+                .kind
+                .hardened_snapshot_encoder(config.params, refresh)?,
+            config
+                .kind
+                .hardened_snapshot_decoder(config.params, refresh)?,
+        )),
+        RedundancyTier::Ecc => Ok((
+            config.kind.ecc_snapshot_encoder(config.params, refresh)?,
+            config.kind.ecc_snapshot_decoder(config.params, refresh)?,
         )),
     }
 }
@@ -203,10 +245,17 @@ impl Pipeline {
         config: PipelineConfig,
         clock: Box<dyn Clock>,
     ) -> Result<Self, PipelineError> {
-        let (enc, dec) = build_pair(&config)?;
+        let tier = config.initial_tier();
+        let (enc, dec) = build_tier_pair(&config, tier)?;
         let plain = CodeParams {
             width: config.params.width,
             stride: config.params.stride,
+        };
+        // Seed the manager at the effective tier so fixed-mode pipelines
+        // report the tier they actually run at.
+        let policy = RedundancyPolicy {
+            start: tier,
+            ..config.redundancy
         };
         Ok(Pipeline {
             enc,
@@ -214,6 +263,7 @@ impl Pipeline {
             plain_enc: CodeKind::Binary.snapshot_encoder(plain)?,
             plain_dec: CodeKind::Binary.snapshot_decoder(plain)?,
             degrade: DegradeMachine::new(config.degrade),
+            redundancy: RedundancyManager::new(policy),
             stats: PipelineStats::default(),
             position: 0,
             clock,
@@ -239,6 +289,11 @@ impl Pipeline {
     /// Whether the runtime is currently demoted to plain binary.
     pub fn mode(&self) -> Mode {
         self.degrade.mode()
+    }
+
+    /// The redundancy tier the primary codec pair currently runs at.
+    pub fn tier(&self) -> RedundancyTier {
+        self.redundancy.tier()
     }
 
     fn active_halves(&mut self) -> (&mut Box<dyn SnapshotEncoder>, &mut Box<dyn SnapshotDecoder>) {
@@ -268,6 +323,9 @@ impl Pipeline {
         let position = self.position;
         let recovery = self.config.policy;
         let mut had_error = false;
+        // In-flight ECC corrections are invisible to the decode result;
+        // the counter delta is the only trace they leave.
+        let corrected_before = self.dec.corrected_count();
 
         let (enc, dec) = self.active_halves();
         let wire_word = enc.encode(access);
@@ -369,6 +427,8 @@ impl Pipeline {
             }
         };
 
+        let corrected_delta = self.dec.corrected_count().saturating_sub(corrected_before);
+        self.stats.corrected_faults += corrected_delta;
         self.stats.words += 1;
         if had_error {
             self.stats.faulted_words += 1;
@@ -377,6 +437,9 @@ impl Pipeline {
         }
         if self.degrade.mode() == Mode::Degraded {
             self.stats.degraded_words += 1;
+        }
+        if self.redundancy.tier() == RedundancyTier::Ecc {
+            self.stats.ecc_words += 1;
         }
         match self.degrade.on_word(position, had_error) {
             Some(Transition::Demote) => {
@@ -393,6 +456,28 @@ impl Pipeline {
                 self.dec.reset();
             }
             None => {}
+        }
+        // The redundancy estimator must see the faults the current tier
+        // absorbed silently, or a fully-correcting ECC rung would look
+        // clean and flap straight back into the noise.
+        let had_fault = had_error || corrected_delta > 0;
+        if let Some(shift) = self.redundancy.on_word(position, had_fault) {
+            match shift {
+                TierShift::Escalate => self.stats.escalations += 1,
+                TierShift::Deescalate => self.stats.deescalations += 1,
+            }
+            // Rebuild both primary halves at the new tier from reset:
+            // the freshly reset encoder's next word is self-contained,
+            // so the tier switch doubles as a resync.
+            let (enc, dec) =
+                build_tier_pair(&self.config, self.redundancy.tier()).map_err(|error| {
+                    PipelineError::Fatal {
+                        word: position,
+                        error,
+                    }
+                })?;
+            self.enc = enc;
+            self.dec = dec;
         }
         self.position += 1;
         Ok(decoded)
@@ -478,7 +563,8 @@ impl Pipeline {
     }
 
     /// Captures the full runtime state — both primary codec snapshots,
-    /// the degradation machine, the statistics, and the stream position.
+    /// the degradation machine, the redundancy manager, the statistics,
+    /// and the stream position.
     pub fn checkpoint(&self) -> crate::Checkpoint {
         crate::Checkpoint {
             code: self.config.kind,
@@ -488,6 +574,7 @@ impl Pipeline {
             encoder: self.enc.snapshot(),
             decoder: self.dec.snapshot(),
             degrade: self.degrade.snapshot(),
+            redundancy: self.redundancy.snapshot(),
             stats: self.stats,
         }
     }
@@ -531,6 +618,25 @@ impl Pipeline {
             });
         }
         let mut pipe = Self::with_clock(config, clock)?;
+        if checkpoint.redundancy.tier != pipe.redundancy.tier() {
+            if !config.redundancy.enabled {
+                return Err(PipelineError::Checkpoint {
+                    reason: format!(
+                        "checkpoint was taken at redundancy tier '{}' but the pipeline runs a fixed '{}' tier",
+                        checkpoint.redundancy.tier,
+                        pipe.redundancy.tier()
+                    ),
+                });
+            }
+            // An adaptive run may checkpoint anywhere on the ladder:
+            // rebuild the primary pair at the checkpointed tier before
+            // restoring the state images into it.
+            let (enc, dec) = build_tier_pair(&config, checkpoint.redundancy.tier)
+                .map_err(PipelineError::Config)?;
+            pipe.enc = enc;
+            pipe.dec = dec;
+        }
+        pipe.redundancy.restore(checkpoint.redundancy);
         pipe.enc
             .restore(&checkpoint.encoder)
             .map_err(|e| PipelineError::Checkpoint {
@@ -721,6 +827,155 @@ mod tests {
         assert!(stats.degraded_words > 0);
         assert_eq!(stats.unrecovered, 0, "{stats:?}");
         assert_eq!(pipe.mode(), Mode::Normal);
+    }
+
+    #[test]
+    fn adaptive_redundancy_walks_up_and_back_down() {
+        let mut config = PipelineConfig::new(CodeKind::T0, CodeParams::default());
+        config.degrade.enabled = false;
+        config.redundancy = RedundancyPolicy {
+            enabled: true,
+            window: 64,
+            escalate_faults: 4,
+            stable_window: 256,
+            start: RedundancyTier::Bare,
+            floor: RedundancyTier::Bare,
+        };
+        let mut pipe = Pipeline::new(config).unwrap();
+        assert_eq!(pipe.tier(), RedundancyTier::Bare);
+        let geometry = BusGeometry::new(32, 0);
+        let mut rng = Rng64::seed_from_u64(11);
+        let mut channel = move |i: u64, mut w: BusState| {
+            // A noisy stretch between words 100 and 400, payload lines
+            // only so every tier sees the same fault surface.
+            if (100..400).contains(&i) && rng.gen_bool(0.3) {
+                let line = rng.gen_range(0..32u32);
+                flip_line(&mut w, geometry, line);
+            }
+            w
+        };
+        let stats = pipe.run(stream(2000), &mut channel).unwrap();
+        assert!(stats.escalations >= 2, "{stats:?}");
+        assert!(stats.deescalations >= 1, "{stats:?}");
+        assert!(stats.corrected_faults > 0, "{stats:?}");
+        assert!(stats.ecc_words > 0, "{stats:?}");
+        assert_eq!(stats.unrecovered, 0, "{stats:?}");
+        assert_eq!(pipe.tier(), RedundancyTier::Bare, "{stats:?}");
+    }
+
+    #[test]
+    fn fixed_mode_pins_the_tier() {
+        let mut config = PipelineConfig::new(CodeKind::Gray, CodeParams::default());
+        config.refresh = Some(8);
+        assert_eq!(config.initial_tier(), RedundancyTier::Parity);
+        let pipe = Pipeline::new(config).unwrap();
+        assert_eq!(pipe.tier(), RedundancyTier::Parity);
+        config.refresh = None;
+        let mut pipe = Pipeline::new(config).unwrap();
+        assert_eq!(pipe.tier(), RedundancyTier::Bare);
+        // Faults never move a fixed-mode pipeline off its tier.
+        let geometry = BusGeometry::new(32, 0);
+        let mut channel = move |i: u64, mut w: BusState| {
+            if i.is_multiple_of(3) {
+                flip_line(&mut w, geometry, 2);
+            }
+            w
+        };
+        let stats = pipe.run(stream(500), &mut channel).unwrap();
+        assert_eq!(stats.escalations, 0);
+        assert_eq!(stats.ecc_words, 0);
+        assert_eq!(pipe.tier(), RedundancyTier::Bare);
+    }
+
+    #[test]
+    fn silent_corrections_hold_the_ecc_tier() {
+        // Every word arrives with one flipped line; ECC corrects them all
+        // in-flight, so no decode ever errors — yet the estimator must
+        // not read the stream as clean and de-escalate into the noise.
+        let mut config = PipelineConfig::new(CodeKind::T0, CodeParams::default());
+        config.degrade.enabled = false;
+        config.redundancy = RedundancyPolicy {
+            enabled: true,
+            window: 32,
+            escalate_faults: 4,
+            stable_window: 16,
+            start: RedundancyTier::Ecc,
+            floor: RedundancyTier::Bare,
+        };
+        let mut pipe = Pipeline::new(config).unwrap();
+        let geometry = BusGeometry::new(32, 0);
+        let mut channel = move |_: u64, mut w: BusState| {
+            flip_line(&mut w, geometry, 5);
+            w
+        };
+        let stats = pipe.run(stream(200), &mut channel).unwrap();
+        assert_eq!(stats.corrected_faults, 200, "{stats:?}");
+        assert_eq!(stats.clean_words, 200, "{stats:?}");
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.deescalations, 0, "{stats:?}");
+        assert_eq!(pipe.tier(), RedundancyTier::Ecc);
+    }
+
+    #[test]
+    fn checkpoint_restores_an_escalated_tier() {
+        let mut config = PipelineConfig::new(CodeKind::T0, CodeParams::default());
+        config.degrade.enabled = false;
+        config.redundancy = RedundancyPolicy {
+            enabled: true,
+            window: 64,
+            escalate_faults: 2,
+            stable_window: u64::MAX,
+            start: RedundancyTier::Bare,
+            floor: RedundancyTier::Bare,
+        };
+        let mut pipe = Pipeline::new(config).unwrap();
+        let geometry = BusGeometry::new(32, 0);
+        let mut channel = move |i: u64, mut w: BusState| {
+            if i < 8 {
+                flip_line(&mut w, geometry, (i % 32) as u32);
+            }
+            w
+        };
+        let accesses: Vec<Access> = stream(300).collect();
+        for &a in &accesses[..150] {
+            pipe.process(a, &mut channel).unwrap();
+        }
+        assert_eq!(pipe.tier(), RedundancyTier::Ecc);
+        let checkpoint = pipe.checkpoint();
+        let mut resumed = Pipeline::from_checkpoint(config, &checkpoint).unwrap();
+        assert_eq!(resumed.tier(), RedundancyTier::Ecc);
+        for &a in &accesses[150..] {
+            let x = pipe.process(a, &mut clean_channel()).unwrap();
+            let y = resumed.process(a, &mut clean_channel()).unwrap();
+            assert_eq!(x, y);
+        }
+        assert_eq!(pipe.stats(), resumed.stats());
+        assert_eq!(pipe.checkpoint().encoder, resumed.checkpoint().encoder);
+    }
+
+    #[test]
+    fn fixed_mode_rejects_a_checkpoint_from_another_tier() {
+        let mut adaptive = PipelineConfig::new(CodeKind::T0, CodeParams::default());
+        adaptive.degrade.enabled = false;
+        adaptive.redundancy = RedundancyPolicy {
+            enabled: true,
+            window: 64,
+            escalate_faults: 2,
+            stable_window: u64::MAX,
+            start: RedundancyTier::Ecc,
+            floor: RedundancyTier::Bare,
+        };
+        let pipe = Pipeline::new(adaptive).unwrap();
+        let checkpoint = pipe.checkpoint();
+        let mut fixed = adaptive;
+        fixed.redundancy = RedundancyPolicy::default();
+        match Pipeline::from_checkpoint(fixed, &checkpoint) {
+            Err(PipelineError::Checkpoint { reason }) => {
+                assert!(reason.contains("fixed"), "{reason}");
+            }
+            Err(other) => panic!("expected a checkpoint error, got {other:?}"),
+            Ok(_) => panic!("a fixed-tier pipeline accepted a mismatched-tier checkpoint"),
+        }
     }
 
     #[test]

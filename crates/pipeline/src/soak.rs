@@ -149,7 +149,7 @@ impl Channel for SoakChannel {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct GateFailure {
     /// Short gate name (`unrecovered`, `resync-bound`, `demotion`,
-    /// `repromotion`).
+    /// `repromotion`, `escalation`, `deescalation`).
     pub gate: &'static str,
     /// Human-readable explanation.
     pub reason: String,
@@ -183,9 +183,15 @@ impl SoakReport {
 ///
 /// The gates encode the acceptance criteria of a supervised run: no word
 /// may end unrecovered, every desync must resync within the policy's
-/// bound, and the degradation machine must have demonstrably demoted and
-/// re-promoted (only checked when degradation is enabled and faults were
-/// actually injected).
+/// bound, and the burst must have demonstrably driven the adaptation
+/// machinery through a full cycle (only checked when the relevant policy
+/// is enabled and faults were actually injected). With adaptive
+/// redundancy enabled the cycle checked is the tier ladder — at least
+/// one escalation and one de-escalation — instead of the
+/// demotion/repromotion cycle: the ladder reacts to the burst first
+/// (its threshold is lower), and once the ECC tier is correcting flips
+/// in-flight the error rate the degradation machine sees may never
+/// reach its own demotion threshold.
 pub fn evaluate_gates(
     config: &PipelineConfig,
     stats: &PipelineStats,
@@ -209,17 +215,32 @@ pub fn evaluate_gates(
         });
     }
     if expect_degradation_cycle {
-        if stats.demotions == 0 {
-            failures.push(GateFailure {
-                gate: "demotion",
-                reason: "the fault burst never demoted the code".to_string(),
-            });
-        }
-        if stats.repromotions == 0 {
-            failures.push(GateFailure {
-                gate: "repromotion",
-                reason: "the code was never re-promoted after the burst".to_string(),
-            });
+        if config.redundancy.enabled {
+            if stats.escalations == 0 {
+                failures.push(GateFailure {
+                    gate: "escalation",
+                    reason: "the fault burst never escalated the redundancy tier".to_string(),
+                });
+            }
+            if stats.deescalations == 0 {
+                failures.push(GateFailure {
+                    gate: "deescalation",
+                    reason: "the tier was never stepped back down after the burst".to_string(),
+                });
+            }
+        } else {
+            if stats.demotions == 0 {
+                failures.push(GateFailure {
+                    gate: "demotion",
+                    reason: "the fault burst never demoted the code".to_string(),
+                });
+            }
+            if stats.repromotions == 0 {
+                failures.push(GateFailure {
+                    gate: "repromotion",
+                    reason: "the code was never re-promoted after the burst".to_string(),
+                });
+            }
         }
     }
     failures
@@ -241,7 +262,8 @@ pub fn run_soak(config: PipelineConfig, soak: SoakConfig) -> Result<SoakReport, 
         soak.seed,
     );
     let stats = pipe.run(accesses, &mut channel)?;
-    let expect_cycle = config.degrade.enabled && soak.burst_words > 0 && config.policy.enabled;
+    let adapting = config.degrade.enabled || config.redundancy.enabled;
+    let expect_cycle = adapting && soak.burst_words > 0 && config.policy.enabled;
     let failures = evaluate_gates(&config, &stats, expect_cycle);
     Ok(SoakReport {
         soak,
@@ -282,6 +304,19 @@ mod tests {
         assert!(!report.passed());
         assert!(report.stats.unrecovered > 0);
         assert!(report.failures.iter().any(|f| f.gate == "unrecovered"));
+    }
+
+    #[test]
+    fn adaptive_soak_walks_the_redundancy_ladder() {
+        let mut config = PipelineConfig::new(CodeKind::T0, CodeParams::default());
+        config.redundancy = crate::RedundancyPolicy::adaptive();
+        let report = run_soak(config, SoakConfig::new(42, 100_000)).unwrap();
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert!(report.stats.escalations >= 1, "{:?}", report.stats);
+        assert!(report.stats.deescalations >= 1, "{:?}", report.stats);
+        assert!(report.stats.corrected_faults > 0, "{:?}", report.stats);
+        assert!(report.stats.ecc_words > 0, "{:?}", report.stats);
+        assert_eq!(report.stats.unrecovered, 0);
     }
 
     #[test]

@@ -43,6 +43,6 @@ pub use codec_power::{
 pub use pads::PadModel;
 pub use soc::{evaluate_soc, LevelEstimate, SocConfig, SocReport};
 pub use system::{
-    bus_power, degradation_cost, hardened_bus_power, hardening_cost, rank_codes, BusPowerEstimate,
-    DegradationCost, HardeningCost,
+    bus_power, degradation_cost, ecc_bus_power, ecc_cost, hardened_bus_power, hardening_cost,
+    rank_codes, BusPowerEstimate, DegradationCost, EccCost, HardeningCost,
 };

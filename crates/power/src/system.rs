@@ -149,6 +149,108 @@ pub fn hardening_cost(
     })
 }
 
+/// Estimates the bus power of `code` under the
+/// [`EccHardened`][buscode_core::codes::EccHardened] wrapper: the counted
+/// lines include the inner code's aux lines, the SEC-DED check lines, the
+/// overall parity line, and the refresh cycles' forced plain words.
+///
+/// # Errors
+///
+/// Propagates construction errors from the code's encoder factory and the
+/// wrapper (`refresh == 0`).
+pub fn ecc_bus_power(
+    code: CodeKind,
+    params: CodeParams,
+    refresh: u64,
+    stream: &[Access],
+    line_cap_pf: f64,
+    tech: Technology,
+) -> Result<BusPowerEstimate, CodecError> {
+    let mut encoder = code.ecc_encoder(params, refresh)?;
+    let stats = count_transitions(&mut encoder, stream.iter().copied());
+    let line_cap = line_cap_pf * 1e-12;
+    let switched_cap_per_cycle = stats.per_cycle() * line_cap;
+    let bus_w = 0.5 * tech.vdd * tech.vdd * tech.frequency * switched_cap_per_cycle;
+    Ok(BusPowerEstimate {
+        code,
+        stats,
+        switched_cap_per_cycle,
+        bus_mw: milliwatts(bus_w),
+    })
+}
+
+/// The full redundancy ladder priced on one stream: the same code bare,
+/// under parity detection ([`Hardened`][buscode_core::codes::Hardened]),
+/// and under SEC-DED correction
+/// ([`EccHardened`][buscode_core::codes::EccHardened]). This is the table
+/// the adaptive redundancy manager consults when deciding what a tier
+/// escalation costs in milliwatts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EccCost {
+    /// The code.
+    pub code: CodeKind,
+    /// The refresh interval both hardened estimates used.
+    pub refresh: u64,
+    /// Bus power of the bare codec, milliwatts.
+    pub bare_mw: f64,
+    /// Bus power under parity detection, milliwatts.
+    pub parity_mw: f64,
+    /// Bus power under SEC-DED correction, milliwatts.
+    pub ecc_mw: f64,
+}
+
+impl EccCost {
+    /// Power overhead of parity detection, in percent of the bare power.
+    pub fn parity_overhead_percent(&self) -> f64 {
+        if self.bare_mw == 0.0 {
+            0.0
+        } else {
+            100.0 * (self.parity_mw - self.bare_mw) / self.bare_mw
+        }
+    }
+
+    /// Power overhead of SEC-DED correction, in percent of the bare power.
+    pub fn ecc_overhead_percent(&self) -> f64 {
+        if self.bare_mw == 0.0 {
+            0.0
+        } else {
+            100.0 * (self.ecc_mw - self.bare_mw) / self.bare_mw
+        }
+    }
+
+    /// What stepping up from parity to ECC costs, milliwatts.
+    pub fn escalation_mw(&self) -> f64 {
+        self.ecc_mw - self.parity_mw
+    }
+}
+
+/// Prices the bare/parity/ECC redundancy ladder for one code on one
+/// stream.
+///
+/// # Errors
+///
+/// Propagates [`bus_power`], [`hardened_bus_power`], and
+/// [`ecc_bus_power`] errors.
+pub fn ecc_cost(
+    code: CodeKind,
+    params: CodeParams,
+    refresh: u64,
+    stream: &[Access],
+    line_cap_pf: f64,
+    tech: Technology,
+) -> Result<EccCost, CodecError> {
+    let bare = bus_power(code, params, stream, line_cap_pf, tech)?;
+    let parity = hardened_bus_power(code, params, refresh, stream, line_cap_pf, tech)?;
+    let ecc = ecc_bus_power(code, params, refresh, stream, line_cap_pf, tech)?;
+    Ok(EccCost {
+        code,
+        refresh,
+        bare_mw: bare.bus_mw,
+        parity_mw: parity.bus_mw,
+        ecc_mw: ecc.bus_mw,
+    })
+}
+
 /// What running demoted costs: the power savings of the configured code
 /// that a degraded streaming pipeline forfeits while it drives plain
 /// binary instead.
@@ -290,6 +392,23 @@ mod tests {
         // …and refreshing less often costs less.
         assert!(loose.hardened_mw < tight.hardened_mw);
         assert_eq!(tight.bare_mw, loose.bare_mw);
+    }
+
+    #[test]
+    fn the_redundancy_ladder_prices_monotonically() {
+        let stream = InstructionModel::new(0.63).generate(8_000, 11);
+        let params = CodeParams::default();
+        let tech = Technology::date98();
+        let ladder = ecc_cost(CodeKind::T0, params, 32, &stream, 50.0, tech).unwrap();
+        // More redundant lines always switch more: bare < parity < ecc.
+        assert!(ladder.parity_mw > ladder.bare_mw, "{ladder:?}");
+        assert!(ladder.ecc_mw > ladder.parity_mw, "{ladder:?}");
+        assert!(ladder.ecc_overhead_percent() > ladder.parity_overhead_percent());
+        assert!(ladder.escalation_mw() > 0.0);
+        // The bare and parity legs agree with the existing estimators.
+        let parity = hardening_cost(CodeKind::T0, params, 32, &stream, 50.0, tech).unwrap();
+        assert_eq!(ladder.bare_mw, parity.bare_mw);
+        assert_eq!(ladder.parity_mw, parity.hardened_mw);
     }
 
     #[test]
