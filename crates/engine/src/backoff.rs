@@ -1,0 +1,154 @@
+//! Capped exponential backoff, shared by every retry loop in the
+//! workspace.
+//!
+//! Two retry surfaces grew the same arithmetic independently: the
+//! pipeline supervisor's retransmission loop
+//! (`buscode-pipeline::RecoveryPolicy`) and the link layer's ARQ timers
+//! (`buscode-link`). Both charge `base << attempt` cycles per retry,
+//! saturating at a cap. [`Backoff`] is that arithmetic extracted once:
+//! deterministic (no jitter — a seeded campaign must replay bit for bit),
+//! overflow-safe (attempt counts past 63 saturate instead of wrapping),
+//! and cheap enough to construct per call site.
+//!
+//! # Examples
+//!
+//! ```
+//! use buscode_engine::Backoff;
+//!
+//! let b = Backoff::new(2, 16);
+//! assert_eq!(b.delay(0), 2);
+//! assert_eq!(b.delay(1), 4);
+//! assert_eq!(b.delay(3), 16);
+//! assert_eq!(b.delay(1000), 16); // capped forever after
+//! assert_eq!(b.total(4), 2 + 4 + 8 + 16);
+//! ```
+
+/// A deterministic capped exponential backoff schedule.
+///
+/// Attempt `n` (zero-based) is charged `min(base << n, cap)` cycles.
+/// There is no jitter by design: every retry schedule in the workspace
+/// must be a pure function of its inputs so sharded and serial campaign
+/// runs stay byte-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Backoff {
+    base: u64,
+    cap: u64,
+}
+
+impl Backoff {
+    /// Creates a schedule charging `base` cycles for the first retry,
+    /// doubling per attempt, saturating at `cap`.
+    #[must_use]
+    pub const fn new(base: u64, cap: u64) -> Self {
+        Backoff { base, cap }
+    }
+
+    /// The first-retry charge, in cycles.
+    #[must_use]
+    pub const fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The per-retry saturation cap, in cycles.
+    #[must_use]
+    pub const fn cap(&self) -> u64 {
+        self.cap
+    }
+
+    /// The backoff charged for retry number `attempt` (zero-based), in
+    /// cycles: `min(base << attempt, cap)`, saturating on shift overflow.
+    #[must_use]
+    pub fn delay(&self, attempt: u32) -> u64 {
+        if self.base == 0 {
+            return 0;
+        }
+        // `checked_shl` only rejects shifts >= 64; a smaller shift can
+        // still push every set bit off the top. The shift overflows
+        // exactly when `attempt` exceeds the base's leading zeros.
+        if attempt > self.base.leading_zeros() {
+            self.cap
+        } else {
+            (self.base << attempt).min(self.cap)
+        }
+    }
+
+    /// Total cycles charged across retries `0..attempts`, saturating.
+    #[must_use]
+    pub fn total(&self, attempts: u32) -> u64 {
+        (0..attempts).fold(0u64, |sum, a| sum.saturating_add(self.delay(a)))
+    }
+}
+
+impl Default for Backoff {
+    /// The pipeline supervisor's historical schedule: base 1, cap 64.
+    fn default() -> Self {
+        Backoff::new(1, 64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_until_the_cap() {
+        let b = Backoff::new(1, 64);
+        let delays: Vec<u64> = (0..8).map(|a| b.delay(a)).collect();
+        assert_eq!(delays, [1, 2, 4, 8, 16, 32, 64, 64]);
+    }
+
+    #[test]
+    fn base_zero_never_charges() {
+        let b = Backoff::new(0, 64);
+        for attempt in 0..100 {
+            assert_eq!(b.delay(attempt), 0);
+        }
+        assert_eq!(b.total(100), 0);
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate_at_the_cap() {
+        let b = Backoff::new(3, 1000);
+        // A shift past 63 bits must saturate, not wrap or panic.
+        assert_eq!(b.delay(63), 1000);
+        assert_eq!(b.delay(64), 1000);
+        assert_eq!(b.delay(u32::MAX), 1000);
+        // A shift that pushes every set bit off the top (4 << 62 wraps
+        // to zero in plain u64 arithmetic) must also hit the cap, never
+        // drop back to a free retry.
+        let wide = Backoff::new(4, 1000);
+        assert_eq!(wide.delay(61), 1000);
+        assert_eq!(wide.delay(62), 1000);
+        assert_eq!(wide.delay(63), 1000);
+    }
+
+    #[test]
+    fn is_jitter_free_and_deterministic() {
+        // The same schedule queried twice (or from a copy) is identical:
+        // no hidden state, no randomness.
+        let a = Backoff::new(2, 32);
+        let b = a;
+        for attempt in 0..64 {
+            assert_eq!(a.delay(attempt), b.delay(attempt));
+            assert_eq!(a.delay(attempt), Backoff::new(2, 32).delay(attempt));
+        }
+    }
+
+    #[test]
+    fn total_sums_the_schedule() {
+        let b = Backoff::new(1, 8);
+        assert_eq!(b.total(0), 0);
+        assert_eq!(b.total(1), 1);
+        assert_eq!(b.total(5), 1 + 2 + 4 + 8 + 8);
+    }
+
+    #[test]
+    fn default_matches_the_recovery_policy_schedule() {
+        let b = Backoff::default();
+        assert_eq!(b.base(), 1);
+        assert_eq!(b.cap(), 64);
+        assert_eq!(b.delay(0), 1);
+        assert_eq!(b.delay(6), 64);
+        assert_eq!(b.delay(7), 64);
+    }
+}

@@ -16,16 +16,21 @@
 //!   `asmrun`, `engine_bench`): common `--format`/`--seed`/`--jobs`/
 //!   `--quiet` flags, one JSON envelope, one exit-code convention;
 //! - [`throughput`] — the words/sec harness behind `BENCH_engine.json`,
-//!   measuring the block-API kernels against the per-word seed path.
+//!   measuring the block-API kernels against the per-word seed path;
+//! - [`backoff`] — the deterministic capped-exponential [`Backoff`]
+//!   schedule shared by the pipeline supervisor's retry loop and the
+//!   link layer's ARQ timers.
 
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod cli;
 pub mod sweep;
 pub mod throughput;
 
+pub use backoff::Backoff;
 pub use cli::{CommonArgs, Format, Outcome, RunStatus, ToolRun};
 pub use sweep::SweepEngine;
 pub use throughput::{run_throughput, ThroughputReport};

@@ -18,12 +18,20 @@
 //! Combined with `--compare` the gate instead asserts zero silent data
 //! corruption and a correction for every injected single flip under ECC.
 //!
+//! `--model bursty-ge` switches to the Gilbert–Elliott bursty-channel
+//! campaign: instead of one drawn fault per trial, a seeded two-state
+//! channel rains state-dependent flips, erasures, and drops on every
+//! cycle, and the report compares what the bare/parity/ECC tiers deliver
+//! under sustained bursty loss. `--profile quiet|bursty|harsh` picks the
+//! weather.
+//!
 //! `--jobs N` shards campaign cells across worker threads; every cell
 //! draws from its own seed-derived RNG, so the report is byte-identical
 //! to a serial run.
 //!
 //! ```text
 //! faultrun [--trials N] [--len CYCLES] [--refresh R] [--fault MODEL]
+//!          [--model bursty-ge] [--profile NAME]
 //!          [--gate] [--smoke] [--compare]
 //!          [--format text|json] [--seed S] [--jobs N] [--quiet]
 //! ```
@@ -33,9 +41,11 @@
 use std::process::ExitCode;
 
 use buscode_engine::cli::{self, json_escape, CommonArgs, Outcome, ToolRun, COMMON_USAGE};
-use buscode_fault::campaign::{run_campaign_with, run_comparison_with, CampaignConfig};
+use buscode_fault::campaign::{
+    run_campaign_with, run_comparison_with, run_ge_campaign_with, CampaignConfig, GeCampaignConfig,
+};
 use buscode_fault::gate::{render_gate_json, render_gate_text, run_gate_campaign};
-use buscode_fault::models::FaultKind;
+use buscode_fault::models::{FaultKind, GilbertElliott};
 use buscode_fault::GateCampaignConfig;
 
 const TOOL: &str = "faultrun";
@@ -43,8 +53,10 @@ const TOOL: &str = "faultrun";
 fn usage() -> String {
     format!(
         "usage: faultrun [--trials N] [--len CYCLES] [--refresh R] [--fault MODEL] \
+         [--model bursty-ge] [--profile NAME] \
          [--gate] [--smoke] [--compare] {COMMON_USAGE}\n\
          fault models: transient-flip stuck-at-0 stuck-at-1 burst drop-cycle duplicate-cycle\n\
+         channel models: bursty-ge (profiles: quiet bursty harsh)\n\
          --compare sweeps every cell across the bare/parity/ecc hardening tiers"
     )
 }
@@ -56,6 +68,10 @@ struct Options {
     refresh: u64,
     /// Restrict to one fault model (default: all).
     fault: Option<FaultKind>,
+    /// Run the Gilbert–Elliott bursty-channel campaign instead.
+    bursty: bool,
+    /// Named channel profile for the bursty-channel campaign.
+    profile: String,
     /// Also run the gate-level campaign.
     gate: bool,
     /// Small fixed-seed campaign with the CI assertions.
@@ -70,6 +86,8 @@ fn parse_tool_args(args: &[String]) -> Result<Options, String> {
         stream_len: 500,
         refresh: 32,
         fault: None,
+        bursty: false,
+        profile: "bursty".to_string(),
         gate: false,
         smoke: false,
         compare: false,
@@ -100,6 +118,25 @@ fn parse_tool_args(args: &[String]) -> Result<Options, String> {
                 let value = it.next().ok_or("--fault needs a value")?;
                 opts.fault = Some(parse_fault(value)?);
             }
+            "--model" => {
+                let value = it.next().ok_or("--model needs a value")?;
+                if value != "bursty-ge" {
+                    return Err(format!(
+                        "unknown channel model '{value}' (available: bursty-ge)"
+                    ));
+                }
+                opts.bursty = true;
+            }
+            "--profile" => {
+                let value = it.next().ok_or("--profile needs a value")?;
+                if GilbertElliott::named(value).is_none() {
+                    return Err(format!(
+                        "unknown channel profile '{value}' (available: {})",
+                        GilbertElliott::profile_names().join(" ")
+                    ));
+                }
+                opts.profile = value.clone();
+            }
             "--gate" => opts.gate = true,
             "--smoke" => opts.smoke = true,
             "--compare" => opts.compare = true,
@@ -108,6 +145,13 @@ fn parse_tool_args(args: &[String]) -> Result<Options, String> {
     }
     if opts.compare && opts.gate {
         return Err("--compare and --gate cannot be combined".to_string());
+    }
+    if opts.bursty && (opts.compare || opts.gate || opts.smoke || opts.fault.is_some()) {
+        return Err(
+            "--model bursty-ge cannot be combined with --compare/--gate/--smoke/--fault \
+             (the link-layer smoke gate lives in linkrun)"
+                .to_string(),
+        );
     }
     Ok(opts)
 }
@@ -137,6 +181,33 @@ fn main() -> ExitCode {
     let run = ToolRun::new(TOOL, env!("CARGO_PKG_VERSION"), common);
     let engine = common.engine();
     let seed = common.seed_or(42);
+
+    if opts.bursty {
+        let config = GeCampaignConfig {
+            trials: opts.trials,
+            stream_len: opts.stream_len,
+            seed,
+            refresh: opts.refresh,
+            profile: GilbertElliott::named(&opts.profile).unwrap_or_else(GilbertElliott::gate),
+            profile_name: opts.profile.clone(),
+            ..GeCampaignConfig::default()
+        };
+        let report = match run_ge_campaign_with(&engine, &config) {
+            Ok(report) => report,
+            Err(err) => {
+                return run.finish(&Outcome::error(format!(
+                    "bursty-ge campaign failed to run: {err}"
+                )))
+            }
+        };
+        let text = report.render_text();
+        let data = format!(
+            "{{\"jobs\":{},\"bursty_ge\":{}}}",
+            engine.jobs(),
+            report.render_json()
+        );
+        return run.finish(&Outcome::success(text, data));
+    }
 
     let config = if opts.smoke {
         CampaignConfig {

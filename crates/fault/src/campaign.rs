@@ -37,7 +37,9 @@ use buscode_core::{Access, CodeKind, CodeParams, CodecError, Decoder, Encoder};
 use buscode_engine::SweepEngine;
 use buscode_trace::{DataModel, InstructionModel, MuxedModel, StreamKind};
 
-use crate::models::{apply_fault, BusGeometry, FaultKind, FaultSite};
+use crate::models::{
+    apply_fault, apply_ge_channel, BusGeometry, FaultKind, FaultSite, GilbertElliott,
+};
 
 /// Campaign dimensions and budgets.
 #[derive(Clone, Debug)]
@@ -843,6 +845,319 @@ impl ComparisonReport {
     }
 }
 
+/// Configuration of a Gilbert–Elliott bursty-channel campaign
+/// (`faultrun --model bursty-ge`).
+///
+/// Unlike the single-drawn-fault campaigns above, the channel is active
+/// on *every* cycle: state-dependent flips, erasures, and drops arrive
+/// whenever the [`GilbertElliott`] weather says so. The campaign sweeps
+/// every code × stream × [`HardeningTier`] cell and reports what each
+/// tier delivers under sustained bursty loss.
+#[derive(Clone, Debug)]
+pub struct GeCampaignConfig {
+    /// Codec geometry (width, stride).
+    pub params: CodeParams,
+    /// Trials per code × stream × tier combination.
+    pub trials: u32,
+    /// Length of each trial's access stream.
+    pub stream_len: usize,
+    /// Master seed; every stream and channel derives from it.
+    pub seed: u64,
+    /// Refresh interval for the parity and ECC tiers.
+    pub refresh: u64,
+    /// The channel weather.
+    pub profile: GilbertElliott,
+    /// The profile's name, for reports.
+    pub profile_name: String,
+}
+
+impl Default for GeCampaignConfig {
+    fn default() -> Self {
+        GeCampaignConfig {
+            params: CodeParams::default(),
+            trials: 20,
+            stream_len: 500,
+            seed: 42,
+            refresh: 32,
+            profile: GilbertElliott::gate(),
+            profile_name: "bursty".to_string(),
+        }
+    }
+}
+
+/// Aggregated outcome of one bursty-channel cell (code × stream × tier).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GeStats {
+    /// Trials run.
+    pub trials: u32,
+    /// Decoded cycles across all trials (drops excluded — the decoder
+    /// never saw them).
+    pub decoded_cycles: u64,
+    /// Cycles that decoded `Ok` to a wrong address.
+    pub sdc_cycles: u64,
+    /// Cycles the decoder flagged with an error.
+    pub detected_cycles: u64,
+    /// Cycles the ECC layer corrected in-flight.
+    pub corrected_cycles: u64,
+    /// Cycles the channel dropped (never reached the decoder).
+    pub dropped_cycles: u64,
+    /// Cycles the channel erased to all-lines-low.
+    pub erased_cycles: u64,
+    /// Lines the channel flipped in transit.
+    pub flipped_lines: u64,
+    /// Channel cycles spent in the bad state.
+    pub bad_cycles: u64,
+    /// Longest bad-state dwell observed in any trial.
+    pub max_bad_dwell: u64,
+}
+
+impl GeStats {
+    /// Silently corrupted cycles per decoded cycle.
+    pub fn sdc_rate(&self) -> f64 {
+        if self.decoded_cycles == 0 {
+            0.0
+        } else {
+            self.sdc_cycles as f64 / self.decoded_cycles as f64
+        }
+    }
+}
+
+/// One bursty-channel cell: the key plus its aggregated stats.
+#[derive(Clone, Debug)]
+pub struct GeCampaignRow {
+    /// The code under test.
+    pub code: CodeKind,
+    /// The synthetic stream driven through it.
+    pub stream: StreamKind,
+    /// The protection level the codec ran under.
+    pub tier: HardeningTier,
+    /// Aggregated outcomes.
+    pub stats: GeStats,
+}
+
+/// A finished bursty-channel campaign (the `faultrun --model bursty-ge`
+/// output).
+#[derive(Clone, Debug)]
+pub struct GeCampaignReport {
+    /// The configuration the campaign ran with.
+    pub config: GeCampaignConfig,
+    /// One row per code × stream × tier combination.
+    pub rows: Vec<GeCampaignRow>,
+}
+
+/// Runs the bursty-channel campaign described by `config`.
+///
+/// # Errors
+///
+/// Propagates codec construction errors (invalid parameters).
+pub fn run_ge_campaign(config: &GeCampaignConfig) -> Result<GeCampaignReport, CodecError> {
+    run_ge_campaign_with(&SweepEngine::serial(), config)
+}
+
+/// [`run_ge_campaign`] with its cells sharded through `engine`; the
+/// report is bit-identical for any worker count (same per-cell RNG
+/// derivation as [`run_campaign_with`], salted so the GE campaign never
+/// shares a stream with the drawn-fault campaigns).
+///
+/// # Errors
+///
+/// Propagates codec construction errors (invalid parameters).
+pub fn run_ge_campaign_with(
+    engine: &SweepEngine,
+    config: &GeCampaignConfig,
+) -> Result<GeCampaignReport, CodecError> {
+    let streams = [StreamKind::Instruction, StreamKind::Data, StreamKind::Muxed];
+    let generated: Vec<Vec<Access>> = streams
+        .iter()
+        .enumerate()
+        .map(|(si, &kind)| stream_for(kind, config.stream_len, config.seed.wrapping_add(si as u64)))
+        .collect();
+
+    let mut cells = Vec::new();
+    for (si, &stream_kind) in streams.iter().enumerate() {
+        for (ci, kind) in CodeKind::all().into_iter().enumerate() {
+            for (ti, &tier) in HardeningTier::all().iter().enumerate() {
+                cells.push((si, ci, ti, stream_kind, kind, tier));
+            }
+        }
+    }
+
+    let results = engine.run(cells, |(si, ci, ti, stream_kind, kind, tier)| {
+        let cell = (ci as u64) << 16 | (si as u64) << 8 | 0x47_45; // "GE" salt
+        let cell = cell << 2 | ti as u64;
+        let mut rng = Rng64::seed_from_u64(config.seed ^ cell.wrapping_mul(0x9e3779b97f4a7c15));
+        let stream = generated.get(si).map(Vec::as_slice).unwrap_or_default();
+        run_ge_cell(config, kind, stream, tier, &mut rng).map(|stats| GeCampaignRow {
+            code: kind,
+            stream: stream_kind,
+            tier,
+            stats,
+        })
+    });
+
+    let mut rows = Vec::with_capacity(results.len());
+    for result in results {
+        rows.push(result?);
+    }
+    Ok(GeCampaignReport {
+        config: config.clone(),
+        rows,
+    })
+}
+
+/// Runs all trials of one bursty-channel cell.
+fn run_ge_cell(
+    config: &GeCampaignConfig,
+    kind: CodeKind,
+    stream: &[Access],
+    tier: HardeningTier,
+    rng: &mut Rng64,
+) -> Result<GeStats, CodecError> {
+    let mut stats = GeStats::default();
+    for _ in 0..config.trials {
+        let channel_seed = rng.next_u64();
+        let (mut enc, mut dec): (Box<dyn Encoder>, Box<dyn Decoder>) = match tier {
+            HardeningTier::Bare => (kind.encoder(config.params)?, kind.decoder(config.params)?),
+            HardeningTier::Parity => (
+                Box::new(kind.hardened_encoder(config.params, config.refresh)?),
+                Box::new(kind.hardened_decoder(config.params, config.refresh)?),
+            ),
+            HardeningTier::Ecc => (
+                Box::new(kind.ecc_encoder(config.params, config.refresh)?),
+                Box::new(kind.ecc_decoder(config.params, config.refresh)?),
+            ),
+        };
+        let geometry = BusGeometry::new(config.params.width.bits(), enc.aux_line_count());
+        let words: Vec<_> = stream.iter().map(|&a| enc.encode(a)).collect();
+        let (faulted, weather) =
+            apply_ge_channel(&words, stream, geometry, config.profile, channel_seed);
+
+        stats.trials += 1;
+        stats.dropped_cycles += weather.drops;
+        stats.erased_cycles += weather.erasures;
+        stats.flipped_lines += weather.flipped_lines;
+        stats.bad_cycles += weather.bad_cycles;
+        stats.max_bad_dwell = stats.max_bad_dwell.max(weather.max_bad_dwell);
+
+        for (&(word, sel), &expected) in faulted.observed.iter().zip(&faulted.expected) {
+            stats.decoded_cycles += 1;
+            let corrected_before = dec.corrected_count();
+            match dec.decode(word, sel) {
+                Ok(addr) if addr == expected => {}
+                Ok(_) => stats.sdc_cycles += 1,
+                Err(_) => stats.detected_cycles += 1,
+            }
+            stats.corrected_cycles += dec.corrected_count() - corrected_before;
+        }
+    }
+    Ok(stats)
+}
+
+impl GeCampaignReport {
+    /// Rows matching a predicate.
+    pub fn select(&self, f: impl Fn(&GeCampaignRow) -> bool) -> Vec<&GeCampaignRow> {
+        self.rows.iter().filter(|r| f(r)).collect()
+    }
+
+    /// Renders the fixed-width text table (the `faultrun --model
+    /// bursty-ge` default).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "bursty-ge campaign ({} profile): {} trials x {} cycles per cell, seed {}, refresh {}\n",
+            self.config.profile_name,
+            self.config.trials,
+            self.config.stream_len,
+            self.config.seed,
+            self.config.refresh
+        ));
+        out.push_str(&format!(
+            "{:<12} {:<12} {:<7} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6}\n",
+            "code",
+            "stream",
+            "tier",
+            "sdc-rate",
+            "sdc",
+            "det",
+            "corr",
+            "drops",
+            "erase",
+            "flips",
+            "dwell"
+        ));
+        for row in &self.rows {
+            let s = &row.stats;
+            out.push_str(&format!(
+                "{:<12} {:<12} {:<7} {:>9.5} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>6}\n",
+                row.code.name(),
+                row.stream.to_string(),
+                row.tier.name(),
+                s.sdc_rate(),
+                s.sdc_cycles,
+                s.detected_cycles,
+                s.corrected_cycles,
+                s.dropped_cycles,
+                s.erased_cycles,
+                s.flipped_lines,
+                s.max_bad_dwell,
+            ));
+        }
+        out
+    }
+
+    /// Renders the campaign as a JSON document with a stable schema:
+    /// `{"config": {..., "profile"}, "rows": [{"code", "stream", "tier",
+    /// "trials", "decoded_cycles", "sdc_cycles", "detected_cycles",
+    /// "corrected_cycles", "dropped_cycles", "erased_cycles",
+    /// "flipped_lines", "bad_cycles", "max_bad_dwell", "sdc_rate"}]}`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"config\":{");
+        out.push_str(&format!(
+            concat!(
+                "\"width\":{},\"trials\":{},\"stream_len\":{},\"seed\":{},",
+                "\"refresh\":{},\"profile\":\"{}\"}},\"rows\":["
+            ),
+            self.config.params.width.bits(),
+            self.config.trials,
+            self.config.stream_len,
+            self.config.seed,
+            self.config.refresh,
+            self.config.profile_name,
+        ));
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let s = &row.stats;
+            out.push_str(&format!(
+                concat!(
+                    "{{\"code\":\"{}\",\"stream\":\"{}\",\"tier\":\"{}\",",
+                    "\"trials\":{},\"decoded_cycles\":{},\"sdc_cycles\":{},",
+                    "\"detected_cycles\":{},\"corrected_cycles\":{},",
+                    "\"dropped_cycles\":{},\"erased_cycles\":{},\"flipped_lines\":{},",
+                    "\"bad_cycles\":{},\"max_bad_dwell\":{},\"sdc_rate\":{:.6}}}"
+                ),
+                row.code.name(),
+                row.stream,
+                row.tier.name(),
+                s.trials,
+                s.decoded_cycles,
+                s.sdc_cycles,
+                s.detected_cycles,
+                s.corrected_cycles,
+                s.dropped_cycles,
+                s.erased_cycles,
+                s.flipped_lines,
+                s.bad_cycles,
+                s.max_bad_dwell,
+                s.sdc_rate(),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1010,6 +1325,68 @@ mod tests {
         assert!(json.starts_with("{\"config\":{"));
         assert!(json.contains("\"tier\":\"parity\""));
         assert!(json.contains("\"corrected_cycles\":"));
+        assert!(json.ends_with("]}"));
+    }
+
+    fn tiny_ge() -> GeCampaignConfig {
+        GeCampaignConfig {
+            trials: 3,
+            stream_len: 96,
+            refresh: 8,
+            ..GeCampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn ge_campaign_covers_every_cell_and_is_deterministic() {
+        let config = tiny_ge();
+        let a = run_ge_campaign(&config).unwrap();
+        // 12 codes x 3 streams x {bare, parity, ecc}.
+        assert_eq!(a.rows.len(), 12 * 3 * 3);
+        assert!(a.rows.iter().all(|r| r.stats.trials == 3));
+        let b = run_ge_campaign(&config).unwrap();
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(
+                x.stats, y.stats,
+                "{} {} {} differs",
+                x.code, x.stream, x.tier
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_ge_campaign_matches_serial_bit_for_bit() {
+        let config = tiny_ge();
+        let serial = run_ge_campaign(&config).unwrap();
+        let parallel = run_ge_campaign_with(&SweepEngine::new(8), &config).unwrap();
+        assert_eq!(serial.render_json(), parallel.render_json());
+        assert_eq!(serial.render_text(), parallel.render_text());
+    }
+
+    #[test]
+    fn ge_campaign_channel_actually_rains() {
+        // Under the gate profile the channel must visibly act: flips,
+        // and at least some drops or erasures, across the whole grid.
+        let report = run_ge_campaign(&tiny_ge()).unwrap();
+        let flips: u64 = report.rows.iter().map(|r| r.stats.flipped_lines).sum();
+        let drops: u64 = report.rows.iter().map(|r| r.stats.dropped_cycles).sum();
+        let erases: u64 = report.rows.iter().map(|r| r.stats.erased_cycles).sum();
+        assert!(flips > 0, "no lines flipped — dead channel");
+        assert!(drops + erases > 0, "no drops or erasures — dead channel");
+        let bad: u64 = report.rows.iter().map(|r| r.stats.bad_cycles).sum();
+        assert!(bad > 0, "the channel never entered the bad state");
+    }
+
+    #[test]
+    fn ge_campaign_renders_text_and_json() {
+        let report = run_ge_campaign(&tiny_ge()).unwrap();
+        let text = report.render_text();
+        assert!(text.contains("bursty-ge campaign (bursty profile)"));
+        assert!(text.contains("dual-t0-bi"));
+        let json = report.render_json();
+        assert!(json.starts_with("{\"config\":{"));
+        assert!(json.contains("\"profile\":\"bursty\""));
+        assert!(json.contains("\"tier\":\"ecc\""));
         assert!(json.ends_with("]}"));
     }
 

@@ -9,7 +9,10 @@
 //! and checks the fix:
 //!
 //! - [`models`] — behavioral fault models on the encoded word stream:
-//!   transient flips, stuck-at lines, bursts, dropped/duplicated cycles;
+//!   transient flips, stuck-at lines, bursts, dropped/duplicated cycles —
+//!   plus the seeded two-state [`GilbertElliott`] bursty channel
+//!   ([`GeChannel`]) whose state-dependent flip/erase/drop perils the
+//!   link layer (`buscode-link`) retransmits through;
 //! - [`campaign`] — seeded Monte Carlo campaigns over every code × stream
 //!   kind, bare and under the
 //!   [`Hardened`][buscode_core::codes::Hardened] wrapper, reporting
@@ -56,8 +59,12 @@ pub mod gate;
 pub mod models;
 
 pub use campaign::{
-    is_stateful, run_campaign, run_comparison, CampaignConfig, CampaignReport, CampaignRow,
-    ComparisonReport, ComparisonRow, FaultStats, HardeningTier,
+    is_stateful, run_campaign, run_comparison, run_ge_campaign, CampaignConfig, CampaignReport,
+    CampaignRow, ComparisonReport, ComparisonRow, FaultStats, GeCampaignConfig, GeCampaignReport,
+    GeCampaignRow, GeStats, HardeningTier,
 };
 pub use gate::{run_gate_campaign, GateCampaignConfig, GateCellStats, GateFault};
-pub use models::{corrupt_words, BusGeometry, FaultKind, FaultSite};
+pub use models::{
+    apply_ge_channel, corrupt_words, BusGeometry, FaultKind, FaultSite, GeChannel, GeChannelStats,
+    GeEvent, GilbertElliott,
+};

@@ -267,6 +267,336 @@ pub fn apply_fault(
     FaultedStream { observed, expected }
 }
 
+/// The two-state Gilbert–Elliott bursty channel: per-cycle peril
+/// probabilities in a *good* and a *bad* state, with geometrically
+/// distributed dwell times in each.
+///
+/// Every cycle the channel first moves between states (`good → bad` with
+/// probability [`p_good_to_bad`][GilbertElliott::p_good_to_bad], `bad →
+/// good` with [`p_bad_to_good`][GilbertElliott::p_bad_to_good]), then
+/// draws the cycle's perils from the current state's probabilities:
+///
+/// - **flip** — each transmitted line flips independently with the
+///   state's per-line probability (bad-state cycles produce multi-line
+///   hits — exactly the error bursts a single parity line cannot cover);
+/// - **erase** — the whole word is wiped to all-lines-low (a driver
+///   squelch; the receiver sees a word, but not the one sent);
+/// - **drop** — the cycle never arrives (handshake loss; the receiver
+///   sees nothing at all).
+///
+/// The mean dwell times are `1 / p_good_to_bad` cycles of good state and
+/// `1 / p_bad_to_good` cycles of bad state. Everything is deterministic
+/// given the channel seed, so campaigns replay bit for bit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GilbertElliott {
+    /// Per-cycle probability of entering the bad state.
+    pub p_good_to_bad: f64,
+    /// Per-cycle probability of leaving the bad state.
+    pub p_bad_to_good: f64,
+    /// Per-line flip probability in the good state.
+    pub flip_good: f64,
+    /// Per-line flip probability in the bad state.
+    pub flip_bad: f64,
+    /// Whole-word erasure probability in the good state.
+    pub erase_good: f64,
+    /// Whole-word erasure probability in the bad state.
+    pub erase_bad: f64,
+    /// Cycle-drop probability in the good state.
+    pub drop_good: f64,
+    /// Cycle-drop probability in the bad state.
+    pub drop_bad: f64,
+}
+
+impl GilbertElliott {
+    /// The named profiles the CLIs expose, mild to severe.
+    pub fn profile_names() -> &'static [&'static str] {
+        &["quiet", "bursty", "harsh"]
+    }
+
+    /// Looks up a named profile:
+    ///
+    /// - `quiet` — rare short bursts (mean dwell 500 good / 4 bad
+    ///   cycles), almost nothing in the good state;
+    /// - `bursty` — the gate profile: mean dwell 100 good / 10 bad
+    ///   cycles, multi-line flips plus erasures and drops in the bad
+    ///   state;
+    /// - `harsh` — long bad dwells (mean 20 cycles) with heavy flip,
+    ///   erase, and drop rates: retransmission territory.
+    pub fn named(name: &str) -> Option<GilbertElliott> {
+        match name {
+            "quiet" => Some(GilbertElliott {
+                p_good_to_bad: 0.002,
+                p_bad_to_good: 0.25,
+                flip_good: 0.0002,
+                flip_bad: 0.02,
+                erase_good: 0.0,
+                erase_bad: 0.01,
+                drop_good: 0.0,
+                drop_bad: 0.01,
+            }),
+            "bursty" => Some(GilbertElliott {
+                p_good_to_bad: 0.01,
+                p_bad_to_good: 0.1,
+                flip_good: 0.0005,
+                flip_bad: 0.06,
+                erase_good: 0.0,
+                erase_bad: 0.02,
+                drop_good: 0.0,
+                drop_bad: 0.02,
+            }),
+            "harsh" => Some(GilbertElliott {
+                p_good_to_bad: 0.03,
+                p_bad_to_good: 0.05,
+                flip_good: 0.001,
+                flip_bad: 0.12,
+                erase_good: 0.002,
+                erase_bad: 0.05,
+                drop_good: 0.002,
+                drop_bad: 0.05,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The fixed profile the CI smoke gates run against.
+    pub fn gate() -> GilbertElliott {
+        // `named` covers every name in `profile_names`; the expect is
+        // unreachable and documents the invariant.
+        #[allow(clippy::expect_used)]
+        GilbertElliott::named("bursty").expect("the gate profile is always defined")
+    }
+
+    /// Mean good-state dwell, in cycles.
+    pub fn mean_good_dwell(&self) -> f64 {
+        if self.p_good_to_bad <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.p_good_to_bad
+        }
+    }
+
+    /// Mean bad-state dwell, in cycles.
+    pub fn mean_bad_dwell(&self) -> f64 {
+        if self.p_bad_to_good <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / self.p_bad_to_good
+        }
+    }
+}
+
+/// What the Gilbert–Elliott channel did to one transmitted cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GeEvent {
+    /// The word arrived, with `flipped_lines` lines inverted in transit
+    /// (0 = clean).
+    Delivered {
+        /// Number of lines flipped this cycle.
+        flipped_lines: u32,
+    },
+    /// The word was wiped to all-lines-low in transit.
+    Erased,
+    /// The cycle never arrived.
+    Dropped,
+}
+
+/// Counters a [`GeChannel`] accumulates; the observable weather report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GeChannelStats {
+    /// Channel cycles elapsed (transmitted or idle).
+    pub cycles: u64,
+    /// Cycles spent in the bad state.
+    pub bad_cycles: u64,
+    /// Current consecutive bad-state cycles (the live dwell the link
+    /// layer's escalation hints watch).
+    pub bad_dwell: u64,
+    /// Longest bad-state dwell observed.
+    pub max_bad_dwell: u64,
+    /// Good → bad transitions (error bursts started).
+    pub bursts: u64,
+    /// Total lines flipped in transit.
+    pub flipped_lines: u64,
+    /// Transmitted words with at least one flipped line.
+    pub flipped_words: u64,
+    /// Words erased in transit.
+    pub erasures: u64,
+    /// Cycles dropped in transit.
+    pub drops: u64,
+}
+
+/// A live Gilbert–Elliott channel: the [`GilbertElliott`] parameters plus
+/// the state machine, a seeded RNG, and the running statistics.
+///
+/// # Examples
+///
+/// ```
+/// use buscode_core::BusState;
+/// use buscode_fault::models::{BusGeometry, GeChannel, GeEvent, GilbertElliott};
+///
+/// let mut ch = GeChannel::new(GilbertElliott::gate(), BusGeometry::new(32, 1), 7);
+/// let mut delivered = 0u32;
+/// for i in 0..1000u64 {
+///     if let (word, GeEvent::Delivered { .. }) = ch.transmit(BusState::new(i, 0)) {
+///         let _ = word;
+///         delivered += 1;
+///     }
+/// }
+/// assert!(delivered > 900); // drops and erasures are the exception
+/// assert!(ch.stats().bad_cycles > 0); // but the weather did turn
+/// ```
+#[derive(Clone, Debug)]
+pub struct GeChannel {
+    profile: GilbertElliott,
+    geometry: BusGeometry,
+    rng: Rng64,
+    bad: bool,
+    stats: GeChannelStats,
+}
+
+impl GeChannel {
+    /// Creates a channel in the good state.
+    pub fn new(profile: GilbertElliott, geometry: BusGeometry, seed: u64) -> Self {
+        GeChannel {
+            profile,
+            geometry,
+            rng: Rng64::seed_from_u64(seed),
+            bad: false,
+            stats: GeChannelStats::default(),
+        }
+    }
+
+    /// The channel's parameters.
+    pub fn profile(&self) -> GilbertElliott {
+        self.profile
+    }
+
+    /// The bus geometry faults are drawn over.
+    pub fn geometry(&self) -> BusGeometry {
+        self.geometry
+    }
+
+    /// Re-shapes the bus mid-flight. The link layer calls this when a
+    /// redundancy tier shift changes the aux line count — the weather
+    /// state machine and the RNG stream continue unbroken, only the set
+    /// of lines perils are drawn over changes.
+    pub fn set_geometry(&mut self, geometry: BusGeometry) {
+        self.geometry = geometry;
+    }
+
+    /// True while the channel sits in the bad state.
+    pub fn in_bad_state(&self) -> bool {
+        self.bad
+    }
+
+    /// The running statistics.
+    pub fn stats(&self) -> GeChannelStats {
+        self.stats
+    }
+
+    /// Advances the two-state machine by one cycle and accounts the
+    /// dwell counters.
+    fn step(&mut self) {
+        if self.bad {
+            if self.rng.gen_bool(self.profile.p_bad_to_good) {
+                self.bad = false;
+            }
+        } else if self.rng.gen_bool(self.profile.p_good_to_bad) {
+            self.bad = true;
+            self.stats.bursts += 1;
+        }
+        self.stats.cycles += 1;
+        if self.bad {
+            self.stats.bad_cycles += 1;
+            self.stats.bad_dwell += 1;
+            self.stats.max_bad_dwell = self.stats.max_bad_dwell.max(self.stats.bad_dwell);
+        } else {
+            self.stats.bad_dwell = 0;
+        }
+    }
+
+    /// One idle bus cycle: the weather evolves, nothing is transmitted.
+    /// Link-layer backoff cycles call this so the channel state keeps
+    /// real time.
+    pub fn idle(&mut self) {
+        self.step();
+    }
+
+    /// Transmits one word through one channel cycle, returning what the
+    /// receiver observes. For [`GeEvent::Dropped`] the returned word is
+    /// the input unchanged and must be discarded by the caller; for
+    /// [`GeEvent::Erased`] it is all-lines-low.
+    pub fn transmit(&mut self, word: BusState) -> (BusState, GeEvent) {
+        self.step();
+        let (flip, erase, drop) = if self.bad {
+            (
+                self.profile.flip_bad,
+                self.profile.erase_bad,
+                self.profile.drop_bad,
+            )
+        } else {
+            (
+                self.profile.flip_good,
+                self.profile.erase_good,
+                self.profile.drop_good,
+            )
+        };
+        if self.rng.gen_bool(drop) {
+            self.stats.drops += 1;
+            return (word, GeEvent::Dropped);
+        }
+        if self.rng.gen_bool(erase) {
+            self.stats.erasures += 1;
+            return (BusState::reset(), GeEvent::Erased);
+        }
+        let mut out = word;
+        let mut flipped = 0u32;
+        for line in 0..self.geometry.total_lines() {
+            if self.rng.gen_bool(flip) {
+                flip_line(&mut out, self.geometry, line);
+                flipped += 1;
+            }
+        }
+        if flipped > 0 {
+            self.stats.flipped_lines += u64::from(flipped);
+            self.stats.flipped_words += 1;
+        }
+        (
+            out,
+            GeEvent::Delivered {
+                flipped_lines: flipped,
+            },
+        )
+    }
+}
+
+/// Runs an encoded stream through a seeded Gilbert–Elliott channel,
+/// producing the decoder's view: dropped cycles vanish (the expected
+/// intent shifts under the decoder, as with [`FaultKind::DropCycle`]),
+/// erased cycles arrive all-lines-low, flipped cycles arrive corrupted.
+///
+/// Returns the faulted stream plus the channel's weather statistics.
+pub fn apply_ge_channel(
+    words: &[BusState],
+    stream: &[Access],
+    geometry: BusGeometry,
+    profile: GilbertElliott,
+    seed: u64,
+) -> (FaultedStream, GeChannelStats) {
+    debug_assert_eq!(words.len(), stream.len());
+    let mut channel = GeChannel::new(profile, geometry, seed);
+    let mut observed = Vec::with_capacity(words.len());
+    let mut expected = Vec::with_capacity(words.len());
+    for (&word, access) in words.iter().zip(stream) {
+        let (seen, event) = channel.transmit(word);
+        if event == GeEvent::Dropped {
+            continue;
+        }
+        observed.push((seen, access.kind));
+        expected.push(access.address);
+    }
+    (FaultedStream { observed, expected }, channel.stats())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +700,120 @@ mod tests {
             assert!(site.cycle < 80);
             assert!((2..=6).contains(&site.window));
             assert!(site.line < 9);
+        }
+    }
+
+    #[test]
+    fn ge_profiles_resolve_and_gate_is_bursty() {
+        for name in GilbertElliott::profile_names() {
+            let p = GilbertElliott::named(name).expect("named profile");
+            assert!(p.p_good_to_bad > 0.0 && p.p_bad_to_good > 0.0);
+            assert!(p.mean_good_dwell() > p.mean_bad_dwell());
+        }
+        assert_eq!(GilbertElliott::named("nope"), None);
+        assert_eq!(
+            Some(GilbertElliott::gate()),
+            GilbertElliott::named("bursty")
+        );
+    }
+
+    #[test]
+    fn ge_channel_is_deterministic_from_its_seed() {
+        let geometry = BusGeometry::new(16, 2);
+        let profile = GilbertElliott::gate();
+        let mut a = GeChannel::new(profile, geometry, 99);
+        let mut b = GeChannel::new(profile, geometry, 99);
+        for i in 0..5000u64 {
+            let word = BusState::new(i.wrapping_mul(0x55), i % 4);
+            assert_eq!(a.transmit(word), b.transmit(word));
+        }
+        assert_eq!(a.stats(), b.stats());
+        // A different seed sees different weather.
+        let mut c = GeChannel::new(profile, geometry, 100);
+        for i in 0..5000u64 {
+            let word = BusState::new(i.wrapping_mul(0x55), i % 4);
+            c.transmit(word);
+        }
+        assert_ne!(a.stats(), c.stats());
+    }
+
+    #[test]
+    fn ge_channel_tracks_dwell_and_idle_advances_the_weather() {
+        let profile = GilbertElliott {
+            // Always bad after the first cycle, never recovers.
+            p_good_to_bad: 1.0,
+            p_bad_to_good: 0.0,
+            flip_good: 0.0,
+            flip_bad: 0.0,
+            erase_good: 0.0,
+            erase_bad: 0.0,
+            drop_good: 0.0,
+            drop_bad: 0.0,
+        };
+        let mut ch = GeChannel::new(profile, BusGeometry::new(8, 0), 1);
+        for _ in 0..10 {
+            ch.idle();
+        }
+        let s = ch.stats();
+        assert_eq!(s.cycles, 10);
+        assert_eq!(s.bad_cycles, 10);
+        assert_eq!(s.bad_dwell, 10);
+        assert_eq!(s.max_bad_dwell, 10);
+        assert_eq!(s.bursts, 1);
+        assert!(ch.in_bad_state());
+    }
+
+    #[test]
+    fn ge_perils_follow_the_state() {
+        // Flips only in the bad state; the channel alternates via sure
+        // transitions, so even cycles are bad (step runs before perils).
+        let profile = GilbertElliott {
+            p_good_to_bad: 1.0,
+            p_bad_to_good: 1.0,
+            flip_good: 0.0,
+            flip_bad: 1.0,
+            erase_good: 0.0,
+            erase_bad: 0.0,
+            drop_good: 0.0,
+            drop_bad: 0.0,
+        };
+        let geometry = BusGeometry::new(4, 0);
+        let mut ch = GeChannel::new(profile, geometry, 3);
+        for i in 0..20u64 {
+            let (out, event) = ch.transmit(BusState::new(0, 0));
+            if i % 2 == 0 {
+                // Bad cycle: every line flips.
+                assert_eq!(event, GeEvent::Delivered { flipped_lines: 4 });
+                assert_eq!(out.payload, 0b1111);
+            } else {
+                assert_eq!(event, GeEvent::Delivered { flipped_lines: 0 });
+                assert_eq!(out.payload, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn ge_stream_application_drops_cycles_and_keeps_alignment() {
+        let profile = GilbertElliott {
+            p_good_to_bad: 0.0,
+            p_bad_to_good: 1.0,
+            flip_good: 0.0,
+            flip_bad: 0.0,
+            erase_good: 0.0,
+            erase_bad: 0.0,
+            drop_good: 0.5,
+            drop_bad: 0.0,
+        };
+        let geometry = BusGeometry::new(8, 0);
+        let stream: Vec<Access> = (0..200u64).map(|i| Access::instruction(i & 0xff)).collect();
+        let words: Vec<BusState> = stream.iter().map(|a| BusState::new(a.address, 0)).collect();
+        let (faulted, weather) = apply_ge_channel(&words, &stream, geometry, profile, 11);
+        assert!(weather.drops > 50, "a p=0.5 drop channel must drop often");
+        assert_eq!(faulted.observed.len(), 200 - weather.drops as usize);
+        assert_eq!(faulted.observed.len(), faulted.expected.len());
+        // Survivors stay aligned: the word carries its own address.
+        for (&(word, _), &expected) in faulted.observed.iter().zip(&faulted.expected) {
+            assert_eq!(word.payload, expected);
         }
     }
 }

@@ -1,0 +1,446 @@
+//! Seeded link campaigns: every code × every stream model × a set of
+//! channel profiles, each cell a batch of independent ARQ sessions.
+//!
+//! The campaign is the `linkrun` CLI's engine and the smoke gate CI
+//! runs: a cell fails smoke when any word is lost or silently corrupted,
+//! and the whole run fails when the weather never forced a single
+//! retransmission (a vacuous pass proves nothing about the protocol).
+//! Cells shard over a [`SweepEngine`] and are seeded per-cell, so
+//! `--jobs N` output is byte-identical to a serial run.
+
+use buscode_core::rng::Rng64;
+use buscode_core::{CodeKind, CodeParams, CodecError};
+use buscode_engine::SweepEngine;
+use buscode_fault::campaign::stream_for;
+use buscode_fault::GilbertElliott;
+use buscode_logic::Technology;
+use buscode_power::{retransmission_cost, RetransmissionCost};
+use buscode_trace::StreamKind;
+
+use crate::arq::{LinkConfig, LinkSession, LinkStats};
+
+/// Campaign shape: which profiles to run, how long, how seeded.
+#[derive(Clone, Debug)]
+pub struct LinkCampaignConfig {
+    /// Width and stride for every code.
+    pub params: CodeParams,
+    /// Independent sessions per cell (distinct channel seeds).
+    pub trials: u64,
+    /// Words per stream.
+    pub stream_len: usize,
+    /// Master seed; every cell derives its own RNG from it.
+    pub seed: u64,
+    /// Refresh period for the hardened/ECC wrappers.
+    pub refresh: u64,
+    /// Named channel profiles to sweep (see
+    /// [`GilbertElliott::profile_names`]).
+    pub profiles: Vec<String>,
+    /// Per-line capacitance for the energy pricing, picofarads.
+    pub line_cap_pf: f64,
+}
+
+impl Default for LinkCampaignConfig {
+    fn default() -> Self {
+        LinkCampaignConfig {
+            params: CodeParams::default(),
+            trials: 3,
+            stream_len: 256,
+            seed: 42,
+            refresh: 32,
+            profiles: vec!["bursty".to_string(), "harsh".to_string()],
+            line_cap_pf: 20.0,
+        }
+    }
+}
+
+/// One campaign cell: a code on a stream model under one profile,
+/// aggregated over the configured trials.
+#[derive(Clone, Debug)]
+pub struct LinkCampaignRow {
+    /// The code under test.
+    pub code: CodeKind,
+    /// The address-stream model.
+    pub stream: StreamKind,
+    /// The channel profile name.
+    pub profile: String,
+    /// Session counters summed over all trials.
+    pub stats: LinkStats,
+    /// ARQ-vs-ECC pricing for the cell; `None` when the channel was so
+    /// hostile nothing was delivered (nothing to price).
+    pub power: Option<RetransmissionCost>,
+}
+
+/// The full campaign result.
+#[derive(Clone, Debug)]
+pub struct LinkCampaignReport {
+    /// The configuration the campaign ran with.
+    pub config: LinkCampaignConfig,
+    /// One row per profile × stream × code, in sweep order.
+    pub rows: Vec<LinkCampaignRow>,
+}
+
+impl LinkCampaignReport {
+    /// The smoke-gate verdicts: empty means green.
+    ///
+    /// A cell fails when the link lost or silently corrupted a word; the
+    /// run as a whole fails when no cell ever retransmitted (the weather
+    /// never tested the protocol, so the pass is vacuous).
+    pub fn smoke_failures(&self) -> Vec<String> {
+        let mut failures = Vec::new();
+        for row in &self.rows {
+            if row.stats.lost_words > 0 {
+                failures.push(format!(
+                    "{} on {} under {}: lost {} of {} words",
+                    row.code.name(),
+                    row.stream,
+                    row.profile,
+                    row.stats.lost_words,
+                    row.stats.words
+                ));
+            }
+            if row.stats.corrupted_delivered > 0 {
+                failures.push(format!(
+                    "{} on {} under {}: {} silently corrupted deliveries",
+                    row.code.name(),
+                    row.stream,
+                    row.profile,
+                    row.stats.corrupted_delivered
+                ));
+            }
+        }
+        if self
+            .rows
+            .iter()
+            .map(|r| r.stats.retransmissions)
+            .sum::<u64>()
+            == 0
+        {
+            failures.push(
+                "no cell retransmitted anything — the smoke weather never tested the ARQ path"
+                    .to_string(),
+            );
+        }
+        failures
+    }
+
+    /// Plain-text table, one line per cell.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "link campaign: {} trials x {} words, width {}, profiles [{}]\n",
+            self.config.trials,
+            self.config.stream_len,
+            self.config.params.width.bits(),
+            self.config.profiles.join(" ")
+        );
+        out.push_str(&format!(
+            "{:<16} {:<12} {:<7} {:>9} {:>6} {:>6} {:>7} {:>6} {:>9} {:>9} {:>6}\n",
+            "code",
+            "stream",
+            "profile",
+            "delivered",
+            "retx",
+            "naks",
+            "resyncs",
+            "tiers",
+            "arq_mw",
+            "ecc_mw",
+            "winner"
+        ));
+        for row in &self.rows {
+            let (arq, ecc, winner) = match &row.power {
+                Some(p) => (
+                    format!("{:.3}", p.arq_mw),
+                    format!("{:.3}", p.ecc_mw),
+                    if p.ecc_wins() { "ecc" } else { "arq" },
+                ),
+                None => ("-".to_string(), "-".to_string(), "-"),
+            };
+            out.push_str(&format!(
+                "{:<16} {:<12} {:<7} {:>4}/{:<4} {:>6} {:>6} {:>7} {:>6} {:>9} {:>9} {:>6}\n",
+                row.code.name(),
+                row.stream.to_string(),
+                row.profile,
+                row.stats.delivered_words,
+                row.stats.words,
+                row.stats.retransmissions,
+                row.stats.naks,
+                row.stats.beacons,
+                row.stats.tier_escalations,
+                arq,
+                ecc,
+                winner
+            ));
+        }
+        out
+    }
+
+    /// JSON payload for the `linkrun` envelope.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"config\":{");
+        out.push_str(&format!(
+            concat!(
+                "\"width\":{},\"trials\":{},\"stream_len\":{},\"seed\":{},",
+                "\"refresh\":{},\"line_cap_pf\":{},\"profiles\":["
+            ),
+            self.config.params.width.bits(),
+            self.config.trials,
+            self.config.stream_len,
+            self.config.seed,
+            self.config.refresh,
+            self.config.line_cap_pf,
+        ));
+        for (i, profile) in self.config.profiles.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{profile}\""));
+        }
+        out.push_str("]},\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let s = &row.stats;
+            out.push_str(&format!(
+                concat!(
+                    "{{\"code\":\"{}\",\"stream\":\"{}\",\"profile\":\"{}\",",
+                    "\"words\":{},\"delivered\":{},\"lost\":{},\"corrupted\":{},",
+                    "\"frames_sent\":{},\"retransmissions\":{},\"naks\":{},\"timeouts\":{},",
+                    "\"crc_rejections\":{},\"decode_rejections\":{},\"duplicates\":{},",
+                    "\"beacons\":{},\"forced_resyncs\":{},\"tier_escalations\":{},",
+                    "\"tier_deescalations\":{},\"corrected\":{},\"backoff_cycles\":{},",
+                    "\"cycles\":{},\"link_transitions\":{},\"overhead_transitions\":{},",
+                    "\"retransmit_transitions\":{},\"bad_cycles\":{},\"max_bad_dwell\":{},",
+                    "\"final_tier\":\"{}\""
+                ),
+                row.code.name(),
+                row.stream,
+                row.profile,
+                s.words,
+                s.delivered_words,
+                s.lost_words,
+                s.corrupted_delivered,
+                s.frames_sent,
+                s.retransmissions,
+                s.naks,
+                s.timeouts,
+                s.crc_rejections,
+                s.decode_rejections,
+                s.duplicates,
+                s.beacons,
+                s.forced_resyncs,
+                s.tier_escalations,
+                s.tier_deescalations,
+                s.corrected,
+                s.backoff_cycles,
+                s.cycles,
+                s.link_transitions,
+                s.overhead_transitions,
+                s.retransmit_transitions,
+                s.channel.bad_cycles,
+                s.channel.max_bad_dwell,
+                s.final_tier.name(),
+            ));
+            match &row.power {
+                Some(p) => out.push_str(&format!(
+                    concat!(
+                        ",\"bare_mw\":{:.6},\"arq_mw\":{:.6},\"ecc_mw\":{:.6},",
+                        "\"arq_overhead_percent\":{:.2},\"ecc_wins\":{}}}"
+                    ),
+                    p.bare_mw,
+                    p.arq_mw,
+                    p.ecc_mw,
+                    p.arq_overhead_percent(),
+                    p.ecc_wins(),
+                )),
+                None => out.push_str(",\"bare_mw\":null,\"arq_mw\":null,\"ecc_mw\":null}"),
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Runs the campaign serially.
+///
+/// # Errors
+///
+/// Propagates codec construction errors and unknown profile names.
+pub fn run_link_campaign(config: &LinkCampaignConfig) -> Result<LinkCampaignReport, CodecError> {
+    run_link_campaign_with(config, &SweepEngine::serial())
+}
+
+/// Runs the campaign sharded over `engine`; output is byte-identical to
+/// the serial run because every cell seeds its own RNG from the master
+/// seed and the cell coordinates alone.
+///
+/// # Errors
+///
+/// Propagates codec construction errors and unknown profile names.
+pub fn run_link_campaign_with(
+    config: &LinkCampaignConfig,
+    engine: &SweepEngine,
+) -> Result<LinkCampaignReport, CodecError> {
+    let streams = [StreamKind::Instruction, StreamKind::Data, StreamKind::Muxed];
+    let codes = CodeKind::all();
+    let mut profiles = Vec::with_capacity(config.profiles.len());
+    for name in &config.profiles {
+        let profile = GilbertElliott::named(name).ok_or_else(|| CodecError::InvalidParameter {
+            name: "profile",
+            reason: format!(
+                "unknown channel profile '{}' (expected one of {:?})",
+                name,
+                GilbertElliott::profile_names()
+            ),
+        })?;
+        profiles.push((name.clone(), profile));
+    }
+
+    let mut cells = Vec::new();
+    for (pi, (name, profile)) in profiles.iter().enumerate() {
+        for (si, stream) in streams.iter().enumerate() {
+            for (ci, code) in codes.iter().enumerate() {
+                cells.push((pi, name.clone(), *profile, si, *stream, ci, *code));
+            }
+        }
+    }
+
+    let results = engine.run(cells, |(pi, name, profile, si, stream, ci, code)| {
+        run_link_cell(config, pi, name, profile, si, stream, ci, code)
+    });
+
+    let mut rows = Vec::with_capacity(results.len());
+    for result in results {
+        rows.push(result?);
+    }
+    Ok(LinkCampaignReport {
+        config: config.clone(),
+        rows,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_link_cell(
+    config: &LinkCampaignConfig,
+    pi: usize,
+    name: String,
+    profile: GilbertElliott,
+    si: usize,
+    stream_kind: StreamKind,
+    ci: usize,
+    code: CodeKind,
+) -> Result<LinkCampaignRow, CodecError> {
+    // Per-cell seeding: the cell id folds in a 'L'-for-link salt so link
+    // campaigns never share channel draws with the fault campaigns.
+    let cell = ((pi as u64) << 24 | (si as u64) << 16 | (ci as u64) << 8) | 0x4C;
+    let mut rng = Rng64::seed_from_u64(config.seed ^ cell.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let stream = stream_for(
+        stream_kind,
+        config.stream_len,
+        config.seed.wrapping_add(si as u64),
+    );
+
+    let mut aggregate = LinkStats::default();
+    for _ in 0..config.trials {
+        let channel_seed = rng.next_u64();
+        let mut link_config = LinkConfig::new(code);
+        link_config.params = config.params;
+        link_config.refresh = config.refresh;
+        let session = LinkSession::new(link_config, profile, channel_seed)?;
+        let outcome = session.run(&stream)?;
+        aggregate.accumulate(&outcome.stats);
+    }
+
+    let power = if aggregate.delivered_words > 0 {
+        Some(retransmission_cost(
+            code,
+            config.params,
+            config.refresh,
+            &stream,
+            aggregate.delivered_words,
+            aggregate.link_transitions,
+            aggregate.overhead_transitions,
+            config.line_cap_pf,
+            Technology::date98(),
+        )?)
+    } else {
+        None
+    };
+
+    Ok(LinkCampaignRow {
+        code,
+        stream: stream_kind,
+        profile: name,
+        stats: aggregate,
+        power,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LinkCampaignConfig {
+        LinkCampaignConfig {
+            trials: 1,
+            stream_len: 96,
+            profiles: vec!["bursty".to_string()],
+            ..LinkCampaignConfig::default()
+        }
+    }
+
+    #[test]
+    fn campaign_covers_every_code_and_stream() {
+        let report = run_link_campaign(&tiny()).expect("campaign");
+        assert_eq!(report.rows.len(), 12 * 3);
+        for row in &report.rows {
+            assert_eq!(row.stats.words, 96);
+            assert_eq!(
+                row.stats.delivered_words + row.stats.lost_words,
+                row.stats.words
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_run_matches_serial_byte_for_byte() {
+        let config = tiny();
+        let serial = run_link_campaign(&config).expect("serial");
+        let sharded = run_link_campaign_with(&config, &SweepEngine::new(4)).expect("sharded");
+        assert_eq!(serial.render_json(), sharded.render_json());
+        assert_eq!(serial.render_text(), sharded.render_text());
+    }
+
+    #[test]
+    fn smoke_gate_passes_on_the_default_profiles() {
+        let config = LinkCampaignConfig {
+            trials: 1,
+            stream_len: 128,
+            ..LinkCampaignConfig::default()
+        };
+        let report = run_link_campaign(&config).expect("campaign");
+        let failures = report.smoke_failures();
+        assert!(failures.is_empty(), "smoke failures: {failures:?}");
+    }
+
+    #[test]
+    fn unknown_profile_is_rejected() {
+        let config = LinkCampaignConfig {
+            profiles: vec!["sunny".to_string()],
+            ..tiny()
+        };
+        assert!(run_link_campaign(&config).is_err());
+    }
+
+    #[test]
+    fn renders_mention_every_code() {
+        let report = run_link_campaign(&tiny()).expect("campaign");
+        let text = report.render_text();
+        let json = report.render_json();
+        for code in CodeKind::all() {
+            assert!(text.contains(code.name()));
+            assert!(json.contains(&format!("\"code\":\"{}\"", code.name())));
+        }
+        assert!(json.contains("\"arq_mw\""));
+    }
+}

@@ -24,6 +24,13 @@
 //! every code passes, and the report is byte-identical for any worker
 //! count.
 //!
+//! `--link PROFILE` replaces the clean channel of a plain run with a
+//! seeded Gilbert–Elliott bursty channel (`quiet`, `bursty`, or `harsh`
+//! — the same profiles `linkrun` sweeps): every word, including each
+//! retry the supervisor issues, takes fresh weather, and the channel's
+//! own counters (bad cycles, flipped words, erasures, drops, longest
+//! burst) are reported next to the pipeline stats.
+//!
 //! Checkpoints are written atomically (temp file + rename) and carry a
 //! CRC-32 footer, so `--resume` either restores exactly the captured
 //! state or fails with a precise reason — never silently resumes from a
@@ -34,7 +41,7 @@
 //!          [--stream instruction|data|muxed] [--len WORDS]
 //!          [--chunk WORDS] [--deadline-us US]
 //!          [--soak] [--sweep] [--no-recovery] [--no-degrade] [--power]
-//!          [--redundancy fixed|adaptive]
+//!          [--redundancy fixed|adaptive] [--link PROFILE]
 //!          [--checkpoint-out FILE] [--resume FILE]
 //!          [--format text|json] [--seed S] [--jobs N] [--quiet]
 //! ```
@@ -44,10 +51,11 @@
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use buscode_core::{CodeKind, CodeParams};
+use buscode_core::{BusState, CodeKind, CodeParams};
 use buscode_engine::cli::{self, json_escape, CommonArgs, Outcome, ToolRun, COMMON_USAGE};
 use buscode_engine::SweepEngine;
 use buscode_fault::campaign::stream_for;
+use buscode_fault::{BusGeometry, GeChannel, GeChannelStats, GeEvent, GilbertElliott};
 use buscode_pipeline::soak::{run_soak, SoakConfig, SoakReport};
 use buscode_pipeline::{
     clean_channel, Checkpoint, Pipeline, PipelineConfig, PipelineStats, RedundancyPolicy,
@@ -62,10 +70,11 @@ fn usage() -> String {
         "usage: pipeline [--code NAME] [--width BITS] [--stride N] [--refresh R|bare] \
          [--stream instruction|data|muxed] [--len WORDS] [--chunk WORDS] [--deadline-us US] \
          [--soak] [--sweep] [--no-recovery] [--no-degrade] [--power] \
-         [--redundancy fixed|adaptive] \
+         [--redundancy fixed|adaptive] [--link PROFILE] \
          [--checkpoint-out FILE] [--resume FILE] {COMMON_USAGE}\n\
          codes: binary gray bus-invert t0 t0-bi dual-t0 dual-t0-bi t0-xor offset \
-         working-zone beach self-org"
+         working-zone beach self-org\n\
+         link profiles: quiet bursty harsh (bursty Gilbert-Elliott word channel)"
     )
 }
 
@@ -87,6 +96,9 @@ struct Options {
     power: bool,
     /// `--redundancy adaptive`: let the tier ladder manage protection.
     adaptive: bool,
+    /// `--link PROFILE`: feed the plain run through a seeded
+    /// Gilbert–Elliott bursty word channel instead of the clean one.
+    link: Option<String>,
     checkpoint_out: Option<String>,
     resume: Option<String>,
 }
@@ -108,6 +120,7 @@ fn parse_tool_args(args: &[String], seed: u64) -> Result<Options, String> {
         no_degrade: false,
         power: false,
         adaptive: false,
+        link: None,
         checkpoint_out: None,
         resume: None,
     };
@@ -183,6 +196,16 @@ fn parse_tool_args(args: &[String], seed: u64) -> Result<Options, String> {
                     other => return Err(format!("unknown redundancy mode '{other}'")),
                 };
             }
+            "--link" => {
+                let value = it.next().ok_or("--link needs a value")?;
+                if GilbertElliott::named(value).is_none() {
+                    return Err(format!(
+                        "unknown link profile '{value}' (available: {})",
+                        GilbertElliott::profile_names().join(" ")
+                    ));
+                }
+                opts.link = Some(value.clone());
+            }
             "--checkpoint-out" => {
                 opts.checkpoint_out =
                     Some(it.next().ok_or("--checkpoint-out needs a value")?.clone());
@@ -192,6 +215,11 @@ fn parse_tool_args(args: &[String], seed: u64) -> Result<Options, String> {
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
+    }
+    if opts.link.is_some() && (opts.soak || opts.sweep) {
+        return Err(
+            "--link drives the plain run; --soak and --sweep inject their own faults".to_string(),
+        );
     }
     Ok(opts)
 }
@@ -279,6 +307,37 @@ fn render_stats_json(stats: &PipelineStats) -> String {
         stats.escalations,
         stats.deescalations,
         stats.ecc_words,
+    )
+}
+
+fn render_link_text(profile: &str, weather: &GeChannelStats) -> String {
+    format!(
+        "link channel ({profile}): {} cycles, {} bad, {} bursts, {} flipped words \
+         ({} lines), {} erasures, {} drops, longest burst {}\n",
+        weather.cycles,
+        weather.bad_cycles,
+        weather.bursts,
+        weather.flipped_words,
+        weather.flipped_lines,
+        weather.erasures,
+        weather.drops,
+        weather.max_bad_dwell,
+    )
+}
+
+fn render_link_json(profile: &str, weather: &GeChannelStats) -> String {
+    format!(
+        "{{\"profile\":\"{profile}\",\"cycles\":{},\"bad_cycles\":{},\"bursts\":{},\
+         \"flipped_words\":{},\"flipped_lines\":{},\"erasures\":{},\"drops\":{},\
+         \"max_bad_dwell\":{}}}",
+        weather.cycles,
+        weather.bad_cycles,
+        weather.bursts,
+        weather.flipped_words,
+        weather.flipped_lines,
+        weather.erasures,
+        weather.drops,
+        weather.max_bad_dwell,
     )
 }
 
@@ -518,9 +577,37 @@ fn run(opts: &Options, engine: &SweepEngine) -> Result<Outcome, String> {
     let remaining = accesses
         .into_iter()
         .skip(usize::try_from(already_done).unwrap_or(usize::MAX));
-    let stats = pipe
-        .run(remaining, &mut clean_channel())
-        .map_err(|e| format!("pipeline failed: {e}"))?;
+    let (stats, link_weather) = match &opts.link {
+        Some(profile_name) => {
+            let profile = GilbertElliott::named(profile_name).unwrap_or_else(GilbertElliott::gate);
+            // Geometry covers the lines the configured tier drives; a
+            // dropped cycle reads as all-lines-low at the latch.
+            let aux = opts
+                .code
+                .aux_line_count(config.params)
+                .map_err(|e| format!("cannot size the link geometry: {e}"))?
+                + u32::from(config.refresh.is_some());
+            let mut ge = GeChannel::new(
+                profile,
+                BusGeometry::new(config.params.width.bits(), aux),
+                opts.seed ^ 0x4C49_4E4B, // "LINK": never share draws with the stream
+            );
+            let stats = {
+                let mut channel = |_: u64, word: BusState| match ge.transmit(word) {
+                    (_, GeEvent::Dropped) => BusState::reset(),
+                    (observed, _) => observed,
+                };
+                pipe.run(remaining, &mut channel)
+                    .map_err(|e| format!("pipeline failed: {e}"))?
+            };
+            (stats, Some((profile_name.clone(), ge.stats())))
+        }
+        None => (
+            pipe.run(remaining, &mut clean_channel())
+                .map_err(|e| format!("pipeline failed: {e}"))?,
+            None,
+        ),
+    };
 
     let mut text = format!(
         "run: {} over {} words (resumed at {}, final mode {}, final tier {})\n",
@@ -540,6 +627,11 @@ fn run(opts: &Options, engine: &SweepEngine) -> Result<Outcome, String> {
         pipe.tier(),
         render_stats_json(&stats)
     );
+    if let Some((profile_name, weather)) = &link_weather {
+        text.push_str(&render_link_text(profile_name, weather));
+        data.push_str(",\"link\":");
+        data.push_str(&render_link_json(profile_name, weather));
+    }
     if opts.power {
         let (ptext, pjson) = power_report(opts, &config, &stats)?;
         text.push_str(&ptext);

@@ -1,5 +1,7 @@
 //! Recovery and degradation policies, and the degradation state machine.
 
+use buscode_engine::Backoff;
+
 /// How the supervisor reacts to recoverable decode errors.
 ///
 /// Transient faults are retried (retransmitted) with capped exponential
@@ -36,13 +38,15 @@ impl Default for RecoveryPolicy {
 }
 
 impl RecoveryPolicy {
+    /// The backoff schedule this policy charges retries against.
+    pub fn backoff(&self) -> Backoff {
+        Backoff::new(self.backoff_base, self.backoff_cap)
+    }
+
     /// The capped exponential backoff charged for retry number `attempt`
     /// (zero-based), in bus cycles.
     pub fn backoff_cycles(&self, attempt: u32) -> u64 {
-        self.backoff_base
-            .checked_shl(attempt)
-            .unwrap_or(u64::MAX)
-            .min(self.backoff_cap)
+        self.backoff().delay(attempt)
     }
 }
 

@@ -240,6 +240,30 @@ impl RedundancyManager {
         }
         None
     }
+
+    /// An out-of-band escalation request: step up one tier *now*,
+    /// bypassing the windowed estimator.
+    ///
+    /// The link layer raises this when the channel's bad-state dwell
+    /// persists past its retry budget — at that point retransmitting
+    /// harder is futile and more redundancy per word is the only move
+    /// left. The window and clean-run registers restart at `word_index`
+    /// so the hysteresis timers measure from the hint, exactly as they do
+    /// after a windowed escalation.
+    ///
+    /// Returns `None` when the policy is disabled or the ladder is
+    /// already at the top.
+    pub fn hint_escalate(&mut self, word_index: u64) -> Option<TierShift> {
+        if !self.policy.enabled {
+            return None;
+        }
+        let up = self.tier.up()?;
+        self.tier = up;
+        self.window_start = word_index;
+        self.window_faults = 0;
+        self.clean_run = 0;
+        Some(TierShift::Escalate)
+    }
 }
 
 #[cfg(test)]
@@ -369,6 +393,34 @@ mod tests {
         for i in 0..100 {
             assert_eq!(m.on_word(i, true), None);
         }
+        assert_eq!(m.tier(), RedundancyTier::Bare);
+    }
+
+    #[test]
+    fn hint_escalate_steps_up_immediately_and_respects_the_ladder() {
+        let mut m = RedundancyManager::new(policy());
+        assert_eq!(m.hint_escalate(10), Some(TierShift::Escalate));
+        assert_eq!(m.tier(), RedundancyTier::Parity);
+        assert_eq!(m.hint_escalate(11), Some(TierShift::Escalate));
+        assert_eq!(m.tier(), RedundancyTier::Ecc);
+        // Top of the ladder: the hint has nowhere to go.
+        assert_eq!(m.hint_escalate(12), None);
+        assert_eq!(m.tier(), RedundancyTier::Ecc);
+        // The registers restarted at the hint, so de-escalation needs a
+        // full stable window from there.
+        for word in 13..20 {
+            assert_eq!(m.on_word(word, false), None);
+        }
+        assert_eq!(m.on_word(20, false), Some(TierShift::Deescalate));
+    }
+
+    #[test]
+    fn hint_escalate_is_inert_when_disabled() {
+        let mut m = RedundancyManager::new(RedundancyPolicy {
+            enabled: false,
+            ..policy()
+        });
+        assert_eq!(m.hint_escalate(0), None);
         assert_eq!(m.tier(), RedundancyTier::Bare);
     }
 

@@ -333,8 +333,10 @@ impl Pipeline {
         let mut outcome = decode_once(dec.as_mut(), channel, position, wire_word, access, expected);
 
         // Transient faults: roll the decoder back and retransmit, with
-        // capped exponential backoff, until the retry budget runs out.
+        // capped exponential backoff (the shared schedule the link-layer
+        // ARQ timers also run on), until the retry budget runs out.
         if recovery.enabled {
+            let backoff = recovery.backoff();
             let mut attempt = 0u32;
             while let DecodeOutcome::Transient = outcome {
                 had_error = true;
@@ -345,7 +347,7 @@ impl Pipeline {
                     break;
                 }
                 self.stats.retries += 1;
-                self.stats.backoff_cycles += recovery.backoff_cycles(attempt);
+                self.stats.backoff_cycles += backoff.delay(attempt);
                 attempt += 1;
                 let (_, dec) = self.active_halves();
                 dec.restore(&pre_decode)

@@ -44,5 +44,6 @@ pub use pads::PadModel;
 pub use soc::{evaluate_soc, LevelEstimate, SocConfig, SocReport};
 pub use system::{
     bus_power, degradation_cost, ecc_bus_power, ecc_cost, hardened_bus_power, hardening_cost,
-    rank_codes, BusPowerEstimate, DegradationCost, EccCost, HardeningCost,
+    rank_codes, retransmission_cost, BusPowerEstimate, DegradationCost, EccCost, HardeningCost,
+    RetransmissionCost,
 };

@@ -314,6 +314,107 @@ pub fn degradation_cost(
     })
 }
 
+/// ARQ-vs-ECC energy per *delivered* word: what a retransmitting link
+/// layer actually pays, next to what the always-on SEC-DED tier pays.
+///
+/// The two reliability strategies spend energy in opposite places. ARQ
+/// keeps the steady-state bus lean (no check lines) but pays again for
+/// every retransmitted frame plus the per-frame seq/CRC overhead lines;
+/// ECC pays a fixed per-word premium for the check lines and never
+/// retransmits a single flip. Which is cheaper depends on the channel:
+/// below some loss rate ARQ wins, above it ECC wins — the crossover
+/// EXPERIMENTS.md reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetransmissionCost {
+    /// The code.
+    pub code: CodeKind,
+    /// The refresh interval the ECC estimate used.
+    pub refresh: u64,
+    /// Words the ARQ session delivered (the energy denominator).
+    pub delivered_words: u64,
+    /// Bus power of the bare codec on the clean stream, milliwatts — the
+    /// floor both strategies pay their premium over.
+    pub bare_mw: f64,
+    /// Effective ARQ link power per delivered word, milliwatts:
+    /// every transmitted frame's payload/aux transitions (retransmissions
+    /// included) plus the seq/ctrl/CRC overhead-line transitions, divided
+    /// by the words that actually got through.
+    pub arq_mw: f64,
+    /// Bus power of the SEC-DED tier per delivered word, milliwatts
+    /// (every ECC cycle delivers, so per-cycle == per-delivered-word).
+    pub ecc_mw: f64,
+}
+
+impl RetransmissionCost {
+    /// ARQ premium over the bare bus, in percent.
+    pub fn arq_overhead_percent(&self) -> f64 {
+        if self.bare_mw == 0.0 {
+            0.0
+        } else {
+            100.0 * (self.arq_mw - self.bare_mw) / self.bare_mw
+        }
+    }
+
+    /// Positive when the ECC tier delivers words cheaper than the ARQ
+    /// link does, milliwatts per delivered word.
+    pub fn ecc_advantage_mw(&self) -> f64 {
+        self.arq_mw - self.ecc_mw
+    }
+
+    /// True past the crossover: the channel is lossy enough that paying
+    /// for check lines beats paying for retransmissions.
+    pub fn ecc_wins(&self) -> bool {
+        self.ecc_mw < self.arq_mw
+    }
+}
+
+/// Prices an ARQ session against the ECC tier, per delivered word.
+///
+/// The ARQ side is measured, not modeled: `link_transitions` is the
+/// payload+aux transition count over every frame the link actually drove
+/// (retransmissions included) and `overhead_transitions` the transitions
+/// on the frame-overhead lines (sequence, control, CRC) — both straight
+/// from `buscode-link`'s session stats. The ECC side reuses
+/// [`ecc_bus_power`] on the clean stream: SEC-DED absorbs single flips
+/// in-flight, so its per-cycle power *is* its per-delivered-word power.
+///
+/// # Errors
+///
+/// Propagates codec construction errors; returns
+/// [`CodecError::InvalidParameter`] when `delivered_words` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn retransmission_cost(
+    code: CodeKind,
+    params: CodeParams,
+    refresh: u64,
+    stream: &[Access],
+    delivered_words: u64,
+    link_transitions: u64,
+    overhead_transitions: u64,
+    line_cap_pf: f64,
+    tech: Technology,
+) -> Result<RetransmissionCost, CodecError> {
+    if delivered_words == 0 {
+        return Err(CodecError::InvalidParameter {
+            name: "delivered_words",
+            reason: "an ARQ session that delivered nothing has no per-word cost".to_string(),
+        });
+    }
+    let bare = bus_power(code, params, stream, line_cap_pf, tech)?;
+    let ecc = ecc_bus_power(code, params, refresh, stream, line_cap_pf, tech)?;
+    let line_cap = line_cap_pf * 1e-12;
+    let per_delivered = (link_transitions + overhead_transitions) as f64 / delivered_words as f64;
+    let arq_w = 0.5 * tech.vdd * tech.vdd * tech.frequency * per_delivered * line_cap;
+    Ok(RetransmissionCost {
+        code,
+        refresh,
+        delivered_words,
+        bare_mw: bare.bus_mw,
+        arq_mw: milliwatts(arq_w),
+        ecc_mw: ecc.bus_mw,
+    })
+}
+
 /// Ranks every paper code by bus power on one stream (ascending).
 ///
 /// # Errors
@@ -429,6 +530,59 @@ mod tests {
         assert!((always.effective_mw() - always.binary_mw).abs() < 1e-9);
         // Out-of-domain fractions are rejected.
         assert!(degradation_cost(CodeKind::T0, params, &stream, 1.5, 50.0, tech).is_err());
+    }
+
+    #[test]
+    fn retransmission_cost_prices_measured_transitions_per_delivered_word() {
+        let stream = InstructionModel::new(0.63).generate(4_000, 17);
+        let params = CodeParams::default();
+        let tech = Technology::date98();
+        // A clean link: transitions equal the bare stream's, everything
+        // delivered, no overhead — the ARQ power must equal bare power.
+        let bare = bus_power(CodeKind::T0, params, &stream, 50.0, tech).unwrap();
+        let clean = retransmission_cost(
+            CodeKind::T0,
+            params,
+            32,
+            &stream,
+            bare.stats.cycles,
+            bare.stats.total(),
+            0,
+            50.0,
+            tech,
+        )
+        .unwrap();
+        assert!((clean.arq_mw - clean.bare_mw).abs() < 1e-12);
+        assert!((clean.arq_overhead_percent()).abs() < 1e-9);
+        // The ECC leg agrees with the direct estimator.
+        let ecc = ecc_bus_power(CodeKind::T0, params, 32, &stream, 50.0, tech).unwrap();
+        assert_eq!(clean.ecc_mw, ecc.bus_mw);
+        // A clean channel is ARQ territory: no retransmissions, so ECC's
+        // always-on check lines lose.
+        assert!(!clean.ecc_wins());
+        assert!(clean.ecc_advantage_mw() < 0.0);
+
+        // Doubling the measured transitions doubles the per-word power;
+        // past some point the crossover flips to ECC.
+        let lossy = retransmission_cost(
+            CodeKind::T0,
+            params,
+            32,
+            &stream,
+            bare.stats.cycles,
+            4 * bare.stats.total(),
+            bare.stats.total(),
+            50.0,
+            tech,
+        )
+        .unwrap();
+        assert!((lossy.arq_mw - 5.0 * clean.arq_mw).abs() / lossy.arq_mw < 1e-9);
+        assert!(lossy.ecc_wins());
+
+        // A session that delivered nothing has no per-word cost.
+        assert!(
+            retransmission_cost(CodeKind::T0, params, 32, &stream, 0, 100, 0, 50.0, tech).is_err()
+        );
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub use buscode_core as core;
 pub use buscode_cpu as cpu;
 pub use buscode_engine as engine;
 pub use buscode_fault as fault;
+pub use buscode_link as link;
 pub use buscode_lint as lint;
 pub use buscode_logic as logic;
 pub use buscode_pipeline as pipeline;
