@@ -26,8 +26,11 @@ use buscode_bench::render::{
 };
 use buscode_bench::tables;
 use buscode_core::{BusWidth, Stride};
-use buscode_engine::cli::{self, json_escape, CommonArgs, Outcome, ToolRun, COMMON_USAGE};
+use buscode_engine::cli::{
+    self, json_escape, CommonArgs, JsonPayload, Outcome, Report, ToolRun, COMMON_USAGE,
+};
 use buscode_engine::SweepEngine;
+use buscode_telemetry::MetricSet;
 
 const TOOL: &str = "paper_tables";
 
@@ -76,6 +79,40 @@ fn parse_tool_args(args: &[String]) -> Result<Options, String> {
 struct Section {
     id: String,
     text: String,
+}
+
+/// All rendered tables from one run, behind the unified [`Report`] API.
+struct TablesReport {
+    sections: Vec<Section>,
+}
+
+impl Report for TablesReport {
+    fn render_text(&self) -> String {
+        self.sections.iter().map(|s| s.text.as_str()).collect()
+    }
+
+    fn render_json(&self) -> String {
+        let entries: Vec<String> = self
+            .sections
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"table\":\"{}\",\"render\":\"{}\"}}",
+                    json_escape(&s.id),
+                    json_escape(&s.text)
+                )
+            })
+            .collect();
+        format!("[{}]", entries.join(","))
+    }
+
+    fn metrics(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        set.add_counter("tables.sections", self.sections.len() as u64);
+        let bytes: u64 = self.sections.iter().map(|s| s.text.len() as u64).sum();
+        set.add_counter("tables.rendered_bytes", bytes);
+        set
+    }
 }
 
 fn build_sections(opts: &Options, engine: &SweepEngine) -> Result<Vec<Section>, String> {
@@ -292,21 +329,11 @@ fn main() -> ExitCode {
         Err(msg) => return run.finish(&Outcome::error(msg)),
     };
 
-    let text: String = sections.iter().map(|s| s.text.as_str()).collect();
-    let entries: Vec<String> = sections
-        .iter()
-        .map(|s| {
-            format!(
-                "{{\"table\":\"{}\",\"render\":\"{}\"}}",
-                json_escape(&s.id),
-                json_escape(&s.text)
-            )
-        })
-        .collect();
-    let data = format!(
-        "{{\"jobs\":{},\"tables\":[{}]}}",
-        engine.jobs(),
-        entries.join(",")
-    );
-    run.finish(&Outcome::success(text, data))
+    let report = TablesReport { sections };
+    let data = JsonPayload::new()
+        .u64("jobs", engine.jobs() as u64)
+        .raw("tables", &Report::render_json(&report))
+        .finish();
+    let outcome = Outcome::success(report.render_text(), data);
+    run.finish(&outcome.with_metrics(report.metrics()))
 }

@@ -65,6 +65,7 @@ pub mod rng;
 pub mod snapshot;
 pub mod stream;
 pub mod sym;
+mod tier;
 mod traits;
 
 pub use bus::{hamming, Access, AccessKind, BusState, BusWidth, Stride};
@@ -72,4 +73,5 @@ pub use error::{CodecError, RecoveryClass};
 pub use metrics::TransitionStats;
 pub use snapshot::{Snapshot, SnapshotDecoder, SnapshotEncoder, StateImage};
 pub use stream::{DecoderExt, EncoderExt};
+pub use tier::Tier;
 pub use traits::{CodeKind, CodeParams, Decoder, Encoder};

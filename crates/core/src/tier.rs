@@ -1,0 +1,250 @@
+//! The unified bare → parity → ECC protection ladder, and the codec
+//! factory that builds any code at any rung.
+//!
+//! Every runtime layer prices the same redundancy trade-off: run the
+//! inner code alone ([`Tier::Bare`]), add aux-parity detection with
+//! periodic refresh ([`Tier::Parity`], the
+//! [`Hardened`][crate::codes::Hardened] wrapper), or pay for SEC-DED
+//! in-flight correction ([`Tier::Ecc`], the
+//! [`EccHardened`][crate::codes::EccHardened] wrapper). The fault
+//! campaigns, the streaming pipeline, and the link layer all walk this
+//! one ladder; [`CodeKind::build_codec`] and
+//! [`CodeKind::build_snapshot_codec`] are the single construction path
+//! they share.
+
+use crate::snapshot::{SnapshotDecoder, SnapshotEncoder};
+use crate::traits::{CodeKind, CodeParams, Decoder, Encoder};
+use crate::CodecError;
+
+/// A protection level on the bare → parity → ECC redundancy ladder.
+///
+/// Ordered by redundancy, so `tier as usize` indexes the ladder and
+/// comparisons express "at least this protected".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tier {
+    /// The inner code alone — no detection, no correction.
+    Bare,
+    /// Aux-parity detection plus periodic refresh
+    /// ([`Hardened`][crate::codes::Hardened]).
+    Parity,
+    /// SEC-DED in-flight correction plus overall parity and periodic
+    /// refresh ([`EccHardened`][crate::codes::EccHardened]).
+    Ecc,
+}
+
+impl Tier {
+    /// Every tier, bottom of the ladder first.
+    #[must_use]
+    pub fn all() -> &'static [Tier] {
+        &[Tier::Bare, Tier::Parity, Tier::Ecc]
+    }
+
+    /// A short stable identifier for reports and checkpoints.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Bare => "bare",
+            Tier::Parity => "parity",
+            Tier::Ecc => "ecc",
+        }
+    }
+
+    /// Parses a [`Tier::name`] back into the tier.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Tier> {
+        Tier::all().iter().copied().find(|t| t.name() == name)
+    }
+
+    /// The next tier up, or `None` at the top of the ladder.
+    #[must_use]
+    pub fn up(self) -> Option<Tier> {
+        match self {
+            Tier::Bare => Some(Tier::Parity),
+            Tier::Parity => Some(Tier::Ecc),
+            Tier::Ecc => None,
+        }
+    }
+
+    /// The next tier down, or `None` at the bottom of the ladder.
+    #[must_use]
+    pub fn down(self) -> Option<Tier> {
+        match self {
+            Tier::Bare => None,
+            Tier::Parity => Some(Tier::Bare),
+            Tier::Ecc => Some(Tier::Parity),
+        }
+    }
+}
+
+impl core::fmt::Display for Tier {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl CodeKind {
+    /// Builds this code's encoder at the given protection tier.
+    ///
+    /// `refresh` is the hardening refresh interval; [`Tier::Bare`]
+    /// ignores it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor and wrapper validation errors.
+    pub fn tier_encoder(
+        self,
+        params: CodeParams,
+        tier: Tier,
+        refresh: u64,
+    ) -> Result<Box<dyn Encoder>, CodecError> {
+        Ok(match tier {
+            Tier::Bare => self.encoder(params)?,
+            Tier::Parity => Box::new(self.hardened_encoder(params, refresh)?),
+            Tier::Ecc => Box::new(self.ecc_encoder(params, refresh)?),
+        })
+    }
+
+    /// Builds the decoder paired with [`CodeKind::tier_encoder`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor and wrapper validation errors.
+    pub fn tier_decoder(
+        self,
+        params: CodeParams,
+        tier: Tier,
+        refresh: u64,
+    ) -> Result<Box<dyn Decoder>, CodecError> {
+        Ok(match tier {
+            Tier::Bare => self.decoder(params)?,
+            Tier::Parity => Box::new(self.hardened_decoder(params, refresh)?),
+            Tier::Ecc => Box::new(self.ecc_decoder(params, refresh)?),
+        })
+    }
+
+    /// Builds this code's encoder at the given tier behind the
+    /// checkpointable [`SnapshotEncoder`] bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor and wrapper validation errors.
+    pub fn tier_snapshot_encoder(
+        self,
+        params: CodeParams,
+        tier: Tier,
+        refresh: u64,
+    ) -> Result<Box<dyn SnapshotEncoder>, CodecError> {
+        match tier {
+            Tier::Bare => self.snapshot_encoder(params),
+            Tier::Parity => self.hardened_snapshot_encoder(params, refresh),
+            Tier::Ecc => self.ecc_snapshot_encoder(params, refresh),
+        }
+    }
+
+    /// Builds the decoder paired with
+    /// [`CodeKind::tier_snapshot_encoder`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor and wrapper validation errors.
+    pub fn tier_snapshot_decoder(
+        self,
+        params: CodeParams,
+        tier: Tier,
+        refresh: u64,
+    ) -> Result<Box<dyn SnapshotDecoder>, CodecError> {
+        match tier {
+            Tier::Bare => self.snapshot_decoder(params),
+            Tier::Parity => self.hardened_snapshot_decoder(params, refresh),
+            Tier::Ecc => self.ecc_snapshot_decoder(params, refresh),
+        }
+    }
+
+    /// Builds the matched encoder/decoder pair for this code at the
+    /// given tier — the one construction path the fault campaigns, the
+    /// pipeline, and the link layer share.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor and wrapper validation errors.
+    #[allow(clippy::type_complexity)]
+    pub fn build_codec(
+        self,
+        params: CodeParams,
+        tier: Tier,
+        refresh: u64,
+    ) -> Result<(Box<dyn Encoder>, Box<dyn Decoder>), CodecError> {
+        Ok((
+            self.tier_encoder(params, tier, refresh)?,
+            self.tier_decoder(params, tier, refresh)?,
+        ))
+    }
+
+    /// [`CodeKind::build_codec`] behind the checkpointable snapshot
+    /// bounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor and wrapper validation errors.
+    #[allow(clippy::type_complexity)]
+    pub fn build_snapshot_codec(
+        self,
+        params: CodeParams,
+        tier: Tier,
+        refresh: u64,
+    ) -> Result<(Box<dyn SnapshotEncoder>, Box<dyn SnapshotDecoder>), CodecError> {
+        Ok((
+            self.tier_snapshot_encoder(params, tier, refresh)?,
+            self.tier_snapshot_decoder(params, tier, refresh)?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Access;
+
+    #[test]
+    fn ladder_walks_up_and_down() {
+        assert_eq!(Tier::Bare.up(), Some(Tier::Parity));
+        assert_eq!(Tier::Parity.up(), Some(Tier::Ecc));
+        assert_eq!(Tier::Ecc.up(), None);
+        assert_eq!(Tier::Ecc.down(), Some(Tier::Parity));
+        assert_eq!(Tier::Bare.down(), None);
+        for &tier in Tier::all() {
+            assert_eq!(Tier::from_name(tier.name()), Some(tier));
+            assert_eq!(format!("{tier}"), tier.name());
+        }
+        assert_eq!(Tier::from_name("steel"), None);
+    }
+
+    #[test]
+    fn build_codec_round_trips_every_code_and_tier() {
+        let params = CodeParams::default();
+        let stream: Vec<Access> = (0..32u64)
+            .map(|i| Access::instruction(0x400 + 4 * i))
+            .collect();
+        for kind in CodeKind::all() {
+            for &tier in Tier::all() {
+                let (mut enc, mut dec) = kind.build_codec(params, tier, 16).expect("valid params");
+                for access in &stream {
+                    let word = enc.encode(*access);
+                    let back = dec.decode(word, access.kind).expect("conforming stream");
+                    assert_eq!(back, access.address, "{kind} at {tier}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_factory_matches_the_plain_one() {
+        let params = CodeParams::default();
+        let (mut enc, mut dec) = CodeKind::T0
+            .build_snapshot_codec(params, Tier::Ecc, 8)
+            .expect("valid params");
+        let access = Access::instruction(0x1000);
+        let word = enc.encode(access);
+        assert_eq!(dec.decode(word, access.kind).expect("clean bus"), 0x1000);
+    }
+}

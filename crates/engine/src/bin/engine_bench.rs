@@ -3,34 +3,41 @@
 //! Runs the block-API transition kernels and the sharded all-codes sweep
 //! on a fixed-seed synthetic stream, writes the `BENCH_engine.json`
 //! throughput record, and gates on correctness: the multi-thread sweep
-//! must be bit-identical to the serial run, and (with `--min-speedup`)
-//! the batched transition-profile kernels (total + per-line counts, the
+//! must be bit-identical to the serial run, (with `--min-speedup`) the
+//! batched transition-profile kernels (total + per-line counts, the
 //! `speedup` field) must beat the per-word seed path by the given
-//! factor. Total-only kernel throughput is reported alongside as the
+//! factor, and (with `--max-overhead`) live telemetry must cost less
+//! than the given percent of block-kernel throughput versus the no-op
+//! registry. Total-only kernel throughput is reported alongside as the
 //! `count_speedup` reference.
 //!
 //! ```text
-//! engine_bench [--words N] [--out FILE] [--min-speedup X]
-//!              [--format text|json] [--seed S] [--jobs N] [--quiet]
+//! engine_bench [--words N] [--out FILE] [--min-speedup X] [--max-overhead PCT]
+//!              [--format text|json] [--metrics text|json|csv]
+//!              [--seed S] [--jobs N] [--quiet]
 //! ```
 
 #![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 
-use buscode_engine::cli::{self, CommonArgs, Outcome, ToolRun, COMMON_USAGE};
+use buscode_engine::cli::{self, CommonArgs, Outcome, Report, ToolRun, COMMON_USAGE};
 use buscode_engine::throughput::run_throughput;
 
 const TOOL: &str = "engine_bench";
 
 fn usage() -> String {
-    format!("usage: engine_bench [--words N] [--out FILE] [--min-speedup X] {COMMON_USAGE}")
+    format!(
+        "usage: engine_bench [--words N] [--out FILE] [--min-speedup X] \
+         [--max-overhead PCT] {COMMON_USAGE}"
+    )
 }
 
 struct Options {
     words: usize,
     out: Option<String>,
     min_speedup: f64,
+    max_overhead: Option<f64>,
 }
 
 fn parse_tool_args(args: &[String]) -> Result<Options, String> {
@@ -38,6 +45,7 @@ fn parse_tool_args(args: &[String]) -> Result<Options, String> {
         words: 1_000_000,
         out: Some("BENCH_engine.json".to_string()),
         min_speedup: 0.0,
+        max_overhead: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -63,6 +71,16 @@ fn parse_tool_args(args: &[String]) -> Result<Options, String> {
                 opts.min_speedup = value
                     .parse::<f64>()
                     .map_err(|_| format!("--min-speedup: '{value}' is not a number"))?;
+            }
+            "--max-overhead" => {
+                let value = it.next().ok_or("--max-overhead needs a value")?;
+                let pct = value
+                    .parse::<f64>()
+                    .map_err(|_| format!("--max-overhead: '{value}' is not a number"))?;
+                if pct <= 0.0 {
+                    return Err("--max-overhead must be positive".to_string());
+                }
+                opts.max_overhead = Some(pct);
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -93,44 +111,12 @@ fn main() -> ExitCode {
     };
 
     if let Some(path) = &opts.out {
-        if let Err(e) = std::fs::write(path, report.render_json()) {
+        if let Err(e) = std::fs::write(path, Report::render_json(&report)) {
             return run.finish(&Outcome::error(format!("cannot write {path}: {e}")));
         }
     }
 
-    let mut text = format!("throughput: {} words, seed {}\n", report.words, report.seed);
-    for k in &report.kernels {
-        text.push_str(&format!(
-            "  {:<8} profile  per-word {:>8.2} Mw/s, block {:>8.2} Mw/s, speedup {:.2}x \
-             ({} transitions)\n",
-            k.code,
-            k.per_word_words_per_sec / 1e6,
-            k.block_words_per_sec / 1e6,
-            k.speedup,
-            k.transitions
-        ));
-        text.push_str(&format!(
-            "  {:<8} total    per-word {:>8.2} Mw/s, block {:>8.2} Mw/s, speedup {:.2}x\n",
-            "", // align under the code name
-            k.count_per_word_words_per_sec / 1e6,
-            k.count_block_words_per_sec / 1e6,
-            k.count_speedup
-        ));
-    }
-    text.push_str(&format!(
-        "sweep: {} cells, jobs {}: serial {:.1} ms, parallel {:.1} ms, \
-         speedup {:.2}x, {}\n",
-        report.sweep.cells,
-        report.sweep.jobs,
-        report.sweep.serial_ms,
-        report.sweep.parallel_ms,
-        report.sweep.speedup,
-        if report.sweep.identical {
-            "bit-identical"
-        } else {
-            "DIVERGED"
-        }
-    ));
+    let mut text = report.render_text();
     if let Some(path) = &opts.out {
         text.push_str(&format!("record written to {path}\n"));
     }
@@ -146,12 +132,20 @@ fn main() -> ExitCode {
             opts.min_speedup
         ));
     }
+    if let Some(max_overhead) = opts.max_overhead {
+        let overhead = report.telemetry.overhead_percent;
+        if overhead > max_overhead {
+            failures.push(format!(
+                "telemetry overhead {overhead:.2}% above the --max-overhead {max_overhead:.2}% gate"
+            ));
+        }
+    }
 
-    let data = report.render_json();
+    let data = Report::render_json(&report);
     let outcome = if failures.is_empty() {
         Outcome::success(text, data)
     } else {
         Outcome::failure(failures.join("; "), text, data)
     };
-    run.finish(&outcome)
+    run.finish(&outcome.with_metrics(report.metrics()))
 }

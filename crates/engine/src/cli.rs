@@ -4,11 +4,16 @@
 //! `pipeline`, `asmrun`, `engine_bench`) share:
 //!
 //! - one common flag set — `--format text|json`, `--seed S`, `--jobs N`,
-//!   `--quiet` — extracted by [`CommonArgs::extract`] before the tool
-//!   parses its own flags;
+//!   `--quiet`, `--metrics text|json|csv` — extracted by
+//!   [`CommonArgs::extract`] before the tool parses its own flags;
 //! - one JSON envelope — tool name, version, elapsed milliseconds, exit
 //!   status, reason, and a tool-specific `data` object — emitted by
 //!   [`ToolRun::finish`];
+//! - one reporting surface — tool reports implement [`Report`]
+//!   (`render_text`/`render_json`/`metrics`), the `data` payload is
+//!   assembled with [`JsonPayload`], and the metric snapshot attached to
+//!   an [`Outcome`] is rendered by `--metrics` in the unified
+//!   [`buscode_telemetry`] schema;
 //! - one exit-code convention: `0` success, `1` a gate or check failed,
 //!   `2` usage error or the tool itself could not run.
 //!
@@ -18,6 +23,8 @@
 
 use std::process::ExitCode;
 use std::time::Instant;
+
+use buscode_telemetry::MetricSet;
 
 use crate::sweep::SweepEngine;
 
@@ -42,6 +49,45 @@ impl Format {
     }
 }
 
+/// Rendering selected by `--metrics` for the attached metric snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MetricsFormat {
+    /// Human-readable metric lines.
+    Text,
+    /// The versioned JSON snapshot.
+    Json,
+    /// One `name,kind,value` row per metric.
+    Csv,
+}
+
+impl MetricsFormat {
+    /// Parses a `--metrics` value.
+    fn parse(value: &str) -> Result<MetricsFormat, String> {
+        match value {
+            "text" => Ok(MetricsFormat::Text),
+            "json" => Ok(MetricsFormat::Json),
+            "csv" => Ok(MetricsFormat::Csv),
+            other => Err(format!(
+                "unknown metrics format '{other}' (expected text|json|csv)"
+            )),
+        }
+    }
+
+    /// Renders a snapshot in this format.
+    #[must_use]
+    pub fn render(&self, metrics: &MetricSet) -> String {
+        match self {
+            MetricsFormat::Text => metrics.render_text(),
+            MetricsFormat::Json => {
+                let mut out = metrics.render_json();
+                out.push('\n');
+                out
+            }
+            MetricsFormat::Csv => metrics.render_csv(),
+        }
+    }
+}
+
 /// The flags every buscode tool accepts.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct CommonArgs {
@@ -57,10 +103,18 @@ pub struct CommonArgs {
     pub quiet: bool,
     /// `--help`/`-h` was given.
     pub help: bool,
+    /// Metric-snapshot rendering (`--metrics`); `None` emits no metrics.
+    ///
+    /// In text mode the snapshot prints after the body, *unsuppressed*
+    /// by `--quiet` — `--quiet --metrics json` isolates the snapshot on
+    /// stdout. In JSON mode the envelope gains a `metrics` field
+    /// carrying the JSON snapshot regardless of the chosen rendering.
+    pub metrics: Option<MetricsFormat>,
 }
 
 /// The usage fragment describing the common flags, for tool usage strings.
-pub const COMMON_USAGE: &str = "[--format text|json] [--seed S] [--jobs N] [--quiet]";
+pub const COMMON_USAGE: &str =
+    "[--format text|json] [--metrics text|json|csv] [--seed S] [--jobs N] [--quiet]";
 
 impl CommonArgs {
     /// Extracts the common flags from `args`, leaving tool-specific
@@ -91,6 +145,10 @@ impl CommonArgs {
                     let value = it.next().ok_or("--jobs needs a value")?;
                     common.jobs = usize::try_from(parse_u64("--jobs", &value)?)
                         .map_err(|_| "--jobs out of range".to_string())?;
+                }
+                "--metrics" => {
+                    let value = it.next().ok_or("--metrics needs a value")?;
+                    common.metrics = Some(MetricsFormat::parse(&value)?);
                 }
                 "--quiet" | "-q" => common.quiet = true,
                 "--help" | "-h" => common.help = true,
@@ -164,7 +222,8 @@ impl RunStatus {
     }
 }
 
-/// What a tool produced: status, reason, a text body, and a JSON body.
+/// What a tool produced: status, reason, a text body, a JSON body, and
+/// an optional metric snapshot for `--metrics`.
 #[derive(Clone, Debug)]
 pub struct Outcome {
     /// How the run ended.
@@ -176,6 +235,8 @@ pub struct Outcome {
     pub text: String,
     /// Tool-specific JSON value for the envelope's `data` field.
     pub data: String,
+    /// The run's aggregated metrics, rendered when `--metrics` is given.
+    pub metrics: Option<MetricSet>,
 }
 
 impl Outcome {
@@ -187,6 +248,7 @@ impl Outcome {
             reason: "ok".to_string(),
             text,
             data,
+            metrics: None,
         }
     }
 
@@ -198,6 +260,7 @@ impl Outcome {
             reason,
             text,
             data,
+            metrics: None,
         }
     }
 
@@ -209,7 +272,129 @@ impl Outcome {
             reason,
             text: String::new(),
             data: "{}".to_string(),
+            metrics: None,
         }
+    }
+
+    /// Attaches the run's metric snapshot (rendered under `--metrics`).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricSet) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+}
+
+/// The one reporting interface every tool report implements.
+///
+/// `render_text` is the human body, `render_json` the machine payload
+/// embedded in the envelope's `data` field, and `metrics` the report's
+/// aggregated snapshot in the unified [`buscode_telemetry`] schema —
+/// what the tool's `--metrics` flag emits.
+pub trait Report {
+    /// Human-readable rendering for `--format text`.
+    fn render_text(&self) -> String;
+    /// JSON rendering for the envelope's `data` payload.
+    fn render_json(&self) -> String;
+    /// The report collapsed onto the unified metric schema.
+    fn metrics(&self) -> MetricSet {
+        MetricSet::new()
+    }
+}
+
+/// Incremental builder for a tool's JSON `data` payload — replaces the
+/// per-binary hand-rolled `format!` envelopes.
+#[derive(Debug, Default)]
+pub struct JsonPayload {
+    buf: String,
+}
+
+impl JsonPayload {
+    /// An empty `{}` payload.
+    #[must_use]
+    pub fn new() -> Self {
+        JsonPayload::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&json_escape(key));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a pre-rendered JSON value under `key`.
+    #[must_use]
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Adds an unsigned integer under `key`.
+    #[must_use]
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        let rendered = value.to_string();
+        self.raw(key, &rendered)
+    }
+
+    /// Adds a report's JSON rendering under `key`.
+    #[must_use]
+    pub fn report(self, key: &str, report: &dyn Report) -> Self {
+        let rendered = report.render_json();
+        self.raw(key, &rendered)
+    }
+
+    /// Adds an array of escaped strings under `key`.
+    #[must_use]
+    pub fn strings(mut self, key: &str, items: &[String]) -> Self {
+        self.key(key);
+        self.buf.push('[');
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push('"');
+            self.buf.push_str(&json_escape(item));
+            self.buf.push('"');
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Closes the object.
+    #[must_use]
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Folds a smoke/gate check into an [`Outcome`]: the failure list lands
+/// in the payload as `smoke_failures`, the text body gains either
+/// `pass_note` or one `SMOKE FAILURE:` line per finding, and the status
+/// follows. `fail_reason` is the envelope reason when the gate fails
+/// (callers format it with the failure count up front).
+#[must_use]
+pub fn gate_outcome(
+    mut text: String,
+    payload: JsonPayload,
+    failures: &[String],
+    pass_note: &str,
+    fail_reason: String,
+) -> Outcome {
+    let data = payload.strings("smoke_failures", failures).finish();
+    if failures.is_empty() {
+        text.push_str(pass_note);
+        if !pass_note.ends_with('\n') {
+            text.push('\n');
+        }
+        Outcome::success(text, data)
+    } else {
+        for failure in failures {
+            text.push_str(&format!("SMOKE FAILURE: {failure}\n"));
+        }
+        Outcome::failure(fail_reason, text, data)
     }
 }
 
@@ -242,12 +427,19 @@ impl ToolRun {
     }
 
     /// Renders the shared JSON envelope around `outcome`.
+    ///
+    /// When `--metrics` was given and the outcome carries a snapshot,
+    /// the envelope gains a `metrics` field with the JSON rendering.
     #[must_use]
     pub fn envelope(&self, outcome: &Outcome) -> String {
         let elapsed_ms = self.start.elapsed().as_secs_f64() * 1e3;
+        let metrics = match (&self.common.metrics, &outcome.metrics) {
+            (Some(_), Some(set)) => format!(",\"metrics\":{}", set.render_json()),
+            _ => String::new(),
+        };
         format!(
             "{{\"tool\":\"{}\",\"version\":\"{}\",\"elapsed_ms\":{:.3},\
-             \"status\":\"{}\",\"reason\":\"{}\",\"data\":{}}}",
+             \"status\":\"{}\",\"reason\":\"{}\",\"data\":{}{}}}",
             json_escape(self.tool),
             json_escape(self.version),
             elapsed_ms,
@@ -258,6 +450,7 @@ impl ToolRun {
             } else {
                 &outcome.data
             },
+            metrics,
         )
     }
 
@@ -266,7 +459,10 @@ impl ToolRun {
     ///
     /// Text mode prints the body to stdout (suppressed by `--quiet`) and
     /// failure reasons to stderr; JSON mode always prints the complete
-    /// envelope to stdout.
+    /// envelope to stdout. A `--metrics` snapshot prints after the text
+    /// body in the chosen rendering, deliberately *not* suppressed by
+    /// `--quiet`, so `--quiet --metrics json` leaves exactly the
+    /// versioned snapshot on stdout.
     pub fn finish(self, outcome: &Outcome) -> ExitCode {
         match self.common.format {
             Format::Json => println!("{}", self.envelope(outcome)),
@@ -277,6 +473,9 @@ impl ToolRun {
                     } else {
                         println!("{}", outcome.text);
                     }
+                }
+                if let (Some(format), Some(metrics)) = (&self.common.metrics, &outcome.metrics) {
+                    print!("{}", format.render(metrics));
                 }
                 if outcome.status != RunStatus::Success {
                     eprintln!("{}: {}", self.tool, outcome.reason);

@@ -13,8 +13,9 @@
 //!   input order, so a `--jobs 8` run is byte-identical to `--jobs 1`;
 //! - [`cli`] — the unified command-line surface shared by every binary
 //!   in the workspace (`paper_tables`, `buslint`, `faultrun`, `pipeline`,
-//!   `asmrun`, `engine_bench`): common `--format`/`--seed`/`--jobs`/
-//!   `--quiet` flags, one JSON envelope, one exit-code convention;
+//!   `asmrun`, `engine_bench`): common `--format`/`--metrics`/`--seed`/
+//!   `--jobs`/`--quiet` flags, one JSON envelope, one [`cli::Report`]
+//!   trait, one exit-code convention;
 //! - [`throughput`] — the words/sec harness behind `BENCH_engine.json`,
 //!   measuring the block-API kernels against the per-word seed path;
 //! - [`backoff`] — the deterministic capped-exponential [`Backoff`]
@@ -31,6 +32,6 @@ pub mod sweep;
 pub mod throughput;
 
 pub use backoff::Backoff;
-pub use cli::{CommonArgs, Format, Outcome, RunStatus, ToolRun};
+pub use cli::{CommonArgs, Format, MetricsFormat, Outcome, Report, RunStatus, ToolRun};
 pub use sweep::SweepEngine;
 pub use throughput::{run_throughput, ThroughputReport};

@@ -12,6 +12,8 @@ use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use buscode_telemetry::MetricSet;
+
 /// Shards independent jobs across worker threads with deterministic
 /// result ordering.
 ///
@@ -124,6 +126,36 @@ impl SweepEngine {
             })
             .collect()
     }
+
+    /// [`SweepEngine::run`] with per-shard telemetry: each job records
+    /// into its own fresh [`MetricSet`], and the shard sets are merged
+    /// in *input order* after the sweep joins.
+    ///
+    /// Because every per-shard set starts empty and the merge walks the
+    /// deterministic input order with commutative combine rules, the
+    /// aggregated snapshot — like the outputs — is byte-identical for
+    /// any worker count.
+    pub fn run_metered<In, Out, F>(&self, inputs: Vec<In>, worker: F) -> (Vec<Out>, MetricSet)
+    where
+        In: Send,
+        Out: Send,
+        F: Fn(In, &mut MetricSet) -> Out + Sync,
+    {
+        let results = self.run(inputs, |input| {
+            let mut shard = MetricSet::new();
+            let output = worker(input, &mut shard);
+            (output, shard)
+        });
+        let mut merged = MetricSet::new();
+        let outputs = results
+            .into_iter()
+            .map(|(output, shard)| {
+                merged.merge(&shard);
+                output
+            })
+            .collect();
+        (outputs, merged)
+    }
 }
 
 impl Default for SweepEngine {
@@ -181,6 +213,23 @@ mod tests {
     fn zero_means_auto() {
         assert!(SweepEngine::new(0).jobs() >= 1);
         assert_eq!(SweepEngine::new(3).jobs(), 3);
+    }
+
+    #[test]
+    fn metered_run_merges_shards_deterministically() {
+        let inputs: Vec<u64> = (0..200).collect();
+        let worker = |n: u64, metrics: &mut MetricSet| {
+            metrics.add_counter("cells", 1);
+            metrics.observe("value", n);
+            n * 2
+        };
+        let (serial_out, serial_metrics) =
+            SweepEngine::serial().run_metered(inputs.clone(), worker);
+        let (parallel_out, parallel_metrics) = SweepEngine::new(8).run_metered(inputs, worker);
+        assert_eq!(serial_out, parallel_out);
+        assert_eq!(serial_metrics, parallel_metrics);
+        assert_eq!(serial_metrics.render_json(), parallel_metrics.render_json());
+        assert_eq!(serial_metrics.counter("cells"), 200);
     }
 
     #[test]

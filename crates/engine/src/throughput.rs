@@ -20,6 +20,7 @@
 //! transition totals they report are stable across machines; only the
 //! timing fields vary.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use buscode_core::metrics::{
@@ -28,7 +29,9 @@ use buscode_core::metrics::{
 };
 use buscode_core::rng::Rng64;
 use buscode_core::{Access, CodeKind, CodeParams};
+use buscode_telemetry::{CounterId, HistogramId, MetricSet, Registry, SpanId};
 
+use crate::cli::Report;
 use crate::sweep::SweepEngine;
 
 /// One code's block-vs-per-word kernel measurement.
@@ -72,6 +75,22 @@ pub struct SweepRecord {
     pub identical: bool,
 }
 
+/// The telemetry overhead measurement: the same instrumented chunked
+/// counting loop timed against a no-op registry and a live one. This is
+/// what the `engine_bench --max-overhead` gate (<5% in CI) enforces.
+#[derive(Clone, Debug)]
+pub struct OverheadRecord {
+    /// Instrumented blocks per pass (one span + three record calls each).
+    pub blocks: u64,
+    /// Words/sec with the no-op registry (telemetry compiled in, off).
+    pub noop_words_per_sec: f64,
+    /// Words/sec with the live registry (every record call hitting
+    /// atomic slots).
+    pub live_words_per_sec: f64,
+    /// Throughput lost to live telemetry, percent of the no-op rate.
+    pub overhead_percent: f64,
+}
+
 /// The full throughput record written to `BENCH_engine.json`.
 #[derive(Clone, Debug)]
 pub struct ThroughputReport {
@@ -83,6 +102,8 @@ pub struct ThroughputReport {
     pub kernels: Vec<KernelRecord>,
     /// The sharded sweep measurement.
     pub sweep: SweepRecord,
+    /// The telemetry overhead measurement.
+    pub telemetry: OverheadRecord,
 }
 
 impl ThroughputReport {
@@ -124,7 +145,9 @@ impl ThroughputReport {
         format!(
             "{{\"words\":{},\"seed\":{},\"kernels\":[{}],\
              \"sweep\":{{\"cells\":{},\"jobs\":{},\"serial_ms\":{:.3},\
-             \"parallel_ms\":{:.3},\"speedup\":{:.3},\"identical\":{}}}}}",
+             \"parallel_ms\":{:.3},\"speedup\":{:.3},\"identical\":{}}},\
+             \"telemetry\":{{\"blocks\":{},\"noop_words_per_sec\":{:.0},\
+             \"live_words_per_sec\":{:.0},\"overhead_percent\":{:.3}}}}}",
             self.words,
             self.seed,
             kernels.join(","),
@@ -133,8 +156,82 @@ impl ThroughputReport {
             self.sweep.serial_ms,
             self.sweep.parallel_ms,
             self.sweep.speedup,
-            self.sweep.identical
+            self.sweep.identical,
+            self.telemetry.blocks,
+            self.telemetry.noop_words_per_sec,
+            self.telemetry.live_words_per_sec,
+            self.telemetry.overhead_percent,
         )
+    }
+}
+
+impl Report for ThroughputReport {
+    fn render_text(&self) -> String {
+        let mut text = format!("throughput: {} words, seed {}\n", self.words, self.seed);
+        for k in &self.kernels {
+            let _ = writeln!(
+                text,
+                "  {:<8} profile  per-word {:>8.2} Mw/s, block {:>8.2} Mw/s, speedup {:.2}x \
+                 ({} transitions)",
+                k.code,
+                k.per_word_words_per_sec / 1e6,
+                k.block_words_per_sec / 1e6,
+                k.speedup,
+                k.transitions
+            );
+            let _ = writeln!(
+                text,
+                "  {:<8} total    per-word {:>8.2} Mw/s, block {:>8.2} Mw/s, speedup {:.2}x",
+                "", // align under the code name
+                k.count_per_word_words_per_sec / 1e6,
+                k.count_block_words_per_sec / 1e6,
+                k.count_speedup
+            );
+        }
+        let _ = writeln!(
+            text,
+            "sweep: {} cells, jobs {}: serial {:.1} ms, parallel {:.1} ms, \
+             speedup {:.2}x, {}",
+            self.sweep.cells,
+            self.sweep.jobs,
+            self.sweep.serial_ms,
+            self.sweep.parallel_ms,
+            self.sweep.speedup,
+            if self.sweep.identical {
+                "bit-identical"
+            } else {
+                "DIVERGED"
+            }
+        );
+        let _ = writeln!(
+            text,
+            "telemetry: {} blocks: no-op {:.2} Mw/s, live {:.2} Mw/s, overhead {:.2}%",
+            self.telemetry.blocks,
+            self.telemetry.noop_words_per_sec / 1e6,
+            self.telemetry.live_words_per_sec / 1e6,
+            self.telemetry.overhead_percent
+        );
+        text
+    }
+
+    fn render_json(&self) -> String {
+        ThroughputReport::render_json(self)
+    }
+
+    /// Only the deterministic fields (counts, totals) enter the
+    /// snapshot; every words/sec and wall-time figure stays out so the
+    /// snapshot is stable across machines and worker counts.
+    fn metrics(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        set.add_counter("engine.stream_words", self.words as u64);
+        set.set_gauge("engine.seed", self.seed);
+        set.set_gauge("engine.sweep_cells", self.sweep.cells as u64);
+        set.add_counter("engine.sweep_identical", u64::from(self.sweep.identical));
+        for k in &self.kernels {
+            set.add_counter(&format!("engine.transitions.{}", k.code), k.transitions);
+        }
+        set.add_counter("engine.telemetry_blocks", self.telemetry.blocks);
+        set
     }
 }
 
@@ -251,6 +348,92 @@ pub fn run_throughput(words: usize, seed: u64, jobs: usize) -> Result<Throughput
         });
     }
 
+    // Telemetry overhead: drive the identical instrumented counting
+    // loop with every record call dead-ended by the no-op registry and
+    // again live — and compare throughput. Block-granular
+    // instrumentation (one span plus three record calls per block) is
+    // the pattern the runtime layers use on their hot paths. The two
+    // arms are *finely interleaved* — one stream walk per arm per
+    // round, order flipped every round (noop/live, live/noop, ...) —
+    // and each round contributes one live/noop time ratio; the gate
+    // reads the **median** ratio. Shared-host noise has two shapes and
+    // this kills both: clock frequency wanders by double-digit percent
+    // on a seconds timescale (cancelled inside a ~2 ms paired round),
+    // and preemption spikes add milliseconds to single walks (isolated
+    // to a few rounds' ratios, which the median discards).
+    const BLOCK_WORDS: usize = 4096;
+    const OVERHEAD_SAMPLE_WORDS: usize = 64_000_000;
+    let rounds = OVERHEAD_SAMPLE_WORDS
+        .div_ceil(words.max(1))
+        .max(TIMING_RUNS);
+    let mut enc = CodeKind::Binary
+        .encoder(params)
+        .map_err(|e| format!("cannot build binary encoder: {e}"))?;
+    let mut measure = |registry: &Registry,
+                       words_id: CounterId,
+                       transitions_id: CounterId,
+                       dist_id: HistogramId,
+                       span_id: SpanId|
+     -> f64 {
+        let start = Instant::now();
+        enc.reset();
+        for chunk in stream.chunks(BLOCK_WORDS) {
+            let _block = registry.span(span_id);
+            let stats = count_transitions_slice(std::hint::black_box(enc.as_mut()), chunk);
+            registry.add(words_id, chunk.len() as u64);
+            registry.add(transitions_id, stats.total());
+            registry.observe(dist_id, stats.total());
+        }
+        start.elapsed().as_secs_f64()
+    };
+    let build_registry = |enabled: bool| {
+        let mut spec = Registry::builder();
+        let words_id = spec.counter("engine.block_words");
+        let transitions_id = spec.counter("engine.block_transitions");
+        let dist_id = spec.histogram("engine.block_transition_dist");
+        let span_id = spec.span("engine.block");
+        let registry = if enabled {
+            spec.build()
+        } else {
+            spec.build_noop()
+        };
+        (registry, words_id, transitions_id, dist_id, span_id)
+    };
+    let (noop, nw, nt, nd, ns) = build_registry(false);
+    let (live, lw, lt, ld, ls) = build_registry(true);
+    let mut noop_best = f64::INFINITY;
+    let mut live_best = f64::INFINITY;
+    let mut ratios = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let (n, l) = if round % 2 == 0 {
+            let n = measure(&noop, nw, nt, nd, ns);
+            let l = measure(&live, lw, lt, ld, ls);
+            (n, l)
+        } else {
+            let l = measure(&live, lw, lt, ld, ls);
+            let n = measure(&noop, nw, nt, nd, ns);
+            (n, l)
+        };
+        noop_best = noop_best.min(n);
+        live_best = live_best.min(l);
+        ratios.push(l / n.max(1e-12));
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median_ratio = ratios[ratios.len() / 2];
+    let noop_wps = words as f64 / noop_best.max(1e-9);
+    let live_wps = words as f64 / live_best.max(1e-9);
+    // Sanity-check the live pass actually recorded (each round walks
+    // the whole stream once, so totals are exact multiples of it).
+    if live.snapshot().counter("engine.block_words") != (words * rounds) as u64 {
+        return Err("telemetry overhead pass lost block records".to_string());
+    }
+    let telemetry = OverheadRecord {
+        blocks: words.div_ceil(BLOCK_WORDS) as u64,
+        noop_words_per_sec: noop_wps,
+        live_words_per_sec: live_wps,
+        overhead_percent: (median_ratio - 1.0) * 100.0,
+    };
+
     // The sweep: every code over the same stream, serial vs sharded.
     let cells: Vec<CodeKind> = CodeKind::all().to_vec();
     let sweep_cell = |kind: CodeKind| -> u64 {
@@ -279,6 +462,7 @@ pub fn run_throughput(words: usize, seed: u64, jobs: usize) -> Result<Throughput
             speedup: serial_ms / parallel_ms.max(1e-9),
             identical: serial == parallel,
         },
+        telemetry,
     })
 }
 

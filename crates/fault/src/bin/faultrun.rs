@@ -40,7 +40,7 @@
 
 use std::process::ExitCode;
 
-use buscode_engine::cli::{self, json_escape, CommonArgs, Outcome, ToolRun, COMMON_USAGE};
+use buscode_engine::cli::{self, CommonArgs, JsonPayload, Outcome, Report, ToolRun, COMMON_USAGE};
 use buscode_fault::campaign::{
     run_campaign_with, run_comparison_with, run_ge_campaign_with, CampaignConfig, GeCampaignConfig,
 };
@@ -201,12 +201,11 @@ fn main() -> ExitCode {
             }
         };
         let text = report.render_text();
-        let data = format!(
-            "{{\"jobs\":{},\"bursty_ge\":{}}}",
-            engine.jobs(),
-            report.render_json()
-        );
-        return run.finish(&Outcome::success(text, data));
+        let data = JsonPayload::new()
+            .u64("jobs", engine.jobs() as u64)
+            .report("bursty_ge", &report)
+            .finish();
+        return run.finish(&Outcome::success(text, data).with_metrics(report.metrics()));
     }
 
     let config = if opts.smoke {
@@ -236,44 +235,27 @@ fn main() -> ExitCode {
                 return run.finish(&Outcome::error(format!("comparison failed to run: {err}")))
             }
         };
-        let mut text = report.render_text();
-        let mut data = format!(
-            "{{\"jobs\":{},\"comparison\":{}",
-            engine.jobs(),
-            report.render_json()
-        );
+        let text = report.render_text();
+        let payload = JsonPayload::new()
+            .u64("jobs", engine.jobs() as u64)
+            .report("comparison", &report);
         let outcome = if opts.smoke {
             let failures = report.smoke_failures();
-            let failure_list: Vec<String> = failures
-                .iter()
-                .map(|f| format!("\"{}\"", json_escape(f)))
-                .collect();
-            data.push_str(&format!(
-                ",\"smoke_failures\":[{}]}}",
-                failure_list.join(",")
-            ));
-            if failures.is_empty() {
-                text.push_str(&format!(
-                    "comparison smoke gate passed ({} cells, seed {}): zero SDC under ecc\n",
+            cli::gate_outcome(
+                text,
+                payload,
+                &failures,
+                &format!(
+                    "comparison smoke gate passed ({} cells, seed {}): zero SDC under ecc",
                     report.rows.len(),
                     config.seed
-                ));
-                Outcome::success(text, data)
-            } else {
-                for failure in &failures {
-                    text.push_str(&format!("SMOKE FAILURE: {failure}\n"));
-                }
-                Outcome::failure(
-                    format!("{} comparison smoke gate failure(s)", failures.len()),
-                    text,
-                    data,
-                )
-            }
+                ),
+                format!("{} comparison smoke gate failure(s)", failures.len()),
+            )
         } else {
-            data.push('}');
-            Outcome::success(text, data)
+            Outcome::success(text, payload.finish())
         };
-        return run.finish(&outcome);
+        return run.finish(&outcome.with_metrics(report.metrics()));
     }
 
     let report = match run_campaign_with(&engine, &config) {
@@ -282,11 +264,9 @@ fn main() -> ExitCode {
     };
 
     let mut text = report.render_text();
-    let mut data = format!(
-        "{{\"jobs\":{},\"campaign\":{}",
-        engine.jobs(),
-        report.render_json()
-    );
+    let mut payload = JsonPayload::new()
+        .u64("jobs", engine.jobs() as u64)
+        .report("campaign", &report);
 
     if opts.gate {
         let gate_rows = match run_gate_campaign(&GateCampaignConfig {
@@ -299,40 +279,24 @@ fn main() -> ExitCode {
         };
         text.push_str("\ngate-level campaign (width 8):\n");
         text.push_str(&render_gate_text(&gate_rows));
-        data.push_str(",\"gate\":");
-        data.push_str(&render_gate_json(&gate_rows));
+        payload = payload.raw("gate", &render_gate_json(&gate_rows));
     }
 
     let outcome = if opts.smoke {
         let failures = report.smoke_failures();
-        let failure_list: Vec<String> = failures
-            .iter()
-            .map(|f| format!("\"{}\"", json_escape(f)))
-            .collect();
-        data.push_str(&format!(
-            ",\"smoke_failures\":[{}]}}",
-            failure_list.join(",")
-        ));
-        if failures.is_empty() {
-            text.push_str(&format!(
-                "smoke gate passed ({} campaign cells, seed {})\n",
+        cli::gate_outcome(
+            text,
+            payload,
+            &failures,
+            &format!(
+                "smoke gate passed ({} campaign cells, seed {})",
                 report.rows.len(),
                 config.seed
-            ));
-            Outcome::success(text, data)
-        } else {
-            for failure in &failures {
-                text.push_str(&format!("SMOKE FAILURE: {failure}\n"));
-            }
-            Outcome::failure(
-                format!("{} smoke gate failure(s)", failures.len()),
-                text,
-                data,
-            )
-        }
+            ),
+            format!("{} smoke gate failure(s)", failures.len()),
+        )
     } else {
-        data.push('}');
-        Outcome::success(text, data)
+        Outcome::success(text, payload.finish())
     };
-    run.finish(&outcome)
+    run.finish(&outcome.with_metrics(report.metrics()))
 }

@@ -20,21 +20,23 @@
 //! stateful codes never resync on their own — exactly the hazard the
 //! hardening layer bounds). For hardened codecs the campaign separately
 //! counts bad cycles past the first refresh boundary after the fault
-//! clears — the [`FaultStats::beyond_bound_cycles`] that the `--smoke`
+//! clears — the [`FaultMetrics::beyond_bound_cycles`] that the `--smoke`
 //! gate requires to be zero.
 //!
 //! A fourth classification exists only under the
 //! [`EccHardened`][buscode_core::codes::EccHardened] tier: **corrected**
 //! — the decoder absorbed a line flip in-flight and still produced the
 //! intended address. [`run_comparison`] sweeps the same grid across all
-//! three [`HardeningTier`]s side by side, which is what
+//! three [`Tier`]s side by side, which is what
 //! `faultrun --compare` reports.
 //!
 //! Everything is deterministic given [`CampaignConfig::seed`].
 
 use buscode_core::rng::Rng64;
-use buscode_core::{Access, CodeKind, CodeParams, CodecError, Decoder, Encoder};
+use buscode_core::{Access, CodeKind, CodeParams, CodecError, Decoder, Encoder, Tier};
+use buscode_engine::cli::Report;
 use buscode_engine::SweepEngine;
+use buscode_telemetry::MetricSet;
 use buscode_trace::{DataModel, InstructionModel, MuxedModel, StreamKind};
 
 use crate::models::{
@@ -85,53 +87,15 @@ impl CampaignConfig {
     }
 }
 
-/// The protection level a codec runs under in the comparison campaign.
-///
-/// The tiers are ordered by redundancy: no aux protection, one parity
-/// line with detection only ([`Hardened`][buscode_core::codes::Hardened]),
-/// and SEC-DED check lines with in-flight single-flip correction
-/// ([`EccHardened`][buscode_core::codes::EccHardened]).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum HardeningTier {
-    /// The inner code alone — no detection, no correction.
-    Bare,
-    /// Aux-parity detection plus periodic refresh (`Hardened`).
-    Parity,
-    /// SEC-DED correction plus overall parity and periodic refresh
-    /// (`EccHardened`).
-    Ecc,
-}
-
-impl HardeningTier {
-    /// Every tier, in report order (least to most redundant).
-    pub fn all() -> &'static [HardeningTier] {
-        &[
-            HardeningTier::Bare,
-            HardeningTier::Parity,
-            HardeningTier::Ecc,
-        ]
-    }
-
-    /// A short stable identifier for reports.
-    pub fn name(self) -> &'static str {
-        match self {
-            HardeningTier::Bare => "bare",
-            HardeningTier::Parity => "parity",
-            HardeningTier::Ecc => "ecc",
-        }
-    }
-}
-
-impl core::fmt::Display for HardeningTier {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str(self.name())
-    }
-}
+/// The protection ladder, now shared workspace-wide as
+/// [`buscode_core::Tier`].
+#[deprecated(since = "0.1.0", note = "use `buscode_core::Tier` instead")]
+pub type HardeningTier = Tier;
 
 /// Aggregated outcome of one campaign cell (code × stream × fault ×
 /// hardening).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct FaultStats {
+pub struct FaultMetrics {
     /// Trials run.
     pub trials: u32,
     /// Trials with at least one silently corrupted cycle.
@@ -166,7 +130,7 @@ pub struct FaultStats {
     pub beyond_bound_cycles: u64,
 }
 
-impl FaultStats {
+impl FaultMetrics {
     /// Silently corrupted cycles per decoded cycle.
     pub fn sdc_rate(&self) -> f64 {
         if self.decoded_cycles == 0 {
@@ -207,7 +171,7 @@ pub struct CampaignRow {
     /// Whether the codec ran under the `Hardened` wrapper.
     pub hardened: bool,
     /// Aggregated outcomes.
-    pub stats: FaultStats,
+    pub stats: FaultMetrics,
 }
 
 /// A finished campaign: every row plus the configuration that produced
@@ -286,11 +250,7 @@ pub fn run_campaign_with(
         let cell = cell << 1 | u64::from(hardened);
         let mut rng = Rng64::seed_from_u64(config.seed ^ cell.wrapping_mul(0x9e3779b97f4a7c15));
         let stream = generated.get(si).map(Vec::as_slice).unwrap_or_default();
-        let tier = if hardened {
-            HardeningTier::Parity
-        } else {
-            HardeningTier::Bare
-        };
+        let tier = if hardened { Tier::Parity } else { Tier::Bare };
         run_cell(config, kind, stream, fault, tier, &mut rng).map(|stats| CampaignRow {
             code: kind,
             stream: stream_kind,
@@ -310,7 +270,7 @@ pub fn run_campaign_with(
     })
 }
 
-/// One comparison cell: the key (including its [`HardeningTier`]) plus
+/// One comparison cell: the key (including its [`Tier`]) plus
 /// its aggregated stats.
 #[derive(Clone, Debug)]
 pub struct ComparisonRow {
@@ -321,13 +281,13 @@ pub struct ComparisonRow {
     /// The fault model injected.
     pub fault: FaultKind,
     /// The protection level the codec ran under.
-    pub tier: HardeningTier,
+    pub tier: Tier,
     /// Aggregated outcomes.
-    pub stats: FaultStats,
+    pub stats: FaultMetrics,
 }
 
 /// A finished parity-vs-ECC comparison: the same campaign grid swept
-/// across every [`HardeningTier`] side by side (the `faultrun --compare`
+/// across every [`Tier`] side by side (the `faultrun --compare`
 /// output).
 #[derive(Clone, Debug)]
 pub struct ComparisonReport {
@@ -338,7 +298,7 @@ pub struct ComparisonReport {
 }
 
 /// Runs the parity-vs-ECC comparison described by `config`: every code ×
-/// stream × fault cell three times, once per [`HardeningTier`].
+/// stream × fault cell three times, once per [`Tier`].
 ///
 /// # Errors
 ///
@@ -369,7 +329,7 @@ pub fn run_comparison_with(
     for (si, &stream_kind) in streams.iter().enumerate() {
         for (ci, kind) in CodeKind::all().into_iter().enumerate() {
             for (fi, &fault) in config.faults.iter().enumerate() {
-                for (ti, &tier) in HardeningTier::all().iter().enumerate() {
+                for (ti, &tier) in Tier::all().iter().enumerate() {
                     cells.push((si, ci, fi, ti, stream_kind, kind, fault, tier));
                 }
             }
@@ -406,28 +366,17 @@ fn run_cell(
     kind: CodeKind,
     stream: &[Access],
     fault: FaultKind,
-    tier: HardeningTier,
+    tier: Tier,
     rng: &mut Rng64,
-) -> Result<FaultStats, CodecError> {
-    let mut stats = FaultStats::default();
+) -> Result<FaultMetrics, CodecError> {
+    let mut stats = FaultMetrics::default();
+    let refresh_bound = match tier {
+        Tier::Bare => None,
+        Tier::Parity | Tier::Ecc => Some(config.refresh),
+    };
     for _ in 0..config.trials {
-        let trial = match tier {
-            HardeningTier::Bare => {
-                let enc = kind.encoder(config.params)?;
-                let dec = kind.decoder(config.params)?;
-                run_trial(config, enc, dec, stream, fault, None, rng)
-            }
-            HardeningTier::Parity => {
-                let enc = kind.hardened_encoder(config.params, config.refresh)?;
-                let dec = kind.hardened_decoder(config.params, config.refresh)?;
-                run_trial(config, enc, dec, stream, fault, Some(config.refresh), rng)
-            }
-            HardeningTier::Ecc => {
-                let enc = kind.ecc_encoder(config.params, config.refresh)?;
-                let dec = kind.ecc_decoder(config.params, config.refresh)?;
-                run_trial(config, enc, dec, stream, fault, Some(config.refresh), rng)
-            }
-        };
+        let (enc, dec) = kind.build_codec(config.params, tier, config.refresh)?;
+        let trial = run_trial(config, enc, dec, stream, fault, refresh_bound, rng);
         stats.trials += 1;
         stats.trials_with_sdc += u32::from(trial.sdc_cycles > 0);
         stats.trials_detected += u32::from(trial.detected_cycles > 0);
@@ -800,7 +749,7 @@ impl ComparisonReport {
             }
             let s = &row.stats;
             match row.tier {
-                HardeningTier::Ecc => {
+                Tier::Ecc => {
                     if s.sdc_cycles > 0 {
                         failures.push(format!(
                             "ecc {} on {}: {} silently corrupted cycle(s) under single flips",
@@ -827,7 +776,7 @@ impl ComparisonReport {
                         ));
                     }
                 }
-                HardeningTier::Parity => {
+                Tier::Parity => {
                     if s.trials_detected < s.trials {
                         failures.push(format!(
                             "parity {} on {}: only {}/{} transient flips detected",
@@ -838,7 +787,7 @@ impl ComparisonReport {
                         ));
                     }
                 }
-                HardeningTier::Bare => {}
+                Tier::Bare => {}
             }
         }
         failures
@@ -851,7 +800,7 @@ impl ComparisonReport {
 /// Unlike the single-drawn-fault campaigns above, the channel is active
 /// on *every* cycle: state-dependent flips, erasures, and drops arrive
 /// whenever the [`GilbertElliott`] weather says so. The campaign sweeps
-/// every code × stream × [`HardeningTier`] cell and reports what each
+/// every code × stream × [`Tier`] cell and reports what each
 /// tier delivers under sustained bursty loss.
 #[derive(Clone, Debug)]
 pub struct GeCampaignConfig {
@@ -887,7 +836,7 @@ impl Default for GeCampaignConfig {
 
 /// Aggregated outcome of one bursty-channel cell (code × stream × tier).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct GeStats {
+pub struct GeMetrics {
     /// Trials run.
     pub trials: u32,
     /// Decoded cycles across all trials (drops excluded — the decoder
@@ -911,7 +860,7 @@ pub struct GeStats {
     pub max_bad_dwell: u64,
 }
 
-impl GeStats {
+impl GeMetrics {
     /// Silently corrupted cycles per decoded cycle.
     pub fn sdc_rate(&self) -> f64 {
         if self.decoded_cycles == 0 {
@@ -930,9 +879,9 @@ pub struct GeCampaignRow {
     /// The synthetic stream driven through it.
     pub stream: StreamKind,
     /// The protection level the codec ran under.
-    pub tier: HardeningTier,
+    pub tier: Tier,
     /// Aggregated outcomes.
-    pub stats: GeStats,
+    pub stats: GeMetrics,
 }
 
 /// A finished bursty-channel campaign (the `faultrun --model bursty-ge`
@@ -976,7 +925,7 @@ pub fn run_ge_campaign_with(
     let mut cells = Vec::new();
     for (si, &stream_kind) in streams.iter().enumerate() {
         for (ci, kind) in CodeKind::all().into_iter().enumerate() {
-            for (ti, &tier) in HardeningTier::all().iter().enumerate() {
+            for (ti, &tier) in Tier::all().iter().enumerate() {
                 cells.push((si, ci, ti, stream_kind, kind, tier));
             }
         }
@@ -1010,23 +959,13 @@ fn run_ge_cell(
     config: &GeCampaignConfig,
     kind: CodeKind,
     stream: &[Access],
-    tier: HardeningTier,
+    tier: Tier,
     rng: &mut Rng64,
-) -> Result<GeStats, CodecError> {
-    let mut stats = GeStats::default();
+) -> Result<GeMetrics, CodecError> {
+    let mut stats = GeMetrics::default();
     for _ in 0..config.trials {
         let channel_seed = rng.next_u64();
-        let (mut enc, mut dec): (Box<dyn Encoder>, Box<dyn Decoder>) = match tier {
-            HardeningTier::Bare => (kind.encoder(config.params)?, kind.decoder(config.params)?),
-            HardeningTier::Parity => (
-                Box::new(kind.hardened_encoder(config.params, config.refresh)?),
-                Box::new(kind.hardened_decoder(config.params, config.refresh)?),
-            ),
-            HardeningTier::Ecc => (
-                Box::new(kind.ecc_encoder(config.params, config.refresh)?),
-                Box::new(kind.ecc_decoder(config.params, config.refresh)?),
-            ),
-        };
+        let (mut enc, mut dec) = kind.build_codec(config.params, tier, config.refresh)?;
         let geometry = BusGeometry::new(config.params.width.bits(), enc.aux_line_count());
         let words: Vec<_> = stream.iter().map(|&a| enc.encode(a)).collect();
         let (faulted, weather) =
@@ -1158,6 +1097,89 @@ impl GeCampaignReport {
     }
 }
 
+fn accumulate_fault(set: &mut MetricSet, stats: &FaultMetrics) {
+    set.add_counter("fault.trials", u64::from(stats.trials));
+    set.add_counter("fault.trials_with_sdc", u64::from(stats.trials_with_sdc));
+    set.add_counter("fault.trials_detected", u64::from(stats.trials_detected));
+    set.add_counter(
+        "fault.trials_unresolved",
+        u64::from(stats.trials_unresolved),
+    );
+    set.add_counter("fault.decoded_cycles", stats.decoded_cycles);
+    set.add_counter("fault.sdc_cycles", stats.sdc_cycles);
+    set.add_counter("fault.detected_cycles", stats.detected_cycles);
+    set.add_counter("fault.corrected_cycles", stats.corrected_cycles);
+    set.add_counter("fault.beyond_bound_cycles", stats.beyond_bound_cycles);
+    set.set_gauge("fault.resync_max", stats.resync_max);
+}
+
+impl Report for CampaignReport {
+    fn render_text(&self) -> String {
+        CampaignReport::render_text(self)
+    }
+
+    fn render_json(&self) -> String {
+        CampaignReport::render_json(self)
+    }
+
+    fn metrics(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        set.add_counter("fault.rows", self.rows.len() as u64);
+        for row in &self.rows {
+            accumulate_fault(&mut set, &row.stats);
+        }
+        set
+    }
+}
+
+impl Report for ComparisonReport {
+    fn render_text(&self) -> String {
+        ComparisonReport::render_text(self)
+    }
+
+    fn render_json(&self) -> String {
+        ComparisonReport::render_json(self)
+    }
+
+    fn metrics(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        set.add_counter("fault.rows", self.rows.len() as u64);
+        for row in &self.rows {
+            accumulate_fault(&mut set, &row.stats);
+        }
+        set
+    }
+}
+
+impl Report for GeCampaignReport {
+    fn render_text(&self) -> String {
+        GeCampaignReport::render_text(self)
+    }
+
+    fn render_json(&self) -> String {
+        GeCampaignReport::render_json(self)
+    }
+
+    fn metrics(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        set.add_counter("fault.ge.rows", self.rows.len() as u64);
+        for row in &self.rows {
+            let s = &row.stats;
+            set.add_counter("fault.ge.trials", u64::from(s.trials));
+            set.add_counter("fault.ge.decoded_cycles", s.decoded_cycles);
+            set.add_counter("fault.ge.sdc_cycles", s.sdc_cycles);
+            set.add_counter("fault.ge.detected_cycles", s.detected_cycles);
+            set.add_counter("fault.ge.corrected_cycles", s.corrected_cycles);
+            set.add_counter("fault.ge.dropped_cycles", s.dropped_cycles);
+            set.add_counter("fault.ge.erased_cycles", s.erased_cycles);
+            set.add_counter("fault.ge.flipped_lines", s.flipped_lines);
+            set.add_counter("fault.ge.bad_cycles", s.bad_cycles);
+            set.set_gauge("fault.ge.max_bad_dwell", s.max_bad_dwell);
+        }
+        set
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1244,7 +1266,7 @@ mod tests {
         // 12 codes x 3 streams x 1 fault x {bare, parity, ecc}.
         assert_eq!(report.rows.len(), 12 * 3 * 3);
         assert!(report.rows.iter().all(|r| r.stats.trials == 4));
-        for tier in HardeningTier::all() {
+        for tier in Tier::all() {
             assert!(report.rows.iter().any(|r| r.tier == *tier));
         }
     }
@@ -1252,7 +1274,7 @@ mod tests {
     #[test]
     fn ecc_tier_corrects_single_flips_in_flight() {
         let report = run_comparison(&tiny()).unwrap();
-        for row in report.select(|r| r.tier == HardeningTier::Ecc) {
+        for row in report.select(|r| r.tier == Tier::Ecc) {
             let s = &row.stats;
             assert_eq!(
                 s.sdc_cycles, 0,
@@ -1287,7 +1309,7 @@ mod tests {
     #[test]
     fn only_the_ecc_tier_ever_corrects() {
         let report = run_comparison(&tiny()).unwrap();
-        for row in report.select(|r| r.tier != HardeningTier::Ecc) {
+        for row in report.select(|r| r.tier != Tier::Ecc) {
             assert_eq!(
                 row.stats.corrected_cycles, 0,
                 "{} on {} ({}) reported corrections",

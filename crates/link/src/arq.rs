@@ -17,17 +17,18 @@
 //! The feedback path (ACK/NAK) is modelled as a reliable out-of-band
 //! control channel with a fixed delay — the DATE'98 power question is
 //! about the forward address bus, so only forward-line transitions are
-//! metered ([`LinkStats::link_transitions`] for codec lines,
-//! [`LinkStats::overhead_transitions`] for the 28 frame-overhead lines).
+//! metered ([`LinkMetrics::link_transitions`] for codec lines,
+//! [`LinkMetrics::overhead_transitions`] for the 28 frame-overhead lines).
 
 use std::collections::VecDeque;
 
 use buscode_core::{
-    Access, BusState, CodeKind, CodeParams, CodecError, SnapshotDecoder, SnapshotEncoder,
+    Access, BusState, CodeKind, CodeParams, CodecError, SnapshotDecoder, SnapshotEncoder, Tier,
 };
 use buscode_engine::Backoff;
 use buscode_fault::{BusGeometry, GeChannel, GeChannelStats, GeEvent, GilbertElliott};
-use buscode_pipeline::{RedundancyManager, RedundancyPolicy, RedundancyTier, TierShift};
+use buscode_pipeline::{RedundancyManager, RedundancyPolicy, TierShift};
+use buscode_telemetry::MetricSet;
 
 use crate::frame::{Frame, OVERHEAD_LINES};
 
@@ -142,7 +143,7 @@ impl Default for LinkConfig {
 
 /// Counters one ARQ session accumulates — the link layer's ledger.
 #[derive(Clone, Copy, Debug, PartialEq)]
-pub struct LinkStats {
+pub struct LinkMetrics {
     /// Words in the offered stream.
     pub words: u64,
     /// Words delivered to the receiver, in order, exactly once.
@@ -192,12 +193,12 @@ pub struct LinkStats {
     /// The channel's own weather report.
     pub channel: GeChannelStats,
     /// The redundancy tier the sender finished at.
-    pub final_tier: RedundancyTier,
+    pub final_tier: Tier,
 }
 
-impl Default for LinkStats {
+impl Default for LinkMetrics {
     fn default() -> Self {
-        LinkStats {
+        LinkMetrics {
             words: 0,
             delivered_words: 0,
             corrupted_delivered: 0,
@@ -220,12 +221,12 @@ impl Default for LinkStats {
             overhead_transitions: 0,
             retransmit_transitions: 0,
             channel: GeChannelStats::default(),
-            final_tier: RedundancyTier::Bare,
+            final_tier: Tier::Bare,
         }
     }
 }
 
-impl LinkStats {
+impl LinkMetrics {
     /// Fraction of offered words delivered (1.0 = everything arrived).
     pub fn delivery_rate(&self) -> f64 {
         if self.words == 0 {
@@ -255,7 +256,7 @@ impl LinkStats {
     /// Folds another session's counters into this one (campaign
     /// aggregation across trials). Dwell maxima take the max; the final
     /// tier keeps the higher rung.
-    pub fn accumulate(&mut self, other: &LinkStats) {
+    pub fn accumulate(&mut self, other: &LinkMetrics) {
         self.words += other.words;
         self.delivered_words += other.delivered_words;
         self.corrupted_delivered += other.corrupted_delivered;
@@ -290,6 +291,43 @@ impl LinkStats {
             self.final_tier = other.final_tier;
         }
     }
+
+    /// Projects the ledger onto the shared telemetry schema under the
+    /// `link.` prefix. Every value is a deterministic counter or a
+    /// max-merged gauge, so snapshots are byte-identical across `--jobs`
+    /// settings.
+    #[must_use]
+    pub fn metrics(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        set.add_counter("link.words", self.words);
+        set.add_counter("link.delivered_words", self.delivered_words);
+        set.add_counter("link.corrupted_delivered", self.corrupted_delivered);
+        set.add_counter("link.lost_words", self.lost_words);
+        set.add_counter("link.frames_sent", self.frames_sent);
+        set.add_counter("link.retransmissions", self.retransmissions);
+        set.add_counter("link.naks", self.naks);
+        set.add_counter("link.timeouts", self.timeouts);
+        set.add_counter("link.crc_rejections", self.crc_rejections);
+        set.add_counter("link.decode_rejections", self.decode_rejections);
+        set.add_counter("link.duplicates", self.duplicates);
+        set.add_counter("link.beacons", self.beacons);
+        set.add_counter("link.forced_resyncs", self.forced_resyncs);
+        set.add_counter("link.tier_escalations", self.tier_escalations);
+        set.add_counter("link.tier_deescalations", self.tier_deescalations);
+        set.add_counter("link.corrected", self.corrected);
+        set.add_counter("link.backoff_cycles", self.backoff_cycles);
+        set.add_counter("link.cycles", self.cycles);
+        set.add_counter("link.link_transitions", self.link_transitions);
+        set.add_counter("link.overhead_transitions", self.overhead_transitions);
+        set.add_counter("link.retransmit_transitions", self.retransmit_transitions);
+        set.add_counter("link.channel.bad_cycles", self.channel.bad_cycles);
+        set.set_gauge("link.channel.max_bad_dwell", self.channel.max_bad_dwell);
+        set.add_counter("link.channel.flipped_lines", self.channel.flipped_lines);
+        set.add_counter("link.channel.erasures", self.channel.erasures);
+        set.add_counter("link.channel.drops", self.channel.drops);
+        set.set_gauge("link.final_tier", u64::from(tier_rank(self.final_tier)));
+        set
+    }
 }
 
 /// What one finished session hands back: the ledger plus the addresses
@@ -297,7 +335,7 @@ impl LinkStats {
 #[derive(Clone, Debug)]
 pub struct SessionOutcome {
     /// The session's counters.
-    pub stats: LinkStats,
+    pub stats: LinkMetrics,
     /// Decoded addresses in delivery order (property tests compare this
     /// against the offered stream word for word).
     pub delivered: Vec<u64>,
@@ -312,16 +350,16 @@ enum Feedback {
     Nak(usize),
 }
 
-fn tier_rank(tier: RedundancyTier) -> u8 {
+fn tier_rank(tier: Tier) -> u8 {
     match tier {
-        RedundancyTier::Bare => 0,
-        RedundancyTier::Parity => 1,
-        RedundancyTier::Ecc => 2,
+        Tier::Bare => 0,
+        Tier::Parity => 1,
+        Tier::Ecc => 2,
     }
 }
 
 /// The two CTRL tier bits for a ladder rung.
-pub fn tier_code(tier: RedundancyTier) -> u8 {
+pub fn tier_code(tier: Tier) -> u8 {
     tier_rank(tier)
 }
 
@@ -329,26 +367,18 @@ fn build_encoder(
     kind: CodeKind,
     params: CodeParams,
     refresh: u64,
-    tier: RedundancyTier,
+    tier: Tier,
 ) -> Result<Box<dyn SnapshotEncoder>, CodecError> {
-    match tier {
-        RedundancyTier::Bare => kind.snapshot_encoder(params),
-        RedundancyTier::Parity => kind.hardened_snapshot_encoder(params, refresh),
-        RedundancyTier::Ecc => kind.ecc_snapshot_encoder(params, refresh),
-    }
+    kind.tier_snapshot_encoder(params, tier, refresh)
 }
 
 fn build_decoder(
     kind: CodeKind,
     params: CodeParams,
     refresh: u64,
-    tier: RedundancyTier,
+    tier: Tier,
 ) -> Result<Box<dyn SnapshotDecoder>, CodecError> {
-    match tier {
-        RedundancyTier::Bare => kind.snapshot_decoder(params),
-        RedundancyTier::Parity => kind.hardened_snapshot_decoder(params, refresh),
-        RedundancyTier::Ecc => kind.ecc_snapshot_decoder(params, refresh),
-    }
+    kind.tier_snapshot_decoder(params, tier, refresh)
 }
 
 /// Splits one wire transition count into codec lines vs overhead lines.
@@ -390,8 +420,8 @@ pub struct LinkSession {
     manager: RedundancyManager,
     enc: Box<dyn SnapshotEncoder>,
     dec: Box<dyn SnapshotDecoder>,
-    sender_tier: RedundancyTier,
-    receiver_tier: RedundancyTier,
+    sender_tier: Tier,
+    receiver_tier: Tier,
     /// Codec aux line counts per ladder rung, indexed by [`tier_rank`] —
     /// the receiver scans these to re-align after a tier change.
     aux_by_tier: [u32; 3],
@@ -411,11 +441,7 @@ impl LinkSession {
         config.validate()?;
         let start = config.redundancy.start;
         let mut aux_by_tier = [0u32; 3];
-        for tier in [
-            RedundancyTier::Bare,
-            RedundancyTier::Parity,
-            RedundancyTier::Ecc,
-        ] {
+        for tier in [Tier::Bare, Tier::Parity, Tier::Ecc] {
             let probe = build_encoder(config.kind, config.params, config.refresh, tier)?;
             aux_by_tier[tier_rank(tier) as usize] = probe.aux_line_count();
         }
@@ -449,7 +475,7 @@ impl LinkSession {
     /// the receiver can re-align; every unacknowledged word re-encodes.
     fn retier(
         &mut self,
-        tier: RedundancyTier,
+        tier: Tier,
         encoded: &mut [Option<Frame>],
         base: usize,
         force_beacon: &mut bool,
@@ -481,9 +507,9 @@ impl LinkSession {
     /// corruption never surfaces as an error, only as counters.
     pub fn run(mut self, stream: &[Access]) -> Result<SessionOutcome, CodecError> {
         let total = stream.len();
-        let mut stats = LinkStats {
+        let mut stats = LinkMetrics {
             words: total as u64,
-            ..LinkStats::default()
+            ..LinkMetrics::default()
         };
         let mut delivered: Vec<u64> = Vec::with_capacity(total);
 
@@ -520,7 +546,7 @@ impl LinkSession {
             cycle += 1;
 
             // 1. Feedback arriving this cycle.
-            let mut pending_retier: Option<RedundancyTier> = None;
+            let mut pending_retier: Option<Tier> = None;
             let mut failure_round = false;
             while let Some(&(arrival, message)) = feedback.front() {
                 if arrival > cycle {
@@ -685,24 +711,20 @@ impl LinkSession {
         cycle: u64,
         expected: &mut usize,
         delivered: &mut Vec<u64>,
-        stats: &mut LinkStats,
+        stats: &mut LinkMetrics,
         feedback: &mut VecDeque<(u64, Feedback)>,
     ) -> Result<(), CodecError> {
         let arrival = cycle + self.config.feedback_delay;
         let rx_aux = self.aux_by_tier[tier_rank(self.receiver_tier) as usize];
         let mut frame = Frame::from_wire(observed, rx_aux);
-        let mut switch_to: Option<RedundancyTier> = None;
+        let mut switch_to: Option<Tier> = None;
 
         if !frame.crc_ok() {
             // The sender may have changed tier under us, which moves the
             // overhead lines. A beacon frame is self-describing: scan
             // the other rungs' alignments for one whose CRC checks out
             // and whose CTRL tier bits agree with the alignment used.
-            for tier in [
-                RedundancyTier::Bare,
-                RedundancyTier::Parity,
-                RedundancyTier::Ecc,
-            ] {
+            for tier in [Tier::Bare, Tier::Parity, Tier::Ecc] {
                 if tier == self.receiver_tier {
                     continue;
                 }
@@ -924,21 +946,21 @@ mod tests {
 
     #[test]
     fn stats_accumulate_sums_counters_and_keeps_maxima() {
-        let mut a = LinkStats {
+        let mut a = LinkMetrics {
             words: 10,
             delivered_words: 10,
             link_transitions: 100,
-            final_tier: RedundancyTier::Parity,
-            ..LinkStats::default()
+            final_tier: Tier::Parity,
+            ..LinkMetrics::default()
         };
         a.channel.max_bad_dwell = 5;
-        let mut b = LinkStats {
+        let mut b = LinkMetrics {
             words: 20,
             delivered_words: 19,
             lost_words: 1,
             link_transitions: 50,
-            final_tier: RedundancyTier::Bare,
-            ..LinkStats::default()
+            final_tier: Tier::Bare,
+            ..LinkMetrics::default()
         };
         b.channel.max_bad_dwell = 9;
         a.accumulate(&b);
@@ -947,6 +969,6 @@ mod tests {
         assert_eq!(a.lost_words, 1);
         assert_eq!(a.link_transitions, 150);
         assert_eq!(a.channel.max_bad_dwell, 9);
-        assert_eq!(a.final_tier, RedundancyTier::Parity);
+        assert_eq!(a.final_tier, Tier::Parity);
     }
 }

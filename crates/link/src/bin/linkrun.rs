@@ -25,7 +25,7 @@
 
 use std::process::ExitCode;
 
-use buscode_engine::cli::{self, json_escape, CommonArgs, Outcome, ToolRun, COMMON_USAGE};
+use buscode_engine::cli::{self, CommonArgs, JsonPayload, Outcome, Report, ToolRun, COMMON_USAGE};
 use buscode_fault::GilbertElliott;
 use buscode_link::{run_link_campaign_with, LinkCampaignConfig};
 
@@ -144,44 +144,27 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut text = report.render_text();
-    let mut data = format!(
-        "{{\"jobs\":{},\"link\":{}",
-        engine.jobs(),
-        report.render_json()
-    );
+    let text = report.render_text();
+    let payload = JsonPayload::new()
+        .u64("jobs", engine.jobs() as u64)
+        .report("link", &report);
 
     let outcome = if opts.smoke {
         let failures = report.smoke_failures();
-        let failure_list: Vec<String> = failures
-            .iter()
-            .map(|f| format!("\"{}\"", json_escape(f)))
-            .collect();
-        data.push_str(&format!(
-            ",\"smoke_failures\":[{}]}}",
-            failure_list.join(",")
-        ));
-        if failures.is_empty() {
-            text.push_str(&format!(
+        cli::gate_outcome(
+            text,
+            payload,
+            &failures,
+            &format!(
                 "link smoke gate passed ({} cells, seed {}): every word delivered exactly \
-                 once, zero silent corruption\n",
+                 once, zero silent corruption",
                 report.rows.len(),
                 config.seed
-            ));
-            Outcome::success(text, data)
-        } else {
-            for failure in &failures {
-                text.push_str(&format!("SMOKE FAILURE: {failure}\n"));
-            }
-            Outcome::failure(
-                format!("link smoke gate failed: {} finding(s)", failures.len()),
-                text,
-                data,
-            )
-        }
+            ),
+            format!("link smoke gate failed: {} finding(s)", failures.len()),
+        )
     } else {
-        data.push('}');
-        Outcome::success(text, data)
+        Outcome::success(text, payload.finish())
     };
-    run.finish(&outcome)
+    run.finish(&outcome.with_metrics(report.metrics()))
 }

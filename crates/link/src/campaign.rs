@@ -10,14 +10,16 @@
 
 use buscode_core::rng::Rng64;
 use buscode_core::{CodeKind, CodeParams, CodecError};
+use buscode_engine::cli::Report;
 use buscode_engine::SweepEngine;
 use buscode_fault::campaign::stream_for;
 use buscode_fault::GilbertElliott;
 use buscode_logic::Technology;
 use buscode_power::{retransmission_cost, RetransmissionCost};
+use buscode_telemetry::MetricSet;
 use buscode_trace::StreamKind;
 
-use crate::arq::{LinkConfig, LinkSession, LinkStats};
+use crate::arq::{LinkConfig, LinkMetrics, LinkSession};
 
 /// Campaign shape: which profiles to run, how long, how seeded.
 #[derive(Clone, Debug)]
@@ -64,7 +66,7 @@ pub struct LinkCampaignRow {
     /// The channel profile name.
     pub profile: String,
     /// Session counters summed over all trials.
-    pub stats: LinkStats,
+    pub stats: LinkMetrics,
     /// ARQ-vs-ECC pricing for the cell; `None` when the channel was so
     /// hostile nothing was delivered (nothing to price).
     pub power: Option<RetransmissionCost>,
@@ -340,7 +342,7 @@ fn run_link_cell(
         config.seed.wrapping_add(si as u64),
     );
 
-    let mut aggregate = LinkStats::default();
+    let mut aggregate = LinkMetrics::default();
     for _ in 0..config.trials {
         let channel_seed = rng.next_u64();
         let mut link_config = LinkConfig::new(code);
@@ -374,6 +376,25 @@ fn run_link_cell(
         stats: aggregate,
         power,
     })
+}
+
+impl Report for LinkCampaignReport {
+    fn render_text(&self) -> String {
+        LinkCampaignReport::render_text(self)
+    }
+
+    fn render_json(&self) -> String {
+        LinkCampaignReport::render_json(self)
+    }
+
+    fn metrics(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        set.add_counter("link.rows", self.rows.len() as u64);
+        for row in &self.rows {
+            set.merge(&row.stats.metrics());
+        }
+        set
+    }
 }
 
 #[cfg(test)]

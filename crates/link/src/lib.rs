@@ -45,9 +45,13 @@ pub mod arq;
 pub mod campaign;
 pub mod frame;
 
-pub use arq::{LinkConfig, LinkSession, LinkStats, SessionOutcome};
+pub use arq::{LinkConfig, LinkMetrics, LinkSession, SessionOutcome};
 pub use campaign::{
     run_link_campaign, run_link_campaign_with, LinkCampaignConfig, LinkCampaignReport,
     LinkCampaignRow,
 };
 pub use frame::{crc16, Frame, CRC_LINES, CTRL_LINES, OVERHEAD_LINES, SEQ_LINES};
+
+/// The pre-telemetry name for [`LinkMetrics`].
+#[deprecated(since = "0.1.0", note = "use `LinkMetrics` instead")]
+pub type LinkStats = LinkMetrics;

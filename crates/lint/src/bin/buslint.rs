@@ -23,7 +23,9 @@ use std::process::ExitCode;
 
 use buscode_core::check::{check_code, CheckConfig, Verdict};
 use buscode_core::{CodeKind, CodeParams};
-use buscode_engine::cli::{self, CommonArgs, Outcome, ToolRun, COMMON_USAGE};
+use buscode_engine::cli::{
+    self, CommonArgs, JsonPayload, Outcome, Report as _, ToolRun, COMMON_USAGE,
+};
 use buscode_lint::passes::lint_netlist;
 use buscode_lint::suite::codec_netlists;
 use buscode_lint::{Diagnostic, Report, Severity};
@@ -148,11 +150,10 @@ fn main() -> ExitCode {
 
     let failed = !report.is_clean() || (opts.fail_on_warnings && report.warning_count() > 0);
     let text = report.render_text();
-    let data = format!(
-        "{{\"jobs\":{},\"report\":{}}}",
-        engine.jobs(),
-        report.render_json()
-    );
+    let data = JsonPayload::new()
+        .u64("jobs", engine.jobs() as u64)
+        .report("report", &report)
+        .finish();
     let outcome = if failed {
         let reason = if report.is_clean() {
             format!(
@@ -166,7 +167,7 @@ fn main() -> ExitCode {
     } else {
         Outcome::success(text, data)
     };
-    run.finish(&outcome)
+    run.finish(&outcome.with_metrics(report.metrics()))
 }
 
 /// Folds a model-checker verdict into the diagnostic stream: failures

@@ -2,6 +2,9 @@
 
 use core::fmt;
 
+use buscode_engine::cli::Report as CliReport;
+use buscode_telemetry::MetricSet;
+
 /// How serious a finding is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
@@ -168,6 +171,28 @@ impl Report {
             self.warning_count()
         ));
         out
+    }
+}
+
+impl CliReport for Report {
+    fn render_text(&self) -> String {
+        Report::render_text(self)
+    }
+
+    fn render_json(&self) -> String {
+        Report::render_json(self)
+    }
+
+    fn metrics(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        set.add_counter("lint.diagnostics", self.diagnostics.len() as u64);
+        set.add_counter("lint.errors", self.error_count() as u64);
+        set.add_counter("lint.warnings", self.warning_count() as u64);
+        set.add_counter(
+            "lint.infos",
+            (self.diagnostics.len() - self.error_count() - self.warning_count()) as u64,
+        );
+        set
     }
 }
 

@@ -52,15 +52,18 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use buscode_core::{BusState, CodeKind, CodeParams};
-use buscode_engine::cli::{self, json_escape, CommonArgs, Outcome, ToolRun, COMMON_USAGE};
+use buscode_engine::cli::{
+    self, json_escape, CommonArgs, JsonPayload, Outcome, ToolRun, COMMON_USAGE,
+};
 use buscode_engine::SweepEngine;
 use buscode_fault::campaign::stream_for;
 use buscode_fault::{BusGeometry, GeChannel, GeChannelStats, GeEvent, GilbertElliott};
 use buscode_pipeline::soak::{run_soak, SoakConfig, SoakReport};
 use buscode_pipeline::{
-    clean_channel, Checkpoint, Pipeline, PipelineConfig, PipelineStats, RedundancyPolicy,
+    clean_channel, Checkpoint, Pipeline, PipelineConfig, PipelineMetrics, RedundancyPolicy,
 };
 use buscode_power::degradation_cost;
+use buscode_telemetry::MetricSet;
 use buscode_trace::StreamKind;
 
 const TOOL: &str = "pipeline";
@@ -241,7 +244,7 @@ impl Options {
     }
 }
 
-fn render_stats_text(stats: &PipelineStats) -> String {
+fn render_stats_text(stats: &PipelineMetrics) -> String {
     format!(
         "words             {}\n\
          clean words       {}\n\
@@ -282,7 +285,7 @@ fn render_stats_text(stats: &PipelineStats) -> String {
     )
 }
 
-fn render_stats_json(stats: &PipelineStats) -> String {
+fn render_stats_json(stats: &PipelineMetrics) -> String {
     format!(
         "{{\"words\":{},\"clean_words\":{},\"faulted_words\":{},\"transient_faults\":{},\
          \"retries\":{},\"backoff_cycles\":{},\"desyncs\":{},\"forced_resyncs\":{},\
@@ -396,7 +399,7 @@ fn soak_report_text(code: CodeKind, report: &SoakReport) -> String {
 fn power_report(
     opts: &Options,
     config: &PipelineConfig,
-    stats: &PipelineStats,
+    stats: &PipelineMetrics,
 ) -> Result<(String, String), String> {
     let stream = stream_for(
         opts.stream,
@@ -486,22 +489,29 @@ fn run_sweep(opts: &Options, engine: &SweepEngine) -> Result<Outcome, String> {
         .iter()
         .map(|(code, report)| soak_report_json(*code, report))
         .collect();
-    let data = format!(
-        "{{\"mode\":\"sweep\",\"jobs\":{},\"words\":{},\"seed\":{},\"codes\":[{}]}}",
-        engine.jobs(),
-        opts.len,
-        opts.seed,
-        entries.join(",")
-    );
-    if failed == 0 {
-        Ok(Outcome::success(text, data))
+    let data = JsonPayload::new()
+        .raw("mode", "\"sweep\"")
+        .u64("jobs", engine.jobs() as u64)
+        .u64("words", opts.len)
+        .u64("seed", opts.seed)
+        .raw("codes", &format!("[{}]", entries.join(",")))
+        .finish();
+    let mut set = MetricSet::new();
+    set.add_counter("pipeline.codes", reports.len() as u64);
+    set.add_counter("pipeline.soak_failures", failed as u64);
+    for (_, report) in &reports {
+        set.merge(&report.stats.metrics());
+    }
+    let outcome = if failed == 0 {
+        Outcome::success(text, data)
     } else {
-        Ok(Outcome::failure(
+        Outcome::failure(
             format!("{failed} of {} codes failed the soak gate", reports.len()),
             text,
             data,
-        ))
-    }
+        )
+    };
+    Ok(outcome.with_metrics(set))
 }
 
 /// Writes the checkpoint durably: the text goes to a sibling temp file
@@ -528,18 +538,21 @@ fn run(opts: &Options, engine: &SweepEngine) -> Result<Outcome, String> {
         let soak = SoakConfig::new(opts.seed, opts.len);
         let report = run_soak(config, soak).map_err(|e| format!("soak run failed: {e}"))?;
         let mut text = soak_report_text(opts.code, &report);
-        let mut data = format!(
-            "{{\"mode\":\"soak\",\"soak\":{}",
-            soak_report_json(opts.code, &report)
-        );
+        let mut payload = JsonPayload::new()
+            .raw("mode", "\"soak\"")
+            .raw("soak", &soak_report_json(opts.code, &report));
         if opts.power {
             let (ptext, pjson) = power_report(opts, &config, &report.stats)?;
             text.push_str(&ptext);
-            data.push_str(",\"power\":");
-            data.push_str(&pjson);
+            payload = payload.raw("power", &pjson);
         }
-        data.push('}');
-        return Ok(if report.passed() {
+        let data = payload.finish();
+        let mut set = report.stats.metrics();
+        set.add_counter("pipeline.injected_single", report.injected_single);
+        set.add_counter("pipeline.injected_double", report.injected_double);
+        set.add_counter("pipeline.injected_burst", report.injected_burst);
+        set.add_counter("pipeline.soak_failures", report.failures.len() as u64);
+        let outcome = if report.passed() {
             Outcome::success(text, data)
         } else {
             Outcome::failure(
@@ -547,7 +560,8 @@ fn run(opts: &Options, engine: &SweepEngine) -> Result<Outcome, String> {
                 text,
                 data,
             )
-        });
+        };
+        return Ok(outcome.with_metrics(set));
     }
 
     // Plain (clean-channel) run, with optional checkpoint write/resume.
@@ -618,27 +632,32 @@ fn run(opts: &Options, engine: &SweepEngine) -> Result<Outcome, String> {
         pipe.tier()
     );
     text.push_str(&render_stats_text(&stats));
-    let mut data = format!(
-        "{{\"mode\":\"run\",\"code\":\"{}\",\"resumed_at\":{},\"final_mode\":\"{}\",\
-         \"final_tier\":\"{}\",\"stats\":{}",
-        opts.code.name(),
-        already_done,
-        pipe.mode(),
-        pipe.tier(),
-        render_stats_json(&stats)
-    );
+    let mut payload = JsonPayload::new()
+        .raw("mode", "\"run\"")
+        .raw("code", &format!("\"{}\"", opts.code.name()))
+        .u64("resumed_at", already_done)
+        .raw("final_mode", &format!("\"{}\"", pipe.mode()))
+        .raw("final_tier", &format!("\"{}\"", pipe.tier()))
+        .raw("stats", &render_stats_json(&stats));
+    let mut set = stats.metrics();
     if let Some((profile_name, weather)) = &link_weather {
         text.push_str(&render_link_text(profile_name, weather));
-        data.push_str(",\"link\":");
-        data.push_str(&render_link_json(profile_name, weather));
+        payload = payload.raw("link", &render_link_json(profile_name, weather));
+        set.add_counter("pipeline.link.cycles", weather.cycles);
+        set.add_counter("pipeline.link.bad_cycles", weather.bad_cycles);
+        set.add_counter("pipeline.link.bursts", weather.bursts);
+        set.add_counter("pipeline.link.flipped_words", weather.flipped_words);
+        set.add_counter("pipeline.link.flipped_lines", weather.flipped_lines);
+        set.add_counter("pipeline.link.erasures", weather.erasures);
+        set.add_counter("pipeline.link.drops", weather.drops);
+        set.set_gauge("pipeline.link.max_bad_dwell", weather.max_bad_dwell);
     }
     if opts.power {
         let (ptext, pjson) = power_report(opts, &config, &stats)?;
         text.push_str(&ptext);
-        data.push_str(",\"power\":");
-        data.push_str(&pjson);
+        payload = payload.raw("power", &pjson);
     }
-    data.push('}');
+    let data = payload.finish();
 
     if let Some(path) = &opts.checkpoint_out {
         let checkpoint = pipe.checkpoint();
@@ -646,7 +665,7 @@ fn run(opts: &Options, engine: &SweepEngine) -> Result<Outcome, String> {
         let _ = writeln!(text, "checkpoint written to {path}");
     }
 
-    Ok(if stats.unrecovered == 0 {
+    let outcome = if stats.unrecovered == 0 {
         Outcome::success(text, data)
     } else {
         Outcome::failure(
@@ -654,7 +673,8 @@ fn run(opts: &Options, engine: &SweepEngine) -> Result<Outcome, String> {
             text,
             data,
         )
-    })
+    };
+    Ok(outcome.with_metrics(set))
 }
 
 fn main() -> ExitCode {

@@ -9,11 +9,11 @@
 //! checkpoint is rejected at parse time with a precise reason instead of
 //! restoring silently-wrong state.
 
-use buscode_core::{CodeKind, CodeParams, StateImage};
+use buscode_core::{CodeKind, CodeParams, StateImage, Tier};
 
 use crate::policy::{DegradeSnapshot, Mode};
-use crate::redundancy::{RedundancySnapshot, RedundancyTier};
-use crate::runtime::{PipelineError, PipelineStats};
+use crate::redundancy::RedundancySnapshot;
+use crate::runtime::{PipelineError, PipelineMetrics};
 
 /// A complete pipeline state, produced by
 /// [`Pipeline::checkpoint`][crate::Pipeline::checkpoint] and consumed by
@@ -42,7 +42,7 @@ pub struct Checkpoint {
     /// Redundancy manager registers (which tier the primary pair ran at).
     pub redundancy: RedundancySnapshot,
     /// Statistics accumulated up to the checkpoint.
-    pub stats: PipelineStats,
+    pub stats: PipelineMetrics,
 }
 
 const HEADER: &str = "buscode-pipeline-checkpoint v1";
@@ -205,7 +205,7 @@ impl Checkpoint {
         };
 
         let tier_name = get("tier")?;
-        let tier = RedundancyTier::from_name(&tier_name)
+        let tier = Tier::from_name(&tier_name)
             .ok_or_else(|| bad(format!("unknown redundancy tier `{tier_name}`")))?;
         let redundancy = RedundancySnapshot {
             tier,
@@ -229,7 +229,7 @@ impl Checkpoint {
                 nums.len()
             )));
         };
-        let stats = PipelineStats {
+        let stats = PipelineMetrics {
             words,
             clean_words,
             faulted_words,
@@ -292,12 +292,12 @@ mod tests {
                 clean_run: 17,
             },
             redundancy: RedundancySnapshot {
-                tier: RedundancyTier::Ecc,
+                tier: Tier::Ecc,
                 window_start: 12100,
                 window_faults: 2,
                 clean_run: 45,
             },
-            stats: PipelineStats {
+            stats: PipelineMetrics {
                 words: 12345,
                 clean_words: 12000,
                 faulted_words: 345,

@@ -81,12 +81,15 @@ mod redundancy;
 mod runtime;
 pub mod soak;
 
+pub use buscode_core::Tier;
 pub use checkpoint::Checkpoint;
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use policy::{DegradePolicy, DegradeSnapshot, Mode, RecoveryPolicy};
-pub use redundancy::{
-    RedundancyManager, RedundancyPolicy, RedundancySnapshot, RedundancyTier, TierShift,
-};
+#[allow(deprecated)]
+pub use redundancy::RedundancyTier;
+pub use redundancy::{RedundancyManager, RedundancyPolicy, RedundancySnapshot, TierShift};
+#[allow(deprecated)]
+pub use runtime::PipelineStats;
 pub use runtime::{
-    clean_channel, Channel, ChunkReport, Pipeline, PipelineConfig, PipelineError, PipelineStats,
+    clean_channel, Channel, ChunkReport, Pipeline, PipelineConfig, PipelineError, PipelineMetrics,
 };

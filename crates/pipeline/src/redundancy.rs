@@ -5,7 +5,8 @@
 //! supervisor feeds it — decode errors *and* the flips the ECC layer
 //! corrected silently (observable only through
 //! [`Decoder::corrected_count`][buscode_core::Decoder::corrected_count])
-//! — and decides which [`RedundancyTier`] the bus should run at:
+//! — and decides which [`Tier`][buscode_core::Tier] the bus should run
+//! at:
 //!
 //! - **escalation** is immediate: when the faults observed inside one
 //!   sliding window reach the threshold, the manager steps up one tier
@@ -20,73 +21,12 @@
 //! themselves. `buscode-power`'s `ecc_cost` prices what each rung costs
 //! in milliwatts.
 
-/// The protection level the adaptive runtime drives the bus at.
-///
-/// Ordered by redundancy, so `tier as usize` indexes the ladder and
-/// comparisons express "at least this protected".
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum RedundancyTier {
-    /// The configured code alone — no detection, no correction.
-    Bare,
-    /// Aux-parity detection plus periodic refresh
-    /// ([`Hardened`][buscode_core::codes::Hardened]).
-    Parity,
-    /// SEC-DED in-flight correction plus overall parity
-    /// ([`EccHardened`][buscode_core::codes::EccHardened]).
-    Ecc,
-}
+use buscode_core::Tier;
 
-impl RedundancyTier {
-    /// Every tier, bottom of the ladder first.
-    pub fn all() -> &'static [RedundancyTier] {
-        &[
-            RedundancyTier::Bare,
-            RedundancyTier::Parity,
-            RedundancyTier::Ecc,
-        ]
-    }
-
-    /// A short stable identifier for reports and checkpoints.
-    pub fn name(self) -> &'static str {
-        match self {
-            RedundancyTier::Bare => "bare",
-            RedundancyTier::Parity => "parity",
-            RedundancyTier::Ecc => "ecc",
-        }
-    }
-
-    /// Parses a [`RedundancyTier::name`] back into the tier.
-    pub fn from_name(name: &str) -> Option<RedundancyTier> {
-        RedundancyTier::all()
-            .iter()
-            .copied()
-            .find(|t| t.name() == name)
-    }
-
-    /// The next tier up, or `None` at the top of the ladder.
-    pub fn up(self) -> Option<RedundancyTier> {
-        match self {
-            RedundancyTier::Bare => Some(RedundancyTier::Parity),
-            RedundancyTier::Parity => Some(RedundancyTier::Ecc),
-            RedundancyTier::Ecc => None,
-        }
-    }
-
-    /// The next tier down, or `None` at the bottom of the ladder.
-    pub fn down(self) -> Option<RedundancyTier> {
-        match self {
-            RedundancyTier::Bare => None,
-            RedundancyTier::Parity => Some(RedundancyTier::Bare),
-            RedundancyTier::Ecc => Some(RedundancyTier::Parity),
-        }
-    }
-}
-
-impl core::fmt::Display for RedundancyTier {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.write_str(self.name())
-    }
-}
+/// The protection ladder, now shared workspace-wide as
+/// [`buscode_core::Tier`].
+#[deprecated(since = "0.1.0", note = "use `buscode_core::Tier` instead")]
+pub type RedundancyTier = Tier;
 
 /// When to escalate the redundancy tier, and when to step back down.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -103,9 +43,9 @@ pub struct RedundancyPolicy {
     /// tier (the hysteresis).
     pub stable_window: u64,
     /// The tier the manager starts at.
-    pub start: RedundancyTier,
+    pub start: Tier,
     /// The tier de-escalation never goes below.
-    pub floor: RedundancyTier,
+    pub floor: Tier,
 }
 
 impl Default for RedundancyPolicy {
@@ -115,8 +55,8 @@ impl Default for RedundancyPolicy {
             window: 256,
             escalate_faults: 4,
             stable_window: 1024,
-            start: RedundancyTier::Bare,
-            floor: RedundancyTier::Bare,
+            start: Tier::Bare,
+            floor: Tier::Bare,
         }
     }
 }
@@ -147,7 +87,7 @@ pub enum TierShift {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RedundancySnapshot {
     /// Current tier.
-    pub tier: RedundancyTier,
+    pub tier: Tier,
     /// Word index where the current observation window started.
     pub window_start: u64,
     /// Faults observed in the current window.
@@ -160,7 +100,7 @@ pub struct RedundancySnapshot {
 #[derive(Clone, Copy, Debug)]
 pub struct RedundancyManager {
     policy: RedundancyPolicy,
-    tier: RedundancyTier,
+    tier: Tier,
     window_start: u64,
     window_faults: u32,
     clean_run: u64,
@@ -179,7 +119,7 @@ impl RedundancyManager {
     }
 
     /// The tier the bus should currently run at.
-    pub fn tier(&self) -> RedundancyTier {
+    pub fn tier(&self) -> Tier {
         self.tier
     }
 
@@ -276,22 +216,22 @@ mod tests {
             window: 16,
             escalate_faults: 3,
             stable_window: 8,
-            start: RedundancyTier::Bare,
-            floor: RedundancyTier::Bare,
+            start: Tier::Bare,
+            floor: Tier::Bare,
         }
     }
 
     #[test]
     fn the_ladder_is_ordered_and_walkable() {
-        assert!(RedundancyTier::Bare < RedundancyTier::Parity);
-        assert!(RedundancyTier::Parity < RedundancyTier::Ecc);
-        assert_eq!(RedundancyTier::Bare.up(), Some(RedundancyTier::Parity));
-        assert_eq!(RedundancyTier::Ecc.up(), None);
-        assert_eq!(RedundancyTier::Bare.down(), None);
-        for tier in RedundancyTier::all() {
-            assert_eq!(RedundancyTier::from_name(tier.name()), Some(*tier));
+        assert!(Tier::Bare < Tier::Parity);
+        assert!(Tier::Parity < Tier::Ecc);
+        assert_eq!(Tier::Bare.up(), Some(Tier::Parity));
+        assert_eq!(Tier::Ecc.up(), None);
+        assert_eq!(Tier::Bare.down(), None);
+        for tier in Tier::all() {
+            assert_eq!(Tier::from_name(tier.name()), Some(*tier));
         }
-        assert_eq!(RedundancyTier::from_name("nonesuch"), None);
+        assert_eq!(Tier::from_name("nonesuch"), None);
     }
 
     #[test]
@@ -303,7 +243,7 @@ mod tests {
             word += 1;
         }
         assert_eq!(m.on_word(word, true), Some(TierShift::Escalate));
-        assert_eq!(m.tier(), RedundancyTier::Parity);
+        assert_eq!(m.tier(), Tier::Parity);
         word += 1;
         // The window restarted: three more faults for the next rung.
         for _ in 0..2 {
@@ -311,20 +251,20 @@ mod tests {
             word += 1;
         }
         assert_eq!(m.on_word(word, true), Some(TierShift::Escalate));
-        assert_eq!(m.tier(), RedundancyTier::Ecc);
+        assert_eq!(m.tier(), Tier::Ecc);
         word += 1;
         // At the top of the ladder, faults no longer shift anything.
         for _ in 0..10 {
             assert_eq!(m.on_word(word, true), None);
             word += 1;
         }
-        assert_eq!(m.tier(), RedundancyTier::Ecc);
+        assert_eq!(m.tier(), Tier::Ecc);
     }
 
     #[test]
     fn deescalates_only_after_the_stable_window() {
         let mut m = RedundancyManager::new(RedundancyPolicy {
-            start: RedundancyTier::Ecc,
+            start: Tier::Ecc,
             ..policy()
         });
         let mut word = 0u64;
@@ -333,7 +273,7 @@ mod tests {
             word += 1;
         }
         assert_eq!(m.on_word(word, false), Some(TierShift::Deescalate));
-        assert_eq!(m.tier(), RedundancyTier::Parity);
+        assert_eq!(m.tier(), Tier::Parity);
         word += 1;
         // A fault resets the clean run.
         for _ in 0..7 {
@@ -347,31 +287,31 @@ mod tests {
             word += 1;
         }
         assert_eq!(m.on_word(word, false), Some(TierShift::Deescalate));
-        assert_eq!(m.tier(), RedundancyTier::Bare);
+        assert_eq!(m.tier(), Tier::Bare);
         word += 1;
         // At the floor, clean words keep it there.
         for _ in 0..20 {
             assert_eq!(m.on_word(word, false), None);
             word += 1;
         }
-        assert_eq!(m.tier(), RedundancyTier::Bare);
+        assert_eq!(m.tier(), Tier::Bare);
     }
 
     #[test]
     fn the_floor_is_respected() {
         let mut m = RedundancyManager::new(RedundancyPolicy {
-            start: RedundancyTier::Ecc,
-            floor: RedundancyTier::Parity,
+            start: Tier::Ecc,
+            floor: Tier::Parity,
             ..policy()
         });
         for word in 0..8 {
             m.on_word(word, false);
         }
-        assert_eq!(m.tier(), RedundancyTier::Parity);
+        assert_eq!(m.tier(), Tier::Parity);
         for word in 8..100 {
             assert_eq!(m.on_word(word, false), None);
         }
-        assert_eq!(m.tier(), RedundancyTier::Parity);
+        assert_eq!(m.tier(), Tier::Parity);
     }
 
     #[test]
@@ -381,7 +321,7 @@ mod tests {
         assert_eq!(m.on_word(1, true), None);
         // The third fault lands in a fresh window: no escalation.
         assert_eq!(m.on_word(20, true), None);
-        assert_eq!(m.tier(), RedundancyTier::Bare);
+        assert_eq!(m.tier(), Tier::Bare);
     }
 
     #[test]
@@ -393,19 +333,19 @@ mod tests {
         for i in 0..100 {
             assert_eq!(m.on_word(i, true), None);
         }
-        assert_eq!(m.tier(), RedundancyTier::Bare);
+        assert_eq!(m.tier(), Tier::Bare);
     }
 
     #[test]
     fn hint_escalate_steps_up_immediately_and_respects_the_ladder() {
         let mut m = RedundancyManager::new(policy());
         assert_eq!(m.hint_escalate(10), Some(TierShift::Escalate));
-        assert_eq!(m.tier(), RedundancyTier::Parity);
+        assert_eq!(m.tier(), Tier::Parity);
         assert_eq!(m.hint_escalate(11), Some(TierShift::Escalate));
-        assert_eq!(m.tier(), RedundancyTier::Ecc);
+        assert_eq!(m.tier(), Tier::Ecc);
         // Top of the ladder: the hint has nowhere to go.
         assert_eq!(m.hint_escalate(12), None);
-        assert_eq!(m.tier(), RedundancyTier::Ecc);
+        assert_eq!(m.tier(), Tier::Ecc);
         // The registers restarted at the hint, so de-escalation needs a
         // full stable window from there.
         for word in 13..20 {
@@ -421,7 +361,7 @@ mod tests {
             ..policy()
         });
         assert_eq!(m.hint_escalate(0), None);
-        assert_eq!(m.tier(), RedundancyTier::Bare);
+        assert_eq!(m.tier(), Tier::Bare);
     }
 
     #[test]
@@ -431,10 +371,10 @@ mod tests {
         m.on_word(1, true);
         m.on_word(2, true);
         let snap = m.snapshot();
-        assert_eq!(snap.tier, RedundancyTier::Parity);
+        assert_eq!(snap.tier, Tier::Parity);
         let mut n = RedundancyManager::new(policy());
         n.restore(snap);
         assert_eq!(n.snapshot(), snap);
-        assert_eq!(n.tier(), RedundancyTier::Parity);
+        assert_eq!(n.tier(), Tier::Parity);
     }
 }

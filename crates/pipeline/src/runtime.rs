@@ -2,15 +2,16 @@
 
 use buscode_core::{
     Access, BusState, CodeKind, CodeParams, CodecError, RecoveryClass, Snapshot, SnapshotDecoder,
-    SnapshotEncoder,
+    SnapshotEncoder, Tier,
 };
+use buscode_telemetry::MetricSet;
 
 use crate::clock::{Clock, SystemClock};
 use crate::policy::{DegradeMachine, DegradePolicy, Mode, RecoveryPolicy, Transition};
-use crate::redundancy::{RedundancyManager, RedundancyPolicy, RedundancyTier, TierShift};
+use crate::redundancy::{RedundancyManager, RedundancyPolicy, TierShift};
 
 /// Errors that abort the pipeline (everything recoverable is handled by
-/// policy and reported through [`PipelineStats`] instead).
+/// policy and reported through [`PipelineMetrics`] instead).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PipelineError {
     /// A codec could not be constructed from the configuration.
@@ -75,8 +76,12 @@ pub fn clean_channel() -> impl Channel {
 
 /// Counters the supervisor accumulates over a run; the observable outcome
 /// of every policy decision.
+///
+/// [`PipelineMetrics::metrics`] projects these counters onto the shared
+/// `buscode-metrics/1` schema, so every tool reports pipeline health
+/// through the same names.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct PipelineStats {
+pub struct PipelineMetrics {
     /// Words fully processed (each input access counts once).
     pub words: u64,
     /// Words that decoded correctly on the first transmission.
@@ -116,6 +121,39 @@ pub struct PipelineStats {
     pub deescalations: u64,
     /// Words processed while the redundancy tier was ECC.
     pub ecc_words: u64,
+}
+
+/// The pre-telemetry name for [`PipelineMetrics`].
+#[deprecated(since = "0.1.0", note = "use `PipelineMetrics` instead")]
+pub type PipelineStats = PipelineMetrics;
+
+impl PipelineMetrics {
+    /// Projects every counter onto the shared telemetry schema under the
+    /// `pipeline.` prefix. All values are deterministic counters, so the
+    /// snapshot is byte-identical across `--jobs` settings.
+    #[must_use]
+    pub fn metrics(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        set.add_counter("pipeline.words", self.words);
+        set.add_counter("pipeline.clean_words", self.clean_words);
+        set.add_counter("pipeline.faulted_words", self.faulted_words);
+        set.add_counter("pipeline.transient_faults", self.transient_faults);
+        set.add_counter("pipeline.retries", self.retries);
+        set.add_counter("pipeline.backoff_cycles", self.backoff_cycles);
+        set.add_counter("pipeline.desyncs", self.desyncs);
+        set.add_counter("pipeline.forced_resyncs", self.forced_resyncs);
+        set.set_gauge("pipeline.max_resync_gap", self.max_resync_gap);
+        set.add_counter("pipeline.unrecovered", self.unrecovered);
+        set.add_counter("pipeline.demotions", self.demotions);
+        set.add_counter("pipeline.repromotions", self.repromotions);
+        set.add_counter("pipeline.degraded_words", self.degraded_words);
+        set.add_counter("pipeline.watchdog_fires", self.watchdog_fires);
+        set.add_counter("pipeline.corrected_faults", self.corrected_faults);
+        set.add_counter("pipeline.escalations", self.escalations);
+        set.add_counter("pipeline.deescalations", self.deescalations);
+        set.add_counter("pipeline.ecc_words", self.ecc_words);
+        set
+    }
 }
 
 /// Configuration of a [`Pipeline`].
@@ -160,13 +198,13 @@ impl PipelineConfig {
     /// The redundancy tier the pipeline starts at: the policy's start
     /// tier when adaptive, otherwise pinned by [`PipelineConfig::refresh`]
     /// (`None` → bare, `Some(_)` → parity).
-    pub fn initial_tier(&self) -> RedundancyTier {
+    pub fn initial_tier(&self) -> Tier {
         if self.redundancy.enabled {
             self.redundancy.start
         } else if self.refresh.is_some() {
-            RedundancyTier::Parity
+            Tier::Parity
         } else {
-            RedundancyTier::Bare
+            Tier::Bare
         }
     }
 }
@@ -189,7 +227,7 @@ pub struct Pipeline {
     plain_dec: Box<dyn SnapshotDecoder>,
     degrade: DegradeMachine,
     redundancy: RedundancyManager,
-    stats: PipelineStats,
+    stats: PipelineMetrics,
     position: u64,
     clock: Box<dyn Clock>,
 }
@@ -201,26 +239,11 @@ type CodecPair = (Box<dyn SnapshotEncoder>, Box<dyn SnapshotDecoder>);
 /// escalates anyway.
 const DEFAULT_TIER_REFRESH: u64 = 16;
 
-fn build_tier_pair(config: &PipelineConfig, tier: RedundancyTier) -> Result<CodecPair, CodecError> {
+fn build_tier_pair(config: &PipelineConfig, tier: Tier) -> Result<CodecPair, CodecError> {
     let refresh = config.refresh.unwrap_or(DEFAULT_TIER_REFRESH);
-    match tier {
-        RedundancyTier::Bare => Ok((
-            config.kind.snapshot_encoder(config.params)?,
-            config.kind.snapshot_decoder(config.params)?,
-        )),
-        RedundancyTier::Parity => Ok((
-            config
-                .kind
-                .hardened_snapshot_encoder(config.params, refresh)?,
-            config
-                .kind
-                .hardened_snapshot_decoder(config.params, refresh)?,
-        )),
-        RedundancyTier::Ecc => Ok((
-            config.kind.ecc_snapshot_encoder(config.params, refresh)?,
-            config.kind.ecc_snapshot_decoder(config.params, refresh)?,
-        )),
-    }
+    config
+        .kind
+        .build_snapshot_codec(config.params, tier, refresh)
 }
 
 impl Pipeline {
@@ -264,7 +287,7 @@ impl Pipeline {
             plain_dec: CodeKind::Binary.snapshot_decoder(plain)?,
             degrade: DegradeMachine::new(config.degrade),
             redundancy: RedundancyManager::new(policy),
-            stats: PipelineStats::default(),
+            stats: PipelineMetrics::default(),
             position: 0,
             clock,
             config,
@@ -277,7 +300,7 @@ impl Pipeline {
     }
 
     /// Statistics accumulated so far.
-    pub fn stats(&self) -> PipelineStats {
+    pub fn stats(&self) -> PipelineMetrics {
         self.stats
     }
 
@@ -292,7 +315,7 @@ impl Pipeline {
     }
 
     /// The redundancy tier the primary codec pair currently runs at.
-    pub fn tier(&self) -> RedundancyTier {
+    pub fn tier(&self) -> Tier {
         self.redundancy.tier()
     }
 
@@ -440,7 +463,7 @@ impl Pipeline {
         if self.degrade.mode() == Mode::Degraded {
             self.stats.degraded_words += 1;
         }
-        if self.redundancy.tier() == RedundancyTier::Ecc {
+        if self.redundancy.tier() == Tier::Ecc {
             self.stats.ecc_words += 1;
         }
         match self.degrade.on_word(position, had_error) {
@@ -529,7 +552,7 @@ impl Pipeline {
         &mut self,
         accesses: impl IntoIterator<Item = Access>,
         channel: &mut dyn Channel,
-    ) -> Result<PipelineStats, PipelineError> {
+    ) -> Result<PipelineMetrics, PipelineError> {
         let chunk = self.config.chunk_words.max(1);
         let mut buf: Vec<Access> = Vec::with_capacity(chunk);
         for access in accesses {
@@ -840,11 +863,11 @@ mod tests {
             window: 64,
             escalate_faults: 4,
             stable_window: 256,
-            start: RedundancyTier::Bare,
-            floor: RedundancyTier::Bare,
+            start: Tier::Bare,
+            floor: Tier::Bare,
         };
         let mut pipe = Pipeline::new(config).unwrap();
-        assert_eq!(pipe.tier(), RedundancyTier::Bare);
+        assert_eq!(pipe.tier(), Tier::Bare);
         let geometry = BusGeometry::new(32, 0);
         let mut rng = Rng64::seed_from_u64(11);
         let mut channel = move |i: u64, mut w: BusState| {
@@ -862,19 +885,19 @@ mod tests {
         assert!(stats.corrected_faults > 0, "{stats:?}");
         assert!(stats.ecc_words > 0, "{stats:?}");
         assert_eq!(stats.unrecovered, 0, "{stats:?}");
-        assert_eq!(pipe.tier(), RedundancyTier::Bare, "{stats:?}");
+        assert_eq!(pipe.tier(), Tier::Bare, "{stats:?}");
     }
 
     #[test]
     fn fixed_mode_pins_the_tier() {
         let mut config = PipelineConfig::new(CodeKind::Gray, CodeParams::default());
         config.refresh = Some(8);
-        assert_eq!(config.initial_tier(), RedundancyTier::Parity);
+        assert_eq!(config.initial_tier(), Tier::Parity);
         let pipe = Pipeline::new(config).unwrap();
-        assert_eq!(pipe.tier(), RedundancyTier::Parity);
+        assert_eq!(pipe.tier(), Tier::Parity);
         config.refresh = None;
         let mut pipe = Pipeline::new(config).unwrap();
-        assert_eq!(pipe.tier(), RedundancyTier::Bare);
+        assert_eq!(pipe.tier(), Tier::Bare);
         // Faults never move a fixed-mode pipeline off its tier.
         let geometry = BusGeometry::new(32, 0);
         let mut channel = move |i: u64, mut w: BusState| {
@@ -886,7 +909,7 @@ mod tests {
         let stats = pipe.run(stream(500), &mut channel).unwrap();
         assert_eq!(stats.escalations, 0);
         assert_eq!(stats.ecc_words, 0);
-        assert_eq!(pipe.tier(), RedundancyTier::Bare);
+        assert_eq!(pipe.tier(), Tier::Bare);
     }
 
     #[test]
@@ -901,8 +924,8 @@ mod tests {
             window: 32,
             escalate_faults: 4,
             stable_window: 16,
-            start: RedundancyTier::Ecc,
-            floor: RedundancyTier::Bare,
+            start: Tier::Ecc,
+            floor: Tier::Bare,
         };
         let mut pipe = Pipeline::new(config).unwrap();
         let geometry = BusGeometry::new(32, 0);
@@ -915,7 +938,7 @@ mod tests {
         assert_eq!(stats.clean_words, 200, "{stats:?}");
         assert_eq!(stats.retries, 0);
         assert_eq!(stats.deescalations, 0, "{stats:?}");
-        assert_eq!(pipe.tier(), RedundancyTier::Ecc);
+        assert_eq!(pipe.tier(), Tier::Ecc);
     }
 
     #[test]
@@ -927,8 +950,8 @@ mod tests {
             window: 64,
             escalate_faults: 2,
             stable_window: u64::MAX,
-            start: RedundancyTier::Bare,
-            floor: RedundancyTier::Bare,
+            start: Tier::Bare,
+            floor: Tier::Bare,
         };
         let mut pipe = Pipeline::new(config).unwrap();
         let geometry = BusGeometry::new(32, 0);
@@ -942,10 +965,10 @@ mod tests {
         for &a in &accesses[..150] {
             pipe.process(a, &mut channel).unwrap();
         }
-        assert_eq!(pipe.tier(), RedundancyTier::Ecc);
+        assert_eq!(pipe.tier(), Tier::Ecc);
         let checkpoint = pipe.checkpoint();
         let mut resumed = Pipeline::from_checkpoint(config, &checkpoint).unwrap();
-        assert_eq!(resumed.tier(), RedundancyTier::Ecc);
+        assert_eq!(resumed.tier(), Tier::Ecc);
         for &a in &accesses[150..] {
             let x = pipe.process(a, &mut clean_channel()).unwrap();
             let y = resumed.process(a, &mut clean_channel()).unwrap();
@@ -964,8 +987,8 @@ mod tests {
             window: 64,
             escalate_faults: 2,
             stable_window: u64::MAX,
-            start: RedundancyTier::Ecc,
-            floor: RedundancyTier::Bare,
+            start: Tier::Ecc,
+            floor: Tier::Bare,
         };
         let pipe = Pipeline::new(adaptive).unwrap();
         let checkpoint = pipe.checkpoint();

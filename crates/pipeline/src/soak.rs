@@ -27,7 +27,7 @@ use buscode_fault::campaign::stream_for;
 use buscode_fault::models::{flip_line, BusGeometry};
 use buscode_trace::StreamKind;
 
-use crate::runtime::{Channel, Pipeline, PipelineConfig, PipelineError, PipelineStats};
+use crate::runtime::{Channel, Pipeline, PipelineConfig, PipelineError, PipelineMetrics};
 
 /// Parameters of one soak run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -161,7 +161,7 @@ pub struct SoakReport {
     /// The soak parameters the run used.
     pub soak: SoakConfig,
     /// Pipeline statistics at end of stream.
-    pub stats: PipelineStats,
+    pub stats: PipelineMetrics,
     /// Single-line flips the channel injected.
     pub injected_single: u64,
     /// Double-line flips the channel injected.
@@ -194,7 +194,7 @@ impl SoakReport {
 /// reach its own demotion threshold.
 pub fn evaluate_gates(
     config: &PipelineConfig,
-    stats: &PipelineStats,
+    stats: &PipelineMetrics,
     expect_degradation_cycle: bool,
 ) -> Vec<GateFailure> {
     let mut failures = Vec::new();

@@ -1,0 +1,36 @@
+//! Metrics and tracing core for the buscode workspace.
+//!
+//! Every runtime layer (pipeline supervisor, link ARQ, fault campaigns,
+//! the packed transition kernels) records observations through the same
+//! small vocabulary:
+//!
+//! - [`MetricSet`] — an ordered, mergeable snapshot of named metrics:
+//!   counters, gauges, log₂-bucketed histograms, and span tallies. This
+//!   is the *one* reporting surface: tool stat structs collapse onto it
+//!   and every CLI's `--metrics {text,json,csv}` output renders it under
+//!   the versioned [`SCHEMA`].
+//! - [`Registry`] — a sealed, lock-free recorder for hot paths. Metric
+//!   names are declared up front through [`RegistryBuilder`]; recording
+//!   afterwards is a relaxed atomic add behind a typed id, safe to share
+//!   across sweep worker threads without locks. A registry built with
+//!   [`RegistryBuilder::build_noop`] short-circuits every record call on
+//!   one predictable branch, so instrumentation left in place costs
+//!   nearly nothing when telemetry is off.
+//!
+//! Determinism is a schema-level guarantee: merged snapshots depend only
+//! on *what* was recorded, never on thread interleaving or wall time.
+//! Counters, histogram buckets, and span *counts* merge commutatively;
+//! gauges merge by maximum; span wall-clock totals are carried for local
+//! display but excluded from every rendered snapshot. Sharded runs that
+//! merge per-shard sets therefore render byte-identically to serial
+//! runs.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![warn(missing_docs)]
+
+mod metric;
+mod registry;
+
+pub use metric::{HistogramSnapshot, MetricSet, MetricValue, SpanSnapshot, BUCKETS, SCHEMA};
+pub use registry::{CounterId, GaugeId, HistogramId, Registry, RegistryBuilder, SpanGuard, SpanId};

@@ -1,0 +1,485 @@
+//! Metric values, the mergeable [`MetricSet`] snapshot, and the three
+//! renderers behind every CLI's `--metrics` flag.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The versioned identifier stamped on every rendered snapshot.
+///
+/// Bump the trailing number whenever the rendered shape changes; CI
+/// validates CLI output against checked-in snapshots of this schema.
+pub const SCHEMA: &str = "buscode-metrics/1";
+
+/// Number of log₂ histogram buckets: bucket `0` holds zeros, bucket `i`
+/// holds values in `[2^(i-1), 2^i)`, up to `i = 64` for the top of the
+/// `u64` range.
+pub const BUCKETS: usize = 65;
+
+/// Aggregated state of one log₂-bucketed histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// Per-bucket observation counts; see [`BUCKETS`].
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+/// The log₂ bucket a value falls into.
+#[must_use]
+pub(crate) fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+impl HistogramSnapshot {
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Folds another histogram into this one (commutative).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+    }
+
+    /// Mean observed value, or zero when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The nonzero buckets as `(index, count)` pairs, ascending.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+}
+
+/// Aggregated state of one span timer.
+///
+/// Only `count` enters rendered snapshots: wall time varies run to run,
+/// and the snapshot must stay byte-identical across worker counts. The
+/// nanosecond total is still carried for local display and the
+/// `engine_bench` overhead gate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall time across spans, in nanoseconds (saturating).
+    /// Excluded from every rendered snapshot.
+    pub total_ns: u64,
+}
+
+impl SpanSnapshot {
+    /// Folds another span tally into this one.
+    pub fn merge(&mut self, other: &SpanSnapshot) {
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+    }
+}
+
+/// One named metric's aggregated value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonic event count; merges by addition.
+    Counter(u64),
+    /// Last-observed level; merges by maximum so sharded merges stay
+    /// order-independent.
+    Gauge(u64),
+    /// Log₂-bucketed value distribution; merges bucket-wise. Boxed to
+    /// keep the enum small — the bucket array dwarfs every other kind.
+    Histogram(Box<HistogramSnapshot>),
+    /// Span-timer tally; only the count is rendered.
+    Span(SpanSnapshot),
+}
+
+impl MetricValue {
+    /// The kind label used by every renderer.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+            MetricValue::Span(_) => "span",
+        }
+    }
+
+    /// Folds `other` into `self`. Kind mismatches keep `self` — they
+    /// indicate a naming collision, not data to combine.
+    fn merge(&mut self, other: &MetricValue) {
+        match (self, other) {
+            (MetricValue::Counter(a), MetricValue::Counter(b)) => *a = a.saturating_add(*b),
+            (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = (*a).max(*b),
+            (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+            (MetricValue::Span(a), MetricValue::Span(b)) => a.merge(b),
+            _ => {}
+        }
+    }
+}
+
+/// An ordered snapshot of named metrics — the unified unit of reporting.
+///
+/// Names sort lexicographically (a `BTreeMap` underneath), so rendering
+/// order never depends on recording order, and [`MetricSet::merge`] is
+/// commutative for counters, histograms, and span counts. Dotted names
+/// namespace by subsystem: `pipeline.retries`, `link.naks`,
+/// `fault.campaign_cells`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricSet {
+    entries: BTreeMap<String, MetricValue>,
+}
+
+impl MetricSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricSet::default()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of named metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Adds `n` to the counter `name`, creating it at zero first.
+    pub fn add_counter(&mut self, name: &str, n: u64) {
+        if let MetricValue::Counter(v) = self
+            .entries
+            .entry(name.to_string())
+            .or_insert(MetricValue::Counter(0))
+        {
+            *v = v.saturating_add(n);
+        }
+    }
+
+    /// Sets the gauge `name` to `value` (overwriting).
+    pub fn set_gauge(&mut self, name: &str, value: u64) {
+        self.entries
+            .insert(name.to_string(), MetricValue::Gauge(value));
+    }
+
+    /// Records one observation into the histogram `name`.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if let MetricValue::Histogram(h) = self
+            .entries
+            .entry(name.to_string())
+            .or_insert_with(|| MetricValue::Histogram(Box::default()))
+        {
+            h.observe(value);
+        }
+    }
+
+    /// Records one completed span of `ns` nanoseconds under `name`.
+    pub fn record_span(&mut self, name: &str, ns: u64) {
+        if let MetricValue::Span(s) = self
+            .entries
+            .entry(name.to_string())
+            .or_insert_with(|| MetricValue::Span(SpanSnapshot::default()))
+        {
+            s.count += 1;
+            s.total_ns = s.total_ns.saturating_add(ns);
+        }
+    }
+
+    /// Inserts a fully-formed value under `name`, replacing any prior
+    /// entry.
+    pub fn insert(&mut self, name: &str, value: MetricValue) {
+        self.entries.insert(name.to_string(), value);
+    }
+
+    /// Looks up a metric by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.get(name)
+    }
+
+    /// The value of counter `name`, or zero when absent or another kind.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.entries.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Iterates `(name, value)` in lexicographic name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Folds `other` into this set. Deterministic for any merge order:
+    /// counters/histograms/span-counts add, gauges take the maximum.
+    pub fn merge(&mut self, other: &MetricSet) {
+        for (name, value) in &other.entries {
+            match self.entries.get_mut(name) {
+                Some(mine) => mine.merge(value),
+                None => {
+                    self.entries.insert(name.clone(), value.clone());
+                }
+            }
+        }
+    }
+
+    /// Human-readable rendering, one metric per line.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = format!("metrics ({SCHEMA})\n");
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "  counter   {name} = {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "  gauge     {name} = {v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(out, "  histogram {name} count={} sum={}", h.count, h.sum);
+                    let nonzero = h.nonzero_buckets();
+                    if !nonzero.is_empty() {
+                        out.push_str(" buckets=");
+                        for (i, (bucket, count)) in nonzero.iter().enumerate() {
+                            if i > 0 {
+                                out.push(' ');
+                            }
+                            let _ = write!(out, "{bucket}:{count}");
+                        }
+                    }
+                    out.push('\n');
+                }
+                MetricValue::Span(s) => {
+                    let _ = writeln!(out, "  span      {name} count={}", s.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON rendering of the versioned snapshot.
+    ///
+    /// Shape: `{"schema":"buscode-metrics/1","metrics":{NAME:ENTRY,..}}`
+    /// where an entry is `{"kind":"counter","value":N}`,
+    /// `{"kind":"gauge","value":N}`,
+    /// `{"kind":"histogram","count":N,"sum":N,"buckets":[[I,N],..]}`, or
+    /// `{"kind":"span","count":N}`.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = format!("{{\"schema\":\"{SCHEMA}\",\"metrics\":{{");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", escape(name));
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = write!(out, "{{\"kind\":\"counter\",\"value\":{v}}}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = write!(out, "{{\"kind\":\"gauge\",\"value\":{v}}}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"buckets\":[",
+                        h.count, h.sum
+                    );
+                    for (j, (bucket, count)) in h.nonzero_buckets().iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "[{bucket},{count}]");
+                    }
+                    out.push_str("]}");
+                }
+                MetricValue::Span(s) => {
+                    let _ = write!(out, "{{\"kind\":\"span\",\"count\":{}}}", s.count);
+                }
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// CSV rendering: a schema line, a header, then one
+    /// `name,kind,value` row per metric. Histogram values pack
+    /// `count=..;sum=..;I:N;..` into the value column so the row count
+    /// stays one per metric.
+    #[must_use]
+    pub fn render_csv(&self) -> String {
+        let mut out = format!("schema,{SCHEMA}\nname,kind,value\n");
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name},counter,{v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name},gauge,{v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(out, "{name},histogram,count={};sum={}", h.count, h.sum);
+                    for (bucket, count) in h.nonzero_buckets() {
+                        let _ = write!(out, ";{bucket}:{count}");
+                    }
+                    out.push('\n');
+                }
+                MetricValue::Span(s) => {
+                    let _ = writeln!(out, "{name},span,{}", s.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Escapes a metric name for a JSON string literal. Names are plain
+/// dotted identifiers in practice; this keeps pathological input safe.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut a = MetricSet::new();
+        a.add_counter("x", 2);
+        a.add_counter("x", 3);
+        let mut b = MetricSet::new();
+        b.add_counter("x", 5);
+        b.add_counter("y", 1);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 10);
+        assert_eq!(a.counter("y"), 1);
+    }
+
+    #[test]
+    fn merge_is_commutative_for_every_kind() {
+        let build = |values: &[u64]| {
+            let mut m = MetricSet::new();
+            for &v in values {
+                m.add_counter("c", v);
+                m.set_gauge("g", v);
+                m.observe("h", v);
+                m.record_span("s", v);
+            }
+            m
+        };
+        let a = build(&[1, 7, 300]);
+        let b = build(&[2, 9]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        // Gauges keep the max under merge, so both orders agree.
+        assert_eq!(ab.render_json(), ba.render_json());
+        assert_eq!(ab.render_csv(), ba.render_csv());
+    }
+
+    #[test]
+    fn span_wall_time_stays_out_of_renders() {
+        let mut a = MetricSet::new();
+        a.record_span("s", 1_000);
+        let mut b = MetricSet::new();
+        b.record_span("s", 999_999);
+        assert_eq!(a.render_json(), b.render_json());
+        assert_eq!(a.render_text(), b.render_text());
+        assert_eq!(a.render_csv(), b.render_csv());
+        match a.get("s") {
+            Some(MetricValue::Span(s)) => assert_eq!(s.total_ns, 1_000),
+            other => panic!("expected span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn renders_have_the_documented_shape() {
+        let mut m = MetricSet::new();
+        m.add_counter("a.count", 3);
+        m.set_gauge("a.level", 2);
+        m.observe("a.dist", 5);
+        let json = m.render_json();
+        assert!(json.starts_with("{\"schema\":\"buscode-metrics/1\",\"metrics\":{"));
+        assert!(json.contains("\"a.count\":{\"kind\":\"counter\",\"value\":3}"));
+        assert!(json.contains(
+            "\"a.dist\":{\"kind\":\"histogram\",\"count\":1,\"sum\":5,\"buckets\":[[3,1]]}"
+        ));
+        let csv = m.render_csv();
+        assert!(csv.starts_with("schema,buscode-metrics/1\nname,kind,value\n"));
+        assert!(csv.contains("a.count,counter,3\n"));
+        assert!(csv.contains("a.dist,histogram,count=1;sum=5;3:1\n"));
+        assert!(m.render_text().contains("counter   a.count = 3"));
+    }
+
+    #[test]
+    fn kind_collisions_keep_the_existing_value() {
+        let mut m = MetricSet::new();
+        m.add_counter("x", 4);
+        // A gauge write under a counter name is ignored by add paths...
+        m.observe("x", 9);
+        assert_eq!(m.counter("x"), 4);
+        // ...and merge keeps the left side on mismatch.
+        let mut other = MetricSet::new();
+        other.set_gauge("x", 99);
+        m.merge(&other);
+        assert_eq!(m.counter("x"), 4);
+    }
+}

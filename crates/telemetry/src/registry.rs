@@ -1,0 +1,357 @@
+//! The sealed, lock-free recorder hot paths write through.
+//!
+//! Metric names are declared once through [`RegistryBuilder`], which
+//! hands back copyable typed ids. [`RegistryBuilder::build`] seals the
+//! name table; from then on every record call is an index into a fixed
+//! slot vector and a relaxed atomic add — no locks, no allocation, safe
+//! to share by reference across sweep worker threads. A registry built
+//! with [`RegistryBuilder::build_noop`] keeps the same ids but
+//! short-circuits every record call on its `enabled` flag, so
+//! instrumentation stays in place at near-zero cost when telemetry is
+//! off.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::metric::BUCKETS;
+use crate::metric::{bucket_index, HistogramSnapshot, MetricSet, MetricValue, SpanSnapshot};
+
+/// Handle to a declared counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a declared gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a declared histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// Handle to a declared span timer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+struct Cell {
+    name: String,
+    value: AtomicU64,
+}
+
+impl Cell {
+    fn new(name: &str) -> Self {
+        Cell {
+            name: name.to_string(),
+            value: AtomicU64::new(0),
+        }
+    }
+}
+
+struct HistCell {
+    name: String,
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+struct SpanCell {
+    name: String,
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+/// Declares the metric names a [`Registry`] will record.
+#[derive(Default)]
+pub struct RegistryBuilder {
+    counters: Vec<String>,
+    gauges: Vec<String>,
+    histograms: Vec<String>,
+    spans: Vec<String>,
+}
+
+impl RegistryBuilder {
+    /// An empty builder; [`Registry::builder`] is the usual entry point.
+    #[must_use]
+    pub fn new() -> Self {
+        RegistryBuilder::default()
+    }
+
+    /// Declares a counter and returns its id.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        self.counters.push(name.to_string());
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Declares a gauge and returns its id.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        self.gauges.push(name.to_string());
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Declares a histogram and returns its id.
+    pub fn histogram(&mut self, name: &str) -> HistogramId {
+        self.histograms.push(name.to_string());
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Declares a span timer and returns its id.
+    pub fn span(&mut self, name: &str) -> SpanId {
+        self.spans.push(name.to_string());
+        SpanId(self.spans.len() - 1)
+    }
+
+    /// Seals the declarations into an active registry.
+    #[must_use]
+    pub fn build(self) -> Registry {
+        self.finish(true)
+    }
+
+    /// Seals the declarations into a no-op registry: identical ids and
+    /// snapshot shape, but every record call returns after one branch.
+    #[must_use]
+    pub fn build_noop(self) -> Registry {
+        self.finish(false)
+    }
+
+    fn finish(self, enabled: bool) -> Registry {
+        Registry {
+            enabled,
+            counters: self.counters.iter().map(|n| Cell::new(n)).collect(),
+            gauges: self.gauges.iter().map(|n| Cell::new(n)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|n| HistCell {
+                    name: n.clone(),
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                    buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                })
+                .collect(),
+            spans: self
+                .spans
+                .iter()
+                .map(|n| SpanCell {
+                    name: n.clone(),
+                    count: AtomicU64::new(0),
+                    total_ns: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A sealed set of atomic metric slots shared across worker threads.
+pub struct Registry {
+    enabled: bool,
+    counters: Vec<Cell>,
+    gauges: Vec<Cell>,
+    histograms: Vec<HistCell>,
+    spans: Vec<SpanCell>,
+}
+
+impl Registry {
+    /// Starts declaring a new registry.
+    #[must_use]
+    pub fn builder() -> RegistryBuilder {
+        RegistryBuilder::new()
+    }
+
+    /// True when record calls actually write.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&self, id: CounterId, n: u64) {
+        if self.enabled {
+            self.counters[id.0].value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises a gauge to at least `value` (gauges merge by maximum, so
+    /// the recording side is monotone too).
+    #[inline]
+    pub fn set_max(&self, id: GaugeId, value: u64) {
+        if self.enabled {
+            self.gauges[id.0].value.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one histogram observation.
+    #[inline]
+    pub fn observe(&self, id: HistogramId, value: u64) {
+        if self.enabled {
+            let cell = &self.histograms[id.0];
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.sum.fetch_add(value, Ordering::Relaxed);
+            cell.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one completed span of `ns` nanoseconds directly.
+    #[inline]
+    pub fn record_span_ns(&self, id: SpanId, ns: u64) {
+        if self.enabled {
+            let cell = &self.spans[id.0];
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.total_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Starts a span; the returned guard records the count on every
+    /// drop and elapsed wall time on a **1-in-8 sample** of them. Span
+    /// nanoseconds are diagnostic (excluded from every rendering for
+    /// determinism), so sampling the clock keeps the hot path down to
+    /// one load and one add per span while `total_ns` still tracks
+    /// where the time goes. On a no-op registry the guard does nothing.
+    #[must_use]
+    pub fn span(&self, id: SpanId) -> SpanGuard<'_> {
+        let start = if self.enabled && self.spans[id.0].count.load(Ordering::Relaxed) & 7 == 0 {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        SpanGuard {
+            registry: self,
+            id,
+            start,
+        }
+    }
+
+    /// Reads every slot into an ordered, mergeable [`MetricSet`].
+    ///
+    /// Taken after workers are joined; relaxed loads are sufficient
+    /// because the caller owns the happens-before edge (thread join).
+    #[must_use]
+    pub fn snapshot(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        for cell in &self.counters {
+            set.insert(
+                &cell.name,
+                MetricValue::Counter(cell.value.load(Ordering::Relaxed)),
+            );
+        }
+        for cell in &self.gauges {
+            set.insert(
+                &cell.name,
+                MetricValue::Gauge(cell.value.load(Ordering::Relaxed)),
+            );
+        }
+        for cell in &self.histograms {
+            let mut h = HistogramSnapshot {
+                count: cell.count.load(Ordering::Relaxed),
+                sum: cell.sum.load(Ordering::Relaxed),
+                ..HistogramSnapshot::default()
+            };
+            for (slot, bucket) in h.buckets.iter_mut().zip(cell.buckets.iter()) {
+                *slot = bucket.load(Ordering::Relaxed);
+            }
+            set.insert(&cell.name, MetricValue::Histogram(Box::new(h)));
+        }
+        for cell in &self.spans {
+            set.insert(
+                &cell.name,
+                MetricValue::Span(SpanSnapshot {
+                    count: cell.count.load(Ordering::Relaxed),
+                    total_ns: cell.total_ns.load(Ordering::Relaxed),
+                }),
+            );
+        }
+        set
+    }
+}
+
+/// Live span: records one completion into its registry on drop.
+pub struct SpanGuard<'a> {
+    registry: &'a Registry,
+    id: SpanId,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if !self.registry.enabled {
+            return;
+        }
+        let cell = &self.registry.spans[self.id.0];
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            cell.total_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::MetricValue;
+
+    #[test]
+    fn sealed_registry_records_and_snapshots() {
+        let mut spec = Registry::builder();
+        let hits = spec.counter("k.hits");
+        let level = spec.gauge("k.level");
+        let dist = spec.histogram("k.dist");
+        let work = spec.span("k.work");
+        let reg = spec.build();
+
+        reg.add(hits, 3);
+        reg.set_max(level, 7);
+        reg.set_max(level, 2);
+        reg.observe(dist, 5);
+        reg.record_span_ns(work, 40);
+        drop(reg.span(work));
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("k.hits"), 3);
+        assert_eq!(snap.get("k.level"), Some(&MetricValue::Gauge(7)));
+        match snap.get("k.work") {
+            Some(MetricValue::Span(s)) => assert_eq!(s.count, 2),
+            other => panic!("expected span, got {other:?}"),
+        }
+        match snap.get("k.dist") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 1);
+                assert_eq!(h.sum, 5);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn noop_registry_snapshot_is_all_zeros() {
+        let mut spec = Registry::builder();
+        let hits = spec.counter("k.hits");
+        let work = spec.span("k.work");
+        let reg = spec.build_noop();
+        reg.add(hits, 99);
+        drop(reg.span(work));
+        let snap = reg.snapshot();
+        assert!(!reg.enabled());
+        assert_eq!(snap.counter("k.hits"), 0);
+        assert_eq!(
+            snap.get("k.work"),
+            Some(&MetricValue::Span(SpanSnapshot::default()))
+        );
+    }
+
+    #[test]
+    fn shared_recording_across_threads_totals_up() {
+        let mut spec = Registry::builder();
+        let hits = spec.counter("k.hits");
+        let reg = spec.build();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        reg.add(hits, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.snapshot().counter("k.hits"), 4000);
+    }
+}

@@ -23,9 +23,11 @@
 use std::process::ExitCode;
 
 use buscode_core::BusWidth;
-use buscode_engine::cli::{self, CommonArgs, Outcome, ToolRun, COMMON_USAGE};
-use buscode_verify::suite::{plan, render_json, render_text, run_cell, tally, Mode};
-use buscode_verify::Stage;
+use buscode_engine::cli::{
+    self, CommonArgs, JsonPayload, Outcome, Report as _, ToolRun, COMMON_USAGE,
+};
+use buscode_verify::suite::{plan, render_json, run_cell, Mode};
+use buscode_verify::{Stage, SuiteReport};
 
 const TOOL: &str = "busverify";
 
@@ -112,14 +114,20 @@ fn main() -> ExitCode {
     }
     let results = engine.run(cells, |cell| run_cell(&cell));
 
-    let (proved, failed, errors) = tally(&results);
-    let text = render_text(opts.width, &results);
-    let data = format!(
-        "{{\"width\":{},\"jobs\":{},\"proved\":{proved},\"failed\":{failed},\"errors\":{errors},\"cells\":{}}}",
-        opts.width.bits(),
-        engine.jobs(),
-        render_json(&results)
-    );
+    let report = SuiteReport {
+        width: opts.width,
+        results,
+    };
+    let (proved, failed, errors) = report.tally();
+    let text = report.render_text();
+    let data = JsonPayload::new()
+        .u64("width", u64::from(opts.width.bits()))
+        .u64("jobs", engine.jobs() as u64)
+        .u64("proved", proved as u64)
+        .u64("failed", failed as u64)
+        .u64("errors", errors as u64)
+        .raw("cells", &render_json(&report.results))
+        .finish();
     let outcome = if errors > 0 {
         Outcome::error(format!("{errors} cell(s) could not run"))
     } else if failed > 0 {
@@ -127,5 +135,5 @@ fn main() -> ExitCode {
     } else {
         Outcome::success(text, data)
     };
-    run.finish(&outcome)
+    run.finish(&outcome.with_metrics(report.metrics()))
 }

@@ -39,4 +39,4 @@ pub mod vars;
 pub use bdd::Bdd;
 pub use cec::{check_decoder, check_encoder, stage_decoder, stage_encoder};
 pub use cec::{CecReport, Counterexample, Stage};
-pub use suite::{plan, run_cell, CellResult, CellSpec, CellStatus};
+pub use suite::{plan, run_cell, CellResult, CellSpec, CellStatus, SuiteReport};

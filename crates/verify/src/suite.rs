@@ -19,8 +19,9 @@
 
 use buscode_core::sym::FlatCode;
 use buscode_core::{BusWidth, Stride};
-use buscode_engine::cli::json_escape;
+use buscode_engine::cli::{json_escape, Report as CliReport};
 use buscode_lint::lint_netlist;
+use buscode_telemetry::MetricSet;
 
 use crate::cases::{check_self_organizing, check_working_zone};
 use crate::cec::{
@@ -476,6 +477,66 @@ pub fn render_text(width: BusWidth, results: &[CellResult]) -> String {
         "summary: {proved} proved, {failed} failed, {errors} errors\n"
     ));
     out
+}
+
+/// A completed proof suite: the planned width plus every cell result,
+/// renderable through the unified [`Report`][CliReport] API.
+#[derive(Clone, Debug)]
+pub struct SuiteReport {
+    /// The bus width the suite was planned at.
+    pub width: BusWidth,
+    /// Cell results in plan order.
+    pub results: Vec<CellResult>,
+}
+
+impl SuiteReport {
+    /// Outcome counts, in `(proved, failed, errors)` order.
+    #[must_use]
+    pub fn tally(&self) -> (usize, usize, usize) {
+        tally(&self.results)
+    }
+
+    /// Renders the suite as stable text (see [`render_text`]).
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        render_text(self.width, &self.results)
+    }
+
+    /// Renders the suite as one JSON object with summary counts and the
+    /// per-cell array (see [`render_json`]).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let (proved, failed, errors) = self.tally();
+        format!(
+            "{{\"width\":{},\"proved\":{proved},\"failed\":{failed},\"errors\":{errors},\"cells\":{}}}",
+            self.width.bits(),
+            render_json(&self.results)
+        )
+    }
+}
+
+impl CliReport for SuiteReport {
+    fn render_text(&self) -> String {
+        SuiteReport::render_text(self)
+    }
+
+    fn render_json(&self) -> String {
+        SuiteReport::render_json(self)
+    }
+
+    fn metrics(&self) -> MetricSet {
+        let (proved, failed, errors) = self.tally();
+        let mut set = MetricSet::new();
+        set.add_counter("verify.cells", self.results.len() as u64);
+        set.add_counter("verify.proved", proved as u64);
+        set.add_counter("verify.failed", failed as u64);
+        set.add_counter("verify.errors", errors as u64);
+        let obligations: u64 = self.results.iter().map(|r| r.obligations as u64).sum();
+        let nodes: u64 = self.results.iter().map(|r| r.nodes as u64).sum();
+        set.add_counter("verify.obligations", obligations);
+        set.add_counter("verify.bdd_nodes", nodes);
+        set
+    }
 }
 
 /// Renders the suite as a JSON array (cell objects in plan order).

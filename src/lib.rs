@@ -34,7 +34,11 @@
 //!   sharded [`SweepEngine`](buscode_engine::SweepEngine) with
 //!   deterministic result ordering, the unified CLI surface shared by
 //!   every workspace binary, and the throughput harness behind
-//!   `BENCH_engine.json`.
+//!   `BENCH_engine.json`;
+//! - [`buscode_telemetry`] (`telemetry`) — the observability core: typed
+//!   counters, gauges, log-bucketed histograms and span timers, lock-free
+//!   shard registries merged deterministically, and the versioned metric
+//!   snapshot every CLI's `--metrics {text,json,csv}` flag renders.
 //!
 //! ## Quick start
 //!
@@ -69,6 +73,7 @@ pub use buscode_lint as lint;
 pub use buscode_logic as logic;
 pub use buscode_pipeline as pipeline;
 pub use buscode_power as power;
+pub use buscode_telemetry as telemetry;
 pub use buscode_trace as trace;
 
 /// Commonly used items from every subsystem, for `use buscode::prelude::*`.

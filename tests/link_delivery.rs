@@ -4,10 +4,10 @@
 //! with zero silent corruption, or say precisely what it lost.
 
 use buscode::core::rng::Rng64;
+use buscode::core::Tier;
 use buscode::core::{Access, BusWidth, CodeKind, CodeParams, Stride};
 use buscode::fault::GilbertElliott;
 use buscode::link::{LinkConfig, LinkSession};
-use buscode::pipeline::RedundancyTier;
 
 /// A width-respecting mixed instruction/data stream: mostly sequential
 /// strides with occasional jumps, the shape the DATE'98 codes exist for.
@@ -31,7 +31,7 @@ fn mixed_stream(width: BusWidth, stride: Stride, len: usize, seed: u64) -> Vec<A
         .collect()
 }
 
-fn pinned_config(kind: CodeKind, params: CodeParams, tier: RedundancyTier) -> LinkConfig {
+fn pinned_config(kind: CodeKind, params: CodeParams, tier: Tier) -> LinkConfig {
     let mut config = LinkConfig::new(kind);
     config.params = params;
     // Pin the ladder at the tier under test so each rung is exercised
@@ -54,13 +54,9 @@ fn every_code_width_and_tier_delivers_exactly_once_in_order() {
             let stride = Stride::new(2, width).expect("valid stride");
             let params = CodeParams { width, stride };
             let stream = mixed_stream(width, stride, 96, 0x5EED ^ u64::from(bits));
-            for (ti, tier) in [
-                RedundancyTier::Bare,
-                RedundancyTier::Parity,
-                RedundancyTier::Ecc,
-            ]
-            .into_iter()
-            .enumerate()
+            for (ti, tier) in [Tier::Bare, Tier::Parity, Tier::Ecc]
+                .into_iter()
+                .enumerate()
             {
                 let seed = (ci as u64) << 16 | u64::from(bits) << 8 | ti as u64;
                 let session = LinkSession::new(pinned_config(kind, params, tier), profile, seed)
@@ -110,7 +106,7 @@ fn bursty_weather_is_not_vacuous() {
     let mut total_crc_rejections = 0u64;
     for (ci, kind) in CodeKind::all().into_iter().enumerate() {
         let session = LinkSession::new(
-            pinned_config(kind, params, RedundancyTier::Bare),
+            pinned_config(kind, params, Tier::Bare),
             profile,
             0xD00D + ci as u64,
         )

@@ -1,0 +1,97 @@
+//! Telemetry determinism: the aggregated metric snapshot of every
+//! sharded campaign must be byte-identical between a serial run and a
+//! `--jobs 4` run at the same seed.
+//!
+//! This is the observability counterpart of the sweep-engine contract
+//! (results in input order at any worker count): metric sets built from
+//! per-cell results and merged in result order may not depend on thread
+//! scheduling. Wall-clock spans are the one volatile quantity the
+//! telemetry core carries, and they are excluded from every render —
+//! these tests pin that exclusion too, by comparing rendered bytes.
+
+use buscode::core::CodeKind;
+use buscode::engine::cli::Report;
+use buscode::engine::SweepEngine;
+use buscode::fault::campaign::{run_campaign_with, run_ge_campaign_with};
+use buscode::fault::{CampaignConfig, GeCampaignConfig};
+use buscode::link::campaign::run_link_campaign_with;
+use buscode::link::LinkCampaignConfig;
+use buscode::pipeline::soak::{run_soak, SoakConfig};
+use buscode::pipeline::PipelineConfig;
+use buscode::telemetry::MetricSet;
+
+/// Fault campaign: same seed, serial vs 4 workers, identical snapshot.
+#[test]
+fn fault_campaign_metrics_identical_across_job_counts() {
+    let config = CampaignConfig {
+        trials: 5,
+        stream_len: 120,
+        seed: 0xD47E,
+        ..CampaignConfig::default()
+    };
+    let serial = run_campaign_with(&SweepEngine::serial(), &config).expect("serial campaign");
+    let sharded = run_campaign_with(&SweepEngine::new(4), &config).expect("sharded campaign");
+    assert_eq!(
+        serial.metrics().render_json(),
+        sharded.metrics().render_json()
+    );
+    assert_eq!(
+        serial.metrics().render_csv(),
+        sharded.metrics().render_csv()
+    );
+}
+
+/// Bursty-channel (Gilbert–Elliott) campaign: identical snapshot.
+#[test]
+fn ge_campaign_metrics_identical_across_job_counts() {
+    let config = GeCampaignConfig {
+        trials: 3,
+        stream_len: 150,
+        seed: 0x6E11,
+        ..GeCampaignConfig::default()
+    };
+    let serial = run_ge_campaign_with(&SweepEngine::serial(), &config).expect("serial ge campaign");
+    let sharded = run_ge_campaign_with(&SweepEngine::new(4), &config).expect("sharded ge campaign");
+    assert_eq!(
+        serial.metrics().render_json(),
+        sharded.metrics().render_json()
+    );
+}
+
+/// Link campaign: identical snapshot, and the snapshot is non-trivial.
+#[test]
+fn link_campaign_metrics_identical_across_job_counts() {
+    let config = LinkCampaignConfig {
+        trials: 1,
+        stream_len: 96,
+        seed: 0x11,
+        ..LinkCampaignConfig::default()
+    };
+    let serial = run_link_campaign_with(&config, &SweepEngine::serial()).expect("serial link");
+    let sharded = run_link_campaign_with(&config, &SweepEngine::new(4)).expect("sharded link");
+    let snapshot = serial.metrics().render_json();
+    assert_eq!(snapshot, sharded.metrics().render_json());
+    assert!(snapshot.contains("\"link.delivered_words\""));
+}
+
+/// Pipeline soak sweep: per-code soak reports merged into one set, in
+/// result order, must not depend on the worker count either.
+#[test]
+fn pipeline_soak_sweep_metrics_identical_across_job_counts() {
+    let merged_soak_metrics = |engine: &SweepEngine| -> MetricSet {
+        let soak = SoakConfig::new(7, 4_000);
+        let reports = engine.run(CodeKind::all().to_vec(), |code| {
+            let config = PipelineConfig::new(code, Default::default());
+            run_soak(config, soak).expect("soak run")
+        });
+        let mut set = MetricSet::new();
+        for report in &reports {
+            set.merge(&report.stats.metrics());
+        }
+        set
+    };
+    let serial = merged_soak_metrics(&SweepEngine::serial());
+    let sharded = merged_soak_metrics(&SweepEngine::new(4));
+    assert_eq!(serial.render_json(), sharded.render_json());
+    assert!(serial.render_json().contains("\"pipeline.words\""));
+}
