@@ -230,13 +230,15 @@ impl<S: Snapshot + ?Sized> Snapshot for Box<S> {
 }
 
 /// An [`Encoder`] whose state can be checkpointed — the object-safe
-/// bound the streaming runtime stores codecs behind.
-pub trait SnapshotEncoder: Encoder + Snapshot {}
-impl<T: Encoder + Snapshot + ?Sized> SnapshotEncoder for T {}
+/// bound the streaming runtime stores codecs behind. `Send` is part of
+/// the bound so a pipeline can live inside a server session that hops
+/// worker threads; every concrete codec is plain owned data.
+pub trait SnapshotEncoder: Encoder + Snapshot + Send {}
+impl<T: Encoder + Snapshot + Send + ?Sized> SnapshotEncoder for T {}
 
 /// A [`Decoder`] whose state can be checkpointed.
-pub trait SnapshotDecoder: Decoder + Snapshot {}
-impl<T: Decoder + Snapshot + ?Sized> SnapshotDecoder for T {}
+pub trait SnapshotDecoder: Decoder + Snapshot + Send {}
+impl<T: Decoder + Snapshot + Send + ?Sized> SnapshotDecoder for T {}
 
 impl CodeKind {
     /// Builds this code's encoder behind the checkpointable

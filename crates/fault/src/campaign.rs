@@ -87,11 +87,6 @@ impl CampaignConfig {
     }
 }
 
-/// The protection ladder, now shared workspace-wide as
-/// [`buscode_core::Tier`].
-#[deprecated(since = "0.1.0", note = "use `buscode_core::Tier` instead")]
-pub type HardeningTier = Tier;
-
 /// Aggregated outcome of one campaign cell (code × stream × fault ×
 /// hardening).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

@@ -59,19 +59,11 @@ pub mod gate;
 pub mod models;
 
 pub use buscode_core::Tier;
-#[allow(deprecated)]
-pub use campaign::HardeningTier;
 pub use campaign::{
     is_stateful, run_campaign, run_comparison, run_ge_campaign, CampaignConfig, CampaignReport,
     CampaignRow, ComparisonReport, ComparisonRow, FaultMetrics, GeCampaignConfig, GeCampaignReport,
     GeCampaignRow, GeMetrics,
 };
-/// The pre-telemetry name for [`FaultMetrics`].
-#[deprecated(since = "0.1.0", note = "use `FaultMetrics` instead")]
-pub type FaultStats = FaultMetrics;
-/// The pre-telemetry name for [`GeMetrics`].
-#[deprecated(since = "0.1.0", note = "use `GeMetrics` instead")]
-pub type GeStats = GeMetrics;
 pub use gate::{run_gate_campaign, GateCampaignConfig, GateCellStats, GateFault};
 pub use models::{
     apply_ge_channel, corrupt_words, BusGeometry, FaultKind, FaultSite, GeChannel, GeChannelStats,

@@ -39,13 +39,29 @@ const CRC_POLY: u16 = 0x1021;
 /// The conventional all-ones CRC preset.
 const CRC_INIT: u16 = 0xFFFF;
 
-/// CRC-16-CCITT (poly `0x1021`, init `0xFFFF`, MSB-first) over the frame
-/// header and the encoded bus word, bit-rolled by hand — no tables, no
-/// dependencies, same answer every time.
-pub fn crc16(seq: u8, ctrl: u8, word: BusState) -> u16 {
-    let mut crc = CRC_INIT;
-    let mut feed = |byte: u8| {
-        crc ^= u16::from(byte) << 8;
+/// A streaming CRC-16-CCITT (poly `0x1021`, init `0xFFFF`, MSB-first),
+/// bit-rolled by hand — no tables, no dependencies, same answer every
+/// time. The byte-oriented core behind both the link frames here and the
+/// `buscode-serve` wire protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Crc16(u16);
+
+impl Default for Crc16 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc16 {
+    /// A fresh accumulator at the all-ones preset.
+    #[must_use]
+    pub const fn new() -> Self {
+        Crc16(CRC_INIT)
+    }
+
+    /// Feeds one byte, MSB-first.
+    pub fn update(&mut self, byte: u8) {
+        let mut crc = self.0 ^ (u16::from(byte) << 8);
         for _ in 0..8 {
             crc = if crc & 0x8000 != 0 {
                 (crc << 1) ^ CRC_POLY
@@ -53,16 +69,39 @@ pub fn crc16(seq: u8, ctrl: u8, word: BusState) -> u16 {
                 crc << 1
             };
         }
-    };
-    feed(seq);
-    feed(ctrl);
-    for shift in (0..64).step_by(8) {
-        feed((word.payload >> shift) as u8);
+        self.0 = crc;
     }
-    for shift in (0..64).step_by(8) {
-        feed((word.aux >> shift) as u8);
+
+    /// Feeds a byte slice in order.
+    pub fn update_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.update(b);
+        }
     }
-    crc
+
+    /// The CRC over everything fed so far.
+    #[must_use]
+    pub const fn finish(self) -> u16 {
+        self.0
+    }
+
+    /// One-shot convenience over a byte slice.
+    #[must_use]
+    pub fn checksum(bytes: &[u8]) -> u16 {
+        let mut crc = Crc16::new();
+        crc.update_bytes(bytes);
+        crc.finish()
+    }
+}
+
+/// CRC-16-CCITT over the frame header and the encoded bus word.
+pub fn crc16(seq: u8, ctrl: u8, word: BusState) -> u16 {
+    let mut crc = Crc16::new();
+    crc.update(seq);
+    crc.update(ctrl);
+    crc.update_bytes(&word.payload.to_le_bytes());
+    crc.update_bytes(&word.aux.to_le_bytes());
+    crc.finish()
 }
 
 /// One link-layer frame: the encoded bus word plus the overhead fields.
@@ -179,6 +218,7 @@ mod tests {
             }
         }
         assert_eq!(crc, 0x29B1);
+        assert_eq!(Crc16::checksum(b"123456789"), 0x29B1);
     }
 
     #[test]

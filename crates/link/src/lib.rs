@@ -50,8 +50,4 @@ pub use campaign::{
     run_link_campaign, run_link_campaign_with, LinkCampaignConfig, LinkCampaignReport,
     LinkCampaignRow,
 };
-pub use frame::{crc16, Frame, CRC_LINES, CTRL_LINES, OVERHEAD_LINES, SEQ_LINES};
-
-/// The pre-telemetry name for [`LinkMetrics`].
-#[deprecated(since = "0.1.0", note = "use `LinkMetrics` instead")]
-pub type LinkStats = LinkMetrics;
+pub use frame::{crc16, Crc16, Frame, CRC_LINES, CTRL_LINES, OVERHEAD_LINES, SEQ_LINES};

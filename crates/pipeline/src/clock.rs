@@ -5,7 +5,10 @@
 //! CLI uses [`SystemClock`].
 
 /// A monotonic microsecond clock the watchdog reads between words.
-pub trait Clock {
+///
+/// `Send` is part of the bound so a pipeline (which owns its clock) can
+/// migrate across the worker threads of a serving runtime.
+pub trait Clock: Send {
     /// Microseconds elapsed since an arbitrary fixed origin.
     fn now_micros(&mut self) -> u64;
 }

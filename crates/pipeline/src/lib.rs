@@ -85,11 +85,7 @@ pub use buscode_core::Tier;
 pub use checkpoint::Checkpoint;
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use policy::{DegradePolicy, DegradeSnapshot, Mode, RecoveryPolicy};
-#[allow(deprecated)]
-pub use redundancy::RedundancyTier;
 pub use redundancy::{RedundancyManager, RedundancyPolicy, RedundancySnapshot, TierShift};
-#[allow(deprecated)]
-pub use runtime::PipelineStats;
 pub use runtime::{
     clean_channel, Channel, ChunkReport, Pipeline, PipelineConfig, PipelineError, PipelineMetrics,
 };

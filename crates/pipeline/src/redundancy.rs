@@ -23,11 +23,6 @@
 
 use buscode_core::Tier;
 
-/// The protection ladder, now shared workspace-wide as
-/// [`buscode_core::Tier`].
-#[deprecated(since = "0.1.0", note = "use `buscode_core::Tier` instead")]
-pub type RedundancyTier = Tier;
-
 /// When to escalate the redundancy tier, and when to step back down.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RedundancyPolicy {

@@ -123,10 +123,6 @@ pub struct PipelineMetrics {
     pub ecc_words: u64,
 }
 
-/// The pre-telemetry name for [`PipelineMetrics`].
-#[deprecated(since = "0.1.0", note = "use `PipelineMetrics` instead")]
-pub type PipelineStats = PipelineMetrics;
-
 impl PipelineMetrics {
     /// Projects every counter onto the shared telemetry schema under the
     /// `pipeline.` prefix. All values are deterministic counters, so the
@@ -193,6 +189,30 @@ impl PipelineConfig {
             redundancy: RedundancyPolicy::default(),
             deadline_micros: None,
         }
+    }
+
+    /// A configuration pinned to one protection tier — what a network
+    /// session negotiates at open: bare runs the code alone, parity runs
+    /// it hardened with refresh interval `refresh`, and ECC pins the
+    /// redundancy ladder at its top rung (the manager never escalates
+    /// above or de-escalates below it).
+    pub fn fixed_tier(kind: CodeKind, params: CodeParams, tier: Tier, refresh: u64) -> Self {
+        let mut config = PipelineConfig::new(kind, params);
+        match tier {
+            Tier::Bare => config.refresh = None,
+            Tier::Parity => config.refresh = Some(refresh.max(1)),
+            Tier::Ecc => {
+                config.refresh = Some(refresh.max(1));
+                config.redundancy = RedundancyPolicy {
+                    enabled: true,
+                    start: Tier::Ecc,
+                    floor: Tier::Ecc,
+                    stable_window: u64::MAX,
+                    ..RedundancyPolicy::default()
+                };
+            }
+        }
+        config
     }
 
     /// The redundancy tier the pipeline starts at: the policy's start
@@ -886,6 +906,34 @@ mod tests {
         assert!(stats.ecc_words > 0, "{stats:?}");
         assert_eq!(stats.unrecovered, 0, "{stats:?}");
         assert_eq!(pipe.tier(), Tier::Bare, "{stats:?}");
+    }
+
+    #[test]
+    fn fixed_tier_pins_every_rung() {
+        let params = CodeParams::default();
+        for &tier in Tier::all() {
+            let config = PipelineConfig::fixed_tier(CodeKind::T0, params, tier, 16);
+            assert_eq!(config.initial_tier(), tier);
+            let mut pipe = Pipeline::new(config).unwrap();
+            assert_eq!(pipe.tier(), tier);
+            let stats = pipe.run(stream(300), &mut clean_channel()).unwrap();
+            assert_eq!(stats.words, 300, "{tier}");
+            assert_eq!(stats.unrecovered, 0, "{tier}");
+            assert_eq!(stats.escalations, 0, "{tier}");
+            assert_eq!(stats.deescalations, 0, "{tier}");
+            assert_eq!(pipe.tier(), tier);
+        }
+        // The ECC rung stays pinned even under sustained faults.
+        let config = PipelineConfig::fixed_tier(CodeKind::T0, params, Tier::Ecc, 16);
+        let mut pipe = Pipeline::new(config).unwrap();
+        let geometry = BusGeometry::new(32, 0);
+        let mut channel = move |_: u64, mut w: BusState| {
+            flip_line(&mut w, geometry, 4);
+            w
+        };
+        let stats = pipe.run(stream(200), &mut channel).unwrap();
+        assert_eq!(stats.corrected_faults, 200);
+        assert_eq!(pipe.tier(), Tier::Ecc);
     }
 
     #[test]

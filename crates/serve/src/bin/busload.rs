@@ -1,0 +1,263 @@
+//! `busload` — the closed/open-loop load generator for `busserved`.
+//!
+//! Replays seeded synthetic address traces (the paper's muxed
+//! instruction/data model) over N concurrent sessions, verifies every
+//! decoded word against the offered stream, and reports delivered-word
+//! throughput, shed rate, and p50/p99/p999 round-trip latency from the
+//! telemetry log₂ histograms. Closed-loop replays with a fixed `--seed`
+//! produce byte-identical `--metrics json` snapshots run over run.
+
+use std::process::ExitCode;
+
+use buscode_core::{CodeKind, Tier};
+use buscode_engine::cli::{
+    gate_outcome, parse_u64, usage_error, CommonArgs, JsonPayload, Outcome, Report, ToolRun,
+    COMMON_USAGE,
+};
+use buscode_serve::{
+    connect_with_retry, memory_listener, run_load, shutdown_server, LoadConfig, LoadMode,
+    LoadReport, Server, ServerConfig, Transport,
+};
+
+const TOOL: &str = "busload";
+
+fn usage() -> String {
+    format!(
+        "usage: {TOOL} (--connect ADDR | --memory) [--sessions N] [--words N] [--batch N]\n\
+         \x20              [--mode closed|open] [--rate N] [--code NAME|all] [--tier NAME|all]\n\
+         \x20              [--retries N] [--shutdown] [--smoke] {COMMON_USAGE}\n\
+         \n\
+         --connect ADDR   drive a busserved instance over TCP\n\
+         --memory         drive an in-process server over the memory transport\n\
+         --sessions N     concurrent sessions (default 4)\n\
+         --words N        words offered per session (default 1024)\n\
+         --batch N        words per DATA batch (default 64)\n\
+         --mode M         closed (default; ≤1 outstanding, retries sheds) or open\n\
+         --rate N         open-loop batches/second per session (default 1000)\n\
+         --code NAME      bus code for every session, or 'all' to cycle (default binary)\n\
+         --tier NAME      protection tier, or 'all' to cycle (default bare)\n\
+         --retries N      closed-loop retry budget per shed batch (default 32)\n\
+         --shutdown       send the admin SHUTDOWN frame after the run\n\
+         --smoke          gate delivery, integrity, and accounting invariants"
+    )
+}
+
+struct Args {
+    connect: Option<String>,
+    memory: bool,
+    shutdown: bool,
+    smoke: bool,
+    rate: u32,
+    mode_open: bool,
+    load: LoadConfig,
+}
+
+fn parse_codes(value: &str) -> Result<Vec<CodeKind>, String> {
+    if value == "all" {
+        return Ok(CodeKind::all().to_vec());
+    }
+    CodeKind::all()
+        .into_iter()
+        .find(|k| k.name() == value)
+        .map(|k| vec![k])
+        .ok_or_else(|| format!("unknown code '{value}'"))
+}
+
+fn parse_tiers(value: &str) -> Result<Vec<Tier>, String> {
+    if value == "all" {
+        return Ok(Tier::all().to_vec());
+    }
+    Tier::from_name(value)
+        .map(|t| vec![t])
+        .ok_or_else(|| format!("unknown tier '{value}'"))
+}
+
+fn parse_args(mut rest: Vec<String>, common: &CommonArgs) -> Result<Args, String> {
+    let mut args = Args {
+        connect: None,
+        memory: false,
+        shutdown: false,
+        smoke: false,
+        rate: 1000,
+        mode_open: false,
+        load: LoadConfig {
+            seed: common.seed_or(42),
+            ..LoadConfig::default()
+        },
+    };
+    let mut it = rest.drain(..);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--connect" => args.connect = Some(it.next().ok_or("--connect needs an address")?),
+            "--memory" => args.memory = true,
+            "--shutdown" => args.shutdown = true,
+            "--smoke" => args.smoke = true,
+            "--sessions" => {
+                let value = it.next().ok_or("--sessions needs a value")?;
+                args.load.sessions = usize::try_from(parse_u64("--sessions", &value)?)
+                    .map_err(|_| "--sessions out of range".to_string())?;
+            }
+            "--words" => {
+                let value = it.next().ok_or("--words needs a value")?;
+                args.load.words_per_session = usize::try_from(parse_u64("--words", &value)?)
+                    .map_err(|_| "--words out of range".to_string())?;
+            }
+            "--batch" => {
+                let value = it.next().ok_or("--batch needs a value")?;
+                args.load.batch_words = usize::try_from(parse_u64("--batch", &value)?)
+                    .map_err(|_| "--batch out of range".to_string())?;
+            }
+            "--mode" => match it.next().ok_or("--mode needs a value")?.as_str() {
+                "closed" => args.mode_open = false,
+                "open" => args.mode_open = true,
+                other => return Err(format!("unknown mode '{other}' (expected closed|open)")),
+            },
+            "--rate" => {
+                let value = it.next().ok_or("--rate needs a value")?;
+                args.rate = u32::try_from(parse_u64("--rate", &value)?)
+                    .map_err(|_| "--rate out of range".to_string())?;
+            }
+            "--code" => {
+                let value = it.next().ok_or("--code needs a value")?;
+                args.load.codes = parse_codes(&value)?;
+            }
+            "--tier" => {
+                let value = it.next().ok_or("--tier needs a value")?;
+                args.load.tiers = parse_tiers(&value)?;
+            }
+            "--retries" => {
+                let value = it.next().ok_or("--retries needs a value")?;
+                args.load.max_retries = u32::try_from(parse_u64("--retries", &value)?)
+                    .map_err(|_| "--retries out of range".to_string())?;
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    args.load.mode = if args.mode_open {
+        LoadMode::Open {
+            rate_per_sec: args.rate,
+        }
+    } else {
+        LoadMode::Closed
+    };
+    if args.connect.is_none() && !args.memory {
+        return Err("one of --connect or --memory is required".to_string());
+    }
+    Ok(args)
+}
+
+fn smoke_gates(report: &LoadReport, closed_mode: bool) -> Vec<String> {
+    let mut failures = Vec::new();
+    if report.mismatched_words != 0 {
+        failures.push(format!(
+            "integrity gate: {} decoded words differ from the offered trace",
+            report.mismatched_words
+        ));
+    }
+    if report.failed_sessions != 0 {
+        failures.push(format!(
+            "session gate: {} sessions died mid-stream",
+            report.failed_sessions
+        ));
+    }
+    if report.rejected_sessions != 0 {
+        failures.push(format!(
+            "session gate: {} sessions rejected at HELLO",
+            report.rejected_sessions
+        ));
+    }
+    if report.requests != report.delivered_frames + report.shed_frames {
+        failures.push(format!(
+            "accounting gate: {} requests != {} delivered + {} shed",
+            report.requests, report.delivered_frames, report.shed_frames
+        ));
+    }
+    if closed_mode {
+        if report.abandoned_frames != 0 {
+            failures.push(format!(
+                "delivery gate: {} batches abandoned after retry budget",
+                report.abandoned_frames
+            ));
+        }
+        if report.delivered_words != report.words_offered {
+            failures.push(format!(
+                "delivery gate: {} words offered but {} delivered",
+                report.words_offered, report.delivered_words
+            ));
+        }
+    }
+    failures
+}
+
+fn run_campaign(args: &Args) -> Result<LoadReport, String> {
+    if args.memory {
+        let (listener, connector) = memory_listener();
+        let server = Server::new(ServerConfig::default());
+        let handle = server.handle();
+        let run = std::thread::spawn(move || server.run(Box::new(listener)));
+        let report = run_load(&args.load, |_| {
+            connector
+                .connect()
+                .map(|t| Box::new(t) as Box<dyn Transport>)
+        });
+        handle.shutdown();
+        match run.join() {
+            Ok(Ok(_)) => {}
+            Ok(Err(err)) => return Err(format!("in-process server failed: {err}")),
+            Err(_) => return Err("in-process server panicked".to_string()),
+        }
+        report.map_err(|err| format!("{err}"))
+    } else {
+        let addr = args.connect.as_deref().unwrap_or_default().to_string();
+        let report = run_load(&args.load, |_| {
+            connect_with_retry(&addr, 20).map(|t| Box::new(t) as Box<dyn Transport>)
+        })
+        .map_err(|err| format!("{err}"))?;
+        if args.shutdown {
+            let transport =
+                connect_with_retry(&addr, 5).map_err(|err| format!("shutdown: {err}"))?;
+            shutdown_server(Box::new(transport)).map_err(|err| format!("shutdown: {err}"))?;
+        }
+        Ok(report)
+    }
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let common = match CommonArgs::extract(&mut argv) {
+        Ok(common) => common,
+        Err(message) => return usage_error(TOOL, &usage(), &message),
+    };
+    if common.help {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let args = match parse_args(argv, &common) {
+        Ok(args) => args,
+        Err(message) => return usage_error(TOOL, &usage(), &message),
+    };
+    let run = ToolRun::new(TOOL, env!("CARGO_PKG_VERSION"), common);
+    let outcome = match run_campaign(&args) {
+        Ok(report) => {
+            let metrics = report.metrics();
+            let text = report.render_text();
+            let payload = JsonPayload::new().report("load", &report);
+            if args.smoke {
+                let failures = smoke_gates(&report, args.load.mode == LoadMode::Closed);
+                let failed = failures.len();
+                gate_outcome(
+                    text,
+                    payload,
+                    &failures,
+                    "smoke passed: delivery, integrity, and accounting gates hold",
+                    format!("{failed} smoke gate(s) failed"),
+                )
+                .with_metrics(metrics)
+            } else {
+                Outcome::success(text, payload.finish()).with_metrics(metrics)
+            }
+        }
+        Err(message) => Outcome::error(message),
+    };
+    run.finish(&outcome)
+}

@@ -1,0 +1,460 @@
+//! The closed- and open-loop load generator behind `busload`.
+//!
+//! Each session replays a seeded [`MuxedModel`] workload — the same
+//! synthetic instruction/data streams the paper's trace experiments
+//! use — against a `busserved` instance and verifies every decoded
+//! address against the offered stream.
+//!
+//! *Closed loop* keeps at most one request outstanding per session and
+//! retries shed batches after the server's hint (capped, with the
+//! engine's deterministic backoff); offered load adapts to service
+//! rate, so with a fixed `--seed` the delivered/shed counters are a
+//! pure function of the workload and every `--metrics` snapshot is
+//! byte-identical across runs. *Open loop* fires batches at a fixed
+//! rate regardless of completions — the mode that drives the server
+//! into saturation for the shed-rate experiments.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use buscode_core::{Access, CodeKind, Tier};
+use buscode_engine::cli::Report;
+use buscode_engine::Backoff;
+use buscode_telemetry::{format_duration_nanos, HistogramSnapshot, MetricSet};
+use buscode_trace::MuxedModel;
+
+use crate::client::{BatchReply, ClientConfig, ClientError, ClientSession};
+use crate::transport::Transport;
+use crate::wire::{Message, WireError, MAX_BATCH_WORDS};
+
+/// How the generator paces requests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LoadMode {
+    /// At most one outstanding request per session; shed batches are
+    /// retried. Deterministic end-to-end.
+    Closed,
+    /// Fire batches at `rate_per_sec` per session regardless of
+    /// completions; shed batches are abandoned, not retried.
+    Open {
+        /// Batches per second per session.
+        rate_per_sec: u32,
+    },
+}
+
+/// One load run's shape.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Concurrent sessions to open.
+    pub sessions: usize,
+    /// Words offered per session.
+    pub words_per_session: usize,
+    /// Words per DATA batch (capped at the wire limit).
+    pub batch_words: usize,
+    /// Pacing mode.
+    pub mode: LoadMode,
+    /// Base seed; session `i` replays seed `seed + i`.
+    pub seed: u64,
+    /// Codes assigned round-robin across sessions.
+    pub codes: Vec<CodeKind>,
+    /// Tiers assigned round-robin across sessions.
+    pub tiers: Vec<Tier>,
+    /// Retry budget per shed batch in closed-loop mode.
+    pub max_retries: u32,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            sessions: 4,
+            words_per_session: 1024,
+            batch_words: 64,
+            mode: LoadMode::Closed,
+            seed: 42,
+            codes: vec![CodeKind::Binary],
+            tiers: vec![Tier::Bare],
+            max_retries: 32,
+        }
+    }
+}
+
+/// The aggregated result of one load run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Sessions attempted.
+    pub sessions: u64,
+    /// Sessions the server rejected at HELLO.
+    pub rejected_sessions: u64,
+    /// Sessions that died mid-stream (wire/protocol fault).
+    pub failed_sessions: u64,
+    /// Words offered across all sessions.
+    pub words_offered: u64,
+    /// DATA requests sent (including retries).
+    pub requests: u64,
+    /// Requests answered with DECODED.
+    pub delivered_frames: u64,
+    /// Words delivered inside DECODED replies.
+    pub delivered_words: u64,
+    /// Requests answered with RETRY-AFTER.
+    pub shed_frames: u64,
+    /// Batches abandoned (retry budget exhausted, or open-loop shed).
+    pub abandoned_frames: u64,
+    /// Delivered words that did not match the offered stream.
+    pub mismatched_words: u64,
+    /// Shed totals reported by the server at session close.
+    pub server_shed: u64,
+    /// Per-request round-trip latency, in nanoseconds.
+    pub latency: HistogramSnapshot,
+    /// Wall-clock for the whole run, in nanoseconds (local display
+    /// only; excluded from metric snapshots).
+    pub elapsed_ns: u64,
+}
+
+impl LoadReport {
+    fn absorb(&mut self, other: &LoadReport) {
+        self.sessions += other.sessions;
+        self.rejected_sessions += other.rejected_sessions;
+        self.failed_sessions += other.failed_sessions;
+        self.words_offered += other.words_offered;
+        self.requests += other.requests;
+        self.delivered_frames += other.delivered_frames;
+        self.delivered_words += other.delivered_words;
+        self.shed_frames += other.shed_frames;
+        self.abandoned_frames += other.abandoned_frames;
+        self.mismatched_words += other.mismatched_words;
+        self.server_shed += other.server_shed;
+        self.latency.merge(&other.latency);
+    }
+
+    /// Delivered words per second, from the local wall clock.
+    #[must_use]
+    pub fn throughput_words_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.delivered_words as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+
+    /// Fraction of requests answered with a shed reply.
+    #[must_use]
+    pub fn shed_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.shed_frames as f64 / self.requests as f64
+    }
+}
+
+impl Report for LoadReport {
+    fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "sessions      {} ({} rejected, {} failed)\n",
+            self.sessions, self.rejected_sessions, self.failed_sessions
+        ));
+        out.push_str(&format!(
+            "words         {} offered, {} delivered, {} mismatched\n",
+            self.words_offered, self.delivered_words, self.mismatched_words
+        ));
+        out.push_str(&format!(
+            "requests      {} ({} delivered, {} shed, {} abandoned)\n",
+            self.requests, self.delivered_frames, self.shed_frames, self.abandoned_frames
+        ));
+        out.push_str(&format!(
+            "shed rate     {:.2}% (server reported {} shed)\n",
+            self.shed_rate() * 100.0,
+            self.server_shed
+        ));
+        out.push_str(&format!(
+            "throughput    {:.0} words/s over {}\n",
+            self.throughput_words_per_sec(),
+            format_duration_nanos(self.elapsed_ns)
+        ));
+        if self.latency.count > 0 {
+            out.push_str(&format!(
+                "latency       p50 {} p99 {} p999 {}\n",
+                format_duration_nanos(self.latency.quantile(0.50)),
+                format_duration_nanos(self.latency.quantile(0.99)),
+                format_duration_nanos(self.latency.quantile(0.999)),
+            ));
+            out.push_str(&self.latency.render_duration_buckets());
+        }
+        out
+    }
+
+    fn render_json(&self) -> String {
+        format!(
+            "{{\"sessions\":{},\"rejected_sessions\":{},\"failed_sessions\":{},\
+             \"words_offered\":{},\"requests\":{},\"delivered_frames\":{},\
+             \"delivered_words\":{},\"shed_frames\":{},\"abandoned_frames\":{},\
+             \"mismatched_words\":{},\"server_shed\":{},\"latency_count\":{}}}",
+            self.sessions,
+            self.rejected_sessions,
+            self.failed_sessions,
+            self.words_offered,
+            self.requests,
+            self.delivered_frames,
+            self.delivered_words,
+            self.shed_frames,
+            self.abandoned_frames,
+            self.mismatched_words,
+            self.server_shed,
+            self.latency.count,
+        )
+    }
+
+    fn metrics(&self) -> MetricSet {
+        let mut set = MetricSet::new();
+        set.add_counter("load.sessions", self.sessions);
+        set.add_counter("load.rejected_sessions", self.rejected_sessions);
+        set.add_counter("load.failed_sessions", self.failed_sessions);
+        set.add_counter("load.words_offered", self.words_offered);
+        set.add_counter("load.requests", self.requests);
+        set.add_counter("load.delivered_frames", self.delivered_frames);
+        set.add_counter("load.delivered_words", self.delivered_words);
+        set.add_counter("load.shed_frames", self.shed_frames);
+        set.add_counter("load.abandoned_frames", self.abandoned_frames);
+        set.add_counter("load.mismatched_words", self.mismatched_words);
+        set.add_counter("load.server_shed", self.server_shed);
+        set.add_duration("load.latency_ns", &self.latency);
+        set
+    }
+}
+
+/// The per-session workload: the paper's muxed instruction/data model.
+#[must_use]
+pub fn session_workload(words: usize, seed: u64) -> Vec<Access> {
+    MuxedModel::with_targets(0.75, 0.3, 0.5).generate(words, seed)
+}
+
+/// Runs one load campaign. `connect` opens the transport for session
+/// `i` — an in-memory connector in tests, TCP in `busload`.
+///
+/// # Errors
+///
+/// Returns an error only when a transport cannot even be created;
+/// per-session faults are counted in the report instead.
+pub fn run_load<F>(config: &LoadConfig, connect: F) -> Result<LoadReport, WireError>
+where
+    F: Fn(usize) -> Result<Box<dyn Transport>, WireError> + Sync,
+{
+    let started = Instant::now();
+    let total = Mutex::new(LoadReport::default());
+    let connect = &connect;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(config.sessions);
+        for index in 0..config.sessions {
+            let total = &total;
+            handles.push(scope.spawn(move || {
+                let report = run_session(config, index, connect);
+                match total.lock() {
+                    Ok(mut guard) => guard.absorb(&report),
+                    Err(poisoned) => poisoned.into_inner().absorb(&report),
+                }
+            }));
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+    });
+    let mut report = match total.into_inner() {
+        Ok(report) => report,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    report.elapsed_ns = started.elapsed().as_nanos() as u64;
+    Ok(report)
+}
+
+fn session_params(config: &LoadConfig, index: usize) -> ClientConfig {
+    ClientConfig {
+        code: config.codes[index % config.codes.len().max(1)],
+        tier: config.tiers[index % config.tiers.len().max(1)],
+        ..ClientConfig::default()
+    }
+}
+
+fn run_session<F>(config: &LoadConfig, index: usize, connect: &F) -> LoadReport
+where
+    F: Fn(usize) -> Result<Box<dyn Transport>, WireError>,
+{
+    let mut report = LoadReport {
+        sessions: 1,
+        ..LoadReport::default()
+    };
+    let transport = match connect(index) {
+        Ok(transport) => transport,
+        Err(_) => {
+            report.failed_sessions += 1;
+            return report;
+        }
+    };
+    let params = session_params(config, index);
+    let session = match ClientSession::open(transport, &params) {
+        Ok(session) => session,
+        Err(ClientError::Rejected { .. }) => {
+            report.rejected_sessions += 1;
+            return report;
+        }
+        Err(_) => {
+            report.failed_sessions += 1;
+            return report;
+        }
+    };
+    let workload = session_workload(
+        config.words_per_session,
+        config.seed.wrapping_add(index as u64),
+    );
+    report.words_offered = workload.len() as u64;
+    let batch = config.batch_words.clamp(1, MAX_BATCH_WORDS);
+    match config.mode {
+        LoadMode::Closed => closed_loop(config, &workload, batch, session, &mut report),
+        LoadMode::Open { rate_per_sec } => {
+            open_loop(rate_per_sec, &workload, batch, session, &mut report);
+        }
+    }
+    report
+}
+
+fn closed_loop(
+    config: &LoadConfig,
+    workload: &[Access],
+    batch: usize,
+    mut session: ClientSession,
+    report: &mut LoadReport,
+) {
+    let backoff = Backoff::new(50, 5_000); // microseconds
+    for chunk in workload.chunks(batch) {
+        let mut attempt = 0u32;
+        loop {
+            let sent = Instant::now();
+            report.requests += 1;
+            match session.request(chunk) {
+                Ok(BatchReply::Delivered(addresses)) => {
+                    report
+                        .latency
+                        .observe(sent.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                    report.delivered_frames += 1;
+                    report.delivered_words += addresses.len() as u64;
+                    report.mismatched_words += addresses
+                        .iter()
+                        .zip(chunk.iter())
+                        .filter(|(got, want)| **got != want.address)
+                        .count() as u64
+                        + chunk.len().abs_diff(addresses.len()) as u64;
+                    break;
+                }
+                Ok(BatchReply::Shed { hint_micros }) => {
+                    report
+                        .latency
+                        .observe(sent.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                    report.shed_frames += 1;
+                    if attempt >= config.max_retries {
+                        report.abandoned_frames += 1;
+                        break;
+                    }
+                    // Honour the server's hint, escalating with the
+                    // engine's deterministic backoff on repeat sheds.
+                    let wait = u64::from(hint_micros).max(backoff.delay(attempt));
+                    std::thread::sleep(Duration::from_micros(wait.min(10_000)));
+                    attempt += 1;
+                }
+                Err(_) => {
+                    report.failed_sessions += 1;
+                    return;
+                }
+            }
+        }
+    }
+    match session.close() {
+        Ok((_words, shed)) => report.server_shed += shed,
+        Err(_) => report.failed_sessions += 1,
+    }
+}
+
+fn open_loop(
+    rate_per_sec: u32,
+    workload: &[Access],
+    batch: usize,
+    mut session: ClientSession,
+    report: &mut LoadReport,
+) {
+    let interval = if rate_per_sec == 0 {
+        Duration::ZERO
+    } else {
+        Duration::from_secs_f64(1.0 / f64::from(rate_per_sec))
+    };
+    let mut sent_at: Vec<(u32, Instant)> = Vec::new();
+    let start = Instant::now();
+    for (i, chunk) in workload.chunks(batch).enumerate() {
+        // Pace against the ideal schedule, not the previous send, so a
+        // slow server cannot throttle an open-loop generator.
+        let due = start + interval * i as u32;
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        report.requests += 1;
+        match session.send_data(chunk) {
+            Ok(seq) => sent_at.push((seq, Instant::now())),
+            Err(_) => {
+                report.failed_sessions += 1;
+                return;
+            }
+        }
+        drain_replies(&mut session, workload, batch, &mut sent_at, report, false);
+    }
+    drain_replies(&mut session, workload, batch, &mut sent_at, report, true);
+    match session.close() {
+        Ok((_words, shed)) => report.server_shed += shed,
+        Err(_) => report.failed_sessions += 1,
+    }
+}
+
+fn drain_replies(
+    session: &mut ClientSession,
+    workload: &[Access],
+    batch: usize,
+    sent_at: &mut Vec<(u32, Instant)>,
+    report: &mut LoadReport,
+    until_empty: bool,
+) {
+    while if until_empty {
+        !sent_at.is_empty()
+    } else {
+        // Mid-stream we only reap replies for requests at least one
+        // behind, keeping the sender unblocked.
+        sent_at.len() > 1
+    } {
+        match session.recv_reply() {
+            Ok(Message::Decoded { seq, addresses }) => {
+                if let Some(pos) = sent_at.iter().position(|(s, _)| *s == seq) {
+                    let (_, at) = sent_at.remove(pos);
+                    report
+                        .latency
+                        .observe(at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                }
+                report.delivered_frames += 1;
+                report.delivered_words += addresses.len() as u64;
+                let offset = seq as usize * batch;
+                let expected = workload
+                    .get(offset..(offset + addresses.len()).min(workload.len()))
+                    .unwrap_or(&[]);
+                report.mismatched_words += addresses
+                    .iter()
+                    .zip(expected.iter())
+                    .filter(|(got, want)| **got != want.address)
+                    .count() as u64
+                    + addresses.len().abs_diff(expected.len()) as u64;
+            }
+            Ok(Message::RetryAfter { seq, .. }) => {
+                sent_at.retain(|(s, _)| *s != seq);
+                report.shed_frames += 1;
+                report.abandoned_frames += 1;
+            }
+            Ok(_) | Err(_) => {
+                report.failed_sessions += 1;
+                sent_at.clear();
+                return;
+            }
+        }
+    }
+}

@@ -32,5 +32,7 @@
 mod metric;
 mod registry;
 
-pub use metric::{HistogramSnapshot, MetricSet, MetricValue, SpanSnapshot, BUCKETS, SCHEMA};
+pub use metric::{
+    format_duration_nanos, HistogramSnapshot, MetricSet, MetricValue, SpanSnapshot, BUCKETS, SCHEMA,
+};
 pub use registry::{CounterId, GaugeId, HistogramId, Registry, RegistryBuilder, SpanGuard, SpanId};

@@ -83,6 +83,67 @@ impl HistogramSnapshot {
             .map(|(i, &c)| (i, c))
             .collect()
     }
+
+    /// An upper-bound estimate of the `q`-quantile (`0.0..=1.0`): the
+    /// inclusive upper edge of the log₂ bucket the quantile rank falls
+    /// into. Zero when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+
+    /// Renders the nonzero buckets as human-readable duration ranges —
+    /// `[lo, hi) count` lines with nanosecond-based unit labels. Intended
+    /// for latency report bodies; counts only, no wall-time totals.
+    #[must_use]
+    pub fn render_duration_buckets(&self) -> String {
+        let mut out = String::new();
+        for (i, count) in self.nonzero_buckets() {
+            let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+            let _ = writeln!(
+                out,
+                "    [{}, {}) {count}",
+                format_duration_nanos(lo),
+                format_duration_nanos(bucket_upper_bound(i).saturating_add(1)),
+            );
+        }
+        out
+    }
+}
+
+/// The inclusive upper edge of log₂ bucket `i`.
+fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64.. => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// Formats a nanosecond value with a unit label (`ns`, `us`, `ms`, `s`),
+/// one decimal above nanoseconds.
+#[must_use]
+pub fn format_duration_nanos(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1}s", ns as f64 / 1e9)
+    }
 }
 
 /// Aggregated state of one span timer.
@@ -121,6 +182,11 @@ pub enum MetricValue {
     Histogram(Box<HistogramSnapshot>),
     /// Span-timer tally; only the count is rendered.
     Span(SpanSnapshot),
+    /// Log₂-bucketed duration distribution in nanoseconds. Like spans,
+    /// only the observation count enters rendered snapshots (wall time
+    /// varies run to run); the buckets stay available in-process for
+    /// quantile estimates and unit-labeled local display.
+    Duration(Box<HistogramSnapshot>),
 }
 
 impl MetricValue {
@@ -132,6 +198,7 @@ impl MetricValue {
             MetricValue::Gauge(_) => "gauge",
             MetricValue::Histogram(_) => "histogram",
             MetricValue::Span(_) => "span",
+            MetricValue::Duration(_) => "duration",
         }
     }
 
@@ -143,6 +210,7 @@ impl MetricValue {
             (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = (*a).max(*b),
             (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
             (MetricValue::Span(a), MetricValue::Span(b)) => a.merge(b),
+            (MetricValue::Duration(a), MetricValue::Duration(b)) => a.merge(b),
             _ => {}
         }
     }
@@ -204,6 +272,42 @@ impl MetricSet {
             .or_insert_with(|| MetricValue::Histogram(Box::default()))
         {
             h.observe(value);
+        }
+    }
+
+    /// Records one duration observation of `ns` nanoseconds into the
+    /// duration histogram `name`. Renders carry only the observation
+    /// count (plus the `ns` unit label) so snapshots stay byte-identical
+    /// across runs; quantiles come from [`MetricSet::duration`].
+    pub fn record_duration_nanos(&mut self, name: &str, ns: u64) {
+        if let MetricValue::Duration(h) = self
+            .entries
+            .entry(name.to_string())
+            .or_insert_with(|| MetricValue::Duration(Box::default()))
+        {
+            h.observe(ns);
+        }
+    }
+
+    /// Folds a whole pre-built histogram into the duration metric
+    /// `name` — how a report carries an already-aggregated latency
+    /// distribution onto the snapshot in one call.
+    pub fn add_duration(&mut self, name: &str, snapshot: &HistogramSnapshot) {
+        if let MetricValue::Duration(h) = self
+            .entries
+            .entry(name.to_string())
+            .or_insert_with(|| MetricValue::Duration(Box::default()))
+        {
+            h.merge(snapshot);
+        }
+    }
+
+    /// The duration histogram `name`, when present.
+    #[must_use]
+    pub fn duration(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.entries.get(name) {
+            Some(MetricValue::Duration(h)) => Some(h),
+            _ => None,
         }
     }
 
@@ -287,6 +391,9 @@ impl MetricSet {
                 MetricValue::Span(s) => {
                     let _ = writeln!(out, "  span      {name} count={}", s.count);
                 }
+                MetricValue::Duration(h) => {
+                    let _ = writeln!(out, "  duration  {name} count={} unit=ns", h.count);
+                }
             }
         }
         out
@@ -331,6 +438,13 @@ impl MetricSet {
                 MetricValue::Span(s) => {
                     let _ = write!(out, "{{\"kind\":\"span\",\"count\":{}}}", s.count);
                 }
+                MetricValue::Duration(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\":\"duration\",\"count\":{},\"unit\":\"ns\"}}",
+                        h.count
+                    );
+                }
             }
         }
         out.push_str("}}");
@@ -361,6 +475,9 @@ impl MetricSet {
                 }
                 MetricValue::Span(s) => {
                     let _ = writeln!(out, "{name},span,{}", s.count);
+                }
+                MetricValue::Duration(h) => {
+                    let _ = writeln!(out, "{name},duration,count={};unit=ns", h.count);
                 }
             }
         }
@@ -448,6 +565,70 @@ mod tests {
             Some(MetricValue::Span(s)) => assert_eq!(s.total_ns, 1_000),
             other => panic!("expected span, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn duration_renders_count_only_with_unit_label() {
+        let mut a = MetricSet::new();
+        a.record_duration_nanos("lat", 1_500);
+        let mut b = MetricSet::new();
+        b.record_duration_nanos("lat", 2_000_000);
+        // Same count, wildly different wall time: renders must agree.
+        assert_eq!(a.render_json(), b.render_json());
+        assert_eq!(a.render_text(), b.render_text());
+        assert_eq!(a.render_csv(), b.render_csv());
+        assert!(a
+            .render_json()
+            .contains("\"lat\":{\"kind\":\"duration\",\"count\":1,\"unit\":\"ns\"}"));
+        assert!(a.render_text().contains("duration  lat count=1 unit=ns"));
+        assert!(a.render_csv().contains("lat,duration,count=1;unit=ns\n"));
+        // The buckets stay observable in-process.
+        let h = a.duration("lat").expect("duration histogram");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 1_500);
+    }
+
+    #[test]
+    fn duration_merge_is_bucket_wise() {
+        let mut a = MetricSet::new();
+        a.record_duration_nanos("lat", 10);
+        let mut b = MetricSet::new();
+        b.record_duration_nanos("lat", 1_000_000);
+        b.record_duration_nanos("lat", 1_000_001);
+        a.merge(&b);
+        let h = a.duration("lat").expect("duration histogram");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.nonzero_buckets().len(), 2);
+    }
+
+    #[test]
+    fn quantiles_return_bucket_upper_bounds() {
+        let mut h = HistogramSnapshot::default();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [1u64, 2, 3, 4, 700, 900] {
+            h.observe(v);
+        }
+        // count=6: p50 rank 3 lands in bucket 2 ([2,4)), upper bound 3.
+        assert_eq!(h.quantile(0.5), 3);
+        // p99 rank 6 lands in bucket 10 ([512,1024)), upper bound 1023.
+        assert_eq!(h.quantile(0.99), 1023);
+        assert_eq!(h.quantile(0.0), 1);
+        let mut top = HistogramSnapshot::default();
+        top.observe(u64::MAX);
+        assert_eq!(top.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn duration_labels_scale_with_magnitude() {
+        assert_eq!(format_duration_nanos(0), "0ns");
+        assert_eq!(format_duration_nanos(999), "999ns");
+        assert_eq!(format_duration_nanos(1_500), "1.5us");
+        assert_eq!(format_duration_nanos(2_000_000), "2.0ms");
+        assert_eq!(format_duration_nanos(3_500_000_000), "3.5s");
+        let mut h = HistogramSnapshot::default();
+        h.observe(1_500);
+        let rendered = h.render_duration_buckets();
+        assert!(rendered.contains("[1.0us, 2.0us) 1"), "{rendered}");
     }
 
     #[test]

@@ -35,6 +35,11 @@
 //!   deterministic result ordering, the unified CLI surface shared by
 //!   every workspace binary, and the throughput harness behind
 //!   `BENCH_engine.json`;
+//! - [`buscode_serve`] (`serve`) — the concurrent encoding service
+//!   (`busserved`) and closed/open-loop load generator (`busload`): a
+//!   length-prefixed CRC-16 wire protocol over pluggable transports,
+//!   bounded worker pool with typed RETRY-AFTER load shedding, and a
+//!   zero-loss graceful drain;
 //! - [`buscode_telemetry`] (`telemetry`) — the observability core: typed
 //!   counters, gauges, log-bucketed histograms and span timers, lock-free
 //!   shard registries merged deterministically, and the versioned metric
@@ -73,6 +78,7 @@ pub use buscode_lint as lint;
 pub use buscode_logic as logic;
 pub use buscode_pipeline as pipeline;
 pub use buscode_power as power;
+pub use buscode_serve as serve;
 pub use buscode_telemetry as telemetry;
 pub use buscode_trace as trace;
 
